@@ -1,0 +1,25 @@
+//! §5.4 cohesiveness bench: tf-idf title cohesion of CTCR vs existing
+//! trees. Regenerate the comparison with `repro cohesiveness`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::tfidf::cohesiveness;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::D, 0.002, Similarity::jaccard_threshold(0.8));
+    let tree = ctcr::run(&ds.instance, &CtcrConfig::default()).tree;
+    let mut group = c.benchmark_group("cohesiveness");
+    group.sample_size(10);
+    group.bench_function("tfidf_ctcr_tree", |b| {
+        b.iter(|| cohesiveness(&ds.catalog, &tree, 20))
+    });
+    group.bench_function("tfidf_existing_tree", |b| {
+        b.iter(|| cohesiveness(&ds.catalog, &ds.existing, 20))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

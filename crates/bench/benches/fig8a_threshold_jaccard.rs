@@ -1,0 +1,32 @@
+//! Figure 8a bench: the five algorithms under threshold Jaccard (dataset C,
+//! scaled). Regenerate the full table with `repro fig8a`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oct_bench::runner::{build_baseline_trees, score_with_baselines, with_delta, RunnerConfig};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::C, 0.01, Similarity::jaccard_threshold(0.8));
+    let config = RunnerConfig::default();
+    let mut group = c.benchmark_group("fig8a");
+    group.sample_size(10);
+    group.bench_function("ctcr_delta_0.8", |b| {
+        b.iter(|| ctcr::run(&ds.instance, &CtcrConfig::default()))
+    });
+    group.bench_function("all_algorithms_delta_0.8", |b| {
+        b.iter_batched(
+            || build_baseline_trees(&ds, &config),
+            |trees| {
+                let instance = with_delta(&ds.instance, 0.8);
+                score_with_baselines(&ds, &instance, &trees, &config)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

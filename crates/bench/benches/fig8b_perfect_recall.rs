@@ -1,0 +1,24 @@
+//! Figure 8b bench: CTCR and CCT under Perfect-Recall (dataset C, scaled).
+//! Regenerate the full table with `repro fig8b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oct_core::cct::{self, CctConfig};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::C, 0.01, Similarity::perfect_recall(0.6));
+    let mut group = c.benchmark_group("fig8b");
+    group.sample_size(10);
+    group.bench_function("ctcr_pr_0.6", |b| {
+        b.iter(|| ctcr::run(&ds.instance, &CtcrConfig::default()))
+    });
+    group.bench_function("cct_pr_0.6", |b| {
+        b.iter(|| cct::run(&ds.instance, &CctConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 8c bench: the Exact variant end-to-end, including the exact MWIS
+//! solve on the conflict graph. Regenerate the table with `repro fig8c`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oct_core::conflict;
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+use oct_mis::{Graph, Solver};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::C, 0.01, Similarity::exact());
+    let mut group = c.benchmark_group("fig8c");
+    group.sample_size(10);
+    group.bench_function("ctcr_exact", |b| {
+        b.iter(|| ctcr::run(&ds.instance, &CtcrConfig::default()))
+    });
+    // The MIS solve in isolation (the paper's headline subroutine).
+    let analysis = conflict::analyze(&ds.instance, 1, false);
+    let weights: Vec<f64> = ds.instance.sets.iter().map(|s| s.weight).collect();
+    group.bench_function("exact_mwis_conflict_graph", |b| {
+        b.iter(|| {
+            let g = Graph::new(weights.clone(), &analysis.conflicts2);
+            Solver::default().solve_graph(&g)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

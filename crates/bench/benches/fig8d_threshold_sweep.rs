@@ -1,0 +1,24 @@
+//! Figures 8d/8g bench: CTCR across the δ range (threshold Jaccard, C).
+//! Regenerate the full series with `repro fig8d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oct_bench::runner::with_delta;
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::C, 0.01, Similarity::jaccard_threshold(0.5));
+    let mut group = c.benchmark_group("fig8d");
+    group.sample_size(10);
+    for delta in [0.5, 0.7, 0.9] {
+        let instance = with_delta(&ds.instance, delta);
+        group.bench_with_input(BenchmarkId::new("ctcr", delta), &instance, |b, inst| {
+            b.iter(|| ctcr::run(inst, &CtcrConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8e bench: Perfect-Recall over the public-style dataset E.
+//! Regenerate the full table with `repro fig8e`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oct_core::cct::{self, CctConfig};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::E, 0.02, Similarity::perfect_recall(0.5));
+    let mut group = c.benchmark_group("fig8e");
+    group.sample_size(10);
+    group.bench_function("ctcr_pr_dataset_e", |b| {
+        b.iter(|| ctcr::run(&ds.instance, &CtcrConfig::default()))
+    });
+    group.bench_function("cct_pr_dataset_e", |b| {
+        b.iter(|| cct::run(&ds.instance, &CctConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

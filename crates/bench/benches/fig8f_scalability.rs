@@ -1,0 +1,24 @@
+//! Figure 8f bench: CTCR wall-clock as the dataset grows (A → C at fixed
+//! scale). Regenerate the full four-dataset table with `repro fig8f`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8f");
+    group.sample_size(10);
+    for name in [DatasetName::A, DatasetName::B, DatasetName::C] {
+        let ds = generate(name, 0.01, Similarity::jaccard_threshold(0.8));
+        group.bench_with_input(
+            BenchmarkId::new("ctcr", name.as_str()),
+            &ds.instance,
+            |b, inst| b.iter(|| ctcr::run(inst, &CtcrConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8h bench: CTCR across the Perfect-Recall δ range over dataset E.
+//! Regenerate the full series with `repro fig8h`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oct_bench::runner::with_delta;
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::E, 0.02, Similarity::perfect_recall(0.1));
+    let mut group = c.benchmark_group("fig8h");
+    group.sample_size(10);
+    for delta in [0.2, 0.6, 1.0] {
+        let instance = with_delta(&ds.instance, delta);
+        group.bench_with_input(BenchmarkId::new("ctcr_pr", delta), &instance, |b, inst| {
+            b.iter(|| ctcr::run(inst, &CtcrConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

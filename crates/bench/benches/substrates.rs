@@ -1,0 +1,112 @@
+//! Microbenchmarks of the substrates: conflict enumeration, MWIS solving,
+//! tree scoring, set-embedding clustering, and item assignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oct_cluster::{cluster, CondensedMatrix, Linkage};
+use oct_core::cct::embeddings;
+use oct_core::conflict;
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::score::score_tree;
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+use oct_mis::{Graph, Hypergraph, Solver};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::B, 0.02, Similarity::jaccard_threshold(0.8));
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+
+    group.bench_function("conflict_enumeration_serial", |b| {
+        b.iter(|| conflict::analyze(&ds.instance, 1, true))
+    });
+    group.bench_function("conflict_enumeration_parallel", |b| {
+        b.iter(|| conflict::analyze(&ds.instance, 8, true))
+    });
+
+    // Conflict graphs are sparse (the paper's observation); benchmark the
+    // solver on an instance with the density we actually see, plus a
+    // bounded-budget solve on a denser one (the fallback path).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let n = 400u32;
+    let mut edges = Vec::new();
+    for a in 0..n {
+        if rng.gen_bool(0.8) {
+            let b = rng.gen_range(0..n);
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..100) as f64).collect();
+    group.bench_function("exact_mwis_sparse_400", |b| {
+        b.iter(|| Solver::default().solve_graph(&Graph::new(weights.clone(), &edges)))
+    });
+    let mut dense_edges = edges.clone();
+    for a in 0..n {
+        for _ in 0..3 {
+            let b = rng.gen_range(0..n);
+            if a != b {
+                dense_edges.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let budgeted = Solver::new(oct_mis::SolveBudget {
+        nodes: 20_000,
+        ..oct_mis::SolveBudget::default()
+    });
+    group.bench_function("budgeted_mwis_dense_400", |b| {
+        b.iter(|| budgeted.solve_graph(&Graph::new(weights.clone(), &dense_edges)))
+    });
+    let hyper_edges: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|&(a, b)| vec![a, b])
+        .chain((0..120).map(|_| {
+            let mut t = vec![
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+            ];
+            t.sort_unstable();
+            t.dedup();
+            while t.len() < 3 {
+                let v = rng.gen_range(0..n);
+                if !t.contains(&v) {
+                    t.push(v);
+                }
+            }
+            t.sort_unstable();
+            t
+        }))
+        .collect();
+    group.bench_function("hypergraph_mwis_sparse_400", |b| {
+        b.iter(|| {
+            Solver::default().solve_hypergraph(&Hypergraph::new(
+                weights.clone(),
+                hyper_edges.clone(),
+            ))
+        })
+    });
+
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    group.bench_function("score_tree_small_to_large", |b| {
+        b.iter(|| score_tree(&ds.instance, &result.tree))
+    });
+
+    let rows = embeddings(&ds.instance, 1);
+    group.bench_function("set_embeddings", |b| {
+        b.iter(|| embeddings(&ds.instance, 1))
+    });
+    group.bench_function("agglomerative_upgma", |b| {
+        b.iter(|| {
+            cluster(
+                CondensedMatrix::euclidean_sparse(&rows),
+                Linkage::Average,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 1 bench: conservative-update instances (queries + existing-tree
+//! categories) through CTCR. Regenerate the table with `repro table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::similarity::Similarity;
+use oct_core::update;
+use oct_datagen::{generate, DatasetName};
+
+fn bench(c: &mut Criterion) {
+    let ds = generate(DatasetName::D, 0.002, Similarity::jaccard_threshold(0.8));
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for fraction in [0.9, 0.5, 0.1] {
+        let mixed = update::conservative_instance(&ds.instance, &ds.existing, fraction, 3);
+        group.bench_with_input(
+            BenchmarkId::new("ctcr_mixed", fraction),
+            &mixed.instance,
+            |b, inst| b.iter(|| ctcr::run(inst, &CtcrConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--repetitions R]
+//!
+//! experiments:
+//!   fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h
+//!   table1 traintest cohesiveness ablations all
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use oct_bench::experiments;
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    repetitions: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        experiment,
+        scale: 0.02,
+        repetitions: 5,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                parsed.scale = v.parse().map_err(|_| format!("bad scale {v}"))?;
+            }
+            "--repetitions" => {
+                let v = args.next().ok_or("--repetitions needs a value")?;
+                parsed.repetitions = v.parse().map_err(|_| format!("bad repetitions {v}"))?;
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|all> [--scale S] [--repetitions R]".to_owned()
+}
+
+fn run_one(name: &str, scale: f64, repetitions: usize) -> Result<(), String> {
+    match name {
+        "fig8a" => {
+            println!("# Figure 8a — threshold Jaccard over dataset C, all algorithms\n");
+            let (_, table) = experiments::fig8a(scale);
+            println!("{}", table.render());
+        }
+        "fig8b" => {
+            println!("# Figure 8b — Perfect-Recall over dataset C, all algorithms\n");
+            let (_, table) = experiments::fig8b(scale);
+            println!("{}", table.render());
+        }
+        "fig8c" => {
+            println!("# Figure 8c — Exact variant over dataset C\n");
+            let (_, _, table) = experiments::fig8c(scale);
+            println!("{}", table.render());
+        }
+        "fig8d" | "fig8g" => {
+            println!("# Figures 8d/8g — CTCR vs δ, threshold Jaccard over dataset C\n");
+            let (_, table) = experiments::fig8d(scale);
+            println!("{}", table.render());
+        }
+        "fig8e" => {
+            println!("# Figure 8e — Perfect-Recall over dataset E, all algorithms\n");
+            let (_, table) = experiments::fig8e(scale);
+            println!("{}", table.render());
+        }
+        "fig8f" => {
+            println!("# Figure 8f — CTCR scalability over datasets A–D\n");
+            let (_, table) = experiments::fig8f(scale);
+            println!("{}", table.render());
+        }
+        "fig8h" => {
+            println!("# Figure 8h — CTCR vs δ, Perfect-Recall over dataset E\n");
+            let (_, table) = experiments::fig8h(scale);
+            println!("{}", table.render());
+        }
+        "table1" => {
+            println!("# Table 1 — query/existing weight ratio vs score contribution\n");
+            let (_, table) = experiments::table1(scale);
+            println!("{}", table.render());
+        }
+        "traintest" => {
+            println!("# Train/test robustness over dataset D ({repetitions} splits)\n");
+            let (_, table) = experiments::traintest(scale, repetitions);
+            println!("{}", table.render());
+        }
+        "cohesiveness" => {
+            println!("# §5.4 cohesiveness — tf-idf title similarity per category\n");
+            let (_, _, table) = experiments::cohesiveness(scale);
+            println!("{}", table.render());
+        }
+        "ablations" => {
+            println!("# Ablations — design choices of DESIGN.md §8\n");
+            let (_, table) = experiments::ablations(scale);
+            println!("{}", table.render());
+        }
+        "variants" => {
+            println!("# All six problem variants (dataset B) — the trends the paper omits for space\n");
+            let (_, table) = experiments::variants(scale);
+            println!("{}", table.render());
+        }
+        "public" => {
+            println!("# Public datasets (§5.2) — Perfect-Recall δ = 0.6, all algorithms\n");
+            let (_, table) = experiments::public_datasets(scale);
+            println!("{}", table.render());
+        }
+        other => return Err(format!("unknown experiment {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let all = [
+        "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8h", "table1",
+        "traintest", "cohesiveness", "ablations", "variants", "public",
+    ];
+    let result = if args.experiment == "all" {
+        all.iter().try_for_each(|name| {
+            let r = run_one(name, args.scale, args.repetitions);
+            println!();
+            r
+        })
+    } else {
+        run_one(&args.experiment, args.scale, args.repetitions)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

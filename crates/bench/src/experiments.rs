@@ -1,0 +1,575 @@
+//! One function per paper table/figure (see `DESIGN.md` §5 for the index).
+//!
+//! All experiments are deterministic for a fixed scale. The default scales
+//! are laptop-friendly; pass a larger `--scale` to approach the paper's
+//! sizes. Absolute numbers differ from the paper (synthetic data, different
+//! hardware); the *shapes* — algorithm ranking, threshold monotonicity,
+//! ratio tracking, runtime growth — are the reproduction targets.
+
+use std::time::Instant;
+
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::score::score_tree;
+use oct_core::similarity::{Similarity, SimilarityKind};
+use oct_core::update;
+use oct_datagen::tfidf;
+use oct_datagen::{generate, DatasetName, GeneratedDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::{run_all_algorithms, with_delta, AlgoScores, RunnerConfig};
+use crate::table::{fmt3, pct, Table};
+
+/// A δ-sweep data point with all five algorithm scores.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Threshold δ.
+    pub delta: f64,
+    /// Normalized scores.
+    pub scores: AlgoScores,
+}
+
+/// Figures 8a/8b/8e: score comparison of the five algorithms across a δ
+/// range for one variant over one dataset.
+pub fn score_comparison(
+    name: DatasetName,
+    kind: SimilarityKind,
+    deltas: &[f64],
+    scale: f64,
+) -> (Vec<SweepPoint>, Table) {
+    let base_delta = deltas.first().copied().unwrap_or(0.8);
+    let ds = generate(name, scale, Similarity::new(kind, base_delta));
+    let config = RunnerConfig::default();
+    let baseline_trees = crate::runner::build_baseline_trees(&ds, &config);
+    let mut points = Vec::new();
+    let mut table = Table::new(vec!["delta", "CTCR", "CCT", "IC-S", "IC-Q", "ET"]);
+    for &delta in deltas {
+        let instance = with_delta(&ds.instance, delta);
+        let scores =
+            crate::runner::score_with_baselines(&ds, &instance, &baseline_trees, &config);
+        table.row(vec![
+            format!("{delta:.2}"),
+            fmt3(scores.ctcr),
+            fmt3(scores.cct),
+            fmt3(scores.ic_s),
+            fmt3(scores.ic_q),
+            fmt3(scores.et),
+        ]);
+        points.push(SweepPoint { delta, scores });
+    }
+    (points, table)
+}
+
+/// Figure 8a: threshold Jaccard over dataset C.
+pub fn fig8a(scale: f64) -> (Vec<SweepPoint>, Table) {
+    score_comparison(
+        DatasetName::C,
+        SimilarityKind::JaccardThreshold,
+        &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        scale,
+    )
+}
+
+/// Figure 8b: Perfect-Recall over dataset C.
+pub fn fig8b(scale: f64) -> (Vec<SweepPoint>, Table) {
+    score_comparison(
+        DatasetName::C,
+        SimilarityKind::PerfectRecall,
+        &[0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0],
+        scale,
+    )
+}
+
+/// Figure 8c: the Exact variant over dataset C (single δ = 1 point), plus
+/// the optimality flag of the MIS solve (the paper reports all Exact
+/// instances solved optimally).
+pub fn fig8c(scale: f64) -> (Vec<SweepPoint>, bool, Table) {
+    let ds = generate(DatasetName::C, scale, Similarity::exact());
+    let config = RunnerConfig::default();
+    let scores = run_all_algorithms(&ds, &ds.instance, &config);
+    let ctcr_result = ctcr::run(&ds.instance, &config.ctcr);
+    let mut table = Table::new(vec!["algorithm", "normalized score"]);
+    for (name, s) in scores.rows() {
+        table.row(vec![name.to_string(), fmt3(s)]);
+    }
+    table.row(vec![
+        "MIS solved optimally".to_string(),
+        ctcr_result.stats.mis_optimal.to_string(),
+    ]);
+    (
+        vec![SweepPoint { delta: 1.0, scores }],
+        ctcr_result.stats.mis_optimal,
+        table,
+    )
+}
+
+/// A CTCR-only δ-sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct CtcrPoint {
+    /// Threshold δ.
+    pub delta: f64,
+    /// CTCR normalized score.
+    pub score: f64,
+    /// Covered input sets.
+    pub covered: usize,
+}
+
+/// Figures 8d/8g/8h: CTCR score across a fine δ range.
+pub fn ctcr_sweep(
+    name: DatasetName,
+    kind: SimilarityKind,
+    deltas: &[f64],
+    scale: f64,
+) -> (Vec<CtcrPoint>, Table) {
+    let ds = generate(name, scale, Similarity::new(kind, deltas[0]));
+    let config = CtcrConfig::default();
+    let mut points = Vec::new();
+    let mut table = Table::new(vec!["delta", "CTCR score", "covered sets"]);
+    for &delta in deltas {
+        let instance = with_delta(&ds.instance, delta);
+        let result = ctcr::run(&instance, &config);
+        table.row(vec![
+            format!("{delta:.2}"),
+            fmt3(result.score.normalized),
+            result.score.covered_count().to_string(),
+        ]);
+        points.push(CtcrPoint {
+            delta,
+            score: result.score.normalized,
+            covered: result.score.covered_count(),
+        });
+    }
+    (points, table)
+}
+
+/// Figure 8d (and 8g): CTCR vs δ, threshold Jaccard over C.
+pub fn fig8d(scale: f64) -> (Vec<CtcrPoint>, Table) {
+    let deltas: Vec<f64> = (10..=20).map(|i| i as f64 / 20.0).collect();
+    ctcr_sweep(DatasetName::C, SimilarityKind::JaccardThreshold, &deltas, scale)
+}
+
+/// Figure 8e: Perfect-Recall over the public-style dataset E.
+pub fn fig8e(scale: f64) -> (Vec<SweepPoint>, Table) {
+    score_comparison(
+        DatasetName::E,
+        SimilarityKind::PerfectRecall,
+        &[0.1, 0.3, 0.5, 0.7, 0.9],
+        scale,
+    )
+}
+
+/// Figure 8h: CTCR vs δ, Perfect-Recall over E.
+pub fn fig8h(scale: f64) -> (Vec<CtcrPoint>, Table) {
+    let deltas: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+    ctcr_sweep(DatasetName::E, SimilarityKind::PerfectRecall, &deltas, scale)
+}
+
+/// One scalability measurement.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Input sets after preprocessing.
+    pub queries: usize,
+    /// Universe size.
+    pub items: usize,
+    /// CTCR wall-clock seconds.
+    pub seconds: f64,
+    /// Conflict-enumeration seconds.
+    pub conflict_seconds: f64,
+    /// MIS seconds.
+    pub mis_seconds: f64,
+}
+
+/// Figure 8f: CTCR running time over the four private-style datasets
+/// (threshold Jaccard δ = 0.8, parallel conflict enumeration).
+pub fn fig8f(scale: f64) -> (Vec<ScalePoint>, Table) {
+    let mut points = Vec::new();
+    let mut table = Table::new(vec![
+        "dataset", "queries", "items", "CTCR time (s)", "conflicts (s)", "MIS (s)",
+        "assign (s)", "intermed (s)", "condense (s)", "score (s)",
+    ]);
+    for name in [DatasetName::A, DatasetName::B, DatasetName::C, DatasetName::D] {
+        let ds = generate(name, scale, Similarity::jaccard_threshold(0.8));
+        let start = Instant::now();
+        let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+        let seconds = start.elapsed().as_secs_f64();
+        let point = ScalePoint {
+            dataset: name.as_str(),
+            queries: ds.instance.num_sets(),
+            items: ds.catalog.len(),
+            seconds,
+            conflict_seconds: result.stats.conflict_time.as_secs_f64(),
+            mis_seconds: result.stats.mis_time.as_secs_f64(),
+        };
+        table.row(vec![
+            point.dataset.to_string(),
+            point.queries.to_string(),
+            point.items.to_string(),
+            format!("{:.3}", point.seconds),
+            format!("{:.3}", point.conflict_seconds),
+            format!("{:.3}", point.mis_seconds),
+            format!("{:.3}", result.stats.assign_time.as_secs_f64()),
+            format!("{:.3}", result.stats.intermediate_time.as_secs_f64()),
+            format!("{:.3}", result.stats.condense_time.as_secs_f64()),
+            format!("{:.3}", result.stats.score_time.as_secs_f64()),
+        ]);
+        points.push(point);
+    }
+    (points, table)
+}
+
+/// Train/test generalization result.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainTestResult {
+    /// Mean CTCR test score across repetitions.
+    pub ctcr: f64,
+    /// Mean CCT test score.
+    pub cct: f64,
+    /// Mean ET test score.
+    pub et: f64,
+    /// Repetitions performed.
+    pub repetitions: usize,
+}
+
+/// The train/test robustness evaluation (§5.2): randomly split the queries
+/// of dataset D 50/50, build on the train half, score on the test half;
+/// averaged over `repetitions` splits.
+///
+/// Test queries are *novel* (near-duplicates were merged before the
+/// split), so the graded cutoff-Jaccard objective is used — a binary
+/// threshold would score almost any unseen query 0 against any tree and
+/// distinguish nothing.
+pub fn traintest(scale: f64, repetitions: usize) -> (TrainTestResult, Table) {
+    let ds = generate(DatasetName::D, scale, Similarity::jaccard_cutoff(0.5));
+    let mut rng = StdRng::seed_from_u64(0x7E57);
+    let mut sums = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..repetitions {
+        let n = ds.instance.num_sets();
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        let (train_idx, test_idx) = idx.split_at(n / 2);
+        let subset = |ids: &[usize]| -> oct_core::Instance {
+            let sets = ids.iter().map(|&i| ds.instance.sets[i].clone()).collect();
+            oct_core::Instance::new(ds.instance.num_items, sets, ds.instance.similarity)
+        };
+        let train = subset(train_idx);
+        let test = subset(test_idx);
+        let ctcr_tree = ctcr::run(&train, &CtcrConfig::default()).tree;
+        let cct_tree = oct_core::cct::run(&train, &oct_core::CctConfig::default()).tree;
+        sums.0 += score_tree(&test, &ctcr_tree).normalized;
+        sums.1 += score_tree(&test, &cct_tree).normalized;
+        sums.2 += score_tree(&test, &ds.existing).normalized;
+    }
+    let r = repetitions.max(1) as f64;
+    let result = TrainTestResult {
+        ctcr: sums.0 / r,
+        cct: sums.1 / r,
+        et: sums.2 / r,
+        repetitions,
+    };
+    let mut table = Table::new(vec!["algorithm", "mean test score"]);
+    table.row(vec!["CTCR".to_string(), fmt3(result.ctcr)]);
+    table.row(vec!["CCT".to_string(), fmt3(result.cct)]);
+    table.row(vec!["ET".to_string(), fmt3(result.et)]);
+    (result, table)
+}
+
+/// One Table-1 row: input weight ratio vs score-contribution split.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Fraction of input weight mass given to query sets.
+    pub query_fraction: f64,
+    /// Fraction of the achieved score contributed by query sets.
+    pub query_share: f64,
+    /// Fraction contributed by existing-tree categories.
+    pub existing_share: f64,
+    /// Rand-style categorization distance of the produced tree to the
+    /// existing tree (0 = identical) — the §2.3 conservatism guarantee.
+    pub distance_to_existing: f64,
+}
+
+/// Table 1: mixing dataset-D queries with the existing tree's categories
+/// at weight ratios 90/10 … 10/90 (threshold Jaccard δ = 0.8) and
+/// reporting each source's contribution to the final CTCR score.
+pub fn table1(scale: f64) -> (Vec<Table1Row>, Table) {
+    let ds = generate(DatasetName::D, scale, Similarity::jaccard_threshold(0.8));
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "Queries/Existing",
+        "% of Score from Queries",
+        "% of Score from Existing",
+        "distance to existing tree",
+    ]);
+    for &fraction in &[0.9, 0.7, 0.5, 0.3, 0.1] {
+        let mixed = update::conservative_instance(&ds.instance, &ds.existing, fraction, 3);
+        let result = ctcr::run(&mixed.instance, &CtcrConfig::default());
+        let (q, e) = mixed.contribution_split(&result.score);
+        let distance = update::categorization_distance(
+            &result.tree,
+            &ds.existing,
+            ds.instance.num_items,
+            50_000,
+        );
+        table.row(vec![
+            format!("{:.0}%/{:.0}%", fraction * 100.0, (1.0 - fraction) * 100.0),
+            pct(q),
+            pct(e),
+            fmt3(distance),
+        ]);
+        rows.push(Table1Row {
+            query_fraction: fraction,
+            query_share: q,
+            existing_share: e,
+            distance_to_existing: distance,
+        });
+    }
+    (rows, table)
+}
+
+/// Cohesiveness comparison (§5.4): tf-idf title cohesion of the CTCR tree
+/// vs. the existing tree.
+pub fn cohesiveness(scale: f64) -> (tfidf::Cohesiveness, tfidf::Cohesiveness, Table) {
+    let ds = generate(DatasetName::D, scale, Similarity::jaccard_threshold(0.8));
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    // `C_misc` is a holding pen, not a categorization decision: the paper's
+    // taxonomists compared trees after the remaining manual pass, so the
+    // misc bucket is excluded from the cohesion comparison.
+    let ours = tfidf::cohesiveness_filtered(&ds.catalog, &result.tree, 40, &["misc"]);
+    let existing = tfidf::cohesiveness_filtered(&ds.catalog, &ds.existing, 40, &["misc"]);
+    let mut table = Table::new(vec!["tree", "uniform avg", "size-weighted avg", "categories"]);
+    table.row(vec![
+        "CTCR".to_string(),
+        fmt3(ours.uniform),
+        fmt3(ours.size_weighted),
+        ours.categories.to_string(),
+    ]);
+    table.row(vec![
+        "Existing".to_string(),
+        fmt3(existing.uniform),
+        fmt3(existing.size_weighted),
+        existing.categories.to_string(),
+    ]);
+    (ours, existing, table)
+}
+
+/// Ablation outcomes (design choices called out in `DESIGN.md` §8).
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// `(label, normalized score, seconds)` per configuration.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Ablations over dataset C at δ = 0.9 — the conflict-dense regime where
+/// the design choices actually separate: exact vs heuristic MIS,
+/// intermediates on/off, the §9 extensions on/off, 3-conflicts on/off
+/// (Perfect-Recall), CCT global vs raw embeddings.
+pub fn ablations(scale: f64) -> (AblationResult, Table) {
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let timed_ctcr = |instance: &oct_core::Instance, config: &CtcrConfig| -> (f64, f64) {
+        let start = Instant::now();
+        let result = ctcr::run(instance, config);
+        (result.score.normalized, start.elapsed().as_secs_f64())
+    };
+
+    let ds = generate(DatasetName::C, scale, Similarity::jaccard_threshold(0.9));
+    let (s, t) = timed_ctcr(&ds.instance, &CtcrConfig::default());
+    rows.push(("CTCR (exact MIS)".into(), s, t));
+    let heuristic = CtcrConfig {
+        mis_budget: oct_mis::SolveBudget::heuristic_only(),
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&ds.instance, &heuristic);
+    rows.push(("CTCR (heuristic MIS)".into(), s, t));
+    let no_intermediates = CtcrConfig {
+        add_intermediates: false,
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&ds.instance, &no_intermediates);
+    rows.push(("CTCR (no intermediate categories)".into(), s, t));
+    let no_repair = CtcrConfig {
+        repair: false,
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&ds.instance, &no_repair);
+    rows.push(("CTCR (no cover repair)".into(), s, t));
+    let no_nesting = CtcrConfig {
+        nest_contained: false,
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&ds.instance, &no_nesting);
+    rows.push(("CTCR (no contained-set nesting)".into(), s, t));
+    let paper_exact = CtcrConfig {
+        repair: false,
+        nest_contained: false,
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&ds.instance, &paper_exact);
+    rows.push(("CTCR (paper-exact: no extensions)".into(), s, t));
+
+    let pr = generate(DatasetName::C, scale, Similarity::perfect_recall(0.7));
+    let (s, t) = timed_ctcr(&pr.instance, &CtcrConfig::default());
+    rows.push(("CTCR PR (with 3-conflicts)".into(), s, t));
+    let no3 = CtcrConfig {
+        use_three_conflicts: false,
+        ..CtcrConfig::default()
+    };
+    let (s, t) = timed_ctcr(&pr.instance, &no3);
+    rows.push(("CTCR PR (no 3-conflicts)".into(), s, t));
+
+    let start = Instant::now();
+    let global = oct_core::cct::run(&ds.instance, &oct_core::CctConfig::default());
+    rows.push((
+        "CCT (global-context embeddings)".into(),
+        global.score.normalized,
+        start.elapsed().as_secs_f64(),
+    ));
+    let start = Instant::now();
+    let raw = oct_core::cct::run(
+        &ds.instance,
+        &oct_core::CctConfig {
+            global_embeddings: false,
+            ..oct_core::CctConfig::default()
+        },
+    );
+    rows.push((
+        "CCT (raw pairwise distances)".into(),
+        raw.score.normalized,
+        start.elapsed().as_secs_f64(),
+    ));
+
+    let mut table = Table::new(vec!["configuration", "score", "time (s)"]);
+    for (label, score, secs) in &rows {
+        table.row(vec![label.clone(), fmt3(*score), format!("{secs:.3}")]);
+    }
+    (AblationResult { rows }, table)
+}
+
+/// CTCR and CCT across all six problem variants on one dataset — the
+/// trends the paper reports but omits for space ("we omitted results for
+/// the F1 variants and the cutoff Jaccard variant, which demonstrated
+/// similar trends").
+pub fn variants(scale: f64) -> (Vec<(String, f64, f64)>, Table) {
+    let configs = [
+        Similarity::jaccard_threshold(0.8),
+        Similarity::jaccard_cutoff(0.8),
+        Similarity::f1_threshold(0.8),
+        Similarity::f1_cutoff(0.8),
+        Similarity::perfect_recall(0.8),
+        Similarity::exact(),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec!["variant", "CTCR", "CCT"]);
+    for sim in configs {
+        let ds = generate(DatasetName::B, scale, sim);
+        let ctcr_score = ctcr::run(&ds.instance, &CtcrConfig::default())
+            .score
+            .normalized;
+        let cct_score = oct_core::cct::run(&ds.instance, &oct_core::CctConfig::default())
+            .score
+            .normalized;
+        table.row(vec![
+            sim.kind.name().to_string(),
+            fmt3(ctcr_score),
+            fmt3(cct_score),
+        ]);
+        rows.push((sim.kind.name().to_string(), ctcr_score, cct_score));
+    }
+    (rows, table)
+}
+
+/// The paper's remaining public datasets (§5.2: CrowdFlower, HomeDepot,
+/// Victoria's Secret — "the obtained results over all datasets demonstrated
+/// very similar trends"): all five algorithms at Perfect-Recall δ = 0.6,
+/// one row per dataset.
+pub fn public_datasets(scale: f64) -> (Vec<(String, AlgoScores)>, Table) {
+    let config = RunnerConfig::default();
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec!["dataset", "CTCR", "CCT", "IC-S", "IC-Q", "ET"]);
+    for name in DatasetName::public() {
+        let ds = generate(name, scale, Similarity::perfect_recall(0.6));
+        let scores = run_all_algorithms(&ds, &ds.instance, &config);
+        table.row(vec![
+            name.as_str().to_string(),
+            fmt3(scores.ctcr),
+            fmt3(scores.cct),
+            fmt3(scores.ic_s),
+            fmt3(scores.ic_q),
+            fmt3(scores.et),
+        ]);
+        rows.push((name.as_str().to_string(), scores));
+    }
+    (rows, table)
+}
+
+/// Convenience: which dataset/variant a `GeneratedDataset` describes (for
+/// report headers).
+pub fn describe(ds: &GeneratedDataset) -> String {
+    format!(
+        "dataset {} (scale {}): {} items, {} input sets ({} raw queries)",
+        ds.spec.name.as_str(),
+        ds.scale,
+        ds.catalog.len(),
+        ds.instance.num_sets(),
+        ds.stats.raw_queries
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: f64 = 0.01;
+
+    #[test]
+    fn fig8a_monotone_in_delta_for_ctcr() {
+        let (points, table) = fig8a(TINY);
+        assert_eq!(points.len(), 6);
+        assert!(!table.is_empty());
+        // Lowering the threshold must not lower the CTCR score.
+        for w in points.windows(2) {
+            assert!(
+                w[0].scores.ctcr + 1e-9 >= w[1].scores.ctcr,
+                "δ={} score {} < δ={} score {}",
+                w[0].delta,
+                w[0].scores.ctcr,
+                w[1].delta,
+                w[1].scores.ctcr
+            );
+        }
+    }
+
+    #[test]
+    fn fig8c_exact_is_optimal() {
+        let (_, optimal, _) = fig8c(TINY);
+        assert!(optimal, "Exact-variant MIS should be solved optimally");
+    }
+
+    #[test]
+    fn table1_shares_track_ratios() {
+        let (rows, _) = table1(0.005);
+        for row in rows {
+            assert!(
+                (row.query_share - row.query_fraction).abs() < 0.35,
+                "{row:?}"
+            );
+            assert!((row.query_share + row.existing_share - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn traintest_runs() {
+        let (result, _) = traintest(0.005, 2);
+        assert!(result.ctcr >= 0.0 && result.ctcr <= 1.0);
+        assert_eq!(result.repetitions, 2);
+    }
+
+    #[test]
+    fn fig8f_times_grow_with_size() {
+        let (points, _) = fig8f(0.005);
+        assert_eq!(points.len(), 4);
+        assert!(points[3].items > points[0].items);
+    }
+}

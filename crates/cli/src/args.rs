@@ -1,0 +1,298 @@
+//! Hand-rolled argument parsing for `octree` (no external CLI crate).
+
+use oct_core::similarity::{Similarity, SimilarityKind};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  octree build   --log FILE --items N [--variant V] [--delta D] [--out FILE]
+                 [--no-merge] [--min-frequency F] [--labels]
+  octree score   --tree FILE --log FILE --items N [--variant V] [--delta D]
+  octree inspect --tree FILE [--depth K]
+  octree export  --dataset A|B|C|D|E [--scale S] [--out FILE]
+  octree dot     --tree FILE [--depth K] [--out FILE]
+  octree diff    --tree FILE --against FILE --items N
+
+variants: threshold-jaccard (default) | cutoff-jaccard | threshold-f1 |
+          cutoff-f1 | perfect-recall | exact";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Build a tree from a query log.
+    Build {
+        /// Log path.
+        log: String,
+        /// Universe size.
+        items: u32,
+        /// Similarity variant + δ.
+        similarity: Similarity,
+        /// Output tree path (`None`: print summary only).
+        out: Option<String>,
+        /// Skip near-duplicate merging.
+        no_merge: bool,
+        /// Frequency floor.
+        min_frequency: f64,
+        /// Auto-label categories.
+        labels: bool,
+    },
+    /// Score an existing tree against a log.
+    Score {
+        /// Tree path.
+        tree: String,
+        /// Log path.
+        log: String,
+        /// Universe size.
+        items: u32,
+        /// Similarity variant + δ.
+        similarity: Similarity,
+    },
+    /// Print a tree's structure.
+    Inspect {
+        /// Tree path.
+        tree: String,
+        /// Maximum depth to print.
+        depth: usize,
+    },
+    /// Export a synthetic dataset's log as TSV.
+    Export {
+        /// Dataset name (A–E).
+        dataset: String,
+        /// Scale in (0, 1].
+        scale: f64,
+        /// Output path (`None`: stdout).
+        out: Option<String>,
+    },
+    /// Render a tree as Graphviz DOT.
+    Dot {
+        /// Tree path.
+        tree: String,
+        /// Depth limit (0 = unlimited).
+        depth: usize,
+        /// Output path (`None`: stdout).
+        out: Option<String>,
+    },
+    /// Categorization distance between two trees.
+    Diff {
+        /// First tree path.
+        tree: String,
+        /// Second tree path.
+        against: String,
+        /// Universe size.
+        items: u32,
+    },
+}
+
+/// Parses `argv` into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or("missing command")?;
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut switches: std::collections::HashSet<String> = std::collections::HashSet::new();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
+        if matches!(name, "no-merge" | "labels") {
+            switches.insert(name.to_owned());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_owned(), value.clone());
+        }
+    }
+    let similarity = |flags: &std::collections::HashMap<String, String>| -> Result<Similarity, String> {
+        let variant = flags.get("variant").map(String::as_str).unwrap_or("threshold-jaccard");
+        let kind = match variant {
+            "threshold-jaccard" => SimilarityKind::JaccardThreshold,
+            "cutoff-jaccard" => SimilarityKind::JaccardCutoff,
+            "threshold-f1" => SimilarityKind::F1Threshold,
+            "cutoff-f1" => SimilarityKind::F1Cutoff,
+            "perfect-recall" => SimilarityKind::PerfectRecall,
+            "exact" => SimilarityKind::Exact,
+            other => return Err(format!("unknown variant {other:?}")),
+        };
+        let delta: f64 = match flags.get("delta") {
+            Some(d) => d.parse().map_err(|_| format!("bad delta {d:?}"))?,
+            None if kind == SimilarityKind::Exact => 1.0,
+            None => 0.8,
+        };
+        if kind == SimilarityKind::Exact && (delta - 1.0).abs() > 1e-12 {
+            return Err("the exact variant requires --delta 1".to_owned());
+        }
+        Ok(Similarity::new(kind, delta))
+    };
+    let required = |flags: &std::collections::HashMap<String, String>, name: &str| -> Result<String, String> {
+        flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("--{name} is required"))
+    };
+    let items = |flags: &std::collections::HashMap<String, String>| -> Result<u32, String> {
+        required(flags, "items")?
+            .parse()
+            .map_err(|_| "bad --items value".to_owned())
+    };
+
+    match command.as_str() {
+        "build" => Ok(Command::Build {
+            log: required(&flags, "log")?,
+            items: items(&flags)?,
+            similarity: similarity(&flags)?,
+            out: flags.get("out").cloned(),
+            no_merge: switches.contains("no-merge"),
+            min_frequency: flags
+                .get("min-frequency")
+                .map(|f| f.parse().map_err(|_| "bad --min-frequency".to_owned()))
+                .transpose()?
+                .unwrap_or(0.0),
+            labels: switches.contains("labels"),
+        }),
+        "score" => Ok(Command::Score {
+            tree: required(&flags, "tree")?,
+            log: required(&flags, "log")?,
+            items: items(&flags)?,
+            similarity: similarity(&flags)?,
+        }),
+        "inspect" => Ok(Command::Inspect {
+            tree: required(&flags, "tree")?,
+            depth: flags
+                .get("depth")
+                .map(|d| d.parse().map_err(|_| "bad --depth".to_owned()))
+                .transpose()?
+                .unwrap_or(3),
+        }),
+        "export" => Ok(Command::Export {
+            dataset: required(&flags, "dataset")?,
+            scale: flags
+                .get("scale")
+                .map(|s| s.parse().map_err(|_| "bad --scale".to_owned()))
+                .transpose()?
+                .unwrap_or(0.02),
+            out: flags.get("out").cloned(),
+        }),
+        "dot" => Ok(Command::Dot {
+            tree: required(&flags, "tree")?,
+            depth: flags
+                .get("depth")
+                .map(|d| d.parse().map_err(|_| "bad --depth".to_owned()))
+                .transpose()?
+                .unwrap_or(0),
+            out: flags.get("out").cloned(),
+        }),
+        "diff" => Ok(Command::Diff {
+            tree: required(&flags, "tree")?,
+            against: required(&flags, "against")?,
+            items: items(&flags)?,
+        }),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_build() {
+        let cmd = parse(&argv(
+            "build --log q.tsv --items 100 --variant perfect-recall --delta 0.6 --labels",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Build {
+                log,
+                items,
+                similarity,
+                labels,
+                no_merge,
+                ..
+            } => {
+                assert_eq!(log, "q.tsv");
+                assert_eq!(items, 100);
+                assert_eq!(similarity.kind, SimilarityKind::PerfectRecall);
+                assert_eq!(similarity.delta, 0.6);
+                assert!(labels);
+                assert!(!no_merge);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse(&argv("build --log q.tsv --items 5")).expect("valid");
+        if let Command::Build { similarity, .. } = cmd {
+            assert_eq!(similarity.kind, SimilarityKind::JaccardThreshold);
+            assert_eq!(similarity.delta, 0.8);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn exact_defaults_delta_one() {
+        let cmd = parse(&argv("build --log q.tsv --items 5 --variant exact")).expect("valid");
+        if let Command::Build { similarity, .. } = cmd {
+            assert_eq!(similarity.delta, 1.0);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("build --items 5")).is_err(), "missing --log");
+        assert!(parse(&argv("build --log q --items x")).is_err());
+        assert!(parse(&argv("build --log q --items 5 --variant nope")).is_err());
+        assert!(parse(&argv("build --log q --items 5 --variant exact --delta 0.5")).is_err());
+        assert!(parse(&argv("score --tree t --log q")).is_err(), "missing items");
+    }
+
+    #[test]
+    fn parses_dot_and_diff() {
+        assert_eq!(
+            parse(&argv("dot --tree t.oct --depth 2")).expect("valid"),
+            Command::Dot {
+                tree: "t.oct".into(),
+                depth: 2,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("diff --tree a.oct --against b.oct --items 10")).expect("valid"),
+            Command::Diff {
+                tree: "a.oct".into(),
+                against: "b.oct".into(),
+                items: 10
+            }
+        );
+        assert!(parse(&argv("diff --tree a.oct --items 10")).is_err());
+    }
+
+    #[test]
+    fn parses_inspect_and_export() {
+        assert_eq!(
+            parse(&argv("inspect --tree t.oct --depth 5")).expect("valid"),
+            Command::Inspect {
+                tree: "t.oct".into(),
+                depth: 5
+            }
+        );
+        assert_eq!(
+            parse(&argv("export --dataset A --scale 0.1")).expect("valid"),
+            Command::Export {
+                dataset: "A".into(),
+                scale: 0.1,
+                out: None
+            }
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! Command implementations for `octree`.
+
+use std::fs;
+
+use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::input::{InputSet, Instance};
+use oct_core::itemset::ItemSet;
+use oct_core::labeling;
+use oct_core::navigation;
+use oct_core::persist;
+use oct_core::score::score_tree;
+use oct_core::similarity::Similarity;
+use oct_core::tree::{CategoryTree, ROOT};
+use oct_datagen::loader;
+use oct_datagen::preprocess::{self, relevance_threshold};
+use oct_datagen::queries::QueryLog;
+use oct_datagen::{generate, DatasetName};
+
+use crate::args::Command;
+
+/// Prints a line to stdout; on a broken pipe (e.g. `octree ... | head`)
+/// the process exits quietly with success instead of panicking.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let mut stdout = std::io::stdout().lock();
+        if writeln!(stdout, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Build {
+            log,
+            items,
+            similarity,
+            out,
+            no_merge,
+            min_frequency,
+            labels,
+        } => build(&log, items, similarity, out.as_deref(), no_merge, min_frequency, labels),
+        Command::Score {
+            tree,
+            log,
+            items,
+            similarity,
+        } => score(&tree, &log, items, similarity),
+        Command::Inspect { tree, depth } => inspect(&tree, depth),
+        Command::Export {
+            dataset,
+            scale,
+            out,
+        } => export(&dataset, scale, out.as_deref()),
+        Command::Dot { tree, depth, out } => dot(&tree, depth, out.as_deref()),
+        Command::Diff {
+            tree,
+            against,
+            items,
+        } => diff(&tree, &against, items),
+    }
+}
+
+fn dot(tree_path: &str, depth: usize, out_path: Option<&str>) -> Result<(), String> {
+    let tree = read_tree(tree_path)?;
+    let rendered = oct_core::dot::to_dot(
+        &tree,
+        None,
+        &oct_core::dot::DotOptions {
+            max_depth: depth,
+            ..oct_core::dot::DotOptions::default()
+        },
+    );
+    match out_path {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            out!("wrote {} bytes to {path}", rendered.len());
+        }
+        None => out!("{}", rendered.trim_end()),
+    }
+    Ok(())
+}
+
+fn diff(tree_path: &str, against_path: &str, items: u32) -> Result<(), String> {
+    let a = read_tree(tree_path)?;
+    let b = read_tree(against_path)?;
+    let distance = oct_core::update::categorization_distance(&a, &b, items, 100_000);
+    out!(
+        "categorization distance: {distance:.4} (0 = identical partition of {items} items)"
+    );
+    out!(
+        "{tree_path}: {} categories | {against_path}: {} categories",
+        a.live_categories().len(),
+        b.live_categories().len()
+    );
+    Ok(())
+}
+
+fn read_log(path: &str) -> Result<QueryLog, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    loader::parse_query_log(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_tree(path: &str) -> Result<CategoryTree, String> {
+    let raw = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    persist::decode_tree(bytes::Bytes::from(raw)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Converts a parsed log into an instance: relevance cutoff per the
+/// variant, frequency weights, optional near-duplicate merging.
+fn instance_from_log(
+    log: &QueryLog,
+    items: u32,
+    similarity: Similarity,
+    no_merge: bool,
+    min_frequency: f64,
+) -> Result<Instance, String> {
+    let relevance = relevance_threshold(similarity.kind);
+    let mut sets = Vec::new();
+    for q in &log.queries {
+        if q.daily_frequency < min_frequency {
+            continue;
+        }
+        let kept: Vec<u32> = q
+            .results
+            .iter()
+            .filter(|&&(_, rel)| rel >= relevance)
+            .map(|&(item, _)| item)
+            .collect();
+        if kept.len() < 2 {
+            continue;
+        }
+        if let Some(&max) = kept.iter().max() {
+            if max >= items {
+                return Err(format!(
+                    "query {:?} references item {max} but --items is {items}",
+                    q.text
+                ));
+            }
+        }
+        sets.push(
+            InputSet::new(ItemSet::new(kept), q.daily_frequency.max(1e-9))
+                .with_label(q.text.clone()),
+        );
+    }
+    if sets.is_empty() {
+        return Err("no usable queries after filtering".to_owned());
+    }
+    let instance = Instance::new(items, sets, similarity);
+    if no_merge {
+        return Ok(instance);
+    }
+    // Reuse the preprocessing pipeline's merge by round-tripping through it
+    // with cleaning disabled (empty existing tree, no frequency floor).
+    let synthetic_log = QueryLog {
+        queries: instance
+            .sets
+            .iter()
+            .map(|s| oct_datagen::queries::RawQuery {
+                predicates: Vec::new(),
+                text: s.label.clone().unwrap_or_default(),
+                daily_frequency: s.weight,
+                results: s.items.iter().map(|i| (i, 1.0)).collect(),
+            })
+            .collect(),
+    };
+    let (merged, _) = preprocess::build_instance(
+        items,
+        &synthetic_log,
+        &CategoryTree::new(),
+        similarity,
+        &preprocess::PreprocessConfig {
+            min_daily_frequency: 0.0,
+            max_branches: usize::MAX,
+            merge_similar: true,
+            uniform_weights: false,
+        },
+    );
+    Ok(merged)
+}
+
+fn build(
+    log_path: &str,
+    items: u32,
+    similarity: Similarity,
+    out: Option<&str>,
+    no_merge: bool,
+    min_frequency: f64,
+    labels: bool,
+) -> Result<(), String> {
+    let log = read_log(log_path)?;
+    let instance = instance_from_log(&log, items, similarity, no_merge, min_frequency)?;
+    out!(
+        "building: {} input sets over {} items ({} {:.2})",
+        instance.num_sets(),
+        items,
+        instance.similarity.kind.name(),
+        instance.similarity.delta
+    );
+    let mut result = ctcr::run(&instance, &CtcrConfig::default());
+    result
+        .tree
+        .validate(&instance)
+        .map_err(|e| format!("internal error — invalid tree: {e}"))?;
+    if labels {
+        labeling::apply_labels(&instance, &mut result.tree);
+    }
+    let nav = navigation::stats(&result.tree);
+    out!(
+        "score {:.3} normalized | {}/{} sets covered | {} categories, depth {} | conflicts: {}+{} | MIS optimal: {}",
+        result.score.normalized,
+        result.score.covered_count(),
+        instance.num_sets(),
+        nav.categories,
+        nav.max_depth,
+        result.stats.conflicts2,
+        result.stats.conflicts3,
+        result.stats.mis_optimal,
+    );
+    if let Some(path) = out {
+        let encoded = persist::encode_tree(&result.tree);
+        fs::write(path, &encoded).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out!("wrote {} bytes to {path}", encoded.len());
+    }
+    Ok(())
+}
+
+fn score(tree_path: &str, log_path: &str, items: u32, similarity: Similarity) -> Result<(), String> {
+    let tree = read_tree(tree_path)?;
+    let log = read_log(log_path)?;
+    let instance = instance_from_log(&log, items, similarity, true, 0.0)?;
+    let score = score_tree(&instance, &tree);
+    out!(
+        "score {:.3} normalized | {}/{} sets covered | total {:.1} of weight {:.1}",
+        score.normalized,
+        score.covered_count(),
+        instance.num_sets(),
+        score.total,
+        instance.total_weight(),
+    );
+    // Worst-served heavy sets, for triage.
+    let mut missed: Vec<(f64, usize)> = score
+        .per_set
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.covered)
+        .map(|(i, _)| (instance.sets[i].weight, i))
+        .collect();
+    missed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    if !missed.is_empty() {
+        out!("heaviest uncovered queries:");
+        for (w, i) in missed.into_iter().take(5) {
+            out!(
+                "  {w:>10.1}/day  {}",
+                instance.sets[i].label.as_deref().unwrap_or("?")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn inspect(tree_path: &str, max_depth: usize) -> Result<(), String> {
+    let tree = read_tree(tree_path)?;
+    let full = tree.materialize();
+    let nav = navigation::stats(&tree);
+    out!(
+        "{} categories | {} leaves | max depth {} | max fan-out {}",
+        nav.categories, nav.leaves, nav.max_depth, nav.max_fanout
+    );
+    fn walk(
+        tree: &CategoryTree,
+        full: &[ItemSet],
+        cat: u32,
+        depth: usize,
+        max_depth: usize,
+    ) {
+        if depth > max_depth {
+            return;
+        }
+        out!(
+            "{}{} ({} items)",
+            "  ".repeat(depth),
+            tree.label(cat).unwrap_or("·"),
+            full[cat as usize].len()
+        );
+        let mut children = tree.children(cat).to_vec();
+        children.sort_by_key(|&c| std::cmp::Reverse(full[c as usize].len()));
+        for child in children {
+            walk(tree, full, child, depth + 1, max_depth);
+        }
+    }
+    walk(&tree, &full, ROOT, 0, max_depth);
+    Ok(())
+}
+
+fn export(dataset: &str, scale: f64, out: Option<&str>) -> Result<(), String> {
+    let name = match dataset.to_ascii_uppercase().as_str() {
+        "A" => DatasetName::A,
+        "B" => DatasetName::B,
+        "C" => DatasetName::C,
+        "D" => DatasetName::D,
+        "E" => DatasetName::E,
+        other => return Err(format!("unknown dataset {other:?} (expected A–E)")),
+    };
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".to_owned());
+    }
+    let ds = generate(name, scale, Similarity::jaccard_threshold(0.8));
+    let text = loader::write_query_log(&ds.log);
+    match out {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            out!(
+                "wrote {} queries over {} items to {path} (use --items {})",
+                ds.log.queries.len(),
+                ds.catalog.len(),
+                ds.catalog.len()
+            );
+        }
+        None => out!("{}", text.trim_end()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> QueryLog {
+        loader::parse_query_log(
+            "black shirt\t100\t0:0.95,1:0.9,2:0.92\nnike shirt\t50\t2:0.95,3:0.9,4:0.99\n",
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn instance_from_log_basics() {
+        let instance =
+            instance_from_log(&sample_log(), 5, Similarity::jaccard_threshold(0.8), true, 0.0)
+                .expect("builds");
+        assert_eq!(instance.num_sets(), 2);
+        assert_eq!(instance.sets[0].weight, 100.0);
+        assert_eq!(instance.sets[0].label.as_deref(), Some("black shirt"));
+    }
+
+    #[test]
+    fn rejects_out_of_universe_items() {
+        let err = instance_from_log(&sample_log(), 3, Similarity::jaccard_threshold(0.8), true, 0.0)
+            .unwrap_err();
+        assert!(err.contains("--items"), "{err}");
+    }
+
+    #[test]
+    fn relevance_cutoff_applies_by_variant() {
+        // Perfect-recall uses the stricter 0.9 cutoff: item 1 at 0.9 stays,
+        // anything lower would drop.
+        let log = loader::parse_query_log("q\t10\t0:0.95,1:0.85,2:0.92\n").expect("valid");
+        let jac = instance_from_log(&log, 3, Similarity::jaccard_threshold(0.8), true, 0.0)
+            .expect("builds");
+        assert_eq!(jac.sets[0].items.len(), 3);
+        let pr = instance_from_log(&log, 3, Similarity::perfect_recall(0.8), true, 0.0)
+            .expect("builds");
+        assert_eq!(pr.sets[0].items.len(), 2, "0.85 falls below the 0.9 cutoff");
+    }
+
+    #[test]
+    fn min_frequency_filters() {
+        let instance =
+            instance_from_log(&sample_log(), 5, Similarity::jaccard_threshold(0.8), true, 60.0)
+                .expect("builds");
+        assert_eq!(instance.num_sets(), 1);
+    }
+
+    #[test]
+    fn end_to_end_build_and_score_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("octree-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir");
+        let log_path = dir.join("q.tsv");
+        let tree_path = dir.join("t.oct");
+        let ds = generate(DatasetName::A, 0.01, Similarity::jaccard_threshold(0.8));
+        fs::write(&log_path, loader::write_query_log(&ds.log)).expect("write log");
+        build(
+            log_path.to_str().expect("utf8"),
+            ds.catalog.len() as u32,
+            Similarity::jaccard_threshold(0.8),
+            Some(tree_path.to_str().expect("utf8")),
+            false,
+            0.0,
+            true,
+        )
+        .expect("build succeeds");
+        score(
+            tree_path.to_str().expect("utf8"),
+            log_path.to_str().expect("utf8"),
+            ds.catalog.len() as u32,
+            Similarity::jaccard_threshold(0.8),
+        )
+        .expect("score succeeds");
+        inspect(tree_path.to_str().expect("utf8"), 2).expect("inspect succeeds");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merging_path_runs() {
+        let log = loader::parse_query_log(
+            "a\t10\t0:0.95,1:0.9,2:0.92\na alt\t5\t0:0.95,1:0.9,2:0.92\n",
+        )
+        .expect("valid");
+        let merged = instance_from_log(&log, 3, Similarity::jaccard_threshold(0.8), false, 0.0)
+            .expect("builds");
+        assert_eq!(merged.num_sets(), 1, "identical result sets merge");
+        assert!((merged.total_weight() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! `octree` — build, score, and inspect category trees from query logs.
+//!
+//! ```text
+//! octree build   --log queries.tsv --items 50000 [--variant threshold-jaccard]
+//!                [--delta 0.8] [--out tree.oct] [--no-merge]
+//! octree score   --tree tree.oct --log queries.tsv --items 50000
+//!                [--variant threshold-jaccard] [--delta 0.8]
+//! octree inspect --tree tree.oct [--depth 3]
+//! octree export  --dataset A --scale 0.05 --out queries.tsv
+//! octree dot     --tree tree.oct --out tree.dot
+//! octree diff    --tree new.oct --against old.oct --items 50000
+//! ```
+//!
+//! The log format is the TSV of `oct_datagen::loader`:
+//! `query\tdaily_frequency\titem:relevance,...`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv).and_then(commands::run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

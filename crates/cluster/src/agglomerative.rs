@@ -1,0 +1,226 @@
+//! Nearest-neighbor-chain agglomerative clustering.
+//!
+//! Implements the `O(n²)` NN-chain algorithm with Lance–Williams distance
+//! updates. All four provided linkages (single, complete, average/UPGMA,
+//! Ward) are *reducible*, so NN-chain produces exactly the merges of the
+//! naive `O(n³)` algorithm. The paper's CCT uses average linkage ("the
+//! distance of two subsets is the average of all the pairwise distances");
+//! the others support the ablation of that choice.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::matrix::CondensedMatrix;
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters.
+    Single,
+    /// Maximum pairwise distance between clusters.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA) — the paper's choice.
+    Average,
+    /// Ward's minimum-variance criterion (on squared Euclidean distances).
+    Ward,
+}
+
+/// Runs agglomerative clustering over the distance matrix, consuming it as
+/// working storage. Returns a full dendrogram with `n − 1` merges.
+pub fn cluster(mut dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    let n = dist.len();
+    if n == 0 {
+        return Dendrogram::new(0, Vec::new());
+    }
+    if linkage == Linkage::Ward {
+        // Lance–Williams for Ward operates on squared distances.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist.get(i, j);
+                dist.set(i, j, d * d);
+            }
+        }
+    }
+
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<u32> = vec![1; n];
+    // Dendrogram node id currently stored at each matrix slot.
+    let mut node_of_slot: Vec<u32> = (0..n as u32).collect();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    for _ in 0..n - 1 {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("an active cluster remains");
+            chain.push(start);
+        }
+        // Grow the chain until a reciprocal nearest-neighbor pair appears.
+        loop {
+            let top = *chain.last().expect("chain non-empty");
+            let mut nearest = usize::MAX;
+            let mut nearest_d = f32::INFINITY;
+            // Prefer the previous chain element on ties for reciprocity.
+            let prev = chain.len().checked_sub(2).map(|i| chain[i]);
+            for (k, &is_active) in active.iter().enumerate() {
+                if !is_active || k == top {
+                    continue;
+                }
+                let d = dist.get(top, k);
+                if d < nearest_d || (d == nearest_d && Some(k) == prev) {
+                    nearest_d = d;
+                    nearest = k;
+                }
+            }
+            if Some(nearest) == prev {
+                // Reciprocal pair (top, nearest): merge them.
+                chain.pop();
+                chain.pop();
+                let (a, b) = (nearest.min(top), nearest.max(top));
+                let merged_size = size[a] + size[b];
+                let reported = if linkage == Linkage::Ward {
+                    nearest_d.max(0.0).sqrt()
+                } else {
+                    nearest_d
+                };
+                merges.push(Merge {
+                    a: node_of_slot[a],
+                    b: node_of_slot[b],
+                    distance: reported,
+                    size: merged_size,
+                });
+                // Lance–Williams update into slot `a`.
+                for k in 0..n {
+                    if !active[k] || k == a || k == b {
+                        continue;
+                    }
+                    let dak = dist.get(a, k);
+                    let dbk = dist.get(b, k);
+                    let updated = match linkage {
+                        Linkage::Single => dak.min(dbk),
+                        Linkage::Complete => dak.max(dbk),
+                        Linkage::Average => {
+                            let (na, nb) = (size[a] as f32, size[b] as f32);
+                            (na * dak + nb * dbk) / (na + nb)
+                        }
+                        Linkage::Ward => {
+                            let (na, nb, nk) =
+                                (size[a] as f32, size[b] as f32, size[k] as f32);
+                            let dab = dist.get(a, b);
+                            ((na + nk) * dak + (nb + nk) * dbk - nk * dab)
+                                / (na + nb + nk)
+                        }
+                    };
+                    dist.set(a, k, updated);
+                }
+                active[b] = false;
+                size[a] = merged_size;
+                node_of_slot[a] = (dist.len() + merges.len() - 1) as u32;
+                break;
+            }
+            chain.push(nearest);
+        }
+        // Drop chain entries invalidated by the merge.
+        while chain
+            .last()
+            .is_some_and(|&c| !active[c])
+        {
+            chain.pop();
+        }
+        // A merge may also invalidate interior entries; conservatively reset
+        // if any dead cluster remains in the chain.
+        if chain.iter().any(|&c| !active[c]) {
+            chain.clear();
+        }
+    }
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points_1d(xs: &[f32]) -> CondensedMatrix {
+        let rows: Vec<Vec<f32>> = xs.iter().map(|&x| vec![x]).collect();
+        CondensedMatrix::euclidean_dense(&rows)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = cluster(CondensedMatrix::zeros(0), Linkage::Average);
+        assert_eq!(d.num_leaves(), 0);
+        let d = cluster(CondensedMatrix::zeros(1), Linkage::Average);
+        assert_eq!(d.num_leaves(), 1);
+        assert!(d.merges().is_empty());
+        assert_eq!(d.roots(), vec![0]);
+    }
+
+    #[test]
+    fn two_points() {
+        let d = cluster(points_1d(&[0.0, 3.0]), Linkage::Single);
+        assert_eq!(d.merges().len(), 1);
+        assert_eq!(d.merges()[0].distance, 3.0);
+    }
+
+    #[test]
+    fn obvious_pairs_merge_first() {
+        // Points at 0, 0.1, 10, 10.1 — the tight pairs merge before the gap.
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let d = cluster(points_1d(&[0.0, 0.1, 10.0, 10.1]), linkage);
+            assert_eq!(d.merges().len(), 3);
+            let first_two: Vec<(u32, u32)> = d
+                .merges()
+                .iter()
+                .take(2)
+                .map(|m| (m.a.min(m.b), m.a.max(m.b)))
+                .collect();
+            assert!(first_two.contains(&(0, 1)), "{linkage:?}: {first_two:?}");
+            assert!(first_two.contains(&(2, 3)), "{linkage:?}: {first_two:?}");
+            assert_eq!(d.roots().len(), 1);
+        }
+    }
+
+    #[test]
+    fn average_linkage_distance_matches_upgma() {
+        // Clusters {0,1} at 0 and 1; point 2 at 10.
+        // UPGMA distance from {0,1} to {2} = (10 + 9) / 2 = 9.5.
+        let d = cluster(points_1d(&[0.0, 1.0, 10.0]), Linkage::Average);
+        assert_eq!(d.merges().len(), 2);
+        assert!((d.merges()[1].distance - 9.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        // Equally spaced points: single linkage merges at distance 1 always.
+        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0]), Linkage::Single);
+        assert!(d.merges().iter().all(|m| (m.distance - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn cut_recovers_planted_clusters() {
+        let mut xs = Vec::new();
+        for c in 0..3 {
+            for i in 0..5 {
+                xs.push(c as f32 * 100.0 + i as f32);
+            }
+        }
+        let d = cluster(points_1d(&xs), Linkage::Average);
+        let labels = d.cut(3);
+        for c in 0..3 {
+            let base = labels[c * 5];
+            assert!((0..5).all(|i| labels[c * 5 + i] == base));
+        }
+    }
+
+    #[test]
+    fn merge_sizes_accumulate() {
+        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0, 4.0]), Linkage::Ward);
+        let last = d.merges().last().expect("full dendrogram");
+        assert_eq!(last.size, 5);
+    }
+}

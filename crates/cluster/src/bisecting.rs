@@ -1,0 +1,258 @@
+//! Top-down bisecting k-means.
+//!
+//! The IC-S / IC-Q baselines cluster *items* directly; at catalog scale
+//! (10⁵–10⁶ items) an `O(n²)` distance matrix is infeasible, so large inputs
+//! are clustered top-down: recursively split the points with seeded 2-means
+//! until clusters are small, producing a binary hierarchy compatible with
+//! [`crate::Dendrogram`] consumers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of the bisecting hierarchy.
+#[derive(Debug, Clone)]
+pub enum BisectNode {
+    /// A leaf cluster holding point indices.
+    Leaf(Vec<u32>),
+    /// An internal split.
+    Split(Box<BisectNode>, Box<BisectNode>),
+}
+
+impl BisectNode {
+    /// All point indices under this node, ascending.
+    pub fn points(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<u32>) {
+        match self {
+            BisectNode::Leaf(pts) => out.extend_from_slice(pts),
+            BisectNode::Split(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the hierarchy.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            BisectNode::Leaf(_) => 1,
+            BisectNode::Split(a, b) => 1 + a.num_nodes() + b.num_nodes(),
+        }
+    }
+}
+
+/// Configuration for [`bisect`].
+#[derive(Debug, Clone, Copy)]
+pub struct BisectConfig {
+    /// Clusters of at most this many points are not split further.
+    pub min_cluster: usize,
+    /// Maximum recursion depth.
+    pub max_depth: usize,
+    /// 2-means refinement iterations per split.
+    pub kmeans_iters: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for BisectConfig {
+    fn default() -> Self {
+        Self {
+            min_cluster: 8,
+            max_depth: 24,
+            kmeans_iters: 12,
+            seed: 0xB15EC7,
+        }
+    }
+}
+
+/// Recursively bisects `points` (dense row vectors) into a binary hierarchy.
+pub fn bisect(rows: &[Vec<f32>], config: &BisectConfig) -> BisectNode {
+    let all: Vec<u32> = (0..rows.len() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    bisect_rec(rows, all, config, 0, &mut rng)
+}
+
+fn bisect_rec(
+    rows: &[Vec<f32>],
+    points: Vec<u32>,
+    config: &BisectConfig,
+    depth: usize,
+    rng: &mut StdRng,
+) -> BisectNode {
+    if points.len() <= config.min_cluster.max(1) || depth >= config.max_depth {
+        return BisectNode::Leaf(points);
+    }
+    match two_means(rows, &points, config.kmeans_iters, rng) {
+        None => BisectNode::Leaf(points),
+        Some((left, right)) => BisectNode::Split(
+            Box::new(bisect_rec(rows, left, config, depth + 1, rng)),
+            Box::new(bisect_rec(rows, right, config, depth + 1, rng)),
+        ),
+    }
+}
+
+/// One 2-means split; `None` if the points cannot be separated (e.g. all
+/// identical).
+fn two_means(
+    rows: &[Vec<f32>],
+    points: &[u32],
+    iters: usize,
+    rng: &mut StdRng,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let dim = rows.first().map_or(0, Vec::len);
+    if points.len() < 2 || dim == 0 {
+        return None;
+    }
+    // k-means++-style seeding: a random point and the point farthest from it.
+    let c0_idx = points[rng.gen_range(0..points.len())] as usize;
+    let mut c0 = rows[c0_idx].clone();
+    let far = points
+        .iter()
+        .max_by(|&&a, &&b| {
+            sq_dist(&rows[a as usize], &c0).total_cmp(&sq_dist(&rows[b as usize], &c0))
+        })
+        .copied()?;
+    if sq_dist(&rows[far as usize], &c0) == 0.0 {
+        return None; // all points identical
+    }
+    let mut c1 = rows[far as usize].clone();
+
+    let mut assignment = vec![false; points.len()]; // false → c0, true → c1
+    for _ in 0..iters {
+        let mut changed = false;
+        for (slot, &p) in points.iter().enumerate() {
+            let row = &rows[p as usize];
+            let to_c1 = sq_dist(row, &c1) < sq_dist(row, &c0);
+            if assignment[slot] != to_c1 {
+                assignment[slot] = to_c1;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = [vec![0.0f64; dim], vec![0.0f64; dim]];
+        let mut counts = [0usize; 2];
+        for (slot, &p) in points.iter().enumerate() {
+            let side = assignment[slot] as usize;
+            counts[side] += 1;
+            for (acc, &v) in sums[side].iter_mut().zip(&rows[p as usize]) {
+                *acc += v as f64;
+            }
+        }
+        if counts[0] == 0 || counts[1] == 0 {
+            break;
+        }
+        for d in 0..dim {
+            c0[d] = (sums[0][d] / counts[0] as f64) as f32;
+            c1[d] = (sums[1][d] / counts[1] as f64) as f32;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for (slot, &p) in points.iter().enumerate() {
+        if assignment[slot] {
+            right.push(p);
+        } else {
+            left.push(p);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        None
+    } else {
+        Some((left, right))
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f32, count: usize) -> Vec<Vec<f32>> {
+        (0..count)
+            .map(|i| vec![center + (i as f32) * 0.01, center])
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rows = blob(0.0, 10);
+        rows.extend(blob(100.0, 10));
+        let cfg = BisectConfig {
+            min_cluster: 10,
+            ..Default::default()
+        };
+        let tree = bisect(&rows, &cfg);
+        match tree {
+            BisectNode::Split(a, b) => {
+                let (pa, pb) = (a.points(), b.points());
+                let low: Vec<u32> = (0..10).collect();
+                let high: Vec<u32> = (10..20).collect();
+                assert!(
+                    (pa == low && pb == high) || (pa == high && pb == low),
+                    "split should recover the blobs: {pa:?} | {pb:?}"
+                );
+            }
+            BisectNode::Leaf(_) => panic!("expected a split"),
+        }
+    }
+
+    #[test]
+    fn identical_points_stay_one_leaf() {
+        let rows = vec![vec![1.0, 2.0]; 50];
+        let tree = bisect(&rows, &BisectConfig::default());
+        assert!(matches!(tree, BisectNode::Leaf(_)));
+        assert_eq!(tree.points().len(), 50);
+    }
+
+    #[test]
+    fn all_points_preserved() {
+        let rows: Vec<Vec<f32>> = (0..137)
+            .map(|i| vec![(i % 13) as f32, (i % 7) as f32])
+            .collect();
+        let tree = bisect(&rows, &BisectConfig::default());
+        assert_eq!(tree.points(), (0..137).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let cfg = BisectConfig {
+            min_cluster: 1,
+            max_depth: 2,
+            ..Default::default()
+        };
+        let tree = bisect(&rows, &cfg);
+        fn depth(n: &BisectNode) -> usize {
+            match n {
+                BisectNode::Leaf(_) => 0,
+                BisectNode::Split(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        assert!(depth(&tree) <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tree = bisect(&[], &BisectConfig::default());
+        assert!(tree.points().is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i * 7 % 23) as f32]).collect();
+        let a = format!("{:?}", bisect(&rows, &BisectConfig::default()));
+        let b = format!("{:?}", bisect(&rows, &BisectConfig::default()));
+        assert_eq!(a, b);
+    }
+}

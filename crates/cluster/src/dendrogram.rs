@@ -1,0 +1,279 @@
+//! Dendrograms: the merge trees produced by agglomerative clustering.
+
+/// A single agglomeration step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (leaf ids are `0..n`, merge `i` creates `n + i`).
+    pub a: u32,
+    /// Second merged cluster.
+    pub b: u32,
+    /// Linkage distance at which the merge happened.
+    pub distance: f32,
+    /// Number of leaves under the merged cluster.
+    pub size: u32,
+}
+
+/// The result of agglomerative clustering over `n` points: a binary forest
+/// encoded as a merge sequence (a full dendrogram has `n − 1` merges).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    num_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Creates a dendrogram from a merge sequence.
+    ///
+    /// # Panics
+    /// Panics if a merge references an id that does not exist yet or reuses
+    /// a cluster already consumed by an earlier merge.
+    pub fn new(num_leaves: usize, merges: Vec<Merge>) -> Self {
+        let mut consumed = vec![false; num_leaves + merges.len()];
+        for (step, m) in merges.iter().enumerate() {
+            let created = num_leaves + step;
+            for id in [m.a, m.b] {
+                assert!(
+                    (id as usize) < created,
+                    "merge {step} references not-yet-created cluster {id}"
+                );
+                assert!(
+                    !consumed[id as usize],
+                    "merge {step} reuses consumed cluster {id}"
+                );
+                consumed[id as usize] = true;
+            }
+        }
+        Self { num_leaves, merges }
+    }
+
+    /// Number of leaf points.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The merge sequence, in agglomeration order.
+    #[inline]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Total number of nodes (leaves plus internal merge nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_leaves + self.merges.len()
+    }
+
+    /// Children of node `id`: `None` for leaves, `Some((a, b))` for merges.
+    pub fn children(&self, id: u32) -> Option<(u32, u32)> {
+        let idx = (id as usize).checked_sub(self.num_leaves)?;
+        self.merges.get(idx).map(|m| (m.a, m.b))
+    }
+
+    /// Ids of root nodes (clusters never consumed by a later merge). A full
+    /// dendrogram has exactly one root.
+    pub fn roots(&self) -> Vec<u32> {
+        let mut consumed = vec![false; self.num_nodes()];
+        for m in &self.merges {
+            consumed[m.a as usize] = true;
+            consumed[m.b as usize] = true;
+        }
+        (0..self.num_nodes() as u32)
+            .filter(|&id| !consumed[id as usize])
+            .collect()
+    }
+
+    /// The leaves under node `id`, ascending.
+    pub fn leaves_under(&self, id: u32) -> Vec<u32> {
+        let mut leaves = Vec::new();
+        let mut stack = vec![id];
+        while let Some(node) = stack.pop() {
+            match self.children(node) {
+                None => leaves.push(node),
+                Some((a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// Cuts the dendrogram at a linkage-distance threshold: merges with
+    /// `distance > threshold` are undone, yielding one cluster per
+    /// connected group of cheaper merges. Returns leaf → cluster labels.
+    pub fn cut_by_distance(&self, threshold: f32) -> Vec<u32> {
+        let keep = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        // Merges are non-decreasing in distance for reducible linkages, so
+        // the prefix is exactly the set of cheap merges; fall back to a
+        // filter when the input violates monotonicity.
+        let monotone = self
+            .merges
+            .windows(2)
+            .all(|w| w[0].distance <= w[1].distance + f32::EPSILON);
+        if monotone {
+            self.cut((self.num_leaves - keep).max(1))
+        } else {
+            // Union-find over all merges at or below the threshold.
+            let mut parent: Vec<u32> = (0..self.num_nodes() as u32).collect();
+            fn find(parent: &mut [u32], x: u32) -> u32 {
+                let mut root = x;
+                while parent[root as usize] != root {
+                    root = parent[root as usize];
+                }
+                root
+            }
+            for (step, m) in self.merges.iter().enumerate() {
+                if m.distance <= threshold {
+                    let node = (self.num_leaves + step) as u32;
+                    let (ra, rb) = (find(&mut parent, m.a), find(&mut parent, m.b));
+                    parent[ra as usize] = node;
+                    parent[rb as usize] = node;
+                }
+            }
+            let mut label_of_root = std::collections::HashMap::new();
+            (0..self.num_leaves as u32)
+                .map(|leaf| {
+                    let root = find(&mut parent, leaf);
+                    let next = label_of_root.len() as u32;
+                    *label_of_root.entry(root).or_insert(next)
+                })
+                .collect()
+        }
+    }
+
+    /// Cuts the dendrogram into exactly `k` clusters (undoing the last
+    /// `k − 1` merges of a full dendrogram) and returns a leaf → cluster
+    /// label assignment with labels in `0..k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds the number of leaves.
+    pub fn cut(&self, k: usize) -> Vec<u32> {
+        assert!(k >= 1 && k <= self.num_leaves.max(1), "invalid cut size {k}");
+        let keep_merges = self.num_leaves.saturating_sub(k).min(self.merges.len());
+        // Union-find over the first `keep_merges` merges.
+        let mut parent: Vec<u32> = (0..self.num_nodes() as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for (step, m) in self.merges.iter().take(keep_merges).enumerate() {
+            let node = (self.num_leaves + step) as u32;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra as usize] = node;
+            parent[rb as usize] = node;
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.num_leaves);
+        for leaf in 0..self.num_leaves as u32 {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len() as u32;
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dendrogram {
+        // 4 leaves: merge (0,1)->4, (2,3)->5, (4,5)->6.
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
+                Merge { a: 2, b: 3, distance: 2.0, size: 2 },
+                Merge { a: 4, b: 5, distance: 3.0, size: 4 },
+            ],
+        )
+    }
+
+    #[test]
+    fn children_and_roots() {
+        let d = sample();
+        assert_eq!(d.children(0), None);
+        assert_eq!(d.children(4), Some((0, 1)));
+        assert_eq!(d.roots(), vec![6]);
+        assert_eq!(d.num_nodes(), 7);
+    }
+
+    #[test]
+    fn leaves_under_internal_nodes() {
+        let d = sample();
+        assert_eq!(d.leaves_under(4), vec![0, 1]);
+        assert_eq!(d.leaves_under(6), vec![0, 1, 2, 3]);
+        assert_eq!(d.leaves_under(2), vec![2]);
+    }
+
+    #[test]
+    fn cut_into_clusters() {
+        let d = sample();
+        let two = d.cut(2);
+        assert_eq!(two[0], two[1]);
+        assert_eq!(two[2], two[3]);
+        assert_ne!(two[0], two[2]);
+        let one = d.cut(1);
+        assert!(one.iter().all(|&l| l == one[0]));
+        let four = d.cut(4);
+        let mut sorted = four.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn cut_by_distance_matches_cut() {
+        let d = sample();
+        // Threshold between the second (2.0) and third (3.0) merges: two
+        // clusters remain.
+        let by_dist = d.cut_by_distance(2.5);
+        let by_k = d.cut(2);
+        assert_eq!(by_dist, by_k);
+        // Threshold below everything: all singletons.
+        let mut singles = d.cut_by_distance(0.5);
+        singles.sort_unstable();
+        singles.dedup();
+        assert_eq!(singles.len(), 4);
+        // Threshold above everything: one cluster.
+        assert!(d.cut_by_distance(10.0).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reuses consumed cluster")]
+    fn rejects_reused_cluster() {
+        let _ = Dendrogram::new(
+            3,
+            vec![
+                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
+                Merge { a: 0, b: 2, distance: 1.0, size: 2 },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-created")]
+    fn rejects_forward_reference() {
+        let _ = Dendrogram::new(
+            3,
+            vec![Merge { a: 0, b: 4, distance: 1.0, size: 2 }],
+        );
+    }
+}

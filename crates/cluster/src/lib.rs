@@ -1,0 +1,23 @@
+//! Hierarchical clustering substrate for the OCT algorithms.
+//!
+//! The CCT algorithm of the paper derives a category-tree *structure* by
+//! agglomerative clustering of input-set embeddings; the IC-S / IC-Q
+//! baselines cluster item embeddings directly. This crate provides the
+//! clustering machinery:
+//!
+//! * [`matrix::CondensedMatrix`] — an `n·(n−1)/2` pairwise-distance matrix
+//!   with builders for dense and sparse vectors;
+//! * [`agglomerative`] — nearest-neighbor-chain agglomerative clustering with
+//!   Lance–Williams updates (single / complete / average / Ward linkage);
+//! * [`dendrogram::Dendrogram`] — the merge tree produced by clustering;
+//! * [`bisecting`] — top-down bisecting k-means used for large item-level
+//!   clustering where an `O(n²)` matrix is infeasible.
+
+pub mod agglomerative;
+pub mod bisecting;
+pub mod dendrogram;
+pub mod matrix;
+
+pub use agglomerative::{cluster, Linkage};
+pub use dendrogram::{Dendrogram, Merge};
+pub use matrix::CondensedMatrix;

@@ -1,0 +1,184 @@
+//! Condensed pairwise-distance matrices.
+
+/// A symmetric zero-diagonal distance matrix over `n` points stored in
+/// condensed form (`n·(n−1)/2` entries, `f32`).
+#[derive(Debug, Clone)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl CondensedMatrix {
+    /// Creates a matrix of zeros over `n` points.
+    pub fn zeros(n: usize) -> Self {
+        let entries = n * n.saturating_sub(1) / 2;
+        Self {
+            n,
+            data: vec![0.0; entries],
+        }
+    }
+
+    /// Builds the Euclidean distance matrix of dense row vectors.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent dimensions.
+    pub fn euclidean_dense(rows: &[Vec<f32>]) -> Self {
+        let n = rows.len();
+        if n > 1 {
+            let d = rows[0].len();
+            assert!(
+                rows.iter().all(|r| r.len() == d),
+                "all rows must share a dimension"
+            );
+        }
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist: f32 = rows[i]
+                    .iter()
+                    .zip(&rows[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                m.set(i, j, dist);
+            }
+        }
+        m
+    }
+
+    /// Builds the Euclidean distance matrix of sparse row vectors given as
+    /// sorted `(coordinate, value)` pairs.
+    ///
+    /// Exploits sparsity: `d(a,b)² = ‖a‖² + ‖b‖² − 2⟨a,b⟩`, with dot products
+    /// computed through an inverted index over non-zero coordinates, so fully
+    /// disjoint supports never touch each other beyond the norm term.
+    pub fn euclidean_sparse(rows: &[Vec<(u32, f32)>]) -> Self {
+        let n = rows.len();
+        let norms: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().map(|&(_, v)| (v as f64) * (v as f64)).sum())
+            .collect();
+        // Inverted index: coordinate -> [(row, value)].
+        let mut index: std::collections::HashMap<u32, Vec<(u32, f32)>> =
+            std::collections::HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            for &(c, v) in row {
+                index.entry(c).or_default().push((i as u32, v));
+            }
+        }
+        let mut dots: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        for posting in index.values() {
+            for (a, &(i, vi)) in posting.iter().enumerate() {
+                for &(j, vj) in &posting[a + 1..] {
+                    *dots.entry((i, j)).or_insert(0.0) += (vi as f64) * (vj as f64);
+                }
+            }
+        }
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dot = dots.get(&(i as u32, j as u32)).copied().unwrap_or(0.0);
+                let sq = (norms[i] + norms[j] - 2.0 * dot).max(0.0);
+                m.set(i, j, sq.sqrt() as f32);
+            }
+        }
+        m
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix covers no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Row-major condensed indexing.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance between points `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => self.data[self.index(i, j)],
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.data[self.index(j, i)],
+        }
+    }
+
+    /// Sets the distance between distinct points `i` and `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f32) {
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
+        self.data[idx] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_symmetry() {
+        let mut m = CondensedMatrix::zeros(4);
+        m.set(1, 3, 2.5);
+        assert_eq!(m.get(1, 3), 2.5);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn dense_euclidean() {
+        let rows = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let m = CondensedMatrix::euclidean_dense(&rows);
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-6);
+        assert!((m.get(0, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let dense = vec![
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0, 0.0],
+            vec![1.0, 3.0, 0.0, 5.0],
+        ];
+        let sparse: Vec<Vec<(u32, f32)>> = dense
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(c, &v)| (c as u32, v))
+                    .collect()
+            })
+            .collect();
+        let md = CondensedMatrix::euclidean_dense(&dense);
+        let ms = CondensedMatrix::euclidean_sparse(&sparse);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((md.get(i, j) - ms.get(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert!(CondensedMatrix::zeros(0).is_empty());
+        let m = CondensedMatrix::euclidean_dense(&[vec![1.0]]);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the clustering substrate, including a naive
+//! `O(n³)` reference implementation of agglomerative clustering that the
+//! NN-chain implementation must agree with.
+
+use oct_cluster::{cluster, CondensedMatrix, Dendrogram, Linkage};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (2..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, dim),
+            n,
+        )
+    })
+}
+
+/// Naive reference: repeatedly merge the closest pair, recomputing linkage
+/// distances from scratch over cluster membership each step. Returns the
+/// multiset of merge distances (merge *order* among equal distances may
+/// differ legitimately).
+fn reference_merge_distances(points: &[Vec<f32>], linkage: Linkage) -> Vec<f32> {
+    let n = points.len();
+    let dist = |a: usize, b: usize| -> f64 {
+        points[a]
+            .iter()
+            .zip(&points[b])
+            .map(|(x, y)| ((x - y) as f64) * ((x - y) as f64))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut out = Vec::new();
+    while clusters.len() > 1 {
+        let mut best = (f64::INFINITY, 0usize, 1usize);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = match linkage {
+                    Linkage::Single => clusters[i]
+                        .iter()
+                        .flat_map(|&a| clusters[j].iter().map(move |&b| dist(a, b)))
+                        .fold(f64::INFINITY, f64::min),
+                    Linkage::Complete => clusters[i]
+                        .iter()
+                        .flat_map(|&a| clusters[j].iter().map(move |&b| dist(a, b)))
+                        .fold(0.0, f64::max),
+                    Linkage::Average => {
+                        let sum: f64 = clusters[i]
+                            .iter()
+                            .flat_map(|&a| clusters[j].iter().map(move |&b| dist(a, b)))
+                            .sum();
+                        sum / (clusters[i].len() * clusters[j].len()) as f64
+                    }
+                    Linkage::Ward => unreachable!("not compared here"),
+                };
+                if d < best.0 {
+                    best = (d, i, j);
+                }
+            }
+        }
+        let (d, i, j) = best;
+        out.push(d as f32);
+        let merged = clusters.remove(j);
+        clusters[i].extend(merged);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nn_chain_matches_naive_merge_distances(points in arb_points(12, 2)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let matrix = CondensedMatrix::euclidean_dense(&points);
+            let dendro = cluster(matrix, linkage);
+            let mut ours: Vec<f32> = dendro.merges().iter().map(|m| m.distance).collect();
+            let mut reference = reference_merge_distances(&points, linkage);
+            ours.sort_by(f32::total_cmp);
+            reference.sort_by(f32::total_cmp);
+            for (a, b) in ours.iter().zip(&reference) {
+                // NN-chain merge *order* may differ on ties; the sorted
+                // distance multiset must agree for reducible linkages.
+                prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                    "{linkage:?}: {ours:?} vs {reference:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dendrogram_is_a_full_binary_tree(points in arb_points(20, 3)) {
+        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Average);
+        prop_assert_eq!(dendro.merges().len(), points.len() - 1);
+        prop_assert_eq!(dendro.roots().len(), 1);
+        let root = dendro.roots()[0];
+        let leaves = dendro.leaves_under(root);
+        prop_assert_eq!(leaves.len(), points.len());
+    }
+
+    #[test]
+    fn cut_produces_exactly_k_clusters(points in arb_points(15, 2), k in 1usize..6) {
+        let n = points.len();
+        let k = k.min(n);
+        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Ward);
+        let labels = dendro.cut(k);
+        prop_assert_eq!(labels.len(), n);
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), k);
+    }
+
+    #[test]
+    fn merge_sizes_partition_leaves(points in arb_points(18, 2)) {
+        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Complete);
+        for (step, m) in dendro.merges().iter().enumerate() {
+            let node = (points.len() + step) as u32;
+            prop_assert_eq!(dendro.leaves_under(node).len(), m.size as usize);
+        }
+    }
+
+    #[test]
+    fn bisecting_preserves_points(points in arb_points(40, 2)) {
+        let cfg = oct_cluster::bisecting::BisectConfig {
+            min_cluster: 3,
+            ..Default::default()
+        };
+        let tree = oct_cluster::bisecting::bisect(&points, &cfg);
+        let got = tree.points();
+        prop_assert_eq!(got.len(), points.len());
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[test]
+fn dendrogram_validation_is_exercised() {
+    // Plain (non-property) check that Dendrogram::new guards stay active.
+    let d = Dendrogram::new(2, vec![oct_cluster::Merge { a: 0, b: 1, distance: 1.0, size: 2 }]);
+    assert_eq!(d.roots(), vec![2]);
+}

@@ -1,0 +1,252 @@
+//! The evaluation baselines of §5.2: IC-S and IC-Q.
+//!
+//! Both cluster the *items* directly (unlike CCT, which clusters the input
+//! sets) and read the cluster hierarchy off as the category tree:
+//!
+//! * **IC-S** — items embedded from their (product-title) semantics; the
+//!   embeddings are supplied by the caller (`oct-datagen` derives them from
+//!   the synthetic catalog attributes, standing in for the paper's
+//!   domain-tuned title-embedding model);
+//! * **IC-Q** — items embedded by input-set membership: coordinate `i` of
+//!   an item's vector is 1 iff the item appears in the `i`-th input set.
+//!
+//! Small inputs use exact agglomerative clustering (as the adapted \[18\]
+//! does); larger inputs fall back to bisecting 2-means, which produces the
+//! same kind of binary hierarchy without the `O(n²)` distance matrix.
+//! The existing-tree baseline (ET) is data, not an algorithm — it is
+//! produced by the data generator.
+
+use oct_cluster::bisecting::{bisect, BisectConfig, BisectNode};
+use oct_cluster::{cluster, CondensedMatrix, Linkage};
+
+use crate::input::Instance;
+use crate::itemset::ItemId;
+use crate::score::{score_tree, TreeScore};
+use crate::tree::{CategoryTree, ROOT};
+
+/// Above this item count the baselines switch from exact agglomerative
+/// clustering to bisecting 2-means.
+pub const AGGLOMERATIVE_LIMIT: usize = 3000;
+
+/// Configuration for the item-clustering baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Item count cutoff for the exact agglomerative path.
+    pub agglomerative_limit: usize,
+    /// Bisecting k-means settings for the large path.
+    pub bisect: BisectConfig,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            agglomerative_limit: AGGLOMERATIVE_LIMIT,
+            bisect: BisectConfig::default(),
+        }
+    }
+}
+
+/// Result of an item-clustering baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The produced category tree.
+    pub tree: CategoryTree,
+    /// Its score over the instance.
+    pub score: TreeScore,
+}
+
+/// IC-S: cluster items by the supplied semantic embeddings.
+///
+/// `item_embeddings[i]` must be the dense vector of item `i`
+/// (`len == instance.num_items`).
+///
+/// # Panics
+/// Panics on an embedding-count mismatch.
+pub fn ic_s(
+    instance: &Instance,
+    item_embeddings: &[Vec<f32>],
+    config: &BaselineConfig,
+) -> BaselineResult {
+    assert_eq!(
+        item_embeddings.len(),
+        instance.num_items as usize,
+        "one embedding per universe item required"
+    );
+    let tree = tree_from_vectors(item_embeddings, config);
+    let score = score_tree(instance, &tree);
+    BaselineResult { tree, score }
+}
+
+/// IC-Q: cluster items by input-set membership vectors.
+pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
+    let index = instance.inverted_index();
+    let n = instance.num_items as usize;
+    let tree = if n <= config.agglomerative_limit {
+        // Exact path on sparse membership vectors.
+        let rows: Vec<Vec<(u32, f32)>> = index
+            .iter()
+            .map(|sets| sets.iter().map(|&s| (s, 1.0)).collect())
+            .collect();
+        tree_from_dendrogram(n, CondensedMatrix::euclidean_sparse(&rows))
+    } else {
+        // Large path: hash memberships into a fixed-width dense vector.
+        const DIM: usize = 64;
+        let rows: Vec<Vec<f32>> = index
+            .iter()
+            .map(|sets| {
+                let mut v = vec![0.0f32; DIM];
+                for &s in sets {
+                    let h = (s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    v[(h % DIM as u64) as usize] += 1.0;
+                }
+                v
+            })
+            .collect();
+        tree_from_bisect(&rows, &config.bisect)
+    };
+    let score = score_tree(instance, &tree);
+    BaselineResult { tree, score }
+}
+
+fn tree_from_vectors(rows: &[Vec<f32>], config: &BaselineConfig) -> CategoryTree {
+    if rows.len() <= config.agglomerative_limit {
+        tree_from_dendrogram(rows.len(), CondensedMatrix::euclidean_dense(rows))
+    } else {
+        tree_from_bisect(rows, &config.bisect)
+    }
+}
+
+fn tree_from_dendrogram(num_items: usize, matrix: CondensedMatrix) -> CategoryTree {
+    let dendrogram = cluster(matrix, Linkage::Average);
+    let mut tree = CategoryTree::new();
+    let mut stack: Vec<(u32, u32)> = dendrogram
+        .roots()
+        .into_iter()
+        .map(|r| (r, ROOT))
+        .collect();
+    while let Some((node, parent)) = stack.pop() {
+        match dendrogram.children(node) {
+            Some((a, b)) => {
+                let cat = tree.add_category(parent);
+                stack.push((a, cat));
+                stack.push((b, cat));
+            }
+            None => {
+                // Leaves are single items: fold them into the parent as
+                // direct items rather than one category per item.
+                debug_assert!((node as usize) < num_items);
+                tree.assign_item(parent, node as ItemId);
+            }
+        }
+    }
+    tree
+}
+
+fn tree_from_bisect(rows: &[Vec<f32>], config: &BisectConfig) -> CategoryTree {
+    let hierarchy = bisect(rows, config);
+    let mut tree = CategoryTree::new();
+    build_bisect(&hierarchy, ROOT, &mut tree);
+    tree
+}
+
+fn build_bisect(node: &BisectNode, parent: u32, tree: &mut CategoryTree) {
+    match node {
+        BisectNode::Leaf(points) => {
+            let cat = tree.add_category(parent);
+            tree.assign_items(cat, points.iter().copied());
+        }
+        BisectNode::Split(a, b) => {
+            let cat = tree.add_category(parent);
+            build_bisect(a, cat, tree);
+            build_bisect(b, cat, tree);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    /// Six items in two obvious semantic groups; two input sets matching
+    /// the groups. The baselines should cover both.
+    fn grouped_instance() -> (Instance, Vec<Vec<f32>>) {
+        let sets = vec![
+            InputSet::new(ItemSet::new(vec![0, 1, 2]), 1.0),
+            InputSet::new(ItemSet::new(vec![3, 4, 5]), 1.0),
+        ];
+        let instance = Instance::new(6, sets, Similarity::jaccard_threshold(0.9));
+        let embeddings: Vec<Vec<f32>> = (0..6)
+            .map(|i| {
+                if i < 3 {
+                    vec![0.0 + i as f32 * 0.01, 0.0]
+                } else {
+                    vec![10.0 + i as f32 * 0.01, 10.0]
+                }
+            })
+            .collect();
+        (instance, embeddings)
+    }
+
+    #[test]
+    fn ic_s_recovers_semantic_groups() {
+        let (instance, embeddings) = grouped_instance();
+        let result = ic_s(&instance, &embeddings, &BaselineConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        assert_eq!(result.score.covered_count(), 2, "{:?}", result.score.per_set);
+    }
+
+    #[test]
+    fn ic_q_recovers_membership_groups() {
+        let (instance, _) = grouped_instance();
+        let result = ic_q(&instance, &BaselineConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        assert_eq!(result.score.covered_count(), 2, "{:?}", result.score.per_set);
+    }
+
+    #[test]
+    fn ic_s_bisecting_path_is_valid() {
+        let (instance, embeddings) = grouped_instance();
+        let config = BaselineConfig {
+            agglomerative_limit: 2, // force the bisecting path
+            bisect: oct_cluster::bisecting::BisectConfig {
+                min_cluster: 3,
+                ..Default::default()
+            },
+        };
+        let result = ic_s(&instance, &embeddings, &config);
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(result.score.covered_count() >= 1);
+    }
+
+    #[test]
+    fn ic_q_bisecting_path_is_valid() {
+        let (instance, _) = grouped_instance();
+        let config = BaselineConfig {
+            agglomerative_limit: 2,
+            ..BaselineConfig::default()
+        };
+        let result = ic_q(&instance, &config);
+        assert!(result.tree.validate(&instance).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "one embedding per universe item")]
+    fn ic_s_rejects_wrong_embedding_count() {
+        let (instance, _) = grouped_instance();
+        let _ = ic_s(&instance, &[vec![0.0]], &BaselineConfig::default());
+    }
+
+    #[test]
+    fn handles_items_in_no_set() {
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let instance = Instance::new(4, sets, Similarity::jaccard_threshold(0.5));
+        let result = ic_q(&instance, &BaselineConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        // Items 2 and 3 have zero membership vectors and cluster together
+        // away from {0,1}, so the set is still coverable.
+        assert!(result.score.covered_count() >= 1);
+    }
+}

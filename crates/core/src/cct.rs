@@ -1,0 +1,267 @@
+//! The Clustering-based Category Tree algorithm — CCT (paper §4,
+//! Algorithm 3).
+//!
+//! Instead of resolving conflicts explicitly, CCT derives the tree
+//! *structure* by agglomerative clustering of the input sets and lets the
+//! greedy item assignment resolve conflicts implicitly (once a conflicting
+//! set's cover becomes impossible, the greedy stops wasting items on it).
+//!
+//! The embedding of each set captures the *global context*: the `i`-th
+//! coordinate of `E(q)` is the similarity of `q` to the `i`-th input set —
+//! Jaccard or F1 per the variant, `(recall + precision) / 2` for
+//! Perfect-Recall. The dendrogram of a UPGMA (average-linkage) clustering
+//! over Euclidean distances becomes the tree template with one leaf
+//! category per input set; items are assigned by Algorithm 2 and the tree
+//! is condensed exactly as in CTCR.
+
+use std::time::{Duration, Instant};
+
+use oct_cluster::{cluster, CondensedMatrix, Dendrogram, Linkage};
+
+use crate::assign::{assign_items, AssignStats};
+use crate::conflict::intersecting_pairs;
+use crate::ctcr::condense;
+use crate::input::Instance;
+use crate::score::{score_tree, TreeScore};
+use crate::tree::{CategoryTree, CatId, ROOT};
+
+/// Tuning knobs for CCT.
+#[derive(Debug, Clone)]
+pub struct CctConfig {
+    /// Linkage criterion (the paper uses average; others are ablations).
+    pub linkage: Linkage,
+    /// Worker threads for the pairwise-similarity computation.
+    pub threads: usize,
+    /// Use the paper's global-context embeddings; when false, cluster on
+    /// raw pairwise dissimilarity directly (ablation).
+    pub global_embeddings: bool,
+}
+
+impl Default for CctConfig {
+    fn default() -> Self {
+        Self {
+            linkage: Linkage::Average,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            global_embeddings: true,
+        }
+    }
+}
+
+/// Diagnostics of a CCT run.
+#[derive(Debug, Clone)]
+pub struct CctStats {
+    /// Item-assignment statistics.
+    pub assign: AssignStats,
+    /// Wall-clock spent clustering.
+    pub cluster_time: Duration,
+    /// Total wall-clock.
+    pub total_time: Duration,
+}
+
+/// The result of a CCT run.
+#[derive(Debug, Clone)]
+pub struct CctResult {
+    /// The constructed category tree.
+    pub tree: CategoryTree,
+    /// Surviving `(input set, leaf category)` pairs.
+    pub targets: Vec<(u32, CatId)>,
+    /// Run diagnostics.
+    pub stats: CctStats,
+    /// Final score over the instance.
+    pub score: TreeScore,
+}
+
+/// Computes the paper's global-context embeddings as sparse vectors: the
+/// `i`-th coordinate of `E(q_j)` is `base(q_j, q_i)` (non-zero only for
+/// intersecting pairs, plus the diagonal).
+pub fn embeddings(instance: &Instance, threads: usize) -> Vec<Vec<(u32, f32)>> {
+    let n = instance.num_sets();
+    let base = instance.similarity.kind.base();
+    let mut rows: Vec<Vec<(u32, f32)>> = (0..n).map(|j| vec![(j as u32, 1.0)]).collect();
+    for p in intersecting_pairs(instance, threads) {
+        let (a, b) = (p.hi as usize, p.lo as usize);
+        let qa = instance.sets[a].items.len();
+        let qb = instance.sets[b].items.len();
+        let sim = base.eval(qa, qb, p.inter as usize) as f32;
+        if sim > 0.0 {
+            rows[a].push((b as u32, sim));
+            rows[b].push((a as u32, sim));
+        }
+    }
+    for row in &mut rows {
+        row.sort_unstable_by_key(|&(c, _)| c);
+    }
+    rows
+}
+
+/// Runs CCT over `instance`.
+pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
+    let start = Instant::now();
+    let n = instance.num_sets();
+
+    // Stage 1-2: embeddings + agglomerative clustering.
+    let t0 = Instant::now();
+    let dendrogram = if n == 0 {
+        Dendrogram::new(0, Vec::new())
+    } else if config.global_embeddings {
+        let rows = embeddings(instance, config.threads);
+        cluster(CondensedMatrix::euclidean_sparse(&rows), config.linkage)
+    } else {
+        // Ablation: dissimilarity = 1 − base similarity, directly.
+        let base = instance.similarity.kind.base();
+        let mut m = CondensedMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (qi, qj) = (&instance.sets[i].items, &instance.sets[j].items);
+                let sim = base.eval(qi.len(), qj.len(), qi.intersection_size(qj));
+                m.set(i, j, 1.0 - sim as f32);
+            }
+        }
+        cluster(m, config.linkage)
+    };
+    let cluster_time = t0.elapsed();
+
+    // Stage 3: tree template from the dendrogram. Internal dendrogram nodes
+    // become internal categories; every input set gets a leaf category.
+    let mut tree = CategoryTree::new();
+    let mut cat_of_node: Vec<CatId> = vec![ROOT; dendrogram.num_nodes().max(n)];
+    // Walk merge nodes from the root down so parents exist first.
+    let roots = dendrogram.roots();
+    let mut stack: Vec<(u32, CatId)> = roots.iter().map(|&r| (r, ROOT)).collect();
+    while let Some((node, parent)) = stack.pop() {
+        let cat = tree.add_category(parent);
+        cat_of_node[node as usize] = cat;
+        if let Some((a, b)) = dendrogram.children(node) {
+            stack.push((a, cat));
+            stack.push((b, cat));
+        } else if let Some(label) = &instance.sets[node as usize].label {
+            tree.set_label(cat, label.clone());
+        }
+    }
+    let targets: Vec<(u32, CatId)> = (0..n as u32)
+        .map(|s| (s, cat_of_node[s as usize]))
+        .collect();
+
+    // Stage 4: item assignment (Algorithm 2) over all of Q.
+    let assign_stats = assign_items(instance, &mut tree, &targets, true);
+
+    // Stage 5-6: condense; Stage 7: C_misc.
+    condense(instance, &mut tree);
+    tree.add_misc_category(instance.num_items);
+
+    let score = score_tree(instance, &tree);
+    let surviving: Vec<(u32, CatId)> = targets
+        .iter()
+        .copied()
+        .filter(|&(_, c)| !tree.is_removed(c))
+        .collect();
+    CctResult {
+        tree,
+        targets: surviving,
+        stats: CctStats {
+            assign: assign_stats,
+            cluster_time,
+            total_time: start.elapsed(),
+        },
+        score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{figure2_instance, InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    #[test]
+    fn figure7_threshold_jaccard_covers_everything() {
+        // Paper Figure 7 runs CCT on the Figure 2 input with threshold
+        // Jaccard δ = 0.6 and reaches the optimum: all of Q covered.
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let result = run(&instance, &CctConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        assert_eq!(
+            result.score.covered_count(),
+            4,
+            "per-set: {:?}",
+            result.score.per_set
+        );
+        assert!((result.score.normalized - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embeddings_are_similarities() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let rows = embeddings(&instance, 1);
+        // E(q1)[q2] = J(q1,q2) = 2/5.
+        let e12 = rows[0]
+            .iter()
+            .find(|&&(c, _)| c == 1)
+            .map(|&(_, v)| v)
+            .expect("q1 and q2 intersect");
+        assert!((e12 - 0.4).abs() < 1e-6);
+        // Diagonals are 1.
+        assert!(rows.iter().enumerate().all(|(j, r)| r
+            .iter()
+            .any(|&(c, v)| c == j as u32 && (v - 1.0).abs() < 1e-6)));
+    }
+
+    #[test]
+    fn handles_single_set() {
+        let instance = Instance::new(
+            3,
+            vec![InputSet::new(ItemSet::new(vec![0, 1]), 2.0)],
+            Similarity::jaccard_threshold(0.8),
+        );
+        let result = run(&instance, &CctConfig::default());
+        assert!(result.score.per_set[0].covered);
+        assert!(result.tree.validate(&instance).is_ok());
+    }
+
+    #[test]
+    fn handles_empty_instance() {
+        let instance = Instance::new(0, vec![], Similarity::jaccard_threshold(0.8));
+        let result = run(&instance, &CctConfig::default());
+        assert_eq!(result.score.total, 0.0);
+    }
+
+    #[test]
+    fn perfect_recall_uses_rp_embedding_and_stays_valid() {
+        let instance = figure2_instance(Similarity::perfect_recall(0.8));
+        let result = run(&instance, &CctConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        // CCT is a heuristic; it must at least cover the two nested sets.
+        assert!(result.score.covered_count() >= 2, "{:?}", result.score.per_set);
+    }
+
+    #[test]
+    fn ablation_raw_pairwise_runs() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let config = CctConfig {
+            global_embeddings: false,
+            ..CctConfig::default()
+        };
+        let result = run(&instance, &config);
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(result.score.covered_count() >= 3);
+    }
+
+    #[test]
+    fn identical_sets_cluster_adjacently() {
+        let instance = Instance::new(
+            4,
+            vec![
+                InputSet::new(ItemSet::new(vec![0, 1]), 1.0),
+                InputSet::new(ItemSet::new(vec![0, 1]), 1.0),
+                InputSet::new(ItemSet::new(vec![2, 3]), 1.0),
+            ],
+            Similarity::jaccard_threshold(0.9),
+        );
+        let result = run(&instance, &CctConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        // The two identical sets share items; one cover serves both.
+        assert!(result.score.per_set[0].covered);
+        assert!(result.score.per_set[1].covered);
+    }
+}

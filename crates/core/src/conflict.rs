@@ -1,0 +1,545 @@
+//! Conflict analysis (paper §3): covered-together / covered-separately
+//! predicates per variant, and parallel enumeration of 2- and 3-conflicts.
+//!
+//! Terminology (for a pair of input sets with intersection size `I > 0`):
+//! * *covered together* — both sets covered by categories on one branch,
+//!   the larger (lower-ranking, in the paper's rank-1-is-largest sense) set
+//!   above the smaller;
+//! * *covered separately* — covered on different branches, which forces the
+//!   shared bound-1 items to be partitioned between the branches;
+//! * *2-conflict* — neither is possible: no tree covers both sets;
+//! * *must-together* — together is possible and separately is not; such
+//!   pairs end up on a common branch in the constructed tree.
+//!
+//! Disjoint pairs can always be covered separately, so only intersecting
+//! pairs are interesting; they are enumerated through an inverted index and
+//! classified in parallel.
+
+use crate::input::Instance;
+use crate::similarity::{SimilarityKind, EPS};
+use crate::util::{ceil_tolerant, floor_tolerant, FxHashMap, FxHashSet};
+
+/// Classification of an intersecting pair of input sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairClass {
+    /// The pair can be covered on one branch (larger set above).
+    pub can_together: bool,
+    /// The pair can be covered on different branches.
+    pub can_separately: bool,
+}
+
+impl PairClass {
+    /// Neither placement works: a 2-conflict.
+    #[inline]
+    pub fn is_conflict(self) -> bool {
+        !self.can_together && !self.can_separately
+    }
+
+    /// Only the same-branch placement works.
+    #[inline]
+    pub fn must_together(self) -> bool {
+        self.can_together && !self.can_separately
+    }
+}
+
+/// Classifies an intersecting pair under the instance's variant.
+///
+/// `hi` is the set with the numerically lower rank (larger, placed higher);
+/// `lo` the other. `inter` is `|q_hi ∩ q_lo| > 0`; `eff_inter` is the number
+/// of shared items whose branch bound is 1 (equal to `inter` without raised
+/// bounds) — items with bound > 1 may live on both branches and relax the
+/// separately check (paper §3.3 *Extensions*).
+pub fn classify_pair(
+    instance: &Instance,
+    hi: usize,
+    lo: usize,
+    inter: usize,
+    eff_inter: usize,
+) -> PairClass {
+    debug_assert!(inter > 0, "only intersecting pairs are classified");
+    let q1 = instance.sets[hi].items.len();
+    let q2 = instance.sets[lo].items.len();
+    let d1 = instance.threshold_of(hi);
+    let d2 = instance.threshold_of(lo);
+    match instance.similarity.kind {
+        SimilarityKind::Exact => PairClass {
+            can_together: instance.sets[lo].items.is_subset_of(&instance.sets[hi].items)
+                || instance.sets[hi].items.is_subset_of(&instance.sets[lo].items),
+            can_separately: eff_inter == 0,
+        },
+        SimilarityKind::PerfectRecall => {
+            // Together: the higher category holds q_hi ∪ q_lo; its precision
+            // w.r.t. q_hi is |q_hi| / |q_hi ∪ q_lo| and must reach δ_hi.
+            let union = q1 + q2 - inter;
+            let can_together = q1 as f64 + EPS >= d1 * union as f64;
+            // Separately: recall 1 forbids dropping shared items, so only
+            // bound-relaxed intersections allow separate branches.
+            PairClass {
+                can_together,
+                can_separately: eff_inter == 0,
+            }
+        }
+        SimilarityKind::JaccardCutoff | SimilarityKind::JaccardThreshold => {
+            // Separately (paper §3.3): x_i = min(⌊|q_i|(1−δ_i)⌋, I); each
+            // bound-1 shared item must be excluded from at least one side.
+            let x1 = (floor_tolerant(q1 as f64 * (1.0 - d1)).max(0) as usize).min(eff_inter);
+            let x2 = (floor_tolerant(q2 as f64 * (1.0 - d2)).max(0) as usize).min(eff_inter);
+            let can_separately = eff_inter <= x1 + x2;
+            // Together: the lower cover keeps y2 items outside q_hi ∩ q_lo;
+            // the higher category absorbs them: need y2 ≤ |q_hi|(1−δ_hi)/δ_hi.
+            let y2 = (ceil_tolerant(d2 * q2 as f64) - inter as i64).max(0) as f64;
+            let can_together = y2 <= q1 as f64 * (1.0 - d1) / d1 + EPS;
+            PairClass {
+                can_together,
+                can_separately,
+            }
+        }
+        SimilarityKind::F1Cutoff | SimilarityKind::F1Threshold => {
+            // Minimal covering-subset size for F1 ≥ δ with C ⊆ q:
+            // s = ⌈δ|q| / (2−δ)⌉, so the recall slack is |q| − s.
+            let s1 = ceil_tolerant(d1 * q1 as f64 / (2.0 - d1)).max(0) as usize;
+            let s2 = ceil_tolerant(d2 * q2 as f64 / (2.0 - d2)).max(0) as usize;
+            let x1 = q1.saturating_sub(s1).min(eff_inter);
+            let x2 = q2.saturating_sub(s2).min(eff_inter);
+            let can_separately = eff_inter <= x1 + x2;
+            // Together: y2 foreign items in the higher category C = q_hi ∪ y2
+            // give F1(q_hi, C) = 2|q_hi| / (2|q_hi| + y2) ≥ δ_hi
+            // ⇔ y2 ≤ 2|q_hi|(1−δ_hi)/δ_hi.
+            let y2 = (s2 as i64 - inter as i64).max(0) as f64;
+            let can_together = y2 <= 2.0 * q1 as f64 * (1.0 - d1) / d1 + EPS;
+            PairClass {
+                can_together,
+                can_separately,
+            }
+        }
+    }
+}
+
+/// An intersecting pair `(a, b)` of input-set indices with its intersection
+/// size and bound-1 intersection size; `a` is the higher-placed (lower-rank)
+/// set.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedPair {
+    /// Higher set (lower rank value = larger).
+    pub hi: u32,
+    /// Lower set.
+    pub lo: u32,
+    /// `|q_hi ∩ q_lo|`.
+    pub inter: u32,
+    /// Shared items with branch bound 1.
+    pub eff_inter: u32,
+}
+
+/// Enumerates all intersecting input-set pairs with intersection sizes,
+/// splitting the inverted index across `threads` workers.
+pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair> {
+    let ranks = instance.ranks();
+    let index = instance.inverted_index();
+    let threads = threads.max(1);
+    let has_bounds = instance.item_bounds.is_some();
+
+    // Each worker scans a chunk of items and counts co-occurrences locally.
+    let chunk = index.len().div_ceil(threads);
+    let maps: Vec<FxHashMap<(u32, u32), (u32, u32)>> = if threads == 1 || index.len() < 1024 {
+        vec![count_chunk(instance, &ranks, &index, 0, index.len(), has_bounds)]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(index.len());
+                if lo >= hi {
+                    continue;
+                }
+                let (instance, ranks, index) = (&*instance, &ranks, &index);
+                handles.push(scope.spawn(move |_| {
+                    count_chunk(instance, ranks, index, lo, hi, has_bounds)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pair-count worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    };
+
+    let mut merged: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
+    for map in maps {
+        for (key, (inter, eff)) in map {
+            let entry = merged.entry(key).or_insert((0, 0));
+            entry.0 += inter;
+            entry.1 += eff;
+        }
+    }
+    let mut pairs: Vec<RankedPair> = merged
+        .into_iter()
+        .map(|((hi, lo), (inter, eff_inter))| RankedPair {
+            hi,
+            lo,
+            inter,
+            eff_inter,
+        })
+        .collect();
+    pairs.sort_by_key(|p| (p.hi, p.lo));
+    pairs
+}
+
+fn count_chunk(
+    instance: &Instance,
+    ranks: &[u32],
+    index: &[Vec<u32>],
+    lo: usize,
+    hi: usize,
+    has_bounds: bool,
+) -> FxHashMap<(u32, u32), (u32, u32)> {
+    let mut map: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
+    for (item, sets) in index.iter().enumerate().take(hi).skip(lo) {
+        let relaxed = has_bounds && instance.bound_of(item as u32) > 1;
+        for (i, &a) in sets.iter().enumerate() {
+            for &b in &sets[i + 1..] {
+                // Order by rank: hi = lower rank value.
+                let key = if ranks[a as usize] < ranks[b as usize] {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let entry = map.entry(key).or_insert((0, 0));
+                entry.0 += 1;
+                if !relaxed {
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// The full conflict structure of an instance.
+#[derive(Debug, Clone)]
+pub struct ConflictAnalysis {
+    /// Rank of each set (0 = largest).
+    pub ranks: Vec<u32>,
+    /// 2-conflicts as `(hi, lo)` index pairs.
+    pub conflicts2: Vec<(u32, u32)>,
+    /// 3-conflicts as sorted index triplets (only populated for `δ < 1`
+    /// variants when requested).
+    pub conflicts3: Vec<[u32; 3]>,
+    /// Pairs that *must* be covered together, as `(hi, lo)`.
+    pub must_together: Vec<(u32, u32)>,
+    /// Pairs that *can* be covered together where the majority of the
+    /// lower set is contained in the higher one (`|q_hi ∩ q_lo| ≥ |q_lo|/2`),
+    /// as `(hi, lo)`. Used by the optional nesting extension of the CTCR
+    /// skeleton: placing such a set under its near-superset lets the
+    /// superset inherit its items instead of competing for them.
+    pub nestable: Vec<(u32, u32)>,
+}
+
+impl ConflictAnalysis {
+    /// Membership structure for must-together pairs.
+    pub fn must_together_set(&self) -> FxHashSet<(u32, u32)> {
+        self.must_together.iter().copied().collect()
+    }
+
+    /// Membership structure for 2-conflicts.
+    pub fn conflict_set(&self) -> FxHashSet<(u32, u32)> {
+        self.conflicts2.iter().copied().collect()
+    }
+
+    /// Membership structure for nestable pairs.
+    pub fn nestable_set(&self) -> FxHashSet<(u32, u32)> {
+        self.nestable.iter().copied().collect()
+    }
+}
+
+/// Runs the conflict analysis: classifies all intersecting pairs and, when
+/// `with_triples` is set (the `δ < 1` algorithm of §3.2/§3.3), derives
+/// 3-conflicts.
+///
+/// A triplet `{q1, q2, q3}` with `{q1,q2}` and `{q2,q3}` must-together and
+/// `q2` not the largest of the three is a 3-conflict unless `{q1,q3}` is
+/// itself must-together or already a 2-conflict.
+pub fn analyze(instance: &Instance, threads: usize, with_triples: bool) -> ConflictAnalysis {
+    let pairs = intersecting_pairs(instance, threads);
+    let ranks = instance.ranks();
+
+    let mut conflicts2 = Vec::new();
+    let mut must_together = Vec::new();
+    let mut nestable = Vec::new();
+    for p in &pairs {
+        let class = classify_pair(
+            instance,
+            p.hi as usize,
+            p.lo as usize,
+            p.inter as usize,
+            p.eff_inter as usize,
+        );
+        if class.is_conflict() {
+            conflicts2.push((p.hi, p.lo));
+        } else if class.must_together() {
+            must_together.push((p.hi, p.lo));
+        } else if class.can_together {
+            // Nesting is worthwhile once the majority of the lower set lies
+            // inside the higher one: separating would burn shared items the
+            // branch bound cannot duplicate.
+            let lo_len = instance.sets[p.lo as usize].items.len();
+            if (p.inter as f64) + EPS >= 0.5 * lo_len as f64 {
+                nestable.push((p.hi, p.lo));
+            }
+        }
+    }
+
+    let mut conflicts3 = Vec::new();
+    if with_triples {
+        let mt_set: FxHashSet<(u32, u32)> = must_together.iter().copied().collect();
+        let c2_set: FxHashSet<(u32, u32)> = conflicts2.iter().copied().collect();
+        let ordered = |a: u32, b: u32| {
+            if ranks[a as usize] < ranks[b as usize] {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        // Partner lists: q → sets must-together with q.
+        let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &(hi, lo) in &must_together {
+            partners.entry(hi).or_default().push(lo);
+            partners.entry(lo).or_default().push(hi);
+        }
+        let mut seen: FxHashSet<[u32; 3]> = FxHashSet::default();
+        for (&mid, list) in &partners {
+            for (i, &a) in list.iter().enumerate() {
+                for &b in &list[i + 1..] {
+                    // `mid` must not be the largest (lowest rank value).
+                    let mid_rank = ranks[mid as usize];
+                    if mid_rank < ranks[a as usize] && mid_rank < ranks[b as usize] {
+                        continue;
+                    }
+                    let key = ordered(a, b);
+                    if mt_set.contains(&key) || c2_set.contains(&key) {
+                        continue;
+                    }
+                    let mut triple = [a, mid, b];
+                    triple.sort_unstable();
+                    if seen.insert(triple) {
+                        conflicts3.push(triple);
+                    }
+                }
+            }
+        }
+        conflicts3.sort_unstable();
+    }
+
+    ConflictAnalysis {
+        ranks,
+        conflicts2,
+        conflicts3,
+        must_together,
+        nestable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{figure2_instance, InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    fn inst(sets: Vec<(Vec<u32>, f64)>, sim: Similarity, num_items: u32) -> Instance {
+        Instance::new(
+            num_items,
+            sets.into_iter()
+                .map(|(items, w)| InputSet::new(ItemSet::new(items), w))
+                .collect(),
+            sim,
+        )
+    }
+
+    #[test]
+    fn exact_conflict_iff_crossing() {
+        let i = inst(
+            vec![
+                (vec![0, 1, 2], 1.0), // 0
+                (vec![0, 1], 1.0),    // 1 ⊂ 0
+                (vec![2, 3], 1.0),    // 2 crosses 0
+                (vec![4, 5], 1.0),    // 3 disjoint from all
+            ],
+            Similarity::exact(),
+            6,
+        );
+        let analysis = analyze(&i, 1, false);
+        assert_eq!(analysis.conflicts2, vec![(0, 2)]);
+        assert_eq!(analysis.must_together, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn figure4_exact_conflicts() {
+        // Figure 2 input under the Exact variant: the conflict graph of
+        // Figure 4 has edges (q1,q3), (q1,q4), (q3,q4)?? — from the paper's
+        // figure, q1 conflicts with q3 and q4; q2 is nested in q1 and q4.
+        let i = figure2_instance(Similarity::exact());
+        let analysis = analyze(&i, 1, false);
+        // q1={a..e}, q2={a,b}, q3={c,d,e,f}, q4={a,b,f,g,h}.
+        // q1-q2: q2⊂q1 → must together. q1-q3: cross → conflict.
+        // q1-q4: cross → conflict. q2-q3: disjoint. q2-q4: q2⊂q4 → must.
+        // q3-q4: cross → conflict.
+        let c: FxHashSet<(u32, u32)> = analysis.conflict_set();
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&(0, 2)));
+        assert!(c.contains(&(0, 3)) || c.contains(&(3, 0)));
+        assert!(c.contains(&(2, 3)) || c.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn perfect_recall_together_needs_precision() {
+        // Example 3.2: q1 = {a,c,d,e,f}, q3 = {b,g,h}, δ = 0.61:
+        // together-precision = 5/8 = 0.625 ≥ 0.61.
+        let i = inst(
+            vec![(vec![0, 2, 3, 4, 5], 1.0), (vec![1, 6, 7], 1.0)],
+            Similarity::perfect_recall(0.61),
+            8,
+        );
+        // Disjoint pair: not enumerated as intersecting, but classify
+        // directly to check the together formula.
+        let class = classify_pair(&i, 0, 1, 1, 1); // pretend intersection 1
+        // union = 5+3-1 = 7, 5/7 ≈ 0.714 ≥ 0.61 → together ok.
+        assert!(class.can_together);
+        assert!(!class.can_separately);
+    }
+
+    #[test]
+    fn perfect_recall_conflict_when_union_too_large() {
+        let i = inst(
+            vec![(vec![0, 1, 2], 1.0), (vec![2, 3, 4, 5, 6, 7, 8, 9], 1.0)],
+            Similarity::perfect_recall(0.8),
+            10,
+        );
+        let analysis = analyze(&i, 1, true);
+        // hi = larger set (8 items), lo = 3 items. union = 10;
+        // 8/10 = 0.8 ≥ 0.8 → coverable together! So no conflict.
+        assert!(analysis.conflicts2.is_empty());
+        assert_eq!(analysis.must_together.len(), 1);
+        // Tighten δ to 0.85: now a conflict.
+        let mut i2 = i.clone();
+        i2.similarity = Similarity::perfect_recall(0.85);
+        let analysis2 = analyze(&i2, 1, true);
+        assert_eq!(analysis2.conflicts2.len(), 1);
+    }
+
+    #[test]
+    fn figure5_three_conflicts() {
+        // Paper Figure 5-style input, Perfect-Recall δ = 0.61:
+        // q1 = {a,c,d,e,f} w3, q2 = {a,b} w1, q3 = {b,g,h} w2,
+        // q4 = {a,i,j} w2. Pairs {q1,q2}, {q2,q3}, {q2,q4}, {q1,q4} are
+        // must-together; the triplet rule yields exactly the two hyperedges
+        // {q1,q2,q3} and {q2,q3,q4} (indices 0-based).
+        let i = inst(
+            vec![
+                (vec![0, 2, 3, 4, 5], 3.0), // q1 = {a,c,d,e,f}
+                (vec![0, 1], 1.0),          // q2 = {a,b}
+                (vec![1, 6, 7], 2.0),       // q3 = {b,g,h}
+                (vec![0, 8, 9], 2.0),       // q4 = {a,i,j}
+            ],
+            Similarity::perfect_recall(0.61),
+            10,
+        );
+        let analysis = analyze(&i, 1, true);
+        assert!(analysis.conflicts2.is_empty(), "{:?}", analysis.conflicts2);
+        assert_eq!(analysis.conflicts3.len(), 2, "{:?}", analysis.conflicts3);
+        assert!(analysis.conflicts3.contains(&[0, 1, 2]));
+        assert!(analysis.conflicts3.contains(&[1, 2, 3]), "{:?}", analysis.conflicts3);
+    }
+
+    #[test]
+    fn jaccard_separately_formula() {
+        // |q1| = |q2| = 4, I = 2, δ = 0.6: x_i = min(⌊4·0.4⌋, 2) = 1 each;
+        // 2 ≤ 1+1 → separable.
+        let i = inst(
+            vec![(vec![0, 1, 2, 3], 1.0), (vec![2, 3, 4, 5], 1.0)],
+            Similarity::jaccard_threshold(0.6),
+            6,
+        );
+        let class = classify_pair(&i, 0, 1, 2, 2);
+        assert!(class.can_separately);
+        // δ = 0.8: x_i = min(⌊0.8⌋, 2) = 0; 2 > 0 → not separable.
+        let mut i2 = i.clone();
+        i2.similarity = Similarity::jaccard_threshold(0.8);
+        let class2 = classify_pair(&i2, 0, 1, 2, 2);
+        assert!(!class2.can_separately);
+    }
+
+    #[test]
+    fn jaccard_together_formula() {
+        // q_hi of 10, q_lo of 4 sharing 1 item, δ = 0.6:
+        // y2 = ⌈0.6·4⌉ − 1 = 2; capacity = 10·(0.4/0.6) ≈ 6.67 → together.
+        let i = inst(
+            vec![
+                ((0..10).collect(), 1.0),
+                (vec![0, 10, 11, 12], 1.0),
+            ],
+            Similarity::jaccard_threshold(0.6),
+            13,
+        );
+        let class = classify_pair(&i, 0, 1, 1, 1);
+        assert!(class.can_together);
+        // δ = 0.9: y2 = ⌈3.6⌉ − 1 = 3 > 10·(0.1/0.9) ≈ 1.11 → not together.
+        let mut i2 = i.clone();
+        i2.similarity = Similarity::jaccard_threshold(0.9);
+        let class2 = classify_pair(&i2, 0, 1, 1, 1);
+        assert!(!class2.can_together);
+    }
+
+    #[test]
+    fn figure6_has_no_conflicts() {
+        // Paper Figure 6 input (threshold Jaccard δ = 0.6):
+        // q1 = {a,b,c,f} w2, q2 = {a,b} w1, q3 = {a,b,c,d,e} w3.
+        // All pairs can be covered separately → no conflicts at all.
+        let i = inst(
+            vec![
+                (vec![0, 1, 2, 5], 2.0),
+                (vec![0, 1], 1.0),
+                (vec![0, 1, 2, 3, 4], 3.0),
+            ],
+            Similarity::jaccard_threshold(0.6),
+            6,
+        );
+        let analysis = analyze(&i, 1, true);
+        assert!(analysis.conflicts2.is_empty());
+        assert!(analysis.conflicts3.is_empty());
+    }
+
+    #[test]
+    fn raised_bounds_relax_separately() {
+        // Two sets sharing both items; with bound 1 they conflict under
+        // Exact-like tight Jaccard; with bound 2 on the shared items they
+        // become separable.
+        let sets = vec![(vec![0, 1, 2], 1.0), (vec![0, 1, 3], 1.0)];
+        let base = inst(sets.clone(), Similarity::jaccard_threshold(0.9), 4);
+        let analysis = analyze(&base, 1, true);
+        assert_eq!(analysis.conflicts2.len(), 1);
+        let relaxed = inst(sets, Similarity::jaccard_threshold(0.9), 4)
+            .with_item_bounds(vec![2, 2, 1, 1]);
+        let analysis2 = analyze(&relaxed, 1, true);
+        assert!(analysis2.conflicts2.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sets: Vec<(Vec<u32>, f64)> = (0..60)
+            .map(|_| {
+                let len = rng.gen_range(2..20);
+                let items: Vec<u32> = (0..len).map(|_| rng.gen_range(0..5000)).collect();
+                (items, rng.gen_range(1..10) as f64)
+            })
+            .collect();
+        let i = inst(sets, Similarity::jaccard_threshold(0.7), 5000);
+        let serial = analyze(&i, 1, true);
+        let parallel = analyze(&i, 4, true);
+        assert_eq!(serial.conflicts2, parallel.conflicts2);
+        assert_eq!(serial.conflicts3, parallel.conflicts3);
+        assert_eq!(serial.must_together, parallel.must_together);
+    }
+}

@@ -1,0 +1,835 @@
+//! The Category Tree Conflict Resolver — CTCR (paper §3, Algorithm 1).
+//!
+//! Pipeline:
+//! 1. rank the input sets (size desc, weight asc);
+//! 2. classify intersecting pairs → 2-conflicts, must-together pairs; for
+//!    `δ < 1` variants additionally derive 3-conflicts (§3.2);
+//! 3. solve maximum-weight independent set on the conflict graph (Exact
+//!    variant) or conflict hypergraph (everything else);
+//! 4. build the tree skeleton: one category per selected set, parented by
+//!    the closest higher-ranked must-together selected set;
+//! 5. assign items (Algorithm 2; only the single-branch stage for the
+//!    Exact / Perfect-Recall specializations);
+//! 6. for the Jaccard/F1 variants, add intermediate categories recombining
+//!    intersecting siblings (lines 21–23);
+//! 7. for `δ < 1`, condense the tree (lines 24–25): drop items contained
+//!    only in uncovered sets and categories that are not the best coverer
+//!    of any set;
+//! 8. add `C_misc` with the unassigned items (line 26).
+
+use std::time::{Duration, Instant};
+
+use oct_mis::{Graph, Hypergraph, SolveBudget, Solver};
+
+use crate::assign::{assign_items, AssignStats};
+use crate::conflict::{analyze, ConflictAnalysis};
+use crate::input::Instance;
+use crate::itemset::ItemSet;
+use crate::score::{covering_map, score_tree, TreeScore};
+use crate::similarity::SimilarityKind;
+use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::util::{FxHashMap, FxHashSet};
+
+/// Tuning knobs for CTCR.
+#[derive(Debug, Clone)]
+pub struct CtcrConfig {
+    /// Budget for the MWIS solver.
+    pub mis_budget: SolveBudget,
+    /// Worker threads for conflict enumeration.
+    pub threads: usize,
+    /// Stage 6 on/off (ablation; the paper always runs it for Jaccard/F1).
+    pub add_intermediates: bool,
+    /// 3-conflict detection on/off (ablation; the paper always runs it for
+    /// `δ < 1`).
+    pub use_three_conflicts: bool,
+    /// Slack-aware cover repair after the intermediate stage (an extension
+    /// beyond the paper closing aggregate-precision gaps; see
+    /// `crate::repair`). On by default; off reproduces the paper exactly.
+    pub repair: bool,
+    /// Nest a selected set under a higher-ranked selected near-superset
+    /// even when the pair could be covered separately (extension; the
+    /// paper separates all can-both pairs and recombines with intermediate
+    /// categories). Nesting lets big sets inherit their subsets' items
+    /// instead of competing for them under the branch bound.
+    pub nest_contained: bool,
+}
+
+impl Default for CtcrConfig {
+    fn default() -> Self {
+        Self {
+            mis_budget: SolveBudget::default(),
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            add_intermediates: true,
+            use_three_conflicts: true,
+            repair: true,
+            nest_contained: true,
+        }
+    }
+}
+
+/// Diagnostics of a CTCR run.
+#[derive(Debug, Clone)]
+pub struct CtcrStats {
+    /// Number of 2-conflicts found.
+    pub conflicts2: usize,
+    /// Number of 3-conflicts found (0 for the Exact variant).
+    pub conflicts3: usize,
+    /// Whether the MWIS solve was provably optimal.
+    pub mis_optimal: bool,
+    /// Weight of the selected conflict-free subset (an upper bound on the
+    /// achievable covered weight for binary variants).
+    pub mis_weight: f64,
+    /// Number of selected input sets.
+    pub selected: usize,
+    /// Item-assignment statistics.
+    pub assign: AssignStats,
+    /// Wall-clock spent in conflict enumeration.
+    pub conflict_time: Duration,
+    /// Wall-clock spent in the MWIS solve.
+    pub mis_time: Duration,
+    /// Wall-clock spent in item assignment (Algorithm 2).
+    pub assign_time: Duration,
+    /// Wall-clock spent adding intermediate categories.
+    pub intermediate_time: Duration,
+    /// Wall-clock spent condensing.
+    pub condense_time: Duration,
+    /// Wall-clock spent in the final scoring pass.
+    pub score_time: Duration,
+    /// Total wall-clock of the run.
+    pub total_time: Duration,
+}
+
+/// The result of a CTCR run.
+#[derive(Debug, Clone)]
+pub struct CtcrResult {
+    /// The constructed category tree.
+    pub tree: CategoryTree,
+    /// `(input set, dedicated category)` pairs for the selected sets whose
+    /// categories survived condensing.
+    pub targets: Vec<(u32, CatId)>,
+    /// All sets selected by the MWIS solve (before condensing).
+    pub selection: Vec<u32>,
+    /// Branch parent among selected sets (`set → parent set`), from the
+    /// skeleton construction.
+    pub set_parent: FxHashMap<u32, u32>,
+    /// Run diagnostics.
+    pub stats: CtcrStats,
+    /// Final score of `tree` over the instance.
+    pub score: TreeScore,
+}
+
+/// Runs CTCR over `instance`.
+///
+/// For the binary variants, a failed *heavy* cover (a selected set whose
+/// category ended below threshold because of aggregate precision pollution
+/// from lighter covered descendants — the §3.2 residual error) triggers one
+/// selection-level reemployment: the cheap polluters are excluded and the
+/// pipeline re-runs; the better-scoring tree wins. This mirrors the
+/// taxonomists' reemployment workflow of §5.4, automated.
+pub fn run(instance: &Instance, config: &CtcrConfig) -> CtcrResult {
+    let mut best = run_attempt(instance, config, &FxHashSet::default());
+    if !instance.similarity.kind.is_binary() {
+        return best;
+    }
+    let mut banned: FxHashSet<u32> = FxHashSet::default();
+    let mut latest = best.clone();
+    for _ in 0..3 {
+        let additions = polluter_ban_list(instance, &latest);
+        let before = banned.len();
+        banned.extend(additions);
+        if banned.len() == before {
+            break;
+        }
+        latest = run_attempt(instance, config, &banned);
+        if latest.score.total > best.score.total {
+            best = latest.clone();
+        }
+    }
+    best
+}
+
+/// Selects cheap covered descendants to ban: for each uncovered selected
+/// set (heaviest first), pick covered descendant sets whose private items
+/// pollute it, as long as their combined weight stays below the weight to
+/// be rescued.
+fn polluter_ban_list(instance: &Instance, result: &CtcrResult) -> FxHashSet<u32> {
+    let covered: Vec<bool> = result.score.per_set.iter().map(|c| c.covered).collect();
+    // children lists in the selected-set forest.
+    let mut children: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for (&child, &parent) in &result.set_parent {
+        children.entry(parent).or_default().push(child);
+    }
+    let mut uncovered_heavy: Vec<u32> = result
+        .selection
+        .iter()
+        .copied()
+        .filter(|&s| !covered[s as usize])
+        .collect();
+    uncovered_heavy.sort_by(|&a, &b| {
+        instance.sets[b as usize]
+            .weight
+            .total_cmp(&instance.sets[a as usize].weight)
+    });
+    let mut banned: FxHashSet<u32> = FxHashSet::default();
+    for q in uncovered_heavy {
+        // Descendants of q in the selected forest.
+        let mut descendants = Vec::new();
+        let mut stack = children.get(&q).cloned().unwrap_or_default();
+        while let Some(d) = stack.pop() {
+            descendants.push(d);
+            stack.extend(children.get(&d).cloned().unwrap_or_default());
+        }
+        // Covered descendants, by pollution per unit weight.
+        let q_items = &instance.sets[q as usize].items;
+        let mut candidates: Vec<(f64, u32, f64, f64)> = descendants
+            .iter()
+            .copied()
+            .filter(|&d| covered[d as usize] && !banned.contains(&d))
+            .map(|d| {
+                let d_set = &instance.sets[d as usize];
+                let pollution =
+                    (d_set.items.len() - d_set.items.intersection_size(q_items)) as f64;
+                let ratio = pollution / d_set.weight.max(1e-9);
+                (ratio, d, d_set.weight, pollution)
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // Estimate the precision excess: the category's size is roughly
+        // |q ∪ covered descendant sets| and must come down to ~|q|/δ. Stop
+        // banning once enough pollution has been shed.
+        let mut union = q_items.clone();
+        for &d in &descendants {
+            if covered[d as usize] {
+                union = union.union(&instance.sets[d as usize].items);
+            }
+        }
+        let delta = instance.threshold_of(q as usize);
+        let mut shed_needed =
+            union.len() as f64 - (q_items.len() as f64 / delta).floor();
+        // A weak inequality lets uniform-weight instances trade a polluter
+        // for an equally-weighted rescue; the caller keeps the better tree,
+        // so a break-even swap can only help.
+        let mut budget = instance.sets[q as usize].weight;
+        for (ratio, d, w, pollution) in candidates {
+            if ratio <= 0.0 || shed_needed <= 0.0 {
+                break;
+            }
+            if w <= budget {
+                banned.insert(d);
+                budget -= w;
+                shed_needed -= pollution;
+            }
+        }
+    }
+    banned
+}
+
+fn run_attempt(
+    instance: &Instance,
+    config: &CtcrConfig,
+    banned: &FxHashSet<u32>,
+) -> CtcrResult {
+    let start = Instant::now();
+    let kind = instance.similarity.kind;
+    let with_triples = kind != SimilarityKind::Exact && config.use_three_conflicts;
+
+    // Stages 1-2: ranking + conflicts (lines 1-9).
+    let t0 = Instant::now();
+    let analysis = analyze(instance, config.threads, with_triples);
+    let conflict_time = t0.elapsed();
+
+    // Stage 3: MWIS (line 10).
+    let t1 = Instant::now();
+    let solver = Solver::new(config.mis_budget);
+    let weights: Vec<f64> = instance.sets.iter().map(|s| s.weight).collect();
+    let mis = if kind == SimilarityKind::Exact {
+        solver.solve_graph(&Graph::new(weights, &analysis.conflicts2))
+    } else {
+        let mut edges: Vec<Vec<u32>> = analysis
+            .conflicts2
+            .iter()
+            .map(|&(a, b)| vec![a, b])
+            .collect();
+        edges.extend(analysis.conflicts3.iter().map(|t| t.to_vec()));
+        solver.solve_hypergraph(&Hypergraph::new(weights, edges))
+    };
+    let mis_time = t1.elapsed();
+
+    // Stage 4: skeleton (lines 11-15).
+    let mut selected: Vec<u32> = mis
+        .vertices
+        .iter()
+        .copied()
+        .filter(|s| !banned.contains(s))
+        .collect();
+    selected.sort_by_key(|&s| analysis.ranks[s as usize]);
+    let mut tree = CategoryTree::new();
+    let must = analysis.must_together_set();
+    let nestable = if config.nest_contained && !kind.requires_perfect_recall() {
+        analysis.nestable_set()
+    } else {
+        FxHashSet::default()
+    };
+    let mut cat_of: FxHashMap<u32, CatId> = FxHashMap::default();
+    let mut set_parent: FxHashMap<u32, u32> = FxHashMap::default();
+    for (pos, &q) in selected.iter().enumerate() {
+        // Closest higher-ranked selected set that must share a branch (or,
+        // with the nesting extension, one that nearly contains q).
+        let parent_set = selected[..pos]
+            .iter()
+            .rev()
+            .find(|&&p| must.contains(&(p, q)) || nestable.contains(&(p, q)))
+            .copied();
+        let parent = parent_set.map(|p| cat_of[&p]).unwrap_or(ROOT);
+        if let Some(p) = parent_set {
+            set_parent.insert(q, p);
+        }
+        let cat = tree.add_category(parent);
+        if let Some(label) = &instance.sets[q as usize].label {
+            tree.set_label(cat, label.clone());
+        }
+        cat_of.insert(q, cat);
+    }
+    let targets: Vec<(u32, CatId)> = selected.iter().map(|&q| (q, cat_of[&q])).collect();
+
+    // Stage 5: item assignment (lines 16-20).
+    let t2 = Instant::now();
+    let greedy_duplicates = !kind.requires_perfect_recall();
+    let assign_stats = assign_items(instance, &mut tree, &targets, greedy_duplicates);
+    let assign_time = t2.elapsed();
+
+    // Stage 6: intermediate categories (lines 21-23).
+    let t3 = Instant::now();
+    if greedy_duplicates && config.add_intermediates {
+        add_intermediate_categories(instance, &mut tree, &targets);
+    }
+    let intermediate_time = t3.elapsed();
+
+    // Extension: slack-aware cover repair (see `crate::repair`).
+    if config.repair {
+        crate::repair::repair(instance, &mut tree);
+    }
+
+    // Stage 7: condensing (lines 24-25).
+    let t4 = Instant::now();
+    if kind != SimilarityKind::Exact {
+        condense(instance, &mut tree);
+    }
+    let condense_time = t4.elapsed();
+
+    // Stage 8: C_misc (line 26).
+    tree.add_misc_category(instance.num_items);
+
+    let t5 = Instant::now();
+    let score = score_tree(instance, &tree);
+    let score_time = t5.elapsed();
+    let surviving_targets: Vec<(u32, CatId)> = targets
+        .iter()
+        .copied()
+        .filter(|&(_, c)| !tree.is_removed(c))
+        .collect();
+    let stats = CtcrStats {
+        conflicts2: analysis.conflicts2.len(),
+        conflicts3: analysis.conflicts3.len(),
+        mis_optimal: mis.optimal,
+        mis_weight: mis.weight,
+        selected: selected.len(),
+        assign: assign_stats,
+        conflict_time,
+        mis_time,
+        assign_time,
+        intermediate_time,
+        condense_time,
+        score_time,
+        total_time: start.elapsed(),
+    };
+    CtcrResult {
+        tree,
+        targets: surviving_targets,
+        selection: selected,
+        set_parent,
+        stats,
+        score,
+    }
+}
+
+/// Returns the conflict analysis CTCR would use (exposed for diagnostics
+/// and the experiment harness).
+pub fn conflicts(instance: &Instance, threads: usize) -> ConflictAnalysis {
+    analyze(
+        instance,
+        threads,
+        instance.similarity.kind != SimilarityKind::Exact,
+    )
+}
+
+/// Lines 21–23: under every category with more than two children, repeatedly
+/// insert an intermediate parent over the pair of children whose associated
+/// sets share the largest fraction of the smaller set, until two children
+/// remain or no two child sets intersect. The intermediate's associated set
+/// is the union of its children's.
+pub fn add_intermediate_categories(
+    instance: &Instance,
+    tree: &mut CategoryTree,
+    targets: &[(u32, CatId)],
+) {
+    let mut assoc: FxHashMap<CatId, ItemSet> = targets
+        .iter()
+        .map(|&(s, c)| (c, instance.sets[s as usize].items.clone()))
+        .collect();
+    let parents: Vec<CatId> = tree
+        .live_categories()
+        .into_iter()
+        .filter(|&c| tree.children(c).len() > 2)
+        .collect();
+    for parent in parents {
+        merge_intersecting_children(tree, parent, &mut assoc);
+    }
+}
+
+/// Heap-driven implementation of the lines 21–23 loop for one parent.
+///
+/// Associated sets are immutable per node (merges create new nodes), so
+/// heap entries stay valid exactly while both endpoints are still children
+/// of `parent` — invalidation is a cheap liveness check on pop. New nodes
+/// only need intersections with the *partners* of their constituents
+/// (anything disjoint from both parts is disjoint from the union), keeping
+/// the update sparse.
+fn merge_intersecting_children(
+    tree: &mut CategoryTree,
+    parent: CatId,
+    assoc: &mut FxHashMap<CatId, ItemSet>,
+) {
+    let children: Vec<CatId> = tree
+        .children(parent)
+        .iter()
+        .copied()
+        .filter(|c| assoc.contains_key(c))
+        .collect();
+    if children.len() < 2 {
+        return;
+    }
+    // Seed pairwise intersections through an inverted index.
+    let mut containing: FxHashMap<u32, Vec<CatId>> = FxHashMap::default();
+    for &c in &children {
+        for item in assoc[&c].iter() {
+            containing.entry(item).or_default().push(c);
+        }
+    }
+    let mut inter: FxHashMap<(CatId, CatId), u32> = FxHashMap::default();
+    for cats in containing.values() {
+        for (i, &a) in cats.iter().enumerate() {
+            for &b in &cats[i + 1..] {
+                let key = (a.min(b), a.max(b));
+                *inter.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    // Partner lists (sparse intersection graph) and the fraction heap.
+    let mut partners: FxHashMap<CatId, Vec<CatId>> = FxHashMap::default();
+    let mut heap: std::collections::BinaryHeap<(ordered::F64, CatId, CatId)> =
+        std::collections::BinaryHeap::new();
+    let frac_of = |i: u32, a: usize, b: usize| ordered::F64(i as f64 / a.min(b).max(1) as f64);
+    for (&(a, b), &i) in &inter {
+        partners.entry(a).or_default().push(b);
+        partners.entry(b).or_default().push(a);
+        heap.push((frac_of(i, assoc[&a].len(), assoc[&b].len()), a, b));
+    }
+    let mut alive: FxHashSet<CatId> = children.iter().copied().collect();
+
+    while tree.children(parent).len() > 2 {
+        let Some((_, a, b)) = heap.pop() else {
+            return;
+        };
+        if !alive.contains(&a) || !alive.contains(&b) {
+            continue;
+        }
+        let merged_set = assoc[&a].union(&assoc[&b]);
+        let merged = tree.add_category(parent);
+        tree.reparent(a, merged);
+        tree.reparent(b, merged);
+        alive.remove(&a);
+        alive.remove(&b);
+        // New node intersects exactly the live partners of its parts.
+        let mut candidates: Vec<CatId> = partners
+            .remove(&a)
+            .unwrap_or_default()
+            .into_iter()
+            .chain(partners.remove(&b).unwrap_or_default())
+            .filter(|c| alive.contains(c))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut merged_partners = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let i = merged_set.intersection_size(&assoc[&c]);
+            if i > 0 {
+                heap.push((frac_of(i as u32, merged_set.len(), assoc[&c].len()), merged, c));
+                merged_partners.push(c);
+                partners.entry(c).or_default().push(merged);
+            }
+        }
+        partners.insert(merged, merged_partners);
+        alive.insert(merged);
+        assoc.insert(merged, merged_set);
+    }
+}
+
+/// A total-ordered `f64` wrapper for heap keys (scores are finite).
+mod ordered {
+    /// Finite `f64` with `Ord` via `total_cmp`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+/// Lines 24–25: remove items contained only in uncovered input sets, then
+/// remove every category that is not the best-precision coverer of at least
+/// one covered set.
+pub fn condense(instance: &Instance, tree: &mut CategoryTree) {
+    // Items to keep: members of at least one covered set (or of no input
+    // set at all — those are untouched catalog items).
+    let covers = covering_map(instance, tree);
+    let mut covered_sets: FxHashSet<u32> = FxHashSet::default();
+    for sets in covers.values() {
+        covered_sets.extend(sets.iter().copied());
+    }
+    let mut in_any_set = vec![false; instance.num_items as usize];
+    let mut in_covered = vec![false; instance.num_items as usize];
+    for (s, set) in instance.sets.iter().enumerate() {
+        let covered = covered_sets.contains(&(s as u32));
+        for item in set.items.iter() {
+            in_any_set[item as usize] = true;
+            if covered {
+                in_covered[item as usize] = true;
+            }
+        }
+    }
+    for item in tree.assigned_items() {
+        if in_any_set[item as usize] && !in_covered[item as usize] {
+            tree.remove_item_everywhere(item);
+        }
+    }
+
+    // Keep only best coverers (plus the root).
+    let score = score_tree(instance, tree);
+    let mut keep: FxHashSet<CatId> = FxHashSet::default();
+    keep.insert(ROOT);
+    for cover in &score.per_set {
+        if cover.covered {
+            if let Some(c) = cover.best_category {
+                keep.insert(c);
+            }
+        }
+    }
+    for cat in tree.live_categories() {
+        if !keep.contains(&cat) {
+            tree.remove_category(cat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{figure2_instance, InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    fn inst(sets: Vec<(Vec<u32>, f64)>, sim: Similarity, num_items: u32) -> Instance {
+        Instance::new(
+            num_items,
+            sets.into_iter()
+                .map(|(items, w)| InputSet::new(ItemSet::new(items), w))
+                .collect(),
+            sim,
+        )
+    }
+
+    #[test]
+    fn exact_variant_figure4() {
+        // Figure 4: Exact variant over the Figure 2 input. The conflict
+        // graph has q1-q3, q1-q4, q3-q4 edges; the optimal IS is
+        // {q1, q2} (weight 3) or {q2, q4, ...}? q1 w2 + q2 w1 = 3 beats any
+        // single crossing set + q2 (= 2). The tree covers both exactly.
+        let instance = figure2_instance(Similarity::exact());
+        let result = run(&instance, &CtcrConfig::default());
+        assert!(result.stats.mis_optimal);
+        assert_eq!(result.stats.conflicts2, 3);
+        assert!((result.stats.mis_weight - 3.0).abs() < 1e-9);
+        assert!((result.score.total - 3.0).abs() < 1e-9);
+        assert!(result.score.per_set[0].covered);
+        assert!(result.score.per_set[1].covered);
+        assert!(result.tree.validate(&instance).is_ok());
+        // q2 ⊂ q1: C(q2) must be a child of C(q1).
+        let c1 = result.targets.iter().find(|&&(s, _)| s == 0).unwrap().1;
+        let c2 = result.targets.iter().find(|&&(s, _)| s == 1).unwrap().1;
+        assert!(result.tree.is_ancestor(c1, c2));
+    }
+
+    #[test]
+    fn exact_scores_match_mis_weight() {
+        // For the Exact variant the constructed tree covers exactly the IS.
+        let instance = figure2_instance(Similarity::exact());
+        let result = run(&instance, &CtcrConfig::default());
+        assert!((result.score.total - result.stats.mis_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_recall_figure2() {
+        // Paper Example 2.1: optimum 4 (q1, q2, q3 covered).
+        let instance = figure2_instance(Similarity::perfect_recall(0.8));
+        let result = run(&instance, &CtcrConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(
+            (result.score.total - 4.0).abs() < 1e-9,
+            "expected the optimal PR score 4, got {} (covered: {:?})",
+            result.score.total,
+            result
+                .score
+                .per_set
+                .iter()
+                .map(|c| c.covered)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn figure5_perfect_recall_optimal() {
+        // Figure 5 instance: two 3-conflicts; optimum drops only the
+        // lightest set q2, covering weight 3 + 2 + 2 = 7.
+        let instance = inst(
+            vec![
+                (vec![0, 2, 3, 4, 5], 3.0),
+                (vec![0, 1], 1.0),
+                (vec![1, 6, 7], 2.0),
+                (vec![0, 8, 9], 2.0),
+            ],
+            Similarity::perfect_recall(0.61),
+            10,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        assert_eq!(result.stats.conflicts3, 2);
+        assert!((result.stats.mis_weight - 7.0).abs() < 1e-9);
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(
+            (result.score.total - 7.0).abs() < 1e-9,
+            "covered: {:?}",
+            result.score.per_set.iter().map(|c| c.covered).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn figure6_threshold_jaccard_full_pipeline() {
+        // Figure 6 walkthrough: no conflicts, all three sets selected; the
+        // intermediate category stage lets q2 be covered; final score 6.
+        let instance = inst(
+            vec![
+                (vec![0, 1, 2, 5], 2.0),
+                (vec![0, 1], 1.0),
+                (vec![0, 1, 2, 3, 4], 3.0),
+            ],
+            Similarity::jaccard_threshold(0.6),
+            6,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        assert_eq!(result.stats.conflicts2 + result.stats.conflicts3, 0);
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(
+            result.score.normalized > 0.8,
+            "most weight should be covered, got {} ({:?})",
+            result.score.normalized,
+            result.score.per_set
+        );
+    }
+
+    #[test]
+    fn misc_category_holds_untouched_items() {
+        let instance = inst(
+            vec![(vec![0, 1], 1.0)],
+            Similarity::jaccard_threshold(0.8),
+            5,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        // Items 2, 3, 4 belong to no set: they must live under a root child.
+        let full = result.tree.materialize();
+        assert_eq!(full[ROOT as usize].len(), 5);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let instance = Instance::new(0, vec![], Similarity::jaccard_threshold(0.5));
+        let result = run(&instance, &CtcrConfig::default());
+        assert_eq!(result.score.total, 0.0);
+        assert_eq!(result.tree.live_categories().len(), 1);
+    }
+
+    #[test]
+    fn identical_sets_both_covered() {
+        let instance = inst(
+            vec![(vec![0, 1, 2], 2.0), (vec![0, 1, 2], 1.0)],
+            Similarity::exact(),
+            3,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        assert!((result.score.total - 3.0).abs() < 1e-9);
+        assert!(result.tree.validate(&instance).is_ok());
+    }
+
+    #[test]
+    fn three_conflict_ablation_can_only_help_or_match() {
+        let instance = inst(
+            vec![
+                (vec![0, 2, 3, 4, 5], 3.0),
+                (vec![0, 1], 1.0),
+                (vec![1, 6, 7], 2.0),
+                (vec![0, 8, 9], 2.0),
+            ],
+            Similarity::perfect_recall(0.61),
+            10,
+        );
+        let with = run(&instance, &CtcrConfig::default());
+        let without = run(
+            &instance,
+            &CtcrConfig {
+                use_three_conflicts: false,
+                ..CtcrConfig::default()
+            },
+        );
+        // Without 3-conflicts the MIS may select an infeasible triple; the
+        // tree remains valid but can cover less.
+        assert!(without.tree.validate(&instance).is_ok());
+        assert!(with.score.total + 1e-9 >= without.score.total);
+    }
+
+    #[test]
+    fn nested_chain_builds_deep_branch() {
+        let instance = inst(
+            vec![
+                (vec![0, 1, 2, 3, 4, 5], 1.0),
+                (vec![0, 1, 2, 3], 1.0),
+                (vec![0, 1], 1.0),
+            ],
+            Similarity::exact(),
+            6,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        assert!((result.score.total - 3.0).abs() < 1e-9);
+        let c0 = result.targets.iter().find(|&&(s, _)| s == 0).unwrap().1;
+        let c1 = result.targets.iter().find(|&&(s, _)| s == 1).unwrap().1;
+        let c2 = result.targets.iter().find(|&&(s, _)| s == 2).unwrap().1;
+        assert!(result.tree.is_ancestor(c0, c1));
+        assert!(result.tree.is_ancestor(c1, c2));
+    }
+
+    #[test]
+    fn weights_drive_mis_choice() {
+        // Crossing pair: the heavier set must be selected.
+        let instance = inst(
+            vec![(vec![0, 1], 1.0), (vec![1, 2], 10.0)],
+            Similarity::exact(),
+            3,
+        );
+        let result = run(&instance, &CtcrConfig::default());
+        assert!(!result.score.per_set[0].covered);
+        assert!(result.score.per_set[1].covered);
+        assert!((result.score.total - 10.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::input::{InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    /// Nesting: a big set plus several majority-contained subsets should
+    /// all be coverable — the subsets feed the big set's category.
+    #[test]
+    fn nesting_lets_superset_inherit_subset_items() {
+        let big: Vec<u32> = (0..40).collect();
+        let sets = vec![
+            InputSet::new(ItemSet::new(big), 10.0),
+            InputSet::new(ItemSet::new((0..12).collect()), 1.0),
+            InputSet::new(ItemSet::new((12..24).collect()), 1.0),
+            InputSet::new(ItemSet::new((24..36).collect()), 1.0),
+        ];
+        let instance = Instance::new(40, sets, Similarity::jaccard_threshold(0.9));
+        let nested = run(&instance, &CtcrConfig::default());
+        assert!(nested.tree.validate(&instance).is_ok());
+        assert!(
+            nested.score.per_set[0].covered,
+            "the big set must be covered: {:?}",
+            nested.score.per_set
+        );
+        assert_eq!(nested.score.covered_count(), 4);
+    }
+
+    /// Reemployment: a heavy Perfect-Recall parent polluted by a light
+    /// must-together child gets rescued by banning the child.
+    #[test]
+    fn reemployment_rescues_heavy_set_from_light_polluter() {
+        // parent = {0..10}; child = {0, 10..18}: must-together at δ=0.62
+        // (union 19, 10/19 < 0.62 → conflict? 10/19 = 0.526 < 0.62 →
+        // 2-conflict, MIS picks parent alone). Use a geometry where both
+        // get selected but the child's 8 private items break the parent:
+        // δ = 0.55: union = 19 → 10/19 = 0.526 < 0.55 → still conflict.
+        // δ = 0.52: together ok; C(parent) = 19 items, precision 0.526
+        // ≥ 0.52 → fine. To expose pollution we need multiple children:
+        let parent: Vec<u32> = (0..20).collect();
+        let child1: Vec<u32> = vec![0, 20, 21, 22];
+        let child2: Vec<u32> = vec![1, 23, 24, 25];
+        let sets = vec![
+            InputSet::new(ItemSet::new(parent), 50.0),
+            InputSet::new(ItemSet::new(child1), 1.0),
+            InputSet::new(ItemSet::new(child2), 1.0),
+        ];
+        // Pairwise: union(parent, child_i) = 23 → 20/23 = 0.87 ≥ 0.8 →
+        // must-together (intersecting). Aggregate: C(parent) = 26 items →
+        // precision 20/26 = 0.77 < 0.8 → parent uncovered without the
+        // reemployment pass.
+        let instance = Instance::new(26, sets, Similarity::perfect_recall(0.8));
+        let result = run(&instance, &CtcrConfig::default());
+        assert!(result.tree.validate(&instance).is_ok());
+        assert!(
+            result.score.per_set[0].covered,
+            "the heavy parent must be rescued: {:?}",
+            result.score.per_set
+        );
+        assert!((result.score.total - 51.0).abs() < 1e-9, "parent + one child");
+    }
+
+    /// Every extension switch off must still produce valid trees — and the
+    /// extended default must never score worse.
+    #[test]
+    fn paper_exact_configuration_is_never_better() {
+        let sets = vec![
+            InputSet::new(ItemSet::new((0..30).collect()), 5.0),
+            InputSet::new(ItemSet::new((0..10).collect()), 1.0),
+            InputSet::new(ItemSet::new((10..20).collect()), 1.0),
+            InputSet::new(ItemSet::new((25..35).collect()), 2.0),
+        ];
+        let instance = Instance::new(35, sets, Similarity::jaccard_threshold(0.8));
+        let paper = CtcrConfig {
+            repair: false,
+            nest_contained: false,
+            ..CtcrConfig::default()
+        };
+        let paper_result = run(&instance, &paper);
+        let extended = run(&instance, &CtcrConfig::default());
+        assert!(paper_result.tree.validate(&instance).is_ok());
+        assert!(extended.tree.validate(&instance).is_ok());
+        assert!(extended.score.total + 1e-9 >= paper_result.score.total);
+    }
+}

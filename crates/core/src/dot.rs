@@ -1,0 +1,154 @@
+//! Graphviz (DOT) rendering of category trees.
+//!
+//! Taxonomists review trees visually; `to_dot` emits a `digraph` with one
+//! node per live category (label + item count, covering categories
+//! highlighted) ready for `dot -Tsvg`.
+
+use crate::input::Instance;
+use crate::score::covering_map;
+use crate::tree::{CategoryTree, ROOT};
+use crate::util::FxHashMap;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct DotOptions {
+    /// Include per-category item counts.
+    pub item_counts: bool,
+    /// Truncate labels to this many characters (0 = no truncation).
+    pub max_label_len: usize,
+    /// Omit subtrees below this depth (0 = unlimited).
+    pub max_depth: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            item_counts: true,
+            max_label_len: 32,
+            max_depth: 0,
+        }
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `tree` as DOT. When `instance` is given, categories covering at
+/// least one input set are filled; the covered set count is appended.
+pub fn to_dot(tree: &CategoryTree, instance: Option<&Instance>, options: &DotOptions) -> String {
+    let full = tree.materialize();
+    let covers: FxHashMap<u32, Vec<u32>> = instance
+        .map(|inst| covering_map(inst, tree))
+        .unwrap_or_default();
+    let mut out = String::from(
+        "digraph category_tree {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n",
+    );
+    let mut stack = vec![(ROOT, 0usize)];
+    while let Some((cat, depth)) = stack.pop() {
+        if options.max_depth > 0 && depth > options.max_depth {
+            continue;
+        }
+        let mut label = tree.label(cat).unwrap_or("·").to_owned();
+        if options.max_label_len > 0 && label.chars().count() > options.max_label_len {
+            label = label.chars().take(options.max_label_len).collect::<String>() + "…";
+        }
+        let mut parts = vec![escape(&label)];
+        if options.item_counts {
+            parts.push(format!("{} items", full[cat as usize].len()));
+        }
+        let covered = covers.get(&cat).map(Vec::len).unwrap_or(0);
+        if covered > 0 {
+            parts.push(format!("covers {covered}"));
+        }
+        let style = if covered > 0 {
+            ", style=filled, fillcolor=\"#d0e8d0\""
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  n{cat} [label=\"{}\"{style}];\n",
+            parts.join("\\n")
+        ));
+        for &child in tree.children(cat) {
+            out.push_str(&format!("  n{cat} -> n{child};\n"));
+            stack.push((child, depth + 1));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::figure2_instance;
+    use crate::similarity::Similarity;
+
+    fn sample() -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        t.set_label(a, "memory \"cards\"");
+        t.assign_items(a, [0, 1]);
+        let b = t.add_category(a);
+        t.assign_item(b, 2);
+        t
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let dot = to_dot(&sample(), None, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("3 items"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let dot = to_dot(&sample(), None, &DotOptions::default());
+        assert!(dot.contains("memory \\\"cards\\\""));
+        assert!(!dot.contains("label=\"memory \"cards\"\""));
+    }
+
+    #[test]
+    fn highlights_covering_categories() {
+        let instance = figure2_instance(Similarity::perfect_recall(0.8));
+        let result = crate::ctcr::run(&instance, &crate::ctcr::CtcrConfig::default());
+        let dot = to_dot(&result.tree, Some(&instance), &DotOptions::default());
+        assert!(dot.contains("fillcolor"), "covered categories are filled");
+        assert!(dot.contains("covers "));
+    }
+
+    #[test]
+    fn depth_limit_prunes() {
+        let dot = to_dot(
+            &sample(),
+            None,
+            &DotOptions {
+                max_depth: 1,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("n0 -> n1"));
+        assert!(!dot.contains("n2 ["), "depth-2 node omitted: {dot}");
+    }
+
+    #[test]
+    fn label_truncation() {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        t.set_label(a, "x".repeat(100));
+        let dot = to_dot(
+            &t,
+            None,
+            &DotOptions {
+                max_label_len: 8,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains(&("x".repeat(8) + "…")));
+        assert!(!dot.contains(&"x".repeat(9)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Faceted-search effort analysis (the §2.2 rationale for Perfect-Recall).
+//!
+//! With a filtering interface, a user who lands on category `C` while
+//! seeking item set `q` must (a) actually find all of `q` there — recall
+//! failures are *unrecoverable* because filters only narrow — and (b)
+//! filter away `|C| − |C ∩ q|` foreign items. This module quantifies that
+//! trade: per input set, the landing category (its best cover), whether
+//! the session can succeed, and the filtering effort.
+
+use crate::input::Instance;
+use crate::score::score_tree;
+use crate::tree::{CategoryTree, CatId};
+
+/// One simulated faceted-search session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Session {
+    /// The input set sought.
+    pub set: u32,
+    /// The category the tree search lands on (best cover), if any scored
+    /// above zero.
+    pub landing: Option<CatId>,
+    /// `true` when every sought item is present in the landing category —
+    /// the session can fully succeed through filtering alone.
+    pub complete: bool,
+    /// Foreign items the filter must remove (`|C| − |C ∩ q|`).
+    pub filter_effort: usize,
+}
+
+/// Aggregate faceted-search quality of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacetReport {
+    /// Per-set sessions, indexed like `instance.sets`.
+    pub sessions: Vec<Session>,
+    /// Weight fraction of sets whose sessions are complete.
+    pub complete_weight_fraction: f64,
+    /// Mean filter effort over complete sessions (items to filter away).
+    pub mean_filter_effort: f64,
+}
+
+/// Simulates a faceted-search session per input set against `tree`.
+pub fn analyze(instance: &Instance, tree: &CategoryTree) -> FacetReport {
+    let score = score_tree(instance, tree);
+    let full = tree.materialize();
+    let mut sessions = Vec::with_capacity(instance.num_sets());
+    let mut complete_weight = 0.0;
+    let mut effort_sum = 0usize;
+    let mut complete_count = 0usize;
+    for (idx, cover) in score.per_set.iter().enumerate() {
+        let q = &instance.sets[idx].items;
+        let landing = cover.best_category;
+        let (complete, filter_effort) = match landing {
+            Some(cat) => {
+                let c = &full[cat as usize];
+                let inter = q.intersection_size(c);
+                (inter == q.len(), c.len() - inter)
+            }
+            None => (false, 0),
+        };
+        if complete {
+            complete_weight += instance.sets[idx].weight;
+            effort_sum += filter_effort;
+            complete_count += 1;
+        }
+        sessions.push(Session {
+            set: idx as u32,
+            landing,
+            complete,
+            filter_effort,
+        });
+    }
+    let total_weight = instance.total_weight();
+    FacetReport {
+        sessions,
+        complete_weight_fraction: if total_weight > 0.0 {
+            complete_weight / total_weight
+        } else {
+            0.0
+        },
+        mean_filter_effort: if complete_count > 0 {
+            effort_sum as f64 / complete_count as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctcr::{self, CtcrConfig};
+    use crate::input::{figure2_instance, InputSet};
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+    use crate::tree::ROOT;
+
+    #[test]
+    fn perfect_recall_sessions_are_complete() {
+        let instance = figure2_instance(Similarity::perfect_recall(0.8));
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let report = analyze(&instance, &result.tree);
+        for session in &report.sessions {
+            if session.landing.is_some() && instance.sets[session.set as usize].weight > 0.0 {
+                // Covered PR sets are complete by definition of the variant.
+                let covered = result.score.per_set[session.set as usize].covered;
+                if covered {
+                    assert!(session.complete, "PR cover must be filter-safe");
+                }
+            }
+        }
+        // q1, q2, q3 covered → 4 of 5 weight units complete.
+        assert!(report.complete_weight_fraction >= 0.8 - 1e-9);
+    }
+
+    #[test]
+    fn filter_effort_counts_foreign_items() {
+        // Category holds q plus 3 foreign items.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let instance = Instance::new(5, sets, Similarity::perfect_recall(0.4));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2, 3, 4]);
+        let report = analyze(&instance, &tree);
+        assert!(report.sessions[0].complete);
+        assert_eq!(report.sessions[0].filter_effort, 3);
+        assert_eq!(report.mean_filter_effort, 3.0);
+    }
+
+    #[test]
+    fn incomplete_sessions_flagged_under_jaccard() {
+        // A Jaccard cover that drops an item can never complete via filters.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1, 2, 3, 4]), 1.0)];
+        let instance = Instance::new(5, sets, Similarity::jaccard_threshold(0.8));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2, 3]); // J = 4/5 ≥ 0.8 but recall < 1
+        let report = analyze(&instance, &tree);
+        assert!(!report.sessions[0].complete);
+        assert_eq!(report.complete_weight_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_tree_yields_no_landings() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.8));
+        let report = analyze(&instance, &CategoryTree::new());
+        assert!(report.sessions.iter().all(|s| s.landing.is_none()));
+    }
+}

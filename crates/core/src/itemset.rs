@@ -1,0 +1,262 @@
+//! Sorted integer item sets with fast set algebra.
+
+use std::fmt;
+
+/// Dense item identifier within an [`crate::Instance`] universe.
+pub type ItemId = u32;
+
+/// An immutable set of items stored as a sorted, deduplicated `u32` slice.
+///
+/// This is the workhorse representation for candidate categories: membership
+/// is `O(log n)`, intersection/union sizes are linear merges with galloping
+/// for very asymmetric operands.
+///
+/// ```
+/// use oct_core::itemset::ItemSet;
+/// let a = ItemSet::new(vec![3, 1, 2, 2]);
+/// let b = ItemSet::new(vec![2, 3, 4]);
+/// assert_eq!(a.as_slice(), &[1, 2, 3]);
+/// assert_eq!(a.intersection_size(&b), 2);
+/// assert_eq!(a.union(&b).len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ItemSet {
+    items: Box<[ItemId]>,
+}
+
+impl ItemSet {
+    /// Builds a set from arbitrary (possibly unsorted, duplicated) ids.
+    pub fn new(mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self {
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a set from ids already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the precondition is violated.
+    pub fn from_sorted(items: Vec<ItemId>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        Self {
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self { items: Box::new([]) }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the set has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted member slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Iterates members ascending.
+    pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// `|self ∩ other|`, via linear merge or galloping search depending on
+    /// the size ratio.
+    pub fn intersection_size(&self, other: &ItemSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() {
+            return 0;
+        }
+        // Galloping pays off when the larger set dominates.
+        if large.len() / small.len().max(1) >= 16 {
+            small
+                .iter()
+                .filter(|&i| large.contains(i))
+                .count()
+        } else {
+            let (a, b) = (&small.items, &large.items);
+            let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        }
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_size(&self, other: &ItemSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// `true` when the sets share no items.
+    pub fn is_disjoint(&self, other: &ItemSet) -> bool {
+        self.intersection_size(other) == 0
+    }
+
+    /// `true` when every member of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &ItemSet) -> bool {
+        self.len() <= other.len() && self.intersection_size(other) == self.len()
+    }
+
+    /// The intersection as a new set.
+    pub fn intersection(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::new();
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for i in small.iter() {
+            if large.contains(i) {
+                out.push(i);
+            }
+        }
+        ItemSet::from_sorted(out)
+    }
+
+    /// The union as a new set.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (&self.items, &other.items);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        ItemSet::from_sorted(out)
+    }
+
+    /// `self ∖ other` as a new set.
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
+        ItemSet::from_sorted(self.iter().filter(|&i| !other.contains(i)).collect())
+    }
+}
+
+impl fmt::Debug for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<ItemId> for ItemSet {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Self {
+        ItemSet::new(iter.into_iter().collect())
+    }
+}
+
+impl From<&[ItemId]> for ItemSet {
+    fn from(items: &[ItemId]) -> Self {
+        ItemSet::new(items.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> ItemSet {
+        ItemSet::new(items.to_vec())
+    }
+
+    #[test]
+    fn normalizes_input() {
+        let s = set(&[3, 1, 2, 2, 1]);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[1, 5, 9]);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!ItemSet::empty().contains(0));
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert_eq!(a.intersection(&b).as_slice(), &[3, 4]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn galloping_path_matches_merge_path() {
+        let small = set(&[0, 500, 999]);
+        let large: ItemSet = (0..1000u32).collect();
+        assert_eq!(small.intersection_size(&large), 3);
+        assert_eq!(large.intersection_size(&small), 3);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[2, 4]);
+        let b = set(&[1, 2, 3, 4]);
+        let c = set(&[7, 8]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(ItemSet::empty().is_subset_of(&a));
+        assert!(ItemSet::empty().is_disjoint(&a));
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        seen.insert(set(&[1, 2]));
+        assert!(seen.contains(&set(&[2, 1])));
+        assert!(!seen.contains(&set(&[1, 2, 3])));
+    }
+}

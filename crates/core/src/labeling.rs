@@ -1,0 +1,200 @@
+//! Category labeling support (paper §2.3, "Labeling").
+//!
+//! Naming categories is out of the paper's formal scope, but the system
+//! "marks each category with the sets it matches, and their labels … hint
+//! at a name". This module implements that marking: every category gets a
+//! label suggestion derived from the input sets it covers, with the
+//! covered sets' weights and precisions deciding among multiple matches.
+
+use crate::input::Instance;
+use crate::itemset::ItemSet;
+use crate::score::covering_map;
+use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::util::FxHashMap;
+
+/// A label suggestion for one category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelSuggestion {
+    /// The category.
+    pub category: CatId,
+    /// Suggested label text.
+    pub label: String,
+    /// Input sets the category covers (the "marking").
+    pub covered_sets: Vec<u32>,
+    /// Weight-precision score of the winning set (how confident the
+    /// suggestion is).
+    pub confidence: f64,
+}
+
+/// Suggests a label for every live covering category of `tree`.
+///
+/// The label of a category covering several sets is the label of the
+/// heaviest covered set (ties to higher precision); sets without labels
+/// contribute a generated `set-<idx>` name. Non-covering categories get no
+/// suggestion (they are either structural intermediates or `C_misc`).
+pub fn suggest_labels(instance: &Instance, tree: &CategoryTree) -> Vec<LabelSuggestion> {
+    let covers = covering_map(instance, tree);
+    let full = tree.materialize();
+    let mut out: Vec<LabelSuggestion> = Vec::new();
+    for (&cat, sets) in &covers {
+        if cat == ROOT {
+            continue;
+        }
+        let c_items = &full[cat as usize];
+        let mut best: Option<(f64, u32)> = None;
+        for &s in sets {
+            let set = &instance.sets[s as usize];
+            let precision = precision_of(&set.items, c_items);
+            let score = set.weight * precision;
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, s));
+            }
+        }
+        let (confidence, winner) = best.expect("covering map entries are non-empty");
+        let label = instance.sets[winner as usize]
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("set-{winner}"));
+        out.push(LabelSuggestion {
+            category: cat,
+            label,
+            covered_sets: sets.clone(),
+            confidence,
+        });
+    }
+    out.sort_by_key(|s| s.category);
+    out
+}
+
+/// Applies [`suggest_labels`] to the tree in place, keeping existing labels
+/// where no suggestion exists. Returns the number of labels written.
+pub fn apply_labels(instance: &Instance, tree: &mut CategoryTree) -> usize {
+    let suggestions = suggest_labels(instance, tree);
+    let count = suggestions.len();
+    for s in suggestions {
+        tree.set_label(s.category, s.label);
+    }
+    count
+}
+
+/// The label-overlap diagnostic of §2.3: when a category covers multiple
+/// sets, "the precision ensures a large overlap, indicating a similar
+/// label". Returns, per multi-covering category, the minimum pairwise
+/// Jaccard similarity among its covered sets — low values flag categories
+/// whose matched sets disagree and deserve taxonomist review.
+pub fn label_coherence(instance: &Instance, tree: &CategoryTree) -> FxHashMap<CatId, f64> {
+    let covers = covering_map(instance, tree);
+    let mut out = FxHashMap::default();
+    for (&cat, sets) in &covers {
+        if sets.len() < 2 {
+            continue;
+        }
+        let mut min_sim = 1.0f64;
+        for (i, &a) in sets.iter().enumerate() {
+            for &b in &sets[i + 1..] {
+                let (sa, sb) = (
+                    &instance.sets[a as usize].items,
+                    &instance.sets[b as usize].items,
+                );
+                let inter = sa.intersection_size(sb);
+                let union = sa.len() + sb.len() - inter;
+                let sim = if union == 0 {
+                    1.0
+                } else {
+                    inter as f64 / union as f64
+                };
+                min_sim = min_sim.min(sim);
+            }
+        }
+        out.insert(cat, min_sim);
+    }
+    out
+}
+
+fn precision_of(q: &ItemSet, c: &ItemSet) -> f64 {
+    if c.is_empty() {
+        return 1.0;
+    }
+    q.intersection_size(c) as f64 / c.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctcr::{self, CtcrConfig};
+    use crate::input::{figure2_instance, InputSet};
+    use crate::similarity::Similarity;
+
+    #[test]
+    fn figure2_categories_get_query_labels() {
+        let instance = figure2_instance(Similarity::perfect_recall(0.8));
+        let mut result = ctcr::run(&instance, &CtcrConfig::default());
+        let n = apply_labels(&instance, &mut result.tree);
+        assert!(n >= 3, "three covered sets expected");
+        let labels: Vec<&str> = result
+            .tree
+            .live_categories()
+            .into_iter()
+            .filter_map(|c| result.tree.label(c))
+            .collect();
+        assert!(labels.contains(&"q1: black shirt"), "{labels:?}");
+        assert!(labels.contains(&"q2: black adidas shirt"), "{labels:?}");
+        assert!(labels.contains(&"q3: nike shirt"), "{labels:?}");
+    }
+
+    #[test]
+    fn heaviest_set_wins_multi_cover() {
+        // One category covers two sets; the heavier label must win.
+        let sets = vec![
+            InputSet::new(ItemSet::new(vec![0, 1, 2]), 5.0).with_label("heavy"),
+            InputSet::new(ItemSet::new(vec![0, 1, 2]), 1.0).with_label("light"),
+        ];
+        let instance = Instance::new(3, sets, Similarity::jaccard_threshold(0.9));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2]);
+        let suggestions = suggest_labels(&instance, &tree);
+        let s = suggestions.iter().find(|s| s.category == c).expect("covered");
+        assert_eq!(s.label, "heavy");
+        assert_eq!(s.covered_sets, vec![0, 1]);
+    }
+
+    #[test]
+    fn unlabeled_sets_get_generated_names() {
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let instance = Instance::new(2, sets, Similarity::jaccard_threshold(0.9));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1]);
+        let suggestions = suggest_labels(&instance, &tree);
+        assert_eq!(suggestions[0].label, "set-0");
+    }
+
+    #[test]
+    fn coherence_flags_disagreeing_covers() {
+        // A low threshold lets one category cover two barely-overlapping
+        // sets; coherence must be low.
+        let sets = vec![
+            InputSet::new(ItemSet::new(vec![0, 1, 2, 3]), 1.0).with_label("a"),
+            InputSet::new(ItemSet::new(vec![2, 3, 4, 5]), 1.0).with_label("b"),
+        ];
+        let instance = Instance::new(6, sets, Similarity::jaccard_threshold(0.5));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2, 3, 4, 5]);
+        // J(q_a, C) = 4/6 ≥ 0.5 and J(q_b, C) = 4/6 ≥ 0.5: both covered.
+        let coherence = label_coherence(&instance, &tree);
+        let min_sim = coherence.get(&c).copied().expect("multi-cover");
+        assert!((min_sim - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_gets_no_suggestion() {
+        let sets = vec![InputSet::new(ItemSet::new(vec![0]), 1.0).with_label("x")];
+        let instance = Instance::new(1, sets, Similarity::jaccard_threshold(0.5));
+        let mut tree = CategoryTree::new();
+        tree.assign_item(ROOT, 0);
+        let suggestions = suggest_labels(&instance, &tree);
+        assert!(suggestions.is_empty());
+    }
+}

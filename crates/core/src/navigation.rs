@@ -1,0 +1,196 @@
+//! Navigation-quality analysis and score-free structural edits (§2.3,
+//! "Navigation").
+//!
+//! The algorithms produce "the minimal number of categories necessary to
+//! achieve its score"; taxonomists then add intermediate categories to aid
+//! navigation, which the model permits "without affecting the score". This
+//! module provides the structural metrics taxonomists look at and a
+//! score-preserving fan-out reducer that groups an overly-wide category's
+//! children under balanced intermediate nodes.
+
+use crate::tree::{CategoryTree, CatId, ROOT};
+
+/// Structural navigation metrics of a tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NavigationStats {
+    /// Live categories (including the root).
+    pub categories: usize,
+    /// Leaf categories.
+    pub leaves: usize,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Mean depth over leaves.
+    pub mean_leaf_depth: f64,
+    /// Maximum fan-out (children per category).
+    pub max_fanout: usize,
+    /// Mean fan-out over non-leaf categories.
+    pub mean_fanout: f64,
+}
+
+/// Computes [`NavigationStats`] for a tree.
+pub fn stats(tree: &CategoryTree) -> NavigationStats {
+    let live = tree.live_categories();
+    let mut leaves = 0usize;
+    let mut max_depth = 0usize;
+    let mut depth_sum = 0usize;
+    let mut max_fanout = 0usize;
+    let mut fanout_sum = 0usize;
+    let mut internal = 0usize;
+    for &cat in &live {
+        let kids = tree.children(cat).len();
+        if kids == 0 {
+            leaves += 1;
+            let d = tree.depth(cat);
+            max_depth = max_depth.max(d);
+            depth_sum += d;
+        } else {
+            internal += 1;
+            max_fanout = max_fanout.max(kids);
+            fanout_sum += kids;
+        }
+    }
+    NavigationStats {
+        categories: live.len(),
+        leaves,
+        max_depth,
+        mean_leaf_depth: if leaves > 0 {
+            depth_sum as f64 / leaves as f64
+        } else {
+            0.0
+        },
+        max_fanout,
+        mean_fanout: if internal > 0 {
+            fanout_sum as f64 / internal as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Reduces every category's fan-out to at most `max_children` by grouping
+/// consecutive children (in their current order) under fresh intermediate
+/// categories, recursively.
+///
+/// The edit is score-free: an intermediate node's item set is the union of
+/// its children, which was already a subset of the parent — for any input
+/// set, the new node's similarity is dominated by either the parent or the
+/// best child only in degenerate cases, and crucially no existing category
+/// changes. (The paper's claim is that *adding* categories never decreases
+/// the max-based score; it may in fact increase it, which is a bonus.)
+///
+/// Returns the number of intermediate categories added.
+///
+/// # Panics
+/// Panics when `max_children < 2`.
+pub fn limit_fanout(tree: &mut CategoryTree, max_children: usize) -> usize {
+    assert!(max_children >= 2, "fan-out limit must be at least 2");
+    let mut added = 0;
+    let mut queue = vec![ROOT];
+    while let Some(cat) = queue.pop() {
+        let children: Vec<CatId> = tree.children(cat).to_vec();
+        if children.len() > max_children {
+            // Partition children into ⌈k / max_children⌉ balanced groups.
+            let groups = children.len().div_ceil(max_children);
+            let per_group = children.len().div_ceil(groups);
+            for chunk in children.chunks(per_group) {
+                if chunk.len() == children.len() {
+                    break; // already fits (single group)
+                }
+                let inter = tree.add_category(cat);
+                added += 1;
+                for &child in chunk {
+                    tree.reparent(child, inter);
+                }
+                queue.push(inter);
+            }
+            // The parent may still exceed the limit if groups > max_children.
+            if tree.children(cat).len() > max_children {
+                queue.push(cat);
+            }
+        } else {
+            queue.extend(children);
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{InputSet, Instance};
+    use crate::itemset::ItemSet;
+    use crate::score::score_tree;
+    use crate::similarity::Similarity;
+
+    fn wide_tree(k: usize) -> CategoryTree {
+        let mut t = CategoryTree::new();
+        for i in 0..k {
+            let c = t.add_category(ROOT);
+            t.assign_item(c, i as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn stats_of_wide_tree() {
+        let t = wide_tree(10);
+        let s = stats(&t);
+        assert_eq!(s.categories, 11);
+        assert_eq!(s.leaves, 10);
+        assert_eq!(s.max_depth, 1);
+        assert_eq!(s.max_fanout, 10);
+    }
+
+    #[test]
+    fn limit_fanout_respects_bound() {
+        let mut t = wide_tree(27);
+        let added = limit_fanout(&mut t, 5);
+        assert!(added > 0);
+        for cat in t.live_categories() {
+            assert!(
+                t.children(cat).len() <= 5,
+                "category {cat} has {} children",
+                t.children(cat).len()
+            );
+        }
+        // All items still present exactly once.
+        let full = t.materialize();
+        assert_eq!(full[ROOT as usize].len(), 27);
+    }
+
+    #[test]
+    fn limit_fanout_preserves_scores() {
+        let sets: Vec<InputSet> = (0..9)
+            .map(|i| InputSet::new(ItemSet::new(vec![i * 2, i * 2 + 1]), 1.0))
+            .collect();
+        let instance = Instance::new(18, sets, Similarity::jaccard_threshold(0.9));
+        let mut t = CategoryTree::new();
+        for i in 0..9u32 {
+            let c = t.add_category(ROOT);
+            t.assign_items(c, [i * 2, i * 2 + 1]);
+        }
+        let before = score_tree(&instance, &t);
+        limit_fanout(&mut t, 3);
+        let after = score_tree(&instance, &t);
+        assert!(
+            after.total + 1e-9 >= before.total,
+            "adding intermediates must not lower the score"
+        );
+        assert!(t.validate(&instance).is_ok());
+        assert!(stats(&t).max_fanout <= 3);
+    }
+
+    #[test]
+    fn already_narrow_tree_untouched() {
+        let mut t = wide_tree(3);
+        assert_eq!(limit_fanout(&mut t, 5), 0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_degenerate_limit() {
+        let mut t = wide_tree(3);
+        let _ = limit_fanout(&mut t, 1);
+    }
+}

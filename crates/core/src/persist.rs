@@ -1,0 +1,383 @@
+//! Compact binary persistence for instances and category trees.
+//!
+//! Production taxonomies are rebuilt every quarter but consumed daily, so
+//! trees (and the instances that produced them, for reproducibility) need a
+//! durable representation. This module provides a small, versioned,
+//! length-prefixed binary format built on `bytes` — no external schema or
+//! format crate required.
+//!
+//! Layout (all integers little-endian):
+//! `magic "OCT1" · u8 record tag · payload`. Strings are `u32` length +
+//! UTF-8; vectors are `u32` count + elements.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::input::{InputSet, Instance};
+use crate::itemset::ItemSet;
+use crate::similarity::{Similarity, SimilarityKind};
+use crate::tree::{CategoryTree, CatId, ROOT};
+
+const MAGIC: &[u8; 4] = b"OCT1";
+const TAG_TREE: u8 = 1;
+const TAG_INSTANCE: u8 = 2;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the format magic.
+    BadMagic,
+    /// The record tag does not match the requested type.
+    WrongTag {
+        /// Expected tag.
+        expected: u8,
+        /// Found tag.
+        found: u8,
+    },
+    /// The buffer ended prematurely.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum discriminant was out of range.
+    BadEnum(u8),
+    /// Structural inconsistency (e.g. a child referencing a missing parent).
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an OCT1 buffer"),
+            DecodeError::WrongTag { expected, found } => {
+                write!(f, "expected record tag {expected}, found {found}")
+            }
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadEnum(v) => write!(f, "invalid enum discriminant {v}"),
+            DecodeError::Inconsistent(what) => write!(f, "inconsistent data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadUtf8)
+}
+
+fn put_items(buf: &mut BytesMut, items: &[u32]) {
+    buf.put_u32_le(items.len() as u32);
+    for &i in items {
+        buf.put_u32_le(i);
+    }
+}
+
+fn get_items(buf: &mut Bytes) -> Result<Vec<u32>, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len * 4)?;
+    Ok((0..len).map(|_| buf.get_u32_le()).collect())
+}
+
+fn header(tag: u8) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(MAGIC);
+    buf.put_u8(tag);
+    buf
+}
+
+fn check_header(buf: &mut Bytes, tag: u8) -> Result<(), DecodeError> {
+    need(buf, 5)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let found = buf.get_u8();
+    if found != tag {
+        return Err(DecodeError::WrongTag {
+            expected: tag,
+            found,
+        });
+    }
+    Ok(())
+}
+
+/// Encodes a category tree (live categories only; tombstones are elided).
+///
+/// ```
+/// use oct_core::persist::{encode_tree, decode_tree};
+/// use oct_core::tree::{CategoryTree, ROOT};
+/// let mut tree = CategoryTree::new();
+/// let c = tree.add_category(ROOT);
+/// tree.assign_items(c, [1, 2, 3]);
+/// let decoded = decode_tree(encode_tree(&tree)).expect("roundtrip");
+/// assert_eq!(decoded.direct_items(c), &[1, 2, 3]);
+/// ```
+pub fn encode_tree(tree: &CategoryTree) -> Bytes {
+    let mut buf = header(TAG_TREE);
+    // Preorder from the root so parents always precede children — creation
+    // order does not survive `reparent` (an intermediate created late can
+    // become an ancestor of an early node).
+    let live = tree.subtree(ROOT);
+    buf.put_u32_le(live.len() as u32);
+    let mut dense = vec![u32::MAX; tree.len()];
+    for (d, &cat) in live.iter().enumerate() {
+        dense[cat as usize] = d as u32;
+    }
+    for &cat in &live {
+        let parent = tree
+            .parent(cat)
+            .map(|p| dense[p as usize])
+            .unwrap_or(u32::MAX);
+        buf.put_u32_le(parent);
+        put_string(&mut buf, tree.label(cat).unwrap_or(""));
+        put_items(&mut buf, tree.direct_items(cat));
+    }
+    buf.freeze()
+}
+
+/// Decodes a category tree produced by [`encode_tree`].
+pub fn decode_tree(mut buf: Bytes) -> Result<CategoryTree, DecodeError> {
+    check_header(&mut buf, TAG_TREE)?;
+    need(&buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    if count == 0 {
+        return Err(DecodeError::Inconsistent("a tree has at least a root"));
+    }
+    let mut tree = CategoryTree::new();
+    let mut id_map: Vec<CatId> = Vec::with_capacity(count);
+    for d in 0..count {
+        need(&buf, 4)?;
+        let parent = buf.get_u32_le();
+        let label = get_string(&mut buf)?;
+        let items = get_items(&mut buf)?;
+        let cat = if d == 0 {
+            if parent != u32::MAX {
+                return Err(DecodeError::Inconsistent("first record must be the root"));
+            }
+            ROOT
+        } else {
+            let p = *id_map
+                .get(parent as usize)
+                .ok_or(DecodeError::Inconsistent("child before parent"))?;
+            tree.add_category(p)
+        };
+        if !label.is_empty() {
+            tree.set_label(cat, label);
+        }
+        tree.assign_items(cat, items);
+        id_map.push(cat);
+    }
+    Ok(tree)
+}
+
+fn kind_tag(kind: SimilarityKind) -> u8 {
+    match kind {
+        SimilarityKind::JaccardCutoff => 0,
+        SimilarityKind::JaccardThreshold => 1,
+        SimilarityKind::F1Cutoff => 2,
+        SimilarityKind::F1Threshold => 3,
+        SimilarityKind::PerfectRecall => 4,
+        SimilarityKind::Exact => 5,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<SimilarityKind, DecodeError> {
+    Ok(match tag {
+        0 => SimilarityKind::JaccardCutoff,
+        1 => SimilarityKind::JaccardThreshold,
+        2 => SimilarityKind::F1Cutoff,
+        3 => SimilarityKind::F1Threshold,
+        4 => SimilarityKind::PerfectRecall,
+        5 => SimilarityKind::Exact,
+        other => return Err(DecodeError::BadEnum(other)),
+    })
+}
+
+/// Encodes an instance.
+pub fn encode_instance(instance: &Instance) -> Bytes {
+    let mut buf = header(TAG_INSTANCE);
+    buf.put_u32_le(instance.num_items);
+    buf.put_u8(kind_tag(instance.similarity.kind));
+    buf.put_f64_le(instance.similarity.delta);
+    match &instance.item_bounds {
+        None => buf.put_u8(0),
+        Some(bounds) => {
+            buf.put_u8(1);
+            buf.put_slice(bounds);
+        }
+    }
+    buf.put_u32_le(instance.sets.len() as u32);
+    for set in &instance.sets {
+        buf.put_f64_le(set.weight);
+        buf.put_f64_le(set.threshold.unwrap_or(f64::NAN));
+        put_string(&mut buf, set.label.as_deref().unwrap_or(""));
+        put_items(&mut buf, set.items.as_slice());
+    }
+    buf.freeze()
+}
+
+/// Decodes an instance produced by [`encode_instance`].
+pub fn decode_instance(mut buf: Bytes) -> Result<Instance, DecodeError> {
+    check_header(&mut buf, TAG_INSTANCE)?;
+    need(&buf, 4 + 1 + 8 + 1)?;
+    let num_items = buf.get_u32_le();
+    let kind = kind_from(buf.get_u8())?;
+    let delta = buf.get_f64_le();
+    let has_bounds = buf.get_u8() == 1;
+    let bounds = if has_bounds {
+        need(&buf, num_items as usize)?;
+        let mut b = vec![0u8; num_items as usize];
+        buf.copy_to_slice(&mut b);
+        Some(b)
+    } else {
+        None
+    };
+    need(&buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    let mut sets = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 16)?;
+        let weight = buf.get_f64_le();
+        let threshold = buf.get_f64_le();
+        let label = get_string(&mut buf)?;
+        let items = get_items(&mut buf)?;
+        let mut set = InputSet::new(ItemSet::new(items), weight);
+        if !threshold.is_nan() {
+            set.threshold = Some(threshold);
+        }
+        if !label.is_empty() {
+            set.label = Some(label);
+        }
+        sets.push(set);
+    }
+    let mut instance = Instance::new(num_items, sets, Similarity::new(kind, delta));
+    if let Some(b) = bounds {
+        instance = instance.with_item_bounds(b);
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::figure2_instance;
+
+    fn sample_tree() -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        let b = t.add_category(a);
+        let c = t.add_category(ROOT);
+        t.set_label(a, "electronics");
+        t.set_label(b, "memory cards");
+        t.assign_items(b, [1, 2, 3]);
+        t.assign_items(a, [0]);
+        t.assign_items(c, [4, 5]);
+        // Exercise tombstone elision.
+        let d = t.add_category(c);
+        t.remove_category(d);
+        t
+    }
+
+    #[test]
+    fn tree_roundtrip_preserves_structure() {
+        let tree = sample_tree();
+        let decoded = decode_tree(encode_tree(&tree)).expect("roundtrip");
+        assert_eq!(
+            decoded.live_categories().len(),
+            tree.live_categories().len()
+        );
+        let (orig, new) = (tree.materialize(), decoded.materialize());
+        assert_eq!(orig[ROOT as usize], new[ROOT as usize]);
+        // Labels survive.
+        let labels: Vec<Option<&str>> = decoded
+            .live_categories()
+            .into_iter()
+            .map(|c| decoded.label(c))
+            .collect();
+        assert!(labels.contains(&Some("memory cards")));
+    }
+
+    #[test]
+    fn instance_roundtrip_preserves_everything() {
+        let mut instance = figure2_instance(Similarity::perfect_recall(0.8));
+        instance.sets[2].threshold = Some(0.33);
+        let instance = instance.with_item_bounds(vec![2, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let decoded = decode_instance(encode_instance(&instance)).expect("roundtrip");
+        assert_eq!(decoded.num_items, 9);
+        assert_eq!(decoded.num_sets(), 4);
+        assert_eq!(decoded.similarity, instance.similarity);
+        assert_eq!(decoded.threshold_of(2), 0.33);
+        assert_eq!(decoded.bound_of(0), 2);
+        for (a, b) in decoded.sets.iter().zip(&instance.sets) {
+            assert_eq!(a.items, b.items);
+            assert_eq!(a.weight, b.weight);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            decode_tree(Bytes::from_static(b"nope")),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(
+            decode_tree(Bytes::from_static(b"WAT1\x01\x00\x00\x00\x00")),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_tag() {
+        let tree = sample_tree();
+        let encoded = encode_tree(&tree);
+        assert!(matches!(
+            decode_instance(encoded),
+            Err(DecodeError::WrongTag { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let encoded = encode_tree(&sample_tree());
+        for cut in [5usize, 9, encoded.len() - 1] {
+            let sliced = encoded.slice(0..cut.min(encoded.len() - 1));
+            assert!(
+                decode_tree(sliced).is_err(),
+                "cut at {cut} should fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_survive_roundtrip() {
+        use crate::ctcr::{self, CtcrConfig};
+        use crate::score::score_tree;
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let decoded_tree = decode_tree(encode_tree(&result.tree)).expect("tree");
+        let decoded_instance =
+            decode_instance(encode_instance(&instance)).expect("instance");
+        let a = score_tree(&instance, &result.tree);
+        let b = score_tree(&decoded_instance, &decoded_tree);
+        assert!((a.total - b.total).abs() < 1e-12);
+    }
+}

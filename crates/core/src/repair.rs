@@ -1,0 +1,437 @@
+//! Post-construction cover repair (an extension beyond the paper).
+//!
+//! The paper's pairwise conflict analysis cannot see *aggregate*
+//! higher-order effects: a large set may be pairwise-compatible with each
+//! of its many overlapping siblings, yet the greedy assignment scatters its
+//! items across branches and the set ends (just) below its threshold —
+//! §3.2 acknowledges this residual error. After the intermediate-category
+//! stage, such sets typically have a candidate category within a few
+//! percent of the threshold.
+//!
+//! This stage closes those gaps without ever breaking an existing cover:
+//! for each uncovered set (heaviest first) it finds the best candidate
+//! category and greedily
+//! 1. **adds** still-unassigned items of the set to the candidate, and
+//! 2. **removes** foreign items from the candidate's subtree when every
+//!    covered set counting on them retains its threshold (slack-aware
+//!    trimming; removed items return to the unassigned pool → `C_misc`),
+//!
+//! committing only when the threshold is actually reached.
+
+use crate::input::Instance;
+use crate::itemset::ItemId;
+use crate::score::score_tree;
+
+use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::util::FxHashMap;
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Input sets newly covered by the pass.
+    pub newly_covered: usize,
+    /// Items added to candidate categories.
+    pub items_added: usize,
+    /// Foreign items trimmed out of candidate subtrees.
+    pub items_removed: usize,
+}
+
+/// A covered set's protection record: its cover at `cat` must stay ≥ δ.
+struct Protection {
+    set: u32,
+    cat: CatId,
+    inter: usize,
+}
+
+struct RepairState<'a> {
+    instance: &'a Instance,
+    tree: &'a mut CategoryTree,
+    /// Full-set size per live category.
+    node_size: Vec<usize>,
+    /// item → direct-assignment categories.
+    locations: FxHashMap<ItemId, Vec<CatId>>,
+    /// Protections indexed by category.
+    protections: Vec<Protection>,
+    by_cat: FxHashMap<CatId, Vec<usize>>,
+}
+
+impl RepairState<'_> {
+    fn threshold(&self, set: u32) -> f64 {
+        self.instance.threshold_of(set as usize)
+    }
+
+    /// Whether a protection still covers with adjusted counts.
+    fn still_covers(&self, p: &Protection, d_len: i64, d_inter: i64) -> bool {
+        let q_len = self.instance.sets[p.set as usize].items.len();
+        let c_len = (self.node_size[p.cat as usize] as i64 + d_len).max(0) as usize;
+        let inter = (p.inter as i64 + d_inter).max(0) as usize;
+        self.instance
+            .similarity
+            .covers_with(self.threshold(p.set), q_len, c_len, inter.min(c_len).min(q_len))
+    }
+
+    /// Chain of `cat` and its ancestors.
+    fn chain(&self, cat: CatId) -> Vec<CatId> {
+        let mut chain = vec![cat];
+        chain.extend(self.tree.ancestors(cat));
+        chain
+    }
+
+    /// Whether adding `item` at `node` keeps every affected protection
+    /// covered. The item must not already be in any affected full set
+    /// (caller guarantees it is globally unassigned).
+    fn add_is_safe(&self, item: ItemId, node: CatId) -> bool {
+        for a in self.chain(node) {
+            let Some(ids) = self.by_cat.get(&a) else {
+                continue;
+            };
+            for &pi in ids {
+                let p = &self.protections[pi];
+                let in_q = self.instance.sets[p.set as usize].items.contains(item);
+                if !self.still_covers(p, 1, i64::from(in_q)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Commits an addition.
+    fn apply_add(&mut self, item: ItemId, node: CatId) {
+        for a in self.chain(node) {
+            self.node_size[a as usize] += 1;
+            if let Some(ids) = self.by_cat.get(&a) {
+                for &pi in ids.clone().iter() {
+                    if self.instance.sets[self.protections[pi].set as usize]
+                        .items
+                        .contains(item)
+                    {
+                        self.protections[pi].inter += 1;
+                    }
+                }
+            }
+        }
+        self.tree.assign_item(node, item);
+        self.locations.entry(item).or_default().push(node);
+    }
+
+    /// Whether removing `item`'s direct assignment at `node` keeps every
+    /// affected protection covered.
+    fn remove_is_safe(&self, item: ItemId, node: CatId) -> bool {
+        for a in self.chain(node) {
+            let Some(ids) = self.by_cat.get(&a) else {
+                continue;
+            };
+            for &pi in ids {
+                let p = &self.protections[pi];
+                let in_q = self.instance.sets[p.set as usize].items.contains(item);
+                if !self.still_covers(p, -1, -i64::from(in_q)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Commits a removal; the item returns to the unassigned pool.
+    fn apply_remove(&mut self, item: ItemId, node: CatId) {
+        for a in self.chain(node) {
+            self.node_size[a as usize] -= 1;
+            if let Some(ids) = self.by_cat.get(&a) {
+                for &pi in ids.clone().iter() {
+                    if self.instance.sets[self.protections[pi].set as usize]
+                        .items
+                        .contains(item)
+                    {
+                        self.protections[pi].inter -= 1;
+                    }
+                }
+            }
+        }
+        // Detach from the tree and the location map.
+        let direct: Vec<ItemId> = self
+            .tree
+            .direct_items(node)
+            .iter()
+            .copied()
+            .filter(|&i| i != item)
+            .collect();
+        let removed_count = self.tree.direct_items(node).len() - direct.len();
+        debug_assert_eq!(removed_count, 1, "exactly one occurrence per node");
+        self.set_direct(node, direct);
+        if let Some(locs) = self.locations.get_mut(&item) {
+            if let Some(pos) = locs.iter().position(|&n| n == node) {
+                locs.swap_remove(pos);
+            }
+        }
+    }
+
+    fn set_direct(&mut self, node: CatId, items: Vec<ItemId>) {
+        // CategoryTree has no direct setter; rebuild via remove+assign.
+        let current = self.tree.direct_items(node).len();
+        let _ = current;
+        self.tree.replace_direct_items(node, items);
+    }
+
+    /// `inter(q, full(cat))` computed from direct locations: an item counts
+    /// when one of its locations lies in `cat`'s subtree.
+    fn inter_with(&self, q: &crate::itemset::ItemSet, cat: CatId) -> usize {
+        q.iter()
+            .filter(|i| {
+                self.locations.get(i).is_some_and(|locs| {
+                    locs.iter()
+                        .any(|&n| n == cat || self.tree.is_ancestor(cat, n))
+                })
+            })
+            .count()
+    }
+}
+
+/// Runs the repair pass. Returns statistics; the tree is modified in place
+/// and stays valid (no item gains branches, some lose one).
+pub fn repair(instance: &Instance, tree: &mut CategoryTree) -> RepairStats {
+    let mut stats = RepairStats::default();
+    let score = score_tree(instance, tree);
+
+    // Build state.
+    let mut locations: FxHashMap<ItemId, Vec<CatId>> = FxHashMap::default();
+    for cat in tree.live_categories() {
+        for &item in tree.direct_items(cat) {
+            locations.entry(item).or_default().push(cat);
+        }
+    }
+    let full = tree.materialize();
+    let node_size: Vec<usize> = (0..tree.len() as CatId)
+        .map(|c| full[c as usize].len())
+        .collect();
+    let mut protections = Vec::new();
+    let mut by_cat: FxHashMap<CatId, Vec<usize>> = FxHashMap::default();
+    for (idx, cover) in score.per_set.iter().enumerate() {
+        if cover.covered {
+            if let Some(cat) = cover.best_category {
+                let inter = instance.sets[idx].items.intersection_size(&full[cat as usize]);
+                by_cat.entry(cat).or_default().push(protections.len());
+                protections.push(Protection {
+                    set: idx as u32,
+                    cat,
+                    inter,
+                });
+            }
+        }
+    }
+    let mut state = RepairState {
+        instance,
+        tree,
+        node_size,
+        locations,
+        protections,
+        by_cat,
+    };
+
+    // Uncovered sets, heaviest first.
+    let mut uncovered: Vec<u32> = score
+        .per_set
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.covered)
+        .map(|(i, _)| i as u32)
+        .collect();
+    uncovered.sort_by(|&a, &b| {
+        instance.sets[b as usize]
+            .weight
+            .total_cmp(&instance.sets[a as usize].weight)
+    });
+
+    for s in uncovered {
+        let q = &instance.sets[s as usize].items;
+        if q.is_empty() {
+            continue;
+        }
+        let delta = instance.threshold_of(s as usize);
+        // Best candidate category by current J (excluding the root).
+        let mut best: Option<(f64, CatId, usize)> = None;
+        for cat in state.tree.live_categories() {
+            if cat == ROOT {
+                continue;
+            }
+            let inter = state.inter_with(q, cat);
+            if inter == 0 {
+                continue;
+            }
+            let union = q.len() + state.node_size[cat as usize] - inter;
+            let j = inter as f64 / union as f64;
+            if best.is_none_or(|(bj, _, _)| j > bj) {
+                best = Some((j, cat, inter));
+            }
+        }
+        let Some((_, cat, mut inter)) = best else {
+            continue;
+        };
+
+        // Plan moves: adds of globally-unassigned q-items, then safe
+        // removals of foreign items, until J ≥ δ or options run out.
+        let adds: Vec<ItemId> = q
+            .iter()
+            .filter(|i| state.locations.get(i).is_none_or(Vec::is_empty))
+            .filter(|&i| state.add_is_safe(i, cat))
+            .collect();
+        // Foreign candidates: direct items in the subtree not in q.
+        let mut removals: Vec<(ItemId, CatId)> = Vec::new();
+        for node in state.tree.subtree(cat) {
+            for &i in state.tree.direct_items(node) {
+                if !q.contains(i) && state.remove_is_safe(i, node) {
+                    removals.push((i, node));
+                }
+            }
+        }
+
+        // Feasibility: J = (inter + a) / (q + size − inter − r).
+        let size = state.node_size[cat as usize];
+        let mut a = 0usize;
+        let mut r = 0usize;
+        // After `a` adds (items of q: inter and size both grow) and `r`
+        // foreign removals (size shrinks), the cover predicate of the
+        // instance's variant decides feasibility.
+        let reaches = |a: usize, r: usize, inter: usize| {
+            let c_len = size + a - r.min(size + a);
+            instance
+                .similarity
+                .covers_with(delta, q.len(), c_len, (inter + a).min(q.len()).min(c_len))
+        };
+        while !reaches(a, r, inter) && a < adds.len() {
+            a += 1;
+        }
+        while !reaches(a, r, inter) && r < removals.len() {
+            r += 1;
+        }
+        if !reaches(a, r, inter) {
+            continue; // cannot close the gap safely
+        }
+        // Commit (safety is rechecked per move because earlier commits may
+        // consume slack; abort the set if a move became unsafe).
+        let mut committed_adds = 0;
+        let mut committed_removes = 0;
+        for &item in adds.iter().take(a) {
+            if state.add_is_safe(item, cat) {
+                state.apply_add(item, cat);
+                committed_adds += 1;
+                inter += 1;
+            }
+        }
+        for &(item, node) in removals.iter().take(r) {
+            if state.remove_is_safe(item, node) {
+                state.apply_remove(item, node);
+                committed_removes += 1;
+            }
+        }
+        stats.items_added += committed_adds;
+        stats.items_removed += committed_removes;
+        // Verify the cover landed; protect it so later repairs keep it.
+        let new_inter = inter;
+        if instance.similarity.covers_with(
+            delta,
+            q.len(),
+            state.node_size[cat as usize],
+            new_inter.min(q.len()),
+        ) {
+            stats.newly_covered += 1;
+            state.by_cat.entry(cat).or_default().push(state.protections.len());
+            state.protections.push(Protection {
+                set: s,
+                cat,
+                inter: new_inter,
+            });
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputSet;
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    #[test]
+    fn tops_up_with_unassigned_items() {
+        // q = {0..4}; category holds {0,1,2}; items 3,4 unassigned.
+        // δ = 0.8 needs 4/5: adding both unassigned items gives 5/5.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1, 2, 3, 4]), 1.0)];
+        let instance = Instance::new(5, sets, Similarity::jaccard_threshold(0.8));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2]);
+        let stats = repair(&instance, &mut tree);
+        assert_eq!(stats.newly_covered, 1);
+        assert!(stats.items_added >= 1);
+        let score = score_tree(&instance, &tree);
+        assert!(score.per_set[0].covered);
+        assert!(tree.validate(&instance).is_ok());
+    }
+
+    #[test]
+    fn trims_foreign_items_with_slack() {
+        // q = {0,1,2}; category holds {0,1,2,9,8} (J = 3/5 < 0.7). Items
+        // 8, 9 belong to no covered set: trimming them covers q.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1, 2]), 1.0)];
+        let instance = Instance::new(10, sets, Similarity::jaccard_threshold(0.7));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2, 8, 9]);
+        let stats = repair(&instance, &mut tree);
+        assert_eq!(stats.newly_covered, 1);
+        assert!(stats.items_removed >= 1);
+        let score = score_tree(&instance, &tree);
+        assert!(score.per_set[0].covered);
+    }
+
+    #[test]
+    fn never_uncovers_protected_sets() {
+        // Two sets share a category's items: q1 = {0,1,2} covered exactly;
+        // q2 = {1,2,3} uncovered. Trimming item 0 would help q2 but break
+        // q1's exact cover at δ = 1 — must be refused.
+        let sets = vec![
+            InputSet::new(ItemSet::new(vec![0, 1, 2]), 5.0),
+            InputSet::new(ItemSet::new(vec![1, 2, 3]), 1.0),
+        ];
+        let instance = Instance::new(4, sets, Similarity::jaccard_threshold(1.0));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1, 2]);
+        let before = score_tree(&instance, &tree);
+        assert!(before.per_set[0].covered);
+        let _ = repair(&instance, &mut tree);
+        let after = score_tree(&instance, &tree);
+        assert!(after.per_set[0].covered, "protected cover must survive");
+    }
+
+    #[test]
+    fn noop_when_everything_covered() {
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let instance = Instance::new(2, sets, Similarity::jaccard_threshold(0.9));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 1]);
+        let stats = repair(&instance, &mut tree);
+        assert_eq!(stats, RepairStats::default());
+    }
+
+    #[test]
+    fn skips_unreachable_gaps() {
+        // q of 10 items; only 2 exist anywhere; δ = 0.9 unreachable.
+        let sets = vec![InputSet::new(ItemSet::new((0..10).collect()), 1.0)];
+        let instance = Instance::new(20, sets, Similarity::jaccard_threshold(0.9));
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, [0, 11, 12, 13, 14, 15, 16, 17, 18, 19]);
+        // Adds available: items 1..10 are unassigned, so it CAN top up.
+        // Tighten: make them assigned elsewhere on another branch.
+        let other = tree.add_category(ROOT);
+        tree.assign_items(other, 1..10u32);
+        let stats = repair(&instance, &mut tree);
+        // Foreign trimming alone: removing 11..19 gives C = {0}: J = 1/10.
+        assert_eq!(stats.newly_covered, 0);
+        assert!(tree.validate(&instance).is_ok());
+    }
+}

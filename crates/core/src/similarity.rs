@@ -1,0 +1,308 @@
+//! Similarity functions and the six `OCT` problem variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance used when comparing similarity values against thresholds, to
+/// absorb floating-point noise (`0.6 * 5.0 != 3.0` in `f64`).
+pub const EPS: f64 = 1e-9;
+
+/// The similarity-function variants of the `OCT` problem (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimilarityKind {
+    /// `J(q,C)` when `J ≥ δ`, else 0.
+    JaccardCutoff,
+    /// `1` when `J(q,C) ≥ δ`, else 0.
+    JaccardThreshold,
+    /// `F1(q,C)` when `F1 ≥ δ`, else 0.
+    F1Cutoff,
+    /// `1` when `F1(q,C) ≥ δ`, else 0.
+    F1Threshold,
+    /// `1` when recall is 1 and precision ≥ δ, else 0.
+    PerfectRecall,
+    /// `1` when `C = q`, else 0 (the `δ = 1` convergence point).
+    Exact,
+}
+
+impl SimilarityKind {
+    /// `true` for the binary (0/1-valued) variants.
+    pub fn is_binary(self) -> bool {
+        !matches!(self, SimilarityKind::JaccardCutoff | SimilarityKind::F1Cutoff)
+    }
+
+    /// `true` for variants where a category must fully contain the set it
+    /// covers (recall is forced to 1).
+    pub fn requires_perfect_recall(self) -> bool {
+        matches!(self, SimilarityKind::PerfectRecall | SimilarityKind::Exact)
+    }
+
+    /// The underlying graded measure used for embeddings, gap computations,
+    /// and cutoff scores.
+    pub fn base(self) -> BaseMeasure {
+        match self {
+            SimilarityKind::JaccardCutoff | SimilarityKind::JaccardThreshold => {
+                BaseMeasure::Jaccard
+            }
+            SimilarityKind::F1Cutoff | SimilarityKind::F1Threshold => BaseMeasure::F1,
+            SimilarityKind::PerfectRecall => BaseMeasure::RecallPrecisionMean,
+            SimilarityKind::Exact => BaseMeasure::Jaccard,
+        }
+    }
+
+    /// Human-readable variant name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityKind::JaccardCutoff => "cutoff Jaccard",
+            SimilarityKind::JaccardThreshold => "threshold Jaccard",
+            SimilarityKind::F1Cutoff => "cutoff F1",
+            SimilarityKind::F1Threshold => "threshold F1",
+            SimilarityKind::PerfectRecall => "Perfect-Recall",
+            SimilarityKind::Exact => "Exact",
+        }
+    }
+}
+
+/// Graded measures underlying the thresholded variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseMeasure {
+    /// `|q∩C| / |q∪C|`.
+    Jaccard,
+    /// Harmonic mean of precision and recall.
+    F1,
+    /// `(recall + precision) / 2` — the paper's Perfect-Recall embedding.
+    RecallPrecisionMean,
+}
+
+impl BaseMeasure {
+    /// Evaluates the measure from `(|q|, |C|, |q∩C|)`.
+    #[inline]
+    pub fn eval(self, q_len: usize, c_len: usize, inter: usize) -> f64 {
+        debug_assert!(inter <= q_len && inter <= c_len);
+        match self {
+            BaseMeasure::Jaccard => {
+                let union = q_len + c_len - inter;
+                if union == 0 {
+                    1.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            }
+            BaseMeasure::F1 => {
+                if q_len + c_len == 0 {
+                    1.0
+                } else {
+                    2.0 * inter as f64 / (q_len + c_len) as f64
+                }
+            }
+            BaseMeasure::RecallPrecisionMean => {
+                let r = if q_len == 0 { 1.0 } else { inter as f64 / q_len as f64 };
+                let p = if c_len == 0 { 1.0 } else { inter as f64 / c_len as f64 };
+                (r + p) / 2.0
+            }
+        }
+    }
+}
+
+/// Fully-parameterized similarity: variant plus default threshold `δ`.
+///
+/// ```
+/// use oct_core::similarity::Similarity;
+/// let sim = Similarity::jaccard_threshold(0.6);
+/// // |q| = 5, |C| = 4, |q ∩ C| = 3  ⇒  J = 3/6 = 0.5 < 0.6 ⇒ not covered.
+/// assert_eq!(sim.score(5, 4, 3), 0.0);
+/// // |q ∩ C| = 4 ⇒ J = 4/5 = 0.8 ≥ 0.6 ⇒ covered (binary variant → 1).
+/// assert_eq!(sim.score(5, 4, 4), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Similarity {
+    /// The problem variant.
+    pub kind: SimilarityKind,
+    /// Default threshold `δ ∈ (0, 1]` (per-set overrides live on the sets).
+    pub delta: f64,
+}
+
+impl Similarity {
+    /// Creates a similarity configuration.
+    ///
+    /// # Panics
+    /// Panics when `delta ∉ (0, 1]`, or when the Exact variant is paired
+    /// with `delta < 1`.
+    pub fn new(kind: SimilarityKind, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1], got {delta}");
+        if kind == SimilarityKind::Exact {
+            assert!(
+                (delta - 1.0).abs() < EPS,
+                "the Exact variant requires delta = 1"
+            );
+        }
+        Self { kind, delta }
+    }
+
+    /// Convenience constructors for each variant.
+    pub fn jaccard_cutoff(delta: f64) -> Self {
+        Self::new(SimilarityKind::JaccardCutoff, delta)
+    }
+    /// See [`SimilarityKind::JaccardThreshold`].
+    pub fn jaccard_threshold(delta: f64) -> Self {
+        Self::new(SimilarityKind::JaccardThreshold, delta)
+    }
+    /// See [`SimilarityKind::F1Cutoff`].
+    pub fn f1_cutoff(delta: f64) -> Self {
+        Self::new(SimilarityKind::F1Cutoff, delta)
+    }
+    /// See [`SimilarityKind::F1Threshold`].
+    pub fn f1_threshold(delta: f64) -> Self {
+        Self::new(SimilarityKind::F1Threshold, delta)
+    }
+    /// See [`SimilarityKind::PerfectRecall`].
+    pub fn perfect_recall(delta: f64) -> Self {
+        Self::new(SimilarityKind::PerfectRecall, delta)
+    }
+    /// See [`SimilarityKind::Exact`].
+    pub fn exact() -> Self {
+        Self::new(SimilarityKind::Exact, 1.0)
+    }
+
+    /// Evaluates `S(q, C)` from set cardinalities, using threshold `delta`
+    /// (callers apply per-set overrides by passing a different `delta`).
+    pub fn score_with(&self, delta: f64, q_len: usize, c_len: usize, inter: usize) -> f64 {
+        match self.kind {
+            SimilarityKind::JaccardCutoff | SimilarityKind::F1Cutoff => {
+                let raw = self.kind.base().eval(q_len, c_len, inter);
+                if raw + EPS >= delta {
+                    raw
+                } else {
+                    0.0
+                }
+            }
+            SimilarityKind::JaccardThreshold | SimilarityKind::F1Threshold => {
+                let raw = self.kind.base().eval(q_len, c_len, inter);
+                if raw + EPS >= delta {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SimilarityKind::PerfectRecall => {
+                let recall_perfect = inter == q_len;
+                let precision = if c_len == 0 {
+                    1.0
+                } else {
+                    inter as f64 / c_len as f64
+                };
+                if recall_perfect && precision + EPS >= delta {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SimilarityKind::Exact => {
+                if inter == q_len && inter == c_len {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Evaluates `S(q, C)` with the default threshold.
+    #[inline]
+    pub fn score(&self, q_len: usize, c_len: usize, inter: usize) -> f64 {
+        self.score_with(self.delta, q_len, c_len, inter)
+    }
+
+    /// `true` when the score passes the (possibly overridden) threshold —
+    /// i.e. the category *covers* the set.
+    #[inline]
+    pub fn covers_with(&self, delta: f64, q_len: usize, c_len: usize, inter: usize) -> bool {
+        self.score_with(delta, q_len, c_len, inter) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        let s = Similarity::jaccard_cutoff(0.5);
+        // q of 4, C of 3, sharing 3 -> J = 3/4.
+        assert!((s.score(4, 3, 3) - 0.75).abs() < EPS);
+        // Below threshold rounds to zero.
+        assert_eq!(s.score(10, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn threshold_variant_is_binary() {
+        let s = Similarity::jaccard_threshold(0.5);
+        assert_eq!(s.score(4, 3, 3), 1.0);
+        assert_eq!(s.score(10, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_definition() {
+        let s = Similarity::f1_cutoff(0.1);
+        // p = 2/3, r = 2/4 => F1 = 2*(2/3)*(1/2)/((2/3)+(1/2)) = 4/7.
+        assert!((s.score(4, 3, 2) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_recall_requires_full_containment() {
+        let s = Similarity::perfect_recall(0.8);
+        // Paper Example 2.1: |C1| = 6, 5 of 6 items in q1, recall perfect.
+        assert_eq!(s.score(5, 6, 5), 1.0);
+        // Missing one item of q: recall < 1.
+        assert_eq!(s.score(5, 6, 4), 0.0);
+        // Precision below delta.
+        assert_eq!(s.score(5, 10, 5), 0.0);
+    }
+
+    #[test]
+    fn exact_requires_identity() {
+        let s = Similarity::exact();
+        assert_eq!(s.score(3, 3, 3), 1.0);
+        assert_eq!(s.score(3, 4, 3), 0.0);
+        assert_eq!(s.score(4, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn boundary_threshold_passes_with_eps() {
+        let s = Similarity::jaccard_threshold(0.6);
+        // J = 3/5 = 0.6 exactly: must pass despite floating point noise.
+        assert_eq!(s.score(4, 4, 3), 1.0);
+    }
+
+    #[test]
+    fn empty_sets_degenerate_cases() {
+        let s = Similarity::jaccard_cutoff(0.5);
+        assert_eq!(s.score(0, 0, 0), 1.0);
+        assert_eq!(s.score(0, 5, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1]")]
+    fn rejects_zero_delta() {
+        let _ = Similarity::jaccard_cutoff(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Exact variant requires delta = 1")]
+    fn rejects_exact_with_low_delta() {
+        let _ = Similarity::new(SimilarityKind::Exact, 0.5);
+    }
+
+    #[test]
+    fn per_set_override() {
+        let s = Similarity::jaccard_threshold(0.9);
+        assert_eq!(s.score(4, 3, 3), 0.0);
+        assert_eq!(s.score_with(0.5, 4, 3, 3), 1.0);
+        assert!(s.covers_with(0.5, 4, 3, 3));
+    }
+
+    #[test]
+    fn base_measure_recall_precision_mean() {
+        let v = BaseMeasure::RecallPrecisionMean.eval(4, 2, 2);
+        // r = 0.5, p = 1.0 -> 0.75.
+        assert!((v - 0.75).abs() < EPS);
+    }
+}

@@ -1,0 +1,378 @@
+//! Continual conservative updates (paper §2.3 and Table 1).
+//!
+//! Platforms rebuild their trees periodically (XYZ: every 90 days) but must
+//! avoid radical changes. The paper's recipe: add the *existing* tree's
+//! categories as extra input sets, modulating their weights (and
+//! thresholds) to control how strongly the old categorization is preserved;
+//! complementarily, re-run the algorithm on selected subtrees only.
+
+use crate::input::{InputSet, Instance};
+use crate::tree::{CategoryTree, CatId, ROOT};
+
+/// Tags distinguishing the provenance of input sets in a mixed instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceTag {
+    /// A query-derived candidate category.
+    Query,
+    /// A category of the existing tree.
+    Existing,
+}
+
+/// A mixed instance together with its per-set provenance.
+#[derive(Debug, Clone)]
+pub struct MixedInstance {
+    /// The combined instance (queries first, then existing categories).
+    pub instance: Instance,
+    /// Provenance of each input set.
+    pub sources: Vec<SourceTag>,
+}
+
+impl MixedInstance {
+    /// Splits a tree score's total into the contributions of each source,
+    /// returning `(query_share, existing_share)` as fractions of the total
+    /// (the quantities of the paper's Table 1).
+    pub fn contribution_split(&self, score: &crate::score::TreeScore) -> (f64, f64) {
+        let mut query = 0.0;
+        let mut existing = 0.0;
+        for ((cover, set), source) in score
+            .per_set
+            .iter()
+            .zip(&self.instance.sets)
+            .zip(&self.sources)
+        {
+            let contribution = set.weight * cover.similarity;
+            match source {
+                SourceTag::Query => query += contribution,
+                SourceTag::Existing => existing += contribution,
+            }
+        }
+        let total = query + existing;
+        if total <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            (query / total, existing / total)
+        }
+    }
+}
+
+/// Builds a conservative-update instance: the query-derived `base` instance
+/// plus the categories of `existing` as additional uniform-weight input
+/// sets, with total weight mass split `query_fraction : 1 − query_fraction`
+/// (the paper scales query weights to hit the desired ratio).
+///
+/// Categories with fewer than `min_category_size` items (and the root) are
+/// skipped — they carry no categorization signal.
+///
+/// # Panics
+/// Panics when `query_fraction ∉ [0, 1]`.
+pub fn conservative_instance(
+    base: &Instance,
+    existing: &CategoryTree,
+    query_fraction: f64,
+    min_category_size: usize,
+) -> MixedInstance {
+    assert!(
+        (0.0..=1.0).contains(&query_fraction),
+        "query_fraction must be in [0,1]"
+    );
+    let full = existing.materialize();
+    let mut existing_sets: Vec<InputSet> = Vec::new();
+    for cat in existing.live_categories() {
+        if cat == ROOT {
+            continue;
+        }
+        let items = &full[cat as usize];
+        if items.len() < min_category_size.max(1) {
+            continue;
+        }
+        let mut set = InputSet::new(items.clone(), 1.0);
+        if let Some(label) = existing.label(cat) {
+            set = set.with_label(label.to_owned());
+        }
+        existing_sets.push(set);
+    }
+
+    // Scale query weights so that Σ query weight : Σ existing weight matches
+    // query_fraction : (1 − query_fraction).
+    let query_mass: f64 = base.sets.iter().map(|s| s.weight).sum();
+    let existing_mass = existing_sets.len() as f64;
+    let scale = if query_mass > 0.0 && query_fraction < 1.0 && existing_mass > 0.0 {
+        (query_fraction / (1.0 - query_fraction)) * existing_mass / query_mass
+    } else {
+        1.0
+    };
+
+    let mut sets: Vec<InputSet> = base
+        .sets
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            s.weight *= scale;
+            s
+        })
+        .collect();
+    let mut sources = vec![SourceTag::Query; sets.len()];
+    sources.extend(std::iter::repeat_n(SourceTag::Existing, existing_sets.len()));
+    sets.extend(existing_sets);
+
+    let mut instance = Instance::new(base.num_items, sets, base.similarity);
+    instance.item_bounds = base.item_bounds.clone();
+    MixedInstance { instance, sources }
+}
+
+/// Restricts an instance to the subtree of `subtree_root` in `existing`:
+/// keeps only the items of that subtree and the input sets that
+/// predominantly (≥ `overlap`) fall inside it, re-indexing nothing (ids are
+/// preserved; outside items are dropped from the kept sets). This supports
+/// the paper's "re-run on selected subtrees" workflow.
+pub fn subtree_instance(
+    base: &Instance,
+    existing: &CategoryTree,
+    subtree_root: CatId,
+    overlap: f64,
+) -> Instance {
+    let full = existing.materialize();
+    let scope = &full[subtree_root as usize];
+    let sets: Vec<InputSet> = base
+        .sets
+        .iter()
+        .filter_map(|s| {
+            let inside = s.items.intersection(scope);
+            if s.items.is_empty()
+                || (inside.len() as f64) < overlap * s.items.len() as f64
+                || inside.is_empty()
+            {
+                None
+            } else {
+                let mut kept = InputSet::new(inside, s.weight);
+                kept.threshold = s.threshold;
+                kept.label = s.label.clone();
+                Some(kept)
+            }
+        })
+        .collect();
+    let mut instance = Instance::new(base.num_items, sets, base.similarity);
+    instance.item_bounds = base.item_bounds.clone();
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctcr::{self, CtcrConfig};
+    use crate::itemset::ItemSet;
+    use crate::score::score_tree;
+    use crate::similarity::Similarity;
+
+    fn existing_tree() -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        let b = t.add_category(ROOT);
+        t.assign_items(a, [0, 1, 2]);
+        t.assign_items(b, [3, 4, 5]);
+        t.set_label(a, "cameras");
+        t.set_label(b, "phones");
+        t
+    }
+
+    fn query_instance() -> Instance {
+        Instance::new(
+            6,
+            vec![
+                InputSet::new(ItemSet::new(vec![0, 1]), 4.0).with_label("dslr"),
+                InputSet::new(ItemSet::new(vec![2, 3]), 2.0).with_label("memory cards"),
+            ],
+            Similarity::jaccard_threshold(0.6),
+        )
+    }
+
+    #[test]
+    fn conservative_instance_mixes_sources() {
+        let mixed = conservative_instance(&query_instance(), &existing_tree(), 0.5, 2);
+        assert_eq!(mixed.instance.num_sets(), 4);
+        assert_eq!(
+            mixed.sources,
+            vec![
+                SourceTag::Query,
+                SourceTag::Query,
+                SourceTag::Existing,
+                SourceTag::Existing
+            ]
+        );
+        // Mass split 50/50: query mass = existing mass = 2.
+        let qm: f64 = mixed.instance.sets[..2].iter().map(|s| s.weight).sum();
+        let em: f64 = mixed.instance.sets[2..].iter().map(|s| s.weight).sum();
+        assert!((qm - em).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contribution_split_tracks_ratio() {
+        for &fraction in &[0.1, 0.5, 0.9] {
+            let mixed = conservative_instance(&query_instance(), &existing_tree(), fraction, 2);
+            let result = ctcr::run(&mixed.instance, &CtcrConfig::default());
+            let (q, e) = mixed.contribution_split(&result.score);
+            assert!((q + e - 1.0).abs() < 1e-9 || (q == 0.0 && e == 0.0));
+            // The covered split should roughly track the input mass split.
+            assert!(
+                (q - fraction).abs() < 0.35,
+                "fraction {fraction}: got query share {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_existing_categories_skipped() {
+        let mut t = existing_tree();
+        let tiny = t.add_category(ROOT);
+        t.assign_item(tiny, 5);
+        let mixed = conservative_instance(&query_instance(), &t, 0.5, 2);
+        // The 1-item category must not appear.
+        assert!(mixed
+            .instance
+            .sets
+            .iter()
+            .all(|s| s.items.len() >= 2));
+    }
+
+    #[test]
+    fn subtree_instance_filters_sets() {
+        let t = existing_tree();
+        let cameras = 1; // first added category
+        let sub = subtree_instance(&query_instance(), &t, cameras, 0.5);
+        // "dslr" {0,1} is fully inside; "memory cards" {2,3} is half inside
+        // (2 of 2 → 0.5 overlap passes with items clipped to {2}).
+        assert_eq!(sub.num_sets(), 2);
+        assert_eq!(sub.sets[0].items.len(), 2);
+        assert_eq!(sub.sets[1].items.len(), 1);
+        let strict = subtree_instance(&query_instance(), &t, cameras, 0.9);
+        assert_eq!(strict.num_sets(), 1);
+    }
+
+    #[test]
+    fn rerun_on_subtree_scores_locally() {
+        let t = existing_tree();
+        let sub = subtree_instance(&query_instance(), &t, 1, 0.5);
+        let result = ctcr::run(&sub, &CtcrConfig::default());
+        assert!(result.tree.validate(&sub).is_ok());
+        let rescore = score_tree(&sub, &result.tree);
+        assert!(rescore.covered_count() >= 1);
+    }
+}
+
+/// Measures how different two categorizations of the same universe are:
+/// the fraction of sampled item pairs whose *together/apart* relation (same
+/// most-specific category or not) disagrees between the trees — a
+/// Rand-index-style distance in `[0, 1]`, 0 for identical categorizations.
+///
+/// Items with multiple direct assignments (raised bounds) are keyed by
+/// their first assignment; unassigned items form an implicit shared bucket.
+/// Sampling is deterministic (`sample_pairs` pairs via an LCG).
+pub fn categorization_distance(
+    a: &CategoryTree,
+    b: &CategoryTree,
+    num_items: u32,
+    sample_pairs: usize,
+) -> f64 {
+    if num_items < 2 || sample_pairs == 0 {
+        return 0.0;
+    }
+    let bucket = |tree: &CategoryTree| -> Vec<u32> {
+        let mut of = vec![u32::MAX; num_items as usize];
+        for cat in tree.live_categories() {
+            for &item in tree.direct_items(cat) {
+                if of[item as usize] == u32::MAX {
+                    of[item as usize] = cat;
+                }
+            }
+        }
+        of
+    };
+    let (ba, bb) = (bucket(a), bucket(b));
+    // Deterministic LCG pair sampling.
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut disagreements = 0usize;
+    for _ in 0..sample_pairs {
+        let i = next() % num_items;
+        let mut j = next() % num_items;
+        if i == j {
+            j = (j + 1) % num_items;
+        }
+        let same_a = ba[i as usize] == ba[j as usize];
+        let same_b = bb[i as usize] == bb[j as usize];
+        if same_a != same_b {
+            disagreements += 1;
+        }
+    }
+    disagreements as f64 / sample_pairs as f64
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+    use crate::tree::{CategoryTree, ROOT};
+
+    fn two_bucket_tree(split: u32, n: u32) -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        let b = t.add_category(ROOT);
+        t.assign_items(a, 0..split);
+        t.assign_items(b, split..n);
+        t
+    }
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let t = two_bucket_tree(10, 20);
+        assert_eq!(categorization_distance(&t, &t, 20, 4000), 0.0);
+    }
+
+    #[test]
+    fn different_splits_have_positive_distance() {
+        let a = two_bucket_tree(10, 20);
+        let b = two_bucket_tree(3, 20);
+        let d = categorization_distance(&a, &b, 20, 4000);
+        assert!(d > 0.1, "distance {d} too small for different splits");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = two_bucket_tree(10, 20);
+        let b = two_bucket_tree(5, 20);
+        let d1 = categorization_distance(&a, &b, 20, 4000);
+        let d2 = categorization_distance(&b, &a, 20, 4000);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_weighting_reduces_distance_to_existing() {
+        use crate::ctcr::{self, CtcrConfig};
+        use crate::input::{InputSet, Instance};
+        use crate::itemset::ItemSet;
+        use crate::similarity::Similarity;
+        // Existing tree splits 0..20 vs 20..40; queries want a split at 10.
+        let existing = two_bucket_tree(20, 40);
+        let queries = Instance::new(
+            40,
+            vec![
+                InputSet::new(ItemSet::new((0..10).collect()), 5.0),
+                InputSet::new(ItemSet::new((10..30).collect()), 5.0),
+                InputSet::new(ItemSet::new((30..40).collect()), 5.0),
+            ],
+            Similarity::jaccard_threshold(0.8),
+        );
+        let loose = conservative_instance(&queries, &existing, 0.95, 2);
+        let tight = conservative_instance(&queries, &existing, 0.05, 2);
+        let t_loose = ctcr::run(&loose.instance, &CtcrConfig::default()).tree;
+        let t_tight = ctcr::run(&tight.instance, &CtcrConfig::default()).tree;
+        let d_loose = categorization_distance(&t_loose, &existing, 40, 6000);
+        let d_tight = categorization_distance(&t_tight, &existing, 40, 6000);
+        assert!(
+            d_tight <= d_loose + 1e-9,
+            "existing-heavy weighting should stay closer: tight {d_tight} vs loose {d_loose}"
+        );
+    }
+}

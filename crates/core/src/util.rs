@@ -1,0 +1,121 @@
+//! Small utilities: a fast non-cryptographic hasher for integer-keyed maps.
+//!
+//! The hot paths of conflict enumeration and tree scoring are dominated by
+//! hash-map operations over dense `u32` ids, where SipHash is needlessly
+//! slow. This is the classic Fx (Firefox/rustc) multiply-rotate hash,
+//! implemented in-repo to stay within the approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher. Fast for short integer keys; not
+/// HashDoS-resistant (inputs here are internal dense ids, not attacker
+/// controlled).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Ceiling of `x` with a tolerance for floating-point noise: values within
+/// `1e-9` of an integer round to that integer instead of the next one.
+#[inline]
+pub fn ceil_tolerant(x: f64) -> i64 {
+    let r = x.round();
+    if (x - r).abs() < 1e-9 {
+        r as i64
+    } else {
+        x.ceil() as i64
+    }
+}
+
+/// Floor of `x` with the same tolerance as [`ceil_tolerant`].
+#[inline]
+pub fn floor_tolerant(x: f64) -> i64 {
+    let r = x.round();
+    if (x - r).abs() < 1e-9 {
+        r as i64
+    } else {
+        x.floor() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&1998));
+    }
+
+    #[test]
+    fn fx_hash_distributes() {
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u32 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn tolerant_rounding() {
+        assert_eq!(ceil_tolerant(2.0000000001), 2);
+        assert_eq!(ceil_tolerant(2.1), 3);
+        assert_eq!(floor_tolerant(1.9999999999), 2);
+        assert_eq!(floor_tolerant(1.9), 1);
+        // 0.6 * 5 in floating point is 3.0000000000000004.
+        assert_eq!(ceil_tolerant(0.6 * 5.0), 3);
+    }
+}

@@ -1,0 +1,359 @@
+//! The human-in-the-loop workflow of §5.4.
+//!
+//! Taxonomists iterate: run CTCR, inspect what is not covered, adjust
+//! weights and thresholds, and re-run. The paper reports that "reemploying
+//! CTCR several times is sufficient to derive a tree with the desired
+//! categorization improvements". This module automates the mechanical
+//! parts:
+//!
+//! * [`relax_uncovered`] — the re-threshold rule used for the misc items
+//!   (§3.1) and the underrepresented categories (§5.4): lower the
+//!   thresholds of uncovered sets before the next run;
+//! * [`boost_sets`] — raise the weight of underrepresented candidates
+//!   (the World-Cup-memorabilia fix);
+//! * [`iterate`] — the full reemployment loop with a coverage trace;
+//! * [`embedding_outliers`] — the misassignment detector ("a tool that
+//!   detects high pairwise distances between embeddings of items within a
+//!   category", the Nike-Blazer example);
+//! * [`orphaned_items`] — rare items absent from every covering category,
+//!   flagged for the automatic re-assignment tooling, plus the
+//!   "many orphans in one query" signal that suggests a new category.
+
+use crate::ctcr::{self, CtcrConfig, CtcrResult};
+use crate::input::Instance;
+use crate::score::score_tree;
+use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::util::FxHashSet;
+
+/// Returns a copy of `instance` where every set uncovered by `result` has
+/// its threshold multiplied by `relief` (clamped to `[0.05, 1]`).
+///
+/// # Panics
+/// Panics when `relief` is not in `(0, 1]`.
+pub fn relax_uncovered(
+    instance: &Instance,
+    covered: &[bool],
+    relief: f64,
+) -> Instance {
+    assert!(relief > 0.0 && relief <= 1.0, "relief must be in (0,1]");
+    let mut sets = instance.sets.clone();
+    for (idx, set) in sets.iter_mut().enumerate() {
+        if !covered[idx] {
+            let current = set.threshold.unwrap_or(instance.similarity.delta);
+            set.threshold = Some((current * relief).clamp(0.05, 1.0));
+        }
+    }
+    let mut out = Instance::new(instance.num_items, sets, instance.similarity);
+    out.item_bounds = instance.item_bounds.clone();
+    out
+}
+
+/// Returns a copy of `instance` with the weights of `targets` multiplied by
+/// `factor` (the underrepresented-category fix of §5.4).
+///
+/// # Panics
+/// Panics on a non-positive factor or an out-of-range set index.
+pub fn boost_sets(instance: &Instance, targets: &[u32], factor: f64) -> Instance {
+    assert!(factor > 0.0, "factor must be positive");
+    let mut sets = instance.sets.clone();
+    for &t in targets {
+        sets[t as usize].weight *= factor;
+    }
+    let mut out = Instance::new(instance.num_items, sets, instance.similarity);
+    out.item_bounds = instance.item_bounds.clone();
+    out
+}
+
+/// One round of the reemployment loop.
+#[derive(Debug, Clone)]
+pub struct IterationTrace {
+    /// Covered sets after the round.
+    pub covered: usize,
+    /// Normalized score after the round.
+    pub score: f64,
+    /// Sets whose thresholds were relaxed entering the *next* round.
+    pub relaxed: usize,
+}
+
+/// Outcome of the reemployment loop: the winning tree, the instance (with
+/// the threshold relaxations in force when it was built — scores are
+/// relative to *this* instance, not the original), and the round trace.
+#[derive(Debug, Clone)]
+pub struct IterateOutcome {
+    /// Best CTCR result across rounds (most covered sets).
+    pub result: CtcrResult,
+    /// The instance the best result was built and scored against.
+    pub instance: Instance,
+    /// Per-round coverage trace.
+    pub trace: Vec<IterationTrace>,
+}
+
+/// Runs CTCR up to `rounds` times, relaxing uncovered sets' thresholds by
+/// `relief` between rounds, and returns the best-coverage outcome with the
+/// per-round trace. Stops early when everything is covered or no round
+/// improves coverage.
+pub fn iterate(
+    instance: &Instance,
+    config: &CtcrConfig,
+    rounds: usize,
+    relief: f64,
+) -> IterateOutcome {
+    let mut current = instance.clone();
+    let mut best: Option<(CtcrResult, Instance)> = None;
+    let mut trace = Vec::new();
+    for _ in 0..rounds.max(1) {
+        let result = ctcr::run(&current, config);
+        let covered: Vec<bool> = result.score.per_set.iter().map(|c| c.covered).collect();
+        let covered_count = covered.iter().filter(|&&c| c).count();
+        let uncovered = covered.len() - covered_count;
+        trace.push(IterationTrace {
+            covered: covered_count,
+            score: result.score.normalized,
+            relaxed: uncovered,
+        });
+        let improved = best
+            .as_ref()
+            .is_none_or(|(b, _)| result.score.covered_count() > b.score.covered_count());
+        let all_covered = uncovered == 0;
+        if improved {
+            best = Some((result, current.clone()));
+        }
+        if all_covered || !improved {
+            break;
+        }
+        current = relax_uncovered(&current, &covered, relief);
+    }
+    let (result, instance) = best.expect("at least one round ran");
+    IterateOutcome {
+        result,
+        instance,
+        trace,
+    }
+}
+
+/// A category flagged by the embedding-distance misassignment detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierReport {
+    /// The flagged category.
+    pub category: CatId,
+    /// The item farthest from the category centroid.
+    pub outlier_item: u32,
+    /// Its squared distance from the centroid, in units of the category's
+    /// mean squared distance (≥ `threshold` to be flagged).
+    pub deviation: f64,
+}
+
+/// Scans every category's items in embedding space and reports items whose
+/// squared distance to the category centroid exceeds `threshold ×` the
+/// category mean — the §5.4 tool that caught the "Nike Blazer" shoe inside
+/// the "Blazers" jacket category.
+pub fn embedding_outliers(
+    tree: &CategoryTree,
+    embeddings: &[Vec<f32>],
+    threshold: f64,
+) -> Vec<OutlierReport> {
+    let mut reports = Vec::new();
+    let full = tree.materialize();
+    for cat in tree.live_categories() {
+        if cat == ROOT {
+            continue;
+        }
+        let items: Vec<u32> = full[cat as usize].iter().collect();
+        if items.len() < 4 {
+            continue;
+        }
+        let dim = embeddings[items[0] as usize].len();
+        let mut centroid = vec![0.0f64; dim];
+        for &i in &items {
+            for (c, &v) in centroid.iter_mut().zip(&embeddings[i as usize]) {
+                *c += v as f64;
+            }
+        }
+        for c in &mut centroid {
+            *c /= items.len() as f64;
+        }
+        let sq = |i: u32| -> f64 {
+            embeddings[i as usize]
+                .iter()
+                .zip(&centroid)
+                .map(|(&v, &c)| (v as f64 - c) * (v as f64 - c))
+                .sum()
+        };
+        let mean: f64 = items.iter().map(|&i| sq(i)).sum::<f64>() / items.len() as f64;
+        if mean <= 1e-12 {
+            continue;
+        }
+        let (worst, worst_sq) = items
+            .iter()
+            .map(|&i| (i, sq(i)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        let deviation = worst_sq / mean;
+        if deviation >= threshold {
+            reports.push(OutlierReport {
+                category: cat,
+                outlier_item: worst,
+                deviation,
+            });
+        }
+    }
+    reports.sort_by(|a, b| b.deviation.total_cmp(&a.deviation));
+    reports
+}
+
+/// Items belonging to at least one input set but to no *covering* category,
+/// together with the input set holding the most of them.
+///
+/// Isolated orphans are re-assignment candidates for the automatic tooling;
+/// a set holding many orphans signals a missing category whose threshold
+/// should be relaxed (§5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrphanReport {
+    /// All orphaned items.
+    pub items: Vec<u32>,
+    /// `(set, orphan count)` for sets holding ≥ 2 orphans, descending.
+    pub concentrated_sets: Vec<(u32, usize)>,
+}
+
+/// Computes the orphan report for a solved tree.
+pub fn orphaned_items(instance: &Instance, tree: &CategoryTree) -> OrphanReport {
+    let score = score_tree(instance, tree);
+    let mut in_covered: FxHashSet<u32> = FxHashSet::default();
+    let full = tree.materialize();
+    for cover in &score.per_set {
+        if cover.covered {
+            if let Some(cat) = cover.best_category {
+                in_covered.extend(full[cat as usize].iter());
+            }
+        }
+    }
+    let mut orphans: Vec<u32> = Vec::new();
+    let mut per_set: Vec<(u32, usize)> = Vec::new();
+    let mut orphan_set: FxHashSet<u32> = FxHashSet::default();
+    for (idx, set) in instance.sets.iter().enumerate() {
+        let mut count = 0usize;
+        for item in set.items.iter() {
+            if !in_covered.contains(&item) {
+                count += 1;
+                if orphan_set.insert(item) {
+                    orphans.push(item);
+                }
+            }
+        }
+        if count >= 2 {
+            per_set.push((idx as u32, count));
+        }
+    }
+    per_set.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    orphans.sort_unstable();
+    OrphanReport {
+        items: orphans,
+        concentrated_sets: per_set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputSet;
+    use crate::itemset::ItemSet;
+    use crate::similarity::Similarity;
+
+    fn crossing_instance() -> Instance {
+        // Two crossing sets at δ = 0.9: a guaranteed conflict, so one stays
+        // uncovered on the first run.
+        Instance::new(
+            4,
+            vec![
+                InputSet::new(ItemSet::new(vec![0, 1, 2]), 2.0),
+                InputSet::new(ItemSet::new(vec![1, 2, 3]), 1.0),
+            ],
+            Similarity::jaccard_threshold(0.9),
+        )
+    }
+
+    #[test]
+    fn relax_lowers_only_uncovered() {
+        let instance = crossing_instance();
+        let relaxed = relax_uncovered(&instance, &[true, false], 0.5);
+        assert_eq!(relaxed.threshold_of(0), 0.9);
+        assert!((relaxed.threshold_of(1) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boost_scales_weights() {
+        let instance = crossing_instance();
+        let boosted = boost_sets(&instance, &[1], 10.0);
+        assert_eq!(boosted.sets[1].weight, 10.0);
+        assert_eq!(boosted.sets[0].weight, 2.0);
+    }
+
+    #[test]
+    fn iterate_covers_more_over_rounds() {
+        let instance = crossing_instance();
+        let outcome = iterate(&instance, &CtcrConfig::default(), 4, 0.5);
+        assert!(!outcome.trace.is_empty());
+        assert!(
+            outcome.result.score.covered_count() >= outcome.trace[0].covered,
+            "reemployment must not lose coverage: {:?}",
+            outcome.trace
+        );
+        // With enough relief both sets eventually fit.
+        assert!(outcome.result.score.covered_count() >= 1);
+        // The returned instance matches the returned score.
+        let rescore = crate::score::score_tree(&outcome.instance, &outcome.result.tree);
+        assert_eq!(rescore.covered_count(), outcome.result.score.covered_count());
+    }
+
+    #[test]
+    fn embedding_outliers_catch_planted_misfit() {
+        // Category of 9 clustered items plus one far-away item.
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, 0..10u32);
+        let mut embeddings: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![(i as f32) * 0.01, 0.0])
+            .collect();
+        embeddings[7] = vec![50.0, 50.0]; // the Nike Blazer
+        let reports = embedding_outliers(&tree, &embeddings, 3.0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].category, c);
+        assert_eq!(reports[0].outlier_item, 7);
+        assert!(reports[0].deviation > 3.0);
+    }
+
+    #[test]
+    fn homogeneous_categories_not_flagged() {
+        let mut tree = CategoryTree::new();
+        let c = tree.add_category(ROOT);
+        tree.assign_items(c, 0..8u32);
+        let embeddings: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 0.0]).collect();
+        assert!(embedding_outliers(&tree, &embeddings, 3.5).is_empty());
+    }
+
+    #[test]
+    fn orphans_concentrate_in_uncovered_sets() {
+        let instance = crossing_instance();
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let report = orphaned_items(&instance, &result.tree);
+        // Exactly one of the crossing sets is covered; the other's private
+        // item is orphaned.
+        assert!(!report.items.is_empty());
+        assert!(!report.concentrated_sets.is_empty() || report.items.len() == 1);
+    }
+
+    #[test]
+    fn fully_covered_instance_has_no_orphans() {
+        let instance = Instance::new(
+            4,
+            vec![
+                InputSet::new(ItemSet::new(vec![0, 1]), 1.0),
+                InputSet::new(ItemSet::new(vec![2, 3]), 1.0),
+            ],
+            Similarity::jaccard_threshold(0.9),
+        );
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let report = orphaned_items(&instance, &result.tree);
+        assert!(report.items.is_empty(), "{report:?}");
+    }
+}

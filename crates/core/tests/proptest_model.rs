@@ -1,0 +1,203 @@
+//! Property tests for the model layer: item sets, similarity functions,
+//! trees, and persistence.
+
+use bytes::Bytes;
+use oct_core::itemset::ItemSet;
+use oct_core::persist;
+use oct_core::prelude::*;
+use oct_core::similarity::BaseMeasure;
+use proptest::prelude::*;
+
+fn arb_itemset(max: u32) -> impl Strategy<Value = ItemSet> {
+    prop::collection::vec(0..max, 0..40).prop_map(ItemSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------------------- ItemSet
+    #[test]
+    fn itemset_algebra_laws(a in arb_itemset(80), b in arb_itemset(80)) {
+        let inter = a.intersection_size(&b);
+        prop_assert!(inter <= a.len().min(b.len()));
+        prop_assert_eq!(a.union_size(&b), a.len() + b.len() - inter);
+        prop_assert_eq!(a.intersection(&b).len(), inter);
+        prop_assert_eq!(a.union(&b).len(), a.union_size(&b));
+        prop_assert_eq!(a.difference(&b).len(), a.len() - inter);
+        prop_assert_eq!(a.is_disjoint(&b), inter == 0);
+        prop_assert_eq!(a.is_subset_of(&b), inter == a.len());
+        // Symmetry.
+        prop_assert_eq!(inter, b.intersection_size(&a));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn itemset_membership_consistent(a in arb_itemset(60), b in arb_itemset(60)) {
+        let union = a.union(&b);
+        for i in 0..60u32 {
+            prop_assert_eq!(union.contains(i), a.contains(i) || b.contains(i));
+        }
+        let inter = a.intersection(&b);
+        for i in 0..60u32 {
+            prop_assert_eq!(inter.contains(i), a.contains(i) && b.contains(i));
+        }
+    }
+
+    // ---------------------------------------------------------- Similarity
+    #[test]
+    fn similarity_ranges_and_binaries(
+        q_len in 1usize..50,
+        extra_c in 0usize..50,
+        delta10 in 1u32..=10,
+    ) {
+        let delta = delta10 as f64 / 10.0;
+        // inter can be at most min(q_len, c_len); generate a consistent triple.
+        let c_len = extra_c + 1;
+        let inter = q_len.min(c_len);
+        for sim in [
+            Similarity::jaccard_cutoff(delta),
+            Similarity::jaccard_threshold(delta),
+            Similarity::f1_cutoff(delta),
+            Similarity::f1_threshold(delta),
+            Similarity::perfect_recall(delta),
+        ] {
+            let s = sim.score(q_len, c_len, inter);
+            prop_assert!((0.0..=1.0).contains(&s), "{s} out of range");
+            if sim.kind.is_binary() {
+                prop_assert!(s == 0.0 || s == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn f1_dominates_jaccard(q_len in 1usize..40, c_len in 1usize..40) {
+        let inter = q_len.min(c_len);
+        let j = BaseMeasure::Jaccard.eval(q_len, c_len, inter);
+        let f1 = BaseMeasure::F1.eval(q_len, c_len, inter);
+        prop_assert!(f1 + 1e-12 >= j, "F1 {f1} < J {j}");
+    }
+
+    #[test]
+    fn exact_iff_identical(a in arb_itemset(30), b in arb_itemset(30)) {
+        let sim = Similarity::exact();
+        let inter = a.intersection_size(&b);
+        let s = sim.score(a.len(), b.len(), inter);
+        prop_assert_eq!(s == 1.0, a == b || (a.is_empty() && b.is_empty()));
+    }
+
+    #[test]
+    fn perfect_recall_requires_containment(a in arb_itemset(30), b in arb_itemset(30)) {
+        prop_assume!(!a.is_empty());
+        let sim = Similarity::perfect_recall(0.1);
+        let inter = a.intersection_size(&b);
+        let s = sim.score(a.len(), b.len(), inter);
+        if s == 1.0 {
+            prop_assert!(a.is_subset_of(&b));
+        }
+    }
+
+    // ----------------------------------------------------------- Tree ops
+    #[test]
+    fn random_tree_materialization_is_monotone(
+        ops in prop::collection::vec((0u8..2, 0u32..20, 0u32..100), 1..60)
+    ) {
+        let mut tree = CategoryTree::new();
+        for (op, target, item) in ops {
+            let live = tree.live_categories();
+            let parent = live[(target as usize) % live.len()];
+            if op == 0 {
+                tree.add_category(parent);
+            } else {
+                tree.assign_item(parent, item);
+            }
+        }
+        let full = tree.materialize();
+        for cat in tree.live_categories() {
+            if let Some(p) = tree.parent(cat) {
+                prop_assert!(
+                    full[cat as usize].is_subset_of(&full[p as usize]),
+                    "child {cat} not contained in parent {p}"
+                );
+            }
+        }
+        // Root contains exactly the assigned items.
+        let assigned = tree.assigned_items();
+        prop_assert_eq!(full[ROOT as usize].as_slice(), assigned.as_slice());
+    }
+
+    #[test]
+    fn remove_category_preserves_ancestor_contents(
+        items_a in prop::collection::vec(0u32..50, 1..10),
+        items_b in prop::collection::vec(0u32..50, 1..10),
+    ) {
+        let mut tree = CategoryTree::new();
+        let a = tree.add_category(ROOT);
+        let b = tree.add_category(a);
+        tree.assign_items(a, items_a.clone());
+        tree.assign_items(b, items_b.clone());
+        let before = tree.materialize()[ROOT as usize].clone();
+        tree.remove_category(b);
+        let after = tree.materialize()[ROOT as usize].clone();
+        prop_assert_eq!(before, after);
+    }
+
+    // ---------------------------------------------------------- Persistence
+    #[test]
+    fn persist_tree_roundtrip(
+        ops in prop::collection::vec((0u8..3, 0u32..10, 0u32..60), 1..40)
+    ) {
+        let mut tree = CategoryTree::new();
+        for (op, target, item) in ops {
+            let live = tree.live_categories();
+            let parent = live[(target as usize) % live.len()];
+            match op {
+                0 => {
+                    let c = tree.add_category(parent);
+                    tree.set_label(c, format!("cat-{c}"));
+                }
+                1 => tree.assign_item(parent, item),
+                _ => {
+                    // Reparent a random node under a random non-descendant
+                    // (exercises encode ordering after restructuring).
+                    let child = live[(item as usize) % live.len()];
+                    if child != ROOT
+                        && child != parent
+                        && !tree.is_ancestor(child, parent)
+                    {
+                        tree.reparent(child, parent);
+                    }
+                }
+            }
+        }
+        let decoded = persist::decode_tree(persist::encode_tree(&tree)).expect("roundtrip");
+        prop_assert_eq!(decoded.live_categories().len(), tree.live_categories().len());
+        let (a, b) = (tree.materialize(), decoded.materialize());
+        prop_assert_eq!(&a[ROOT as usize], &b[ROOT as usize]);
+    }
+
+    #[test]
+    fn persist_instance_roundtrip(
+        raw_sets in prop::collection::vec(
+            (prop::collection::vec(0u32..40, 1..12), 0.0f64..50.0), 1..10),
+        delta10 in 1u32..=10,
+    ) {
+        let sets: Vec<InputSet> = raw_sets
+            .into_iter()
+            .map(|(items, w)| InputSet::new(ItemSet::new(items), w))
+            .collect();
+        let instance = Instance::new(40, sets, Similarity::jaccard_threshold(delta10 as f64 / 10.0));
+        let decoded = persist::decode_instance(persist::encode_instance(&instance))
+            .expect("roundtrip");
+        prop_assert_eq!(decoded.num_sets(), instance.num_sets());
+        for (x, y) in decoded.sets.iter().zip(&instance.sets) {
+            prop_assert_eq!(&x.items, &y.items);
+            prop_assert!((x.weight - y.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn persist_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = persist::decode_tree(Bytes::from(bytes.clone()));
+        let _ = persist::decode_instance(Bytes::from(bytes));
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end coverage of the less-exercised corners: the F1 variants,
+//! per-item bounds above 1, per-set thresholds, and cutoff-vs-threshold
+//! relationships.
+
+use oct_core::prelude::*;
+use oct_core::similarity::SimilarityKind;
+
+fn inst(sets: Vec<(Vec<u32>, f64)>, sim: Similarity, num_items: u32) -> Instance {
+    Instance::new(
+        num_items,
+        sets.into_iter()
+            .map(|(items, w)| InputSet::new(ItemSet::new(items), w))
+            .collect(),
+        sim,
+    )
+}
+
+// ----------------------------------------------------------------- F1
+
+#[test]
+fn f1_conflict_formulas_match_semantics() {
+    // F1 with C ⊆ q of size s: F1 = 2s/(s+|q|). For |q| = 10, δ = 0.8:
+    // minimal s = ⌈0.8·10/1.2⌉ = 7, so slack x = 3 per set.
+    // Two sets of 10 sharing 6 items: 6 ≤ 3+3 → separable.
+    let sep = inst(
+        vec![
+            ((0..10).collect(), 1.0),
+            ((4..14).collect(), 1.0),
+        ],
+        Similarity::f1_threshold(0.8),
+        14,
+    );
+    let analysis = oct_core::conflict::analyze(&sep, 1, true);
+    assert!(analysis.conflicts2.is_empty());
+
+    // Sharing 8 items: 8 > 3+3 → not separable; together? y2 = 7−8 < 0 →
+    // y2 = 0 → can-together → must-together, still no conflict.
+    let must = inst(
+        vec![
+            ((0..10).collect(), 1.0),
+            ((2..12).collect(), 1.0),
+        ],
+        Similarity::f1_threshold(0.8),
+        12,
+    );
+    let analysis = oct_core::conflict::analyze(&must, 1, true);
+    assert!(analysis.conflicts2.is_empty());
+    assert_eq!(analysis.must_together.len(), 1);
+}
+
+#[test]
+fn f1_threshold_end_to_end_covers_nested_family() {
+    let instance = inst(
+        vec![
+            ((0..30).collect(), 5.0),
+            ((0..10).collect(), 2.0),
+            ((10..20).collect(), 2.0),
+            ((30..40).collect(), 1.0),
+        ],
+        Similarity::f1_threshold(0.8),
+        40,
+    );
+    let result = ctcr::run(&instance, &CtcrConfig::default());
+    assert!(result.tree.validate(&instance).is_ok());
+    assert_eq!(
+        result.score.covered_count(),
+        4,
+        "all four sets are jointly coverable: {:?}",
+        result.score.per_set
+    );
+}
+
+#[test]
+fn f1_cutoff_scores_are_graded() {
+    let instance = inst(
+        vec![((0..10).collect(), 1.0), ((5..15).collect(), 1.0)],
+        Similarity::new(SimilarityKind::F1Cutoff, 0.5),
+        15,
+    );
+    let result = ctcr::run(&instance, &CtcrConfig::default());
+    assert!(result.tree.validate(&instance).is_ok());
+    for cover in &result.score.per_set {
+        assert!((0.0..=1.0).contains(&cover.similarity));
+    }
+    assert!(result.score.total > 0.0);
+}
+
+// ------------------------------------------------------------- bounds
+
+#[test]
+fn bound_two_resolves_the_memory_cards_scenario() {
+    // Figure 1: memory cards fit under both cameras and phones when the
+    // platform sells dual placement (bound 2).
+    let cameras: Vec<u32> = (0..10).collect(); // cameras + their cards
+    let phones: Vec<u32> = (8..18).collect(); // phones + the same cards
+    let sets = vec![
+        (cameras.clone(), 3.0),
+        (phones.clone(), 3.0),
+    ];
+    let strict = inst(sets.clone(), Similarity::jaccard_threshold(0.95), 18);
+    let strict_result = ctcr::run(&strict, &CtcrConfig::default());
+    assert!(
+        strict_result.score.covered_count() < 2,
+        "bound 1 cannot satisfy both: {:?}",
+        strict_result.score.per_set
+    );
+
+    let mut bounds = vec![1u8; 18];
+    bounds[8] = 2;
+    bounds[9] = 2; // the shared memory cards
+    let relaxed = inst(sets, Similarity::jaccard_threshold(0.95), 18).with_item_bounds(bounds);
+    let relaxed_result = ctcr::run(&relaxed, &CtcrConfig::default());
+    assert!(relaxed_result.tree.validate(&relaxed).is_ok());
+    assert_eq!(
+        relaxed_result.score.covered_count(),
+        2,
+        "bound 2 lets the cards serve both branches: {:?}",
+        relaxed_result.score.per_set
+    );
+}
+
+#[test]
+fn validation_catches_bound_violations_from_foreign_trees() {
+    let instance = inst(vec![(vec![0, 1], 1.0)], Similarity::exact(), 2);
+    let mut tree = CategoryTree::new();
+    let a = tree.add_category(ROOT);
+    let b = tree.add_category(ROOT);
+    tree.assign_item(a, 0);
+    tree.assign_item(b, 0);
+    assert!(tree.validate(&instance).is_err());
+}
+
+// ----------------------------------------------------- per-set deltas
+
+#[test]
+fn per_set_thresholds_steer_conflicts() {
+    // Crossing pair at δ = 0.9 is a conflict; relaxing ONE set's threshold
+    // to 0.3 makes the pair separable (its slack absorbs the intersection).
+    let sets = vec![(vec![0, 1, 2, 3], 1.0), (vec![2, 3, 4, 5], 1.0)];
+    let strict = inst(sets.clone(), Similarity::jaccard_threshold(0.9), 6);
+    assert_eq!(oct_core::conflict::analyze(&strict, 1, true).conflicts2.len(), 1);
+
+    let mut relaxed = inst(sets, Similarity::jaccard_threshold(0.9), 6);
+    relaxed.sets[0].threshold = Some(0.3);
+    let analysis = oct_core::conflict::analyze(&relaxed, 1, true);
+    assert!(
+        analysis.conflicts2.is_empty(),
+        "slack x = ⌊4·0.7⌋ = 2 on one side covers the shared pair"
+    );
+    let result = ctcr::run(&relaxed, &CtcrConfig::default());
+    assert_eq!(result.score.covered_count(), 2);
+}
+
+// -------------------------------------------- cutoff vs threshold laws
+
+#[test]
+fn threshold_score_bounds_cutoff_score() {
+    // For the same tree, threshold similarity ≥ cutoff similarity pointwise
+    // (1 vs a value ≤ 1 above δ; both 0 below). Build under cutoff, score
+    // under both.
+    let ds_sets: Vec<(Vec<u32>, f64)> = (0..12u32)
+        .map(|i| {
+            let base = i * 5;
+            let items: Vec<u32> = (base..base + 8).map(|x| x % 64).collect();
+            (items, 1.0 + i as f64)
+        })
+        .collect();
+    let cutoff = inst(ds_sets.clone(), Similarity::jaccard_cutoff(0.6), 64);
+    let result = ctcr::run(&cutoff, &CtcrConfig::default());
+    let threshold = inst(ds_sets, Similarity::jaccard_threshold(0.6), 64);
+    let threshold_score = score_tree(&threshold, &result.tree);
+    let cutoff_score = score_tree(&cutoff, &result.tree);
+    assert!(threshold_score.total + 1e-9 >= cutoff_score.total);
+    assert_eq!(
+        threshold_score.covered_count(),
+        cutoff_score.covered_count(),
+        "cover sets agree between the two readings"
+    );
+}
+
+#[test]
+fn exact_variant_ignores_extensions() {
+    // The Exact pipeline must be untouched by repair/nesting switches.
+    let sets = vec![
+        (vec![0, 1, 2], 2.0),
+        (vec![0, 1], 1.0),
+        (vec![3, 4], 1.0),
+    ];
+    let instance = inst(sets, Similarity::exact(), 5);
+    let on = ctcr::run(&instance, &CtcrConfig::default());
+    let off = ctcr::run(
+        &instance,
+        &CtcrConfig {
+            repair: false,
+            nest_contained: false,
+            ..CtcrConfig::default()
+        },
+    );
+    assert_eq!(on.score.total, off.score.total);
+    assert_eq!(on.score.covered_count(), off.score.covered_count());
+}

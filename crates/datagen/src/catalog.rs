@@ -1,0 +1,464 @@
+//! Synthetic product catalogs.
+//!
+//! Each product carries one value per schema attribute. Value popularity is
+//! Zipf-distributed and mildly correlated with the product type (brand
+//! portfolios differ per type), matching the skew of real catalogs: a few
+//! huge brands/types and a long tail.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Product domains used in the paper's evaluation (datasets A–C are
+/// Fashion, D is Electronics, E is Electronics-flavored public data; the
+/// additional public datasets are Fashion/Home flavored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Apparel: types × brands × colors × sleeves × materials × genders.
+    Fashion,
+    /// Consumer electronics: types × brands × storage × screens × features.
+    Electronics,
+    /// Home improvement / furniture: types × brands × rooms × materials ×
+    /// colors × price bands (the HomeDepot-style public data).
+    Home,
+}
+
+/// One attribute of the schema.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Attribute name (used in titles and query texts).
+    pub name: &'static str,
+    /// Value vocabulary.
+    pub values: Vec<String>,
+    /// Zipf skew of the value distribution (higher = more skewed).
+    pub zipf_s: f64,
+    /// Relative probability that a query constrains this attribute.
+    pub query_popularity: f64,
+    /// Whether the value appears in product titles.
+    pub in_title: bool,
+}
+
+/// The attribute schema of a domain.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Attributes in declaration order; index 0 is the product type, which
+    /// anchors the existing tree's first level.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// The schema for `domain`.
+    pub fn for_domain(domain: Domain) -> Self {
+        let gen_values = |prefix: &str, n: usize| -> Vec<String> {
+            (0..n).map(|i| format!("{prefix}{i}")).collect()
+        };
+        let attributes = match domain {
+            Domain::Fashion => vec![
+                Attribute {
+                    name: "type",
+                    values: [
+                        "shirt", "dress", "jeans", "jacket", "skirt", "sweater", "shorts",
+                        "coat", "suit", "hoodie", "polo", "blazer",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                    zipf_s: 0.9,
+                    query_popularity: 3.0,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "brand",
+                    values: gen_values("brand", 40),
+                    zipf_s: 1.1,
+                    query_popularity: 2.5,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "color",
+                    values: [
+                        "black", "white", "red", "blue", "green", "grey", "navy", "beige",
+                        "pink", "brown", "yellow", "purple",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                    zipf_s: 0.8,
+                    query_popularity: 2.0,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "gender",
+                    values: gen_values("gender", 3),
+                    zipf_s: 0.3,
+                    query_popularity: 1.2,
+                    in_title: false,
+                },
+                Attribute {
+                    name: "sleeve",
+                    values: ["long-sleeve", "short-sleeve", "sleeveless"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    zipf_s: 0.4,
+                    query_popularity: 0.8,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "material",
+                    values: gen_values("material", 8),
+                    zipf_s: 0.7,
+                    query_popularity: 0.6,
+                    in_title: false,
+                },
+            ],
+            Domain::Electronics => vec![
+                Attribute {
+                    name: "type",
+                    values: [
+                        "phone", "camera", "laptop", "tv", "tablet", "headphones",
+                        "memory-card", "charger", "speaker", "monitor", "router", "drone",
+                        "smartwatch", "console", "printer", "keyboard",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                    zipf_s: 0.9,
+                    query_popularity: 3.0,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "brand",
+                    values: gen_values("brand", 50),
+                    zipf_s: 1.1,
+                    query_popularity: 2.5,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "storage",
+                    values: gen_values("gb", 8),
+                    zipf_s: 0.8,
+                    query_popularity: 1.0,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "screen",
+                    values: gen_values("inch", 10),
+                    zipf_s: 0.7,
+                    query_popularity: 0.8,
+                    in_title: false,
+                },
+                Attribute {
+                    name: "color",
+                    values: ["black", "white", "silver", "gold", "blue", "red"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    zipf_s: 0.8,
+                    query_popularity: 1.2,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "feature",
+                    values: gen_values("feature", 12),
+                    zipf_s: 0.8,
+                    query_popularity: 0.7,
+                    in_title: false,
+                },
+            ],
+            Domain::Home => vec![
+                Attribute {
+                    name: "type",
+                    values: [
+                        "sofa", "table", "chair", "lamp", "shelf", "bed", "desk", "rug",
+                        "faucet", "cabinet", "mirror", "drill", "paint", "tile",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                    zipf_s: 0.9,
+                    query_popularity: 3.0,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "brand",
+                    values: gen_values("brand", 35),
+                    zipf_s: 1.1,
+                    query_popularity: 1.8,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "room",
+                    values: [
+                        "living-room", "bedroom", "kitchen", "bathroom", "office",
+                        "outdoor", "garage",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                    zipf_s: 0.7,
+                    query_popularity: 2.2,
+                    in_title: false,
+                },
+                Attribute {
+                    name: "material",
+                    values: ["wood", "metal", "glass", "plastic", "fabric", "stone"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    zipf_s: 0.8,
+                    query_popularity: 1.5,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "color",
+                    values: ["white", "black", "oak", "grey", "walnut", "beige", "blue"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    zipf_s: 0.8,
+                    query_popularity: 1.2,
+                    in_title: true,
+                },
+                Attribute {
+                    name: "price-band",
+                    values: gen_values("band", 5),
+                    zipf_s: 0.5,
+                    query_popularity: 0.6,
+                    in_title: false,
+                },
+            ],
+        };
+        Self { attributes }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` when the schema has no attributes (never for built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+}
+
+/// One catalog product: a value index per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Product {
+    /// `values[a]` indexes `schema.attributes[a].values`.
+    pub values: Vec<u16>,
+}
+
+/// A synthetic catalog.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The domain this catalog models.
+    pub domain: Domain,
+    /// Its attribute schema.
+    pub schema: Schema,
+    /// The products; item id = index.
+    pub products: Vec<Product>,
+}
+
+/// Samples an index in `0..n` from a Zipf(s) distribution using the
+/// inverse-CDF over precomputed cumulative weights.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for k in 1..=n {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    cdf
+}
+
+fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen();
+    cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
+}
+
+impl Catalog {
+    /// Generates a catalog of `num_items` products, deterministic in
+    /// `seed`.
+    ///
+    /// Brand portfolios are correlated with product types: each type uses a
+    /// rotated slice of the brand vocabulary, so "type × brand" categories
+    /// have realistic sizes.
+    pub fn generate(domain: Domain, num_items: usize, seed: u64) -> Self {
+        let schema = Schema::for_domain(domain);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cdfs: Vec<Vec<f64>> = schema
+            .attributes
+            .iter()
+            .map(|a| zipf_cdf(a.values.len(), a.zipf_s))
+            .collect();
+        let num_types = schema.attributes[0].values.len();
+        let num_brands = schema.attributes[1].values.len();
+
+        let mut products = Vec::with_capacity(num_items);
+        for _ in 0..num_items {
+            let mut values = Vec::with_capacity(schema.len());
+            let ptype = sample_cdf(&cdfs[0], &mut rng);
+            values.push(ptype as u16);
+            for (a, attr) in schema.attributes.iter().enumerate().skip(1) {
+                let mut v = sample_cdf(&cdfs[a], &mut rng);
+                if attr.name == "brand" {
+                    // Rotate the brand Zipf by the type so portfolios differ.
+                    v = (v + ptype * (num_brands / num_types).max(1)) % num_brands;
+                }
+                values.push(v as u16);
+            }
+            products.push(Product { values });
+        }
+        Self {
+            domain,
+            schema,
+            products,
+        }
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// The title of item `item`: its title-bearing attribute values, in
+    /// schema order (e.g. `"brand3 black long-sleeve shirt"`).
+    pub fn title(&self, item: u32) -> String {
+        let p = &self.products[item as usize];
+        let mut words: Vec<&str> = Vec::new();
+        // Brand and modifiers first, type last — like real listings.
+        for (a, attr) in self.schema.attributes.iter().enumerate().skip(1) {
+            if attr.in_title {
+                words.push(&attr.values[p.values[a] as usize]);
+            }
+        }
+        words.push(&self.schema.attributes[0].values[p.values[0] as usize]);
+        words.join(" ")
+    }
+
+    /// Title tokens of item `item` (the words of [`Catalog::title`]).
+    pub fn title_tokens(&self, item: u32) -> Vec<String> {
+        self.title(item).split(' ').map(str::to_owned).collect()
+    }
+
+    /// Postings: for each `(attribute, value)`, the ascending item ids
+    /// carrying it. Indexed `postings[attribute][value]`.
+    pub fn postings(&self) -> Vec<Vec<Vec<u32>>> {
+        let mut postings: Vec<Vec<Vec<u32>>> = self
+            .schema
+            .attributes
+            .iter()
+            .map(|a| vec![Vec::new(); a.values.len()])
+            .collect();
+        for (item, p) in self.products.iter().enumerate() {
+            for (a, &v) in p.values.iter().enumerate() {
+                postings[a][v as usize].push(item as u32);
+            }
+        }
+        postings
+    }
+
+    /// Items matching a conjunction of `(attribute, value)` predicates.
+    pub fn matching_items(&self, predicates: &[(usize, u16)]) -> Vec<u32> {
+        self.products
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| predicates.iter().all(|&(a, v)| p.values[a] == v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(Domain::Fashion, 500, 7);
+        let b = Catalog::generate(Domain::Fashion, 500, 7);
+        assert_eq!(a.products, b.products);
+        let c = Catalog::generate(Domain::Fashion, 500, 8);
+        assert_ne!(a.products, c.products);
+    }
+
+    #[test]
+    fn values_are_in_range() {
+        let cat = Catalog::generate(Domain::Electronics, 1000, 3);
+        for p in &cat.products {
+            assert_eq!(p.values.len(), cat.schema.len());
+            for (a, &v) in p.values.iter().enumerate() {
+                assert!((v as usize) < cat.schema.attributes[a].values.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_head() {
+        let cat = Catalog::generate(Domain::Fashion, 5000, 9);
+        let mut counts = vec![0usize; cat.schema.attributes[0].values.len()];
+        for p in &cat.products {
+            counts[p.values[0] as usize] += 1;
+        }
+        // The most popular type should clearly dominate the least popular.
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(max > 3 * (min + 1), "expected skew, got {counts:?}");
+    }
+
+    #[test]
+    fn titles_contain_type_and_brand() {
+        let cat = Catalog::generate(Domain::Fashion, 10, 5);
+        for item in 0..10u32 {
+            let title = cat.title(item);
+            let p = &cat.products[item as usize];
+            let type_name = &cat.schema.attributes[0].values[p.values[0] as usize];
+            let brand = &cat.schema.attributes[1].values[p.values[1] as usize];
+            assert!(title.contains(type_name.as_str()), "{title}");
+            assert!(title.contains(brand.as_str()), "{title}");
+        }
+    }
+
+    #[test]
+    fn postings_match_matching_items() {
+        let cat = Catalog::generate(Domain::Electronics, 800, 11);
+        let postings = cat.postings();
+        for v in 0..4u16 {
+            assert_eq!(postings[0][v as usize], cat.matching_items(&[(0, v)]));
+        }
+        // Conjunction is the intersection of postings.
+        let both = cat.matching_items(&[(0, 0), (4, 0)]);
+        for item in &both {
+            assert!(postings[0][0].contains(item));
+            assert!(postings[4][0].contains(item));
+        }
+    }
+
+    #[test]
+    fn brand_portfolios_differ_by_type() {
+        let cat = Catalog::generate(Domain::Fashion, 8000, 13);
+        // Count the top brand per product type for two popular types.
+        let mut top: Vec<Vec<usize>> =
+            vec![vec![0; cat.schema.attributes[1].values.len()]; 2];
+        for p in &cat.products {
+            if (p.values[0] as usize) < 2 {
+                top[p.values[0] as usize][p.values[1] as usize] += 1;
+            }
+        }
+        let argmax = |v: &[usize]| v.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0;
+        assert_ne!(
+            argmax(&top[0]),
+            argmax(&top[1]),
+            "different types should favor different brands"
+        );
+    }
+}

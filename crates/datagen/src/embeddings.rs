@@ -1,0 +1,104 @@
+//! "Semantic" item embeddings for the IC-S baseline.
+//!
+//! The paper's IC-S embeds product titles with a domain-tuned model. The
+//! property the baseline needs is that items sharing attributes land close
+//! in embedding space; a deterministic hashed bag-of-tokens embedding has
+//! exactly that property without a learned model: every title token hashes
+//! to a (dimension, sign) pair, and the item vector is the normalized sum.
+
+use crate::catalog::Catalog;
+
+/// Embedding dimensionality.
+pub const DIM: usize = 24;
+
+fn hash_token(token: &str) -> u64 {
+    // FNV-1a, stable across runs.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in token.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Embeds every catalog item from its title tokens. Tokens earlier in the
+/// title (brand/modifiers) and the type token all contribute; the type
+/// token is up-weighted because type is the dominant semantic signal.
+pub fn item_embeddings(catalog: &Catalog) -> Vec<Vec<f32>> {
+    (0..catalog.len() as u32)
+        .map(|item| {
+            let tokens = catalog.title_tokens(item);
+            let mut v = vec![0.0f32; DIM];
+            let last = tokens.len().saturating_sub(1);
+            for (i, token) in tokens.iter().enumerate() {
+                let h = hash_token(token);
+                let dim = (h % DIM as u64) as usize;
+                let sign = if h >> 32 & 1 == 1 { 1.0 } else { -1.0 };
+                let weight = if i == last { 2.0 } else { 1.0 }; // type token
+                v[dim] += sign * weight;
+            }
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in &mut v {
+                    *x /= norm;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Domain;
+
+    fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn identical_titles_identical_embeddings() {
+        let cat = Catalog::generate(Domain::Fashion, 2000, 3);
+        let emb = item_embeddings(&cat);
+        for i in 0..cat.len() as u32 {
+            for j in (i + 1)..(cat.len() as u32).min(i + 50) {
+                if cat.title(i) == cat.title(j) {
+                    assert!(sq_dist(&emb[i as usize], &emb[j as usize]) < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_type_closer_than_cross_type_on_average() {
+        let cat = Catalog::generate(Domain::Fashion, 1500, 5);
+        let emb = item_embeddings(&cat);
+        let mut same = (0.0f64, 0usize);
+        let mut cross = (0.0f64, 0usize);
+        for i in 0..400u32 {
+            for j in (i + 1)..400 {
+                let d = sq_dist(&emb[i as usize], &emb[j as usize]) as f64;
+                if cat.products[i as usize].values[0] == cat.products[j as usize].values[0] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let (same_avg, cross_avg) = (same.0 / same.1 as f64, cross.0 / cross.1 as f64);
+        assert!(
+            same_avg < cross_avg,
+            "same-type avg {same_avg} should beat cross-type {cross_avg}"
+        );
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let cat = Catalog::generate(Domain::Electronics, 100, 9);
+        for v in item_embeddings(&cat) {
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+}

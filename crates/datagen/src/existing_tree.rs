@@ -1,0 +1,195 @@
+//! The existing manually-built tree (baseline **ET**).
+//!
+//! Real platforms categorize by a fixed attribute hierarchy chosen by
+//! taxonomists years ago — here: product type → brand (popular brands get
+//! their own category, the tail is pooled) → a secondary attribute. That is
+//! exactly the structure whose mismatch with live query demand motivates
+//! the paper (e.g. the memory-cards example of Figure 1).
+
+use oct_core::tree::{CategoryTree, ROOT};
+
+use crate::catalog::Catalog;
+
+/// Parameters of the generated existing tree.
+#[derive(Debug, Clone, Copy)]
+pub struct ExistingTreeConfig {
+    /// Brands with at least this many items (within a type) get a dedicated
+    /// second-level category; the rest pool into "other".
+    pub min_brand_category: usize,
+    /// Split brand categories by the secondary attribute when they hold at
+    /// least this many items.
+    pub min_leaf_split: usize,
+    /// Index of the secondary attribute used for third-level splits.
+    pub secondary_attribute: usize,
+}
+
+impl Default for ExistingTreeConfig {
+    fn default() -> Self {
+        Self {
+            min_brand_category: 30,
+            min_leaf_split: 150,
+            // Manual trees age: the third level splits on an attribute that
+            // taxonomists chose years ago (material / feature), not on what
+            // users currently search — the staleness that motivates the
+            // paper (Figure 1).
+            secondary_attribute: 5,
+        }
+    }
+}
+
+/// Builds the existing tree for `catalog`.
+pub fn existing_tree(catalog: &Catalog, config: &ExistingTreeConfig) -> CategoryTree {
+    let mut tree = CategoryTree::new();
+    let num_types = catalog.schema.attributes[0].values.len();
+    let num_brands = catalog.schema.attributes[1].values.len();
+    let sec = config.secondary_attribute.min(catalog.schema.len() - 1);
+    let num_sec = catalog.schema.attributes[sec].values.len();
+
+    // Bucket items by (type, brand).
+    let mut buckets: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); num_brands]; num_types];
+    for (item, p) in catalog.products.iter().enumerate() {
+        buckets[p.values[0] as usize][p.values[1] as usize].push(item as u32);
+    }
+
+    for (t, brands) in buckets.iter().enumerate() {
+        if brands.iter().all(Vec::is_empty) {
+            continue;
+        }
+        let type_cat = tree.add_category(ROOT);
+        tree.set_label(type_cat, catalog.schema.attributes[0].values[t].clone());
+        let mut other: Vec<u32> = Vec::new();
+        for (b, items) in brands.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            if items.len() < config.min_brand_category {
+                other.extend_from_slice(items);
+                continue;
+            }
+            let brand_cat = tree.add_category(type_cat);
+            tree.set_label(
+                brand_cat,
+                format!(
+                    "{} {}",
+                    catalog.schema.attributes[1].values[b],
+                    catalog.schema.attributes[0].values[t]
+                ),
+            );
+            if items.len() >= config.min_leaf_split {
+                // Third level: split by the secondary attribute.
+                let mut by_sec: Vec<Vec<u32>> = vec![Vec::new(); num_sec];
+                for &item in items {
+                    by_sec[catalog.products[item as usize].values[sec] as usize].push(item);
+                }
+                let mut brand_other = Vec::new();
+                for (v, sub) in by_sec.into_iter().enumerate() {
+                    if sub.len() >= config.min_brand_category {
+                        let leaf = tree.add_category(brand_cat);
+                        tree.set_label(
+                            leaf,
+                            format!(
+                                "{} {}",
+                                catalog.schema.attributes[sec].values[v],
+                                catalog.schema.attributes[0].values[t]
+                            ),
+                        );
+                        tree.assign_items(leaf, sub);
+                    } else {
+                        brand_other.extend(sub);
+                    }
+                }
+                tree.assign_items(brand_cat, brand_other);
+            } else {
+                tree.assign_items(brand_cat, items.iter().copied());
+            }
+        }
+        tree.assign_items(type_cat, other);
+    }
+    tree
+}
+
+/// For each item, the id of its top-level (type) branch in `tree`; used by
+/// the branch-scatter query cleaning of §5.1.
+pub fn branch_of_items(tree: &CategoryTree, num_items: u32) -> Vec<u32> {
+    let mut branch = vec![u32::MAX; num_items as usize];
+    for cat in tree.live_categories() {
+        if cat == ROOT {
+            continue;
+        }
+        // Top-level ancestor.
+        let mut top = cat;
+        while let Some(p) = tree.parent(top) {
+            if p == ROOT {
+                break;
+            }
+            top = p;
+        }
+        for &item in tree.direct_items(cat) {
+            branch[item as usize] = top;
+        }
+    }
+    branch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Domain;
+    use oct_core::input::{InputSet, Instance};
+    use oct_core::itemset::ItemSet;
+    use oct_core::similarity::Similarity;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(Domain::Fashion, 3000, 21)
+    }
+
+    #[test]
+    fn every_item_is_assigned_exactly_once() {
+        let cat = catalog();
+        let tree = existing_tree(&cat, &ExistingTreeConfig::default());
+        // Validation with a trivial instance checks the bound-1 discipline.
+        let inst = Instance::new(
+            cat.len() as u32,
+            vec![InputSet::new(ItemSet::new(vec![0]), 1.0)],
+            Similarity::exact(),
+        );
+        assert!(tree.validate(&inst).is_ok());
+        assert_eq!(tree.assigned_items().len(), cat.len());
+    }
+
+    #[test]
+    fn top_level_matches_types() {
+        let cat = catalog();
+        let tree = existing_tree(&cat, &ExistingTreeConfig::default());
+        let top_labels: Vec<&str> = tree
+            .children(ROOT)
+            .iter()
+            .filter_map(|&c| tree.label(c))
+            .collect();
+        assert!(top_labels.contains(&"shirt"));
+        // No more top-level nodes than types.
+        assert!(top_labels.len() <= cat.schema.attributes[0].values.len());
+    }
+
+    #[test]
+    fn popular_brands_get_categories() {
+        let cat = catalog();
+        let tree = existing_tree(&cat, &ExistingTreeConfig::default());
+        let has_brand_level = tree
+            .live_categories()
+            .iter()
+            .any(|&c| tree.depth(c) == 2);
+        assert!(has_brand_level, "expected type→brand categories");
+    }
+
+    #[test]
+    fn branch_of_items_is_total_and_toplevel() {
+        let cat = catalog();
+        let tree = existing_tree(&cat, &ExistingTreeConfig::default());
+        let branch = branch_of_items(&tree, cat.len() as u32);
+        for (item, &b) in branch.iter().enumerate() {
+            assert_ne!(b, u32::MAX, "item {item} has no branch");
+            assert_eq!(tree.parent(b), Some(ROOT));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # oct-datagen — synthetic e-commerce data for OCT experiments
+//!
+//! The paper evaluates on proprietary query logs of a large e-commerce
+//! platform ("XYZ": datasets A–D) plus public datasets (dataset E). Neither
+//! is redistributable, so this crate synthesizes workloads with the same
+//! structural properties (see `DESIGN.md` §4 for the substitution argument):
+//!
+//! * [`catalog`] — product catalogs with correlated, Zipf-distributed
+//!   attributes per domain (Fashion / Electronics) and derived titles;
+//! * [`existing_tree`] — the manually-built tree baseline (ET), generated
+//!   from the catalog's attribute hierarchy;
+//! * [`queries`] — search-query logs: attribute-conjunction queries with
+//!   Zipf frequencies and search-engine relevance noise (including the
+//!   paper's "Nike Blazer"-style misclassifications);
+//! * [`preprocess`] — the paper's §5.1 pipeline: frequency floor,
+//!   branch-scatter cleaning against the existing tree, relevance cutoff,
+//!   frequency weighting, and merging of near-duplicate result sets;
+//! * [`datasets`] — named dataset specs mirroring A–E with a scale knob;
+//! * [`embeddings`] — deterministic "semantic" item embeddings standing in
+//!   for the paper's domain-tuned title-embedding model (IC-S input);
+//! * [`tfidf`] — the tf-idf category-cohesiveness metric of §5.4;
+//! * [`loader`] — TSV interchange so platforms can feed their own logs;
+//! * [`trends`] — time-windowed logs and recency weighting (trend capture).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod datasets;
+pub mod embeddings;
+pub mod existing_tree;
+pub mod loader;
+pub mod preprocess;
+pub mod queries;
+pub mod tfidf;
+pub mod trends;
+
+pub use catalog::{Catalog, Domain};
+pub use datasets::{generate, DatasetName, DatasetSpec, GeneratedDataset};

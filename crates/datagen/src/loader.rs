@@ -1,0 +1,190 @@
+//! Plain-text interchange for query logs.
+//!
+//! Platforms adopting the library bring their own search logs. This module
+//! reads and writes a minimal line-oriented TSV format, one query per line:
+//!
+//! ```text
+//! <query text>\t<daily frequency>\t<item:relevance>[,<item:relevance>…]
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! memory cards\t812.5\t17:0.99,102:0.93,54:0.88
+//! ```
+//!
+//! Lines starting with `#` and blank lines are skipped. Relevances may be
+//! omitted (`17,102,54`), defaulting to 1.0.
+
+use crate::queries::{QueryLog, RawQuery};
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a TSV query log.
+///
+/// Queries carry no attribute predicates (those are synthetic-only); the
+/// `predicates` field is left empty.
+pub fn parse_query_log(text: &str) -> Result<QueryLog, ParseError> {
+    let mut queries = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let text = fields
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| err(line_no, "missing query text"))?
+            .to_owned();
+        let freq_raw = fields
+            .next()
+            .ok_or_else(|| err(line_no, "missing frequency field"))?;
+        let daily_frequency: f64 = freq_raw
+            .parse()
+            .map_err(|_| err(line_no, &format!("bad frequency {freq_raw:?}")))?;
+        if !daily_frequency.is_finite() || daily_frequency < 0.0 {
+            return Err(err(line_no, "frequency must be non-negative and finite"));
+        }
+        let results_raw = fields
+            .next()
+            .ok_or_else(|| err(line_no, "missing results field"))?;
+        if fields.next().is_some() {
+            return Err(err(line_no, "too many tab-separated fields"));
+        }
+        let mut results = Vec::new();
+        for part in results_raw.split(',').filter(|p| !p.is_empty()) {
+            let (item_raw, rel_raw) = match part.split_once(':') {
+                Some((i, r)) => (i, Some(r)),
+                None => (part, None),
+            };
+            let item: u32 = item_raw
+                .trim()
+                .parse()
+                .map_err(|_| err(line_no, &format!("bad item id {item_raw:?}")))?;
+            let relevance: f32 = match rel_raw {
+                None => 1.0,
+                Some(r) => r
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(line_no, &format!("bad relevance {r:?}")))?,
+            };
+            if !(0.0..=1.0).contains(&relevance) {
+                return Err(err(line_no, "relevance must be in [0, 1]"));
+            }
+            results.push((item, relevance));
+        }
+        if results.is_empty() {
+            return Err(err(line_no, "query has no results"));
+        }
+        results.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        queries.push(RawQuery {
+            predicates: Vec::new(),
+            text,
+            daily_frequency,
+            results,
+        });
+    }
+    Ok(QueryLog { queries })
+}
+
+/// Serializes a query log to the TSV format accepted by
+/// [`parse_query_log`].
+pub fn write_query_log(log: &QueryLog) -> String {
+    let mut out = String::new();
+    out.push_str("# query\tdaily_frequency\titem:relevance,...\n");
+    for q in &log.queries {
+        let results = q
+            .results
+            .iter()
+            .map(|&(item, rel)| format!("{item}:{rel}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!("{}\t{}\t{}\n", q.text, q.daily_frequency, results));
+    }
+    out
+}
+
+fn err(line: usize, message: &str) -> ParseError {
+    ParseError {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, Domain};
+    use crate::queries::{generate_queries, QueryConfig};
+
+    #[test]
+    fn parses_basic_log() {
+        let log = parse_query_log(
+            "# comment\nmemory cards\t812.5\t17:0.99,102:0.93\n\nssd\t10\t3,4,5\n",
+        )
+        .expect("valid log");
+        assert_eq!(log.queries.len(), 2);
+        assert_eq!(log.queries[0].text, "memory cards");
+        assert_eq!(log.queries[0].daily_frequency, 812.5);
+        assert_eq!(log.queries[0].results, vec![(17, 0.99), (102, 0.93)]);
+        assert_eq!(log.queries[1].results, vec![(3, 1.0), (4, 1.0), (5, 1.0)]);
+    }
+
+    #[test]
+    fn roundtrips_generated_logs() {
+        let catalog = Catalog::generate(Domain::Fashion, 2000, 5);
+        let config = QueryConfig {
+            num_queries: 60,
+            ..QueryConfig::default()
+        };
+        let log = generate_queries(&catalog, &config);
+        let text = write_query_log(&log);
+        let parsed = parse_query_log(&text).expect("own output parses");
+        assert_eq!(parsed.queries.len(), log.queries.len());
+        for (a, b) in parsed.queries.iter().zip(&log.queries) {
+            assert_eq!(a.text, b.text);
+            assert!((a.daily_frequency - b.daily_frequency).abs() < 1e-9);
+            assert_eq!(a.results.len(), b.results.len());
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse_query_log("good\t1\t1:0.5\nbad\tnope\t2:0.5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad frequency"));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_query_log("only text\n").is_err());
+        assert!(parse_query_log("q\t1\t\n").is_err());
+        assert!(parse_query_log("q\t1\t5:2.0\n").is_err(), "relevance > 1");
+        assert!(parse_query_log("q\t-1\t5:0.5\n").is_err(), "negative freq");
+        assert!(parse_query_log("q\t1\t5:0.5\textra\n").is_err());
+    }
+
+    #[test]
+    fn results_sorted_by_relevance() {
+        let log = parse_query_log("q\t1\t1:0.2,2:0.9,3:0.5\n").expect("valid");
+        let rels: Vec<f32> = log.queries[0].results.iter().map(|r| r.1).collect();
+        assert_eq!(rels, vec![0.9, 0.5, 0.2]);
+    }
+}

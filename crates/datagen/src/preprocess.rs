@@ -1,0 +1,321 @@
+//! The data-preparation pipeline of §5.1.
+//!
+//! Raw queries become `OCT` input sets through four steps:
+//! 1. **cleaning** — drop infrequent queries (below the frequency floor)
+//!    and queries whose results scatter over more than 10 branches of the
+//!    existing tree;
+//! 2. **result-set computation** — drop items below the relevance
+//!    threshold (0.8 for Jaccard/F1 variants, 0.9 for Perfect-Recall and
+//!    Exact, per the paper's tuning);
+//! 3. **weighting** — weight = average daily frequency;
+//! 4. **merging** — near-duplicate result sets (similarity in
+//!    `[δ + ¾(1−δ), 1]`) merge into one set with the combined weight.
+
+use oct_core::input::{InputSet, Instance};
+use oct_core::itemset::ItemSet;
+use oct_core::similarity::{Similarity, SimilarityKind};
+use oct_core::tree::CategoryTree;
+
+use crate::existing_tree::branch_of_items;
+use crate::queries::QueryLog;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessConfig {
+    /// Frequency floor (the paper's confidential `X`).
+    pub min_daily_frequency: f64,
+    /// Maximum existing-tree branches a result set may touch.
+    pub max_branches: usize,
+    /// Merge near-duplicate result sets.
+    pub merge_similar: bool,
+    /// Ignore frequencies and weight every query 1 (public datasets).
+    pub uniform_weights: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            min_daily_frequency: 1.0,
+            max_branches: 10,
+            merge_similar: true,
+            uniform_weights: false,
+        }
+    }
+}
+
+/// What the pipeline did, for reporting and the §5.4 ablations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Queries in the raw log.
+    pub raw_queries: usize,
+    /// Dropped by the frequency floor.
+    pub dropped_infrequent: usize,
+    /// Dropped by branch scatter.
+    pub dropped_scattered: usize,
+    /// Dropped because the thresholded result set became too small.
+    pub dropped_empty: usize,
+    /// Merges performed.
+    pub merged: usize,
+    /// Final input-set count.
+    pub final_sets: usize,
+}
+
+/// The paper's relevance threshold for a similarity variant: 0.9 for the
+/// recall-strict variants, 0.8 otherwise.
+pub fn relevance_threshold(kind: SimilarityKind) -> f32 {
+    if kind.requires_perfect_recall() {
+        0.9
+    } else {
+        0.8
+    }
+}
+
+/// Runs the pipeline, producing an [`Instance`] over the catalog universe.
+pub fn build_instance(
+    num_items: u32,
+    log: &QueryLog,
+    existing: &CategoryTree,
+    similarity: Similarity,
+    config: &PreprocessConfig,
+) -> (Instance, PreprocessStats) {
+    let mut stats = PreprocessStats {
+        raw_queries: log.queries.len(),
+        ..PreprocessStats::default()
+    };
+    let branch = branch_of_items(existing, num_items);
+    let relevance = relevance_threshold(similarity.kind);
+
+    let mut sets: Vec<InputSet> = Vec::new();
+    for q in &log.queries {
+        if q.daily_frequency < config.min_daily_frequency {
+            stats.dropped_infrequent += 1;
+            continue;
+        }
+        // Relevance cutoff.
+        let items: Vec<u32> = q
+            .results
+            .iter()
+            .filter(|&&(_, rel)| rel >= relevance)
+            .map(|&(item, _)| item)
+            .collect();
+        if items.len() < 2 {
+            stats.dropped_empty += 1;
+            continue;
+        }
+        // Branch-scatter cleaning.
+        let mut branches: Vec<u32> = items.iter().map(|&i| branch[i as usize]).collect();
+        branches.sort_unstable();
+        branches.dedup();
+        if branches.len() > config.max_branches {
+            stats.dropped_scattered += 1;
+            continue;
+        }
+        let weight = if config.uniform_weights {
+            1.0
+        } else {
+            q.daily_frequency
+        };
+        sets.push(InputSet::new(ItemSet::new(items), weight).with_label(q.text.clone()));
+    }
+
+    if config.merge_similar {
+        sets = merge_similar(sets, similarity, &mut stats);
+    }
+    stats.final_sets = sets.len();
+    (Instance::new(num_items, sets, similarity), stats)
+}
+
+/// Merges every pair of sets whose base similarity lies in
+/// `[δ + ¾(1−δ), 1]`, combining weights (union of items, heavier label).
+/// Runs greedily to a fixpoint via a size-bucketed candidate scan.
+fn merge_similar(
+    mut sets: Vec<InputSet>,
+    similarity: Similarity,
+    stats: &mut PreprocessStats,
+) -> Vec<InputSet> {
+    let delta = similarity.delta;
+    let cutoff = delta + 0.75 * (1.0 - delta);
+    let base = similarity.kind.base();
+    loop {
+        // Inverted index over current sets for candidate generation.
+        let mut by_item: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, s) in sets.iter().enumerate() {
+            for item in s.items.iter() {
+                by_item.entry(item).or_default().push(i);
+            }
+        }
+        // Merge the most similar eligible pair; deterministic tie-break by
+        // indices (hash-map iteration order must not leak into results).
+        let mut pair: Option<(f64, usize, usize)> = None;
+        let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for posting in by_item.values() {
+            for (x, &i) in posting.iter().enumerate() {
+                for &j in &posting[x + 1..] {
+                    let key = (i.min(j), i.max(j));
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let (a, b) = (&sets[key.0].items, &sets[key.1].items);
+                    let sim = base.eval(a.len(), b.len(), a.intersection_size(b));
+                    if sim < cutoff - 1e-9 {
+                        continue;
+                    }
+                    let better = match pair {
+                        None => true,
+                        Some((bs, bi, bj)) => {
+                            sim > bs + 1e-12
+                                || ((sim - bs).abs() <= 1e-12 && key < (bi, bj))
+                        }
+                    };
+                    if better {
+                        pair = Some((sim, key.0, key.1));
+                    }
+                }
+            }
+        }
+        let Some((_, i, j)) = pair else {
+            return sets;
+        };
+        let merged_items = sets[i].items.union(&sets[j].items);
+        let weight = sets[i].weight + sets[j].weight;
+        let label = if sets[i].weight >= sets[j].weight {
+            sets[i].label.clone()
+        } else {
+            sets[j].label.clone()
+        };
+        let mut merged = InputSet::new(merged_items, weight);
+        merged.label = label;
+        sets.swap_remove(j);
+        sets[i] = merged;
+        stats.merged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, Domain};
+    use crate::existing_tree::{existing_tree, ExistingTreeConfig};
+    use crate::queries::{generate_queries, QueryConfig};
+
+    fn setup() -> (Catalog, QueryLog, CategoryTree) {
+        let cat = Catalog::generate(Domain::Fashion, 4000, 42);
+        let log = generate_queries(&cat, &QueryConfig::default());
+        let tree = existing_tree(&cat, &ExistingTreeConfig::default());
+        (cat, log, tree)
+    }
+
+    #[test]
+    fn builds_valid_instance() {
+        let (cat, log, tree) = setup();
+        let (instance, stats) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::jaccard_threshold(0.8),
+            &PreprocessConfig::default(),
+        );
+        assert!(stats.final_sets > 50, "{stats:?}");
+        assert_eq!(instance.num_sets(), stats.final_sets);
+        assert!(instance.sets.iter().all(|s| s.items.len() >= 2));
+        assert!(instance.sets.iter().all(|s| s.weight > 0.0));
+    }
+
+    #[test]
+    fn frequency_floor_drops_tail() {
+        let (cat, log, tree) = setup();
+        let config = PreprocessConfig {
+            min_daily_frequency: 50.0,
+            ..PreprocessConfig::default()
+        };
+        let (_, stats) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::jaccard_threshold(0.8),
+            &config,
+        );
+        assert!(stats.dropped_infrequent > 100, "{stats:?}");
+    }
+
+    #[test]
+    fn perfect_recall_uses_stricter_relevance() {
+        assert_eq!(relevance_threshold(SimilarityKind::PerfectRecall), 0.9);
+        assert_eq!(relevance_threshold(SimilarityKind::Exact), 0.9);
+        assert_eq!(relevance_threshold(SimilarityKind::JaccardThreshold), 0.8);
+        let (cat, log, tree) = setup();
+        let (pr, _) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::perfect_recall(0.8),
+            &PreprocessConfig::default(),
+        );
+        let (jac, _) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::jaccard_threshold(0.8),
+            &PreprocessConfig::default(),
+        );
+        // Stricter relevance can only shrink result sets.
+        let pr_total: usize = pr.sets.iter().map(|s| s.items.len()).sum();
+        let jac_total: usize = jac.sets.iter().map(|s| s.items.len()).sum();
+        assert!(pr_total <= jac_total);
+    }
+
+    #[test]
+    fn merging_reduces_sets_and_preserves_weight() {
+        let (cat, log, tree) = setup();
+        let unmerged_cfg = PreprocessConfig {
+            merge_similar: false,
+            ..PreprocessConfig::default()
+        };
+        let sim = Similarity::jaccard_threshold(0.8);
+        let (merged, mstats) =
+            build_instance(cat.len() as u32, &log, &tree, sim, &PreprocessConfig::default());
+        let (unmerged, _) = build_instance(cat.len() as u32, &log, &tree, sim, &unmerged_cfg);
+        assert!(merged.num_sets() <= unmerged.num_sets());
+        assert!(
+            (merged.total_weight() - unmerged.total_weight()).abs() < 1e-6,
+            "merging must conserve weight mass"
+        );
+        assert_eq!(unmerged.num_sets() - merged.num_sets(), mstats.merged);
+    }
+
+    #[test]
+    fn uniform_weights_for_public_data() {
+        let (cat, log, tree) = setup();
+        let config = PreprocessConfig {
+            uniform_weights: true,
+            merge_similar: false,
+            ..PreprocessConfig::default()
+        };
+        let (instance, _) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::perfect_recall(0.6),
+            &config,
+        );
+        assert!(instance.sets.iter().all(|s| (s.weight - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn scatter_cleaning_drops_multi_branch_queries() {
+        let (cat, log, tree) = setup();
+        let strict = PreprocessConfig {
+            max_branches: 1,
+            ..PreprocessConfig::default()
+        };
+        let (_, stats) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            Similarity::jaccard_threshold(0.8),
+            &strict,
+        );
+        assert!(stats.dropped_scattered > 0, "{stats:?}");
+    }
+}

@@ -1,0 +1,311 @@
+//! Synthetic search-query logs with relevance-scored result sets.
+//!
+//! Queries are conjunctions of 1–3 attribute predicates ("black brand3
+//! shirt"), sampled by attribute popularity and value frequency, with daily
+//! frequencies following a Zipf law over the distinct queries. The
+//! platform's search engine is simulated by attaching a relevance score in
+//! `[0, 1]` to every returned item: true matches score high, and a small
+//! fraction of *misclassified* foreign items (the paper's "Nike Blazer"
+//! example) sneak in above the relevance threshold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::Catalog;
+
+/// One raw query with its scored result set.
+#[derive(Debug, Clone)]
+pub struct RawQuery {
+    /// Conjunctive predicates `(attribute, value)`.
+    pub predicates: Vec<(usize, u16)>,
+    /// Query text (predicate values in schema order).
+    pub text: String,
+    /// Average submissions per day over the window.
+    pub daily_frequency: f64,
+    /// Scored results: `(item, relevance)`, descending by relevance.
+    pub results: Vec<(u32, f32)>,
+}
+
+/// A generated query log.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// The distinct queries.
+    pub queries: Vec<RawQuery>,
+}
+
+/// Knobs for query-log generation.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Number of distinct queries to generate.
+    pub num_queries: usize,
+    /// Zipf skew of query frequencies.
+    pub frequency_zipf: f64,
+    /// Scale of the heaviest query's daily frequency.
+    pub max_daily_frequency: f64,
+    /// Probability that a matching item is scored low (search miss).
+    pub miss_rate: f64,
+    /// Expected fraction of foreign (misclassified) items per result set.
+    pub noise_rate: f64,
+    /// Drop queries with fewer matches than this.
+    pub min_result_size: usize,
+    /// Probability that a new query is a *variation* of an earlier one:
+    /// the same intent phrased differently, returning a slightly perturbed
+    /// result set. Real logs are highly redundant — this is what makes the
+    /// paper's query merging worthwhile and train/test splits meaningful.
+    pub variation_rate: f64,
+    /// Truncate result sets to the top-k by relevance (`None` = unbounded);
+    /// public datasets ship top-k results only.
+    pub top_k: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 500,
+            frequency_zipf: 1.05,
+            max_daily_frequency: 2000.0,
+            miss_rate: 0.05,
+            noise_rate: 0.02,
+            min_result_size: 3,
+            variation_rate: 0.45,
+            top_k: None,
+            seed: 0x9E_C0,
+        }
+    }
+}
+
+/// Generates a query log over `catalog`.
+pub fn generate_queries(catalog: &Catalog, config: &QueryConfig) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let postings = catalog.postings();
+    let schema = &catalog.schema;
+
+    // Attribute-selection weights.
+    let attr_weights: Vec<f64> = schema
+        .attributes
+        .iter()
+        .map(|a| a.query_popularity)
+        .collect();
+    let attr_total: f64 = attr_weights.iter().sum();
+
+    let mut seen = std::collections::HashSet::new();
+    let mut seen_texts: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut queries: Vec<RawQuery> = Vec::with_capacity(config.num_queries);
+    let mut attempts = 0usize;
+    let max_attempts = config.num_queries * 50 + 1000;
+    while queries.len() < config.num_queries && attempts < max_attempts {
+        attempts += 1;
+        // A rephrasing of an earlier query: same intent with a modifier
+        // word ("nike shirt sale"), independently re-noised result set.
+        if !queries.is_empty() && rng.gen_bool(config.variation_rate) {
+            const MODIFIERS: [&str; 6] = ["sale", "cheap", "best", "new", "online", "deals"];
+            let base = &queries[rng.gen_range(0..queries.len())];
+            let predicates = base.predicates.clone();
+            let text = format!(
+                "{} {}",
+                base.text,
+                MODIFIERS[rng.gen_range(0..MODIFIERS.len())]
+            );
+            if !seen_texts.insert(text.clone()) {
+                continue;
+            }
+            let mut matches: Vec<u32> = catalog.matching_items(&predicates);
+            // The engine serves rephrasings slightly differently.
+            matches.retain(|_| !rng.gen_bool(0.06));
+            if matches.len() >= config.min_result_size {
+                let results = score_results(catalog, matches, config, &mut rng);
+                queries.push(RawQuery {
+                    predicates,
+                    text,
+                    daily_frequency: 0.0,
+                    results,
+                });
+            }
+            continue;
+        }
+        // 1–3 distinct attributes, popularity-weighted.
+        let arity = match rng.gen_range(0..10) {
+            0..=4 => 1,
+            5..=8 => 2,
+            _ => 3,
+        };
+        let mut attrs: Vec<usize> = Vec::new();
+        while attrs.len() < arity {
+            let mut x = rng.gen::<f64>() * attr_total;
+            let mut pick = 0;
+            for (a, &w) in attr_weights.iter().enumerate() {
+                if x < w {
+                    pick = a;
+                    break;
+                }
+                x -= w;
+            }
+            if !attrs.contains(&pick) {
+                attrs.push(pick);
+            }
+        }
+        attrs.sort_unstable();
+        // Pick a value per attribute by sampling a random product — this
+        // weights values by how many items carry them (queries target
+        // populated categories).
+        let anchor = &catalog.products[rng.gen_range(0..catalog.len())];
+        let predicates: Vec<(usize, u16)> =
+            attrs.iter().map(|&a| (a, anchor.values[a])).collect();
+        if !seen.insert(predicates.clone()) {
+            continue;
+        }
+        // Result set via posting intersection.
+        let mut matches: Vec<u32> = postings[predicates[0].0][predicates[0].1 as usize].clone();
+        for &(a, v) in &predicates[1..] {
+            let post = &postings[a][v as usize];
+            matches.retain(|item| post.binary_search(item).is_ok());
+        }
+        if matches.len() < config.min_result_size {
+            continue;
+        }
+        let text = predicates
+            .iter()
+            .map(|&(a, v)| schema.attributes[a].values[v as usize].clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        seen_texts.insert(text.clone());
+        queries.push(RawQuery {
+            predicates,
+            text,
+            daily_frequency: 0.0,
+            results: score_results(catalog, matches, config, &mut rng),
+        });
+    }
+
+    // Zipf frequencies over queries, assigned to a random permutation so
+    // frequency is independent of generation order.
+    let n = queries.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for (rank, &q) in order.iter().enumerate() {
+        queries[q].daily_frequency =
+            config.max_daily_frequency / ((rank + 1) as f64).powf(config.frequency_zipf);
+    }
+    QueryLog { queries }
+}
+
+fn score_results(
+    catalog: &Catalog,
+    matches: Vec<u32>,
+    config: &QueryConfig,
+    rng: &mut StdRng,
+) -> Vec<(u32, f32)> {
+    let mut results: Vec<(u32, f32)> = matches
+        .iter()
+        .map(|&item| {
+            let relevance = if rng.gen_bool(config.miss_rate) {
+                rng.gen_range(0.3..0.75) // engine under-scores a true match
+            } else {
+                rng.gen_range(0.82..1.0)
+            };
+            (item, relevance as f32)
+        })
+        .collect();
+    // Foreign misclassifications: unrelated items scored as relevant.
+    let noise = ((matches.len() as f64 * config.noise_rate).round() as usize).min(50);
+    for _ in 0..noise {
+        let item = rng.gen_range(0..catalog.len()) as u32;
+        if !matches.contains(&item) {
+            results.push((item, rng.gen_range(0.82..0.95)));
+        }
+    }
+    results.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    if let Some(k) = config.top_k {
+        results.truncate(k);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Domain;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(Domain::Fashion, 4000, 42)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let log = generate_queries(&catalog(), &QueryConfig::default());
+        assert_eq!(log.queries.len(), 500);
+    }
+
+    #[test]
+    fn queries_are_distinct_and_nonempty() {
+        let log = generate_queries(&catalog(), &QueryConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for q in &log.queries {
+            assert!(seen.insert(q.text.clone()), "duplicate {:?}", q.text);
+            assert!(q.results.len() >= 3);
+            assert!(!q.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn frequencies_follow_zipf() {
+        let log = generate_queries(&catalog(), &QueryConfig::default());
+        let mut freqs: Vec<f64> = log.queries.iter().map(|q| q.daily_frequency).collect();
+        freqs.sort_by(|a, b| b.total_cmp(a));
+        assert!(freqs[0] > 10.0 * freqs[freqs.len() / 2], "head should dominate");
+        assert!(freqs.iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    fn results_sorted_by_relevance() {
+        let log = generate_queries(&catalog(), &QueryConfig::default());
+        for q in &log.queries {
+            assert!(q.results.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn noise_injects_foreign_items() {
+        let cat = catalog();
+        let config = QueryConfig {
+            noise_rate: 0.2,
+            seed: 1,
+            ..QueryConfig::default()
+        };
+        let log = generate_queries(&cat, &config);
+        let with_noise = log.queries.iter().any(|q| {
+            q.results.iter().any(|&(item, rel)| {
+                rel >= 0.8 && !q.predicates.iter().all(|&(a, v)| {
+                    cat.products[item as usize].values[a] == v
+                })
+            })
+        });
+        assert!(with_noise, "expected at least one misclassified item");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let config = QueryConfig {
+            top_k: Some(10),
+            ..QueryConfig::default()
+        };
+        let log = generate_queries(&catalog(), &config);
+        assert!(log.queries.iter().all(|q| q.results.len() <= 10));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cat = catalog();
+        let a = generate_queries(&cat, &QueryConfig::default());
+        let b = generate_queries(&cat, &QueryConfig::default());
+        assert_eq!(a.queries.len(), b.queries.len());
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.predicates, y.predicates);
+            assert_eq!(x.results, y.results);
+        }
+    }
+}

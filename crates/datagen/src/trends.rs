@@ -1,0 +1,271 @@
+//! Time-windowed query logs and recency weighting (§5.1, §5.4).
+//!
+//! XYZ rebuilds its tree every 90 days using queries "submitted at least X
+//! times a day, consecutively" over the window, but the user study notes
+//! that "platforms can capitalize on short-lived trends, by applying the
+//! algorithms over data skewed towards more recent periods" — the Kobe-
+//! memorabilia example. This module models a per-day submission series per
+//! query and derives weights under pluggable recency schemes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::queries::QueryLog;
+
+/// A query log with a per-day submission count series per query.
+#[derive(Debug, Clone)]
+pub struct WindowedLog {
+    /// The underlying queries (frequencies are the window averages).
+    pub log: QueryLog,
+    /// `counts[q][d]` = submissions of query `q` on day `d` (day 0 is the
+    /// oldest).
+    pub counts: Vec<Vec<f64>>,
+}
+
+/// How daily counts aggregate into a query weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecencyScheme {
+    /// Plain mean over the window — the paper's default weighting.
+    Uniform,
+    /// Exponential decay: day `d` (0 = oldest) of a `D`-day window gets
+    /// weight `half_life`-halving toward the past.
+    ExponentialDecay {
+        /// Days after which a count's influence halves (looking backwards
+        /// from the most recent day).
+        half_life: f64,
+    },
+    /// Only the most recent `days` count (hard window).
+    RecentWindow {
+        /// Number of trailing days.
+        days: usize,
+    },
+}
+
+/// Temporal shapes a query's demand can follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendShape {
+    /// Steady demand with noise.
+    Stable,
+    /// Demand emerges late in the window (a breaking trend).
+    Spike,
+    /// Demand dies off early in the window (a fading fad).
+    Fade,
+}
+
+/// Expands a query log into a windowed log over `days` days.
+///
+/// `spike_fraction` of queries (selected deterministically per seed) become
+/// late spikes and the same fraction become fades; the rest stay stable.
+/// Daily counts are scaled so each query's window *mean* equals its
+/// original `daily_frequency`, keeping uniform-weight results unchanged.
+pub fn windowed(log: &QueryLog, days: usize, spike_fraction: f64, seed: u64) -> WindowedLog {
+    assert!(days >= 1, "window needs at least one day");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = Vec::with_capacity(log.queries.len());
+    for q in &log.queries {
+        let shape = match rng.gen::<f64>() {
+            x if x < spike_fraction => TrendShape::Spike,
+            x if x < 2.0 * spike_fraction => TrendShape::Fade,
+            _ => TrendShape::Stable,
+        };
+        let mut series: Vec<f64> = (0..days)
+            .map(|d| {
+                let base = match shape {
+                    TrendShape::Stable => 1.0,
+                    TrendShape::Spike => {
+                        // Ramp from ~0 over the last third of the window.
+                        let start = days as f64 * 2.0 / 3.0;
+                        if (d as f64) < start {
+                            0.02
+                        } else {
+                            1.0 + (d as f64 - start) / (days as f64 / 3.0)
+                        }
+                    }
+                    TrendShape::Fade => {
+                        let end = days as f64 / 3.0;
+                        if (d as f64) < end {
+                            1.0
+                        } else {
+                            0.05
+                        }
+                    }
+                };
+                base * rng.gen_range(0.8..1.2)
+            })
+            .collect();
+        // Normalize mean to the original daily frequency.
+        let mean: f64 = series.iter().sum::<f64>() / days as f64;
+        if mean > 0.0 {
+            let scale = q.daily_frequency / mean;
+            for v in &mut series {
+                *v *= scale;
+            }
+        }
+        counts.push(series);
+    }
+    WindowedLog {
+        log: log.clone(),
+        counts,
+    }
+}
+
+impl WindowedLog {
+    /// Number of days in the window.
+    pub fn days(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
+    }
+
+    /// Derives per-query weights under `scheme`.
+    pub fn weights(&self, scheme: RecencyScheme) -> Vec<f64> {
+        let days = self.days().max(1);
+        self.counts
+            .iter()
+            .map(|series| match scheme {
+                RecencyScheme::Uniform => series.iter().sum::<f64>() / days as f64,
+                RecencyScheme::ExponentialDecay { half_life } => {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (d, &v) in series.iter().enumerate() {
+                        let age = (days - 1 - d) as f64;
+                        let w = 0.5f64.powf(age / half_life.max(1e-9));
+                        num += w * v;
+                        den += w;
+                    }
+                    if den > 0.0 {
+                        num / den
+                    } else {
+                        0.0
+                    }
+                }
+                RecencyScheme::RecentWindow { days: recent } => {
+                    let take = recent.clamp(1, days);
+                    let tail = &series[days - take..];
+                    tail.iter().sum::<f64>() / take as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Re-weights the log in place under `scheme` and returns it.
+    pub fn reweighted(&self, scheme: RecencyScheme) -> QueryLog {
+        let weights = self.weights(scheme);
+        let mut log = self.log.clone();
+        for (q, w) in log.queries.iter_mut().zip(weights) {
+            q.daily_frequency = w;
+        }
+        log
+    }
+
+    /// Indices of queries whose recency-weighted demand exceeds their
+    /// uniform demand by `factor` — breaking-trend candidates the
+    /// taxonomists should look at (§5.4's Kobe detection).
+    pub fn breaking_trends(&self, scheme: RecencyScheme, factor: f64) -> Vec<usize> {
+        let uniform = self.weights(RecencyScheme::Uniform);
+        let recent = self.weights(scheme);
+        uniform
+            .iter()
+            .zip(&recent)
+            .enumerate()
+            .filter(|(_, (&u, &r))| u > 0.0 && r / u >= factor)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, Domain};
+    use crate::queries::{generate_queries, QueryConfig};
+
+    fn sample() -> WindowedLog {
+        let catalog = Catalog::generate(Domain::Electronics, 2000, 9);
+        let log = generate_queries(
+            &catalog,
+            &QueryConfig {
+                num_queries: 80,
+                ..QueryConfig::default()
+            },
+        );
+        windowed(&log, 90, 0.15, 77)
+    }
+
+    #[test]
+    fn uniform_weights_match_original_frequencies() {
+        let w = sample();
+        let uniform = w.weights(RecencyScheme::Uniform);
+        for (q, &u) in w.log.queries.iter().zip(&uniform) {
+            assert!(
+                (u - q.daily_frequency).abs() < 1e-6 * (1.0 + q.daily_frequency),
+                "mean-normalization failed: {u} vs {}",
+                q.daily_frequency
+            );
+        }
+    }
+
+    #[test]
+    fn decay_boosts_spikes_over_uniform() {
+        let w = sample();
+        let trends = w.breaking_trends(
+            RecencyScheme::ExponentialDecay { half_life: 10.0 },
+            1.5,
+        );
+        assert!(!trends.is_empty(), "some spikes must be detected");
+        // Every flagged query's recent demand genuinely dominates.
+        let uniform = w.weights(RecencyScheme::Uniform);
+        let recent = w.weights(RecencyScheme::ExponentialDecay { half_life: 10.0 });
+        for &t in &trends {
+            assert!(recent[t] > uniform[t]);
+        }
+    }
+
+    #[test]
+    fn recent_window_is_a_tail_mean() {
+        let w = sample();
+        let tail = w.weights(RecencyScheme::RecentWindow { days: 7 });
+        for (series, &t) in w.counts.iter().zip(&tail) {
+            let manual: f64 = series[series.len() - 7..].iter().sum::<f64>() / 7.0;
+            assert!((manual - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reweighted_log_preserves_everything_but_weights() {
+        let w = sample();
+        let re = w.reweighted(RecencyScheme::RecentWindow { days: 14 });
+        assert_eq!(re.queries.len(), w.log.queries.len());
+        for (a, b) in re.queries.iter().zip(&w.log.queries) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.results, b.results);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let catalog = Catalog::generate(Domain::Electronics, 500, 9);
+        let log = generate_queries(
+            &catalog,
+            &QueryConfig {
+                num_queries: 20,
+                ..QueryConfig::default()
+            },
+        );
+        let a = windowed(&log, 30, 0.2, 5);
+        let b = windowed(&log, 30, 0.2, 5);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn rejects_empty_window() {
+        let catalog = Catalog::generate(Domain::Electronics, 100, 9);
+        let log = generate_queries(
+            &catalog,
+            &QueryConfig {
+                num_queries: 5,
+                ..QueryConfig::default()
+            },
+        );
+        let _ = windowed(&log, 0, 0.1, 1);
+    }
+}

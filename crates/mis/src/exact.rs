@@ -1,0 +1,508 @@
+//! Exact branch-and-reduce MWIS solver.
+//!
+//! Follows the structure of practical exact solvers (Lamm et al., ALENEX
+//! 2019): exhaustive weighted reductions, connected-component decomposition,
+//! and branch-and-bound with a greedy weighted-clique-cover upper bound and a
+//! local-search lower bound. A node budget caps the search; when exceeded the
+//! affected component falls back to greedy + local search and the result is
+//! flagged as possibly sub-optimal.
+
+use crate::graph::Graph;
+use crate::local;
+
+/// Result of an exact (or budget-exhausted) MWIS solve.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Selected vertices (sorted, original ids of the input graph).
+    pub solution: Vec<u32>,
+    /// Total weight of `solution`.
+    pub weight: f64,
+    /// `true` when the solution is provably maximum.
+    pub optimal: bool,
+    /// Branch-and-bound nodes expanded.
+    pub nodes_used: u64,
+}
+
+/// Solves MWIS on `g` exactly, expanding at most `node_budget`
+/// branch-and-bound nodes (reductions are not counted).
+pub fn solve(g: &Graph, node_budget: u64) -> ExactResult {
+    let mut ctx = Ctx {
+        budget: node_budget,
+        nodes: 0,
+        optimal: true,
+    };
+    let orig: Vec<u32> = (0..g.len() as u32).collect();
+    let (mut solution, weight) = solve_rec(g.clone(), orig, &mut ctx);
+    solution.sort_unstable();
+    ExactResult {
+        solution,
+        weight,
+        optimal: ctx.optimal,
+        nodes_used: ctx.nodes,
+    }
+}
+
+struct Ctx {
+    budget: u64,
+    nodes: u64,
+    optimal: bool,
+}
+
+/// A degree-1 fold: if `parent` is absent from the final solution, `child`
+/// belongs to it.
+struct Fold {
+    child: u32,
+    parent: u32,
+}
+
+fn solve_rec(g: Graph, orig: Vec<u32>, ctx: &mut Ctx) -> (Vec<u32>, f64) {
+    let reduced = reduce(g, orig);
+    let mut solution = reduced.taken;
+    let mut weight = reduced.taken_weight;
+
+    if !reduced.graph.is_empty() {
+        for (members, sub) in reduced.graph.connected_components() {
+            let sub_orig: Vec<u32> = members
+                .iter()
+                .map(|&v| reduced.orig[v as usize])
+                .collect();
+            let (mut sub_sol, sub_w) = solve_component(sub, sub_orig, ctx);
+            solution.append(&mut sub_sol);
+            weight += sub_w;
+        }
+    }
+
+    // Unwind folds in reverse order of application. The fold already
+    // contributed w(child) to `taken_weight` unconditionally: if the parent
+    // is selected its reduced weight w(u) − w(v) plus the base recovers
+    // w(u); if it is not, the child joins the solution and its weight is the
+    // base itself — so no weight is added here.
+    let mut selected: std::collections::HashSet<u32> = solution.iter().copied().collect();
+    for fold in reduced.folds.iter().rev() {
+        if !selected.contains(&fold.parent) {
+            selected.insert(fold.child);
+            solution.push(fold.child);
+        }
+    }
+    (solution, weight)
+}
+
+struct Reduced {
+    graph: Graph,
+    /// Local vertex id → original id.
+    orig: Vec<u32>,
+    taken: Vec<u32>,
+    taken_weight: f64,
+    folds: Vec<Fold>,
+}
+
+/// Applies weighted reductions to a fixpoint:
+/// * zero-weight removal — vertices of weight 0 never help;
+/// * neighborhood-weight take — `w(v) ≥ Σ w(N(v))` selects `v` (covers
+///   isolated vertices);
+/// * degree-1 fold — leaf `v` with neighbor `u`, `w(v) < w(u)`: fold `v`
+///   into `u` (`w(u) ← w(u) − w(v)`, base gains `w(v)`);
+/// * domination — remove `v` if a neighbor `u` has `N[u] ⊆ N[v]` and
+///   `w(u) ≥ w(v)`.
+fn reduce(g: Graph, orig: Vec<u32>) -> Reduced {
+    let n = g.len();
+    let mut alive = vec![true; n];
+    let mut weight: Vec<f64> = (0..n as u32).map(|v| g.weight(v)).collect();
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut taken = Vec::new();
+    let mut taken_weight = 0.0;
+    let mut folds = Vec::new();
+
+    let remove = |v: u32, alive: &mut [bool], degree: &mut [usize]| {
+        alive[v as usize] = false;
+        for &u in g.neighbors(v) {
+            if alive[u as usize] {
+                degree[u as usize] -= 1;
+            }
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n as u32 {
+            if !alive[v as usize] {
+                continue;
+            }
+            if weight[v as usize] <= 0.0 {
+                remove(v, &mut alive, &mut degree);
+                changed = true;
+                continue;
+            }
+            let nbr_weight: f64 = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| alive[u as usize])
+                .map(|&u| weight[u as usize])
+                .sum();
+            if weight[v as usize] >= nbr_weight {
+                // Take v, discard its neighborhood.
+                taken.push(orig[v as usize]);
+                taken_weight += weight[v as usize];
+                let nbrs: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| alive[u as usize])
+                    .collect();
+                remove(v, &mut alive, &mut degree);
+                for u in nbrs {
+                    remove(u, &mut alive, &mut degree);
+                }
+                changed = true;
+                continue;
+            }
+            if degree[v as usize] == 1 {
+                let u = *g
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&u| alive[u as usize])
+                    .expect("degree-1 vertex has an alive neighbor");
+                // w(v) < w(u) here, otherwise the take rule fired.
+                taken_weight += weight[v as usize];
+                weight[u as usize] -= weight[v as usize];
+                folds.push(Fold {
+                    child: orig[v as usize],
+                    parent: orig[u as usize],
+                });
+                remove(v, &mut alive, &mut degree);
+                changed = true;
+                continue;
+            }
+        }
+        // Domination pass (more expensive; run after cheap rules settle).
+        if !changed {
+            'outer: for v in 0..n as u32 {
+                if !alive[v as usize] {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    if !alive[u as usize] || weight[u as usize] < weight[v as usize] {
+                        continue;
+                    }
+                    // Check N[u] ⊆ N[v] over alive vertices.
+                    let dominated = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&t| alive[t as usize] && t != v)
+                        .all(|&t| g.has_edge(v, t));
+                    if dominated {
+                        remove(v, &mut alive, &mut degree);
+                        changed = true;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // Compact the surviving graph.
+    let survivors: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+    let mut local = vec![u32::MAX; n];
+    for (i, &v) in survivors.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let weights: Vec<f64> = survivors.iter().map(|&v| weight[v as usize]).collect();
+    let mut edges = Vec::new();
+    for &v in &survivors {
+        for &u in g.neighbors(v) {
+            if alive[u as usize] && v < u {
+                edges.push((local[v as usize], local[u as usize]));
+            }
+        }
+    }
+    let new_orig: Vec<u32> = survivors.iter().map(|&v| orig[v as usize]).collect();
+    Reduced {
+        graph: Graph::new(weights, &edges),
+        orig: new_orig,
+        taken,
+        taken_weight,
+        folds,
+    }
+}
+
+fn solve_component(g: Graph, orig: Vec<u32>, ctx: &mut Ctx) -> (Vec<u32>, f64) {
+    if ctx.budget == 0 {
+        ctx.optimal = false;
+        return fallback(&g, &orig);
+    }
+    ctx.budget -= 1;
+    ctx.nodes += 1;
+
+    if g.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    if g.num_edges() == 0 {
+        let sol: Vec<u32> = (0..g.len() as u32)
+            .filter(|&v| g.weight(v) > 0.0)
+            .map(|v| orig[v as usize])
+            .collect();
+        let w = (0..g.len() as u32)
+            .filter(|&v| g.weight(v) > 0.0)
+            .map(|v| g.weight(v))
+            .sum();
+        return (sol, w);
+    }
+
+    // Branch on the max-degree vertex (ties: heavier first).
+    let v = (0..g.len() as u32)
+        .max_by(|&a, &b| {
+            g.degree(a)
+                .cmp(&g.degree(b))
+                .then(g.weight(a).total_cmp(&g.weight(b)))
+        })
+        .expect("non-empty component");
+
+    // Include branch: take v, drop N[v].
+    let (incl_sol, incl_w) = {
+        let mut dropped = vec![false; g.len()];
+        dropped[v as usize] = true;
+        for &u in g.neighbors(v) {
+            dropped[u as usize] = true;
+        }
+        let (sub, sub_orig) = induced(&g, &orig, &dropped);
+        let (mut sol, w) = solve_rec(sub, sub_orig, ctx);
+        sol.push(orig[v as usize]);
+        (sol, w + g.weight(v))
+    };
+
+    // Exclude branch, pruned by the clique-cover upper bound.
+    let mut dropped = vec![false; g.len()];
+    dropped[v as usize] = true;
+    let (sub, sub_orig) = induced(&g, &orig, &dropped);
+    if clique_cover_bound(&sub) <= incl_w + 1e-12 {
+        return (incl_sol, incl_w);
+    }
+    let (excl_sol, excl_w) = solve_rec(sub, sub_orig, ctx);
+
+    if excl_w > incl_w {
+        (excl_sol, excl_w)
+    } else {
+        (incl_sol, incl_w)
+    }
+}
+
+/// Induced subgraph over vertices with `dropped[v] == false`.
+fn induced(g: &Graph, orig: &[u32], dropped: &[bool]) -> (Graph, Vec<u32>) {
+    let survivors: Vec<u32> = (0..g.len() as u32)
+        .filter(|&v| !dropped[v as usize])
+        .collect();
+    let mut local = vec![u32::MAX; g.len()];
+    for (i, &v) in survivors.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let weights = survivors.iter().map(|&v| g.weight(v)).collect();
+    let mut edges = Vec::new();
+    for &v in &survivors {
+        for &u in g.neighbors(v) {
+            if !dropped[u as usize] && v < u {
+                edges.push((local[v as usize], local[u as usize]));
+            }
+        }
+    }
+    let sub_orig = survivors.iter().map(|&v| orig[v as usize]).collect();
+    (Graph::new(weights, &edges), sub_orig)
+}
+
+/// Greedy weighted clique cover: partitions vertices into cliques and sums
+/// the heaviest weight per clique — an upper bound on the MWIS weight.
+fn clique_cover_bound(g: &Graph) -> f64 {
+    let mut order: Vec<u32> = (0..g.len() as u32).collect();
+    order.sort_by(|&a, &b| g.weight(b).total_cmp(&g.weight(a)));
+    let mut clique_of = vec![u32::MAX; g.len()];
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    let mut bound = 0.0;
+    for v in order {
+        let mut placed = false;
+        // Count adjacency into each clique via v's neighbor list.
+        let mut hits = vec![0usize; cliques.len()];
+        for &u in g.neighbors(v) {
+            let c = clique_of[u as usize];
+            if c != u32::MAX {
+                hits[c as usize] += 1;
+            }
+        }
+        for (c, clique) in cliques.iter_mut().enumerate() {
+            if hits[c] == clique.len() {
+                clique.push(v);
+                clique_of[v as usize] = c as u32;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clique_of[v as usize] = cliques.len() as u32;
+            cliques.push(vec![v]);
+            bound += g.weight(v); // heaviest member (descending order)
+        }
+    }
+    bound
+}
+
+fn fallback(g: &Graph, orig: &[u32]) -> (Vec<u32>, f64) {
+    let init = local::greedy(g);
+    let sol = local::local_search(g, &init, 30, 0x0c7);
+    let w = sol.iter().map(|&v| g.weight(v)).sum();
+    (sol.iter().map(|&v| orig[v as usize]).collect(), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_graph_solution;
+
+    fn assert_exact(g: &Graph, expect_weight: f64) {
+        let res = solve(g, u64::MAX);
+        assert!(res.optimal);
+        assert_eq!(
+            verify_graph_solution(g, &res.solution),
+            Some(res.weight),
+            "solution must be independent and weights consistent"
+        );
+        assert!(
+            (res.weight - expect_weight).abs() < 1e-9,
+            "expected {expect_weight}, got {}",
+            res.weight
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_exact(&Graph::new(vec![], &[]), 0.0);
+    }
+
+    #[test]
+    fn edgeless_takes_all_positive() {
+        let g = Graph::new(vec![1.0, 0.0, 2.5], &[]);
+        assert_exact(&g, 3.5);
+    }
+
+    #[test]
+    fn single_edge_picks_heavier() {
+        assert_exact(&Graph::new(vec![2.0, 3.0], &[(0, 1)]), 3.0);
+    }
+
+    #[test]
+    fn unweighted_path_five() {
+        let g = Graph::new(vec![1.0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_exact(&g, 3.0);
+    }
+
+    #[test]
+    fn weighted_path_prefers_middle() {
+        // 1 - 5 - 1 : optimal is the middle vertex alone.
+        let g = Graph::new(vec![1.0, 5.0, 1.0], &[(0, 1), (1, 2)]);
+        assert_exact(&g, 5.0);
+    }
+
+    #[test]
+    fn cycle_five_unweighted() {
+        let g = Graph::new(vec![1.0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_exact(&g, 2.0);
+    }
+
+    #[test]
+    fn weighted_cycle_six() {
+        let w = vec![4.0, 1.0, 4.0, 1.0, 4.0, 1.0];
+        let g = Graph::new(w, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_exact(&g, 12.0);
+    }
+
+    #[test]
+    fn complete_graph_takes_max() {
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = Graph::new(vec![1.0, 2.0, 3.0, 9.0, 4.0, 5.0], &edges);
+        assert_exact(&g, 9.0);
+    }
+
+    #[test]
+    fn degree_one_fold_chain() {
+        // Caterpillar: path 0-1-2-3 with leaves 4,5 on vertex 1 and 2.
+        let g = Graph::new(
+            vec![1.0, 10.0, 10.0, 1.0, 2.0, 2.0],
+            &[(0, 1), (1, 2), (2, 3), (1, 4), (2, 5)],
+        );
+        // Optimal: {1, 3, 5} = 13 or {0, 2, 4} = 13? w: 10+1+2=13; 1+10+2=13.
+        assert_exact(&g, 13.0);
+    }
+
+    #[test]
+    fn disconnected_components_solved_independently() {
+        let g = Graph::new(
+            vec![1.0, 2.0, 3.0, 4.0],
+            &[(0, 1), (2, 3)],
+        );
+        assert_exact(&g, 6.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=14usize);
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.35) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0..20) as f64).collect();
+            let g = Graph::new(weights, &edges);
+            let res = solve(&g, u64::MAX);
+            assert!(res.optimal);
+            assert_eq!(verify_graph_solution(&g, &res.solution), Some(res.weight));
+            let brute = brute_force(&g);
+            assert!(
+                (res.weight - brute).abs() < 1e-9,
+                "trial {trial}: exact {} vs brute {brute}",
+                res.weight
+            );
+        }
+    }
+
+    fn brute_force(g: &Graph) -> f64 {
+        let n = g.len();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let sel: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+            if let Some(w) = verify_graph_solution(g, &sel) {
+                best = best.max(w);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_but_stays_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 60u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.2) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..10) as f64).collect();
+        let g = Graph::new(weights, &edges);
+        let res = solve(&g, 3);
+        assert!(verify_graph_solution(&g, &res.solution).is_some());
+        assert!(res.weight > 0.0);
+    }
+}

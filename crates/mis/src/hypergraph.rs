@@ -1,0 +1,490 @@
+//! MWIS on hypergraphs with edges of size ≥ 2.
+//!
+//! The CTCR conflict hypergraph contains hyperedges of size 2 (2-conflicts)
+//! and 3 (3-conflicts). An independent set may contain *some* vertices of a
+//! hyperedge, just not all of them — so a size-3 edge only forbids selecting
+//! all three sets simultaneously.
+//!
+//! Two solvers are provided, mirroring the paper's use of practical solvers
+//! on sparse instances:
+//! * an exact branch-and-bound that branches on the undecided vertices of a
+//!   violated-candidate edge (hitting-set style), with a simple weight bound;
+//! * a weighted greedy + local-search fallback used when the node budget is
+//!   exhausted, in the spirit of the bounded-degree hypergraph algorithms of
+//!   Halldórsson–Losievskaja.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A vertex-weighted hypergraph; edges are sorted vertex lists of size ≥ 2.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    weights: Vec<f64>,
+    edges: Vec<Vec<u32>>,
+    /// Per vertex: indices of incident edges.
+    incidence: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph over `weights.len()` vertices.
+    ///
+    /// Edges are deduplicated; vertices within an edge are sorted and must be
+    /// distinct.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices, edges of size < 2, duplicate vertices
+    /// within an edge, or invalid weights.
+    pub fn new(weights: Vec<f64>, edges: Vec<Vec<u32>>) -> Self {
+        let n = weights.len();
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "vertex {i} has invalid weight {w}");
+        }
+        let mut normalized: Vec<Vec<u32>> = edges
+            .into_iter()
+            .map(|mut e| {
+                assert!(e.len() >= 2, "hyperedge must have at least 2 vertices");
+                e.sort_unstable();
+                assert!(
+                    e.windows(2).all(|w| w[0] != w[1]),
+                    "hyperedge has duplicate vertices"
+                );
+                assert!(
+                    (*e.last().expect("non-empty edge") as usize) < n,
+                    "hyperedge vertex out of range"
+                );
+                e
+            })
+            .collect();
+        normalized.sort();
+        normalized.dedup();
+        // Drop superset edges: if {a,b} is an edge, {a,b,c} is implied.
+        let pairs: std::collections::HashSet<(u32, u32)> = normalized
+            .iter()
+            .filter(|e| e.len() == 2)
+            .map(|e| (e[0], e[1]))
+            .collect();
+        normalized.retain(|e| {
+            e.len() == 2 || {
+                let mut keep = true;
+                'outer: for (i, &a) in e.iter().enumerate() {
+                    for &b in &e[i + 1..] {
+                        if pairs.contains(&(a, b)) {
+                            keep = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                keep
+            }
+        });
+        let mut incidence = vec![Vec::new(); n];
+        for (idx, e) in normalized.iter().enumerate() {
+            for &v in e {
+                incidence[v as usize].push(idx as u32);
+            }
+        }
+        Self {
+            weights,
+            edges: normalized,
+            incidence,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the hypergraph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn weight(&self, v: u32) -> f64 {
+        self.weights[v as usize]
+    }
+
+    /// All hyperedges (sorted vertex lists).
+    #[inline]
+    pub fn edges(&self) -> &[Vec<u32>] {
+        &self.edges
+    }
+
+    /// Edge indices incident to `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: u32) -> &[u32] {
+        &self.incidence[v as usize]
+    }
+
+    /// Vertex degree (number of incident hyperedges).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.incidence[v as usize].len()
+    }
+}
+
+/// Result of a hypergraph MWIS solve.
+#[derive(Debug, Clone)]
+pub struct HyperResult {
+    /// Selected vertices, sorted.
+    pub solution: Vec<u32>,
+    /// Total weight.
+    pub weight: f64,
+    /// `true` when provably optimal.
+    pub optimal: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Decision {
+    Undecided,
+    In,
+    Out,
+}
+
+/// Solves MWIS on the hypergraph, expanding at most `node_budget` search
+/// nodes before falling back to greedy + local search for the remainder.
+pub fn solve(h: &Hypergraph, node_budget: u64) -> HyperResult {
+    let greedy_sol = greedy(h);
+    let greedy_sol = local_search(h, &greedy_sol, 30, 0x5eed);
+    let greedy_weight: f64 = greedy_sol.iter().map(|&v| h.weight(v)).sum();
+
+    let mut state = BranchState {
+        h,
+        decisions: vec![Decision::Undecided; h.len()],
+        best: greedy_sol.clone(),
+        best_weight: greedy_weight,
+        budget: node_budget,
+        optimal: true,
+    };
+    state.branch();
+    let mut solution = state.best;
+    solution.sort_unstable();
+    HyperResult {
+        weight: solution.iter().map(|&v| h.weight(v)).sum(),
+        solution,
+        optimal: state.optimal,
+    }
+}
+
+struct BranchState<'h> {
+    h: &'h Hypergraph,
+    decisions: Vec<Decision>,
+    best: Vec<u32>,
+    best_weight: f64,
+    budget: u64,
+    optimal: bool,
+}
+
+impl BranchState<'_> {
+    fn branch(&mut self) {
+        if self.budget == 0 {
+            self.optimal = false;
+            return;
+        }
+        self.budget -= 1;
+
+        // Upper bound: everything not Out could be In.
+        let potential: f64 = (0..self.h.len() as u32)
+            .filter(|&v| self.decisions[v as usize] != Decision::Out)
+            .map(|v| self.h.weight(v))
+            .sum();
+        if potential <= self.best_weight + 1e-12 {
+            return;
+        }
+
+        // Find the most constrained unsatisfied edge: no Out vertex, fewest
+        // Undecided vertices.
+        let mut pick: Option<(usize, usize)> = None; // (edge idx, undecided count)
+        for (idx, e) in self.h.edges().iter().enumerate() {
+            if e.iter().any(|&v| self.decisions[v as usize] == Decision::Out) {
+                continue;
+            }
+            let und = e
+                .iter()
+                .filter(|&&v| self.decisions[v as usize] == Decision::Undecided)
+                .count();
+            debug_assert!(und > 0, "edge fully In would be a violated state");
+            if pick.is_none_or(|(_, best)| und < best) {
+                pick = Some((idx, und));
+                if und == 1 {
+                    break;
+                }
+            }
+        }
+
+        match pick {
+            None => {
+                // Every edge has an Out vertex: take all remaining vertices.
+                let solution: Vec<u32> = (0..self.h.len() as u32)
+                    .filter(|&v| self.decisions[v as usize] != Decision::Out)
+                    .filter(|&v| self.h.weight(v) > 0.0)
+                    .collect();
+                let weight: f64 = solution.iter().map(|&v| self.h.weight(v)).sum();
+                if weight > self.best_weight {
+                    self.best_weight = weight;
+                    self.best = solution;
+                }
+            }
+            Some((idx, _)) => {
+                let undecided: Vec<u32> = self.h.edges()[idx]
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.decisions[v as usize] == Decision::Undecided)
+                    .collect();
+                // To satisfy the edge at least one undecided vertex is Out.
+                // Branch i: vertices[0..i] In, vertices[i] Out.
+                for (i, &out_v) in undecided.iter().enumerate() {
+                    let mut rollback = Vec::with_capacity(i + 1);
+                    let mut feasible = true;
+                    for &in_v in &undecided[..i] {
+                        self.decisions[in_v as usize] = Decision::In;
+                        rollback.push(in_v);
+                        if self.creates_violation(in_v) {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                    if feasible {
+                        self.decisions[out_v as usize] = Decision::Out;
+                        rollback.push(out_v);
+                        self.branch();
+                    }
+                    for v in rollback {
+                        self.decisions[v as usize] = Decision::Undecided;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` if setting `v` to In completed an all-In edge.
+    fn creates_violation(&self, v: u32) -> bool {
+        self.h.incident_edges(v).iter().any(|&e| {
+            self.h.edges()[e as usize]
+                .iter()
+                .all(|&u| self.decisions[u as usize] == Decision::In)
+        })
+    }
+}
+
+/// Weighted greedy: process vertices by `w(v)/(deg(v)+1)` descending, adding
+/// a vertex unless it would complete a hyperedge.
+pub fn greedy(h: &Hypergraph) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..h.len() as u32)
+        .filter(|&v| h.weight(v) > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let sa = h.weight(a) / (h.degree(a) as f64 + 1.0);
+        let sb = h.weight(b) / (h.degree(b) as f64 + 1.0);
+        sb.total_cmp(&sa).then(a.cmp(&b))
+    });
+    let mut selected = vec![false; h.len()];
+    let mut solution = Vec::new();
+    for v in order {
+        selected[v as usize] = true;
+        let violates = h.incident_edges(v).iter().any(|&e| {
+            h.edges()[e as usize]
+                .iter()
+                .all(|&u| selected[u as usize])
+        });
+        if violates {
+            selected[v as usize] = false;
+        } else {
+            solution.push(v);
+        }
+    }
+    solution.sort_unstable();
+    solution
+}
+
+/// Local search on the hypergraph: single-vertex insertions plus randomized
+/// eject-and-insert perturbations. Deterministic for a fixed `seed`.
+pub fn local_search(h: &Hypergraph, init: &[u32], rounds: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut selected = vec![false; h.len()];
+    for &v in init {
+        selected[v as usize] = true;
+    }
+    let weight_of = |sel: &[bool]| -> f64 {
+        (0..h.len() as u32)
+            .filter(|&v| sel[v as usize])
+            .map(|v| h.weight(v))
+            .sum()
+    };
+    let sweep = |sel: &mut Vec<bool>| {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for v in 0..h.len() as u32 {
+                if sel[v as usize] || h.weight(v) <= 0.0 {
+                    continue;
+                }
+                sel[v as usize] = true;
+                let violates = h.incident_edges(v).iter().any(|&e| {
+                    h.edges()[e as usize].iter().all(|&u| sel[u as usize])
+                });
+                if violates {
+                    sel[v as usize] = false;
+                } else {
+                    improved = true;
+                }
+            }
+        }
+    };
+    sweep(&mut selected);
+    let mut best = selected.clone();
+    let mut best_weight = weight_of(&selected);
+    for _ in 0..rounds {
+        // Eject a few random selected vertices, then re-sweep.
+        let in_sol: Vec<u32> = (0..h.len() as u32)
+            .filter(|&v| selected[v as usize])
+            .collect();
+        if in_sol.is_empty() {
+            break;
+        }
+        let k = (in_sol.len() / 8).clamp(1, 6);
+        for _ in 0..k {
+            let v = in_sol[rng.gen_range(0..in_sol.len())];
+            selected[v as usize] = false;
+        }
+        sweep(&mut selected);
+        let w = weight_of(&selected);
+        if w > best_weight + 1e-12 {
+            best_weight = w;
+            best = selected.clone();
+        } else {
+            selected = best.clone();
+        }
+    }
+    (0..h.len() as u32)
+        .filter(|&v| best[v as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_hypergraph_solution;
+
+    #[test]
+    fn no_edges_takes_everything_positive() {
+        let h = Hypergraph::new(vec![1.0, 0.0, 2.0], vec![]);
+        let res = solve(&h, u64::MAX);
+        assert!(res.optimal);
+        assert_eq!(res.solution, vec![0, 2]);
+        assert_eq!(res.weight, 3.0);
+    }
+
+    #[test]
+    fn pair_edge_behaves_like_graph() {
+        let h = Hypergraph::new(vec![2.0, 3.0], vec![vec![0, 1]]);
+        let res = solve(&h, u64::MAX);
+        assert_eq!(res.solution, vec![1]);
+        assert_eq!(res.weight, 3.0);
+    }
+
+    #[test]
+    fn triple_edge_allows_two_of_three() {
+        let h = Hypergraph::new(vec![1.0, 1.0, 1.0], vec![vec![0, 1, 2]]);
+        let res = solve(&h, u64::MAX);
+        assert!(res.optimal);
+        assert_eq!(res.solution.len(), 2);
+        assert_eq!(verify_hypergraph_solution(&h, &res.solution), Some(2.0));
+    }
+
+    #[test]
+    fn superset_edges_are_dropped() {
+        let h = Hypergraph::new(vec![1.0; 3], vec![vec![0, 1], vec![0, 1, 2]]);
+        assert_eq!(h.edges().len(), 1);
+        assert_eq!(h.edges()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn figure5_instance_drops_lightest_set() {
+        // Paper Fig. 5: two 3-conflicts {q1,q2,q3}, {q2,q3,q4}; weights
+        // 3, 1, 2, 2. Optimal drops only q2 (the lightest), scoring 7.
+        let h = Hypergraph::new(
+            vec![3.0, 1.0, 2.0, 2.0],
+            vec![vec![0, 1, 2], vec![1, 2, 3]],
+        );
+        let res = solve(&h, u64::MAX);
+        assert!(res.optimal);
+        assert_eq!(res.solution, vec![0, 2, 3]);
+        assert_eq!(res.weight, 7.0);
+    }
+
+    #[test]
+    fn mixed_sizes_exact_vs_brute() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=12usize);
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(0..3 * n) {
+                let size = if rng.gen_bool(0.5) { 2 } else { 3 };
+                if n < size {
+                    continue;
+                }
+                let mut e: Vec<u32> = Vec::new();
+                while e.len() < size {
+                    let v = rng.gen_range(0..n) as u32;
+                    if !e.contains(&v) {
+                        e.push(v);
+                    }
+                }
+                edges.push(e);
+            }
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+            let h = Hypergraph::new(weights, edges);
+            let res = solve(&h, u64::MAX);
+            assert!(res.optimal, "trial {trial} should be solved optimally");
+            assert_eq!(
+                verify_hypergraph_solution(&h, &res.solution),
+                Some(res.weight)
+            );
+            let brute = brute_force(&h);
+            assert!(
+                (res.weight - brute).abs() < 1e-9,
+                "trial {trial}: got {} expected {brute}",
+                res.weight
+            );
+        }
+    }
+
+    fn brute_force(h: &Hypergraph) -> f64 {
+        let n = h.len();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let sel: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+            if let Some(w) = verify_hypergraph_solution(h, &sel) {
+                best = best.max(w);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn greedy_respects_triples() {
+        let h = Hypergraph::new(vec![5.0, 4.0, 3.0], vec![vec![0, 1, 2]]);
+        let sol = greedy(&h);
+        assert!(verify_hypergraph_solution(&h, &sol).is_some());
+        assert_eq!(sol, vec![0, 1]);
+    }
+
+    #[test]
+    fn budget_zero_returns_greedy_quality_solution() {
+        let h = Hypergraph::new(
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![vec![0, 1], vec![1, 2, 3]],
+        );
+        let res = solve(&h, 0);
+        assert!(!res.optimal);
+        assert!(verify_hypergraph_solution(&h, &res.solution).is_some());
+        assert!(res.weight >= 4.0);
+    }
+}

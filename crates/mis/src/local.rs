@@ -1,0 +1,329 @@
+//! Weighted greedy construction and local search for MWIS.
+//!
+//! Used to obtain lower bounds for the exact solver and as the fallback when
+//! an instance exceeds the exact-search budget. The local search combines the
+//! classic moves from practical MWIS solvers: free-vertex insertion,
+//! `(1,2)`-swaps, and weighted `(ω,1)` insertions that evict a heavier
+//! vertex's lighter selected neighborhood, with random perturbation restarts.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Greedy MWIS: repeatedly select the vertex maximizing
+/// `w(v) / (deg_alive(v) + 1)` among vertices with no selected neighbor.
+///
+/// Runs in `O(n log n + m)` using a lazily-revalidated priority heap.
+pub fn greedy(g: &Graph) -> Vec<u32> {
+    let n = g.len();
+    let mut alive_deg: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
+    let mut state = vec![VertexState::Free; n];
+    let mut heap: std::collections::BinaryHeap<HeapEntry> = (0..n as u32)
+        .filter(|&v| g.weight(v) > 0.0)
+        .map(|v| HeapEntry::new(v, g.weight(v), alive_deg[v as usize]))
+        .collect();
+    let mut solution = Vec::new();
+    while let Some(entry) = heap.pop() {
+        let v = entry.vertex;
+        if state[v as usize] != VertexState::Free {
+            continue;
+        }
+        // Lazy revalidation: the degree may have dropped since insertion.
+        if alive_deg[v as usize] != entry.degree {
+            heap.push(HeapEntry::new(v, g.weight(v), alive_deg[v as usize]));
+            continue;
+        }
+        state[v as usize] = VertexState::Selected;
+        solution.push(v);
+        for &u in g.neighbors(v) {
+            if state[u as usize] == VertexState::Free {
+                state[u as usize] = VertexState::Excluded;
+                for &t in g.neighbors(u) {
+                    alive_deg[t as usize] = alive_deg[t as usize].saturating_sub(1);
+                }
+            }
+        }
+    }
+    solution.sort_unstable();
+    solution
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VertexState {
+    Free,
+    Selected,
+    Excluded,
+}
+
+struct HeapEntry {
+    score: f64,
+    vertex: u32,
+    degree: usize,
+}
+
+impl HeapEntry {
+    fn new(vertex: u32, weight: f64, degree: usize) -> Self {
+        Self {
+            score: weight / (degree as f64 + 1.0),
+            vertex,
+            degree,
+        }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Improves `init` (must be independent) by local search and returns the best
+/// solution found within `max_rounds` perturbation rounds.
+///
+/// Deterministic for a fixed `seed`.
+pub fn local_search(g: &Graph, init: &[u32], max_rounds: usize, seed: u64) -> Vec<u32> {
+    let mut search = Search::new(g, init);
+    let mut rng = StdRng::seed_from_u64(seed);
+    search.improve_to_local_optimum();
+    let mut best = search.solution();
+    let mut best_weight = search.weight;
+    for _ in 0..max_rounds {
+        search.perturb(&mut rng);
+        search.improve_to_local_optimum();
+        if search.weight > best_weight + 1e-12 {
+            best_weight = search.weight;
+            best = search.solution();
+        }
+    }
+    best
+}
+
+struct Search<'g> {
+    g: &'g Graph,
+    in_sol: Vec<bool>,
+    /// Number of selected neighbors per vertex.
+    sel_neighbors: Vec<u32>,
+    weight: f64,
+}
+
+impl<'g> Search<'g> {
+    fn new(g: &'g Graph, init: &[u32]) -> Self {
+        let n = g.len();
+        let mut s = Self {
+            g,
+            in_sol: vec![false; n],
+            sel_neighbors: vec![0; n],
+            weight: 0.0,
+        };
+        for &v in init {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn solution(&self) -> Vec<u32> {
+        (0..self.g.len() as u32)
+            .filter(|&v| self.in_sol[v as usize])
+            .collect()
+    }
+
+    fn insert(&mut self, v: u32) {
+        debug_assert!(!self.in_sol[v as usize]);
+        debug_assert_eq!(self.sel_neighbors[v as usize], 0);
+        self.in_sol[v as usize] = true;
+        self.weight += self.g.weight(v);
+        for &u in self.g.neighbors(v) {
+            self.sel_neighbors[u as usize] += 1;
+        }
+    }
+
+    fn remove(&mut self, v: u32) {
+        debug_assert!(self.in_sol[v as usize]);
+        self.in_sol[v as usize] = false;
+        self.weight -= self.g.weight(v);
+        for &u in self.g.neighbors(v) {
+            self.sel_neighbors[u as usize] -= 1;
+        }
+    }
+
+    fn is_free(&self, v: u32) -> bool {
+        !self.in_sol[v as usize] && self.sel_neighbors[v as usize] == 0
+    }
+
+    /// Applies insertion, weighted-eviction, and (1,2)-swap moves until none
+    /// improves the solution weight.
+    fn improve_to_local_optimum(&mut self) {
+        loop {
+            let mut improved = false;
+            // Free-vertex insertions and weighted evictions.
+            for v in 0..self.g.len() as u32 {
+                if self.in_sol[v as usize] || self.g.weight(v) <= 0.0 {
+                    continue;
+                }
+                if self.is_free(v) {
+                    self.insert(v);
+                    improved = true;
+                    continue;
+                }
+                let blockers: Vec<u32> = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.in_sol[u as usize])
+                    .collect();
+                let blocked_weight: f64 = blockers.iter().map(|&u| self.g.weight(u)).sum();
+                if self.g.weight(v) > blocked_weight + 1e-12 {
+                    for u in blockers {
+                        self.remove(u);
+                    }
+                    self.insert(v);
+                    improved = true;
+                }
+            }
+            // (1,2)-swaps: replace a selected vertex by two of its neighbors.
+            for v in 0..self.g.len() as u32 {
+                if !self.in_sol[v as usize] {
+                    continue;
+                }
+                if let Some((a, b)) = self.find_one_two_swap(v) {
+                    self.remove(v);
+                    self.insert(a);
+                    self.insert(b);
+                    improved = true;
+                }
+            }
+            if !improved {
+                return;
+            }
+        }
+    }
+
+    /// Finds non-adjacent neighbors `a, b` of selected `v`, each blocked only
+    /// by `v`, with `w(a) + w(b) > w(v)`.
+    fn find_one_two_swap(&self, v: u32) -> Option<(u32, u32)> {
+        let candidates: Vec<u32> = self
+            .g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| {
+                !self.in_sol[u as usize]
+                    && self.sel_neighbors[u as usize] == 1
+                    && self.g.weight(u) > 0.0
+            })
+            .collect();
+        for (i, &a) in candidates.iter().enumerate() {
+            for &b in &candidates[i + 1..] {
+                if !self.g.has_edge(a, b)
+                    && self.g.weight(a) + self.g.weight(b) > self.g.weight(v) + 1e-12
+                {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes a random small subset of the solution to escape the local
+    /// optimum.
+    fn perturb(&mut self, rng: &mut StdRng) {
+        let selected = self.solution();
+        if selected.is_empty() {
+            return;
+        }
+        let k = (selected.len() / 10).clamp(1, 8);
+        for _ in 0..k {
+            let v = selected[rng.gen_range(0..selected.len())];
+            if self.in_sol[v as usize] {
+                self.remove(v);
+                // Insert a random free neighbor to push the search elsewhere.
+                let frees: Vec<u32> = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.is_free(u))
+                    .collect();
+                if let Some(&u) = frees.first() {
+                    self.insert(u);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_graph_solution;
+
+    fn path5() -> Graph {
+        Graph::new(vec![1.0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let g = Graph::new(vec![], &[]);
+        assert!(greedy(&g).is_empty());
+    }
+
+    #[test]
+    fn greedy_solves_unweighted_path() {
+        let g = path5();
+        let sol = greedy(&g);
+        assert_eq!(verify_graph_solution(&g, &sol), Some(3.0));
+        assert_eq!(sol, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn greedy_prefers_heavy_vertex_over_light_pair() {
+        // Triangle-free star: center weight 10 beats three leaves of weight 1.
+        let g = Graph::new(vec![10.0, 1.0, 1.0, 1.0], &[(0, 1), (0, 2), (0, 3)]);
+        let sol = greedy(&g);
+        assert_eq!(verify_graph_solution(&g, &sol), Some(10.0));
+    }
+
+    #[test]
+    fn greedy_skips_zero_weight_vertices() {
+        let g = Graph::new(vec![0.0, 1.0], &[(0, 1)]);
+        assert_eq!(greedy(&g), vec![1]);
+    }
+
+    #[test]
+    fn local_search_finds_one_two_swap() {
+        // Star with heavy center but two heavier combined leaves.
+        let g = Graph::new(vec![3.0, 2.0, 2.0], &[(0, 1), (0, 2)]);
+        let sol = local_search(&g, &[0], 0, 7);
+        assert_eq!(verify_graph_solution(&g, &sol), Some(4.0));
+    }
+
+    #[test]
+    fn local_search_weighted_eviction() {
+        // v=2 (weight 5) should evict selected neighbors 0 and 1 (weight 2+2).
+        let g = Graph::new(vec![2.0, 2.0, 5.0], &[(0, 2), (1, 2)]);
+        let sol = local_search(&g, &[0, 1], 0, 7);
+        assert_eq!(verify_graph_solution(&g, &sol), Some(5.0));
+    }
+
+    #[test]
+    fn local_search_is_deterministic() {
+        let g = path5();
+        let a = local_search(&g, &greedy(&g), 20, 42);
+        let b = local_search(&g, &greedy(&g), 20, 42);
+        assert_eq!(a, b);
+    }
+}

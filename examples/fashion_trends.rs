@@ -1,0 +1,96 @@
+//! Continual conservative updates (§2.3) and trend capture (§5.4).
+//!
+//! A fashion platform rebuilds its tree every quarter. This example shows
+//! the paper's two update mechanisms working together:
+//!
+//! 1. the existing tree's categories are mixed into the input with a
+//!    weight knob controlling how conservative the rebuild is (Table 1's
+//!    mechanism) — we sweep the knob and show the contribution split
+//!    tracking it;
+//! 2. a sudden demand spike (the paper's "Kobe memorabilia" example) is
+//!    injected as a heavily-weighted new query, and the rebuilt tree grows
+//!    a dedicated category for it.
+//!
+//! ```text
+//! cargo run --bin fashion_trends
+//! ```
+
+use oct_core::prelude::*;
+use oct_core::score::covering_map;
+use oct_core::update;
+use oct_datagen::{generate, DatasetName};
+
+fn main() {
+    let similarity = Similarity::jaccard_threshold(0.8);
+    let ds = generate(DatasetName::A, 0.2, similarity);
+    println!(
+        "dataset A (scaled): {} items, {} query sets",
+        ds.catalog.len(),
+        ds.instance.num_sets()
+    );
+
+    // --- Mechanism 1: conservative rebuilds -----------------------------
+    println!("\nconservatism knob (query weight fraction -> score contribution):");
+    for &fraction in &[0.9, 0.5, 0.1] {
+        let mixed = update::conservative_instance(&ds.instance, &ds.existing, fraction, 3);
+        let result = ctcr::run(&mixed.instance, &CtcrConfig::default());
+        let (q, e) = mixed.contribution_split(&result.score);
+        println!(
+            "  queries {:>3.0}% of weight -> {:>5.1}% of score from queries, {:>5.1}% from existing categories",
+            fraction * 100.0,
+            q * 100.0,
+            e * 100.0
+        );
+    }
+
+    // --- Mechanism 2: a demand spike ------------------------------------
+    // Fabricate a trend: a celebrity collection suddenly dominates search.
+    // Its result set is an arbitrary slice of the catalog that no existing
+    // category isolates.
+    let spike_items: Vec<u32> = (0..ds.catalog.len() as u32)
+        .filter(|&i| i % 97 < 3) // a scattered ~3% of the catalog
+        .collect();
+    let spike_weight = ds.instance.total_weight(); // as hot as everything else combined
+    let mut sets = ds.instance.sets.clone();
+    sets.push(
+        InputSet::new(ItemSet::new(spike_items), spike_weight)
+            .with_label("celebrity collection"),
+    );
+    let spiked = Instance::new(ds.instance.num_items, sets, similarity);
+
+    let before = ctcr::run(&ds.instance, &CtcrConfig::default());
+    let after = ctcr::run(&spiked, &CtcrConfig::default());
+    let spike_idx = (spiked.num_sets() - 1) as u32;
+    let covers = covering_map(&spiked, &after.tree);
+    let spike_category = covers
+        .iter()
+        .find(|(_, sets)| sets.contains(&spike_idx))
+        .map(|(&cat, _)| after.tree.label(cat).unwrap_or("unlabeled"));
+    println!("\ndemand spike injection:");
+    println!(
+        "  before: {} categories, spike not representable",
+        before.tree.live_categories().len()
+    );
+    println!(
+        "  after:  {} categories, spike covered by: {}",
+        after.tree.live_categories().len(),
+        spike_category.unwrap_or("NOT COVERED")
+    );
+    assert!(
+        spike_category.is_some(),
+        "a dominant trend must earn a category"
+    );
+
+    // --- Subtree re-run ---------------------------------------------------
+    // Re-run only inside one top-level branch of the existing tree, as
+    // taxonomists do for localized fixes.
+    let top = ds.existing.children(ROOT)[0];
+    let sub = update::subtree_instance(&ds.instance, &ds.existing, top, 0.7);
+    let sub_result = ctcr::run(&sub, &CtcrConfig::default());
+    println!(
+        "\nsubtree re-run under {:?}: {} local sets, local score {:.3}",
+        ds.existing.label(top).unwrap_or("?"),
+        sub.num_sets(),
+        sub_result.score.normalized
+    );
+}

@@ -1,0 +1,112 @@
+//! The complete taxonomist workflow of §5.4 on one synthetic dataset:
+//!
+//! 1. build the tree with CTCR;
+//! 2. inspect what failed — orphaned items, misassignment outliers;
+//! 3. re-employ with relaxed thresholds for uncovered queries;
+//! 4. auto-label the categories from the queries they match;
+//! 5. add navigation intermediates (score-free) and check the structure;
+//! 6. persist the tree and instance for the serving pipeline.
+//!
+//! ```text
+//! cargo run --bin taxonomist_workflow
+//! ```
+
+use oct_core::labeling;
+use oct_core::navigation;
+use oct_core::persist;
+use oct_core::prelude::*;
+use oct_core::workflow;
+use oct_datagen::embeddings::item_embeddings;
+use oct_datagen::{generate, DatasetName};
+
+fn main() {
+    let ds = generate(DatasetName::B, 0.05, Similarity::jaccard_threshold(0.85));
+    println!(
+        "dataset B (scaled): {} items, {} query sets\n",
+        ds.catalog.len(),
+        ds.instance.num_sets()
+    );
+
+    // 1. First build.
+    let first = ctcr::run(&ds.instance, &CtcrConfig::default());
+    println!(
+        "first build: score {:.3}, {}/{} sets covered, {} categories",
+        first.score.normalized,
+        first.score.covered_count(),
+        ds.instance.num_sets(),
+        first.tree.live_categories().len()
+    );
+
+    // 2a. Orphaned items: rare items in no covering category.
+    let orphans = workflow::orphaned_items(&ds.instance, &first.tree);
+    println!(
+        "orphans: {} items; {} queries concentrate ≥2 orphans (threshold-relax candidates)",
+        orphans.items.len(),
+        orphans.concentrated_sets.len()
+    );
+
+    // 2b. Misassignment detector (the paper's Nike-Blazer tool).
+    let embeddings = item_embeddings(&ds.catalog);
+    let outliers = workflow::embedding_outliers(&first.tree, &embeddings, 6.0);
+    println!("embedding outliers flagged: {} categories", outliers.len());
+    for o in outliers.iter().take(3) {
+        println!(
+            "  category {:?}: item {} deviates {:.1}x from the centroid",
+            first.tree.label(o.category).unwrap_or("?"),
+            o.outlier_item,
+            o.deviation
+        );
+    }
+
+    // 3. Reemployment with relaxed thresholds for uncovered queries.
+    let outcome = workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85);
+    let (reemployed, trace) = (&outcome.result, &outcome.trace);
+    println!("\nreemployment rounds:");
+    for (round, t) in trace.iter().enumerate() {
+        println!(
+            "  round {}: {} covered, score {:.3}, {} thresholds relaxed",
+            round + 1,
+            t.covered,
+            t.score,
+            t.relaxed
+        );
+    }
+
+    // 4. Labeling from the matched queries (against the outcome instance,
+    //    whose relaxed thresholds defined the covers).
+    let mut tree = reemployed.tree.clone();
+    let labeled = labeling::apply_labels(&outcome.instance, &mut tree);
+    let coherence = labeling::label_coherence(&outcome.instance, &tree);
+    let fuzzy = coherence.values().filter(|&&c| c < 0.3).count();
+    println!(
+        "\nlabeled {labeled} categories; {} multi-match categories with low label coherence",
+        fuzzy
+    );
+
+    // 5. Navigation: bound the fan-out without touching the score.
+    let before = navigation::stats(&tree);
+    let score_before = score_tree(&ds.instance, &tree).total;
+    let added = navigation::limit_fanout(&mut tree, 12);
+    let after = navigation::stats(&tree);
+    let score_after = score_tree(&ds.instance, &tree).total;
+    println!(
+        "navigation: max fan-out {} -> {} ({added} intermediates), score {:.2} -> {:.2}",
+        before.max_fanout, after.max_fanout, score_before, score_after
+    );
+    assert!(score_after + 1e-9 >= score_before);
+
+    // 6. Persist both artifacts.
+    let tree_bytes = persist::encode_tree(&tree);
+    let instance_bytes = persist::encode_instance(&ds.instance);
+    println!(
+        "\npersisted: tree {} bytes, instance {} bytes",
+        tree_bytes.len(),
+        instance_bytes.len()
+    );
+    let roundtrip = persist::decode_tree(tree_bytes).expect("own encoding decodes");
+    assert_eq!(
+        roundtrip.live_categories().len(),
+        tree.live_categories().len()
+    );
+    println!("roundtrip OK — ready for the serving pipeline");
+}

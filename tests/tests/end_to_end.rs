@@ -1,0 +1,234 @@
+//! End-to-end pipeline tests: synthetic data generation → preprocessing →
+//! algorithms → scoring, across crates.
+
+use oct_core::prelude::*;
+use oct_core::similarity::SimilarityKind;
+use oct_datagen::embeddings::item_embeddings;
+use oct_datagen::{generate, DatasetName};
+
+const SCALE: f64 = 0.02;
+
+fn all_kinds() -> [Similarity; 6] {
+    [
+        Similarity::jaccard_cutoff(0.7),
+        Similarity::jaccard_threshold(0.7),
+        Similarity::f1_cutoff(0.7),
+        Similarity::f1_threshold(0.7),
+        Similarity::perfect_recall(0.7),
+        Similarity::exact(),
+    ]
+}
+
+#[test]
+fn ctcr_valid_and_bounded_on_every_variant() {
+    for sim in all_kinds() {
+        let ds = generate(DatasetName::A, SCALE, sim);
+        let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+        result
+            .tree
+            .validate(&ds.instance)
+            .unwrap_or_else(|e| panic!("{}: invalid tree: {e}", sim.kind.name()));
+        assert!(
+            result.score.total <= ds.instance.total_weight() + 1e-9,
+            "{}: score above weight mass",
+            sim.kind.name()
+        );
+        assert!(
+            result.score.normalized > 0.0,
+            "{}: nothing covered at all",
+            sim.kind.name()
+        );
+    }
+}
+
+#[test]
+fn cct_valid_and_bounded_on_every_variant() {
+    for sim in all_kinds() {
+        let ds = generate(DatasetName::A, SCALE, sim);
+        let result = cct::run(&ds.instance, &CctConfig::default());
+        result
+            .tree
+            .validate(&ds.instance)
+            .unwrap_or_else(|e| panic!("{}: invalid tree: {e}", sim.kind.name()));
+        assert!(result.score.total <= ds.instance.total_weight() + 1e-9);
+    }
+}
+
+#[test]
+fn exact_variant_score_equals_mis_weight() {
+    // For the Exact variant the constructed tree covers exactly the
+    // selected conflict-free sets, so the score must equal the MIS weight
+    // (Theorem 3.1's tightness on the instance level).
+    let ds = generate(DatasetName::B, SCALE, Similarity::exact());
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    assert!(result.stats.mis_optimal, "sparse instances solve exactly");
+    assert!(
+        (result.score.total - result.stats.mis_weight).abs() < 1e-6,
+        "score {} vs MIS weight {}",
+        result.score.total,
+        result.stats.mis_weight
+    );
+}
+
+#[test]
+fn binary_variant_covered_weight_never_exceeds_mis_weight() {
+    // The MIS weight upper-bounds the weight coverable by any tree for
+    // binary variants (every covered family is conflict-free).
+    for sim in [
+        Similarity::jaccard_threshold(0.8),
+        Similarity::perfect_recall(0.8),
+    ] {
+        let ds = generate(DatasetName::A, SCALE, sim);
+        let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+        assert!(
+            result.score.covered_weight(&ds.instance) <= result.stats.mis_weight + 1e-6,
+            "{}: covered {} > MIS bound {}",
+            sim.kind.name(),
+            result.score.covered_weight(&ds.instance),
+            result.stats.mis_weight
+        );
+    }
+}
+
+#[test]
+fn perfect_recall_covers_are_complete() {
+    let ds = generate(DatasetName::A, SCALE, Similarity::perfect_recall(0.6));
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    let full = result.tree.materialize();
+    for (idx, cover) in result.score.per_set.iter().enumerate() {
+        if cover.covered {
+            let cat = cover.best_category.expect("covered set has a category");
+            assert!(
+                ds.instance.sets[idx].items.is_subset_of(&full[cat as usize]),
+                "set {idx} covered without full recall"
+            );
+        }
+    }
+}
+
+#[test]
+fn covered_sets_meet_their_thresholds() {
+    let ds = generate(DatasetName::A, SCALE, Similarity::jaccard_cutoff(0.65));
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    for (idx, cover) in result.score.per_set.iter().enumerate() {
+        if cover.covered {
+            assert!(
+                cover.similarity + 1e-9 >= ds.instance.threshold_of(idx),
+                "set {idx} covered below threshold: {}",
+                cover.similarity
+            );
+        }
+    }
+}
+
+#[test]
+fn ctcr_beats_all_baselines_on_all_datasets() {
+    for (name, sim) in [
+        // Weighted private-style datasets at the paper's favored setting.
+        (DatasetName::A, Similarity::jaccard_threshold(0.8)),
+        (DatasetName::B, Similarity::jaccard_threshold(0.8)),
+        // Dataset E is evaluated with Perfect-Recall in the paper (Fig 8e).
+        (DatasetName::E, Similarity::perfect_recall(0.7)),
+    ] {
+        let ds = generate(name, SCALE, sim);
+        let ctcr_score = ctcr::run(&ds.instance, &CtcrConfig::default())
+            .score
+            .normalized;
+        let cct_score = cct::run(&ds.instance, &CctConfig::default()).score.normalized;
+        let embeddings = item_embeddings(&ds.catalog);
+        let ic_s = baselines::ic_s(&ds.instance, &embeddings, &BaselineConfig::default())
+            .score
+            .normalized;
+        let ic_q = baselines::ic_q(&ds.instance, &BaselineConfig::default())
+            .score
+            .normalized;
+        let et = score_tree(&ds.instance, &ds.existing).normalized;
+        assert!(
+            ctcr_score + 1e-9 >= cct_score.max(ic_s).max(ic_q).max(et),
+            "dataset {}: CTCR {ctcr_score} vs CCT {cct_score}, IC-S {ic_s}, IC-Q {ic_q}, ET {et}",
+            name.as_str()
+        );
+        assert!(
+            cct_score + 1e-9 >= ic_s.max(ic_q),
+            "dataset {}: CCT should beat item-clustering baselines",
+            name.as_str()
+        );
+    }
+}
+
+#[test]
+fn lowering_delta_never_hurts_ctcr() {
+    let sim = Similarity::jaccard_threshold(0.9);
+    let ds = generate(DatasetName::A, SCALE, sim);
+    let mut previous = -1.0f64;
+    // δ descending: each relaxation should cover at least as much weight
+    // (small tolerance for heuristic wobble).
+    for delta in [0.9, 0.8, 0.7, 0.6, 0.5] {
+        let mut sets = ds.instance.sets.clone();
+        for s in &mut sets {
+            s.threshold = None;
+        }
+        let instance = Instance::new(
+            ds.instance.num_items,
+            sets,
+            Similarity::jaccard_threshold(delta),
+        );
+        let score = ctcr::run(&instance, &CtcrConfig::default()).score.normalized;
+        assert!(
+            score + 0.02 >= previous,
+            "δ={delta}: score {score} dropped below the stricter run's {previous}"
+        );
+        previous = score;
+    }
+}
+
+#[test]
+fn misc_category_completes_the_universe() {
+    let ds = generate(DatasetName::A, SCALE, Similarity::jaccard_threshold(0.8));
+    for tree in [
+        ctcr::run(&ds.instance, &CtcrConfig::default()).tree,
+        cct::run(&ds.instance, &CctConfig::default()).tree,
+    ] {
+        let full = tree.materialize();
+        assert_eq!(
+            full[ROOT as usize].len(),
+            ds.catalog.len(),
+            "root must contain every catalog item"
+        );
+    }
+}
+
+#[test]
+fn heuristic_mis_budget_still_produces_valid_trees() {
+    let ds = generate(DatasetName::A, SCALE, Similarity::jaccard_threshold(0.8));
+    let config = CtcrConfig {
+        mis_budget: oct_mis::SolveBudget::heuristic_only(),
+        ..CtcrConfig::default()
+    };
+    let result = ctcr::run(&ds.instance, &config);
+    assert!(result.tree.validate(&ds.instance).is_ok());
+    assert!(result.score.normalized > 0.0);
+}
+
+#[test]
+fn kinds_share_one_pipeline_f1_close_to_jaccard() {
+    // F1 ≥ Jaccard pointwise, so at equal δ the F1-threshold variant can
+    // only cover at least as much weight as the Jaccard-threshold variant
+    // when run over the same sets.
+    let jd = generate(DatasetName::A, SCALE, Similarity::jaccard_threshold(0.8));
+    let jac = ctcr::run(&jd.instance, &CtcrConfig::default()).score.normalized;
+    let mut sets = jd.instance.sets.clone();
+    for s in &mut sets {
+        s.threshold = None;
+    }
+    let f1_instance = Instance::new(
+        jd.instance.num_items,
+        sets,
+        Similarity::new(SimilarityKind::F1Threshold, 0.8),
+    );
+    let f1 = ctcr::run(&f1_instance, &CtcrConfig::default()).score.normalized;
+    assert!(
+        f1 + 0.02 >= jac,
+        "F1-threshold ({f1}) should be ≥ Jaccard-threshold ({jac}) at equal δ"
+    );
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants over randomized `OCT` instances.
+
+use oct_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random instance with up to `max_sets` sets over up to
+/// `max_items` items.
+fn arb_instance(
+    max_items: u32,
+    max_sets: usize,
+    sim: fn(f64) -> Similarity,
+) -> impl Strategy<Value = Instance> {
+    let set = (2u32..=12).prop_flat_map(move |len| {
+        prop::collection::vec(0..max_items, len as usize)
+    });
+    (
+        prop::collection::vec((set, 1u32..20), 1..=max_sets),
+        5u32..=9,
+    )
+        .prop_map(move |(raw, delta10)| {
+            let sets = raw
+                .into_iter()
+                .map(|(items, w)| InputSet::new(ItemSet::new(items), w as f64))
+                .filter(|s| !s.items.is_empty())
+                .collect();
+            Instance::new(max_items, sets, sim(delta10 as f64 / 10.0))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ctcr_trees_are_always_valid_jaccard(instance in arb_instance(60, 14, Similarity::jaccard_threshold)) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        prop_assert!(result.tree.validate(&instance).is_ok());
+        prop_assert!(result.score.total <= instance.total_weight() + 1e-9);
+        prop_assert!(result.score.total >= -1e-12);
+    }
+
+    #[test]
+    fn ctcr_trees_are_always_valid_cutoff(instance in arb_instance(60, 14, Similarity::jaccard_cutoff)) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        prop_assert!(result.tree.validate(&instance).is_ok());
+        // Cutoff scores are graded: every per-set similarity is in [0, 1].
+        for cover in &result.score.per_set {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&cover.similarity));
+        }
+    }
+
+    #[test]
+    fn ctcr_trees_are_always_valid_perfect_recall(instance in arb_instance(60, 14, Similarity::perfect_recall)) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        prop_assert!(result.tree.validate(&instance).is_ok());
+        // Perfect-recall covers contain their sets entirely.
+        let full = result.tree.materialize();
+        for (idx, cover) in result.score.per_set.iter().enumerate() {
+            if cover.covered {
+                let cat = cover.best_category.expect("covered");
+                prop_assert!(instance.sets[idx].items.is_subset_of(&full[cat as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_score_equals_mis_weight(instance in arb_instance(40, 12, |_| Similarity::exact())) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        prop_assert!(result.tree.validate(&instance).is_ok());
+        if result.stats.mis_optimal {
+            prop_assert!((result.score.total - result.stats.mis_weight).abs() < 1e-6,
+                "score {} vs MIS {}", result.score.total, result.stats.mis_weight);
+        }
+    }
+
+    #[test]
+    fn cct_trees_are_always_valid(instance in arb_instance(60, 12, Similarity::jaccard_threshold)) {
+        let result = cct::run(&instance, &CctConfig::default());
+        prop_assert!(result.tree.validate(&instance).is_ok());
+        prop_assert!(result.score.total <= instance.total_weight() + 1e-9);
+    }
+
+    #[test]
+    fn covered_sets_meet_thresholds(instance in arb_instance(50, 12, Similarity::jaccard_threshold)) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        for (idx, cover) in result.score.per_set.iter().enumerate() {
+            if cover.covered {
+                prop_assert!(cover.similarity + 1e-9 >= instance.threshold_of(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn root_always_contains_all_assigned_items(instance in arb_instance(50, 10, Similarity::jaccard_threshold)) {
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let full = result.tree.materialize();
+        // The misc stage tops the root up to the full universe.
+        prop_assert_eq!(full[ROOT as usize].len() as u32, instance.num_items);
+    }
+
+    #[test]
+    fn determinism(instance in arb_instance(40, 10, Similarity::jaccard_threshold)) {
+        let a = ctcr::run(&instance, &CtcrConfig::default());
+        let b = ctcr::run(&instance, &CtcrConfig::default());
+        prop_assert_eq!(a.score.total, b.score.total);
+        prop_assert_eq!(a.tree.live_categories(), b.tree.live_categories());
+    }
+
+    #[test]
+    fn conflict_classification_is_rank_stable(instance in arb_instance(50, 12, Similarity::jaccard_threshold)) {
+        // 2-conflicts and must-together pairs always pair a lower rank
+        // value (hi) with a higher one (lo).
+        let analysis = oct_core::conflict::analyze(&instance, 1, true);
+        for &(hi, lo) in analysis.conflicts2.iter().chain(&analysis.must_together) {
+            prop_assert!(analysis.ranks[hi as usize] < analysis.ranks[lo as usize]);
+        }
+        // 3-conflicts reference distinct sets.
+        for t in &analysis.conflicts3 {
+            prop_assert!(t[0] < t[1] && t[1] < t[2]);
+        }
+    }
+
+    #[test]
+    fn scoring_matches_materialized_bruteforce(instance in arb_instance(40, 8, Similarity::jaccard_cutoff)) {
+        // The small-to-large aggregated scorer must agree with a naive
+        // materialize-and-compare scorer.
+        let result = ctcr::run(&instance, &CtcrConfig::default());
+        let tree = &result.tree;
+        let fast = score_tree(&instance, tree);
+        let full = tree.materialize();
+        for (idx, set) in instance.sets.iter().enumerate() {
+            let mut best = 0.0f64;
+            for cat in tree.live_categories() {
+                let c = &full[cat as usize];
+                let inter = set.items.intersection_size(c);
+                let s = instance.similarity.score_with(
+                    instance.threshold_of(idx),
+                    set.items.len(),
+                    c.len(),
+                    inter,
+                );
+                best = best.max(s);
+            }
+            prop_assert!((fast.per_set[idx].similarity - best).abs() < 1e-9,
+                "set {idx}: fast {} vs naive {best}", fast.per_set[idx].similarity);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate workflow tests: generated data → build → diagnose →
+//! reemploy → label → persist → reload → rescore, plus the TSV loader and
+//! trend-weighting paths.
+
+use oct_core::labeling;
+use oct_core::persist;
+use oct_core::prelude::*;
+use oct_core::workflow;
+use oct_datagen::loader;
+use oct_datagen::trends::{windowed, RecencyScheme};
+use oct_datagen::{generate, DatasetName};
+
+#[test]
+fn full_lifecycle_roundtrip() {
+    let ds = generate(DatasetName::A, 0.02, Similarity::jaccard_threshold(0.85));
+
+    // Build + reemploy. Scores are relative to the outcome's (relaxed)
+    // instance, which iterate() returns alongside the tree.
+    let outcome = workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85);
+    assert!(!outcome.trace.is_empty());
+    assert!(outcome.result.tree.validate(&outcome.instance).is_ok());
+    let covered_before = outcome.result.score.covered_count();
+
+    // Label, persist, reload.
+    let mut tree = outcome.result.tree.clone();
+    labeling::apply_labels(&outcome.instance, &mut tree);
+    let reloaded = persist::decode_tree(persist::encode_tree(&tree)).expect("roundtrip");
+    let instance_reloaded =
+        persist::decode_instance(persist::encode_instance(&outcome.instance))
+            .expect("roundtrip");
+
+    // Rescoring the reloaded artifacts reproduces the result exactly.
+    let rescore = score_tree(&instance_reloaded, &reloaded);
+    assert_eq!(rescore.covered_count(), covered_before);
+    assert!((rescore.total - outcome.result.score.total).abs() < 1e-9);
+}
+
+#[test]
+fn tsv_export_import_preserves_scores() {
+    let ds = generate(DatasetName::B, 0.01, Similarity::jaccard_threshold(0.8));
+    let text = loader::write_query_log(&ds.log);
+    let parsed = loader::parse_query_log(&text).expect("own format");
+    assert_eq!(parsed.queries.len(), ds.log.queries.len());
+    // Rebuilding the instance from the parsed log must produce identical
+    // result sets at the same relevance cutoff.
+    for (a, b) in parsed.queries.iter().zip(&ds.log.queries) {
+        let cut = |q: &oct_datagen::queries::RawQuery| -> Vec<u32> {
+            let mut v: Vec<u32> = q
+                .results
+                .iter()
+                .filter(|&&(_, rel)| rel >= 0.8)
+                .map(|&(i, _)| i)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(cut(a), cut(b), "query {:?}", b.text);
+    }
+}
+
+#[test]
+fn recency_weighting_feeds_the_builder() {
+    let ds = generate(DatasetName::A, 0.02, Similarity::jaccard_threshold(0.8));
+    let window = windowed(&ds.log, 90, 0.25, 11);
+    let spiky = window.reweighted(RecencyScheme::ExponentialDecay { half_life: 7.0 });
+
+    // Trend detection finds something, and the reweighted log still builds.
+    let trends = window.breaking_trends(
+        RecencyScheme::ExponentialDecay { half_life: 7.0 },
+        1.5,
+    );
+    assert!(!trends.is_empty(), "a quarter of queries spike late");
+
+    let (instance, _) = oct_datagen::preprocess::build_instance(
+        ds.catalog.len() as u32,
+        &spiky,
+        &ds.existing,
+        Similarity::jaccard_threshold(0.8),
+        &oct_datagen::preprocess::PreprocessConfig::default(),
+    );
+    let result = ctcr::run(&instance, &CtcrConfig::default());
+    assert!(result.tree.validate(&instance).is_ok());
+    assert!(result.score.normalized > 0.3);
+}
+
+#[test]
+fn orphan_and_outlier_reports_are_consistent() {
+    let ds = generate(DatasetName::E, 0.02, Similarity::perfect_recall(0.7));
+    let result = ctcr::run(&ds.instance, &CtcrConfig::default());
+    let orphans = workflow::orphaned_items(&ds.instance, &result.tree);
+    // Every reported orphan really is in some input set but no covering
+    // category.
+    let index = ds.instance.inverted_index();
+    for &item in orphans.items.iter().take(50) {
+        assert!(
+            !index[item as usize].is_empty(),
+            "orphan {item} must belong to an input set"
+        );
+    }
+    // Outlier detection over the synthetic embeddings runs and flags only
+    // real categories.
+    let embeddings = oct_datagen::embeddings::item_embeddings(&ds.catalog);
+    for report in workflow::embedding_outliers(&result.tree, &embeddings, 4.0) {
+        assert!(!result.tree.is_removed(report.category));
+        assert!(report.deviation >= 4.0);
+    }
+}
