@@ -81,10 +81,8 @@ fn bench(c: &mut Criterion) {
         .collect();
     group.bench_function("hypergraph_mwis_sparse_400", |b| {
         b.iter(|| {
-            Solver::default().solve_hypergraph(&Hypergraph::new(
-                weights.clone(),
-                hyper_edges.clone(),
-            ))
+            Solver::default()
+                .solve_hypergraph(&Hypergraph::new(weights.clone(), hyper_edges.clone()))
         })
     });
 
@@ -94,16 +92,9 @@ fn bench(c: &mut Criterion) {
     });
 
     let rows = embeddings(&ds.instance, 1);
-    group.bench_function("set_embeddings", |b| {
-        b.iter(|| embeddings(&ds.instance, 1))
-    });
+    group.bench_function("set_embeddings", |b| b.iter(|| embeddings(&ds.instance, 1)));
     group.bench_function("agglomerative_upgma", |b| {
-        b.iter(|| {
-            cluster(
-                CondensedMatrix::euclidean_sparse(&rows),
-                Linkage::Average,
-            )
-        })
+        b.iter(|| cluster(CondensedMatrix::euclidean_sparse(&rows), Linkage::Average))
     });
     group.finish();
 }

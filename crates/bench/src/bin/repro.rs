@@ -1,11 +1,11 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--repetitions R]
+//! repro <experiment> [--scale S] [--repetitions R] [--metrics FILE]
 //!
 //! experiments:
 //!   fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h
-//!   table1 traintest cohesiveness ablations all
+//!   table1 traintest cohesiveness ablations stages all
 //! ```
 
 use std::env;
@@ -17,6 +17,7 @@ struct Args {
     experiment: String,
     scale: f64,
     repetitions: usize,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         scale: 0.02,
         repetitions: 5,
+        metrics: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -37,6 +39,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--repetitions needs a value")?;
                 parsed.repetitions = v.parse().map_err(|_| format!("bad repetitions {v}"))?;
             }
+            "--metrics" => {
+                let v = args.next().ok_or("--metrics needs a value")?;
+                parsed.metrics = Some(v);
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -44,10 +50,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|all> [--scale S] [--repetitions R]".to_owned()
+    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|stages|all> [--scale S] [--repetitions R] [--metrics FILE]".to_owned()
 }
 
-fn run_one(name: &str, scale: f64, repetitions: usize) -> Result<(), String> {
+fn run_one(
+    name: &str,
+    scale: f64,
+    repetitions: usize,
+    metrics: Option<&str>,
+) -> Result<(), String> {
     match name {
         "fig8a" => {
             println!("# Figure 8a — threshold Jaccard over dataset C, all algorithms\n");
@@ -105,7 +116,9 @@ fn run_one(name: &str, scale: f64, repetitions: usize) -> Result<(), String> {
             println!("{}", table.render());
         }
         "variants" => {
-            println!("# All six problem variants (dataset B) — the trends the paper omits for space\n");
+            println!(
+                "# All six problem variants (dataset B) — the trends the paper omits for space\n"
+            );
             let (_, table) = experiments::variants(scale);
             println!("{}", table.render());
         }
@@ -113,6 +126,16 @@ fn run_one(name: &str, scale: f64, repetitions: usize) -> Result<(), String> {
             println!("# Public datasets (§5.2) — Perfect-Recall δ = 0.6, all algorithms\n");
             let (_, table) = experiments::public_datasets(scale);
             println!("{}", table.render());
+        }
+        "stages" => {
+            println!("# Per-stage telemetry — CTCR + CCT over dataset C, metrics enabled\n");
+            let (report, table) = experiments::stages(scale);
+            println!("{}", table.render());
+            if let Some(path) = metrics {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("\nwrote pipeline metrics to {path}");
+            }
         }
         other => return Err(format!("unknown experiment {other}\n{}", usage())),
     }
@@ -128,17 +151,34 @@ fn main() -> ExitCode {
         }
     };
     let all = [
-        "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8h", "table1",
-        "traintest", "cohesiveness", "ablations", "variants", "public",
+        "fig8a",
+        "fig8b",
+        "fig8c",
+        "fig8d",
+        "fig8e",
+        "fig8f",
+        "fig8h",
+        "table1",
+        "traintest",
+        "cohesiveness",
+        "ablations",
+        "variants",
+        "public",
+        "stages",
     ];
     let result = if args.experiment == "all" {
         all.iter().try_for_each(|name| {
-            let r = run_one(name, args.scale, args.repetitions);
+            let r = run_one(name, args.scale, args.repetitions, args.metrics.as_deref());
             println!();
             r
         })
     } else {
-        run_one(&args.experiment, args.scale, args.repetitions)
+        run_one(
+            &args.experiment,
+            args.scale,
+            args.repetitions,
+            args.metrics.as_deref(),
+        )
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -45,8 +45,7 @@ pub fn score_comparison(
     let mut table = Table::new(vec!["delta", "CTCR", "CCT", "IC-S", "IC-Q", "ET"]);
     for &delta in deltas {
         let instance = with_delta(&ds.instance, delta);
-        let scores =
-            crate::runner::score_with_baselines(&ds, &instance, &baseline_trees, &config);
+        let scores = crate::runner::score_with_baselines(&ds, &instance, &baseline_trees, &config);
         table.row(vec![
             format!("{delta:.2}"),
             fmt3(scores.ctcr),
@@ -145,7 +144,12 @@ pub fn ctcr_sweep(
 /// Figure 8d (and 8g): CTCR vs δ, threshold Jaccard over C.
 pub fn fig8d(scale: f64) -> (Vec<CtcrPoint>, Table) {
     let deltas: Vec<f64> = (10..=20).map(|i| i as f64 / 20.0).collect();
-    ctcr_sweep(DatasetName::C, SimilarityKind::JaccardThreshold, &deltas, scale)
+    ctcr_sweep(
+        DatasetName::C,
+        SimilarityKind::JaccardThreshold,
+        &deltas,
+        scale,
+    )
 }
 
 /// Figure 8e: Perfect-Recall over the public-style dataset E.
@@ -161,7 +165,12 @@ pub fn fig8e(scale: f64) -> (Vec<SweepPoint>, Table) {
 /// Figure 8h: CTCR vs δ, Perfect-Recall over E.
 pub fn fig8h(scale: f64) -> (Vec<CtcrPoint>, Table) {
     let deltas: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
-    ctcr_sweep(DatasetName::E, SimilarityKind::PerfectRecall, &deltas, scale)
+    ctcr_sweep(
+        DatasetName::E,
+        SimilarityKind::PerfectRecall,
+        &deltas,
+        scale,
+    )
 }
 
 /// One scalability measurement.
@@ -186,10 +195,23 @@ pub struct ScalePoint {
 pub fn fig8f(scale: f64) -> (Vec<ScalePoint>, Table) {
     let mut points = Vec::new();
     let mut table = Table::new(vec![
-        "dataset", "queries", "items", "CTCR time (s)", "conflicts (s)", "MIS (s)",
-        "assign (s)", "intermed (s)", "condense (s)", "score (s)",
+        "dataset",
+        "queries",
+        "items",
+        "CTCR time (s)",
+        "conflicts (s)",
+        "MIS (s)",
+        "assign (s)",
+        "intermed (s)",
+        "condense (s)",
+        "score (s)",
     ]);
-    for name in [DatasetName::A, DatasetName::B, DatasetName::C, DatasetName::D] {
+    for name in [
+        DatasetName::A,
+        DatasetName::B,
+        DatasetName::C,
+        DatasetName::D,
+    ] {
         let ds = generate(name, scale, Similarity::jaccard_threshold(0.8));
         let start = Instant::now();
         let result = ctcr::run(&ds.instance, &CtcrConfig::default());
@@ -217,6 +239,31 @@ pub fn fig8f(scale: f64) -> (Vec<ScalePoint>, Table) {
         points.push(point);
     }
     (points, table)
+}
+
+/// Per-stage telemetry breakdown: runs CTCR and CCT on dataset C
+/// (threshold Jaccard δ = 0.8) with metrics enabled and tabulates every
+/// span (total time, entry count) and counter the pipeline recorded. The
+/// returned [`oct_obs::PipelineReport`] serializes to the JSON schema used
+/// by `--metrics` / `BENCH_*.json` files.
+pub fn stages(scale: f64) -> (oct_obs::PipelineReport, Table) {
+    let ds = generate(DatasetName::C, scale, Similarity::jaccard_threshold(0.8));
+    let (_, _, report) = crate::runner::instrumented_run(&ds.instance, &RunnerConfig::default());
+    let mut table = Table::new(vec!["stage / counter", "total", "count"]);
+    for (path, stat) in &report.spans {
+        table.row(vec![
+            path.clone(),
+            format!("{:.3}s", stat.secs()),
+            stat.count.to_string(),
+        ]);
+    }
+    for (name, value) in &report.counters {
+        table.row(vec![name.clone(), value.to_string(), String::new()]);
+    }
+    for (name, value) in &report.gauges {
+        table.row(vec![name.clone(), format!("{value}"), String::new()]);
+    }
+    (report, table)
 }
 
 /// Train/test generalization result.
@@ -339,7 +386,12 @@ pub fn cohesiveness(scale: f64) -> (tfidf::Cohesiveness, tfidf::Cohesiveness, Ta
     // misc bucket is excluded from the cohesion comparison.
     let ours = tfidf::cohesiveness_filtered(&ds.catalog, &result.tree, 40, &["misc"]);
     let existing = tfidf::cohesiveness_filtered(&ds.catalog, &ds.existing, 40, &["misc"]);
-    let mut table = Table::new(vec!["tree", "uniform avg", "size-weighted avg", "categories"]);
+    let mut table = Table::new(vec![
+        "tree",
+        "uniform avg",
+        "size-weighted avg",
+        "categories",
+    ]);
     table.row(vec![
         "CTCR".to_string(),
         fmt3(ours.uniform),

@@ -6,7 +6,7 @@ use oct_core::similarity::{Similarity, SimilarityKind};
 pub const USAGE: &str = "\
 usage:
   octree build   --log FILE --items N [--variant V] [--delta D] [--out FILE]
-                 [--no-merge] [--min-frequency F] [--labels]
+                 [--no-merge] [--min-frequency F] [--labels] [--metrics FILE]
   octree score   --tree FILE --log FILE --items N [--variant V] [--delta D]
   octree inspect --tree FILE [--depth K]
   octree export  --dataset A|B|C|D|E [--scale S] [--out FILE]
@@ -35,6 +35,8 @@ pub enum Command {
         min_frequency: f64,
         /// Auto-label categories.
         labels: bool,
+        /// Write a per-stage telemetry report (JSON) to this path.
+        metrics: Option<String>,
     },
     /// Score an existing tree against a log.
     Score {
@@ -96,39 +98,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         if matches!(name, "no-merge" | "labels") {
             switches.insert(name.to_owned());
         } else {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_owned(), value.clone());
         }
     }
-    let similarity = |flags: &std::collections::HashMap<String, String>| -> Result<Similarity, String> {
-        let variant = flags.get("variant").map(String::as_str).unwrap_or("threshold-jaccard");
-        let kind = match variant {
-            "threshold-jaccard" => SimilarityKind::JaccardThreshold,
-            "cutoff-jaccard" => SimilarityKind::JaccardCutoff,
-            "threshold-f1" => SimilarityKind::F1Threshold,
-            "cutoff-f1" => SimilarityKind::F1Cutoff,
-            "perfect-recall" => SimilarityKind::PerfectRecall,
-            "exact" => SimilarityKind::Exact,
-            other => return Err(format!("unknown variant {other:?}")),
+    let similarity =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Similarity, String> {
+            let variant = flags
+                .get("variant")
+                .map(String::as_str)
+                .unwrap_or("threshold-jaccard");
+            let kind = match variant {
+                "threshold-jaccard" => SimilarityKind::JaccardThreshold,
+                "cutoff-jaccard" => SimilarityKind::JaccardCutoff,
+                "threshold-f1" => SimilarityKind::F1Threshold,
+                "cutoff-f1" => SimilarityKind::F1Cutoff,
+                "perfect-recall" => SimilarityKind::PerfectRecall,
+                "exact" => SimilarityKind::Exact,
+                other => return Err(format!("unknown variant {other:?}")),
+            };
+            let delta: f64 = match flags.get("delta") {
+                Some(d) => d.parse().map_err(|_| format!("bad delta {d:?}"))?,
+                None if kind == SimilarityKind::Exact => 1.0,
+                None => 0.8,
+            };
+            if kind == SimilarityKind::Exact && (delta - 1.0).abs() > 1e-12 {
+                return Err("the exact variant requires --delta 1".to_owned());
+            }
+            Ok(Similarity::new(kind, delta))
         };
-        let delta: f64 = match flags.get("delta") {
-            Some(d) => d.parse().map_err(|_| format!("bad delta {d:?}"))?,
-            None if kind == SimilarityKind::Exact => 1.0,
-            None => 0.8,
+    let required =
+        |flags: &std::collections::HashMap<String, String>, name: &str| -> Result<String, String> {
+            flags
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("--{name} is required"))
         };
-        if kind == SimilarityKind::Exact && (delta - 1.0).abs() > 1e-12 {
-            return Err("the exact variant requires --delta 1".to_owned());
-        }
-        Ok(Similarity::new(kind, delta))
-    };
-    let required = |flags: &std::collections::HashMap<String, String>, name: &str| -> Result<String, String> {
-        flags
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("--{name} is required"))
-    };
     let items = |flags: &std::collections::HashMap<String, String>| -> Result<u32, String> {
         required(flags, "items")?
             .parse()
@@ -148,6 +153,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .transpose()?
                 .unwrap_or(0.0),
             labels: switches.contains("labels"),
+            metrics: flags.get("metrics").cloned(),
         }),
         "score" => Ok(Command::Score {
             tree: required(&flags, "tree")?,
@@ -201,7 +207,8 @@ mod tests {
     #[test]
     fn parses_build() {
         let cmd = parse(&argv(
-            "build --log q.tsv --items 100 --variant perfect-recall --delta 0.6 --labels",
+            "build --log q.tsv --items 100 --variant perfect-recall --delta 0.6 --labels \
+             --metrics m.json",
         ))
         .expect("valid");
         match cmd {
@@ -211,6 +218,7 @@ mod tests {
                 similarity,
                 labels,
                 no_merge,
+                metrics,
                 ..
             } => {
                 assert_eq!(log, "q.tsv");
@@ -219,8 +227,19 @@ mod tests {
                 assert_eq!(similarity.delta, 0.6);
                 assert!(labels);
                 assert!(!no_merge);
+                assert_eq!(metrics.as_deref(), Some("m.json"));
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_defaults_off() {
+        let cmd = parse(&argv("build --log q.tsv --items 5")).expect("valid");
+        if let Command::Build { metrics, .. } = cmd {
+            assert_eq!(metrics, None);
+        } else {
+            panic!();
         }
     }
 
@@ -253,7 +272,10 @@ mod tests {
         assert!(parse(&argv("build --log q --items x")).is_err());
         assert!(parse(&argv("build --log q --items 5 --variant nope")).is_err());
         assert!(parse(&argv("build --log q --items 5 --variant exact --delta 0.5")).is_err());
-        assert!(parse(&argv("score --tree t --log q")).is_err(), "missing items");
+        assert!(
+            parse(&argv("score --tree t --log q")).is_err(),
+            "missing items"
+        );
     }
 
     #[test]

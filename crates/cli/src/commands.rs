@@ -15,6 +15,7 @@ use oct_datagen::loader;
 use oct_datagen::preprocess::{self, relevance_threshold};
 use oct_datagen::queries::QueryLog;
 use oct_datagen::{generate, DatasetName};
+use oct_obs::Metrics;
 
 use crate::args::Command;
 
@@ -41,7 +42,17 @@ pub fn run(command: Command) -> Result<(), String> {
             no_merge,
             min_frequency,
             labels,
-        } => build(&log, items, similarity, out.as_deref(), no_merge, min_frequency, labels),
+            metrics,
+        } => build(
+            &log,
+            items,
+            similarity,
+            out.as_deref(),
+            no_merge,
+            min_frequency,
+            labels,
+            metrics.as_deref(),
+        ),
         Command::Score {
             tree,
             log,
@@ -87,9 +98,7 @@ fn diff(tree_path: &str, against_path: &str, items: u32) -> Result<(), String> {
     let a = read_tree(tree_path)?;
     let b = read_tree(against_path)?;
     let distance = oct_core::update::categorization_distance(&a, &b, items, 100_000);
-    out!(
-        "categorization distance: {distance:.4} (0 = identical partition of {items} items)"
-    );
+    out!("categorization distance: {distance:.4} (0 = identical partition of {items} items)");
     out!(
         "{tree_path}: {} categories | {against_path}: {} categories",
         a.live_categories().len(),
@@ -181,6 +190,7 @@ fn instance_from_log(
     Ok(merged)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build(
     log_path: &str,
     items: u32,
@@ -189,6 +199,7 @@ fn build(
     no_merge: bool,
     min_frequency: f64,
     labels: bool,
+    metrics_out: Option<&str>,
 ) -> Result<(), String> {
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, no_merge, min_frequency)?;
@@ -199,7 +210,12 @@ fn build(
         instance.similarity.kind.name(),
         instance.similarity.delta
     );
-    let mut result = ctcr::run(&instance, &CtcrConfig::default());
+    let metrics = Metrics::new(metrics_out.is_some());
+    let config = CtcrConfig {
+        metrics: metrics.clone(),
+        ..CtcrConfig::default()
+    };
+    let mut result = ctcr::run(&instance, &config);
     result
         .tree
         .validate(&instance)
@@ -224,10 +240,21 @@ fn build(
         fs::write(path, &encoded).map_err(|e| format!("cannot write {path}: {e}"))?;
         out!("wrote {} bytes to {path}", encoded.len());
     }
+    if let Some(path) = metrics_out {
+        let report = metrics.report();
+        fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out!("wrote pipeline metrics to {path}");
+        out!("{report}");
+    }
     Ok(())
 }
 
-fn score(tree_path: &str, log_path: &str, items: u32, similarity: Similarity) -> Result<(), String> {
+fn score(
+    tree_path: &str,
+    log_path: &str,
+    items: u32,
+    similarity: Similarity,
+) -> Result<(), String> {
     let tree = read_tree(tree_path)?;
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, true, 0.0)?;
@@ -267,15 +294,12 @@ fn inspect(tree_path: &str, max_depth: usize) -> Result<(), String> {
     let nav = navigation::stats(&tree);
     out!(
         "{} categories | {} leaves | max depth {} | max fan-out {}",
-        nav.categories, nav.leaves, nav.max_depth, nav.max_fanout
+        nav.categories,
+        nav.leaves,
+        nav.max_depth,
+        nav.max_fanout
     );
-    fn walk(
-        tree: &CategoryTree,
-        full: &[ItemSet],
-        cat: u32,
-        depth: usize,
-        max_depth: usize,
-    ) {
+    fn walk(tree: &CategoryTree, full: &[ItemSet], cat: u32, depth: usize, max_depth: usize) {
         if depth > max_depth {
             return;
         }
@@ -337,9 +361,14 @@ mod tests {
 
     #[test]
     fn instance_from_log_basics() {
-        let instance =
-            instance_from_log(&sample_log(), 5, Similarity::jaccard_threshold(0.8), true, 0.0)
-                .expect("builds");
+        let instance = instance_from_log(
+            &sample_log(),
+            5,
+            Similarity::jaccard_threshold(0.8),
+            true,
+            0.0,
+        )
+        .expect("builds");
         assert_eq!(instance.num_sets(), 2);
         assert_eq!(instance.sets[0].weight, 100.0);
         assert_eq!(instance.sets[0].label.as_deref(), Some("black shirt"));
@@ -347,8 +376,14 @@ mod tests {
 
     #[test]
     fn rejects_out_of_universe_items() {
-        let err = instance_from_log(&sample_log(), 3, Similarity::jaccard_threshold(0.8), true, 0.0)
-            .unwrap_err();
+        let err = instance_from_log(
+            &sample_log(),
+            3,
+            Similarity::jaccard_threshold(0.8),
+            true,
+            0.0,
+        )
+        .unwrap_err();
         assert!(err.contains("--items"), "{err}");
     }
 
@@ -360,16 +395,21 @@ mod tests {
         let jac = instance_from_log(&log, 3, Similarity::jaccard_threshold(0.8), true, 0.0)
             .expect("builds");
         assert_eq!(jac.sets[0].items.len(), 3);
-        let pr = instance_from_log(&log, 3, Similarity::perfect_recall(0.8), true, 0.0)
-            .expect("builds");
+        let pr =
+            instance_from_log(&log, 3, Similarity::perfect_recall(0.8), true, 0.0).expect("builds");
         assert_eq!(pr.sets[0].items.len(), 2, "0.85 falls below the 0.9 cutoff");
     }
 
     #[test]
     fn min_frequency_filters() {
-        let instance =
-            instance_from_log(&sample_log(), 5, Similarity::jaccard_threshold(0.8), true, 60.0)
-                .expect("builds");
+        let instance = instance_from_log(
+            &sample_log(),
+            5,
+            Similarity::jaccard_threshold(0.8),
+            true,
+            60.0,
+        )
+        .expect("builds");
         assert_eq!(instance.num_sets(), 1);
     }
 
@@ -379,6 +419,7 @@ mod tests {
         fs::create_dir_all(&dir).expect("tempdir");
         let log_path = dir.join("q.tsv");
         let tree_path = dir.join("t.oct");
+        let metrics_path = dir.join("m.json");
         let ds = generate(DatasetName::A, 0.01, Similarity::jaccard_threshold(0.8));
         fs::write(&log_path, loader::write_query_log(&ds.log)).expect("write log");
         build(
@@ -389,8 +430,15 @@ mod tests {
             false,
             0.0,
             true,
+            Some(metrics_path.to_str().expect("utf8")),
         )
         .expect("build succeeds");
+        let report = oct_obs::PipelineReport::from_json(
+            &fs::read_to_string(&metrics_path).expect("metrics written"),
+        )
+        .expect("valid report JSON");
+        assert!(report.span("ctcr").is_some(), "per-stage timings present");
+        assert!(report.span("ctcr/mis").is_some());
         score(
             tree_path.to_str().expect("utf8"),
             log_path.to_str().expect("utf8"),
@@ -404,10 +452,9 @@ mod tests {
 
     #[test]
     fn merging_path_runs() {
-        let log = loader::parse_query_log(
-            "a\t10\t0:0.95,1:0.9,2:0.92\na alt\t5\t0:0.95,1:0.9,2:0.92\n",
-        )
-        .expect("valid");
+        let log =
+            loader::parse_query_log("a\t10\t0:0.95,1:0.9,2:0.92\na alt\t5\t0:0.95,1:0.9,2:0.92\n")
+                .expect("valid");
         let merged = instance_from_log(&log, 3, Similarity::jaccard_threshold(0.8), false, 0.0)
             .expect("builds");
         assert_eq!(merged.num_sets(), 1, "identical result sets merge");

@@ -7,6 +7,8 @@
 //! distance of two subsets is the average of all the pairwise distances");
 //! the others support the ablation of that choice.
 
+use oct_obs::Metrics;
+
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::matrix::CondensedMatrix;
 
@@ -25,7 +27,19 @@ pub enum Linkage {
 
 /// Runs agglomerative clustering over the distance matrix, consuming it as
 /// working storage. Returns a full dendrogram with `n − 1` merges.
-pub fn cluster(mut dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
+pub fn cluster(dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    cluster_with_metrics(dist, linkage, &Metrics::disabled())
+}
+
+/// [`cluster`] with telemetry: the NN-chain run is timed under the
+/// `cluster/nn_chain` span and the `cluster/leaves` / `cluster/merges`
+/// counters record the dendrogram size.
+pub fn cluster_with_metrics(
+    mut dist: CondensedMatrix,
+    linkage: Linkage,
+    metrics: &Metrics,
+) -> Dendrogram {
+    let _span = metrics.span("cluster/nn_chain");
     let n = dist.len();
     if n == 0 {
         return Dendrogram::new(0, Vec::new());
@@ -104,11 +118,9 @@ pub fn cluster(mut dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
                             (na * dak + nb * dbk) / (na + nb)
                         }
                         Linkage::Ward => {
-                            let (na, nb, nk) =
-                                (size[a] as f32, size[b] as f32, size[k] as f32);
+                            let (na, nb, nk) = (size[a] as f32, size[b] as f32, size[k] as f32);
                             let dab = dist.get(a, b);
-                            ((na + nk) * dak + (nb + nk) * dbk - nk * dab)
-                                / (na + nb + nk)
+                            ((na + nk) * dak + (nb + nk) * dbk - nk * dab) / (na + nb + nk)
                         }
                     };
                     dist.set(a, k, updated);
@@ -121,10 +133,7 @@ pub fn cluster(mut dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
             chain.push(nearest);
         }
         // Drop chain entries invalidated by the merge.
-        while chain
-            .last()
-            .is_some_and(|&c| !active[c])
-        {
+        while chain.last().is_some_and(|&c| !active[c]) {
             chain.pop();
         }
         // A merge may also invalidate interior entries; conservatively reset
@@ -133,6 +142,8 @@ pub fn cluster(mut dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
             chain.clear();
         }
     }
+    metrics.add("cluster/leaves", n as u64);
+    metrics.add("cluster/merges", merges.len() as u64);
     Dendrogram::new(n, merges)
 }
 
@@ -153,6 +164,17 @@ mod tests {
         assert_eq!(d.num_leaves(), 1);
         assert!(d.merges().is_empty());
         assert_eq!(d.roots(), vec![0]);
+    }
+
+    #[test]
+    fn metrics_count_merges() {
+        let m = Metrics::enabled();
+        let d = cluster_with_metrics(points_1d(&[0.0, 1.0, 5.0, 6.0]), Linkage::Average, &m);
+        assert_eq!(d.merges().len(), 3);
+        let report = m.report();
+        assert_eq!(report.counter("cluster/leaves"), Some(4));
+        assert_eq!(report.counter("cluster/merges"), Some(3));
+        assert!(report.span("cluster/nn_chain").is_some());
     }
 
     #[test]

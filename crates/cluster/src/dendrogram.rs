@@ -154,7 +154,10 @@ impl Dendrogram {
     /// # Panics
     /// Panics if `k` is 0 or exceeds the number of leaves.
     pub fn cut(&self, k: usize) -> Vec<u32> {
-        assert!(k >= 1 && k <= self.num_leaves.max(1), "invalid cut size {k}");
+        assert!(
+            k >= 1 && k <= self.num_leaves.max(1),
+            "invalid cut size {k}"
+        );
         let keep_merges = self.num_leaves.saturating_sub(k).min(self.merges.len());
         // Union-find over the first `keep_merges` merges.
         let mut parent: Vec<u32> = (0..self.num_nodes() as u32).collect();
@@ -199,9 +202,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
-                Merge { a: 2, b: 3, distance: 2.0, size: 2 },
-                Merge { a: 4, b: 5, distance: 3.0, size: 4 },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    distance: 3.0,
+                    size: 4,
+                },
             ],
         )
     }
@@ -262,8 +280,18 @@ mod tests {
         let _ = Dendrogram::new(
             3,
             vec![
-                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
-                Merge { a: 0, b: 2, distance: 1.0, size: 2 },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 0,
+                    b: 2,
+                    distance: 1.0,
+                    size: 2,
+                },
             ],
         );
     }
@@ -273,7 +301,12 @@ mod tests {
     fn rejects_forward_reference() {
         let _ = Dendrogram::new(
             3,
-            vec![Merge { a: 0, b: 4, distance: 1.0, size: 2 }],
+            vec![Merge {
+                a: 0,
+                b: 4,
+                distance: 1.0,
+                size: 2,
+            }],
         );
     }
 }

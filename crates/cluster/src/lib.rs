@@ -18,6 +18,6 @@ pub mod bisecting;
 pub mod dendrogram;
 pub mod matrix;
 
-pub use agglomerative::{cluster, Linkage};
+pub use agglomerative::{cluster, cluster_with_metrics, Linkage};
 pub use dendrogram::{Dendrogram, Merge};
 pub use matrix::CondensedMatrix;

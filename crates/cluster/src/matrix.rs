@@ -66,8 +66,7 @@ impl CondensedMatrix {
                 index.entry(c).or_default().push((i as u32, v));
             }
         }
-        let mut dots: std::collections::HashMap<(u32, u32), f64> =
-            std::collections::HashMap::new();
+        let mut dots: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
         for posting in index.values() {
             for (a, &(i, vi)) in posting.iter().enumerate() {
                 for &(j, vj) in &posting[a + 1..] {

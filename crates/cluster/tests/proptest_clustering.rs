@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
     (2..=max_n).prop_flat_map(move |n| {
-        prop::collection::vec(
-            prop::collection::vec(-100.0f32..100.0, dim),
-            n,
-        )
+        prop::collection::vec(prop::collection::vec(-100.0f32..100.0, dim), n)
     })
 }
 
@@ -134,6 +131,14 @@ proptest! {
 #[test]
 fn dendrogram_validation_is_exercised() {
     // Plain (non-property) check that Dendrogram::new guards stay active.
-    let d = Dendrogram::new(2, vec![oct_cluster::Merge { a: 0, b: 1, distance: 1.0, size: 2 }]);
+    let d = Dendrogram::new(
+        2,
+        vec![oct_cluster::Merge {
+            a: 0,
+            b: 1,
+            distance: 1.0,
+            size: 2,
+        }],
+    );
     assert_eq!(d.roots(), vec![2]);
 }

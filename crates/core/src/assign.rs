@@ -22,7 +22,7 @@
 use crate::input::Instance;
 use crate::itemset::ItemId;
 use crate::similarity::{SimilarityKind, EPS};
-use crate::tree::{CategoryTree, CatId};
+use crate::tree::{CatId, CategoryTree};
 use crate::util::{ceil_tolerant, FxHashMap};
 
 /// Outcome statistics of an assignment run.
@@ -148,9 +148,9 @@ impl<'a> AssignState<'a> {
                 .iter()
                 .max_by_key(|&&c| self.tree.depth(c))
                 .expect("non-empty");
-            let one_branch = cats.iter().all(|&c| {
-                c == deepest || self.tree.is_ancestor(c, deepest)
-            });
+            let one_branch = cats
+                .iter()
+                .all(|&c| c == deepest || self.tree.is_ancestor(c, deepest));
             if one_branch && (!defer_polluting || !self.pollutes_ancestors(item, deepest)) {
                 self.place(item, deepest);
                 stats.initial_assigned += 1;
@@ -241,9 +241,7 @@ impl<'a> AssignState<'a> {
             }
             SimilarityKind::F1Cutoff | SimilarityKind::F1Threshold => {
                 // 2(inter + j) / (q_len + c_len + j) ≥ δ.
-                ceil_tolerant(
-                    (delta * (q_len + c_len) as f64 - 2.0 * inter as f64) / (2.0 - delta),
-                )
+                ceil_tolerant((delta * (q_len + c_len) as f64 - 2.0 * inter as f64) / (2.0 - delta))
             }
             SimilarityKind::PerfectRecall | SimilarityKind::Exact => {
                 // Not used by these variants (no duplicate stage), but keep a
@@ -300,9 +298,7 @@ impl<'a> AssignState<'a> {
                 let gain = self.instance.sets[s as usize].weight / gap as f64;
                 let better = match best {
                     None => true,
-                    Some((bg, bs, _, _)) => {
-                        gain > bg + EPS || ((gain - bg).abs() <= EPS && s < bs)
-                    }
+                    Some((bg, bs, _, _)) => gain > bg + EPS || ((gain - bg).abs() <= EPS && s < bs),
                 };
                 if better {
                     best = Some((gain, s, c, gap));
@@ -397,11 +393,7 @@ impl<'a> AssignState<'a> {
     /// Stage 3 (Algorithm 2 lines 10–12): place remaining never-assigned
     /// duplicates by highest marginal gain to the cutoff score, skipping
     /// placements that would uncover a covered target.
-    fn place_leftovers(
-        &mut self,
-        duplicates: &mut FxHashMap<ItemId, u8>,
-        stats: &mut AssignStats,
-    ) {
+    fn place_leftovers(&mut self, duplicates: &mut FxHashMap<ItemId, u8>, stats: &mut AssignStats) {
         let mut items: Vec<ItemId> = duplicates
             .iter()
             .filter(|(_, rem)| **rem > 0)
@@ -411,11 +403,7 @@ impl<'a> AssignState<'a> {
         // Only the targets whose sets contain the item are candidates.
         let index = self.instance.inverted_index();
         for item in items {
-            if self
-                .assignments
-                .get(&item)
-                .is_some_and(|v| !v.is_empty())
-            {
+            if self.assignments.get(&item).is_some_and(|v| !v.is_empty()) {
                 continue; // partially used duplicate: already on some branch
             }
             let mut best: Option<(f64, CatId)> = None;
@@ -468,10 +456,10 @@ impl<'a> AssignState<'a> {
                 .instance
                 .similarity
                 .covers_with(delta, q_len, c_len, inter);
-            let covered_after = self
-                .instance
-                .similarity
-                .covers_with(delta, q_len, c_len + 1, new_inter);
+            let covered_after =
+                self.instance
+                    .similarity
+                    .covers_with(delta, q_len, c_len + 1, new_inter);
             if covered_before && !covered_after {
                 return None;
             }

@@ -119,11 +119,7 @@ fn tree_from_vectors(rows: &[Vec<f32>], config: &BaselineConfig) -> CategoryTree
 fn tree_from_dendrogram(num_items: usize, matrix: CondensedMatrix) -> CategoryTree {
     let dendrogram = cluster(matrix, Linkage::Average);
     let mut tree = CategoryTree::new();
-    let mut stack: Vec<(u32, u32)> = dendrogram
-        .roots()
-        .into_iter()
-        .map(|r| (r, ROOT))
-        .collect();
+    let mut stack: Vec<(u32, u32)> = dendrogram.roots().into_iter().map(|r| (r, ROOT)).collect();
     while let Some((node, parent)) = stack.pop() {
         match dendrogram.children(node) {
             Some((a, b)) => {
@@ -195,7 +191,12 @@ mod tests {
         let (instance, embeddings) = grouped_instance();
         let result = ic_s(&instance, &embeddings, &BaselineConfig::default());
         assert!(result.tree.validate(&instance).is_ok());
-        assert_eq!(result.score.covered_count(), 2, "{:?}", result.score.per_set);
+        assert_eq!(
+            result.score.covered_count(),
+            2,
+            "{:?}",
+            result.score.per_set
+        );
     }
 
     #[test]
@@ -203,7 +204,12 @@ mod tests {
         let (instance, _) = grouped_instance();
         let result = ic_q(&instance, &BaselineConfig::default());
         assert!(result.tree.validate(&instance).is_ok());
-        assert_eq!(result.score.covered_count(), 2, "{:?}", result.score.per_set);
+        assert_eq!(
+            result.score.covered_count(),
+            2,
+            "{:?}",
+            result.score.per_set
+        );
     }
 
     #[test]

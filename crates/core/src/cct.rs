@@ -14,16 +14,17 @@
 //! category per input set; items are assigned by Algorithm 2 and the tree
 //! is condensed exactly as in CTCR.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use oct_cluster::{cluster, CondensedMatrix, Dendrogram, Linkage};
+use oct_cluster::{cluster_with_metrics, CondensedMatrix, Dendrogram, Linkage};
+use oct_obs::Metrics;
 
 use crate::assign::{assign_items, AssignStats};
 use crate::conflict::intersecting_pairs;
 use crate::ctcr::condense;
 use crate::input::Instance;
 use crate::score::{score_tree, TreeScore};
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 
 /// Tuning knobs for CCT.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct CctConfig {
     /// Use the paper's global-context embeddings; when false, cluster on
     /// raw pairwise dissimilarity directly (ablation).
     pub global_embeddings: bool,
+    /// Telemetry sink (see [`crate::ctcr::CtcrConfig::metrics`]); disabled
+    /// by default.
+    pub metrics: Metrics,
 }
 
 impl Default for CctConfig {
@@ -43,6 +47,7 @@ impl Default for CctConfig {
             linkage: Linkage::Average,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             global_embeddings: true,
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -96,16 +101,24 @@ pub fn embeddings(instance: &Instance, threads: usize) -> Vec<Vec<(u32, f32)>> {
 
 /// Runs CCT over `instance`.
 pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
-    let start = Instant::now();
+    let metrics = &config.metrics;
+    let run_span = metrics.span("cct");
     let n = instance.num_sets();
 
     // Stage 1-2: embeddings + agglomerative clustering.
-    let t0 = Instant::now();
+    let stage = run_span.child("cluster");
     let dendrogram = if n == 0 {
         Dendrogram::new(0, Vec::new())
     } else if config.global_embeddings {
-        let rows = embeddings(instance, config.threads);
-        cluster(CondensedMatrix::euclidean_sparse(&rows), config.linkage)
+        let rows = {
+            let _embed = stage.child("embed");
+            embeddings(instance, config.threads)
+        };
+        cluster_with_metrics(
+            CondensedMatrix::euclidean_sparse(&rows),
+            config.linkage,
+            metrics,
+        )
     } else {
         // Ablation: dissimilarity = 1 − base similarity, directly.
         let base = instance.similarity.kind.base();
@@ -117,12 +130,14 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
                 m.set(i, j, 1.0 - sim as f32);
             }
         }
-        cluster(m, config.linkage)
+        cluster_with_metrics(m, config.linkage, metrics)
     };
-    let cluster_time = t0.elapsed();
+    let cluster_time = stage.elapsed();
+    drop(stage);
 
     // Stage 3: tree template from the dendrogram. Internal dendrogram nodes
     // become internal categories; every input set gets a leaf category.
+    let stage = run_span.child("template");
     let mut tree = CategoryTree::new();
     let mut cat_of_node: Vec<CatId> = vec![ROOT; dendrogram.num_nodes().max(n)];
     // Walk merge nodes from the root down so parents exist first.
@@ -141,15 +156,25 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
     let targets: Vec<(u32, CatId)> = (0..n as u32)
         .map(|s| (s, cat_of_node[s as usize]))
         .collect();
+    drop(stage);
 
     // Stage 4: item assignment (Algorithm 2) over all of Q.
-    let assign_stats = assign_items(instance, &mut tree, &targets, true);
+    let assign_stats = {
+        let _stage = run_span.child("assign");
+        assign_items(instance, &mut tree, &targets, true)
+    };
 
     // Stage 5-6: condense; Stage 7: C_misc.
-    condense(instance, &mut tree);
+    {
+        let _stage = run_span.child("condense");
+        condense(instance, &mut tree);
+    }
     tree.add_misc_category(instance.num_items);
 
-    let score = score_tree(instance, &tree);
+    let score = {
+        let _stage = run_span.child("score");
+        score_tree(instance, &tree)
+    };
     let surviving: Vec<(u32, CatId)> = targets
         .iter()
         .copied()
@@ -161,7 +186,7 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
         stats: CctStats {
             assign: assign_stats,
             cluster_time,
-            total_time: start.elapsed(),
+            total_time: run_span.elapsed(),
         },
         score,
     }
@@ -232,7 +257,39 @@ mod tests {
         let result = run(&instance, &CctConfig::default());
         assert!(result.tree.validate(&instance).is_ok());
         // CCT is a heuristic; it must at least cover the two nested sets.
-        assert!(result.score.covered_count() >= 2, "{:?}", result.score.per_set);
+        assert!(
+            result.score.covered_count() >= 2,
+            "{:?}",
+            result.score.per_set
+        );
+    }
+
+    #[test]
+    fn metrics_capture_stages_and_cluster_merges() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let metrics = Metrics::enabled();
+        let config = CctConfig {
+            metrics: metrics.clone(),
+            ..CctConfig::default()
+        };
+        let result = run(&instance, &config);
+        let report = metrics.report();
+        for stage in [
+            "cct",
+            "cct/cluster",
+            "cct/cluster/embed",
+            "cct/template",
+            "cct/assign",
+            "cct/condense",
+            "cct/score",
+        ] {
+            assert!(report.span(stage).is_some(), "missing span {stage}");
+        }
+        // A full dendrogram over n input sets has n − 1 merges.
+        let n = instance.num_sets() as u64;
+        assert_eq!(report.counter("cluster/leaves"), Some(n));
+        assert_eq!(report.counter("cluster/merges"), Some(n - 1));
+        assert!(report.span("cct").expect("run span").total >= result.stats.cluster_time);
     }
 
     #[test]

@@ -63,8 +63,12 @@ pub fn classify_pair(
     let d2 = instance.threshold_of(lo);
     match instance.similarity.kind {
         SimilarityKind::Exact => PairClass {
-            can_together: instance.sets[lo].items.is_subset_of(&instance.sets[hi].items)
-                || instance.sets[hi].items.is_subset_of(&instance.sets[lo].items),
+            can_together: instance.sets[lo]
+                .items
+                .is_subset_of(&instance.sets[hi].items)
+                || instance.sets[hi]
+                    .items
+                    .is_subset_of(&instance.sets[lo].items),
             can_separately: eff_inter == 0,
         },
         SimilarityKind::PerfectRecall => {
@@ -141,9 +145,16 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
     // Each worker scans a chunk of items and counts co-occurrences locally.
     let chunk = index.len().div_ceil(threads);
     let maps: Vec<FxHashMap<(u32, u32), (u32, u32)>> = if threads == 1 || index.len() < 1024 {
-        vec![count_chunk(instance, &ranks, &index, 0, index.len(), has_bounds)]
+        vec![count_chunk(
+            instance,
+            &ranks,
+            &index,
+            0,
+            index.len(),
+            has_bounds,
+        )]
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = t * chunk;
@@ -152,16 +163,20 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
                     continue;
                 }
                 let (instance, ranks, index) = (&*instance, &ranks, &index);
-                handles.push(scope.spawn(move |_| {
-                    count_chunk(instance, ranks, index, lo, hi, has_bounds)
-                }));
+                handles.push(
+                    scope.spawn(move || count_chunk(instance, ranks, index, lo, hi, has_bounds)),
+                );
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pair-count worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(map) => map,
+                    // Surface the worker's own panic payload rather than a
+                    // generic message of our own.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
-        .expect("crossbeam scope")
     };
 
     let mut merged: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
@@ -260,6 +275,24 @@ impl ConflictAnalysis {
 /// `q2` not the largest of the three is a 3-conflict unless `{q1,q3}` is
 /// itself must-together or already a 2-conflict.
 pub fn analyze(instance: &Instance, threads: usize, with_triples: bool) -> ConflictAnalysis {
+    analyze_with_metrics(
+        instance,
+        threads,
+        with_triples,
+        &oct_obs::Metrics::disabled(),
+    )
+}
+
+/// [`analyze`] with enumeration telemetry: records the
+/// `conflict/intersecting_pairs`, `conflict/conflicts2`,
+/// `conflict/conflicts3`, `conflict/must_together` and `conflict/nestable`
+/// counters (no-ops on a disabled handle).
+pub fn analyze_with_metrics(
+    instance: &Instance,
+    threads: usize,
+    with_triples: bool,
+    metrics: &oct_obs::Metrics,
+) -> ConflictAnalysis {
     let pairs = intersecting_pairs(instance, threads);
     let ranks = instance.ranks();
 
@@ -329,6 +362,12 @@ pub fn analyze(instance: &Instance, threads: usize, with_triples: bool) -> Confl
         }
         conflicts3.sort_unstable();
     }
+
+    metrics.add("conflict/intersecting_pairs", pairs.len() as u64);
+    metrics.add("conflict/conflicts2", conflicts2.len() as u64);
+    metrics.add("conflict/conflicts3", conflicts3.len() as u64);
+    metrics.add("conflict/must_together", must_together.len() as u64);
+    metrics.add("conflict/nestable", nestable.len() as u64);
 
     ConflictAnalysis {
         ranks,
@@ -403,7 +442,7 @@ mod tests {
         // Disjoint pair: not enumerated as intersecting, but classify
         // directly to check the together formula.
         let class = classify_pair(&i, 0, 1, 1, 1); // pretend intersection 1
-        // union = 5+3-1 = 7, 5/7 ≈ 0.714 ≥ 0.61 → together ok.
+                                                   // union = 5+3-1 = 7, 5/7 ≈ 0.714 ≥ 0.61 → together ok.
         assert!(class.can_together);
         assert!(!class.can_separately);
     }
@@ -448,7 +487,11 @@ mod tests {
         assert!(analysis.conflicts2.is_empty(), "{:?}", analysis.conflicts2);
         assert_eq!(analysis.conflicts3.len(), 2, "{:?}", analysis.conflicts3);
         assert!(analysis.conflicts3.contains(&[0, 1, 2]));
-        assert!(analysis.conflicts3.contains(&[1, 2, 3]), "{:?}", analysis.conflicts3);
+        assert!(
+            analysis.conflicts3.contains(&[1, 2, 3]),
+            "{:?}",
+            analysis.conflicts3
+        );
     }
 
     #[test]
@@ -474,10 +517,7 @@ mod tests {
         // q_hi of 10, q_lo of 4 sharing 1 item, δ = 0.6:
         // y2 = ⌈0.6·4⌉ − 1 = 2; capacity = 10·(0.4/0.6) ≈ 6.67 → together.
         let i = inst(
-            vec![
-                ((0..10).collect(), 1.0),
-                (vec![0, 10, 11, 12], 1.0),
-            ],
+            vec![((0..10).collect(), 1.0), (vec![0, 10, 11, 12], 1.0)],
             Similarity::jaccard_threshold(0.6),
             13,
         );
@@ -518,10 +558,124 @@ mod tests {
         let base = inst(sets.clone(), Similarity::jaccard_threshold(0.9), 4);
         let analysis = analyze(&base, 1, true);
         assert_eq!(analysis.conflicts2.len(), 1);
-        let relaxed = inst(sets, Similarity::jaccard_threshold(0.9), 4)
-            .with_item_bounds(vec![2, 2, 1, 1]);
+        let relaxed =
+            inst(sets, Similarity::jaccard_threshold(0.9), 4).with_item_bounds(vec![2, 2, 1, 1]);
         let analysis2 = analyze(&relaxed, 1, true);
         assert!(analysis2.conflicts2.is_empty());
+    }
+
+    #[test]
+    fn jaccard_boundary_delta_q_integral() {
+        // δ = 0.6, |q| = 5: the slack |q|(1−δ) = 2 exactly, but computes as
+        // 2.0000000000000004; the cover size ⌈δ|q|⌉ = 3 computes from
+        // 3.0000000000000004. Naive floor/ceil would misclassify both
+        // directions; the tolerant rounding must hit the exact values.
+        // Two 5-item sets sharing 4 items: x_i = min(2, 4) = 2 each, and
+        // 4 ≤ 2+2 → exactly separable (no slack to spare).
+        let i = inst(
+            vec![(vec![0, 1, 2, 3, 4], 1.0), (vec![1, 2, 3, 4, 5], 1.0)],
+            Similarity::jaccard_threshold(0.6),
+            6,
+        );
+        let class = classify_pair(&i, 0, 1, 4, 4);
+        assert!(class.can_separately, "x1+x2 = 4 must cover eff_inter = 4");
+
+        // δ = 0.9, |q| = 10: slack 10·(1−0.9) computes as 0.99999999999999998.
+        // Naive floor gives 0 and wrongly forbids separation of a pair
+        // sharing 2 items (x_i = 1 each).
+        let shared2: Vec<u32> = (0..10).collect();
+        let other2: Vec<u32> = (8..18).collect();
+        let i2 = inst(
+            vec![(shared2, 1.0), (other2, 1.0)],
+            Similarity::jaccard_threshold(0.9),
+            18,
+        );
+        let class2 = classify_pair(&i2, 0, 1, 2, 2);
+        assert!(class2.can_separately, "each side may shed exactly one item");
+
+        // Together at exact capacity: δ = 0.6, q_lo = 5, inter = 1 →
+        // y2 = ⌈3⌉ − 1 = 2 foreign items; q_hi = 3 has capacity
+        // 3·(1−0.6)/0.6 = 2 exactly. Naive ceil would compute y2 = 3 and
+        // wrongly flag a conflict.
+        let i3 = inst(
+            vec![(vec![0, 1, 2], 1.0), (vec![0, 3, 4, 5, 6], 1.0)],
+            Similarity::jaccard_threshold(0.6),
+            7,
+        );
+        let class3 = classify_pair(&i3, 0, 1, 1, 1);
+        assert!(class3.can_together, "y2 = 2 fits capacity exactly 2");
+    }
+
+    #[test]
+    fn delta_one_collapses_to_exact() {
+        // At δ = 1.0 every variant demands perfect covers: a pair is
+        // together-coverable iff the lower set nests in the higher one, and
+        // separable iff no bound-1 item is shared.
+        let nested = vec![(vec![0, 1, 2, 3], 1.0), (vec![1, 2], 1.0)];
+        let crossing = vec![(vec![0, 1, 2, 3], 1.0), (vec![2, 3, 4], 1.0)];
+        for sim in [
+            Similarity::jaccard_threshold(1.0),
+            Similarity::f1_threshold(1.0),
+            Similarity::perfect_recall(1.0),
+            Similarity::exact(),
+        ] {
+            let i = inst(nested.clone(), sim, 5);
+            let class = classify_pair(&i, 0, 1, 2, 2);
+            assert!(class.can_together, "{:?}: nested pair", sim.kind);
+            assert!(
+                !class.can_separately,
+                "{:?}: shared bound-1 items",
+                sim.kind
+            );
+
+            let i2 = inst(crossing.clone(), sim, 5);
+            let class2 = classify_pair(&i2, 0, 1, 2, 2);
+            assert!(!class2.can_together, "{:?}: crossing pair", sim.kind);
+            assert!(
+                class2.is_conflict(),
+                "{:?}: crossing pair conflicts",
+                sim.kind
+            );
+        }
+    }
+
+    #[test]
+    fn eff_inter_zero_always_separable() {
+        // When every shared item has a raised branch bound (eff_inter = 0)
+        // the pair can always be covered separately, whatever the variant.
+        let sets = vec![(vec![0, 1, 2], 1.0), (vec![0, 1, 3], 1.0)];
+        for sim in [
+            Similarity::jaccard_cutoff(0.9),
+            Similarity::jaccard_threshold(0.9),
+            Similarity::f1_cutoff(0.9),
+            Similarity::f1_threshold(0.9),
+            Similarity::perfect_recall(0.9),
+            Similarity::exact(),
+        ] {
+            let i = inst(sets.clone(), sim, 4);
+            let class = classify_pair(&i, 0, 1, 2, 0);
+            assert!(class.can_separately, "{:?}: eff_inter = 0", sim.kind);
+            assert!(!class.is_conflict(), "{:?}: no conflict possible", sim.kind);
+        }
+    }
+
+    #[test]
+    fn f1_boundary_minimal_cover() {
+        // δ = 0.6, |q| = 5: s = ⌈0.6·5/1.4⌉ = ⌈2.142…⌉ = 3, so each set may
+        // shed 2 items. Two 5-item sets sharing 4: 4 ≤ 2+2 → separable.
+        let i = inst(
+            vec![(vec![0, 1, 2, 3, 4], 1.0), (vec![1, 2, 3, 4, 5], 1.0)],
+            Similarity::f1_threshold(0.6),
+            6,
+        );
+        let class = classify_pair(&i, 0, 1, 4, 4);
+        assert!(class.can_separately);
+        // δ = 1.0, same sets: s = |q|, no shedding → not separable, and a
+        // crossing pair cannot be covered together either → 2-conflict.
+        let mut i2 = i.clone();
+        i2.similarity = Similarity::f1_threshold(1.0);
+        let class2 = classify_pair(&i2, 0, 1, 4, 4);
+        assert!(class2.is_conflict());
     }
 
     #[test]

@@ -17,17 +17,18 @@
 //!    of any set;
 //! 8. add `C_misc` with the unassigned items (line 26).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oct_mis::{Graph, Hypergraph, SolveBudget, Solver};
+use oct_obs::{Counter, Metrics};
 
 use crate::assign::{assign_items, AssignStats};
-use crate::conflict::{analyze, ConflictAnalysis};
+use crate::conflict::{analyze, analyze_with_metrics, ConflictAnalysis};
 use crate::input::Instance;
 use crate::itemset::ItemSet;
 use crate::score::{covering_map, score_tree, TreeScore};
 use crate::similarity::SimilarityKind;
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::{FxHashMap, FxHashSet};
 
 /// Tuning knobs for CTCR.
@@ -52,6 +53,10 @@ pub struct CtcrConfig {
     /// categories). Nesting lets big sets inherit their subsets' items
     /// instead of competing for them under the branch bound.
     pub nest_contained: bool,
+    /// Telemetry sink. The default [`Metrics::disabled`] handle turns every
+    /// span and counter into a no-op; pass [`Metrics::enabled`] to collect a
+    /// per-stage [`oct_obs::PipelineReport`].
+    pub metrics: Metrics,
 }
 
 impl Default for CtcrConfig {
@@ -63,11 +68,16 @@ impl Default for CtcrConfig {
             use_three_conflicts: true,
             repair: true,
             nest_contained: true,
+            metrics: Metrics::disabled(),
         }
     }
 }
 
 /// Diagnostics of a CTCR run.
+///
+/// All wall-clock fields are sourced from the `oct-obs` stage spans of the
+/// run (the same monotonic timers that feed [`CtcrConfig::metrics`]), so a
+/// [`oct_obs::PipelineReport`] and these stats always agree.
 #[derive(Debug, Clone)]
 pub struct CtcrStats {
     /// Number of 2-conflicts found.
@@ -145,6 +155,9 @@ pub fn run(instance: &Instance, config: &CtcrConfig) -> CtcrResult {
             best = latest.clone();
         }
     }
+    config
+        .metrics
+        .gauge("ctcr/banned_sets", banned.len() as f64);
     best
 }
 
@@ -187,8 +200,7 @@ fn polluter_ban_list(instance: &Instance, result: &CtcrResult) -> FxHashSet<u32>
             .filter(|&d| covered[d as usize] && !banned.contains(&d))
             .map(|d| {
                 let d_set = &instance.sets[d as usize];
-                let pollution =
-                    (d_set.items.len() - d_set.items.intersection_size(q_items)) as f64;
+                let pollution = (d_set.items.len() - d_set.items.intersection_size(q_items)) as f64;
                 let ratio = pollution / d_set.weight.max(1e-9);
                 (ratio, d, d_set.weight, pollution)
             })
@@ -204,8 +216,7 @@ fn polluter_ban_list(instance: &Instance, result: &CtcrResult) -> FxHashSet<u32>
             }
         }
         let delta = instance.threshold_of(q as usize);
-        let mut shed_needed =
-            union.len() as f64 - (q_items.len() as f64 / delta).floor();
+        let mut shed_needed = union.len() as f64 - (q_items.len() as f64 / delta).floor();
         // A weak inequality lets uniform-weight instances trade a polluter
         // for an equally-weighted rescue; the caller keeps the better tree,
         // so a break-even swap can only help.
@@ -224,26 +235,25 @@ fn polluter_ban_list(instance: &Instance, result: &CtcrResult) -> FxHashSet<u32>
     banned
 }
 
-fn run_attempt(
-    instance: &Instance,
-    config: &CtcrConfig,
-    banned: &FxHashSet<u32>,
-) -> CtcrResult {
-    let start = Instant::now();
+fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>) -> CtcrResult {
+    let metrics = &config.metrics;
+    let run_span = metrics.span("ctcr");
+    metrics.incr("ctcr/attempts");
     let kind = instance.similarity.kind;
     let with_triples = kind != SimilarityKind::Exact && config.use_three_conflicts;
 
     // Stages 1-2: ranking + conflicts (lines 1-9).
-    let t0 = Instant::now();
-    let analysis = analyze(instance, config.threads, with_triples);
-    let conflict_time = t0.elapsed();
+    let stage = run_span.child("conflict");
+    let analysis = analyze_with_metrics(instance, config.threads, with_triples, metrics);
+    let conflict_time = stage.elapsed();
+    drop(stage);
 
     // Stage 3: MWIS (line 10).
-    let t1 = Instant::now();
+    let stage = run_span.child("mis");
     let solver = Solver::new(config.mis_budget);
     let weights: Vec<f64> = instance.sets.iter().map(|s| s.weight).collect();
     let mis = if kind == SimilarityKind::Exact {
-        solver.solve_graph(&Graph::new(weights, &analysis.conflicts2))
+        solver.solve_graph_with_metrics(&Graph::new(weights, &analysis.conflicts2), metrics)
     } else {
         let mut edges: Vec<Vec<u32>> = analysis
             .conflicts2
@@ -251,11 +261,13 @@ fn run_attempt(
             .map(|&(a, b)| vec![a, b])
             .collect();
         edges.extend(analysis.conflicts3.iter().map(|t| t.to_vec()));
-        solver.solve_hypergraph(&Hypergraph::new(weights, edges))
+        solver.solve_hypergraph_with_metrics(&Hypergraph::new(weights, edges), metrics)
     };
-    let mis_time = t1.elapsed();
+    let mis_time = stage.elapsed();
+    drop(stage);
 
     // Stage 4: skeleton (lines 11-15).
+    let stage = run_span.child("skeleton");
     let mut selected: Vec<u32> = mis
         .vertices
         .iter()
@@ -291,38 +303,50 @@ fn run_attempt(
         cat_of.insert(q, cat);
     }
     let targets: Vec<(u32, CatId)> = selected.iter().map(|&q| (q, cat_of[&q])).collect();
+    metrics.add("ctcr/selected", selected.len() as u64);
+    drop(stage);
 
     // Stage 5: item assignment (lines 16-20).
-    let t2 = Instant::now();
+    let stage = run_span.child("assign");
     let greedy_duplicates = !kind.requires_perfect_recall();
     let assign_stats = assign_items(instance, &mut tree, &targets, greedy_duplicates);
-    let assign_time = t2.elapsed();
+    let assign_time = stage.elapsed();
+    drop(stage);
 
     // Stage 6: intermediate categories (lines 21-23).
-    let t3 = Instant::now();
+    let stage = run_span.child("intermediate");
     if greedy_duplicates && config.add_intermediates {
-        add_intermediate_categories(instance, &mut tree, &targets);
+        add_intermediates_counted(
+            instance,
+            &mut tree,
+            &targets,
+            &metrics.counter("ctcr/intermediate_categories"),
+        );
     }
-    let intermediate_time = t3.elapsed();
+    let intermediate_time = stage.elapsed();
+    drop(stage);
 
     // Extension: slack-aware cover repair (see `crate::repair`).
     if config.repair {
+        let _stage = run_span.child("repair");
         crate::repair::repair(instance, &mut tree);
     }
 
     // Stage 7: condensing (lines 24-25).
-    let t4 = Instant::now();
+    let stage = run_span.child("condense");
     if kind != SimilarityKind::Exact {
         condense(instance, &mut tree);
     }
-    let condense_time = t4.elapsed();
+    let condense_time = stage.elapsed();
+    drop(stage);
 
     // Stage 8: C_misc (line 26).
     tree.add_misc_category(instance.num_items);
 
-    let t5 = Instant::now();
+    let stage = run_span.child("score");
     let score = score_tree(instance, &tree);
-    let score_time = t5.elapsed();
+    let score_time = stage.elapsed();
+    drop(stage);
     let surviving_targets: Vec<(u32, CatId)> = targets
         .iter()
         .copied()
@@ -341,7 +365,7 @@ fn run_attempt(
         intermediate_time,
         condense_time,
         score_time,
-        total_time: start.elapsed(),
+        total_time: run_span.elapsed(),
     };
     CtcrResult {
         tree,
@@ -373,6 +397,17 @@ pub fn add_intermediate_categories(
     tree: &mut CategoryTree,
     targets: &[(u32, CatId)],
 ) {
+    add_intermediates_counted(instance, tree, targets, &Counter::default());
+}
+
+/// [`add_intermediate_categories`] with a telemetry counter incremented once
+/// per intermediate category created.
+fn add_intermediates_counted(
+    instance: &Instance,
+    tree: &mut CategoryTree,
+    targets: &[(u32, CatId)],
+    merges: &Counter,
+) {
     let mut assoc: FxHashMap<CatId, ItemSet> = targets
         .iter()
         .map(|&(s, c)| (c, instance.sets[s as usize].items.clone()))
@@ -383,7 +418,7 @@ pub fn add_intermediate_categories(
         .filter(|&c| tree.children(c).len() > 2)
         .collect();
     for parent in parents {
-        merge_intersecting_children(tree, parent, &mut assoc);
+        merge_intersecting_children(tree, parent, &mut assoc, merges);
     }
 }
 
@@ -399,6 +434,7 @@ fn merge_intersecting_children(
     tree: &mut CategoryTree,
     parent: CatId,
     assoc: &mut FxHashMap<CatId, ItemSet>,
+    merges: &Counter,
 ) {
     let children: Vec<CatId> = tree
         .children(parent)
@@ -446,6 +482,7 @@ fn merge_intersecting_children(
         }
         let merged_set = assoc[&a].union(&assoc[&b]);
         let merged = tree.add_category(parent);
+        merges.incr();
         tree.reparent(a, merged);
         tree.reparent(b, merged);
         alive.remove(&a);
@@ -464,7 +501,11 @@ fn merge_intersecting_children(
         for c in candidates {
             let i = merged_set.intersection_size(&assoc[&c]);
             if i > 0 {
-                heap.push((frac_of(i as u32, merged_set.len(), assoc[&c].len()), merged, c));
+                heap.push((
+                    frac_of(i as u32, merged_set.len(), assoc[&c].len()),
+                    merged,
+                    c,
+                ));
                 merged_partners.push(c);
                 partners.entry(c).or_default().push(merged);
             }
@@ -625,7 +666,12 @@ mod tests {
         assert!(
             (result.score.total - 7.0).abs() < 1e-9,
             "covered: {:?}",
-            result.score.per_set.iter().map(|c| c.covered).collect::<Vec<_>>()
+            result
+                .score
+                .per_set
+                .iter()
+                .map(|c| c.covered)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -733,6 +779,55 @@ mod tests {
     }
 
     #[test]
+    fn metrics_capture_stage_spans_and_counters() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let metrics = Metrics::enabled();
+        let config = CtcrConfig {
+            metrics: metrics.clone(),
+            ..CtcrConfig::default()
+        };
+        let result = run(&instance, &config);
+        let report = metrics.report();
+        for stage in [
+            "ctcr",
+            "ctcr/conflict",
+            "ctcr/mis",
+            "ctcr/skeleton",
+            "ctcr/assign",
+            "ctcr/intermediate",
+            "ctcr/condense",
+            "ctcr/score",
+        ] {
+            assert!(report.span(stage).is_some(), "missing span {stage}");
+        }
+        let attempts = report.counter("ctcr/attempts").expect("attempts recorded");
+        assert!(attempts >= 1);
+        assert_eq!(report.span("ctcr").expect("run span").count, attempts);
+        // Counters aggregate over attempts, so they bound the final stats.
+        assert!(report.counter("ctcr/selected").unwrap_or(0) >= result.stats.selected as u64);
+        assert!(report.counter("conflict/intersecting_pairs").is_some());
+        // The stats durations come from the very spans in the report.
+        assert!(report.span("ctcr/mis").expect("mis span").total >= result.stats.mis_time);
+    }
+
+    #[test]
+    fn disabled_metrics_change_nothing() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let plain = run(&instance, &CtcrConfig::default());
+        let metrics = Metrics::enabled();
+        let instrumented = run(
+            &instance,
+            &CtcrConfig {
+                metrics: metrics.clone(),
+                ..CtcrConfig::default()
+            },
+        );
+        assert_eq!(plain.score.total, instrumented.score.total);
+        assert_eq!(plain.selection, instrumented.selection);
+        assert!(CtcrConfig::default().metrics.report().is_empty());
+    }
+
+    #[test]
     fn weights_drive_mis_choice() {
         // Crossing pair: the heavier set must be selected.
         let instance = inst(
@@ -807,7 +902,10 @@ mod extension_tests {
             "the heavy parent must be rescued: {:?}",
             result.score.per_set
         );
-        assert!((result.score.total - 51.0).abs() < 1e-9, "parent + one child");
+        assert!(
+            (result.score.total - 51.0).abs() < 1e-9,
+            "parent + one child"
+        );
     }
 
     /// Every extension switch off must still produce valid trees — and the

@@ -51,7 +51,11 @@ pub fn to_dot(tree: &CategoryTree, instance: Option<&Instance>, options: &DotOpt
         }
         let mut label = tree.label(cat).unwrap_or("·").to_owned();
         if options.max_label_len > 0 && label.chars().count() > options.max_label_len {
-            label = label.chars().take(options.max_label_len).collect::<String>() + "…";
+            label = label
+                .chars()
+                .take(options.max_label_len)
+                .collect::<String>()
+                + "…";
         }
         let mut parts = vec![escape(&label)];
         if options.item_counts {

@@ -9,7 +9,7 @@
 
 use crate::input::Instance;
 use crate::score::score_tree;
-use crate::tree::{CategoryTree, CatId};
+use crate::tree::{CatId, CategoryTree};
 
 /// One simulated faceted-search session.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -99,7 +99,10 @@ impl Instance {
                 set.weight
             );
             if let Some(t) = set.threshold {
-                assert!(t > 0.0 && t <= 1.0 + EPS, "set {i} has invalid threshold {t}");
+                assert!(
+                    t > 0.0 && t <= 1.0 + EPS,
+                    "set {i} has invalid threshold {t}"
+                );
             }
             if let Some(&max) = set.items.as_slice().last() {
                 assert!(
@@ -126,9 +129,7 @@ impl Instance {
     /// The branch bound of item `i` (1 unless overridden).
     #[inline]
     pub fn bound_of(&self, item: ItemId) -> u8 {
-        self.item_bounds
-            .as_ref()
-            .map_or(1, |b| b[item as usize])
+        self.item_bounds.as_ref().map_or(1, |b| b[item as usize])
     }
 
     /// Sum of all set weights — the normalization constant for scores.

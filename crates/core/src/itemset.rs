@@ -47,7 +47,9 @@ impl ItemSet {
 
     /// The empty set.
     pub fn empty() -> Self {
-        Self { items: Box::new([]) }
+        Self {
+            items: Box::new([]),
+        }
     }
 
     /// Number of items.
@@ -92,10 +94,7 @@ impl ItemSet {
         }
         // Galloping pays off when the larger set dominates.
         if large.len() / small.len().max(1) >= 16 {
-            small
-                .iter()
-                .filter(|&i| large.contains(i))
-                .count()
+            small.iter().filter(|&i| large.contains(i)).count()
         } else {
             let (a, b) = (&small.items, &large.items);
             let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);

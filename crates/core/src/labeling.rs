@@ -9,7 +9,7 @@
 use crate::input::Instance;
 use crate::itemset::ItemSet;
 use crate::score::covering_map;
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::FxHashMap;
 
 /// A label suggestion for one category.
@@ -154,7 +154,10 @@ mod tests {
         let c = tree.add_category(ROOT);
         tree.assign_items(c, [0, 1, 2]);
         let suggestions = suggest_labels(&instance, &tree);
-        let s = suggestions.iter().find(|s| s.category == c).expect("covered");
+        let s = suggestions
+            .iter()
+            .find(|s| s.category == c)
+            .expect("covered");
         assert_eq!(s.label, "heavy");
         assert_eq!(s.covered_sets, vec![0, 1]);
     }

@@ -70,7 +70,7 @@ pub use input::{InputSet, Instance};
 pub use itemset::{ItemId, ItemSet};
 pub use score::{score_tree, TreeScore};
 pub use similarity::{Similarity, SimilarityKind};
-pub use tree::{CategoryTree, CatId, ROOT};
+pub use tree::{CatId, CategoryTree, ROOT};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::repair;
     pub use crate::score::{score_tree, TreeScore};
     pub use crate::similarity::{Similarity, SimilarityKind};
-    pub use crate::tree::{CategoryTree, CatId, ROOT};
+    pub use crate::tree::{CatId, CategoryTree, ROOT};
     pub use crate::update;
     pub use crate::workflow;
 }

@@ -8,7 +8,7 @@
 //! score-preserving fan-out reducer that groups an overly-wide category's
 //! children under balanced intermediate nodes.
 
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 
 /// Structural navigation metrics of a tree.
 #[derive(Debug, Clone, Copy, PartialEq)]

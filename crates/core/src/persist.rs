@@ -15,7 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::input::{InputSet, Instance};
 use crate::itemset::ItemSet;
 use crate::similarity::{Similarity, SimilarityKind};
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 
 const MAGIC: &[u8; 4] = b"OCT1";
 const TAG_TREE: u8 = 1;
@@ -351,7 +351,10 @@ mod tests {
         let encoded = encode_tree(&tree);
         assert!(matches!(
             decode_instance(encoded),
-            Err(DecodeError::WrongTag { expected: 2, found: 1 })
+            Err(DecodeError::WrongTag {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 
@@ -374,8 +377,7 @@ mod tests {
         let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
         let result = ctcr::run(&instance, &CtcrConfig::default());
         let decoded_tree = decode_tree(encode_tree(&result.tree)).expect("tree");
-        let decoded_instance =
-            decode_instance(encode_instance(&instance)).expect("instance");
+        let decoded_instance = decode_instance(encode_instance(&instance)).expect("instance");
         let a = score_tree(&instance, &result.tree);
         let b = score_tree(&decoded_instance, &decoded_tree);
         assert!((a.total - b.total).abs() < 1e-12);

@@ -22,7 +22,7 @@ use crate::input::Instance;
 use crate::itemset::ItemId;
 use crate::score::score_tree;
 
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::FxHashMap;
 
 /// Outcome of a repair pass.
@@ -65,9 +65,12 @@ impl RepairState<'_> {
         let q_len = self.instance.sets[p.set as usize].items.len();
         let c_len = (self.node_size[p.cat as usize] as i64 + d_len).max(0) as usize;
         let inter = (p.inter as i64 + d_inter).max(0) as usize;
-        self.instance
-            .similarity
-            .covers_with(self.threshold(p.set), q_len, c_len, inter.min(c_len).min(q_len))
+        self.instance.similarity.covers_with(
+            self.threshold(p.set),
+            q_len,
+            c_len,
+            inter.min(c_len).min(q_len),
+        )
     }
 
     /// Chain of `cat` and its ancestors.
@@ -209,7 +212,9 @@ pub fn repair(instance: &Instance, tree: &mut CategoryTree) -> RepairStats {
     for (idx, cover) in score.per_set.iter().enumerate() {
         if cover.covered {
             if let Some(cat) = cover.best_category {
-                let inter = instance.sets[idx].items.intersection_size(&full[cat as usize]);
+                let inter = instance.sets[idx]
+                    .items
+                    .intersection_size(&full[cat as usize]);
                 by_cat.entry(cat).or_default().push(protections.len());
                 protections.push(Protection {
                     set: idx as u32,
@@ -294,9 +299,12 @@ pub fn repair(instance: &Instance, tree: &mut CategoryTree) -> RepairStats {
         // instance's variant decides feasibility.
         let reaches = |a: usize, r: usize, inter: usize| {
             let c_len = size + a - r.min(size + a);
-            instance
-                .similarity
-                .covers_with(delta, q.len(), c_len, (inter + a).min(q.len()).min(c_len))
+            instance.similarity.covers_with(
+                delta,
+                q.len(),
+                c_len,
+                (inter + a).min(q.len()).min(c_len),
+            )
         };
         while !reaches(a, r, inter) && a < adds.len() {
             a += 1;
@@ -335,7 +343,11 @@ pub fn repair(instance: &Instance, tree: &mut CategoryTree) -> RepairStats {
             new_inter.min(q.len()),
         ) {
             stats.newly_covered += 1;
-            state.by_cat.entry(cat).or_default().push(state.protections.len());
+            state
+                .by_cat
+                .entry(cat)
+                .or_default()
+                .push(state.protections.len());
             state.protections.push(Protection {
                 set: s,
                 cat,

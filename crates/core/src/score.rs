@@ -11,7 +11,7 @@
 
 use crate::input::Instance;
 use crate::similarity::EPS;
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::{FxHashMap, FxHashSet};
 
 /// How one input set is served by a tree.

@@ -1,13 +1,11 @@
 //! Similarity functions and the six `OCT` problem variants.
 
-use serde::{Deserialize, Serialize};
-
 /// Tolerance used when comparing similarity values against thresholds, to
 /// absorb floating-point noise (`0.6 * 5.0 != 3.0` in `f64`).
 pub const EPS: f64 = 1e-9;
 
 /// The similarity-function variants of the `OCT` problem (paper §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimilarityKind {
     /// `J(q,C)` when `J ≥ δ`, else 0.
     JaccardCutoff,
@@ -26,7 +24,10 @@ pub enum SimilarityKind {
 impl SimilarityKind {
     /// `true` for the binary (0/1-valued) variants.
     pub fn is_binary(self) -> bool {
-        !matches!(self, SimilarityKind::JaccardCutoff | SimilarityKind::F1Cutoff)
+        !matches!(
+            self,
+            SimilarityKind::JaccardCutoff | SimilarityKind::F1Cutoff
+        )
     }
 
     /// `true` for variants where a category must fully contain the set it
@@ -94,8 +95,16 @@ impl BaseMeasure {
                 }
             }
             BaseMeasure::RecallPrecisionMean => {
-                let r = if q_len == 0 { 1.0 } else { inter as f64 / q_len as f64 };
-                let p = if c_len == 0 { 1.0 } else { inter as f64 / c_len as f64 };
+                let r = if q_len == 0 {
+                    1.0
+                } else {
+                    inter as f64 / q_len as f64
+                };
+                let p = if c_len == 0 {
+                    1.0
+                } else {
+                    inter as f64 / c_len as f64
+                };
                 (r + p) / 2.0
             }
         }
@@ -112,7 +121,7 @@ impl BaseMeasure {
 /// // |q ∩ C| = 4 ⇒ J = 4/5 = 0.8 ≥ 0.6 ⇒ covered (binary variant → 1).
 /// assert_eq!(sim.score(5, 4, 4), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Similarity {
     /// The problem variant.
     pub kind: SimilarityKind,
@@ -127,7 +136,10 @@ impl Similarity {
     /// Panics when `delta ∉ (0, 1]`, or when the Exact variant is paired
     /// with `delta < 1`.
     pub fn new(kind: SimilarityKind, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1], got {delta}");
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "delta must be in (0,1], got {delta}"
+        );
         if kind == SimilarityKind::Exact {
             assert!(
                 (delta - 1.0).abs() < EPS,

@@ -80,7 +80,10 @@ impl CategoryTree {
     /// # Panics
     /// Panics when `parent` is out of range.
     pub fn add_category(&mut self, parent: CatId) -> CatId {
-        assert!((parent as usize) < self.nodes.len(), "no such parent {parent}");
+        assert!(
+            (parent as usize) < self.nodes.len(),
+            "no such parent {parent}"
+        );
         let id = self.nodes.len() as CatId;
         self.nodes.push(Node {
             parent: Some(parent),
@@ -252,7 +255,9 @@ impl CategoryTree {
 
     /// Live category ids (excluding removed tombstones).
     pub fn live_categories(&self) -> Vec<CatId> {
-        self.category_ids().filter(|&c| !self.is_removed(c)).collect()
+        self.category_ids()
+            .filter(|&c| !self.is_removed(c))
+            .collect()
     }
 
     /// Post-order traversal of live categories.
@@ -519,7 +524,10 @@ mod tests {
         t.assign_item(b, 0);
         let err = t.validate(&instance(1)).unwrap_err();
         // With default bound 1, two assignments trip the bound first.
-        assert!(matches!(err, ValidationError::BoundExceeded { item: 0, .. }));
+        assert!(matches!(
+            err,
+            ValidationError::BoundExceeded { item: 0, .. }
+        ));
     }
 
     #[test]

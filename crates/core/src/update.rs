@@ -7,7 +7,7 @@
 //! complementarily, re-run the algorithm on selected subtrees only.
 
 use crate::input::{InputSet, Instance};
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 
 /// Tags distinguishing the provenance of input sets in a mixed instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,7 +112,10 @@ pub fn conservative_instance(
         })
         .collect();
     let mut sources = vec![SourceTag::Query; sets.len()];
-    sources.extend(std::iter::repeat_n(SourceTag::Existing, existing_sets.len()));
+    sources.extend(std::iter::repeat_n(
+        SourceTag::Existing,
+        existing_sets.len(),
+    ));
     sets.extend(existing_sets);
 
     let mut instance = Instance::new(base.num_items, sets, base.similarity);
@@ -227,11 +230,7 @@ mod tests {
         t.assign_item(tiny, 5);
         let mixed = conservative_instance(&query_instance(), &t, 0.5, 2);
         // The 1-item category must not appear.
-        assert!(mixed
-            .instance
-            .sets
-            .iter()
-            .all(|s| s.items.len() >= 2));
+        assert!(mixed.instance.sets.iter().all(|s| s.items.len() >= 2));
     }
 
     #[test]
@@ -291,7 +290,9 @@ pub fn categorization_distance(
     // Deterministic LCG pair sampling.
     let mut state: u64 = 0x9E3779B97F4A7C15;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     let mut disagreements = 0usize;

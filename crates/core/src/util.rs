@@ -118,4 +118,40 @@ mod tests {
         // 0.6 * 5 in floating point is 3.0000000000000004.
         assert_eq!(ceil_tolerant(0.6 * 5.0), 3);
     }
+
+    #[test]
+    fn tolerant_rounding_at_exact_boundaries() {
+        // Products δ·|q| that are integral in exact arithmetic but land on
+        // either side of the integer in f64; naive ceil/floor would be off
+        // by one on half of these.
+        for (delta, q, expect) in [
+            (0.6, 5.0, 3),  // 3.0000000000000004 — above
+            (0.1, 10.0, 1), // 1.0000000000000002 — above
+            (0.3, 10.0, 3), // 2.9999999999999996 — below
+            (0.7, 10.0, 7), // 6.999999999999999  — below
+            (0.9, 10.0, 9), // 9.000000000000002  — above
+            (1.0, 7.0, 7),  // exact
+        ] {
+            assert_eq!(ceil_tolerant(delta * q), expect, "ceil δ={delta} q={q}");
+            assert_eq!(floor_tolerant(delta * q), expect, "floor δ={delta} q={q}");
+        }
+        // The complementary slack |q|(1−δ) used by the separately-check:
+        // 10·(1−0.9) computes as 0.9999999999999998 (below 1).
+        assert_eq!(floor_tolerant(10.0 * (1.0 - 0.9)), 1);
+        assert_eq!(floor_tolerant(5.0 * (1.0 - 0.6)), 2);
+    }
+
+    #[test]
+    fn tolerant_rounding_plain_cases() {
+        // Away from the tolerance window the functions are plain ceil/floor,
+        // including negatives and halves.
+        assert_eq!(ceil_tolerant(2.5), 3);
+        assert_eq!(floor_tolerant(2.5), 2);
+        assert_eq!(ceil_tolerant(-0.5), 0);
+        assert_eq!(floor_tolerant(-0.5), -1);
+        assert_eq!(ceil_tolerant(-2.0000000001), -2);
+        assert_eq!(floor_tolerant(-1.9999999999), -2);
+        assert_eq!(ceil_tolerant(0.0), 0);
+        assert_eq!(floor_tolerant(0.0), 0);
+    }
 }

@@ -22,7 +22,7 @@
 use crate::ctcr::{self, CtcrConfig, CtcrResult};
 use crate::input::Instance;
 use crate::score::score_tree;
-use crate::tree::{CategoryTree, CatId, ROOT};
+use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::FxHashSet;
 
 /// Returns a copy of `instance` where every set uncovered by `result` has
@@ -30,11 +30,7 @@ use crate::util::FxHashSet;
 ///
 /// # Panics
 /// Panics when `relief` is not in `(0, 1]`.
-pub fn relax_uncovered(
-    instance: &Instance,
-    covered: &[bool],
-    relief: f64,
-) -> Instance {
+pub fn relax_uncovered(instance: &Instance, covered: &[bool], relief: f64) -> Instance {
     assert!(relief > 0.0 && relief <= 1.0, "relief must be in (0,1]");
     let mut sets = instance.sets.clone();
     for (idx, set) in sets.iter_mut().enumerate() {
@@ -302,7 +298,10 @@ mod tests {
         assert!(outcome.result.score.covered_count() >= 1);
         // The returned instance matches the returned score.
         let rescore = crate::score::score_tree(&outcome.instance, &outcome.result.tree);
-        assert_eq!(rescore.covered_count(), outcome.result.score.covered_count());
+        assert_eq!(
+            rescore.covered_count(),
+            outcome.result.score.covered_count()
+        );
     }
 
     #[test]
@@ -311,9 +310,7 @@ mod tests {
         let mut tree = CategoryTree::new();
         let c = tree.add_category(ROOT);
         tree.assign_items(c, 0..10u32);
-        let mut embeddings: Vec<Vec<f32>> = (0..10)
-            .map(|i| vec![(i as f32) * 0.01, 0.0])
-            .collect();
+        let mut embeddings: Vec<Vec<f32>> = (0..10).map(|i| vec![(i as f32) * 0.01, 0.0]).collect();
         embeddings[7] = vec![50.0, 50.0]; // the Nike Blazer
         let reports = embedding_outliers(&tree, &embeddings, 3.0);
         assert_eq!(reports.len(), 1);

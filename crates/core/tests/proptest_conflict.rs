@@ -1,0 +1,65 @@
+//! Property tests for conflict enumeration: the parallel inverted-index
+//! scan must be a pure function of the instance, not of the thread count.
+
+use oct_core::conflict::{analyze, intersecting_pairs};
+use oct_core::input::{InputSet, Instance};
+use oct_core::itemset::ItemSet;
+use oct_core::similarity::Similarity;
+use proptest::prelude::*;
+
+/// Instances large enough (> 1024 items) to engage the threaded path of
+/// `intersecting_pairs`, with clustered items so pairs actually intersect.
+fn arb_wide_instance() -> impl Strategy<Value = Instance> {
+    let set = (0u32..40, 3usize..25).prop_flat_map(|(cluster, len)| {
+        // Each set draws from a 64-item window; neighbouring windows
+        // overlap so intersections occur across cluster boundaries too.
+        let base = cluster * 32;
+        prop::collection::vec(base..base + 64, len)
+    });
+    (prop::collection::vec((set, 1u32..10), 2..40), 5u32..=9).prop_map(|(raw, delta10)| {
+        let sets: Vec<InputSet> = raw
+            .into_iter()
+            .map(|(items, w)| InputSet::new(ItemSet::new(items), w as f64))
+            .filter(|s| !s.items.is_empty())
+            .collect();
+        Instance::new(
+            40 * 32 + 64,
+            sets,
+            Similarity::jaccard_threshold(delta10 as f64 / 10.0),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn intersecting_pairs_deterministic_across_threads(
+        instance in arb_wide_instance(),
+        threads in 2usize..=8,
+    ) {
+        let serial = intersecting_pairs(&instance, 1);
+        let parallel = intersecting_pairs(&instance, threads);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(
+                (s.hi, s.lo, s.inter, s.eff_inter),
+                (p.hi, p.lo, p.inter, p.eff_inter),
+                "pair mismatch at threads={}", threads
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_deterministic_across_threads(
+        instance in arb_wide_instance(),
+        threads in 2usize..=6,
+    ) {
+        let serial = analyze(&instance, 1, true);
+        let parallel = analyze(&instance, threads, true);
+        prop_assert_eq!(serial.conflicts2, parallel.conflicts2);
+        prop_assert_eq!(serial.conflicts3, parallel.conflicts3);
+        prop_assert_eq!(serial.must_together, parallel.must_together);
+        prop_assert_eq!(serial.nestable, parallel.nestable);
+    }
+}

@@ -23,10 +23,7 @@ fn f1_conflict_formulas_match_semantics() {
     // minimal s = ⌈0.8·10/1.2⌉ = 7, so slack x = 3 per set.
     // Two sets of 10 sharing 6 items: 6 ≤ 3+3 → separable.
     let sep = inst(
-        vec![
-            ((0..10).collect(), 1.0),
-            ((4..14).collect(), 1.0),
-        ],
+        vec![((0..10).collect(), 1.0), ((4..14).collect(), 1.0)],
         Similarity::f1_threshold(0.8),
         14,
     );
@@ -36,10 +33,7 @@ fn f1_conflict_formulas_match_semantics() {
     // Sharing 8 items: 8 > 3+3 → not separable; together? y2 = 7−8 < 0 →
     // y2 = 0 → can-together → must-together, still no conflict.
     let must = inst(
-        vec![
-            ((0..10).collect(), 1.0),
-            ((2..12).collect(), 1.0),
-        ],
+        vec![((0..10).collect(), 1.0), ((2..12).collect(), 1.0)],
         Similarity::f1_threshold(0.8),
         12,
     );
@@ -93,10 +87,7 @@ fn bound_two_resolves_the_memory_cards_scenario() {
     // platform sells dual placement (bound 2).
     let cameras: Vec<u32> = (0..10).collect(); // cameras + their cards
     let phones: Vec<u32> = (8..18).collect(); // phones + the same cards
-    let sets = vec![
-        (cameras.clone(), 3.0),
-        (phones.clone(), 3.0),
-    ];
+    let sets = vec![(cameras.clone(), 3.0), (phones.clone(), 3.0)];
     let strict = inst(sets.clone(), Similarity::jaccard_threshold(0.95), 18);
     let strict_result = ctcr::run(&strict, &CtcrConfig::default());
     assert!(
@@ -138,7 +129,12 @@ fn per_set_thresholds_steer_conflicts() {
     // to 0.3 makes the pair separable (its slack absorbs the intersection).
     let sets = vec![(vec![0, 1, 2, 3], 1.0), (vec![2, 3, 4, 5], 1.0)];
     let strict = inst(sets.clone(), Similarity::jaccard_threshold(0.9), 6);
-    assert_eq!(oct_core::conflict::analyze(&strict, 1, true).conflicts2.len(), 1);
+    assert_eq!(
+        oct_core::conflict::analyze(&strict, 1, true)
+            .conflicts2
+            .len(),
+        1
+    );
 
     let mut relaxed = inst(sets, Similarity::jaccard_threshold(0.9), 6);
     relaxed.sets[0].threshold = Some(0.3);
@@ -181,11 +177,7 @@ fn threshold_score_bounds_cutoff_score() {
 #[test]
 fn exact_variant_ignores_extensions() {
     // The Exact pipeline must be untouched by repair/nesting switches.
-    let sets = vec![
-        (vec![0, 1, 2], 2.0),
-        (vec![0, 1], 1.0),
-        (vec![3, 4], 1.0),
-    ];
+    let sets = vec![(vec![0, 1, 2], 2.0), (vec![0, 1], 1.0), (vec![3, 4], 1.0)];
     let instance = inst(sets, Similarity::exact(), 5);
     let on = ctcr::run(&instance, &CtcrConfig::default());
     let off = ctcr::run(

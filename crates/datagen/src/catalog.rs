@@ -56,8 +56,8 @@ impl Schema {
                 Attribute {
                     name: "type",
                     values: [
-                        "shirt", "dress", "jeans", "jacket", "skirt", "sweater", "shorts",
-                        "coat", "suit", "hoodie", "polo", "blazer",
+                        "shirt", "dress", "jeans", "jacket", "skirt", "sweater", "shorts", "coat",
+                        "suit", "hoodie", "polo", "blazer",
                     ]
                     .iter()
                     .map(|s| s.to_string())
@@ -76,8 +76,8 @@ impl Schema {
                 Attribute {
                     name: "color",
                     values: [
-                        "black", "white", "red", "blue", "green", "grey", "navy", "beige",
-                        "pink", "brown", "yellow", "purple",
+                        "black", "white", "red", "blue", "green", "grey", "navy", "beige", "pink",
+                        "brown", "yellow", "purple",
                     ]
                     .iter()
                     .map(|s| s.to_string())
@@ -115,9 +115,22 @@ impl Schema {
                 Attribute {
                     name: "type",
                     values: [
-                        "phone", "camera", "laptop", "tv", "tablet", "headphones",
-                        "memory-card", "charger", "speaker", "monitor", "router", "drone",
-                        "smartwatch", "console", "printer", "keyboard",
+                        "phone",
+                        "camera",
+                        "laptop",
+                        "tv",
+                        "tablet",
+                        "headphones",
+                        "memory-card",
+                        "charger",
+                        "speaker",
+                        "monitor",
+                        "router",
+                        "drone",
+                        "smartwatch",
+                        "console",
+                        "printer",
+                        "keyboard",
                     ]
                     .iter()
                     .map(|s| s.to_string())
@@ -169,8 +182,8 @@ impl Schema {
                 Attribute {
                     name: "type",
                     values: [
-                        "sofa", "table", "chair", "lamp", "shelf", "bed", "desk", "rug",
-                        "faucet", "cabinet", "mirror", "drill", "paint", "tile",
+                        "sofa", "table", "chair", "lamp", "shelf", "bed", "desk", "rug", "faucet",
+                        "cabinet", "mirror", "drill", "paint", "tile",
                     ]
                     .iter()
                     .map(|s| s.to_string())
@@ -189,8 +202,13 @@ impl Schema {
                 Attribute {
                     name: "room",
                     values: [
-                        "living-room", "bedroom", "kitchen", "bathroom", "office",
-                        "outdoor", "garage",
+                        "living-room",
+                        "bedroom",
+                        "kitchen",
+                        "bathroom",
+                        "office",
+                        "outdoor",
+                        "garage",
                     ]
                     .iter()
                     .map(|s| s.to_string())
@@ -447,8 +465,7 @@ mod tests {
     fn brand_portfolios_differ_by_type() {
         let cat = Catalog::generate(Domain::Fashion, 8000, 13);
         // Count the top brand per product type for two popular types.
-        let mut top: Vec<Vec<usize>> =
-            vec![vec![0; cat.schema.attributes[1].values.len()]; 2];
+        let mut top: Vec<Vec<usize>> = vec![vec![0; cat.schema.attributes[1].values.len()]; 2];
         for p in &cat.products {
             if (p.values[0] as usize) < 2 {
                 top[p.values[0] as usize][p.values[1] as usize] += 1;

@@ -217,11 +217,7 @@ pub fn generate(name: DatasetName, scale: f64, similarity: Similarity) -> Genera
 }
 
 /// Generates from an explicit spec (used by the scalability sweeps).
-pub fn generate_spec(
-    spec: &DatasetSpec,
-    scale: f64,
-    similarity: Similarity,
-) -> GeneratedDataset {
+pub fn generate_spec(spec: &DatasetSpec, scale: f64, similarity: Similarity) -> GeneratedDataset {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
     let items = ((spec.items as f64 * scale) as usize).max(300);
     let raw_queries = ((spec.raw_queries as f64 * scale) as usize).max(40);
@@ -246,8 +242,7 @@ pub fn generate_spec(
         uniform_weights: spec.uniform_weights,
         ..PreprocessConfig::default()
     };
-    let (instance, stats) =
-        build_instance(items as u32, &log, &existing, similarity, &preprocess);
+    let (instance, stats) = build_instance(items as u32, &log, &existing, similarity, &preprocess);
     GeneratedDataset {
         spec: spec.clone(),
         scale,

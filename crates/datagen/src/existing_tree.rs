@@ -71,8 +71,7 @@ pub fn existing_tree(catalog: &Catalog, config: &ExistingTreeConfig) -> Category
                 brand_cat,
                 format!(
                     "{} {}",
-                    catalog.schema.attributes[1].values[b],
-                    catalog.schema.attributes[0].values[t]
+                    catalog.schema.attributes[1].values[b], catalog.schema.attributes[0].values[t]
                 ),
             );
             if items.len() >= config.min_leaf_split {
@@ -175,10 +174,7 @@ mod tests {
     fn popular_brands_get_categories() {
         let cat = catalog();
         let tree = existing_tree(&cat, &ExistingTreeConfig::default());
-        let has_brand_level = tree
-            .live_categories()
-            .iter()
-            .any(|&c| tree.depth(c) == 2);
+        let has_brand_level = tree.live_categories().iter().any(|&c| tree.depth(c) == 2);
         assert!(has_brand_level, "expected type→brand categories");
     }
 

@@ -136,10 +136,9 @@ mod tests {
 
     #[test]
     fn parses_basic_log() {
-        let log = parse_query_log(
-            "# comment\nmemory cards\t812.5\t17:0.99,102:0.93\n\nssd\t10\t3,4,5\n",
-        )
-        .expect("valid log");
+        let log =
+            parse_query_log("# comment\nmemory cards\t812.5\t17:0.99,102:0.93\n\nssd\t10\t3,4,5\n")
+                .expect("valid log");
         assert_eq!(log.queries.len(), 2);
         assert_eq!(log.queries[0].text, "memory cards");
         assert_eq!(log.queries[0].daily_frequency, 812.5);

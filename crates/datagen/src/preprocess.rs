@@ -164,8 +164,7 @@ fn merge_similar(
                     let better = match pair {
                         None => true,
                         Some((bs, bi, bj)) => {
-                            sim > bs + 1e-12
-                                || ((sim - bs).abs() <= 1e-12 && key < (bi, bj))
+                            sim > bs + 1e-12 || ((sim - bs).abs() <= 1e-12 && key < (bi, bj))
                         }
                     };
                     if better {
@@ -273,8 +272,13 @@ mod tests {
             ..PreprocessConfig::default()
         };
         let sim = Similarity::jaccard_threshold(0.8);
-        let (merged, mstats) =
-            build_instance(cat.len() as u32, &log, &tree, sim, &PreprocessConfig::default());
+        let (merged, mstats) = build_instance(
+            cat.len() as u32,
+            &log,
+            &tree,
+            sim,
+            &PreprocessConfig::default(),
+        );
         let (unmerged, _) = build_instance(cat.len() as u32, &log, &tree, sim, &unmerged_cfg);
         assert!(merged.num_sets() <= unmerged.num_sets());
         assert!(

@@ -151,8 +151,7 @@ pub fn generate_queries(catalog: &Catalog, config: &QueryConfig) -> QueryLog {
         // weights values by how many items carry them (queries target
         // populated categories).
         let anchor = &catalog.products[rng.gen_range(0..catalog.len())];
-        let predicates: Vec<(usize, u16)> =
-            attrs.iter().map(|&a| (a, anchor.values[a])).collect();
+        let predicates: Vec<(usize, u16)> = attrs.iter().map(|&a| (a, anchor.values[a])).collect();
         if !seen.insert(predicates.clone()) {
             continue;
         }
@@ -256,7 +255,10 @@ mod tests {
         let log = generate_queries(&catalog(), &QueryConfig::default());
         let mut freqs: Vec<f64> = log.queries.iter().map(|q| q.daily_frequency).collect();
         freqs.sort_by(|a, b| b.total_cmp(a));
-        assert!(freqs[0] > 10.0 * freqs[freqs.len() / 2], "head should dominate");
+        assert!(
+            freqs[0] > 10.0 * freqs[freqs.len() / 2],
+            "head should dominate"
+        );
         assert!(freqs.iter().all(|&f| f > 0.0));
     }
 
@@ -279,9 +281,11 @@ mod tests {
         let log = generate_queries(&cat, &config);
         let with_noise = log.queries.iter().any(|q| {
             q.results.iter().any(|&(item, rel)| {
-                rel >= 0.8 && !q.predicates.iter().all(|&(a, v)| {
-                    cat.products[item as usize].values[a] == v
-                })
+                rel >= 0.8
+                    && !q
+                        .predicates
+                        .iter()
+                        .all(|&(a, v)| cat.products[item as usize].values[a] == v)
             })
         });
         assert!(with_noise, "expected at least one misclassified item");

@@ -88,10 +88,7 @@ pub fn cohesiveness_filtered(
         if cat == ROOT {
             continue;
         }
-        if tree
-            .label(cat)
-            .is_some_and(|l| skip_labels.contains(&l))
-        {
+        if tree.label(cat).is_some_and(|l| skip_labels.contains(&l)) {
             continue;
         }
         let items = &full[cat as usize];

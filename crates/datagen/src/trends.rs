@@ -206,10 +206,7 @@ mod tests {
     #[test]
     fn decay_boosts_spikes_over_uniform() {
         let w = sample();
-        let trends = w.breaking_trends(
-            RecencyScheme::ExponentialDecay { half_life: 10.0 },
-            1.5,
-        );
+        let trends = w.breaking_trends(RecencyScheme::ExponentialDecay { half_life: 10.0 }, 1.5);
         assert!(!trends.is_empty(), "some spikes must be detected");
         // Every flagged query's recent demand genuinely dominates.
         let uniform = w.weights(RecencyScheme::Uniform);

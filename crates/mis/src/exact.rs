@@ -62,10 +62,7 @@ fn solve_rec(g: Graph, orig: Vec<u32>, ctx: &mut Ctx) -> (Vec<u32>, f64) {
 
     if !reduced.graph.is_empty() {
         for (members, sub) in reduced.graph.connected_components() {
-            let sub_orig: Vec<u32> = members
-                .iter()
-                .map(|&v| reduced.orig[v as usize])
-                .collect();
+            let sub_orig: Vec<u32> = members.iter().map(|&v| reduced.orig[v as usize]).collect();
             let (mut sub_sol, sub_w) = solve_component(sub, sub_orig, ctx);
             solution.append(&mut sub_sol);
             weight += sub_w;
@@ -438,10 +435,7 @@ mod tests {
 
     #[test]
     fn disconnected_components_solved_independently() {
-        let g = Graph::new(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[(0, 1), (2, 3)],
-        );
+        let g = Graph::new(vec![1.0, 2.0, 3.0, 4.0], &[(0, 1), (2, 3)]);
         assert_exact(&g, 6.0);
     }
 

@@ -30,7 +30,10 @@ impl Graph {
         }
         let mut adj = vec![Vec::new(); n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop at vertex {a}");
             adj[a as usize].push(b);
             adj[b as usize].push(a);

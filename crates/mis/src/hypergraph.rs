@@ -37,7 +37,10 @@ impl Hypergraph {
     pub fn new(weights: Vec<f64>, edges: Vec<Vec<u32>>) -> Self {
         let n = weights.len();
         for (i, &w) in weights.iter().enumerate() {
-            assert!(w.is_finite() && w >= 0.0, "vertex {i} has invalid weight {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "vertex {i} has invalid weight {w}"
+            );
         }
         let mut normalized: Vec<Vec<u32>> = edges
             .into_iter()
@@ -136,6 +139,8 @@ pub struct HyperResult {
     pub weight: f64,
     /// `true` when provably optimal.
     pub optimal: bool,
+    /// Branch-and-bound nodes expanded.
+    pub nodes_used: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -161,12 +166,14 @@ pub fn solve(h: &Hypergraph, node_budget: u64) -> HyperResult {
         optimal: true,
     };
     state.branch();
+    let nodes_used = node_budget - state.budget;
     let mut solution = state.best;
     solution.sort_unstable();
     HyperResult {
         weight: solution.iter().map(|&v| h.weight(v)).sum(),
         solution,
         optimal: state.optimal,
+        nodes_used,
     }
 }
 
@@ -200,7 +207,9 @@ impl BranchState<'_> {
         // Undecided vertices.
         let mut pick: Option<(usize, usize)> = None; // (edge idx, undecided count)
         for (idx, e) in self.h.edges().iter().enumerate() {
-            if e.iter().any(|&v| self.decisions[v as usize] == Decision::Out) {
+            if e.iter()
+                .any(|&v| self.decisions[v as usize] == Decision::Out)
+            {
                 continue;
             }
             let und = e
@@ -274,9 +283,7 @@ impl BranchState<'_> {
 /// Weighted greedy: process vertices by `w(v)/(deg(v)+1)` descending, adding
 /// a vertex unless it would complete a hyperedge.
 pub fn greedy(h: &Hypergraph) -> Vec<u32> {
-    let mut order: Vec<u32> = (0..h.len() as u32)
-        .filter(|&v| h.weight(v) > 0.0)
-        .collect();
+    let mut order: Vec<u32> = (0..h.len() as u32).filter(|&v| h.weight(v) > 0.0).collect();
     order.sort_by(|&a, &b| {
         let sa = h.weight(a) / (h.degree(a) as f64 + 1.0);
         let sb = h.weight(b) / (h.degree(b) as f64 + 1.0);
@@ -286,11 +293,10 @@ pub fn greedy(h: &Hypergraph) -> Vec<u32> {
     let mut solution = Vec::new();
     for v in order {
         selected[v as usize] = true;
-        let violates = h.incident_edges(v).iter().any(|&e| {
-            h.edges()[e as usize]
-                .iter()
-                .all(|&u| selected[u as usize])
-        });
+        let violates = h
+            .incident_edges(v)
+            .iter()
+            .any(|&e| h.edges()[e as usize].iter().all(|&u| selected[u as usize]));
         if violates {
             selected[v as usize] = false;
         } else {
@@ -324,9 +330,10 @@ pub fn local_search(h: &Hypergraph, init: &[u32], rounds: usize, seed: u64) -> V
                     continue;
                 }
                 sel[v as usize] = true;
-                let violates = h.incident_edges(v).iter().any(|&e| {
-                    h.edges()[e as usize].iter().all(|&u| sel[u as usize])
-                });
+                let violates = h
+                    .incident_edges(v)
+                    .iter()
+                    .any(|&e| h.edges()[e as usize].iter().all(|&u| sel[u as usize]));
                 if violates {
                     sel[v as usize] = false;
                 } else {
@@ -360,9 +367,7 @@ pub fn local_search(h: &Hypergraph, init: &[u32], rounds: usize, seed: u64) -> V
             selected = best.clone();
         }
     }
-    (0..h.len() as u32)
-        .filter(|&v| best[v as usize])
-        .collect()
+    (0..h.len() as u32).filter(|&v| best[v as usize]).collect()
 }
 
 #[cfg(test)]
@@ -407,10 +412,7 @@ mod tests {
     fn figure5_instance_drops_lightest_set() {
         // Paper Fig. 5: two 3-conflicts {q1,q2,q3}, {q2,q3,q4}; weights
         // 3, 1, 2, 2. Optimal drops only q2 (the lightest), scoring 7.
-        let h = Hypergraph::new(
-            vec![3.0, 1.0, 2.0, 2.0],
-            vec![vec![0, 1, 2], vec![1, 2, 3]],
-        );
+        let h = Hypergraph::new(vec![3.0, 1.0, 2.0, 2.0], vec![vec![0, 1, 2], vec![1, 2, 3]]);
         let res = solve(&h, u64::MAX);
         assert!(res.optimal);
         assert_eq!(res.solution, vec![0, 2, 3]);
@@ -478,10 +480,7 @@ mod tests {
 
     #[test]
     fn budget_zero_returns_greedy_quality_solution() {
-        let h = Hypergraph::new(
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![vec![0, 1], vec![1, 2, 3]],
-        );
+        let h = Hypergraph::new(vec![1.0, 2.0, 3.0, 4.0], vec![vec![0, 1], vec![1, 2, 3]]);
         let res = solve(&h, 0);
         assert!(!res.optimal);
         assert!(verify_hypergraph_solution(&h, &res.solution).is_some());

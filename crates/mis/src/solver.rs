@@ -1,5 +1,7 @@
 //! Budgeted solver facade used by CTCR.
 
+use oct_obs::Metrics;
+
 use crate::{exact, graph::Graph, hypergraph, local, Hypergraph};
 
 /// Search-effort budget for a MWIS solve.
@@ -59,14 +61,19 @@ impl Solver {
 
     /// Solves MWIS on an ordinary graph (the Exact-variant conflict graph).
     pub fn solve_graph(&self, g: &Graph) -> MisSolution {
+        self.solve_graph_with_metrics(g, &Metrics::disabled())
+    }
+
+    /// [`Solver::solve_graph`] with solver-progress telemetry: records
+    /// `mis/nodes_explored`, and increments `mis/budget_exhausted` /
+    /// `mis/heuristic_fallback` / `mis/local_search_improved` as those
+    /// paths engage.
+    pub fn solve_graph_with_metrics(&self, g: &Graph, metrics: &Metrics) -> MisSolution {
         if self.budget.nodes == 0 {
+            metrics.incr("mis/heuristic_fallback");
             let init = local::greedy(g);
-            let sol = local::local_search(
-                g,
-                &init,
-                self.budget.local_search_rounds,
-                self.budget.seed,
-            );
+            let sol =
+                local::local_search(g, &init, self.budget.local_search_rounds, self.budget.seed);
             let weight = sol.iter().map(|&v| g.weight(v)).sum();
             return MisSolution {
                 vertices: sol,
@@ -75,6 +82,7 @@ impl Solver {
             };
         }
         let res = exact::solve(g, self.budget.nodes);
+        metrics.add("mis/nodes_explored", res.nodes_used);
         if res.optimal {
             MisSolution {
                 vertices: res.solution,
@@ -82,6 +90,7 @@ impl Solver {
                 optimal: true,
             }
         } else {
+            metrics.incr("mis/budget_exhausted");
             // Polish the budget-capped result with local search and keep the
             // better of the two.
             let polished = local::local_search(
@@ -92,6 +101,7 @@ impl Solver {
             );
             let polished_weight: f64 = polished.iter().map(|&v| g.weight(v)).sum();
             if polished_weight > res.weight {
+                metrics.incr("mis/local_search_improved");
                 MisSolution {
                     vertices: polished,
                     weight: polished_weight,
@@ -115,13 +125,22 @@ impl Solver {
     /// solution quality, as in the partitioning-based algorithms the paper
     /// cites for non-sparse hypergraphs).
     pub fn solve_hypergraph(&self, h: &Hypergraph) -> MisSolution {
+        self.solve_hypergraph_with_metrics(h, &Metrics::disabled())
+    }
+
+    /// [`Solver::solve_hypergraph`] with solver-progress telemetry (see
+    /// [`Solver::solve_graph_with_metrics`]); additionally records the
+    /// density-scaled node budget as the `mis/effective_node_budget` gauge.
+    pub fn solve_hypergraph_with_metrics(&self, h: &Hypergraph, metrics: &Metrics) -> MisSolution {
         const WORK_CAP: u64 = 200_000_000;
         let per_node = h.edges().len() as u64 + 1;
-        let effective = self
-            .budget
-            .nodes
-            .min((WORK_CAP / per_node).max(1_000));
+        let effective = self.budget.nodes.min((WORK_CAP / per_node).max(1_000));
+        metrics.gauge("mis/effective_node_budget", effective as f64);
         let res = hypergraph::solve(h, effective);
+        metrics.add("mis/nodes_explored", res.nodes_used);
+        if !res.optimal {
+            metrics.incr("mis/budget_exhausted");
+        }
         MisSolution {
             vertices: res.solution,
             weight: res.weight,
@@ -150,6 +169,32 @@ mod tests {
         assert!(!sol.optimal);
         assert!(crate::verify_graph_solution(&g, &sol.vertices).is_some());
         assert_eq!(sol.weight, 2.0);
+    }
+
+    #[test]
+    fn metrics_record_solver_progress() {
+        let g = Graph::new(vec![1.0, 5.0, 1.0], &[(0, 1), (1, 2)]);
+        let m = Metrics::enabled();
+        let sol = Solver::default().solve_graph_with_metrics(&g, &m);
+        assert!(sol.optimal);
+        let report = m.report();
+        // Reductions may solve a tiny graph without expanding any node, but
+        // the counter must be present after an exact solve.
+        assert!(report.counter("mis/nodes_explored").is_some());
+        assert_eq!(report.counter("mis/budget_exhausted"), None);
+
+        let m = Metrics::enabled();
+        let sol = Solver::new(SolveBudget::heuristic_only()).solve_graph_with_metrics(&g, &m);
+        assert!(!sol.optimal);
+        assert_eq!(m.report().counter("mis/heuristic_fallback"), Some(1));
+
+        let h = Hypergraph::new(vec![1.0, 1.0, 1.0], vec![vec![0, 1, 2]]);
+        let m = Metrics::enabled();
+        let sol = Solver::default().solve_hypergraph_with_metrics(&h, &m);
+        assert!(sol.optimal);
+        let report = m.report();
+        assert!(report.counter("mis/nodes_explored").unwrap_or(0) > 0);
+        assert!(report.gauge("mis/effective_node_budget").unwrap_or(0.0) >= 1_000.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the MWIS solvers.
 
 use oct_mis::{
-    exact, hypergraph, local, verify_graph_solution, verify_hypergraph_solution, Graph,
-    Hypergraph, Solver,
+    exact, hypergraph, local, verify_graph_solution, verify_hypergraph_solution, Graph, Hypergraph,
+    Solver,
 };
 use proptest::prelude::*;
 
@@ -85,10 +85,7 @@ proptest! {
 fn arb_hypergraph(max_n: usize) -> impl Strategy<Value = Hypergraph> {
     (3..=max_n).prop_flat_map(|n| {
         let weights = prop::collection::vec(0.0f64..50.0, n);
-        let edges = prop::collection::vec(
-            prop::collection::vec(0..n as u32, 2..=3),
-            0..n * 2,
-        );
+        let edges = prop::collection::vec(prop::collection::vec(0..n as u32, 2..=3), 0..n * 2);
         (weights, edges).prop_map(|(w, raw)| {
             let edges: Vec<Vec<u32>> = raw
                 .into_iter()

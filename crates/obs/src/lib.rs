@@ -1,0 +1,342 @@
+//! Pipeline observability: lightweight stage spans, named counters and
+//! gauges, and a serializable [`PipelineReport`].
+//!
+//! The central type is [`Metrics`], a cheaply-cloneable handle that is
+//! either *enabled* (backed by shared state) or *disabled* (a no-op shell).
+//! Every recording operation on a disabled handle is a branch on an
+//! `Option` and returns immediately, so instrumented code pays nothing
+//! when telemetry is off:
+//!
+//! ```
+//! use oct_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! {
+//!     let stage = metrics.span("conflict");
+//!     let _inner = stage.child("pairs");
+//!     metrics.add("conflict/intersecting_pairs", 42);
+//! }
+//! let report = metrics.report();
+//! assert_eq!(report.counter("conflict/intersecting_pairs"), Some(42));
+//! assert!(report.span("conflict").is_some());
+//!
+//! let off = Metrics::disabled();
+//! off.add("ignored", 1); // no-op, no allocation
+//! assert!(off.report().is_empty());
+//! ```
+//!
+//! Span timings aggregate: entering the same path twice accumulates total
+//! duration and a call count. Counters are lock-free `AtomicU64`s after the
+//! first lookup (see [`Metrics::counter`] for hot loops).
+
+mod report;
+
+pub use report::{json, PipelineReport, SpanStat};
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, f64>>,
+    spans: Mutex<HashMap<String, SpanStat>>,
+}
+
+/// Handle to a metrics sink; clones share the same underlying state.
+///
+/// A disabled handle ([`Metrics::disabled`], also `Default`) carries no
+/// state and turns every operation into a no-op.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Metrics {
+    /// A recording handle.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A no-op handle: every operation returns immediately.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Recording handle when `on`, no-op handle otherwise.
+    pub fn new(on: bool) -> Self {
+        if on {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// `true` when this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a root stage span named `name`; the elapsed time is recorded
+    /// under that path when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span {
+            metrics: self,
+            path: self.inner.is_some().then(|| name.to_string()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .counters
+                .lock()
+                .entry(name.to_string())
+                .or_default()
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the named counter by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// A reusable handle to one counter, for hot loops: after this single
+    /// lookup, updates are lock-free atomic adds. The handle of a disabled
+    /// `Metrics` discards updates.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                Arc::clone(inner.counters.lock().entry(name.to_string()).or_default())
+            }),
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().insert(name.to_string(), value);
+        }
+    }
+
+    /// Records an externally-measured duration under a span path, as if a
+    /// span guard had run for `elapsed`.
+    pub fn record_duration(&self, path: &str, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            let mut spans = inner.spans.lock();
+            let stat = spans.entry(path.to_string()).or_default();
+            stat.total += elapsed;
+            stat.count += 1;
+        }
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn report(&self) -> PipelineReport {
+        let Some(inner) = &self.inner else {
+            return PipelineReport::default();
+        };
+        PipelineReport {
+            counters: inner
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            spans: inner
+                .spans
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Lock-free handle to a single counter (see [`Metrics::counter`]).
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 on a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII guard for a timed stage; records its elapsed time when dropped.
+///
+/// Nested stages are produced with [`Span::child`] and record under
+/// `parent/child` paths.
+pub struct Span<'m> {
+    metrics: &'m Metrics,
+    /// `None` on disabled handles — drop then does nothing.
+    path: Option<String>,
+    started: Instant,
+}
+
+impl Span<'_> {
+    /// Starts a nested span recorded under `self_path/name`.
+    pub fn child(&self, name: &str) -> Span<'_> {
+        Span {
+            metrics: self.metrics,
+            path: self.path.as_ref().map(|p| format!("{p}/{name}")),
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's full path, when recording.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            self.metrics.record_duration(&path, self.started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        m.add("a", 5);
+        m.incr("a");
+        m.gauge("g", 1.0);
+        m.counter("c").add(10);
+        {
+            let s = m.span("stage");
+            assert_eq!(s.path(), None);
+            let _inner = s.child("sub");
+        }
+        assert!(!m.is_enabled());
+        assert!(m.report().is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let m = Metrics::enabled();
+        m.add("pairs", 3);
+        m.incr("pairs");
+        m.gauge("density", 0.25);
+        m.gauge("density", 0.5); // last write wins
+        let c = m.counter("nodes");
+        c.add(7);
+        c.incr();
+        assert_eq!(c.get(), 8);
+        let report = m.report();
+        assert_eq!(report.counter("pairs"), Some(4));
+        assert_eq!(report.counter("nodes"), Some(8));
+        assert_eq!(report.gauge("density"), Some(0.5));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let m = Metrics::enabled();
+        for _ in 0..3 {
+            let outer = m.span("run");
+            {
+                let inner = outer.child("phase");
+                assert_eq!(inner.path(), Some("run/phase"));
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let report = m.report();
+        let run = report.span("run").expect("run recorded");
+        let phase = report.span("run/phase").expect("nested path recorded");
+        assert_eq!(run.count, 3);
+        assert_eq!(phase.count, 3);
+        // The parent span is open for at least as long as its child.
+        assert!(run.total >= phase.total);
+        assert!(phase.total >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m2.add("shared", 2);
+        assert_eq!(m.report().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn counters_are_race_free_across_threads() {
+        let m = Metrics::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    let c = m.counter("hot");
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                    m.add("cold", 1);
+                });
+            }
+        });
+        let report = m.report();
+        assert_eq!(report.counter("hot"), Some(80_000));
+        assert_eq!(report.counter("cold"), Some(8));
+    }
+
+    #[test]
+    fn record_duration_matches_span_semantics() {
+        let m = Metrics::enabled();
+        m.record_duration("stage", Duration::from_millis(5));
+        m.record_duration("stage", Duration::from_millis(7));
+        let stat = m.report().span("stage").cloned().expect("stage");
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total, Duration::from_millis(12));
+    }
+}

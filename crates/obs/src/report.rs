@@ -1,0 +1,592 @@
+//! Snapshot of recorded telemetry ([`PipelineReport`]): JSON serialization
+//! (hand-rolled — the workspace has no serialization dependency), parsing,
+//! and a human-readable pretty-print.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total time spent inside the span across all entries.
+    pub total: Duration,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+impl SpanStat {
+    /// Total time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+}
+
+/// Everything a [`crate::Metrics`] handle recorded, in deterministic
+/// (sorted) order.
+///
+/// The JSON schema (stable, documented in the repository README):
+///
+/// ```json
+/// {
+///   "spans":    { "<path>": { "total_ns": 1234, "count": 2 } },
+///   "counters": { "<name>": 42 },
+///   "gauges":   { "<name>": 0.5 }
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Timed spans by `/`-separated path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl PipelineReport {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+    }
+
+    /// Value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Timing of a span path, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Total seconds recorded under a span path (0 when absent).
+    pub fn span_secs(&self, path: &str) -> f64 {
+        self.span(path).map_or(0.0, SpanStat::secs)
+    }
+
+    /// Total duration recorded under a span path (zero when absent).
+    pub fn span_duration(&self, path: &str) -> Duration {
+        self.span(path).map_or(Duration::ZERO, |s| s.total)
+    }
+
+    /// Serializes to the stable JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"spans\": {");
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json::write_string(&mut out, path);
+            out.push_str(&format!(
+                ": {{\"total_ns\": {}, \"count\": {}}}",
+                stat.total.as_nanos(),
+                stat.count
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json::write_string(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json::write_string(&mut out, name);
+            out.push_str(&format!(": {}", json::write_f64(*value)));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a report from the JSON produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, json::JsonError> {
+        let value = json::parse(text)?;
+        let root = value.as_object("report root")?;
+        let mut report = PipelineReport::default();
+        if let Some(spans) = root.get("spans") {
+            for (path, stat) in spans.as_object("spans")? {
+                let stat = stat.as_object("span stat")?;
+                let total_ns = stat
+                    .get("total_ns")
+                    .ok_or_else(|| json::JsonError::missing("total_ns"))?
+                    .as_u64("total_ns")?;
+                let count = stat
+                    .get("count")
+                    .ok_or_else(|| json::JsonError::missing("count"))?
+                    .as_u64("count")?;
+                report.spans.insert(
+                    path.clone(),
+                    SpanStat {
+                        total: Duration::from_nanos(total_ns),
+                        count,
+                    },
+                );
+            }
+        }
+        if let Some(counters) = root.get("counters") {
+            for (name, value) in counters.as_object("counters")? {
+                report.counters.insert(name.clone(), value.as_u64(name)?);
+            }
+        }
+        if let Some(gauges) = root.get("gauges") {
+            for (name, value) in gauges.as_object("gauges")? {
+                report.gauges.insert(name.clone(), value.as_f64(name)?);
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "telemetry: (empty)");
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "spans:")?;
+            let width = self.spans.keys().map(String::len).max().unwrap_or(0);
+            for (path, stat) in &self.spans {
+                writeln!(
+                    f,
+                    "  {path:<width$}  {:>10.3} ms  x{}",
+                    stat.total.as_secs_f64() * 1e3,
+                    stat.count
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            let width = self.gauges.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON reader/writer used by [`PipelineReport`].
+pub mod json {
+    use std::collections::BTreeMap;
+    use std::fmt;
+
+    /// A parsed JSON value (no arrays — the report schema has none).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// An object.
+        Object(BTreeMap<String, Value>),
+        /// Any number; integers up to 2^53 round-trip exactly.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// A boolean.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl Value {
+        /// The object's entries, or a type error naming `what`.
+        pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, JsonError> {
+            match self {
+                Value::Object(map) => Ok(map),
+                other => Err(JsonError::type_mismatch(what, "object", other)),
+            }
+        }
+
+        /// The value as a non-negative integer, or a type error.
+        pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                other => Err(JsonError::type_mismatch(what, "unsigned integer", other)),
+            }
+        }
+
+        /// The value as a float, or a type error.
+        pub fn as_f64(&self, what: &str) -> Result<f64, JsonError> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(JsonError::type_mismatch(what, "number", other)),
+            }
+        }
+    }
+
+    /// Why a parse failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct JsonError {
+        message: String,
+    }
+
+    impl JsonError {
+        fn new(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+
+        pub(crate) fn missing(field: &str) -> Self {
+            Self::new(format!("missing field `{field}`"))
+        }
+
+        fn type_mismatch(what: &str, expected: &str, got: &Value) -> Self {
+            let got = match got {
+                Value::Object(_) => "object",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Bool(_) => "bool",
+                Value::Null => "null",
+            };
+            Self::new(format!("`{what}`: expected {expected}, got {got}"))
+        }
+    }
+
+    impl fmt::Display for JsonError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid report JSON: {}", self.message)
+        }
+    }
+
+    impl std::error::Error for JsonError {}
+
+    /// Appends `s` as a quoted, escaped JSON string.
+    pub fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Formats a float as JSON (finite values only; NaN/∞ become `null`).
+    pub fn write_f64(v: f64) -> String {
+        if !v.is_finite() {
+            return "null".to_string();
+        }
+        let mut s = format!("{v}");
+        // `{}` on f64 prints integers without a decimal point, which JSON
+        // would then read back as an integer type; keep gauges floats.
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing data at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, JsonError> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| JsonError::new("unexpected end of input"))
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(JsonError::new(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, JsonError> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'"' => Ok(Value::String(self.string()?)),
+                b't' => self.keyword("true", Value::Bool(true)),
+                b'f' => self.keyword("false", Value::Bool(false)),
+                b'n' => self.keyword("null", Value::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(JsonError::new(format!(
+                    "unexpected `{}` at byte {}",
+                    other as char, self.pos
+                ))),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, JsonError> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                map.insert(key, value);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    other => {
+                        return Err(JsonError::new(format!(
+                            "expected `,` or `}}`, got `{}` at byte {}",
+                            other as char, self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, JsonError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or_else(|| JsonError::new("unterminated string"))?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                                self.pos += 4;
+                                let code = std::str::from_utf8(hex)
+                                    .ok()
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| JsonError::new("bad \\u escape"))?;
+                                // Surrogate pairs are not needed for report
+                                // keys; reject rather than mis-decode.
+                                let c = char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("bad \\u code point"))?;
+                                out.push(c);
+                            }
+                            other => {
+                                return Err(JsonError::new(format!(
+                                    "bad escape `\\{}`",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Collect the full UTF-8 sequence starting here.
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| JsonError::new("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, JsonError> {
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit()
+                    || b == b'.'
+                    || b == b'e'
+                    || b == b'E'
+                    || b == b'+'
+                    || b == b'-'
+                {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        }
+
+        fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(JsonError::new(format!(
+                    "expected `{word}` at byte {}",
+                    self.pos
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let mut report = PipelineReport::default();
+        report.counters.insert("conflict/pairs".into(), 1234);
+        report.counters.insert("mis/nodes".into(), 0);
+        report.gauges.insert("density".into(), 0.125);
+        report.gauges.insert("whole".into(), 3.0);
+        report.spans.insert(
+            "ctcr".into(),
+            SpanStat {
+                total: Duration::from_nanos(1_234_567_891),
+                count: 1,
+            },
+        );
+        report.spans.insert(
+            "ctcr/mis \"quoted\\path\"".into(),
+            SpanStat {
+                total: Duration::from_micros(250),
+                count: 17,
+            },
+        );
+        report
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample();
+        let text = report.to_json();
+        let back = PipelineReport::from_json(&text).expect("parse own output");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_roundtrips() {
+        let report = PipelineReport::default();
+        assert!(report.is_empty());
+        let back = PipelineReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn accessors_read_values() {
+        let report = sample();
+        assert_eq!(report.counter("conflict/pairs"), Some(1234));
+        assert_eq!(report.gauge("density"), Some(0.125));
+        assert_eq!(report.span("ctcr").map(|s| s.count), Some(1));
+        assert!(report.span_secs("ctcr") > 1.0);
+        assert_eq!(report.span_secs("absent"), 0.0);
+    }
+
+    #[test]
+    fn display_lists_all_sections() {
+        let text = sample().to_string();
+        assert!(text.contains("spans:"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("conflict/pairs"));
+        assert!(PipelineReport::default().to_string().contains("empty"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PipelineReport::from_json("").is_err());
+        assert!(PipelineReport::from_json("{").is_err());
+        assert!(PipelineReport::from_json("{} trailing").is_err());
+        assert!(PipelineReport::from_json(r#"{"spans": 3}"#).is_err());
+        assert!(
+            PipelineReport::from_json(r#"{"counters": {"x": -1}}"#).is_err(),
+            "negative counter must be rejected"
+        );
+        assert!(PipelineReport::from_json(r#"{"counters": {"x": 1.5}}"#).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_foreign_whitespace_and_escapes() {
+        let text = "\n{\t\"gauges\" : { \"a\\u0041\" : 2.5e-1 } }\n";
+        let report = PipelineReport::from_json(text).expect("parse");
+        assert_eq!(report.gauge("aA"), Some(0.25));
+    }
+}

@@ -82,11 +82,7 @@ fn main() {
     for (i, s) in sets.iter_mut().enumerate() {
         s.threshold = Some(if i == heaviest { 1.0 } else { 0.5 });
     }
-    let tuned = Instance::new(
-        pr.instance.num_items,
-        sets,
-        Similarity::perfect_recall(0.6),
-    );
+    let tuned = Instance::new(pr.instance.num_items, sets, Similarity::perfect_recall(0.6));
     let tuned_result = ctcr::run(&tuned, &CtcrConfig::default());
     let cover = &tuned_result.score.per_set[heaviest];
     println!(

@@ -53,8 +53,7 @@ fn main() {
     let spike_weight = ds.instance.total_weight(); // as hot as everything else combined
     let mut sets = ds.instance.sets.clone();
     sets.push(
-        InputSet::new(ItemSet::new(spike_items), spike_weight)
-            .with_label("celebrity collection"),
+        InputSet::new(ItemSet::new(spike_items), spike_weight).with_label("celebrity collection"),
     );
     let spiked = Instance::new(ds.instance.num_items, sets, similarity);
 

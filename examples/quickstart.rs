@@ -15,12 +15,7 @@ const ITEMS: [&str; 9] = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
 
 fn print_tree(tree: &CategoryTree, instance: &Instance) {
     let full = tree.materialize();
-    fn walk(
-        tree: &CategoryTree,
-        full: &[ItemSet],
-        cat: CatId,
-        depth: usize,
-    ) {
+    fn walk(tree: &CategoryTree, full: &[ItemSet], cat: CatId, depth: usize) {
         let items: Vec<&str> = full[cat as usize]
             .iter()
             .map(|i| ITEMS[i as usize])
@@ -57,11 +52,7 @@ fn main() {
 
     println!("=== Perfect-Recall variant (δ = 0.8) ===");
     println!("Categories must fully contain the sets they cover.\n");
-    let instance = Instance::new(
-        9,
-        sets.clone(),
-        Similarity::perfect_recall(0.8),
-    );
+    let instance = Instance::new(9, sets.clone(), Similarity::perfect_recall(0.8));
     let result = ctcr::run(&instance, &CtcrConfig::default());
     result
         .tree
@@ -79,6 +70,8 @@ fn main() {
         .expect("CTCR produces valid trees");
     print_tree(&result.tree, &instance);
 
-    println!("Conflicts found: {} two-set, {} three-set; MIS optimal: {}",
-        result.stats.conflicts2, result.stats.conflicts3, result.stats.mis_optimal);
+    println!(
+        "Conflicts found: {} two-set, {} three-set; MIS optimal: {}",
+        result.stats.conflicts2, result.stats.conflicts3, result.stats.mis_optimal
+    );
 }

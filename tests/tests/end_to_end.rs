@@ -99,7 +99,9 @@ fn perfect_recall_covers_are_complete() {
         if cover.covered {
             let cat = cover.best_category.expect("covered set has a category");
             assert!(
-                ds.instance.sets[idx].items.is_subset_of(&full[cat as usize]),
+                ds.instance.sets[idx]
+                    .items
+                    .is_subset_of(&full[cat as usize]),
                 "set {idx} covered without full recall"
             );
         }
@@ -134,7 +136,9 @@ fn ctcr_beats_all_baselines_on_all_datasets() {
         let ctcr_score = ctcr::run(&ds.instance, &CtcrConfig::default())
             .score
             .normalized;
-        let cct_score = cct::run(&ds.instance, &CctConfig::default()).score.normalized;
+        let cct_score = cct::run(&ds.instance, &CctConfig::default())
+            .score
+            .normalized;
         let embeddings = item_embeddings(&ds.catalog);
         let ic_s = baselines::ic_s(&ds.instance, &embeddings, &BaselineConfig::default())
             .score
@@ -173,7 +177,9 @@ fn lowering_delta_never_hurts_ctcr() {
             sets,
             Similarity::jaccard_threshold(delta),
         );
-        let score = ctcr::run(&instance, &CtcrConfig::default()).score.normalized;
+        let score = ctcr::run(&instance, &CtcrConfig::default())
+            .score
+            .normalized;
         assert!(
             score + 0.02 >= previous,
             "δ={delta}: score {score} dropped below the stricter run's {previous}"
@@ -216,7 +222,9 @@ fn kinds_share_one_pipeline_f1_close_to_jaccard() {
     // only cover at least as much weight as the Jaccard-threshold variant
     // when run over the same sets.
     let jd = generate(DatasetName::A, SCALE, Similarity::jaccard_threshold(0.8));
-    let jac = ctcr::run(&jd.instance, &CtcrConfig::default()).score.normalized;
+    let jac = ctcr::run(&jd.instance, &CtcrConfig::default())
+        .score
+        .normalized;
     let mut sets = jd.instance.sets.clone();
     for s in &mut sets {
         s.threshold = None;
@@ -226,7 +234,9 @@ fn kinds_share_one_pipeline_f1_close_to_jaccard() {
         sets,
         Similarity::new(SimilarityKind::F1Threshold, 0.8),
     );
-    let f1 = ctcr::run(&f1_instance, &CtcrConfig::default()).score.normalized;
+    let f1 = ctcr::run(&f1_instance, &CtcrConfig::default())
+        .score
+        .normalized;
     assert!(
         f1 + 0.02 >= jac,
         "F1-threshold ({f1}) should be ≥ Jaccard-threshold ({jac}) at equal δ"

@@ -10,9 +10,8 @@ fn arb_instance(
     max_sets: usize,
     sim: fn(f64) -> Similarity,
 ) -> impl Strategy<Value = Instance> {
-    let set = (2u32..=12).prop_flat_map(move |len| {
-        prop::collection::vec(0..max_items, len as usize)
-    });
+    let set =
+        (2u32..=12).prop_flat_map(move |len| prop::collection::vec(0..max_items, len as usize));
     (
         prop::collection::vec((set, 1u32..20), 1..=max_sets),
         5u32..=9,

@@ -26,8 +26,7 @@ fn full_lifecycle_roundtrip() {
     labeling::apply_labels(&outcome.instance, &mut tree);
     let reloaded = persist::decode_tree(persist::encode_tree(&tree)).expect("roundtrip");
     let instance_reloaded =
-        persist::decode_instance(persist::encode_instance(&outcome.instance))
-            .expect("roundtrip");
+        persist::decode_instance(persist::encode_instance(&outcome.instance)).expect("roundtrip");
 
     // Rescoring the reloaded artifacts reproduces the result exactly.
     let rescore = score_tree(&instance_reloaded, &reloaded);
@@ -65,10 +64,7 @@ fn recency_weighting_feeds_the_builder() {
     let spiky = window.reweighted(RecencyScheme::ExponentialDecay { half_life: 7.0 });
 
     // Trend detection finds something, and the reweighted log still builds.
-    let trends = window.breaking_trends(
-        RecencyScheme::ExponentialDecay { half_life: 7.0 },
-        1.5,
-    );
+    let trends = window.breaking_trends(RecencyScheme::ExponentialDecay { half_life: 7.0 }, 1.5);
     assert!(!trends.is_empty(), "a quarter of queries spike late");
 
     let (instance, _) = oct_datagen::preprocess::build_instance(

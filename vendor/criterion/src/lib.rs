@@ -1,0 +1,220 @@
+//! In-repo shim for the subset of `criterion` used by this workspace's
+//! bench targets: `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — each benchmark closure runs
+//! `sample_size` times and the mean/min wall-clock times are printed.
+//! Benchmarks only execute when the binary is invoked with `--bench`
+//! (which `cargo bench` passes to `harness = false` targets); under
+//! `cargo test` or a bare run the binary exits immediately so the tier-1
+//! test suite never pays for benchmark workloads.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim reruns setup every
+/// iteration regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh setup per iteration.
+    PerIteration,
+    /// Upstream batches many small inputs; shim treats as `PerIteration`.
+    SmallInput,
+    /// Upstream batches few large inputs; shim treats as `PerIteration`.
+    LargeInput,
+}
+
+/// Composite benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        black_box(&out);
+    }
+
+    /// Times `routine` on a fresh `setup()` input, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.samples.push(start.elapsed());
+        black_box(&out);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Runs and reports one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len().max(1) as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{}: mean {:?}, min {:?} over {} samples",
+            self.name,
+            id,
+            mean,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// `true` when the binary was invoked by `cargo bench` (which passes
+/// `--bench` to `harness = false` targets). Anything else — notably
+/// `cargo test` — must not execute benchmark workloads.
+pub fn should_run_benchmarks() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::should_run_benchmarks() {
+                println!("criterion shim: not invoked with --bench, skipping");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut runs = 0;
+        group.bench_function("counting", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("ctcr", 0.8).to_string(), "ctcr/0.8");
+    }
+}
