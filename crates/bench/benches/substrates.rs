@@ -94,7 +94,10 @@ fn bench(c: &mut Criterion) {
     let rows = embeddings(&ds.instance, 1);
     group.bench_function("set_embeddings", |b| b.iter(|| embeddings(&ds.instance, 1)));
     group.bench_function("agglomerative_upgma", |b| {
-        b.iter(|| cluster(CondensedMatrix::euclidean_sparse(&rows), Linkage::Average))
+        b.iter(|| {
+            cluster(CondensedMatrix::euclidean_sparse(&rows), Linkage::Average)
+                .expect("finite distances")
+        })
     });
     group.finish();
 }

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h
-//!   table1 traintest cohesiveness ablations stages all
+//!   table1 traintest cohesiveness ablations stages scaling all
 //! ```
 
 use std::env;
@@ -50,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|stages|all> [--scale S] [--repetitions R] [--metrics FILE]".to_owned()
+    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|stages|scaling|all> [--scale S] [--repetitions R] [--metrics FILE]".to_owned()
 }
 
 fn run_one(
@@ -137,6 +137,11 @@ fn run_one(
                 println!("\nwrote pipeline metrics to {path}");
             }
         }
+        "scaling" => {
+            println!("# Scaling — serial vs N-thread scoring and matrix build, dataset C\n");
+            let (_, table) = experiments::scaling(scale);
+            println!("{}", table.render());
+        }
         other => return Err(format!("unknown experiment {other}\n{}", usage())),
     }
     Ok(())
@@ -165,6 +170,7 @@ fn main() -> ExitCode {
         "variants",
         "public",
         "stages",
+        "scaling",
     ];
     let result = if args.experiment == "all" {
         all.iter().try_for_each(|name| {

@@ -8,10 +8,12 @@
 
 use std::time::Instant;
 
+use oct_cluster::CondensedMatrix;
 use oct_core::ctcr::{self, CtcrConfig};
-use oct_core::score::score_tree;
+use oct_core::score::{score_tree, score_tree_with, ScoreOptions};
 use oct_core::similarity::{Similarity, SimilarityKind};
 use oct_core::update;
+use oct_datagen::embeddings::item_embeddings;
 use oct_datagen::tfidf;
 use oct_datagen::{generate, DatasetName, GeneratedDataset};
 use rand::rngs::StdRng;
@@ -264,6 +266,98 @@ pub fn stages(scale: f64) -> (oct_obs::PipelineReport, Table) {
         table.row(vec![name.clone(), format!("{value}"), String::new()]);
     }
     (report, table)
+}
+
+/// Serial-vs-parallel wall time of one operation at one thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Operation measured (`score_tree` or `matrix_build`).
+    pub operation: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-three wall time in seconds.
+    pub seconds: f64,
+    /// Serial time / this time.
+    pub speedup: f64,
+}
+
+/// The "scaling" experiment: serial vs N-thread wall time of the two
+/// parallelized kernels — scoring a large (IC-Q binary) tree and building a
+/// dense item-embedding distance matrix — on dataset C (threshold Jaccard
+/// δ = 0.8). Every parallel result is asserted identical to the serial one
+/// before it is timed into the table, so the experiment doubles as an
+/// end-to-end determinism check. Speedups above 1 require actual cores;
+/// on a single-CPU host the table shows the (small) coordination overhead.
+pub fn scaling(scale: f64) -> (Vec<ScalingPoint>, Table) {
+    const THREADS: [usize; 3] = [1, 2, 4];
+    const REPS: usize = 3;
+    let ds = generate(DatasetName::C, scale, Similarity::jaccard_threshold(0.8));
+    let config = RunnerConfig::default();
+    let trees = crate::runner::build_baseline_trees(&ds, &config);
+    let embeddings = item_embeddings(&ds.catalog);
+
+    let mut points = Vec::new();
+    let mut table = Table::new(vec!["operation", "threads", "time (s)", "speedup"]);
+    let mut record = |operation: &'static str, threads: usize, seconds: f64, serial: f64| {
+        let speedup = if seconds > 0.0 { serial / seconds } else { 1.0 };
+        table.row(vec![
+            operation.to_string(),
+            threads.to_string(),
+            format!("{seconds:.4}"),
+            format!("{speedup:.2}x"),
+        ]);
+        points.push(ScalingPoint {
+            operation,
+            threads,
+            seconds,
+            speedup,
+        });
+    };
+
+    // Kernel 1: scoring the IC-Q tree (one category per item-cluster merge —
+    // the largest tree shape the pipelines produce).
+    let reference = score_tree_with(&ds.instance, &trees.ic_q, &ScoreOptions::serial());
+    let mut serial_secs = 0.0;
+    for threads in THREADS {
+        let options = ScoreOptions::with_threads(threads);
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let score = score_tree_with(&ds.instance, &trees.ic_q, &options);
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(
+                score, reference,
+                "parallel scoring diverged at {threads} threads"
+            );
+        }
+        if threads == 1 {
+            serial_secs = best;
+        }
+        record("score_tree", threads, best, serial_secs);
+    }
+
+    // Kernel 2: dense distance-matrix build over the item embeddings.
+    let disabled = oct_obs::Metrics::disabled();
+    let reference = CondensedMatrix::euclidean_dense_with(&embeddings, 1, &disabled)
+        .expect("catalog embeddings share one dimension");
+    let mut serial_secs = 0.0;
+    for threads in THREADS {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let matrix = CondensedMatrix::euclidean_dense_with(&embeddings, threads, &disabled)
+                .expect("catalog embeddings share one dimension");
+            best = best.min(start.elapsed().as_secs_f64());
+            let identical =
+                (0..matrix.len()).all(|i| (0..i).all(|j| matrix.get(i, j) == reference.get(i, j)));
+            assert!(identical, "parallel matrix diverged at {threads} threads");
+        }
+        if threads == 1 {
+            serial_secs = best;
+        }
+        record("matrix_build", threads, best, serial_secs);
+    }
+    (points, table)
 }
 
 /// Train/test generalization result.

@@ -4,7 +4,7 @@ use oct_core::baselines::{self, BaselineConfig};
 use oct_core::cct::{self, CctConfig};
 use oct_core::ctcr::{self, CtcrConfig};
 use oct_core::input::Instance;
-use oct_core::score::score_tree;
+use oct_core::score::{score_tree_with, ScoreOptions};
 use oct_core::tree::CategoryTree;
 use oct_datagen::embeddings::item_embeddings;
 use oct_datagen::GeneratedDataset;
@@ -46,6 +46,8 @@ pub struct RunnerConfig {
     pub cct: CctConfig,
     /// Baseline (item clustering) configuration.
     pub baseline: BaselineConfig,
+    /// Scoring options for the standalone (baseline / ET) score passes.
+    pub score: ScoreOptions,
 }
 
 /// The δ-independent baseline trees of a dataset: IC-S and IC-Q cluster
@@ -82,9 +84,9 @@ pub fn score_with_baselines(
     AlgoScores {
         ctcr: ctcr_result.score.normalized,
         cct: cct_result.score.normalized,
-        ic_s: score_tree(instance, &baselines_trees.ic_s).normalized,
-        ic_q: score_tree(instance, &baselines_trees.ic_q).normalized,
-        et: score_tree(instance, &dataset.existing).normalized,
+        ic_s: score_tree_with(instance, &baselines_trees.ic_s, &config.score).normalized,
+        ic_q: score_tree_with(instance, &baselines_trees.ic_q, &config.score).normalized,
+        et: score_tree_with(instance, &dataset.existing, &config.score).normalized,
     }
 }
 

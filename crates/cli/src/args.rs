@@ -7,14 +7,17 @@ pub const USAGE: &str = "\
 usage:
   octree build   --log FILE --items N [--variant V] [--delta D] [--out FILE]
                  [--no-merge] [--min-frequency F] [--labels] [--metrics FILE]
+                 [--threads T]
   octree score   --tree FILE --log FILE --items N [--variant V] [--delta D]
+                 [--threads T]
   octree inspect --tree FILE [--depth K]
   octree export  --dataset A|B|C|D|E [--scale S] [--out FILE]
   octree dot     --tree FILE [--depth K] [--out FILE]
   octree diff    --tree FILE --against FILE --items N
 
 variants: threshold-jaccard (default) | cutoff-jaccard | threshold-f1 |
-          cutoff-f1 | perfect-recall | exact";
+          cutoff-f1 | perfect-recall | exact
+threads:  0 = auto (all cores, default), 1 = serial, N = N workers";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +40,8 @@ pub enum Command {
         labels: bool,
         /// Write a per-stage telemetry report (JSON) to this path.
         metrics: Option<String>,
+        /// Worker threads (0 = auto).
+        threads: usize,
     },
     /// Score an existing tree against a log.
     Score {
@@ -48,6 +53,8 @@ pub enum Command {
         items: u32,
         /// Similarity variant + δ.
         similarity: Similarity,
+        /// Worker threads (0 = auto).
+        threads: usize,
     },
     /// Print a tree's structure.
     Inspect {
@@ -139,6 +146,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             .parse()
             .map_err(|_| "bad --items value".to_owned())
     };
+    let threads = |flags: &std::collections::HashMap<String, String>| -> Result<usize, String> {
+        flags
+            .get("threads")
+            .map(|t| t.parse().map_err(|_| format!("bad --threads value {t:?}")))
+            .transpose()
+            .map(|t| t.unwrap_or(0))
+    };
 
     match command.as_str() {
         "build" => Ok(Command::Build {
@@ -154,12 +168,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or(0.0),
             labels: switches.contains("labels"),
             metrics: flags.get("metrics").cloned(),
+            threads: threads(&flags)?,
         }),
         "score" => Ok(Command::Score {
             tree: required(&flags, "tree")?,
             log: required(&flags, "log")?,
             items: items(&flags)?,
             similarity: similarity(&flags)?,
+            threads: threads(&flags)?,
         }),
         "inspect" => Ok(Command::Inspect {
             tree: required(&flags, "tree")?,
@@ -208,7 +224,7 @@ mod tests {
     fn parses_build() {
         let cmd = parse(&argv(
             "build --log q.tsv --items 100 --variant perfect-recall --delta 0.6 --labels \
-             --metrics m.json",
+             --metrics m.json --threads 4",
         ))
         .expect("valid");
         match cmd {
@@ -219,6 +235,7 @@ mod tests {
                 labels,
                 no_merge,
                 metrics,
+                threads,
                 ..
             } => {
                 assert_eq!(log, "q.tsv");
@@ -228,9 +245,21 @@ mod tests {
                 assert!(labels);
                 assert!(!no_merge);
                 assert_eq!(metrics.as_deref(), Some("m.json"));
+                assert_eq!(threads, 4);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        let cmd = parse(&argv("score --tree t.oct --log q.tsv --items 5")).expect("valid");
+        if let Command::Score { threads, .. } = cmd {
+            assert_eq!(threads, 0, "0 = auto");
+        } else {
+            panic!();
+        }
+        assert!(parse(&argv("score --tree t --log q --items 5 --threads x")).is_err());
     }
 
     #[test]

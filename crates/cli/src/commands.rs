@@ -8,7 +8,7 @@ use oct_core::itemset::ItemSet;
 use oct_core::labeling;
 use oct_core::navigation;
 use oct_core::persist;
-use oct_core::score::score_tree;
+use oct_core::score::{score_tree_with, ScoreOptions};
 use oct_core::similarity::Similarity;
 use oct_core::tree::{CategoryTree, ROOT};
 use oct_datagen::loader;
@@ -43,6 +43,7 @@ pub fn run(command: Command) -> Result<(), String> {
             min_frequency,
             labels,
             metrics,
+            threads,
         } => build(
             &log,
             items,
@@ -52,13 +53,15 @@ pub fn run(command: Command) -> Result<(), String> {
             min_frequency,
             labels,
             metrics.as_deref(),
+            threads,
         ),
         Command::Score {
             tree,
             log,
             items,
             similarity,
-        } => score(&tree, &log, items, similarity),
+            threads,
+        } => score(&tree, &log, items, similarity, threads),
         Command::Inspect { tree, depth } => inspect(&tree, depth),
         Command::Export {
             dataset,
@@ -200,6 +203,7 @@ fn build(
     min_frequency: f64,
     labels: bool,
     metrics_out: Option<&str>,
+    threads: usize,
 ) -> Result<(), String> {
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, no_merge, min_frequency)?;
@@ -213,6 +217,7 @@ fn build(
     let metrics = Metrics::new(metrics_out.is_some());
     let config = CtcrConfig {
         metrics: metrics.clone(),
+        threads,
         ..CtcrConfig::default()
     };
     let mut result = ctcr::run(&instance, &config);
@@ -254,11 +259,12 @@ fn score(
     log_path: &str,
     items: u32,
     similarity: Similarity,
+    threads: usize,
 ) -> Result<(), String> {
     let tree = read_tree(tree_path)?;
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, true, 0.0)?;
-    let score = score_tree(&instance, &tree);
+    let score = score_tree_with(&instance, &tree, &ScoreOptions::with_threads(threads));
     out!(
         "score {:.3} normalized | {}/{} sets covered | total {:.1} of weight {:.1}",
         score.normalized,
@@ -431,6 +437,7 @@ mod tests {
             0.0,
             true,
             Some(metrics_path.to_str().expect("utf8")),
+            2,
         )
         .expect("build succeeds");
         let report = oct_obs::PipelineReport::from_json(
@@ -444,6 +451,7 @@ mod tests {
             log_path.to_str().expect("utf8"),
             ds.catalog.len() as u32,
             Similarity::jaccard_threshold(0.8),
+            2,
         )
         .expect("score succeeds");
         inspect(tree_path.to_str().expect("utf8"), 2).expect("inspect succeeds");

@@ -10,6 +10,7 @@
 use oct_obs::Metrics;
 
 use crate::dendrogram::{Dendrogram, Merge};
+use crate::error::ClusterError;
 use crate::matrix::CondensedMatrix;
 
 /// Linkage criterion for agglomerative clustering.
@@ -27,22 +28,34 @@ pub enum Linkage {
 
 /// Runs agglomerative clustering over the distance matrix, consuming it as
 /// working storage. Returns a full dendrogram with `n − 1` merges.
-pub fn cluster(dist: CondensedMatrix, linkage: Linkage) -> Dendrogram {
+///
+/// # Errors
+/// Returns [`ClusterError::NonFiniteDistance`] when the matrix holds a NaN
+/// or infinite entry. NN-chain's nearest-neighbor scan compares with
+/// `d < nearest_d`, which is always false against NaN — without this guard
+/// a single bad entry leaves `nearest = usize::MAX` and the chain panics on
+/// index (or livelocks), so bad input is rejected up front instead.
+pub fn cluster(dist: CondensedMatrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
     cluster_with_metrics(dist, linkage, &Metrics::disabled())
 }
 
 /// [`cluster`] with telemetry: the NN-chain run is timed under the
 /// `cluster/nn_chain` span and the `cluster/leaves` / `cluster/merges`
 /// counters record the dendrogram size.
+///
+/// # Errors
+/// Returns [`ClusterError::NonFiniteDistance`] on NaN/∞ matrix entries; see
+/// [`cluster`].
 pub fn cluster_with_metrics(
     mut dist: CondensedMatrix,
     linkage: Linkage,
     metrics: &Metrics,
-) -> Dendrogram {
+) -> Result<Dendrogram, ClusterError> {
+    dist.validate_finite()?;
     let _span = metrics.span("cluster/nn_chain");
     let n = dist.len();
     if n == 0 {
-        return Dendrogram::new(0, Vec::new());
+        return Ok(Dendrogram::new(0, Vec::new()));
     }
     if linkage == Linkage::Ward {
         // Lance–Williams for Ward operates on squared distances.
@@ -144,7 +157,7 @@ pub fn cluster_with_metrics(
     }
     metrics.add("cluster/leaves", n as u64);
     metrics.add("cluster/merges", merges.len() as u64);
-    Dendrogram::new(n, merges)
+    Ok(Dendrogram::new(n, merges))
 }
 
 #[cfg(test)]
@@ -153,23 +166,51 @@ mod tests {
 
     fn points_1d(xs: &[f32]) -> CondensedMatrix {
         let rows: Vec<Vec<f32>> = xs.iter().map(|&x| vec![x]).collect();
-        CondensedMatrix::euclidean_dense(&rows)
+        CondensedMatrix::euclidean_dense(&rows).expect("consistent dims")
     }
 
     #[test]
     fn empty_and_singleton() {
-        let d = cluster(CondensedMatrix::zeros(0), Linkage::Average);
+        let d = cluster(CondensedMatrix::zeros(0), Linkage::Average).expect("finite");
         assert_eq!(d.num_leaves(), 0);
-        let d = cluster(CondensedMatrix::zeros(1), Linkage::Average);
+        let d = cluster(CondensedMatrix::zeros(1), Linkage::Average).expect("finite");
         assert_eq!(d.num_leaves(), 1);
         assert!(d.merges().is_empty());
         assert_eq!(d.roots(), vec![0]);
     }
 
     #[test]
+    fn nan_distance_rejected() {
+        let mut m = points_1d(&[0.0, 1.0, 2.0, 3.0]);
+        m.set(0, 2, f32::NAN);
+        match cluster(m, Linkage::Average).unwrap_err() {
+            ClusterError::NonFiniteDistance { i, j, value } => {
+                assert_eq!((i, j), (0, 2));
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_distance_rejected() {
+        let mut m = points_1d(&[0.0, 1.0, 2.0]);
+        m.set(1, 2, f32::INFINITY);
+        assert_eq!(
+            cluster(m, Linkage::Ward).unwrap_err(),
+            ClusterError::NonFiniteDistance {
+                i: 1,
+                j: 2,
+                value: f32::INFINITY
+            }
+        );
+    }
+
+    #[test]
     fn metrics_count_merges() {
         let m = Metrics::enabled();
-        let d = cluster_with_metrics(points_1d(&[0.0, 1.0, 5.0, 6.0]), Linkage::Average, &m);
+        let d = cluster_with_metrics(points_1d(&[0.0, 1.0, 5.0, 6.0]), Linkage::Average, &m)
+            .expect("finite");
         assert_eq!(d.merges().len(), 3);
         let report = m.report();
         assert_eq!(report.counter("cluster/leaves"), Some(4));
@@ -179,7 +220,7 @@ mod tests {
 
     #[test]
     fn two_points() {
-        let d = cluster(points_1d(&[0.0, 3.0]), Linkage::Single);
+        let d = cluster(points_1d(&[0.0, 3.0]), Linkage::Single).expect("finite");
         assert_eq!(d.merges().len(), 1);
         assert_eq!(d.merges()[0].distance, 3.0);
     }
@@ -193,7 +234,7 @@ mod tests {
             Linkage::Average,
             Linkage::Ward,
         ] {
-            let d = cluster(points_1d(&[0.0, 0.1, 10.0, 10.1]), linkage);
+            let d = cluster(points_1d(&[0.0, 0.1, 10.0, 10.1]), linkage).expect("finite");
             assert_eq!(d.merges().len(), 3);
             let first_two: Vec<(u32, u32)> = d
                 .merges()
@@ -211,7 +252,7 @@ mod tests {
     fn average_linkage_distance_matches_upgma() {
         // Clusters {0,1} at 0 and 1; point 2 at 10.
         // UPGMA distance from {0,1} to {2} = (10 + 9) / 2 = 9.5.
-        let d = cluster(points_1d(&[0.0, 1.0, 10.0]), Linkage::Average);
+        let d = cluster(points_1d(&[0.0, 1.0, 10.0]), Linkage::Average).expect("finite");
         assert_eq!(d.merges().len(), 2);
         assert!((d.merges()[1].distance - 9.5).abs() < 1e-5);
     }
@@ -219,7 +260,7 @@ mod tests {
     #[test]
     fn single_linkage_chains() {
         // Equally spaced points: single linkage merges at distance 1 always.
-        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0]), Linkage::Single);
+        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0]), Linkage::Single).expect("finite");
         assert!(d.merges().iter().all(|m| (m.distance - 1.0).abs() < 1e-6));
     }
 
@@ -231,7 +272,7 @@ mod tests {
                 xs.push(c as f32 * 100.0 + i as f32);
             }
         }
-        let d = cluster(points_1d(&xs), Linkage::Average);
+        let d = cluster(points_1d(&xs), Linkage::Average).expect("finite");
         let labels = d.cut(3);
         for c in 0..3 {
             let base = labels[c * 5];
@@ -241,7 +282,7 @@ mod tests {
 
     #[test]
     fn merge_sizes_accumulate() {
-        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0, 4.0]), Linkage::Ward);
+        let d = cluster(points_1d(&[0.0, 1.0, 2.0, 3.0, 4.0]), Linkage::Ward).expect("finite");
         let last = d.merges().last().expect("full dendrogram");
         assert_eq!(last.size, 5);
     }

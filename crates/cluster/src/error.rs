@@ -1,0 +1,69 @@
+//! Typed errors shared by the matrix builders and the clustering entry
+//! points.
+
+/// Invalid input to a matrix builder or to the NN-chain clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterError {
+    /// Rows passed to a matrix builder disagree on dimensionality.
+    DimensionMismatch {
+        /// Index of the first offending row.
+        row: usize,
+        /// Dimension of row 0, taken as the reference.
+        expected: usize,
+        /// Dimension found at `row`.
+        found: usize,
+    },
+    /// A distance-matrix entry is NaN or infinite. NN-chain relies on
+    /// totally-ordered finite distances; a NaN would poison every
+    /// nearest-neighbor comparison (`d < nearest_d` is always false) and
+    /// leave the chain without a valid neighbor.
+    NonFiniteDistance {
+        /// First point of the offending pair.
+        i: usize,
+        /// Second point of the offending pair (`i < j`).
+        j: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::DimensionMismatch {
+                row,
+                expected,
+                found,
+            } => write!(
+                f,
+                "row {row} has dimension {found}, expected {expected} (dimension of row 0)"
+            ),
+            ClusterError::NonFiniteDistance { i, j, value } => {
+                write!(f, "distance between points {i} and {j} is {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = ClusterError::DimensionMismatch {
+            row: 3,
+            expected: 2,
+            found: 5,
+        };
+        assert!(e.to_string().contains("row 3"));
+        let e = ClusterError::NonFiniteDistance {
+            i: 1,
+            j: 4,
+            value: f32::NAN,
+        };
+        assert!(e.to_string().contains("1 and 4"));
+    }
+}

@@ -16,8 +16,10 @@
 pub mod agglomerative;
 pub mod bisecting;
 pub mod dendrogram;
+pub mod error;
 pub mod matrix;
 
 pub use agglomerative::{cluster, cluster_with_metrics, Linkage};
 pub use dendrogram::{Dendrogram, Merge};
+pub use error::ClusterError;
 pub use matrix::CondensedMatrix;

@@ -1,4 +1,21 @@
 //! Condensed pairwise-distance matrices.
+//!
+//! Both builders split the condensed storage into disjoint row-chunk ranges
+//! and fill them from `std::thread::scope` workers, so large matrices build
+//! on every core. The output is bit-identical for every thread count: each
+//! condensed entry is computed by exactly one worker with the same
+//! per-entry arithmetic, and the sparse builder accumulates dot products
+//! over coordinate-sorted postings in a fixed order.
+
+use std::collections::HashMap;
+
+use oct_obs::Metrics;
+
+use crate::error::ClusterError;
+
+/// Condensed entries below this count are built serially even when more
+/// threads are available (spawning would cost more than the fill).
+const PARALLEL_MIN_ENTRIES: usize = 4096;
 
 /// A symmetric zero-diagonal distance matrix over `n` points stored in
 /// condensed form (`n·(n−1)/2` entries, `f32`).
@@ -18,70 +35,152 @@ impl CondensedMatrix {
         }
     }
 
-    /// Builds the Euclidean distance matrix of dense row vectors.
+    /// Builds the Euclidean distance matrix of dense row vectors, using all
+    /// available cores for large inputs.
     ///
-    /// # Panics
-    /// Panics if rows have inconsistent dimensions.
-    pub fn euclidean_dense(rows: &[Vec<f32>]) -> Self {
+    /// # Errors
+    /// Returns [`ClusterError::DimensionMismatch`] when rows disagree on
+    /// dimension (row 0 is the reference; the check applies uniformly, also
+    /// to empty and single-row inputs).
+    pub fn euclidean_dense(rows: &[Vec<f32>]) -> Result<Self, ClusterError> {
+        Self::euclidean_dense_with(rows, 0, &Metrics::disabled())
+    }
+
+    /// [`CondensedMatrix::euclidean_dense`] with an explicit worker count
+    /// (`0` = auto, `1` = serial) and telemetry: the fill is timed under the
+    /// `matrix/build` span and `matrix/entries` counts the condensed entries
+    /// computed.
+    pub fn euclidean_dense_with(
+        rows: &[Vec<f32>],
+        threads: usize,
+        metrics: &Metrics,
+    ) -> Result<Self, ClusterError> {
+        let d = rows.first().map_or(0, Vec::len);
+        if let Some(row) = rows.iter().position(|r| r.len() != d) {
+            return Err(ClusterError::DimensionMismatch {
+                row,
+                expected: d,
+                found: rows[row].len(),
+            });
+        }
+        let _span = metrics.span("matrix/build");
         let n = rows.len();
-        if n > 1 {
-            let d = rows[0].len();
-            assert!(
-                rows.iter().all(|r| r.len() == d),
-                "all rows must share a dimension"
-            );
-        }
         let mut m = Self::zeros(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let dist: f32 = rows[i]
-                    .iter()
-                    .zip(&rows[j])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    .sqrt();
-                m.set(i, j, dist);
+        let fill = |out: &mut [f32], lo: usize, hi: usize| {
+            let mut k = 0;
+            for i in lo..hi {
+                for j in (i + 1)..n {
+                    out[k] = rows[i]
+                        .iter()
+                        .zip(&rows[j])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                        .sqrt();
+                    k += 1;
+                }
             }
-        }
-        m
+        };
+        fill_row_chunks(n, &mut m.data, threads, &fill);
+        metrics.add("matrix/entries", m.data.len() as u64);
+        Ok(m)
     }
 
     /// Builds the Euclidean distance matrix of sparse row vectors given as
-    /// sorted `(coordinate, value)` pairs.
+    /// sorted `(coordinate, value)` pairs, using all available cores for
+    /// large inputs.
     ///
     /// Exploits sparsity: `d(a,b)² = ‖a‖² + ‖b‖² − 2⟨a,b⟩`, with dot products
     /// computed through an inverted index over non-zero coordinates, so fully
     /// disjoint supports never touch each other beyond the norm term.
     pub fn euclidean_sparse(rows: &[Vec<(u32, f32)>]) -> Self {
+        Self::euclidean_sparse_with(rows, 0, &Metrics::disabled())
+    }
+
+    /// [`CondensedMatrix::euclidean_sparse`] with an explicit worker count
+    /// (`0` = auto, `1` = serial) and telemetry (`matrix/build` span,
+    /// `matrix/entries` / `matrix/dot_pairs` counters).
+    ///
+    /// Dot products accumulate over coordinate-sorted postings split into
+    /// contiguous chunks merged in order, so every thread count produces the
+    /// same floating-point sums.
+    pub fn euclidean_sparse_with(
+        rows: &[Vec<(u32, f32)>],
+        threads: usize,
+        metrics: &Metrics,
+    ) -> Self {
+        let _span = metrics.span("matrix/build");
         let n = rows.len();
+        let entries = n * n.saturating_sub(1) / 2;
+        let threads = resolve_threads(threads, entries);
         let norms: Vec<f64> = rows
             .iter()
             .map(|r| r.iter().map(|&(_, v)| (v as f64) * (v as f64)).sum())
             .collect();
-        // Inverted index: coordinate -> [(row, value)].
-        let mut index: std::collections::HashMap<u32, Vec<(u32, f32)>> =
-            std::collections::HashMap::new();
+        // Inverted index: coordinate -> [(row, value)], coordinate-sorted so
+        // chunked accumulation is deterministic.
+        let mut index: HashMap<u32, Vec<(u32, f32)>> = HashMap::new();
         for (i, row) in rows.iter().enumerate() {
             for &(c, v) in row {
                 index.entry(c).or_default().push((i as u32, v));
             }
         }
-        let mut dots: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
-        for posting in index.values() {
-            for (a, &(i, vi)) in posting.iter().enumerate() {
-                for &(j, vj) in &posting[a + 1..] {
-                    *dots.entry((i, j)).or_insert(0.0) += (vi as f64) * (vj as f64);
+        let mut postings: Vec<(u32, Vec<(u32, f32)>)> = index.into_iter().collect();
+        postings.sort_unstable_by_key(|&(c, _)| c);
+
+        let dot_chunk = |lo: usize, hi: usize| -> HashMap<(u32, u32), f64> {
+            let mut dots: HashMap<(u32, u32), f64> = HashMap::new();
+            for (_, posting) in &postings[lo..hi] {
+                for (a, &(i, vi)) in posting.iter().enumerate() {
+                    for &(j, vj) in &posting[a + 1..] {
+                        *dots.entry((i, j)).or_insert(0.0) += (vi as f64) * (vj as f64);
+                    }
                 }
             }
-        }
-        let mut m = Self::zeros(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let dot = dots.get(&(i as u32, j as u32)).copied().unwrap_or(0.0);
-                let sq = (norms[i] + norms[j] - 2.0 * dot).max(0.0);
-                m.set(i, j, sq.sqrt() as f32);
+            dots
+        };
+        let dots = if threads <= 1 || postings.len() < 2 {
+            dot_chunk(0, postings.len())
+        } else {
+            let chunk = postings.len().div_ceil(threads);
+            let partials = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .filter_map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(postings.len());
+                        (lo < hi).then(|| scope.spawn(move || dot_chunk(lo, hi)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect::<Vec<_>>()
+            });
+            // Contiguous chunks merged in order: per-key addition order
+            // matches the serial pass exactly.
+            let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
+            for partial in partials {
+                for (key, dot) in partial {
+                    *merged.entry(key).or_insert(0.0) += dot;
+                }
             }
-        }
+            merged
+        };
+        metrics.add("matrix/dot_pairs", dots.len() as u64);
+
+        let mut m = Self::zeros(n);
+        let fill = |out: &mut [f32], lo: usize, hi: usize| {
+            let mut k = 0;
+            for i in lo..hi {
+                for j in (i + 1)..n {
+                    let dot = dots.get(&(i as u32, j as u32)).copied().unwrap_or(0.0);
+                    let sq = (norms[i] + norms[j] - 2.0 * dot).max(0.0);
+                    out[k] = sq.sqrt() as f32;
+                    k += 1;
+                }
+            }
+        };
+        fill_row_chunks(n, &mut m.data, threads, &fill);
+        metrics.add("matrix/entries", m.data.len() as u64);
         m
     }
 
@@ -95,6 +194,28 @@ impl CondensedMatrix {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Checks that every entry is finite, naming the first offending pair
+    /// otherwise. Clustering calls this at entry so a stray NaN surfaces as
+    /// an error instead of corrupting the NN-chain.
+    pub fn validate_finite(&self) -> Result<(), ClusterError> {
+        let Some(pos) = self.data.iter().position(|v| !v.is_finite()) else {
+            return Ok(());
+        };
+        // Recover (i, j) from the condensed position (error path only).
+        let mut i = 0;
+        let mut row_start = 0;
+        while row_start + (self.n - 1 - i) <= pos {
+            row_start += self.n - 1 - i;
+            i += 1;
+        }
+        let j = i + 1 + (pos - row_start);
+        Err(ClusterError::NonFiniteDistance {
+            i,
+            j,
+            value: self.data[pos],
+        })
     }
 
     #[inline]
@@ -126,6 +247,84 @@ impl CondensedMatrix {
     }
 }
 
+/// Resolves a thread-count knob: `0` = auto (all cores, serial below
+/// [`PARALLEL_MIN_ENTRIES`] of work), otherwise the explicit count.
+fn resolve_threads(threads: usize, work: usize) -> usize {
+    if threads == 0 {
+        if work < PARALLEL_MIN_ENTRIES {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    } else {
+        threads
+    }
+}
+
+/// Number of condensed entries in rows `lo..hi` of an `n`-point matrix.
+fn entries_in_rows(n: usize, lo: usize, hi: usize) -> usize {
+    let offset = |i: usize| i * n - i * (i + 1) / 2;
+    offset(hi) - offset(lo)
+}
+
+/// Splits rows `0..n` into contiguous chunks of roughly equal condensed
+/// entry counts (row `i` holds `n − 1 − i` entries, so equal row counts
+/// would be badly skewed).
+fn row_chunks(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let total = n * n.saturating_sub(1) / 2;
+    if parts <= 1 || total == 0 {
+        return if n == 0 { Vec::new() } else { vec![(0, n)] };
+    }
+    let target = total.div_ceil(parts);
+    let mut out = Vec::new();
+    let mut lo = 0;
+    let mut acc = 0;
+    for i in 0..n {
+        acc += n - 1 - i;
+        if acc >= target && i + 1 < n {
+            out.push((lo, i + 1));
+            lo = i + 1;
+            acc = 0;
+        }
+    }
+    if lo < n {
+        out.push((lo, n));
+    }
+    out
+}
+
+/// Runs `fill(chunk_storage, lo, hi)` over disjoint row chunks of the
+/// condensed storage, in parallel when more than one chunk is requested.
+/// Each worker owns the exact `&mut [f32]` range its rows map to, so no
+/// synchronization is needed and the result is independent of scheduling.
+fn fill_row_chunks<F>(n: usize, data: &mut [f32], threads: usize, fill: &F)
+where
+    F: Fn(&mut [f32], usize, usize) + Sync,
+{
+    let threads = resolve_threads(threads, data.len());
+    let chunks = row_chunks(n, threads);
+    if chunks.len() <= 1 {
+        if !data.is_empty() {
+            fill(data, 0, n);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(chunks.len());
+        for &(lo, hi) in &chunks {
+            let (head, tail) = rest.split_at_mut(entries_in_rows(n, lo, hi));
+            rest = tail;
+            handles.push(scope.spawn(move || fill(head, lo, hi)));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,9 +342,31 @@ mod tests {
     #[test]
     fn dense_euclidean() {
         let rows = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]];
-        let m = CondensedMatrix::euclidean_dense(&rows);
+        let m = CondensedMatrix::euclidean_dense(&rows).expect("consistent dims");
         assert!((m.get(0, 1) - 5.0).abs() < 1e-6);
         assert!((m.get(0, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_rejects_dimension_mismatch() {
+        let rows = vec![vec![0.0, 0.0], vec![1.0]];
+        let err = CondensedMatrix::euclidean_dense(&rows).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::DimensionMismatch {
+                row: 1,
+                expected: 2,
+                found: 1
+            }
+        );
+        // The check is uniform: a lone row is fine, but the reference
+        // dimension logic no longer special-cases n ≤ 1.
+        assert_eq!(
+            CondensedMatrix::euclidean_dense(&[vec![1.0]])
+                .expect("single row")
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -165,7 +386,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let md = CondensedMatrix::euclidean_dense(&dense);
+        let md = CondensedMatrix::euclidean_dense(&dense).expect("consistent dims");
         let ms = CondensedMatrix::euclidean_sparse(&sparse);
         for i in 0..3 {
             for j in 0..3 {
@@ -177,7 +398,108 @@ mod tests {
     #[test]
     fn empty_and_single_point() {
         assert!(CondensedMatrix::zeros(0).is_empty());
-        let m = CondensedMatrix::euclidean_dense(&[vec![1.0]]);
+        let m = CondensedMatrix::euclidean_dense(&[vec![1.0]]).expect("single row");
         assert_eq!(m.len(), 1);
+        assert!(CondensedMatrix::euclidean_dense(&[])
+            .expect("no rows")
+            .is_empty());
+    }
+
+    /// Deterministic pseudo-random rows without pulling in a RNG.
+    fn synth_rows(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let h = (i as u64 * 31 + j as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .rotate_left(17);
+                        (h % 1000) as f32 / 100.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_parallel_matches_serial_bit_for_bit() {
+        let rows = synth_rows(67, 5);
+        let serial = CondensedMatrix::euclidean_dense_with(&rows, 1, &Metrics::disabled())
+            .expect("consistent dims");
+        for threads in [2, 4] {
+            let parallel =
+                CondensedMatrix::euclidean_dense_with(&rows, threads, &Metrics::disabled())
+                    .expect("consistent dims");
+            assert_eq!(serial.data, parallel.data, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sparse_parallel_matches_serial_bit_for_bit() {
+        // Overlapping supports so dot products genuinely accumulate across
+        // posting chunks.
+        let rows: Vec<Vec<(u32, f32)>> = (0..50)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i + j * 7) % 40, 1.0 + (i * j) as f32 * 0.01))
+                    .collect::<Vec<(u32, f32)>>()
+            })
+            .map(|mut r| {
+                r.sort_unstable_by_key(|&(c, _)| c);
+                r.dedup_by_key(|&mut (c, _)| c);
+                r
+            })
+            .collect();
+        let serial = CondensedMatrix::euclidean_sparse_with(&rows, 1, &Metrics::disabled());
+        for threads in [2, 4] {
+            let parallel =
+                CondensedMatrix::euclidean_sparse_with(&rows, threads, &Metrics::disabled());
+            assert_eq!(serial.data, parallel.data, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn row_chunks_cover_all_rows_disjointly() {
+        for n in [0usize, 1, 2, 3, 10, 67] {
+            for parts in [1usize, 2, 3, 4, 16] {
+                let chunks = row_chunks(n, parts);
+                let mut expected_lo = 0;
+                let mut entries = 0;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, expected_lo);
+                    assert!(lo < hi);
+                    entries += entries_in_rows(n, lo, hi);
+                    expected_lo = hi;
+                }
+                if n > 0 {
+                    assert_eq!(expected_lo, n, "n={n} parts={parts}");
+                }
+                assert_eq!(entries, n * n.saturating_sub(1) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_finite_names_the_pair() {
+        let mut m = CondensedMatrix::zeros(5);
+        assert!(m.validate_finite().is_ok());
+        m.set(2, 4, f32::NAN);
+        match m.validate_finite().unwrap_err() {
+            ClusterError::NonFiniteDistance { i, j, value } => {
+                assert_eq!((i, j), (2, 4));
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_records_metrics() {
+        let metrics = Metrics::enabled();
+        let rows = synth_rows(10, 3);
+        CondensedMatrix::euclidean_dense_with(&rows, 2, &metrics).expect("consistent dims");
+        let report = metrics.report();
+        assert_eq!(report.counter("matrix/entries"), Some(45));
+        assert!(report.span("matrix/build").is_some());
     }
 }

@@ -68,8 +68,8 @@ proptest! {
     #[test]
     fn nn_chain_matches_naive_merge_distances(points in arb_points(12, 2)) {
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
-            let matrix = CondensedMatrix::euclidean_dense(&points);
-            let dendro = cluster(matrix, linkage);
+            let matrix = CondensedMatrix::euclidean_dense(&points).expect("consistent dims");
+            let dendro = cluster(matrix, linkage).expect("finite distances");
             let mut ours: Vec<f32> = dendro.merges().iter().map(|m| m.distance).collect();
             let mut reference = reference_merge_distances(&points, linkage);
             ours.sort_by(f32::total_cmp);
@@ -85,7 +85,8 @@ proptest! {
 
     #[test]
     fn dendrogram_is_a_full_binary_tree(points in arb_points(20, 3)) {
-        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Average);
+        let matrix = CondensedMatrix::euclidean_dense(&points).expect("consistent dims");
+        let dendro = cluster(matrix, Linkage::Average).expect("finite distances");
         prop_assert_eq!(dendro.merges().len(), points.len() - 1);
         prop_assert_eq!(dendro.roots().len(), 1);
         let root = dendro.roots()[0];
@@ -97,7 +98,8 @@ proptest! {
     fn cut_produces_exactly_k_clusters(points in arb_points(15, 2), k in 1usize..6) {
         let n = points.len();
         let k = k.min(n);
-        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Ward);
+        let matrix = CondensedMatrix::euclidean_dense(&points).expect("consistent dims");
+        let dendro = cluster(matrix, Linkage::Ward).expect("finite distances");
         let labels = dendro.cut(k);
         prop_assert_eq!(labels.len(), n);
         let mut distinct: Vec<u32> = labels.clone();
@@ -108,7 +110,8 @@ proptest! {
 
     #[test]
     fn merge_sizes_partition_leaves(points in arb_points(18, 2)) {
-        let dendro = cluster(CondensedMatrix::euclidean_dense(&points), Linkage::Complete);
+        let matrix = CondensedMatrix::euclidean_dense(&points).expect("consistent dims");
+        let dendro = cluster(matrix, Linkage::Complete).expect("finite distances");
         for (step, m) in dendro.merges().iter().enumerate() {
             let node = (points.len() + step) as u32;
             prop_assert_eq!(dendro.leaves_under(node).len(), m.size as usize);

@@ -61,7 +61,8 @@ pub struct BaselineResult {
 /// (`len == instance.num_items`).
 ///
 /// # Panics
-/// Panics on an embedding-count mismatch.
+/// Panics on an embedding-count mismatch, on rows of unequal dimension, and
+/// on non-finite embedding coordinates.
 pub fn ic_s(
     instance: &Instance,
     item_embeddings: &[Vec<f32>],
@@ -108,16 +109,24 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
     BaselineResult { tree, score }
 }
 
+/// # Panics
+/// Panics when caller-supplied embedding rows disagree on dimension or
+/// contain non-finite coordinates (both surface as [`oct_cluster`] errors).
 fn tree_from_vectors(rows: &[Vec<f32>], config: &BaselineConfig) -> CategoryTree {
     if rows.len() <= config.agglomerative_limit {
-        tree_from_dendrogram(rows.len(), CondensedMatrix::euclidean_dense(rows))
+        let matrix =
+            CondensedMatrix::euclidean_dense(rows).expect("embedding rows share one dimension");
+        tree_from_dendrogram(rows.len(), matrix)
     } else {
         tree_from_bisect(rows, &config.bisect)
     }
 }
 
+/// # Panics
+/// Panics when the matrix holds non-finite distances (possible only with
+/// caller-supplied NaN/∞ embedding coordinates).
 fn tree_from_dendrogram(num_items: usize, matrix: CondensedMatrix) -> CategoryTree {
-    let dendrogram = cluster(matrix, Linkage::Average);
+    let dendrogram = cluster(matrix, Linkage::Average).expect("finite embedding distances");
     let mut tree = CategoryTree::new();
     let mut stack: Vec<(u32, u32)> = dendrogram.roots().into_iter().map(|r| (r, ROOT)).collect();
     while let Some((node, parent)) = stack.pop() {

@@ -23,7 +23,7 @@ use crate::assign::{assign_items, AssignStats};
 use crate::conflict::intersecting_pairs;
 use crate::ctcr::condense;
 use crate::input::Instance;
-use crate::score::{score_tree, TreeScore};
+use crate::score::{score_tree_with, ScoreOptions, TreeScore};
 use crate::tree::{CatId, CategoryTree, ROOT};
 
 /// Tuning knobs for CCT.
@@ -114,11 +114,10 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
             let _embed = stage.child("embed");
             embeddings(instance, config.threads)
         };
-        cluster_with_metrics(
-            CondensedMatrix::euclidean_sparse(&rows),
-            config.linkage,
-            metrics,
-        )
+        let matrix = CondensedMatrix::euclidean_sparse_with(&rows, config.threads, metrics);
+        // Embedding coordinates are similarities in [0, 1], so every
+        // pairwise distance is finite.
+        cluster_with_metrics(matrix, config.linkage, metrics).expect("finite distances")
     } else {
         // Ablation: dissimilarity = 1 − base similarity, directly.
         let base = instance.similarity.kind.base();
@@ -130,7 +129,8 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
                 m.set(i, j, 1.0 - sim as f32);
             }
         }
-        cluster_with_metrics(m, config.linkage, metrics)
+        // Dissimilarities are 1 − sim with sim ∈ [0, 1]: always finite.
+        cluster_with_metrics(m, config.linkage, metrics).expect("finite distances")
     };
     let cluster_time = stage.elapsed();
     drop(stage);
@@ -173,7 +173,11 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
 
     let score = {
         let _stage = run_span.child("score");
-        score_tree(instance, &tree)
+        let options = ScoreOptions {
+            threads: config.threads,
+            metrics: metrics.clone(),
+        };
+        score_tree_with(instance, &tree, &options)
     };
     let surviving: Vec<(u32, CatId)> = targets
         .iter()

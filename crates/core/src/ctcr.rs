@@ -26,7 +26,7 @@ use crate::assign::{assign_items, AssignStats};
 use crate::conflict::{analyze, analyze_with_metrics, ConflictAnalysis};
 use crate::input::Instance;
 use crate::itemset::ItemSet;
-use crate::score::{covering_map, score_tree, TreeScore};
+use crate::score::{covering_map, score_tree, score_tree_with, ScoreOptions, TreeScore};
 use crate::similarity::SimilarityKind;
 use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::{FxHashMap, FxHashSet};
@@ -344,7 +344,11 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     tree.add_misc_category(instance.num_items);
 
     let stage = run_span.child("score");
-    let score = score_tree(instance, &tree);
+    let score_options = ScoreOptions {
+        threads: config.threads,
+        metrics: metrics.clone(),
+    };
+    let score = score_tree_with(instance, &tree, &score_options);
     let score_time = stage.elapsed();
     drop(stage);
     let surviving_targets: Vec<(u32, CatId)> = targets

@@ -68,7 +68,7 @@ pub use cct::CctConfig;
 pub use ctcr::CtcrConfig;
 pub use input::{InputSet, Instance};
 pub use itemset::{ItemId, ItemSet};
-pub use score::{score_tree, TreeScore};
+pub use score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
 pub use similarity::{Similarity, SimilarityKind};
 pub use tree::{CatId, CategoryTree, ROOT};
 
@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::navigation;
     pub use crate::persist;
     pub use crate::repair;
-    pub use crate::score::{score_tree, TreeScore};
+    pub use crate::score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
     pub use crate::similarity::{Similarity, SimilarityKind};
     pub use crate::tree::{CatId, CategoryTree, ROOT};
     pub use crate::update;

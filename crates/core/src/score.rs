@@ -8,17 +8,83 @@
 //! small-to-large merging, a map `input set → |C ∩ q|` together with the
 //! deduplicated category size, evaluating every category against exactly
 //! the sets it intersects.
+//!
+//! # Parallel evaluation
+//!
+//! [`score_tree_with`] splits the tree into disjoint subtrees along a
+//! *frontier* (the root's children, recursively expanded until there are
+//! enough pieces) and hands contiguous frontier chunks to
+//! `std::thread::scope` workers. Each worker aggregates and evaluates its
+//! subtrees into private best-cover arrays; the main thread merges the
+//! per-worker winners in chunk order, finishes the *spine* (the expanded
+//! ancestors, root last) from the workers' subtree aggregates, and reduces.
+//!
+//! The result is identical to the serial pass: aggregation is exact integer
+//! set arithmetic, per-category similarities are computed by the same
+//! expression on the same integers, and the best cover of a set is the
+//! lexicographic maximum of `(similarity, precision, depth, lowest CatId)`
+//! — a fold whose result does not depend on evaluation order when equal
+//! similarities are bit-equal (always the case for the single-division
+//! Jaccard/F1/recall values; pathological near-`EPS` spacings could in
+//! principle differ, which the EPS tie-band makes non-transitive).
+
+use oct_obs::{Counter, Metrics};
 
 use crate::input::Instance;
 use crate::similarity::EPS;
 use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::{FxHashMap, FxHashSet};
 
+/// Trees below this node count are scored serially under auto threading
+/// (the scoring loop is cheaper than spawning).
+const PARALLEL_MIN_CATEGORIES: usize = 512;
+
+/// Stop expanding the frontier beyond this many subtrees.
+const MAX_FRONTIER: usize = 4096;
+
+/// Knobs for [`score_tree_with`].
+#[derive(Debug, Clone)]
+pub struct ScoreOptions {
+    /// Worker threads: `0` = auto (all cores, serial for small trees),
+    /// `1` = serial, `n ≥ 2` = always partition across `n` workers.
+    pub threads: usize,
+    /// Telemetry sink; spans `score/aggregate` / `score/evaluate` and
+    /// counters `score/categories` / `score/candidates` are recorded here.
+    pub metrics: Metrics,
+}
+
+impl Default for ScoreOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            metrics: Metrics::disabled(),
+        }
+    }
+}
+
+impl ScoreOptions {
+    /// Options forcing the serial path.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Options with an explicit worker count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
 /// How one input set is served by a tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SetCover {
     /// The category attaining the maximum similarity (`None` when every
-    /// category scores 0 and no tie-breaking category was seen).
+    /// category scores 0).
     pub best_category: Option<CatId>,
     /// `max_C S(q, C)` under the instance's similarity variant.
     pub similarity: f64,
@@ -30,7 +96,7 @@ pub struct SetCover {
 }
 
 /// Full scoring breakdown of a tree over an instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeScore {
     /// Weighted total `Σ W(q) · S(q, T)`.
     pub total: f64,
@@ -81,77 +147,236 @@ impl Agg {
     }
 }
 
-/// Scores `tree` against `instance`.
+/// Aggregates category `cat` from its (already aggregated) children in
+/// `pending` plus its direct items, with small-to-large merging.
+fn aggregate_node(
+    tree: &CategoryTree,
+    cat: CatId,
+    pending: &mut FxHashMap<CatId, Agg>,
+    index: &[Vec<u32>],
+) -> Agg {
+    let mut agg = Agg::new();
+    for &child in tree.children(cat) {
+        let child_agg = pending.remove(&child).expect("child processed first");
+        if child_agg.items.len() > agg.items.len() {
+            let smaller = std::mem::replace(&mut agg, child_agg);
+            for item in smaller.items {
+                agg.insert_item(item, index);
+            }
+        } else {
+            for item in child_agg.items {
+                agg.insert_item(item, index);
+            }
+        }
+    }
+    for &item in tree.direct_items(cat) {
+        agg.insert_item(item, index);
+    }
+    agg
+}
+
+/// Per-set best-cover state (similarity, category, precision, depth).
+struct Best {
+    sim: Vec<f64>,
+    cat: Vec<Option<CatId>>,
+    precision: Vec<f64>,
+    depth: Vec<u32>,
+}
+
+/// The best-cover ordering: does `(sim, precision, depth, cat)` beat the
+/// incumbent?
+///
+/// A category is recorded whenever its similarity is positive and beats the
+/// incumbent; `EPS` is used only to band ties, inside which higher
+/// precision, then the deeper category, then the lower `CatId` win. Depth
+/// precedes the id so a fully-tied ancestor (the root materializes the same
+/// items as an only child) cannot displace the more specific category —
+/// the condensing stage keeps exactly the best coverers. (Keeping the
+/// `sim > 0` requirement out of the EPS comparison fixes the old bug where
+/// a best similarity in `(0, EPS]` left `best_category: None`.)
+#[allow(clippy::too_many_arguments)]
+fn better(
+    sim: f64,
+    precision: f64,
+    depth: u32,
+    cat: CatId,
+    best_sim: f64,
+    best_precision: f64,
+    best_depth: u32,
+    best_cat: Option<CatId>,
+) -> bool {
+    if sim <= 0.0 {
+        return false;
+    }
+    let Some(incumbent) = best_cat else {
+        return true;
+    };
+    if sim > best_sim + EPS {
+        return true;
+    }
+    if (sim - best_sim).abs() > EPS {
+        return false;
+    }
+    if precision > best_precision + EPS {
+        return true;
+    }
+    if (precision - best_precision).abs() > EPS {
+        return false;
+    }
+    (depth, std::cmp::Reverse(cat)) > (best_depth, std::cmp::Reverse(incumbent))
+}
+
+impl Best {
+    fn new(n: usize) -> Self {
+        Self {
+            sim: vec![0.0; n],
+            cat: vec![None; n],
+            precision: vec![1.0; n],
+            depth: vec![0; n],
+        }
+    }
+
+    /// Offers a candidate cover of set `s`.
+    fn consider(&mut self, s: usize, sim: f64, precision: f64, depth: u32, cat: CatId) {
+        if better(
+            sim,
+            precision,
+            depth,
+            cat,
+            self.sim[s],
+            self.precision[s],
+            self.depth[s],
+            self.cat[s],
+        ) {
+            self.sim[s] = sim;
+            self.cat[s] = Some(cat);
+            self.precision[s] = precision;
+            self.depth[s] = depth;
+        }
+    }
+
+    /// Merges another worker's winners into `self` (chunk order).
+    fn absorb(&mut self, other: &Best) {
+        for s in 0..self.sim.len() {
+            if let Some(cat) = other.cat[s] {
+                self.consider(s, other.sim[s], other.precision[s], other.depth[s], cat);
+            }
+        }
+    }
+}
+
+/// Evaluates category `cat` (aggregated in `agg`, at `depth`) against every
+/// set it intersects, updating `best`.
+fn evaluate_category(
+    instance: &Instance,
+    cat: CatId,
+    depth: u32,
+    agg: &Agg,
+    best: &mut Best,
+    candidates: &Counter,
+) {
+    let c_len = agg.items.len();
+    candidates.add(agg.inter.len() as u64);
+    for (&set, &inter) in &agg.inter {
+        let s = set as usize;
+        let q_len = instance.sets[s].items.len();
+        let delta = instance.threshold_of(s);
+        let sim = instance
+            .similarity
+            .score_with(delta, q_len, c_len, inter as usize);
+        let precision = if c_len == 0 {
+            1.0
+        } else {
+            inter as f64 / c_len as f64
+        };
+        best.consider(s, sim, precision, depth, cat);
+    }
+}
+
+/// Depth of every live category (root = 0), computed in one top-down pass.
+fn category_depths(tree: &CategoryTree) -> Vec<u32> {
+    let mut depth = vec![0u32; tree.len()];
+    let order = tree.post_order();
+    // Reverse post-order visits parents before children.
+    for &cat in order.iter().rev() {
+        for &child in tree.children(cat) {
+            depth[child as usize] = depth[cat as usize] + 1;
+        }
+    }
+    depth
+}
+
+/// Scores `tree` against `instance` serially. Equivalent to
+/// [`score_tree_with`] with default options on a single-core host.
 ///
 /// Runs in `O(Σ_i |S_i| · log V + Σ_C #intersected(C))` where `S_i` is the
 /// set list of item `i` and `V` the number of categories.
 pub fn score_tree(instance: &Instance, tree: &CategoryTree) -> TreeScore {
+    score_tree_with(instance, tree, &ScoreOptions::default())
+}
+
+/// Scores `tree` against `instance`, optionally across worker threads.
+///
+/// The output is identical for every thread count (see the module docs for
+/// the argument); `parallel matches serial` is pinned by a proptest.
+pub fn score_tree_with(
+    instance: &Instance,
+    tree: &CategoryTree,
+    options: &ScoreOptions,
+) -> TreeScore {
+    let metrics = &options.metrics;
+    let threads = resolve_threads(options.threads, tree.len());
     let index = instance.inverted_index();
     let n = instance.num_sets();
-    let mut best_sim = vec![0.0f64; n];
-    let mut best_cat: Vec<Option<CatId>> = vec![None; n];
-    let mut best_precision = vec![1.0f64; n];
+    let categories = metrics.counter("score/categories");
+    let candidates = metrics.counter("score/candidates");
 
-    // Bottom-up aggregation with small-to-large merging.
-    let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
-    for cat in tree.post_order() {
-        let mut agg = Agg::new();
-        for &child in tree.children(cat) {
-            let child_agg = pending.remove(&child).expect("child processed first");
-            if child_agg.items.len() > agg.items.len() {
-                let smaller = std::mem::replace(&mut agg, child_agg);
-                for item in smaller.items {
-                    agg.insert_item(item, &index);
-                }
-            } else {
-                for item in child_agg.items {
-                    agg.insert_item(item, &index);
-                }
+    let depths = category_depths(tree);
+    let best = if threads <= 1 {
+        let _span = metrics.span("score/aggregate");
+        let mut best = Best::new(n);
+        let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
+        for cat in tree.post_order() {
+            let agg = aggregate_node(tree, cat, &mut pending, &index);
+            evaluate_category(
+                instance,
+                cat,
+                depths[cat as usize],
+                &agg,
+                &mut best,
+                &candidates,
+            );
+            categories.incr();
+            pending.insert(cat, agg);
+            if cat == ROOT {
+                break;
             }
         }
-        for &item in tree.direct_items(cat) {
-            agg.insert_item(item, &index);
-        }
-        // Evaluate this category against every set it intersects.
-        let c_len = agg.items.len();
-        for (&set, &inter) in &agg.inter {
-            let s = set as usize;
-            let q_len = instance.sets[s].items.len();
-            let delta = instance.threshold_of(s);
-            let sim = instance
-                .similarity
-                .score_with(delta, q_len, c_len, inter as usize);
-            let precision = if c_len == 0 {
-                1.0
-            } else {
-                inter as f64 / c_len as f64
-            };
-            let better = sim > best_sim[s] + EPS
-                || (sim > 0.0
-                    && (sim - best_sim[s]).abs() <= EPS
-                    && precision > best_precision[s] + EPS);
-            if better {
-                best_sim[s] = sim;
-                best_cat[s] = Some(cat);
-                best_precision[s] = precision;
-            }
-        }
-        pending.insert(cat, agg);
-        if cat == ROOT {
-            break;
-        }
-    }
+        best
+    } else {
+        score_parallel(
+            instance,
+            tree,
+            threads,
+            &index,
+            &depths,
+            metrics,
+            &categories,
+            &candidates,
+        )
+    };
 
+    let _span = metrics.span("score/evaluate");
     let mut total = 0.0;
     let mut per_set = Vec::with_capacity(n);
     for s in 0..n {
         let weight = instance.sets[s].weight;
-        total += weight * best_sim[s];
+        total += weight * best.sim[s];
         per_set.push(SetCover {
-            best_category: best_cat[s],
-            similarity: best_sim[s],
-            covered: best_sim[s] > 0.0,
-            precision: best_precision[s],
+            best_category: best.cat[s],
+            similarity: best.sim[s],
+            covered: best.sim[s] > 0.0,
+            precision: best.precision[s],
         });
     }
     let denom = instance.total_weight();
@@ -162,6 +387,188 @@ pub fn score_tree(instance: &Instance, tree: &CategoryTree) -> TreeScore {
     }
 }
 
+/// Resolves the thread knob: `0` = auto (all cores, serial below
+/// [`PARALLEL_MIN_CATEGORIES`] nodes), otherwise the explicit count.
+fn resolve_threads(threads: usize, num_categories: usize) -> usize {
+    if threads == 0 {
+        if num_categories < PARALLEL_MIN_CATEGORIES {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    } else {
+        threads
+    }
+}
+
+/// Subtree node counts per category (children before parents).
+fn subtree_sizes(tree: &CategoryTree) -> Vec<usize> {
+    let mut sizes = vec![0usize; tree.len()];
+    for cat in tree.post_order() {
+        sizes[cat as usize] = 1 + tree
+            .children(cat)
+            .iter()
+            .map(|&c| sizes[c as usize])
+            .sum::<usize>();
+        if cat == ROOT {
+            break;
+        }
+    }
+    sizes
+}
+
+/// Picks the *frontier* — disjoint subtree roots covering every non-spine
+/// node — and marks the expanded ancestors (the *spine*, always containing
+/// the root). Starts from the root's children and repeatedly expands the
+/// largest frontier subtree in place until there are at least `target`
+/// pieces (or nothing expandable remains).
+fn frontier_and_spine(
+    tree: &CategoryTree,
+    sizes: &[usize],
+    target: usize,
+) -> (Vec<CatId>, Vec<bool>) {
+    let mut is_spine = vec![false; tree.len()];
+    is_spine[ROOT as usize] = true;
+    let mut frontier: Vec<CatId> = tree.children(ROOT).to_vec();
+    while frontier.len() < target && frontier.len() < MAX_FRONTIER {
+        let expandable = frontier
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| !tree.children(f).is_empty())
+            .max_by_key(|&(_, &f)| sizes[f as usize]);
+        let Some((pos, &node)) = expandable else {
+            break;
+        };
+        // A leaf-only frontier entry stays; splitting the biggest subtree
+        // into its children keeps the pieces disjoint and order-preserving.
+        frontier.remove(pos);
+        is_spine[node as usize] = true;
+        frontier.splice(pos..pos, tree.children(node).iter().copied());
+    }
+    (frontier, is_spine)
+}
+
+/// Splits `frontier` into at most `parts` contiguous chunks of roughly
+/// equal total subtree size.
+fn frontier_chunks(
+    frontier: &[CatId],
+    sizes: impl Fn(CatId) -> usize,
+    parts: usize,
+) -> Vec<(usize, usize)> {
+    let total: usize = frontier.iter().map(|&f| sizes(f)).sum();
+    if frontier.is_empty() {
+        return Vec::new();
+    }
+    let target = total.div_ceil(parts.max(1));
+    let mut out = Vec::new();
+    let mut lo = 0;
+    let mut acc = 0;
+    for (i, &f) in frontier.iter().enumerate() {
+        acc += sizes(f);
+        if acc >= target && i + 1 < frontier.len() && out.len() + 1 < parts {
+            out.push((lo, i + 1));
+            lo = i + 1;
+            acc = 0;
+        }
+    }
+    out.push((lo, frontier.len()));
+    out
+}
+
+/// The parallel aggregation/evaluation pass: frontier subtrees on workers,
+/// spine on the main thread, winners merged in deterministic chunk order.
+#[allow(clippy::too_many_arguments)]
+fn score_parallel(
+    instance: &Instance,
+    tree: &CategoryTree,
+    threads: usize,
+    index: &[Vec<u32>],
+    depths: &[u32],
+    metrics: &Metrics,
+    categories: &Counter,
+    candidates: &Counter,
+) -> Best {
+    let _span = metrics.span("score/aggregate");
+    let n = instance.num_sets();
+    let sizes = subtree_sizes(tree);
+    let (frontier, is_spine) = frontier_and_spine(tree, &sizes, threads * 4);
+    let chunks = frontier_chunks(&frontier, |f| sizes[f as usize], threads);
+
+    // Workers aggregate + evaluate whole frontier subtrees; each returns its
+    // private winners and the final aggregate of every frontier root so the
+    // main thread can finish the spine.
+    let results: Vec<(Best, Vec<(CatId, Agg)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                let chunk = &frontier[lo..hi];
+                let categories = categories.clone();
+                let candidates = candidates.clone();
+                scope.spawn(move || {
+                    let mut best = Best::new(n);
+                    let mut roots = Vec::with_capacity(chunk.len());
+                    let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
+                    for &f in chunk {
+                        let mut order = tree.subtree(f);
+                        order.reverse(); // children before parents
+                        for cat in order {
+                            let agg = aggregate_node(tree, cat, &mut pending, index);
+                            evaluate_category(
+                                instance,
+                                cat,
+                                depths[cat as usize],
+                                &agg,
+                                &mut best,
+                                &candidates,
+                            );
+                            categories.incr();
+                            pending.insert(cat, agg);
+                        }
+                        let agg = pending.remove(&f).expect("frontier root aggregated");
+                        roots.push((f, agg));
+                    }
+                    (best, roots)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    let mut best = Best::new(n);
+    let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
+    for (worker_best, roots) in results {
+        best.absorb(&worker_best);
+        for (cat, agg) in roots {
+            pending.insert(cat, agg);
+        }
+    }
+    // Finish the spine bottom-up: every spine child is spine or frontier,
+    // so its aggregate is already in `pending`.
+    for cat in tree.post_order() {
+        if !is_spine[cat as usize] {
+            continue;
+        }
+        let agg = aggregate_node(tree, cat, &mut pending, index);
+        evaluate_category(
+            instance,
+            cat,
+            depths[cat as usize],
+            &agg,
+            &mut best,
+            candidates,
+        );
+        categories.incr();
+        pending.insert(cat, agg);
+        if cat == ROOT {
+            break;
+        }
+    }
+    best
+}
+
 /// Computes, per live category, which input sets it covers (similarity
 /// passes the set's threshold). Used by the condensing stage and by
 /// category labeling.
@@ -170,23 +577,7 @@ pub fn covering_map(instance: &Instance, tree: &CategoryTree) -> FxHashMap<CatId
     let mut covers: FxHashMap<CatId, Vec<u32>> = FxHashMap::default();
     let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
     for cat in tree.post_order() {
-        let mut agg = Agg::new();
-        for &child in tree.children(cat) {
-            let child_agg = pending.remove(&child).expect("child processed first");
-            if child_agg.items.len() > agg.items.len() {
-                let smaller = std::mem::replace(&mut agg, child_agg);
-                for item in smaller.items {
-                    agg.insert_item(item, &index);
-                }
-            } else {
-                for item in child_agg.items {
-                    agg.insert_item(item, &index);
-                }
-            }
-        }
-        for &item in tree.direct_items(cat) {
-            agg.insert_item(item, &index);
-        }
+        let agg = aggregate_node(tree, cat, &mut pending, &index);
         let c_len = agg.items.len();
         let mut covered: Vec<u32> = agg
             .inter
@@ -304,14 +695,6 @@ mod tests {
         // higher precision should be reported as best.
         let sets = vec![InputSet::new(ItemSet::new(vec![0, 1, 2, 3]), 1.0)];
         let inst = Instance::new(6, sets, Similarity::jaccard_threshold(0.6));
-        let mut t = CategoryTree::new();
-        let sloppy = t.add_category(ROOT);
-        t.assign_items(sloppy, [0, 1, 2, 3, 4, 5]); // J = 4/6
-        let tight = t.add_category(sloppy);
-        // tight is a child: materialized = its own items only.
-        let moved: Vec<u32> = vec![];
-        t.assign_items(tight, moved);
-        // Re-build: make tight hold the exact set instead.
         let mut t2 = CategoryTree::new();
         let sloppy2 = t2.add_category(ROOT);
         let tight2 = t2.add_category(sloppy2);
@@ -320,7 +703,126 @@ mod tests {
         let score = score_tree(&inst, &t2);
         assert_eq!(score.per_set[0].best_category, Some(tight2));
         assert_eq!(score.per_set[0].precision, 1.0);
-        let _ = (sloppy, tight);
+    }
+
+    #[test]
+    fn exact_ties_prefer_lower_category_id() {
+        // Two sibling categories with symmetric items relative to the set:
+        // same similarity, same precision, same depth — the lower id must
+        // win, on the serial and every parallel path.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let inst = Instance::new(10, sets, Similarity::jaccard_cutoff(0.1));
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        let b = t.add_category(ROOT);
+        let filler = t.add_category(ROOT);
+        t.assign_items(a, [0, 2]); // J = 1/3, precision 1/2
+        t.assign_items(b, [1, 3]); // J = 1/3, precision 1/2
+        t.assign_items(filler, [4, 5, 6, 7, 8, 9]); // keeps ROOT's J at 1/5
+        for threads in [1, 2, 4] {
+            let score = score_tree_with(&inst, &t, &ScoreOptions::with_threads(threads));
+            assert_eq!(score.per_set[0].best_category, Some(a), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn full_ties_prefer_the_deeper_category() {
+        // An only child materializes the same items as its parent: every
+        // metric ties, and the deeper (more specific) category must win —
+        // the condensing stage relies on this to keep the specific coverer.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
+        let inst = Instance::new(2, sets, Similarity::jaccard_threshold(0.8));
+        let mut t = CategoryTree::new();
+        let leaf = t.add_category(ROOT);
+        t.assign_items(leaf, [0, 1]);
+        for threads in [1, 2] {
+            let score = score_tree_with(&inst, &t, &ScoreOptions::with_threads(threads));
+            assert_eq!(
+                score.per_set[0].best_category,
+                Some(leaf),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_positive_similarity_is_attributed() {
+        // Regression for the (0, EPS] hole: a positive similarity at or
+        // below EPS must still name a best category. Unreachable through the
+        // public builders (it needs a union of ~1e9 items), so the predicate
+        // is exercised directly.
+        let eps_sim = EPS / 2.0;
+        assert!(better(eps_sim, 1.0, 1, 3, 0.0, 1.0, 0, None));
+        // And it must not be *lost* to the EPS band once recorded: an
+        // exactly-equal competitor with equal precision and depth only wins
+        // by the lower id.
+        assert!(!better(eps_sim, 1.0, 1, 5, eps_sim, 1.0, 1, Some(3)));
+        assert!(better(eps_sim, 1.0, 1, 2, eps_sim, 1.0, 1, Some(3)));
+        // Deeper beats the id on full ties; zero similarity never wins.
+        assert!(better(eps_sim, 1.0, 2, 5, eps_sim, 1.0, 1, Some(3)));
+        assert!(!better(0.0, 1.0, 1, 1, 0.0, 1.0, 0, None));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_figure2() {
+        for similarity in [
+            Similarity::perfect_recall(0.8),
+            Similarity::jaccard_cutoff(0.6),
+            Similarity::jaccard_threshold(0.6),
+        ] {
+            let inst = figure2_instance(similarity);
+            for t in [figure2_t1(), figure2_t2()] {
+                let serial = score_tree_with(&inst, &t, &ScoreOptions::serial());
+                for threads in [2, 3, 4] {
+                    let parallel = score_tree_with(&inst, &t, &ScoreOptions::with_threads(threads));
+                    assert_eq!(serial, parallel, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_deep_single_chains() {
+        // A path tree has a one-element frontier at every expansion step —
+        // the degenerate case for subtree partitioning.
+        let sets = vec![InputSet::new(ItemSet::new(vec![0, 1, 2]), 1.0)];
+        let inst = Instance::new(8, sets, Similarity::jaccard_cutoff(0.1));
+        let mut t = CategoryTree::new();
+        let mut parent = ROOT;
+        for item in 0..8 {
+            parent = t.add_category(parent);
+            t.assign_item(parent, item);
+        }
+        let serial = score_tree_with(&inst, &t, &ScoreOptions::serial());
+        let parallel = score_tree_with(&inst, &t, &ScoreOptions::with_threads(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn score_records_spans_and_counters() {
+        let metrics = Metrics::enabled();
+        let inst = figure2_instance(Similarity::perfect_recall(0.8));
+        let options = ScoreOptions {
+            threads: 2,
+            metrics: metrics.clone(),
+        };
+        score_tree_with(&inst, &figure2_t1(), &options);
+        let report = metrics.report();
+        assert!(report.span("score/aggregate").is_some());
+        assert!(report.span("score/evaluate").is_some());
+        // All five categories (incl. root) evaluated exactly once.
+        assert_eq!(report.counter("score/categories"), Some(5));
+        assert!(report.counter("score/candidates").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn frontier_covers_tree_disjointly() {
+        let t = figure2_t1();
+        let (frontier, is_spine) = frontier_and_spine(&t, &subtree_sizes(&t), 8);
+        let mut seen: Vec<CatId> = frontier.iter().flat_map(|&f| t.subtree(f)).collect();
+        seen.extend(t.category_ids().filter(|&c| is_spine[c as usize]));
+        seen.sort_unstable();
+        assert_eq!(seen, t.live_categories(), "frontier + spine partition");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::ctcr::{self, CtcrConfig, CtcrResult};
 use crate::input::Instance;
-use crate::score::score_tree;
+use crate::score::{score_tree_with, ScoreOptions};
 use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::FxHashSet;
 
@@ -213,7 +213,17 @@ pub struct OrphanReport {
 
 /// Computes the orphan report for a solved tree.
 pub fn orphaned_items(instance: &Instance, tree: &CategoryTree) -> OrphanReport {
-    let score = score_tree(instance, tree);
+    orphaned_items_with(instance, tree, &ScoreOptions::default())
+}
+
+/// [`orphaned_items`] with explicit scoring options (thread count and
+/// telemetry for the underlying [`score_tree_with`] pass).
+pub fn orphaned_items_with(
+    instance: &Instance,
+    tree: &CategoryTree,
+    options: &ScoreOptions,
+) -> OrphanReport {
+    let score = score_tree_with(instance, tree, options);
     let mut in_covered: FxHashSet<u32> = FxHashSet::default();
     let full = tree.materialize();
     for cover in &score.per_set {
