@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Kill/resume smoke test: a checkpointed `repro stages` run killed mid-flight
+# must, after `--resume`, complete and produce a final tree bit-identical to
+# an uninterrupted run.
+#
+# The check is timing-robust by construction: wherever the kill lands —
+# before the first checkpoint, between rounds, or after completion — the
+# deterministic pipeline must converge to the same `stages.oct` bytes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRO=${REPRO:-target/release/repro}
+SCALE=${SCALE:-0.02}
+KILL_AFTER=${KILL_AFTER:-1}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$REPRO" ]]; then
+    cargo build --release -p oct-bench --bin repro
+fi
+
+# Uninterrupted reference run.
+"$REPRO" stages --scale "$SCALE" --checkpoint-dir "$WORK/ref" > /dev/null
+
+# Checkpointed run, killed mid-flight.
+"$REPRO" stages --scale "$SCALE" --checkpoint-dir "$WORK/killed" > /dev/null &
+pid=$!
+sleep "$KILL_AFTER"
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+
+# Resume must finish the run and reproduce the reference tree bit-for-bit.
+"$REPRO" stages --scale "$SCALE" --checkpoint-dir "$WORK/killed" --resume > /dev/null
+
+cmp "$WORK/ref/stages.oct" "$WORK/killed/stages.oct"
+echo "resume smoke: final trees are bit-identical"

@@ -95,8 +95,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("set_embeddings", |b| b.iter(|| embeddings(&ds.instance, 1)));
     group.bench_function("agglomerative_upgma", |b| {
         b.iter(|| {
-            cluster(CondensedMatrix::euclidean_sparse(&rows), Linkage::Average)
-                .expect("finite distances")
+            let matrix = CondensedMatrix::euclidean_sparse(&rows).expect("matrix fill succeeds");
+            cluster(matrix, Linkage::Average).expect("finite distances")
         })
     });
     group.finish();

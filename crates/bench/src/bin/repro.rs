@@ -18,6 +18,9 @@ struct Args {
     scale: f64,
     repetitions: usize,
     metrics: Option<String>,
+    deadline_ms: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +31,9 @@ fn parse_args() -> Result<Args, String> {
         scale: 0.02,
         repetitions: 5,
         metrics: None,
+        deadline_ms: None,
+        checkpoint_dir: None,
+        resume: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -43,6 +49,19 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--metrics needs a value")?;
                 parsed.metrics = Some(v);
             }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline {v}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be positive".to_owned());
+                }
+                parsed.deadline_ms = Some(ms);
+            }
+            "--checkpoint-dir" => {
+                let v = args.next().ok_or("--checkpoint-dir needs a value")?;
+                parsed.checkpoint_dir = Some(v);
+            }
+            "--resume" => parsed.resume = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -50,15 +69,20 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|stages|scaling|all> [--scale S] [--repetitions R] [--metrics FILE]".to_owned()
+    "usage: repro <fig8a|fig8b|fig8c|fig8d|fig8e|fig8f|fig8g|fig8h|table1|traintest|cohesiveness|ablations|variants|public|stages|scaling|all> [--scale S] [--repetitions R] [--metrics FILE] [--deadline-ms MS] [--checkpoint-dir DIR] [--resume]".to_owned()
 }
 
-fn run_one(
-    name: &str,
-    scale: f64,
-    repetitions: usize,
-    metrics: Option<&str>,
-) -> Result<(), String> {
+fn run_one(name: &str, args: &Args) -> Result<(), String> {
+    let Args {
+        scale,
+        repetitions,
+        ref metrics,
+        deadline_ms,
+        ref checkpoint_dir,
+        resume,
+        ..
+    } = *args;
+    let metrics = metrics.as_deref();
     match name {
         "fig8a" => {
             println!("# Figure 8a — threshold Jaccard over dataset C, all algorithms\n");
@@ -129,8 +153,16 @@ fn run_one(
         }
         "stages" => {
             println!("# Per-stage telemetry — CTCR + CCT over dataset C, metrics enabled\n");
-            let (report, table) = experiments::stages(scale);
+            let opts = experiments::StagesOptions {
+                deadline_ms,
+                checkpoint_dir: checkpoint_dir.clone().map(std::path::PathBuf::from),
+                resume,
+            };
+            let (report, table) = experiments::stages_with(scale, &opts)?;
             println!("{}", table.render());
+            if report.degraded {
+                println!("\nnote: budget expired — degraded result");
+            }
             if let Some(path) = metrics {
                 std::fs::write(path, report.to_json())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -174,17 +206,12 @@ fn main() -> ExitCode {
     ];
     let result = if args.experiment == "all" {
         all.iter().try_for_each(|name| {
-            let r = run_one(name, args.scale, args.repetitions, args.metrics.as_deref());
+            let r = run_one(name, &args);
             println!();
             r
         })
     } else {
-        run_one(
-            &args.experiment,
-            args.scale,
-            args.repetitions,
-            args.metrics.as_deref(),
-        )
+        run_one(&args.experiment, &args)
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

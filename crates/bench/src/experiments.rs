@@ -249,8 +249,71 @@ pub fn fig8f(scale: f64) -> (Vec<ScalePoint>, Table) {
 /// returned [`oct_obs::PipelineReport`] serializes to the JSON schema used
 /// by `--metrics` / `BENCH_*.json` files.
 pub fn stages(scale: f64) -> (oct_obs::PipelineReport, Table) {
+    stages_with(scale, &StagesOptions::default()).expect("unlimited stages run cannot fail")
+}
+
+/// Resilience knobs for the `stages` experiment.
+#[derive(Debug, Clone, Default)]
+pub struct StagesOptions {
+    /// Wall-clock budget in milliseconds (`None`: unlimited).
+    pub deadline_ms: Option<u64>,
+    /// Directory receiving `stages.ckpt` (round checkpoints) and
+    /// `stages.oct` (the final CTCR tree, for kill/resume comparisons).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume the CTCR reemployment loop from an existing checkpoint.
+    pub resume: bool,
+}
+
+/// [`stages`] under a wall-clock budget with round-granular checkpoints:
+/// the CTCR half runs through `workflow::iterate_with_checkpoints` (three
+/// reemployment rounds), so a killed run resumes where it stopped and
+/// reproduces the same final tree bit-for-bit.
+pub fn stages_with(
+    scale: f64,
+    opts: &StagesOptions,
+) -> Result<(oct_obs::PipelineReport, Table), String> {
+    use oct_resilience::Budget;
+
     let ds = generate(DatasetName::C, scale, Similarity::jaccard_threshold(0.8));
-    let (_, _, report) = crate::runner::instrumented_run(&ds.instance, &RunnerConfig::default());
+    let metrics = oct_obs::Metrics::enabled();
+    let budget = opts
+        .deadline_ms
+        .map_or_else(Budget::unlimited, Budget::with_deadline_ms);
+    let ctcr_config = CtcrConfig {
+        metrics: metrics.clone(),
+        budget,
+        ..CtcrConfig::default()
+    };
+    let checkpoint_path = opts
+        .checkpoint_dir
+        .as_deref()
+        .map(|dir| {
+            std::fs::create_dir_all(dir)
+                .map(|()| dir.join("stages.ckpt"))
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))
+        })
+        .transpose()?;
+    let outcome = oct_core::workflow::iterate_with_checkpoints(
+        &ds.instance,
+        &ctcr_config,
+        3,
+        0.85,
+        checkpoint_path.as_deref(),
+        opts.resume,
+    )
+    .map_err(|e| format!("stages: {e}"))?;
+    if let Some(dir) = opts.checkpoint_dir.as_deref() {
+        let encoded = oct_core::persist::encode_tree(&outcome.result.tree);
+        let path = dir.join("stages.oct");
+        std::fs::write(&path, &encoded)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let cct_config = oct_core::cct::CctConfig {
+        metrics: metrics.clone(),
+        ..oct_core::cct::CctConfig::default()
+    };
+    let _ = oct_core::cct::run(&ds.instance, &cct_config);
+    let report = metrics.report();
     let mut table = Table::new(vec!["stage / counter", "total", "count"]);
     for (path, stat) in &report.spans {
         table.row(vec![
@@ -265,7 +328,7 @@ pub fn stages(scale: f64) -> (oct_obs::PipelineReport, Table) {
     for (name, value) in &report.gauges {
         table.row(vec![name.clone(), format!("{value}"), String::new()]);
     }
-    (report, table)
+    Ok((report, table))
 }
 
 /// Serial-vs-parallel wall time of one operation at one thread count.

@@ -7,9 +7,10 @@ pub const USAGE: &str = "\
 usage:
   octree build   --log FILE --items N [--variant V] [--delta D] [--out FILE]
                  [--no-merge] [--min-frequency F] [--labels] [--metrics FILE]
-                 [--threads T]
+                 [--threads T] [--deadline-ms MS] [--rounds R]
+                 [--checkpoint-dir DIR] [--resume]
   octree score   --tree FILE --log FILE --items N [--variant V] [--delta D]
-                 [--threads T]
+                 [--threads T] [--deadline-ms MS]
   octree inspect --tree FILE [--depth K]
   octree export  --dataset A|B|C|D|E [--scale S] [--out FILE]
   octree dot     --tree FILE [--depth K] [--out FILE]
@@ -17,7 +18,10 @@ usage:
 
 variants: threshold-jaccard (default) | cutoff-jaccard | threshold-f1 |
           cutoff-f1 | perfect-recall | exact
-threads:  0 = auto (all cores, default), 1 = serial, N = N workers";
+threads:  0 = auto (all cores, default), 1 = serial, N = N workers
+deadline: wall-clock budget in ms; on expiry the build degrades gracefully
+          (greedy fallbacks) instead of running over
+resume:   continue an interrupted build from --checkpoint-dir's checkpoint";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +46,14 @@ pub enum Command {
         metrics: Option<String>,
         /// Worker threads (0 = auto).
         threads: usize,
+        /// Wall-clock budget in milliseconds (`None`: unlimited).
+        deadline_ms: Option<u64>,
+        /// Reemployment rounds (1 = single CTCR pass).
+        rounds: usize,
+        /// Directory for round-granular checkpoints (`None`: off).
+        checkpoint_dir: Option<String>,
+        /// Resume from an existing checkpoint in `checkpoint_dir`.
+        resume: bool,
     },
     /// Score an existing tree against a log.
     Score {
@@ -55,6 +67,8 @@ pub enum Command {
         similarity: Similarity,
         /// Worker threads (0 = auto).
         threads: usize,
+        /// Wall-clock budget in milliseconds (`None`: unlimited).
+        deadline_ms: Option<u64>,
     },
     /// Print a tree's structure.
     Inspect {
@@ -102,7 +116,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
-        if matches!(name, "no-merge" | "labels") {
+        if matches!(name, "no-merge" | "labels" | "resume") {
             switches.insert(name.to_owned());
         } else {
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -153,6 +167,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             .transpose()
             .map(|t| t.unwrap_or(0))
     };
+    let deadline_ms =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Option<u64>, String> {
+            flags
+                .get("deadline-ms")
+                .map(|d| {
+                    d.parse::<u64>()
+                        .map_err(|_| format!("bad --deadline-ms value {d:?}"))
+                        .and_then(|ms| {
+                            if ms == 0 {
+                                Err("--deadline-ms must be positive".to_owned())
+                            } else {
+                                Ok(ms)
+                            }
+                        })
+                })
+                .transpose()
+        };
 
     match command.as_str() {
         "build" => Ok(Command::Build {
@@ -169,6 +200,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             labels: switches.contains("labels"),
             metrics: flags.get("metrics").cloned(),
             threads: threads(&flags)?,
+            deadline_ms: deadline_ms(&flags)?,
+            rounds: flags
+                .get("rounds")
+                .map(|r| {
+                    r.parse::<usize>()
+                        .ok()
+                        .filter(|&r| r >= 1)
+                        .ok_or_else(|| format!("bad --rounds value {r:?} (need >= 1)"))
+                })
+                .transpose()?
+                .unwrap_or(1),
+            checkpoint_dir: flags.get("checkpoint-dir").cloned(),
+            resume: switches.contains("resume"),
         }),
         "score" => Ok(Command::Score {
             tree: required(&flags, "tree")?,
@@ -176,6 +220,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             items: items(&flags)?,
             similarity: similarity(&flags)?,
             threads: threads(&flags)?,
+            deadline_ms: deadline_ms(&flags)?,
         }),
         "inspect" => Ok(Command::Inspect {
             tree: required(&flags, "tree")?,
@@ -260,6 +305,50 @@ mod tests {
             panic!();
         }
         assert!(parse(&argv("score --tree t --log q --items 5 --threads x")).is_err());
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let cmd = parse(&argv(
+            "build --log q.tsv --items 5 --deadline-ms 250 --rounds 3 \
+             --checkpoint-dir ck --resume",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Build {
+                deadline_ms,
+                rounds,
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(250));
+                assert_eq!(rounds, 3);
+                assert_eq!(checkpoint_dir.as_deref(), Some("ck"));
+                assert!(resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: unlimited, one round, no checkpointing.
+        if let Command::Build {
+            deadline_ms,
+            rounds,
+            checkpoint_dir,
+            resume,
+            ..
+        } = parse(&argv("build --log q.tsv --items 5")).expect("valid")
+        {
+            assert_eq!(deadline_ms, None);
+            assert_eq!(rounds, 1);
+            assert_eq!(checkpoint_dir, None);
+            assert!(!resume);
+        } else {
+            panic!();
+        }
+        assert!(parse(&argv("build --log q --items 5 --deadline-ms 0")).is_err());
+        assert!(parse(&argv("build --log q --items 5 --deadline-ms x")).is_err());
+        assert!(parse(&argv("build --log q --items 5 --rounds 0")).is_err());
+        assert!(parse(&argv("score --tree t --log q --items 5 --deadline-ms 100")).is_ok());
     }
 
     #[test]

@@ -2,20 +2,22 @@
 
 use std::fs;
 
-use oct_core::ctcr::{self, CtcrConfig};
+use oct_core::ctcr::CtcrConfig;
 use oct_core::input::{InputSet, Instance};
 use oct_core::itemset::ItemSet;
 use oct_core::labeling;
 use oct_core::navigation;
 use oct_core::persist;
-use oct_core::score::{score_tree_with, ScoreOptions};
+use oct_core::score::{try_score_tree_with, ScoreOptions};
 use oct_core::similarity::Similarity;
 use oct_core::tree::{CategoryTree, ROOT};
+use oct_core::workflow;
 use oct_datagen::loader;
 use oct_datagen::preprocess::{self, relevance_threshold};
 use oct_datagen::queries::QueryLog;
 use oct_datagen::{generate, DatasetName};
 use oct_obs::Metrics;
+use oct_resilience::Budget;
 
 use crate::args::Command;
 
@@ -44,24 +46,33 @@ pub fn run(command: Command) -> Result<(), String> {
             labels,
             metrics,
             threads,
-        } => build(
-            &log,
+            deadline_ms,
+            rounds,
+            checkpoint_dir,
+            resume,
+        } => build(BuildArgs {
+            log_path: &log,
             items,
             similarity,
-            out.as_deref(),
+            out: out.as_deref(),
             no_merge,
             min_frequency,
             labels,
-            metrics.as_deref(),
+            metrics_out: metrics.as_deref(),
             threads,
-        ),
+            deadline_ms,
+            rounds,
+            checkpoint_dir: checkpoint_dir.as_deref(),
+            resume,
+        }),
         Command::Score {
             tree,
             log,
             items,
             similarity,
             threads,
-        } => score(&tree, &log, items, similarity, threads),
+            deadline_ms,
+        } => score(&tree, &log, items, similarity, threads, deadline_ms),
         Command::Inspect { tree, depth } => inspect(&tree, depth),
         Command::Export {
             dataset,
@@ -132,6 +143,14 @@ fn instance_from_log(
     let relevance = relevance_threshold(similarity.kind);
     let mut sets = Vec::new();
     for q in &log.queries {
+        // Hypergraph construction asserts finite weights; reject bad input
+        // here with a contextual error instead of panicking deep inside.
+        if !q.daily_frequency.is_finite() {
+            return Err(format!(
+                "query {:?} has a non-finite daily frequency",
+                q.text
+            ));
+        }
         if q.daily_frequency < min_frequency {
             continue;
         }
@@ -193,18 +212,43 @@ fn instance_from_log(
     Ok(merged)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn build(
-    log_path: &str,
+/// Everything `build` needs, bundled so the resilience knobs don't balloon
+/// the parameter list.
+struct BuildArgs<'a> {
+    log_path: &'a str,
     items: u32,
     similarity: Similarity,
-    out: Option<&str>,
+    out: Option<&'a str>,
     no_merge: bool,
     min_frequency: f64,
     labels: bool,
-    metrics_out: Option<&str>,
+    metrics_out: Option<&'a str>,
     threads: usize,
-) -> Result<(), String> {
+    deadline_ms: Option<u64>,
+    rounds: usize,
+    checkpoint_dir: Option<&'a str>,
+    resume: bool,
+}
+
+/// Relief factor between reemployment rounds (multi-round builds).
+const BUILD_RELIEF: f64 = 0.85;
+
+fn build(args: BuildArgs) -> Result<(), String> {
+    let BuildArgs {
+        log_path,
+        items,
+        similarity,
+        out,
+        no_merge,
+        min_frequency,
+        labels,
+        metrics_out,
+        threads,
+        deadline_ms,
+        rounds,
+        checkpoint_dir,
+        resume,
+    } = args;
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, no_merge, min_frequency)?;
     out!(
@@ -215,18 +259,40 @@ fn build(
         instance.similarity.delta
     );
     let metrics = Metrics::new(metrics_out.is_some());
+    let budget = deadline_ms.map_or_else(Budget::unlimited, Budget::with_deadline_ms);
     let config = CtcrConfig {
         metrics: metrics.clone(),
         threads,
+        budget,
         ..CtcrConfig::default()
     };
-    let mut result = ctcr::run(&instance, &config);
+    let checkpoint_path = checkpoint_dir
+        .map(|dir| {
+            fs::create_dir_all(dir)
+                .map(|()| std::path::Path::new(dir).join("build.ckpt"))
+                .map_err(|e| format!("cannot create {dir}: {e}"))
+        })
+        .transpose()?;
+    let outcome = workflow::iterate_with_checkpoints(
+        &instance,
+        &config,
+        rounds,
+        BUILD_RELIEF,
+        checkpoint_path.as_deref(),
+        resume,
+    )
+    .map_err(|e| format!("build failed: {e}"))?;
+    let built_on = outcome.instance;
+    let mut result = outcome.result;
     result
         .tree
-        .validate(&instance)
+        .validate(&built_on)
         .map_err(|e| format!("internal error — invalid tree: {e}"))?;
+    if result.stats.degraded {
+        out!("note: budget expired — degraded result (greedy/local-search fallbacks)");
+    }
     if labels {
-        labeling::apply_labels(&instance, &mut result.tree);
+        labeling::apply_labels(&built_on, &mut result.tree);
     }
     let nav = navigation::stats(&result.tree);
     out!(
@@ -260,11 +326,18 @@ fn score(
     items: u32,
     similarity: Similarity,
     threads: usize,
+    deadline_ms: Option<u64>,
 ) -> Result<(), String> {
     let tree = read_tree(tree_path)?;
     let log = read_log(log_path)?;
     let instance = instance_from_log(&log, items, similarity, true, 0.0)?;
-    let score = score_tree_with(&instance, &tree, &ScoreOptions::with_threads(threads));
+    let budget = deadline_ms.map_or_else(Budget::unlimited, Budget::with_deadline_ms);
+    let options = ScoreOptions {
+        budget,
+        ..ScoreOptions::with_threads(threads)
+    };
+    let score =
+        try_score_tree_with(&instance, &tree, &options).map_err(|e| format!("scoring: {e}"))?;
     out!(
         "score {:.3} normalized | {}/{} sets covered | total {:.1} of weight {:.1}",
         score.normalized,
@@ -428,17 +501,21 @@ mod tests {
         let metrics_path = dir.join("m.json");
         let ds = generate(DatasetName::A, 0.01, Similarity::jaccard_threshold(0.8));
         fs::write(&log_path, loader::write_query_log(&ds.log)).expect("write log");
-        build(
-            log_path.to_str().expect("utf8"),
-            ds.catalog.len() as u32,
-            Similarity::jaccard_threshold(0.8),
-            Some(tree_path.to_str().expect("utf8")),
-            false,
-            0.0,
-            true,
-            Some(metrics_path.to_str().expect("utf8")),
-            2,
-        )
+        build(BuildArgs {
+            log_path: log_path.to_str().expect("utf8"),
+            items: ds.catalog.len() as u32,
+            similarity: Similarity::jaccard_threshold(0.8),
+            out: Some(tree_path.to_str().expect("utf8")),
+            no_merge: false,
+            min_frequency: 0.0,
+            labels: true,
+            metrics_out: Some(metrics_path.to_str().expect("utf8")),
+            threads: 2,
+            deadline_ms: None,
+            rounds: 1,
+            checkpoint_dir: None,
+            resume: false,
+        })
         .expect("build succeeds");
         let report = oct_obs::PipelineReport::from_json(
             &fs::read_to_string(&metrics_path).expect("metrics written"),
@@ -452,9 +529,63 @@ mod tests {
             ds.catalog.len() as u32,
             Similarity::jaccard_threshold(0.8),
             2,
+            None,
         )
         .expect("score succeeds");
         inspect(tree_path.to_str().expect("utf8"), 2).expect("inspect succeeds");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_build_resumes_and_degraded_deadline_still_completes() {
+        let dir = std::env::temp_dir().join(format!("octree-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir");
+        let log_path = dir.join("q.tsv");
+        let tree_path = dir.join("t.oct");
+        let ds = generate(DatasetName::A, 0.01, Similarity::jaccard_threshold(0.8));
+        fs::write(&log_path, loader::write_query_log(&ds.log)).expect("write log");
+        fn args<'a>(
+            log_path: &'a str,
+            dir: &'a str,
+            items: u32,
+            out: &'a str,
+            deadline_ms: Option<u64>,
+            resume: bool,
+        ) -> BuildArgs<'a> {
+            BuildArgs {
+                log_path,
+                items,
+                similarity: Similarity::jaccard_threshold(0.8),
+                out: Some(out),
+                no_merge: true,
+                min_frequency: 0.0,
+                labels: false,
+                metrics_out: None,
+                threads: 1,
+                deadline_ms,
+                rounds: 2,
+                checkpoint_dir: Some(dir),
+                resume,
+            }
+        }
+        let log_str = log_path.to_str().expect("utf8");
+        let dir_str = dir.to_str().expect("utf8");
+        let items = ds.catalog.len() as u32;
+        let tree_str = tree_path.to_str().expect("utf8").to_owned();
+        build(args(log_str, dir_str, items, &tree_str, None, false))
+            .expect("checkpointed build succeeds");
+        let first = fs::read(&tree_path).expect("tree written");
+        assert!(dir.join("build.ckpt").exists(), "checkpoint persisted");
+        // Resume from the finished checkpoint: bit-identical output.
+        build(args(log_str, dir_str, items, &tree_str, None, true))
+            .expect("resumed build succeeds");
+        assert_eq!(fs::read(&tree_path).expect("tree rewritten"), first);
+        // An absurdly tight deadline still completes (degraded fallbacks).
+        let degraded_path = dir.join("degraded.oct");
+        let degraded_str = degraded_path.to_str().expect("utf8").to_owned();
+        build(args(log_str, dir_str, items, &degraded_str, Some(1), false))
+            .expect("degraded build still completes");
+        assert!(degraded_path.exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -21,11 +21,23 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv).and_then(commands::run) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    // Last-resort isolation: a bug anywhere below surfaces as a one-line
+    // error and a nonzero exit, never an abort with a backtrace dump.
+    let outcome = std::panic::catch_unwind(|| args::parse(&argv).and_then(commands::run));
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
             eprintln!("\n{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown internal error");
+            eprintln!("error: internal failure: {message}");
             ExitCode::FAILURE
         }
     }

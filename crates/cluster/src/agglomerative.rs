@@ -8,6 +8,7 @@
 //! the others support the ablation of that choice.
 
 use oct_obs::Metrics;
+use oct_resilience::Budget;
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::error::ClusterError;
@@ -47,9 +48,27 @@ pub fn cluster(dist: CondensedMatrix, linkage: Linkage) -> Result<Dendrogram, Cl
 /// Returns [`ClusterError::NonFiniteDistance`] on NaN/∞ matrix entries; see
 /// [`cluster`].
 pub fn cluster_with_metrics(
+    dist: CondensedMatrix,
+    linkage: Linkage,
+    metrics: &Metrics,
+) -> Result<Dendrogram, ClusterError> {
+    cluster_budgeted(dist, linkage, metrics, &Budget::unlimited())
+}
+
+/// [`cluster_with_metrics`] under a wall-clock [`Budget`], checked once per
+/// merge (each merge already costs `O(n)`). On expiry the merge loop stops
+/// and the partial merge list is returned as a valid *forest* dendrogram
+/// (fewer than `n − 1` merges, multiple roots); the `budget/expired`
+/// counter records the cut.
+///
+/// # Errors
+/// Returns [`ClusterError::NonFiniteDistance`] on NaN/∞ matrix entries; see
+/// [`cluster`].
+pub fn cluster_budgeted(
     mut dist: CondensedMatrix,
     linkage: Linkage,
     metrics: &Metrics,
+    budget: &Budget,
 ) -> Result<Dendrogram, ClusterError> {
     dist.validate_finite()?;
     let _span = metrics.span("cluster/nn_chain");
@@ -74,7 +93,12 @@ pub fn cluster_with_metrics(
     let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
     let mut chain: Vec<usize> = Vec::with_capacity(n);
 
+    let limited = budget.is_limited();
     for _ in 0..n - 1 {
+        if limited && budget.expired() {
+            metrics.incr("budget/expired");
+            break;
+        }
         if chain.is_empty() {
             let start = active
                 .iter()
@@ -216,6 +240,32 @@ mod tests {
         assert_eq!(report.counter("cluster/leaves"), Some(4));
         assert_eq!(report.counter("cluster/merges"), Some(3));
         assert!(report.span("cluster/nn_chain").is_some());
+    }
+
+    #[test]
+    fn expired_budget_yields_partial_forest() {
+        let m = Metrics::enabled();
+        let d = cluster_budgeted(
+            points_1d(&[0.0, 1.0, 5.0, 6.0]),
+            Linkage::Average,
+            &m,
+            &Budget::expired_now(),
+        )
+        .expect("finite");
+        assert_eq!(d.num_leaves(), 4);
+        assert!(d.merges().is_empty(), "no merge fits an expired budget");
+        assert_eq!(d.roots().len(), 4, "every leaf stays its own root");
+        assert_eq!(m.report().counter("budget/expired"), Some(1));
+
+        // A generous deadline completes the full dendrogram.
+        let full = cluster_budgeted(
+            points_1d(&[0.0, 1.0, 5.0, 6.0]),
+            Linkage::Average,
+            &Metrics::disabled(),
+            &Budget::with_deadline_ms(60_000),
+        )
+        .expect("finite");
+        assert_eq!(full.merges().len(), 3);
     }
 
     #[test]

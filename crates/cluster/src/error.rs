@@ -2,8 +2,11 @@
 //! points.
 
 /// Invalid input to a matrix builder or to the NN-chain clustering.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {
+    /// A scoped matrix-fill worker panicked; the panic was contained
+    /// instead of aborting the process.
+    WorkerPanicked(oct_resilience::ExecutionError),
     /// Rows passed to a matrix builder disagree on dimensionality.
     DimensionMismatch {
         /// Index of the first offending row.
@@ -41,7 +44,14 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NonFiniteDistance { i, j, value } => {
                 write!(f, "distance between points {i} and {j} is {value}")
             }
+            ClusterError::WorkerPanicked(inner) => inner.fmt(f),
         }
+    }
+}
+
+impl From<oct_resilience::ExecutionError> for ClusterError {
+    fn from(inner: oct_resilience::ExecutionError) -> Self {
+        ClusterError::WorkerPanicked(inner)
     }
 }
 

@@ -19,7 +19,7 @@ pub mod dendrogram;
 pub mod error;
 pub mod matrix;
 
-pub use agglomerative::{cluster, cluster_with_metrics, Linkage};
+pub use agglomerative::{cluster, cluster_budgeted, cluster_with_metrics, Linkage};
 pub use dendrogram::{Dendrogram, Merge};
 pub use error::ClusterError;
 pub use matrix::CondensedMatrix;

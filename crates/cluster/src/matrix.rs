@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use oct_obs::Metrics;
+use oct_resilience::{faults, run_isolated};
 
 use crate::error::ClusterError;
 
@@ -69,18 +70,25 @@ impl CondensedMatrix {
         let fill = |out: &mut [f32], lo: usize, hi: usize| {
             let mut k = 0;
             for i in lo..hi {
+                if faults::fire("matrix/worker-panic") {
+                    panic!("injected fault: matrix/worker-panic");
+                }
                 for j in (i + 1)..n {
-                    out[k] = rows[i]
-                        .iter()
-                        .zip(&rows[j])
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum::<f32>()
-                        .sqrt();
+                    out[k] = if faults::fire("cluster/nan-distance") {
+                        f32::NAN
+                    } else {
+                        rows[i]
+                            .iter()
+                            .zip(&rows[j])
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f32>()
+                            .sqrt()
+                    };
                     k += 1;
                 }
             }
         };
-        fill_row_chunks(n, &mut m.data, threads, &fill);
+        fill_row_chunks(n, &mut m.data, threads, &fill)?;
         metrics.add("matrix/entries", m.data.len() as u64);
         Ok(m)
     }
@@ -92,7 +100,11 @@ impl CondensedMatrix {
     /// Exploits sparsity: `d(a,b)² = ‖a‖² + ‖b‖² − 2⟨a,b⟩`, with dot products
     /// computed through an inverted index over non-zero coordinates, so fully
     /// disjoint supports never touch each other beyond the norm term.
-    pub fn euclidean_sparse(rows: &[Vec<(u32, f32)>]) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::WorkerPanicked`] if a fill worker panics
+    /// (contained via `catch_unwind` instead of aborting the process).
+    pub fn euclidean_sparse(rows: &[Vec<(u32, f32)>]) -> Result<Self, ClusterError> {
         Self::euclidean_sparse_with(rows, 0, &Metrics::disabled())
     }
 
@@ -103,11 +115,15 @@ impl CondensedMatrix {
     /// Dot products accumulate over coordinate-sorted postings split into
     /// contiguous chunks merged in order, so every thread count produces the
     /// same floating-point sums.
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::WorkerPanicked`] if a worker panics; see
+    /// [`CondensedMatrix::euclidean_sparse`].
     pub fn euclidean_sparse_with(
         rows: &[Vec<(u32, f32)>],
         threads: usize,
         metrics: &Metrics,
-    ) -> Self {
+    ) -> Result<Self, ClusterError> {
         let _span = metrics.span("matrix/build");
         let n = rows.len();
         let entries = n * n.saturating_sub(1) / 2;
@@ -130,6 +146,9 @@ impl CondensedMatrix {
         let dot_chunk = |lo: usize, hi: usize| -> HashMap<(u32, u32), f64> {
             let mut dots: HashMap<(u32, u32), f64> = HashMap::new();
             for (_, posting) in &postings[lo..hi] {
+                if faults::fire("matrix/worker-panic") {
+                    panic!("injected fault: matrix/worker-panic");
+                }
                 for (a, &(i, vi)) in posting.iter().enumerate() {
                     for &(j, vj) in &posting[a + 1..] {
                         *dots.entry((i, j)).or_insert(0.0) += (vi as f64) * (vj as f64);
@@ -139,7 +158,7 @@ impl CondensedMatrix {
             dots
         };
         let dots = if threads <= 1 || postings.len() < 2 {
-            dot_chunk(0, postings.len())
+            run_isolated("matrix dot workers", || dot_chunk(0, postings.len()))?
         } else {
             let chunk = postings.len().div_ceil(threads);
             let partials = std::thread::scope(|scope| {
@@ -147,14 +166,18 @@ impl CondensedMatrix {
                     .filter_map(|t| {
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(postings.len());
-                        (lo < hi).then(|| scope.spawn(move || dot_chunk(lo, hi)))
+                        (lo < hi).then(|| {
+                            scope.spawn(move || {
+                                run_isolated("matrix dot workers", || dot_chunk(lo, hi))
+                            })
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                    .collect::<Vec<_>>()
-            });
+                    .collect::<Result<Vec<_>, _>>()
+            })?;
             // Contiguous chunks merged in order: per-key addition order
             // matches the serial pass exactly.
             let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
@@ -179,9 +202,9 @@ impl CondensedMatrix {
                 }
             }
         };
-        fill_row_chunks(n, &mut m.data, threads, &fill);
+        fill_row_chunks(n, &mut m.data, threads, &fill)?;
         metrics.add("matrix/entries", m.data.len() as u64);
-        m
+        Ok(m)
     }
 
     /// Number of points.
@@ -297,7 +320,17 @@ fn row_chunks(n: usize, parts: usize) -> Vec<(usize, usize)> {
 /// condensed storage, in parallel when more than one chunk is requested.
 /// Each worker owns the exact `&mut [f32]` range its rows map to, so no
 /// synchronization is needed and the result is independent of scheduling.
-fn fill_row_chunks<F>(n: usize, data: &mut [f32], threads: usize, fill: &F)
+///
+/// Every fill — including the serial path — runs under `catch_unwind`; a
+/// panicking worker surfaces as [`ClusterError::WorkerPanicked`] instead of
+/// aborting. A partially filled chunk is harmless: the storage is discarded
+/// with the error.
+fn fill_row_chunks<F>(
+    n: usize,
+    data: &mut [f32],
+    threads: usize,
+    fill: &F,
+) -> Result<(), ClusterError>
 where
     F: Fn(&mut [f32], usize, usize) + Sync,
 {
@@ -305,9 +338,9 @@ where
     let chunks = row_chunks(n, threads);
     if chunks.len() <= 1 {
         if !data.is_empty() {
-            fill(data, 0, n);
+            run_isolated("matrix fill workers", || fill(data, 0, n))?;
         }
-        return;
+        return Ok(());
     }
     std::thread::scope(|scope| {
         let mut rest = data;
@@ -315,14 +348,17 @@ where
         for &(lo, hi) in &chunks {
             let (head, tail) = rest.split_at_mut(entries_in_rows(n, lo, hi));
             rest = tail;
-            handles.push(scope.spawn(move || fill(head, lo, hi)));
+            handles.push(
+                scope.spawn(move || run_isolated("matrix fill workers", || fill(head, lo, hi))),
+            );
         }
         for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
+            handle
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p))?;
         }
-    });
+        Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -387,7 +423,7 @@ mod tests {
             })
             .collect();
         let md = CondensedMatrix::euclidean_dense(&dense).expect("consistent dims");
-        let ms = CondensedMatrix::euclidean_sparse(&sparse);
+        let ms = CondensedMatrix::euclidean_sparse(&sparse).expect("no worker panics");
         for i in 0..3 {
             for j in 0..3 {
                 assert!((md.get(i, j) - ms.get(i, j)).abs() < 1e-5);
@@ -450,10 +486,12 @@ mod tests {
                 r
             })
             .collect();
-        let serial = CondensedMatrix::euclidean_sparse_with(&rows, 1, &Metrics::disabled());
+        let serial = CondensedMatrix::euclidean_sparse_with(&rows, 1, &Metrics::disabled())
+            .expect("no worker panics");
         for threads in [2, 4] {
             let parallel =
-                CondensedMatrix::euclidean_sparse_with(&rows, threads, &Metrics::disabled());
+                CondensedMatrix::euclidean_sparse_with(&rows, threads, &Metrics::disabled())
+                    .expect("no worker panics");
             assert_eq!(serial.data, parallel.data, "threads = {threads}");
         }
     }
@@ -491,6 +529,49 @@ mod tests {
             }
             other => panic!("wrong error {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_typed_error() {
+        let _guard = faults::serial_guard();
+        let rows = synth_rows(30, 3);
+        for threads in [1, 4] {
+            faults::arm("matrix/worker-panic", 1);
+            let err = CondensedMatrix::euclidean_dense_with(&rows, threads, &Metrics::disabled())
+                .expect_err("armed fault must surface");
+            match err {
+                ClusterError::WorkerPanicked(inner) => {
+                    assert!(inner.to_string().contains("matrix/worker-panic"));
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+            faults::reset();
+        }
+        // Sparse builder: both the dot workers and the fill workers are
+        // isolated.
+        let sparse: Vec<Vec<(u32, f32)>> = (0..20)
+            .map(|i| vec![(i % 7, 1.0), (7 + i % 5, 2.0)])
+            .collect();
+        faults::arm("matrix/worker-panic", 1);
+        assert!(matches!(
+            CondensedMatrix::euclidean_sparse_with(&sparse, 4, &Metrics::disabled()),
+            Err(ClusterError::WorkerPanicked(_))
+        ));
+        faults::reset();
+    }
+
+    #[test]
+    fn injected_nan_is_rejected_by_clustering() {
+        let _guard = faults::serial_guard();
+        faults::arm("cluster/nan-distance", 3);
+        let rows = synth_rows(10, 2);
+        let m = CondensedMatrix::euclidean_dense_with(&rows, 1, &Metrics::disabled())
+            .expect("NaN injection is not a worker panic");
+        faults::reset();
+        assert!(matches!(
+            crate::cluster(m, crate::Linkage::Average),
+            Err(ClusterError::NonFiniteDistance { .. })
+        ));
     }
 
     #[test]

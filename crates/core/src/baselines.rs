@@ -88,7 +88,9 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
             .iter()
             .map(|sets| sets.iter().map(|&s| (s, 1.0)).collect())
             .collect();
-        tree_from_dendrogram(n, CondensedMatrix::euclidean_sparse(&rows))
+        let matrix = CondensedMatrix::euclidean_sparse(&rows)
+            .expect("matrix fill workers do not panic on valid membership rows");
+        tree_from_dendrogram(n, matrix)
     } else {
         // Large path: hash memberships into a fixed-width dense vector.
         const DIM: usize = 64;

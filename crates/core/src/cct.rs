@@ -114,7 +114,8 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
             let _embed = stage.child("embed");
             embeddings(instance, config.threads)
         };
-        let matrix = CondensedMatrix::euclidean_sparse_with(&rows, config.threads, metrics);
+        let matrix = CondensedMatrix::euclidean_sparse_with(&rows, config.threads, metrics)
+            .expect("matrix fill workers do not panic on valid embeddings");
         // Embedding coordinates are similarities in [0, 1], so every
         // pairwise distance is finite.
         cluster_with_metrics(matrix, config.linkage, metrics).expect("finite distances")
@@ -176,6 +177,7 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
         let options = ScoreOptions {
             threads: config.threads,
             metrics: metrics.clone(),
+            ..ScoreOptions::default()
         };
         score_tree_with(instance, &tree, &options)
     };

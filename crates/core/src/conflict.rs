@@ -15,9 +15,14 @@
 //! pairs are interesting; they are enumerated through an inverted index and
 //! classified in parallel.
 
+use oct_resilience::Budget;
+
 use crate::input::Instance;
 use crate::similarity::{SimilarityKind, EPS};
 use crate::util::{ceil_tolerant, floor_tolerant, FxHashMap, FxHashSet};
+
+/// How often (in inverted-index items) workers read the wall clock.
+const DEADLINE_STRIDE: usize = 256;
 
 /// Classification of an intersecting pair of input sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,9 +139,27 @@ pub struct RankedPair {
     pub eff_inter: u32,
 }
 
+/// One worker's partial result: co-occurrence counts keyed by ranked set
+/// pair, plus whether the scan was truncated by the budget.
+type ChunkCounts = (FxHashMap<(u32, u32), (u32, u32)>, bool);
+
 /// Enumerates all intersecting input-set pairs with intersection sizes,
 /// splitting the inverted index across `threads` workers.
 pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair> {
+    intersecting_pairs_budgeted(instance, threads, &Budget::unlimited()).0
+}
+
+/// [`intersecting_pairs`] under a wall-clock [`Budget`]: on expiry each
+/// worker stops scanning its remaining inverted-index items. The second
+/// return value is `true` when the scan was cut short — the pair list is
+/// then a prefix sample (intersection counts for scanned items only), so
+/// downstream conflict detection under-reports and the resulting tree is
+/// degraded but structurally valid.
+pub fn intersecting_pairs_budgeted(
+    instance: &Instance,
+    threads: usize,
+    budget: &Budget,
+) -> (Vec<RankedPair>, bool) {
     let ranks = instance.ranks();
     let index = instance.inverted_index();
     let threads = threads.max(1);
@@ -144,7 +167,7 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
 
     // Each worker scans a chunk of items and counts co-occurrences locally.
     let chunk = index.len().div_ceil(threads);
-    let maps: Vec<FxHashMap<(u32, u32), (u32, u32)>> = if threads == 1 || index.len() < 1024 {
+    let results: Vec<ChunkCounts> = if threads == 1 || index.len() < 1024 {
         vec![count_chunk(
             instance,
             &ranks,
@@ -152,6 +175,7 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
             0,
             index.len(),
             has_bounds,
+            budget,
         )]
     } else {
         std::thread::scope(|scope| {
@@ -163,9 +187,9 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
                     continue;
                 }
                 let (instance, ranks, index) = (&*instance, &ranks, &index);
-                handles.push(
-                    scope.spawn(move || count_chunk(instance, ranks, index, lo, hi, has_bounds)),
-                );
+                handles.push(scope.spawn(move || {
+                    count_chunk(instance, ranks, index, lo, hi, has_bounds, budget)
+                }));
             }
             handles
                 .into_iter()
@@ -179,8 +203,9 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
         })
     };
 
+    let truncated = results.iter().any(|(_, t)| *t);
     let mut merged: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
-    for map in maps {
+    for (map, _) in results {
         for (key, (inter, eff)) in map {
             let entry = merged.entry(key).or_insert((0, 0));
             entry.0 += inter;
@@ -197,9 +222,10 @@ pub fn intersecting_pairs(instance: &Instance, threads: usize) -> Vec<RankedPair
         })
         .collect();
     pairs.sort_by_key(|p| (p.hi, p.lo));
-    pairs
+    (pairs, truncated)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn count_chunk(
     instance: &Instance,
     ranks: &[u32],
@@ -207,9 +233,16 @@ fn count_chunk(
     lo: usize,
     hi: usize,
     has_bounds: bool,
-) -> FxHashMap<(u32, u32), (u32, u32)> {
+    budget: &Budget,
+) -> ChunkCounts {
+    let limited = budget.is_limited();
     let mut map: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
-    for (item, sets) in index.iter().enumerate().take(hi).skip(lo) {
+    let mut truncated = false;
+    for (scanned, (item, sets)) in index.iter().enumerate().take(hi).skip(lo).enumerate() {
+        if limited && budget.check_every(scanned as u64, DEADLINE_STRIDE as u64) {
+            truncated = true;
+            break;
+        }
         let relaxed = has_bounds && instance.bound_of(item as u32) > 1;
         for (i, &a) in sets.iter().enumerate() {
             for &b in &sets[i + 1..] {
@@ -227,7 +260,7 @@ fn count_chunk(
             }
         }
     }
-    map
+    (map, truncated)
 }
 
 /// The full conflict structure of an instance.
@@ -248,6 +281,10 @@ pub struct ConflictAnalysis {
     /// skeleton: placing such a set under its near-superset lets the
     /// superset inherit its items instead of competing for them.
     pub nestable: Vec<(u32, u32)>,
+    /// `true` when a wall-clock budget cut the pair enumeration short; the
+    /// conflict lists then under-report (see
+    /// [`intersecting_pairs_budgeted`]).
+    pub truncated: bool,
 }
 
 impl ConflictAnalysis {
@@ -293,7 +330,30 @@ pub fn analyze_with_metrics(
     with_triples: bool,
     metrics: &oct_obs::Metrics,
 ) -> ConflictAnalysis {
-    let pairs = intersecting_pairs(instance, threads);
+    analyze_budgeted(
+        instance,
+        threads,
+        with_triples,
+        metrics,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`analyze_with_metrics`] under a wall-clock [`Budget`]: pair enumeration
+/// stops at the deadline (flagged via `truncated`), and on expiry the
+/// 3-conflict derivation is skipped entirely — the hypergraph solver then
+/// sees only the 2-conflicts already found.
+pub fn analyze_budgeted(
+    instance: &Instance,
+    threads: usize,
+    with_triples: bool,
+    metrics: &oct_obs::Metrics,
+    budget: &Budget,
+) -> ConflictAnalysis {
+    let (pairs, truncated) = intersecting_pairs_budgeted(instance, threads, budget);
+    if truncated {
+        metrics.incr("budget/expired");
+    }
     let ranks = instance.ranks();
 
     let mut conflicts2 = Vec::new();
@@ -323,7 +383,7 @@ pub fn analyze_with_metrics(
     }
 
     let mut conflicts3 = Vec::new();
-    if with_triples {
+    if with_triples && !(truncated && budget.expired()) {
         let mt_set: FxHashSet<(u32, u32)> = must_together.iter().copied().collect();
         let c2_set: FxHashSet<(u32, u32)> = conflicts2.iter().copied().collect();
         let ordered = |a: u32, b: u32| {
@@ -375,6 +435,7 @@ pub fn analyze_with_metrics(
         conflicts3,
         must_together,
         nestable,
+        truncated,
     }
 }
 
@@ -676,6 +737,31 @@ mod tests {
         i2.similarity = Similarity::f1_threshold(1.0);
         let class2 = classify_pair(&i2, 0, 1, 4, 4);
         assert!(class2.is_conflict());
+    }
+
+    #[test]
+    fn expired_budget_truncates_enumeration_without_panicking() {
+        let i = inst(
+            vec![(vec![0, 1, 2], 1.0), (vec![1, 2, 3], 1.0)],
+            Similarity::jaccard_threshold(0.9),
+            4,
+        );
+        let m = oct_obs::Metrics::enabled();
+        let analysis = analyze_budgeted(&i, 1, true, &m, &Budget::expired_now());
+        assert!(analysis.truncated);
+        assert!(analysis.conflicts2.is_empty(), "nothing was scanned");
+        assert_eq!(m.report().counter("budget/expired"), Some(1));
+
+        // A generous deadline leaves the analysis untouched.
+        let full = analyze_budgeted(
+            &i,
+            1,
+            true,
+            &oct_obs::Metrics::disabled(),
+            &Budget::with_deadline_ms(60_000),
+        );
+        assert!(!full.truncated);
+        assert_eq!(full.conflicts2, analyze(&i, 1, true).conflicts2);
     }
 
     #[test]

@@ -21,9 +21,10 @@ use std::time::Duration;
 
 use oct_mis::{Graph, Hypergraph, SolveBudget, Solver};
 use oct_obs::{Counter, Metrics};
+use oct_resilience::Budget;
 
 use crate::assign::{assign_items, AssignStats};
-use crate::conflict::{analyze, analyze_with_metrics, ConflictAnalysis};
+use crate::conflict::{analyze, analyze_budgeted, ConflictAnalysis};
 use crate::input::Instance;
 use crate::itemset::ItemSet;
 use crate::score::{covering_map, score_tree, score_tree_with, ScoreOptions, TreeScore};
@@ -57,6 +58,12 @@ pub struct CtcrConfig {
     /// span and counter into a no-op; pass [`Metrics::enabled`] to collect a
     /// per-stage [`oct_obs::PipelineReport`].
     pub metrics: Metrics,
+    /// Pipeline-wide wall-clock budget. On expiry every stage degrades
+    /// rather than aborts: conflict enumeration truncates its scan, the
+    /// MWIS solve falls back to greedy + local search, scoring stops
+    /// evaluating, and the reemployment loop is skipped. A degraded run is
+    /// flagged in [`CtcrStats::degraded`] and on the metrics handle.
+    pub budget: Budget,
 }
 
 impl Default for CtcrConfig {
@@ -69,6 +76,7 @@ impl Default for CtcrConfig {
             repair: true,
             nest_contained: true,
             metrics: Metrics::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -107,6 +115,10 @@ pub struct CtcrStats {
     pub score_time: Duration,
     /// Total wall-clock of the run.
     pub total_time: Duration,
+    /// `true` when the wall-clock budget expired mid-run and some stage
+    /// fell back to a degraded mode (truncated conflict scan, heuristic
+    /// MWIS, partial scoring). The tree is still structurally valid.
+    pub degraded: bool,
 }
 
 /// The result of a CTCR run.
@@ -144,6 +156,13 @@ pub fn run(instance: &Instance, config: &CtcrConfig) -> CtcrResult {
     let mut banned: FxHashSet<u32> = FxHashSet::default();
     let mut latest = best.clone();
     for _ in 0..3 {
+        // Out of time: keep the best tree so far instead of starting
+        // another full attempt.
+        if config.budget.expired() {
+            config.metrics.incr("budget/expired");
+            config.metrics.mark_degraded();
+            break;
+        }
         let additions = polluter_ban_list(instance, &latest);
         let before = banned.len();
         banned.extend(additions);
@@ -244,13 +263,24 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
 
     // Stages 1-2: ranking + conflicts (lines 1-9).
     let stage = run_span.child("conflict");
-    let analysis = analyze_with_metrics(instance, config.threads, with_triples, metrics);
+    let analysis = analyze_budgeted(
+        instance,
+        config.threads,
+        with_triples,
+        metrics,
+        &config.budget,
+    );
     let conflict_time = stage.elapsed();
     drop(stage);
 
-    // Stage 3: MWIS (line 10).
+    // Stage 3: MWIS (line 10). The pipeline budget caps the solve's wall
+    // clock on top of the caller's node budget.
     let stage = run_span.child("mis");
-    let solver = Solver::new(config.mis_budget);
+    let mut mis_budget = config.mis_budget.clone();
+    if config.budget.is_limited() {
+        mis_budget.wall = config.budget.clone();
+    }
+    let solver = Solver::new(mis_budget);
     let weights: Vec<f64> = instance.sets.iter().map(|s| s.weight).collect();
     let mis = if kind == SimilarityKind::Exact {
         solver.solve_graph_with_metrics(&Graph::new(weights, &analysis.conflicts2), metrics)
@@ -347,10 +377,17 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     let score_options = ScoreOptions {
         threads: config.threads,
         metrics: metrics.clone(),
+        budget: config.budget.clone(),
     };
     let score = score_tree_with(instance, &tree, &score_options);
     let score_time = stage.elapsed();
     drop(stage);
+    let degraded = analysis.truncated
+        || mis.deadline_expired
+        || (config.budget.is_limited() && config.budget.expired());
+    if degraded {
+        metrics.mark_degraded();
+    }
     let surviving_targets: Vec<(u32, CatId)> = targets
         .iter()
         .copied()
@@ -370,6 +407,7 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
         condense_time,
         score_time,
         total_time: run_span.elapsed(),
+        degraded,
     };
     CtcrResult {
         tree,
@@ -829,6 +867,38 @@ mod tests {
         assert_eq!(plain.score.total, instrumented.score.total);
         assert_eq!(plain.selection, instrumented.selection);
         assert!(CtcrConfig::default().metrics.report().is_empty());
+    }
+
+    #[test]
+    fn expired_budget_degrades_but_completes() {
+        // A pre-expired budget forces every stage onto its degraded path:
+        // truncated conflict scan, heuristic MWIS, partial scoring, no
+        // reemployment. The run must still produce a valid tree.
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let metrics = Metrics::enabled();
+        let config = CtcrConfig {
+            budget: Budget::expired_now(),
+            metrics: metrics.clone(),
+            ..CtcrConfig::default()
+        };
+        let result = run(&instance, &config);
+        assert!(result.stats.degraded, "expired budget must flag the run");
+        assert!(result.tree.validate(&instance).is_ok());
+        let report = metrics.report();
+        assert!(report.degraded);
+        assert!(report.counter("budget/expired").unwrap_or(0) >= 1);
+
+        // A generous deadline changes nothing.
+        let relaxed = run(
+            &instance,
+            &CtcrConfig {
+                budget: Budget::with_deadline(Duration::from_secs(600)),
+                ..CtcrConfig::default()
+            },
+        );
+        assert!(!relaxed.stats.degraded);
+        let unlimited = run(&instance, &CtcrConfig::default());
+        assert_eq!(relaxed.score.total, unlimited.score.total);
     }
 
     #[test]

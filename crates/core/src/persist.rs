@@ -1,4 +1,5 @@
-//! Compact binary persistence for instances and category trees.
+//! Compact binary persistence for instances, category trees, and workflow
+//! checkpoints.
 //!
 //! Production taxonomies are rebuilt every quarter but consumed daily, so
 //! trees (and the instances that produced them, for reproducibility) need a
@@ -7,8 +8,12 @@
 //! format crate required.
 //!
 //! Layout (all integers little-endian):
-//! `magic "OCT1" · u8 record tag · payload`. Strings are `u32` length +
-//! UTF-8; vectors are `u32` count + elements.
+//! `magic "OCT1" · u8 format version · u8 record tag · payload ·
+//! u64 FNV-1a checksum` — the checksum covers every preceding byte, so a
+//! bit flip anywhere in a record is detected before any payload is parsed.
+//! Strings are `u32` length + UTF-8; vectors are `u32` count + elements.
+//! Decoding is total: corrupt or truncated input of any shape yields a
+//! [`DecodeError`], never a panic or a silently wrong value.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -18,14 +23,27 @@ use crate::similarity::{Similarity, SimilarityKind};
 use crate::tree::{CatId, CategoryTree, ROOT};
 
 const MAGIC: &[u8; 4] = b"OCT1";
+/// Current format version. Version 1 (no version byte, no checksum) is no
+/// longer readable; its tag byte lands in the version slot and surfaces as
+/// [`DecodeError::UnsupportedVersion`].
+const FORMAT_VERSION: u8 = 2;
 const TAG_TREE: u8 = 1;
 const TAG_INSTANCE: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+
+/// Bytes of fixed framing around every record: magic + version + tag up
+/// front, checksum footer at the end.
+const FRAME_BYTES: usize = 4 + 1 + 1 + 8;
 
 /// Errors produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// The buffer does not start with the format magic.
     BadMagic,
+    /// The format version byte is not one this build can read.
+    UnsupportedVersion(u8),
+    /// The checksum footer does not match the record contents.
+    ChecksumMismatch,
     /// The record tag does not match the requested type.
     WrongTag {
         /// Expected tag.
@@ -39,6 +57,9 @@ pub enum DecodeError {
     BadUtf8,
     /// An enum discriminant was out of range.
     BadEnum(u8),
+    /// A numeric field holds a non-finite value where one is meaningless
+    /// (weights, thresholds, trace scores).
+    NonFinite(&'static str),
     /// Structural inconsistency (e.g. a child referencing a missing parent).
     Inconsistent(&'static str),
 }
@@ -47,12 +68,20 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::BadMagic => write!(f, "not an OCT1 buffer"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (this build reads v{FORMAT_VERSION})"
+                )
+            }
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch: corrupt record"),
             DecodeError::WrongTag { expected, found } => {
                 write!(f, "expected record tag {expected}, found {found}")
             }
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
             DecodeError::BadEnum(v) => write!(f, "invalid enum discriminant {v}"),
+            DecodeError::NonFinite(what) => write!(f, "non-finite {what}"),
             DecodeError::Inconsistent(what) => write!(f, "inconsistent data: {what}"),
         }
     }
@@ -60,8 +89,31 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// FNV-1a over `bytes` — tiny, dependency-free, and plenty to catch the
+/// random corruption (truncation, bit flips, torn writes) checkpoints are
+/// exposed to. Not a cryptographic integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Checks that a `count`-element sequence of records, each at least
+/// `min_record` bytes, can still fit in the buffer — rejecting absurd
+/// counts *before* any allocation is sized from them.
+fn plausible(buf: &impl Buf, count: usize, min_record: usize) -> Result<(), DecodeError> {
+    if (count as u64) * (min_record as u64) > buf.remaining() as u64 {
         Err(DecodeError::Truncated)
     } else {
         Ok(())
@@ -91,32 +143,51 @@ fn put_items(buf: &mut BytesMut, items: &[u32]) {
 fn get_items(buf: &mut Bytes) -> Result<Vec<u32>, DecodeError> {
     need(buf, 4)?;
     let len = buf.get_u32_le() as usize;
-    need(buf, len * 4)?;
+    plausible(buf, len, 4)?;
     Ok((0..len).map(|_| buf.get_u32_le()).collect())
 }
 
 fn header(tag: u8) -> BytesMut {
     let mut buf = BytesMut::with_capacity(64);
     buf.put_slice(MAGIC);
+    buf.put_u8(FORMAT_VERSION);
     buf.put_u8(tag);
     buf
 }
 
-fn check_header(buf: &mut Bytes, tag: u8) -> Result<(), DecodeError> {
-    need(buf, 5)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+/// Appends the checksum footer and freezes the record.
+fn seal(mut buf: BytesMut) -> Bytes {
+    let checksum = fnv1a(buf.as_ref());
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Validates framing (magic, version, checksum, tag) and returns the bare
+/// payload.
+fn open(buf: &Bytes, tag: u8) -> Result<Bytes, DecodeError> {
+    if buf.len() < FRAME_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    if &buf[..4] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let found = buf.get_u8();
+    let version = buf[4];
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let body = &buf[..buf.len() - 8];
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8-byte footer"));
+    if fnv1a(body) != stored {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    let found = buf[5];
     if found != tag {
         return Err(DecodeError::WrongTag {
             expected: tag,
             found,
         });
     }
-    Ok(())
+    Ok(buf.slice(6..buf.len() - 8))
 }
 
 /// Encodes a category tree (live categories only; tombstones are elided).
@@ -150,24 +221,33 @@ pub fn encode_tree(tree: &CategoryTree) -> Bytes {
         put_string(&mut buf, tree.label(cat).unwrap_or(""));
         put_items(&mut buf, tree.direct_items(cat));
     }
-    buf.freeze()
+    seal(buf)
 }
 
 /// Decodes a category tree produced by [`encode_tree`].
-pub fn decode_tree(mut buf: Bytes) -> Result<CategoryTree, DecodeError> {
-    check_header(&mut buf, TAG_TREE)?;
-    need(&buf, 4)?;
+pub fn decode_tree(buf: Bytes) -> Result<CategoryTree, DecodeError> {
+    let mut buf = open(&buf, TAG_TREE)?;
+    decode_tree_payload(&mut buf)
+}
+
+/// Minimum encoded size of one tree record: parent + empty label + empty
+/// item list.
+const MIN_TREE_RECORD: usize = 4 + 4 + 4;
+
+fn decode_tree_payload(buf: &mut Bytes) -> Result<CategoryTree, DecodeError> {
+    need(buf, 4)?;
     let count = buf.get_u32_le() as usize;
     if count == 0 {
         return Err(DecodeError::Inconsistent("a tree has at least a root"));
     }
+    plausible(buf, count, MIN_TREE_RECORD)?;
     let mut tree = CategoryTree::new();
     let mut id_map: Vec<CatId> = Vec::with_capacity(count);
     for d in 0..count {
-        need(&buf, 4)?;
+        need(buf, 4)?;
         let parent = buf.get_u32_le();
-        let label = get_string(&mut buf)?;
-        let items = get_items(&mut buf)?;
+        let label = get_string(buf)?;
+        let items = get_items(buf)?;
         let cat = if d == 0 {
             if parent != u32::MAX {
                 return Err(DecodeError::Inconsistent("first record must be the root"));
@@ -214,6 +294,11 @@ fn kind_from(tag: u8) -> Result<SimilarityKind, DecodeError> {
 /// Encodes an instance.
 pub fn encode_instance(instance: &Instance) -> Bytes {
     let mut buf = header(TAG_INSTANCE);
+    encode_instance_payload(instance, &mut buf);
+    seal(buf)
+}
+
+fn encode_instance_payload(instance: &Instance, buf: &mut BytesMut) {
     buf.put_u32_le(instance.num_items);
     buf.put_u8(kind_tag(instance.similarity.kind));
     buf.put_f64_le(instance.similarity.delta);
@@ -227,38 +312,57 @@ pub fn encode_instance(instance: &Instance) -> Bytes {
     buf.put_u32_le(instance.sets.len() as u32);
     for set in &instance.sets {
         buf.put_f64_le(set.weight);
+        // NaN is the in-band sentinel for "no per-set threshold"; finite
+        // values are real thresholds and ±∞ never encodes.
         buf.put_f64_le(set.threshold.unwrap_or(f64::NAN));
-        put_string(&mut buf, set.label.as_deref().unwrap_or(""));
-        put_items(&mut buf, set.items.as_slice());
+        put_string(buf, set.label.as_deref().unwrap_or(""));
+        put_items(buf, set.items.as_slice());
     }
-    buf.freeze()
 }
 
 /// Decodes an instance produced by [`encode_instance`].
-pub fn decode_instance(mut buf: Bytes) -> Result<Instance, DecodeError> {
-    check_header(&mut buf, TAG_INSTANCE)?;
-    need(&buf, 4 + 1 + 8 + 1)?;
+pub fn decode_instance(buf: Bytes) -> Result<Instance, DecodeError> {
+    let mut buf = open(&buf, TAG_INSTANCE)?;
+    decode_instance_payload(&mut buf)
+}
+
+/// Minimum encoded size of one input-set record: weight + threshold +
+/// empty label + empty item list.
+const MIN_SET_RECORD: usize = 8 + 8 + 4 + 4;
+
+fn decode_instance_payload(buf: &mut Bytes) -> Result<Instance, DecodeError> {
+    need(buf, 4 + 1 + 8 + 1)?;
     let num_items = buf.get_u32_le();
     let kind = kind_from(buf.get_u8())?;
     let delta = buf.get_f64_le();
+    if !delta.is_finite() {
+        return Err(DecodeError::NonFinite("similarity threshold"));
+    }
     let has_bounds = buf.get_u8() == 1;
     let bounds = if has_bounds {
-        need(&buf, num_items as usize)?;
+        need(buf, num_items as usize)?;
         let mut b = vec![0u8; num_items as usize];
         buf.copy_to_slice(&mut b);
         Some(b)
     } else {
         None
     };
-    need(&buf, 4)?;
+    need(buf, 4)?;
     let count = buf.get_u32_le() as usize;
+    plausible(buf, count, MIN_SET_RECORD)?;
     let mut sets = Vec::with_capacity(count);
     for _ in 0..count {
-        need(&buf, 16)?;
+        need(buf, 16)?;
         let weight = buf.get_f64_le();
+        if !weight.is_finite() {
+            return Err(DecodeError::NonFinite("set weight"));
+        }
         let threshold = buf.get_f64_le();
-        let label = get_string(&mut buf)?;
-        let items = get_items(&mut buf)?;
+        if threshold.is_infinite() {
+            return Err(DecodeError::NonFinite("set threshold"));
+        }
+        let label = get_string(buf)?;
+        let items = get_items(buf)?;
         let mut set = InputSet::new(ItemSet::new(items), weight);
         if !threshold.is_nan() {
             set.threshold = Some(threshold);
@@ -273,6 +377,106 @@ pub fn decode_instance(mut buf: Bytes) -> Result<Instance, DecodeError> {
         instance = instance.with_item_bounds(b);
     }
     Ok(instance)
+}
+
+/// One persisted round of the reemployment loop (mirrors
+/// `workflow::IterationTrace` without depending on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Covered sets after the round.
+    pub covered: u32,
+    /// Normalized score after the round.
+    pub score: f64,
+    /// Sets relaxed entering the next round.
+    pub relaxed: u32,
+}
+
+/// A resumable snapshot of `workflow::iterate` taken after a completed
+/// reemployment round.
+///
+/// The best tree itself is *not* stored: CTCR is deterministic, so the best
+/// round's result is re-derived bit-identically by re-running on
+/// [`Checkpoint::best_instance`]. That keeps checkpoints small and makes a
+/// resumed run's output provably equal to an uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Rounds fully executed so far.
+    pub rounds_done: u32,
+    /// `true` when the loop already terminated (converged or exhausted its
+    /// round budget) — resume only needs to re-derive the best result.
+    pub finished: bool,
+    /// Which round (0-based) produced the best result.
+    pub best_round: u32,
+    /// The instance the best round was built and scored against.
+    pub best_instance: Instance,
+    /// The instance entering the next round (thresholds already relaxed).
+    pub current_instance: Instance,
+    /// Per-round coverage trace.
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Encodes a workflow checkpoint.
+pub fn encode_checkpoint(cp: &Checkpoint) -> Bytes {
+    let mut buf = header(TAG_CHECKPOINT);
+    buf.put_u32_le(cp.rounds_done);
+    buf.put_u8(u8::from(cp.finished));
+    buf.put_u32_le(cp.best_round);
+    encode_instance_payload(&cp.best_instance, &mut buf);
+    encode_instance_payload(&cp.current_instance, &mut buf);
+    buf.put_u32_le(cp.trace.len() as u32);
+    for entry in &cp.trace {
+        buf.put_u32_le(entry.covered);
+        buf.put_f64_le(entry.score);
+        buf.put_u32_le(entry.relaxed);
+    }
+    seal(buf)
+}
+
+/// Decodes a workflow checkpoint produced by [`encode_checkpoint`].
+pub fn decode_checkpoint(buf: Bytes) -> Result<Checkpoint, DecodeError> {
+    let mut buf = open(&buf, TAG_CHECKPOINT)?;
+    need(&buf, 4 + 1 + 4)?;
+    let rounds_done = buf.get_u32_le();
+    let finished = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        other => return Err(DecodeError::BadEnum(other)),
+    };
+    let best_round = buf.get_u32_le();
+    let best_instance = decode_instance_payload(&mut buf)?;
+    let current_instance = decode_instance_payload(&mut buf)?;
+    need(&buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    plausible(&buf, count, 4 + 8 + 4)?;
+    let mut trace = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 16)?;
+        let covered = buf.get_u32_le();
+        let score = buf.get_f64_le();
+        if !score.is_finite() {
+            return Err(DecodeError::NonFinite("trace score"));
+        }
+        let relaxed = buf.get_u32_le();
+        trace.push(TraceEntry {
+            covered,
+            score,
+            relaxed,
+        });
+    }
+    if best_round >= rounds_done && rounds_done > 0 {
+        return Err(DecodeError::Inconsistent("best round after last round"));
+    }
+    if trace.len() != rounds_done as usize {
+        return Err(DecodeError::Inconsistent("trace length != rounds done"));
+    }
+    Ok(Checkpoint {
+        rounds_done,
+        finished,
+        best_round,
+        best_instance,
+        current_instance,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -294,6 +498,31 @@ mod tests {
         let d = t.add_category(c);
         t.remove_category(d);
         t
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let best = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let mut current = best.clone();
+        current.sets[1].threshold = Some(0.3);
+        Checkpoint {
+            rounds_done: 2,
+            finished: false,
+            best_round: 1,
+            best_instance: best,
+            current_instance: current,
+            trace: vec![
+                TraceEntry {
+                    covered: 2,
+                    score: 0.5,
+                    relaxed: 2,
+                },
+                TraceEntry {
+                    covered: 3,
+                    score: 0.75,
+                    relaxed: 1,
+                },
+            ],
+        }
     }
 
     #[test]
@@ -334,15 +563,63 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_roundtrip_preserves_everything() {
+        let cp = sample_checkpoint();
+        let decoded = decode_checkpoint(encode_checkpoint(&cp)).expect("roundtrip");
+        assert_eq!(decoded.rounds_done, cp.rounds_done);
+        assert_eq!(decoded.finished, cp.finished);
+        assert_eq!(decoded.best_round, cp.best_round);
+        assert_eq!(decoded.trace, cp.trace);
+        assert_eq!(decoded.best_instance.num_items, cp.best_instance.num_items);
+        assert_eq!(
+            decoded.current_instance.threshold_of(1),
+            cp.current_instance.threshold_of(1)
+        );
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(matches!(
             decode_tree(Bytes::from_static(b"nope")),
             Err(DecodeError::Truncated)
         ));
         assert!(matches!(
-            decode_tree(Bytes::from_static(b"WAT1\x01\x00\x00\x00\x00")),
+            decode_tree(Bytes::from_static(b"WAT1\x02\x01****checksum")),
             Err(DecodeError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn rejects_old_format_version() {
+        // A v1 record had the tag directly after the magic — it now reads
+        // as an unsupported version rather than mis-parsing.
+        let mut v1 = BytesMut::with_capacity(32);
+        v1.put_slice(MAGIC);
+        v1.put_u8(1); // v1 tree tag, in the version slot
+        v1.put_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_tree(v1.freeze()),
+            Err(DecodeError::UnsupportedVersion(1))
+        ));
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let encoded = encode_tree(&sample_tree());
+        // Flip one bit in every payload byte position (skipping the magic,
+        // whose corruption reports BadMagic instead).
+        for pos in 4..encoded.len() {
+            let mut corrupt = encoded.to_vec();
+            corrupt[pos] ^= 0x10;
+            let err = decode_tree(Bytes::from(corrupt)).expect_err("corruption must be caught");
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::ChecksumMismatch | DecodeError::UnsupportedVersion(_)
+                ),
+                "byte {pos}: unexpected error {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -360,14 +637,55 @@ mod tests {
 
     #[test]
     fn truncation_is_detected() {
-        let encoded = encode_tree(&sample_tree());
-        for cut in [5usize, 9, encoded.len() - 1] {
-            let sliced = encoded.slice(0..cut.min(encoded.len() - 1));
-            assert!(
-                decode_tree(sliced).is_err(),
-                "cut at {cut} should fail cleanly"
-            );
+        for encoded in [
+            encode_tree(&sample_tree()),
+            encode_instance(&figure2_instance(Similarity::exact())),
+            encode_checkpoint(&sample_checkpoint()),
+        ] {
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_tree(encoded.slice(0..cut)).is_err(),
+                    "cut at {cut} should fail cleanly"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_weights_and_thresholds() {
+        let mut instance = figure2_instance(Similarity::exact());
+        instance.sets[0].weight = f64::INFINITY;
+        assert_eq!(
+            decode_instance(encode_instance(&instance)).err(),
+            Some(DecodeError::NonFinite("set weight"))
+        );
+        let mut instance = figure2_instance(Similarity::exact());
+        instance.sets[1].threshold = Some(f64::NEG_INFINITY);
+        assert_eq!(
+            decode_instance(encode_instance(&instance)).err(),
+            Some(DecodeError::NonFinite("set threshold"))
+        );
+    }
+
+    #[test]
+    fn implausible_counts_fail_before_allocating() {
+        // A record claiming u32::MAX sets must be rejected by the length
+        // plausibility check, not by an attempted 100-GiB allocation.
+        let instance = figure2_instance(Similarity::exact());
+        let encoded = encode_instance(&instance);
+        let mut raw = encoded.to_vec();
+        // The set count sits right after num_items(4) + kind(1) + delta(8)
+        // + bounds flag(1) in the payload (which starts at byte 6).
+        let count_at = 6 + 4 + 1 + 8 + 1;
+        raw[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Re-seal so the checksum is valid and the count check is reached.
+        let body_len = raw.len() - 8;
+        let checksum = fnv1a(&raw[..body_len]);
+        raw[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            decode_instance(Bytes::from(raw)).err(),
+            Some(DecodeError::Truncated)
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! principle differ, which the EPS tie-band makes non-transitive).
 
 use oct_obs::{Counter, Metrics};
+use oct_resilience::{faults, run_isolated, Budget, ExecutionError};
 
 use crate::input::Instance;
 use crate::similarity::EPS;
@@ -42,6 +43,9 @@ const PARALLEL_MIN_CATEGORIES: usize = 512;
 /// Stop expanding the frontier beyond this many subtrees.
 const MAX_FRONTIER: usize = 4096;
 
+/// How often (in categories) scoring loops read the wall clock.
+const DEADLINE_STRIDE: u64 = 64;
+
 /// Knobs for [`score_tree_with`].
 #[derive(Debug, Clone)]
 pub struct ScoreOptions {
@@ -51,6 +55,11 @@ pub struct ScoreOptions {
     /// Telemetry sink; spans `score/aggregate` / `score/evaluate` and
     /// counters `score/categories` / `score/candidates` are recorded here.
     pub metrics: Metrics,
+    /// Wall-clock budget. On expiry the scoring pass keeps aggregating
+    /// (cheap, needed for structural consistency) but stops evaluating
+    /// further categories, so unevaluated categories simply never become a
+    /// set's best cover — a valid, pessimistic score.
+    pub budget: Budget,
 }
 
 impl Default for ScoreOptions {
@@ -58,6 +67,7 @@ impl Default for ScoreOptions {
         Self {
             threads: 0,
             metrics: Metrics::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -319,40 +329,75 @@ pub fn score_tree(instance: &Instance, tree: &CategoryTree) -> TreeScore {
 ///
 /// The output is identical for every thread count (see the module docs for
 /// the argument); `parallel matches serial` is pinned by a proptest.
+///
+/// # Panics
+/// Re-raises a scoring-worker panic (contained as a typed error by
+/// [`try_score_tree_with`]) in the calling thread. Use the `try_` variant
+/// where a worker panic must not unwind.
 pub fn score_tree_with(
     instance: &Instance,
     tree: &CategoryTree,
     options: &ScoreOptions,
 ) -> TreeScore {
+    try_score_tree_with(instance, tree, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`score_tree_with`] with scoring workers isolated: every scoped worker
+/// (and the serial pass) runs under `catch_unwind`, so a panic surfaces as
+/// [`ExecutionError::WorkerPanicked`] instead of unwinding (or, with
+/// multiple panicking workers, aborting) the process.
+///
+/// # Errors
+/// Returns [`ExecutionError::WorkerPanicked`] when any scoring worker
+/// panics.
+pub fn try_score_tree_with(
+    instance: &Instance,
+    tree: &CategoryTree,
+    options: &ScoreOptions,
+) -> Result<TreeScore, ExecutionError> {
     let metrics = &options.metrics;
     let threads = resolve_threads(options.threads, tree.len());
     let index = instance.inverted_index();
     let n = instance.num_sets();
     let categories = metrics.counter("score/categories");
     let candidates = metrics.counter("score/candidates");
+    let budget = &options.budget;
 
     let depths = category_depths(tree);
     let best = if threads <= 1 {
         let _span = metrics.span("score/aggregate");
-        let mut best = Best::new(n);
-        let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
-        for cat in tree.post_order() {
-            let agg = aggregate_node(tree, cat, &mut pending, &index);
-            evaluate_category(
-                instance,
-                cat,
-                depths[cat as usize],
-                &agg,
-                &mut best,
-                &candidates,
-            );
-            categories.incr();
-            pending.insert(cat, agg);
-            if cat == ROOT {
-                break;
+        run_isolated("score workers", || {
+            let mut best = Best::new(n);
+            let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
+            let mut expired = false;
+            for (seen, cat) in tree.post_order().into_iter().enumerate() {
+                if faults::fire("score/worker-panic") {
+                    panic!("injected fault: score/worker-panic");
+                }
+                let agg = aggregate_node(tree, cat, &mut pending, &index);
+                expired = expired
+                    || (budget.is_limited() && budget.check_every(seen as u64, DEADLINE_STRIDE));
+                if !expired {
+                    evaluate_category(
+                        instance,
+                        cat,
+                        depths[cat as usize],
+                        &agg,
+                        &mut best,
+                        &candidates,
+                    );
+                    categories.incr();
+                }
+                pending.insert(cat, agg);
+                if cat == ROOT {
+                    break;
+                }
             }
-        }
-        best
+            if expired {
+                metrics.incr("budget/expired");
+            }
+            best
+        })?
     } else {
         score_parallel(
             instance,
@@ -363,7 +408,8 @@ pub fn score_tree_with(
             metrics,
             &categories,
             &candidates,
-        )
+            budget,
+        )?
     };
 
     let _span = metrics.span("score/evaluate");
@@ -380,11 +426,11 @@ pub fn score_tree_with(
         });
     }
     let denom = instance.total_weight();
-    TreeScore {
+    Ok(TreeScore {
         total,
         normalized: if denom > 0.0 { total / denom } else { 0.0 },
         per_set,
-    }
+    })
 }
 
 /// Resolves the thread knob: `0` = auto (all cores, serial below
@@ -475,8 +521,14 @@ fn frontier_chunks(
     out
 }
 
+/// One isolated worker's outcome: its private winners, the aggregates of
+/// its frontier roots, and whether it hit the budget — or a caught panic.
+type ScoreWorkerResult = Result<(Best, Vec<(CatId, Agg)>, bool), ExecutionError>;
+
 /// The parallel aggregation/evaluation pass: frontier subtrees on workers,
 /// spine on the main thread, winners merged in deterministic chunk order.
+/// Every worker runs under `catch_unwind`; a panic in any of them surfaces
+/// as [`ExecutionError::WorkerPanicked`].
 #[allow(clippy::too_many_arguments)]
 fn score_parallel(
     instance: &Instance,
@@ -487,17 +539,21 @@ fn score_parallel(
     metrics: &Metrics,
     categories: &Counter,
     candidates: &Counter,
-) -> Best {
+    budget: &Budget,
+) -> Result<Best, ExecutionError> {
     let _span = metrics.span("score/aggregate");
     let n = instance.num_sets();
     let sizes = subtree_sizes(tree);
     let (frontier, is_spine) = frontier_and_spine(tree, &sizes, threads * 4);
     let chunks = frontier_chunks(&frontier, |f| sizes[f as usize], threads);
+    let limited = budget.is_limited();
 
     // Workers aggregate + evaluate whole frontier subtrees; each returns its
     // private winners and the final aggregate of every frontier root so the
-    // main thread can finish the spine.
-    let results: Vec<(Best, Vec<(CatId, Agg)>)> = std::thread::scope(|scope| {
+    // main thread can finish the spine. On budget expiry a worker keeps
+    // aggregating (the spine pass needs every frontier-root aggregate) but
+    // stops evaluating.
+    let results: Vec<ScoreWorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(lo, hi)| {
@@ -505,29 +561,41 @@ fn score_parallel(
                 let categories = categories.clone();
                 let candidates = candidates.clone();
                 scope.spawn(move || {
-                    let mut best = Best::new(n);
-                    let mut roots = Vec::with_capacity(chunk.len());
-                    let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
-                    for &f in chunk {
-                        let mut order = tree.subtree(f);
-                        order.reverse(); // children before parents
-                        for cat in order {
-                            let agg = aggregate_node(tree, cat, &mut pending, index);
-                            evaluate_category(
-                                instance,
-                                cat,
-                                depths[cat as usize],
-                                &agg,
-                                &mut best,
-                                &candidates,
-                            );
-                            categories.incr();
-                            pending.insert(cat, agg);
+                    run_isolated("score workers", || {
+                        let mut best = Best::new(n);
+                        let mut roots = Vec::with_capacity(chunk.len());
+                        let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
+                        let mut seen = 0u64;
+                        let mut expired = false;
+                        for &f in chunk {
+                            let mut order = tree.subtree(f);
+                            order.reverse(); // children before parents
+                            for cat in order {
+                                if faults::fire("score/worker-panic") {
+                                    panic!("injected fault: score/worker-panic");
+                                }
+                                let agg = aggregate_node(tree, cat, &mut pending, index);
+                                expired = expired
+                                    || (limited && budget.check_every(seen, DEADLINE_STRIDE));
+                                seen += 1;
+                                if !expired {
+                                    evaluate_category(
+                                        instance,
+                                        cat,
+                                        depths[cat as usize],
+                                        &agg,
+                                        &mut best,
+                                        &candidates,
+                                    );
+                                    categories.incr();
+                                }
+                                pending.insert(cat, agg);
+                            }
+                            let agg = pending.remove(&f).expect("frontier root aggregated");
+                            roots.push((f, agg));
                         }
-                        let agg = pending.remove(&f).expect("frontier root aggregated");
-                        roots.push((f, agg));
-                    }
-                    (best, roots)
+                        (best, roots, expired)
+                    })
                 })
             })
             .collect();
@@ -539,34 +607,43 @@ fn score_parallel(
 
     let mut best = Best::new(n);
     let mut pending: FxHashMap<CatId, Agg> = FxHashMap::default();
-    for (worker_best, roots) in results {
+    let mut expired = false;
+    for result in results {
+        let (worker_best, roots, worker_expired) = result?;
         best.absorb(&worker_best);
+        expired = expired || worker_expired;
         for (cat, agg) in roots {
             pending.insert(cat, agg);
         }
     }
     // Finish the spine bottom-up: every spine child is spine or frontier,
     // so its aggregate is already in `pending`.
-    for cat in tree.post_order() {
+    for (seen, cat) in tree.post_order().into_iter().enumerate() {
         if !is_spine[cat as usize] {
             continue;
         }
         let agg = aggregate_node(tree, cat, &mut pending, index);
-        evaluate_category(
-            instance,
-            cat,
-            depths[cat as usize],
-            &agg,
-            &mut best,
-            candidates,
-        );
-        categories.incr();
+        expired = expired || (limited && budget.check_every(seen as u64, DEADLINE_STRIDE));
+        if !expired {
+            evaluate_category(
+                instance,
+                cat,
+                depths[cat as usize],
+                &agg,
+                &mut best,
+                candidates,
+            );
+            categories.incr();
+        }
         pending.insert(cat, agg);
         if cat == ROOT {
             break;
         }
     }
-    best
+    if expired {
+        metrics.incr("budget/expired");
+    }
+    Ok(best)
 }
 
 /// Computes, per live category, which input sets it covers (similarity
@@ -624,6 +701,52 @@ mod tests {
         t.assign_items(c4, [2, 3, 4, 5]);
         t.assign_items(c2, [6, 7, 8]);
         t
+    }
+
+    #[test]
+    fn expired_budget_scores_pessimistically_without_panicking() {
+        let inst = figure2_instance(Similarity::perfect_recall(0.8));
+        let full = score_tree(&inst, &figure2_t1());
+        for threads in [1, 4] {
+            let metrics = Metrics::enabled();
+            let options = ScoreOptions {
+                threads,
+                metrics: metrics.clone(),
+                budget: Budget::expired_now(),
+            };
+            let score = score_tree_with(&inst, &figure2_t1(), &options);
+            // Unevaluated categories never become a best cover, so the
+            // degraded score is a lower bound on the full score.
+            assert!(score.total <= full.total + 1e-9, "threads={threads}");
+            assert!(score.per_set.len() == full.per_set.len());
+            assert_eq!(metrics.report().counter("budget/expired"), Some(1));
+        }
+        // A generous deadline evaluates everything.
+        let options = ScoreOptions {
+            budget: Budget::with_deadline(std::time::Duration::from_secs(600)),
+            ..ScoreOptions::default()
+        };
+        assert_eq!(score_tree_with(&inst, &figure2_t1(), &options), full);
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_typed_error() {
+        let _guard = faults::serial_guard();
+        let inst = figure2_instance(Similarity::perfect_recall(0.8));
+        for threads in [1, 4] {
+            faults::arm("score/worker-panic", 2);
+            let err =
+                try_score_tree_with(&inst, &figure2_t1(), &ScoreOptions::with_threads(threads))
+                    .expect_err("armed fault must surface as an error");
+            let ExecutionError::WorkerPanicked { context, message } = err;
+            assert_eq!(context, "score workers");
+            assert!(message.contains("score/worker-panic"), "{message}");
+        }
+        faults::reset();
+        // With the fault disarmed the same call succeeds.
+        let score = try_score_tree_with(&inst, &figure2_t1(), &ScoreOptions::serial())
+            .expect("no fault armed");
+        assert!((score.total - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -805,6 +928,7 @@ mod tests {
         let options = ScoreOptions {
             threads: 2,
             metrics: metrics.clone(),
+            ..ScoreOptions::default()
         };
         score_tree_with(&inst, &figure2_t1(), &options);
         let report = metrics.report();

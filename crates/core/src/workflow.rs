@@ -19,19 +19,100 @@
 //!   flagged for the automatic re-assignment tooling, plus the
 //!   "many orphans in one query" signal that suggests a new category.
 
+use std::path::Path;
+
 use crate::ctcr::{self, CtcrConfig, CtcrResult};
 use crate::input::Instance;
+use crate::persist::{self, Checkpoint, DecodeError, TraceEntry};
 use crate::score::{score_tree_with, ScoreOptions};
 use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::FxHashSet;
+use oct_resilience::faults;
+
+/// Errors from the workflow helpers: bad tuning parameters, out-of-range
+/// references, and checkpoint I/O failures.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// `relief` outside `(0, 1]`.
+    InvalidRelief(f64),
+    /// `factor` not a positive finite number.
+    InvalidFactor(f64),
+    /// A target referenced a set index past the end of the instance.
+    SetIndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// The instance's set count.
+        num_sets: usize,
+    },
+    /// A coverage slice did not match the instance's set count.
+    CoveredLengthMismatch {
+        /// Slice length supplied.
+        got: usize,
+        /// Set count expected.
+        expected: usize,
+    },
+    /// A checkpoint could not be read or written.
+    Io(String),
+    /// A checkpoint file exists but does not decode.
+    Corrupt(DecodeError),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::InvalidRelief(v) => {
+                write!(f, "relief must be in (0, 1], got {v}")
+            }
+            WorkflowError::InvalidFactor(v) => {
+                write!(f, "factor must be positive and finite, got {v}")
+            }
+            WorkflowError::SetIndexOutOfRange { index, num_sets } => {
+                write!(
+                    f,
+                    "set index {index} out of range (instance has {num_sets} sets)"
+                )
+            }
+            WorkflowError::CoveredLengthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "coverage slice has {got} entries, instance has {expected} sets"
+                )
+            }
+            WorkflowError::Io(message) => write!(f, "checkpoint I/O failed: {message}"),
+            WorkflowError::Corrupt(inner) => write!(f, "corrupt checkpoint: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<DecodeError> for WorkflowError {
+    fn from(inner: DecodeError) -> Self {
+        WorkflowError::Corrupt(inner)
+    }
+}
 
 /// Returns a copy of `instance` where every set uncovered by `result` has
 /// its threshold multiplied by `relief` (clamped to `[0.05, 1]`).
 ///
-/// # Panics
-/// Panics when `relief` is not in `(0, 1]`.
-pub fn relax_uncovered(instance: &Instance, covered: &[bool], relief: f64) -> Instance {
-    assert!(relief > 0.0 && relief <= 1.0, "relief must be in (0,1]");
+/// # Errors
+/// [`WorkflowError::InvalidRelief`] when `relief` is not in `(0, 1]`;
+/// [`WorkflowError::CoveredLengthMismatch`] when `covered` does not have
+/// one entry per input set.
+pub fn relax_uncovered(
+    instance: &Instance,
+    covered: &[bool],
+    relief: f64,
+) -> Result<Instance, WorkflowError> {
+    if !(relief > 0.0 && relief <= 1.0) {
+        return Err(WorkflowError::InvalidRelief(relief));
+    }
+    if covered.len() != instance.sets.len() {
+        return Err(WorkflowError::CoveredLengthMismatch {
+            got: covered.len(),
+            expected: instance.sets.len(),
+        });
+    }
     let mut sets = instance.sets.clone();
     for (idx, set) in sets.iter_mut().enumerate() {
         if !covered[idx] {
@@ -41,23 +122,37 @@ pub fn relax_uncovered(instance: &Instance, covered: &[bool], relief: f64) -> In
     }
     let mut out = Instance::new(instance.num_items, sets, instance.similarity);
     out.item_bounds = instance.item_bounds.clone();
-    out
+    Ok(out)
 }
 
 /// Returns a copy of `instance` with the weights of `targets` multiplied by
 /// `factor` (the underrepresented-category fix of §5.4).
 ///
-/// # Panics
-/// Panics on a non-positive factor or an out-of-range set index.
-pub fn boost_sets(instance: &Instance, targets: &[u32], factor: f64) -> Instance {
-    assert!(factor > 0.0, "factor must be positive");
+/// # Errors
+/// [`WorkflowError::InvalidFactor`] on a non-positive or non-finite factor;
+/// [`WorkflowError::SetIndexOutOfRange`] when a target index is past the
+/// instance's sets.
+pub fn boost_sets(
+    instance: &Instance,
+    targets: &[u32],
+    factor: f64,
+) -> Result<Instance, WorkflowError> {
+    if !(factor > 0.0 && factor.is_finite()) {
+        return Err(WorkflowError::InvalidFactor(factor));
+    }
     let mut sets = instance.sets.clone();
     for &t in targets {
-        sets[t as usize].weight *= factor;
+        let set = sets
+            .get_mut(t as usize)
+            .ok_or(WorkflowError::SetIndexOutOfRange {
+                index: t,
+                num_sets: instance.sets.len(),
+            })?;
+        set.weight *= factor;
     }
     let mut out = Instance::new(instance.num_items, sets, instance.similarity);
     out.item_bounds = instance.item_bounds.clone();
-    out
+    Ok(out)
 }
 
 /// One round of the reemployment loop.
@@ -88,43 +183,181 @@ pub struct IterateOutcome {
 /// `relief` between rounds, and returns the best-coverage outcome with the
 /// per-round trace. Stops early when everything is covered or no round
 /// improves coverage.
+///
+/// # Errors
+/// [`WorkflowError::InvalidRelief`] when `relief` is not in `(0, 1]`.
 pub fn iterate(
     instance: &Instance,
     config: &CtcrConfig,
     rounds: usize,
     relief: f64,
-) -> IterateOutcome {
-    let mut current = instance.clone();
-    let mut best: Option<(CtcrResult, Instance)> = None;
-    let mut trace = Vec::new();
-    for _ in 0..rounds.max(1) {
-        let result = ctcr::run(&current, config);
-        let covered: Vec<bool> = result.score.per_set.iter().map(|c| c.covered).collect();
-        let covered_count = covered.iter().filter(|&&c| c).count();
-        let uncovered = covered.len() - covered_count;
-        trace.push(IterationTrace {
-            covered: covered_count,
-            score: result.score.normalized,
-            relaxed: uncovered,
-        });
-        let improved = best
-            .as_ref()
-            .is_none_or(|(b, _)| result.score.covered_count() > b.score.covered_count());
-        let all_covered = uncovered == 0;
-        if improved {
-            best = Some((result, current.clone()));
-        }
-        if all_covered || !improved {
-            break;
-        }
-        current = relax_uncovered(&current, &covered, relief);
+) -> Result<IterateOutcome, WorkflowError> {
+    iterate_with_checkpoints(instance, config, rounds, relief, None, false)
+}
+
+/// Reads a checkpoint file; `Ok(None)` when the file does not exist.
+fn read_checkpoint(path: &Path) -> Result<Option<Checkpoint>, WorkflowError> {
+    let raw = match std::fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WorkflowError::Io(format!("{}: {e}", path.display()))),
+    };
+    Ok(Some(persist::decode_checkpoint(bytes::Bytes::from(raw))?))
+}
+
+/// Writes a checkpoint atomically: temp file in the same directory, then
+/// rename — a crash mid-write leaves the previous checkpoint intact.
+fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), WorkflowError> {
+    let mut encoded = persist::encode_checkpoint(cp).to_vec();
+    // Fail point: a torn write that persists only half the checkpoint.
+    if faults::fire("checkpoint/truncate") {
+        encoded.truncate(encoded.len() / 2);
     }
-    let (result, instance) = best.expect("at least one round ran");
-    IterateOutcome {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &encoded)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| WorkflowError::Io(format!("{}: {e}", path.display())))
+}
+
+/// [`iterate`] with durable progress: after every completed CTCR round the
+/// loop state is checkpointed to `checkpoint_path`, and with `resume` set a
+/// previous run's checkpoint is picked up where it left off.
+///
+/// CTCR is deterministic, so a killed-and-resumed run produces a
+/// bit-identical final tree: the best round's result is re-derived by
+/// re-running CTCR on the checkpointed best instance, and the remaining
+/// rounds replay exactly. A corrupt or truncated checkpoint (torn write,
+/// version skew) is counted under `checkpoint/corrupt` and triggers a clean
+/// restart — never a panic or a poisoned resume.
+///
+/// # Errors
+/// [`WorkflowError::InvalidRelief`] for a bad `relief`, and
+/// [`WorkflowError::Io`] when a checkpoint cannot be written (a corrupt
+/// checkpoint on *read* degrades to a restart instead of failing).
+pub fn iterate_with_checkpoints(
+    instance: &Instance,
+    config: &CtcrConfig,
+    rounds: usize,
+    relief: f64,
+    checkpoint_path: Option<&Path>,
+    resume: bool,
+) -> Result<IterateOutcome, WorkflowError> {
+    if !(relief > 0.0 && relief <= 1.0) {
+        return Err(WorkflowError::InvalidRelief(relief));
+    }
+    let metrics = &config.metrics;
+    let mut current = instance.clone();
+    let mut best: Option<(CtcrResult, Instance, u32)> = None;
+    let mut trace: Vec<IterationTrace> = Vec::new();
+    let mut start_round = 0usize;
+    let mut finished = false;
+
+    if resume {
+        if let Some(path) = checkpoint_path {
+            match read_checkpoint(path) {
+                Ok(Some(cp)) => {
+                    // Re-derive the best result deterministically instead of
+                    // storing the tree: same instance + config → same tree.
+                    let result = ctcr::run(&cp.best_instance, config);
+                    best = Some((result, cp.best_instance, cp.best_round));
+                    current = cp.current_instance;
+                    start_round = cp.rounds_done as usize;
+                    finished = cp.finished;
+                    trace = cp
+                        .trace
+                        .into_iter()
+                        .map(|t| IterationTrace {
+                            covered: t.covered as usize,
+                            score: t.score,
+                            relaxed: t.relaxed as usize,
+                        })
+                        .collect();
+                    metrics.incr("checkpoint/resumed");
+                }
+                Ok(None) => {} // nothing to resume — clean start
+                Err(WorkflowError::Corrupt(_)) => {
+                    // Degraded mode: the checkpoint is unusable, restart
+                    // from scratch rather than abort.
+                    metrics.incr("checkpoint/corrupt");
+                    metrics.mark_degraded();
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    if !finished {
+        for round in start_round..rounds.max(1) {
+            // Fail point: the deadline lands exactly at this round.
+            if faults::fire("workflow/deadline-at-round") {
+                config.budget.token().cancel();
+            }
+            let result = ctcr::run(&current, config);
+            let covered: Vec<bool> = result.score.per_set.iter().map(|c| c.covered).collect();
+            let covered_count = covered.iter().filter(|&&c| c).count();
+            let uncovered = covered.len() - covered_count;
+            trace.push(IterationTrace {
+                covered: covered_count,
+                score: result.score.normalized,
+                relaxed: uncovered,
+            });
+            let improved = best
+                .as_ref()
+                .is_none_or(|(b, _, _)| result.score.covered_count() > b.score.covered_count());
+            let all_covered = uncovered == 0;
+            if improved {
+                best = Some((result, current.clone(), round as u32));
+            }
+            let stop = all_covered || !improved;
+            if stop {
+                finished = true;
+            } else {
+                current = relax_uncovered(&current, &covered, relief)?;
+            }
+            if let Some(path) = checkpoint_path {
+                let (_, best_instance, best_round) =
+                    best.as_ref().expect("a best result exists after a round");
+                write_checkpoint(
+                    path,
+                    &Checkpoint {
+                        rounds_done: (round + 1) as u32,
+                        finished,
+                        best_round: *best_round,
+                        best_instance: best_instance.clone(),
+                        current_instance: current.clone(),
+                        trace: trace
+                            .iter()
+                            .map(|t| TraceEntry {
+                                covered: t.covered as u32,
+                                score: t.score,
+                                relaxed: t.relaxed as u32,
+                            })
+                            .collect(),
+                    },
+                )?;
+                metrics.incr("checkpoint/rounds");
+            }
+            if stop {
+                break;
+            }
+            // An expired budget ends reemployment after the current round:
+            // the best-so-far tree is returned instead of starting more work.
+            if config.budget.is_limited() && config.budget.expired() {
+                metrics.incr("budget/expired");
+                metrics.mark_degraded();
+                break;
+            }
+        }
+    }
+
+    let (result, instance, _) = best.expect("at least one round ran");
+    Ok(IterateOutcome {
         result,
         instance,
         trace,
-    }
+    })
 }
 
 /// A category flagged by the embedding-distance misassignment detector.
@@ -281,23 +514,64 @@ mod tests {
     #[test]
     fn relax_lowers_only_uncovered() {
         let instance = crossing_instance();
-        let relaxed = relax_uncovered(&instance, &[true, false], 0.5);
+        let relaxed = relax_uncovered(&instance, &[true, false], 0.5).unwrap();
         assert_eq!(relaxed.threshold_of(0), 0.9);
         assert!((relaxed.threshold_of(1) - 0.45).abs() < 1e-12);
     }
 
     #[test]
+    fn relax_rejects_bad_relief_and_mismatched_mask() {
+        let instance = crossing_instance();
+        assert!(matches!(
+            relax_uncovered(&instance, &[true, false], 0.0),
+            Err(WorkflowError::InvalidRelief(_))
+        ));
+        assert!(matches!(
+            relax_uncovered(&instance, &[true, false], f64::NAN),
+            Err(WorkflowError::InvalidRelief(_))
+        ));
+        assert!(matches!(
+            relax_uncovered(&instance, &[true], 0.5),
+            Err(WorkflowError::CoveredLengthMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
     fn boost_scales_weights() {
         let instance = crossing_instance();
-        let boosted = boost_sets(&instance, &[1], 10.0);
+        let boosted = boost_sets(&instance, &[1], 10.0).unwrap();
         assert_eq!(boosted.sets[1].weight, 10.0);
         assert_eq!(boosted.sets[0].weight, 2.0);
     }
 
     #[test]
+    fn boost_rejects_out_of_range_index_and_bad_factor() {
+        let instance = crossing_instance();
+        // Previously an index panic; now a typed error.
+        assert!(matches!(
+            boost_sets(&instance, &[7], 2.0),
+            Err(WorkflowError::SetIndexOutOfRange {
+                index: 7,
+                num_sets: 2
+            })
+        ));
+        assert!(matches!(
+            boost_sets(&instance, &[0], 0.0),
+            Err(WorkflowError::InvalidFactor(_))
+        ));
+        assert!(matches!(
+            boost_sets(&instance, &[0], f64::INFINITY),
+            Err(WorkflowError::InvalidFactor(_))
+        ));
+    }
+
+    #[test]
     fn iterate_covers_more_over_rounds() {
         let instance = crossing_instance();
-        let outcome = iterate(&instance, &CtcrConfig::default(), 4, 0.5);
+        let outcome = iterate(&instance, &CtcrConfig::default(), 4, 0.5).unwrap();
         assert!(!outcome.trace.is_empty());
         assert!(
             outcome.result.score.covered_count() >= outcome.trace[0].covered,
@@ -312,6 +586,152 @@ mod tests {
             rescore.covered_count(),
             outcome.result.score.covered_count()
         );
+    }
+
+    fn scratch_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oct-workflow-{}-{name}.ckpt", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_bit_identical_tree() {
+        // Guarded: armed fail points elsewhere must not see our checkpoint
+        // writes (fire() counts hits globally per name).
+        let _guard = faults::serial_guard();
+        let instance = crossing_instance();
+        let config = CtcrConfig::default();
+
+        // Uninterrupted reference run (no checkpointing involved).
+        let reference = iterate(&instance, &config, 4, 0.5).unwrap();
+        let reference_bytes = persist::encode_tree(&reference.result.tree);
+
+        // "Killed" run: only the first round completes before the process
+        // dies — all that survives is the checkpoint file.
+        let path = scratch_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let partial =
+            iterate_with_checkpoints(&instance, &config, 1, 0.5, Some(&path), false).unwrap();
+        assert_eq!(partial.trace.len(), 1);
+
+        // Resume picks up at round 1 and must converge to the same tree.
+        let resumed =
+            iterate_with_checkpoints(&instance, &config, 4, 0.5, Some(&path), true).unwrap();
+        assert_eq!(resumed.trace.len(), reference.trace.len());
+        assert_eq!(
+            persist::encode_tree(&resumed.result.tree).as_ref(),
+            reference_bytes.as_ref(),
+            "resumed run must reproduce the uninterrupted tree bit-for-bit"
+        );
+
+        // Resuming a finished run re-derives the result without extra rounds.
+        let replay =
+            iterate_with_checkpoints(&instance, &config, 4, 0.5, Some(&path), true).unwrap();
+        assert_eq!(
+            persist::encode_tree(&replay.result.tree).as_ref(),
+            reference_bytes.as_ref()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_restarts_cleanly() {
+        let _guard = faults::serial_guard();
+        let instance = crossing_instance();
+        let config = CtcrConfig {
+            metrics: oct_obs::Metrics::enabled(),
+            ..CtcrConfig::default()
+        };
+        let path = scratch_path("corrupt");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+
+        let outcome =
+            iterate_with_checkpoints(&instance, &config, 4, 0.5, Some(&path), true).unwrap();
+        let reference = iterate(&instance, &CtcrConfig::default(), 4, 0.5).unwrap();
+        assert_eq!(
+            persist::encode_tree(&outcome.result.tree).as_ref(),
+            persist::encode_tree(&reference.result.tree).as_ref(),
+            "corrupt checkpoint must fall back to a clean full run"
+        );
+        let report = config.metrics.report();
+        assert_eq!(report.counter("checkpoint/corrupt"), Some(1));
+        assert!(report.degraded);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_with_resume_is_a_clean_start() {
+        let _guard = faults::serial_guard();
+        let instance = crossing_instance();
+        let path = scratch_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let outcome =
+            iterate_with_checkpoints(&instance, &CtcrConfig::default(), 2, 0.5, Some(&path), true)
+                .unwrap();
+        assert!(!outcome.trace.is_empty());
+        assert!(path.exists(), "checkpoints are still written going forward");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_checkpoint_write_falls_back_to_clean_restart() {
+        let _guard = faults::serial_guard();
+        let instance = crossing_instance();
+        let path = scratch_path("torn");
+        let _ = std::fs::remove_file(&path);
+        // The first round's checkpoint write persists only half the bytes.
+        faults::arm("checkpoint/truncate", 1);
+        let partial = iterate_with_checkpoints(
+            &instance,
+            &CtcrConfig::default(),
+            1,
+            0.5,
+            Some(&path),
+            false,
+        );
+        faults::reset();
+        partial.expect("a torn checkpoint write must not fail the run");
+        assert!(path.exists());
+
+        // Resuming from the torn file restarts cleanly and still converges
+        // to the reference tree.
+        let config = CtcrConfig {
+            metrics: oct_obs::Metrics::enabled(),
+            ..CtcrConfig::default()
+        };
+        let resumed =
+            iterate_with_checkpoints(&instance, &config, 4, 0.5, Some(&path), true).unwrap();
+        let reference = iterate(&instance, &CtcrConfig::default(), 4, 0.5).unwrap();
+        assert_eq!(
+            persist::encode_tree(&resumed.result.tree).as_ref(),
+            persist::encode_tree(&reference.result.tree).as_ref()
+        );
+        assert_eq!(
+            config.metrics.report().counter("checkpoint/corrupt"),
+            Some(1)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deadline_landing_at_a_round_returns_best_so_far() {
+        let _guard = faults::serial_guard();
+        let instance = crossing_instance();
+        let config = CtcrConfig {
+            metrics: oct_obs::Metrics::enabled(),
+            ..CtcrConfig::default()
+        };
+        faults::arm("workflow/deadline-at-round", 1);
+        let outcome = iterate_with_checkpoints(&instance, &config, 4, 0.5, None, false);
+        faults::reset();
+        let outcome = outcome.expect("an expired budget must not fail the run");
+        assert_eq!(
+            outcome.trace.len(),
+            1,
+            "reemployment stops after the round the deadline landed in"
+        );
+        assert!(config.metrics.is_degraded());
+        assert!(outcome.result.tree.validate(&outcome.instance).is_ok());
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! affected component falls back to greedy + local search and the result is
 //! flagged as possibly sub-optimal.
 
+use oct_resilience::Budget;
+
 use crate::graph::Graph;
 use crate::local;
+
+/// How often (in branch-and-bound nodes) the wall-clock deadline is read.
+const DEADLINE_STRIDE: u64 = 64;
 
 /// Result of an exact (or budget-exhausted) MWIS solve.
 #[derive(Debug, Clone)]
@@ -21,15 +26,29 @@ pub struct ExactResult {
     pub optimal: bool,
     /// Branch-and-bound nodes expanded.
     pub nodes_used: u64,
+    /// `true` when the wall-clock budget (not the node budget) cut the
+    /// search short; the unexplored remainder fell back to greedy + local
+    /// search.
+    pub deadline_expired: bool,
 }
 
 /// Solves MWIS on `g` exactly, expanding at most `node_budget`
 /// branch-and-bound nodes (reductions are not counted).
 pub fn solve(g: &Graph, node_budget: u64) -> ExactResult {
+    solve_with(g, node_budget, &Budget::unlimited())
+}
+
+/// [`solve`] under a wall-clock [`Budget`]: once the deadline passes (or
+/// the budget's cancel token trips), every still-unexplored component falls
+/// back to greedy + local search, so the call returns a valid — possibly
+/// sub-optimal — independent set promptly instead of running to completion.
+pub fn solve_with(g: &Graph, node_budget: u64, wall: &Budget) -> ExactResult {
     let mut ctx = Ctx {
         budget: node_budget,
         nodes: 0,
         optimal: true,
+        wall,
+        wall_expired: false,
     };
     let orig: Vec<u32> = (0..g.len() as u32).collect();
     let (mut solution, weight) = solve_rec(g.clone(), orig, &mut ctx);
@@ -39,13 +58,30 @@ pub fn solve(g: &Graph, node_budget: u64) -> ExactResult {
         weight,
         optimal: ctx.optimal,
         nodes_used: ctx.nodes,
+        deadline_expired: ctx.wall_expired,
     }
 }
 
-struct Ctx {
+struct Ctx<'a> {
     budget: u64,
     nodes: u64,
     optimal: bool,
+    wall: &'a Budget,
+    /// Latched once the wall-clock check fails: later components skip the
+    /// clock read and go straight to the fallback.
+    wall_expired: bool,
+}
+
+impl Ctx<'_> {
+    fn out_of_time(&mut self) -> bool {
+        if self.wall_expired {
+            return true;
+        }
+        if self.wall.is_limited() && self.wall.check_every(self.nodes, DEADLINE_STRIDE) {
+            self.wall_expired = true;
+        }
+        self.wall_expired
+    }
 }
 
 /// A degree-1 fold: if `parent` is absent from the final solution, `child`
@@ -55,7 +91,7 @@ struct Fold {
     parent: u32,
 }
 
-fn solve_rec(g: Graph, orig: Vec<u32>, ctx: &mut Ctx) -> (Vec<u32>, f64) {
+fn solve_rec(g: Graph, orig: Vec<u32>, ctx: &mut Ctx<'_>) -> (Vec<u32>, f64) {
     let reduced = reduce(g, orig);
     let mut solution = reduced.taken;
     let mut weight = reduced.taken_weight;
@@ -223,8 +259,8 @@ fn reduce(g: Graph, orig: Vec<u32>) -> Reduced {
     }
 }
 
-fn solve_component(g: Graph, orig: Vec<u32>, ctx: &mut Ctx) -> (Vec<u32>, f64) {
-    if ctx.budget == 0 {
+fn solve_component(g: Graph, orig: Vec<u32>, ctx: &mut Ctx<'_>) -> (Vec<u32>, f64) {
+    if ctx.budget == 0 || ctx.out_of_time() {
         ctx.optimal = false;
         return fallback(&g, &orig);
     }
@@ -478,6 +514,33 @@ mod tests {
             }
         }
         best
+    }
+
+    #[test]
+    fn expired_deadline_falls_back_but_stays_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 60u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.2) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..10) as f64).collect();
+        let g = Graph::new(weights, &edges);
+        let res = solve_with(&g, u64::MAX, &Budget::expired_now());
+        assert!(!res.optimal);
+        assert!(res.deadline_expired);
+        assert!(verify_graph_solution(&g, &res.solution).is_some());
+        assert!(res.weight > 0.0);
+
+        // A generous deadline changes nothing.
+        let relaxed = solve_with(&g, u64::MAX, &Budget::with_deadline_ms(60_000));
+        assert!(relaxed.optimal);
+        assert!(!relaxed.deadline_expired);
     }
 
     #[test]

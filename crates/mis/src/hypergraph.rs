@@ -13,8 +13,12 @@
 //!   exhausted, in the spirit of the bounded-degree hypergraph algorithms of
 //!   Halldórsson–Losievskaja.
 
+use oct_resilience::Budget;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// How often (in search nodes) the wall-clock deadline is read.
+const DEADLINE_STRIDE: u64 = 64;
 
 /// A vertex-weighted hypergraph; edges are sorted vertex lists of size ≥ 2.
 #[derive(Debug, Clone)]
@@ -141,6 +145,9 @@ pub struct HyperResult {
     pub optimal: bool,
     /// Branch-and-bound nodes expanded.
     pub nodes_used: u64,
+    /// `true` when the wall-clock budget (not the node budget) cut the
+    /// search short; the greedy-seeded best-so-far is returned.
+    pub deadline_expired: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -153,6 +160,14 @@ enum Decision {
 /// Solves MWIS on the hypergraph, expanding at most `node_budget` search
 /// nodes before falling back to greedy + local search for the remainder.
 pub fn solve(h: &Hypergraph, node_budget: u64) -> HyperResult {
+    solve_with(h, node_budget, &Budget::unlimited())
+}
+
+/// [`solve`] under a wall-clock [`Budget`]: the search is anytime (a
+/// greedy + local-search solution seeds the incumbent before branching),
+/// so on expiry the best-so-far is returned immediately, flagged
+/// non-optimal with `deadline_expired` set.
+pub fn solve_with(h: &Hypergraph, node_budget: u64, wall: &Budget) -> HyperResult {
     let greedy_sol = greedy(h);
     let greedy_sol = local_search(h, &greedy_sol, 30, 0x5eed);
     let greedy_weight: f64 = greedy_sol.iter().map(|&v| h.weight(v)).sum();
@@ -163,17 +178,20 @@ pub fn solve(h: &Hypergraph, node_budget: u64) -> HyperResult {
         best: greedy_sol.clone(),
         best_weight: greedy_weight,
         budget: node_budget,
+        nodes: 0,
         optimal: true,
+        wall,
+        wall_expired: false,
     };
     state.branch();
-    let nodes_used = node_budget - state.budget;
     let mut solution = state.best;
     solution.sort_unstable();
     HyperResult {
         weight: solution.iter().map(|&v| h.weight(v)).sum(),
         solution,
         optimal: state.optimal,
-        nodes_used,
+        nodes_used: state.nodes,
+        deadline_expired: state.wall_expired,
     }
 }
 
@@ -183,16 +201,30 @@ struct BranchState<'h> {
     best: Vec<u32>,
     best_weight: f64,
     budget: u64,
+    nodes: u64,
     optimal: bool,
+    wall: &'h Budget,
+    wall_expired: bool,
 }
 
 impl BranchState<'_> {
+    fn out_of_time(&mut self) -> bool {
+        if self.wall_expired {
+            return true;
+        }
+        if self.wall.is_limited() && self.wall.check_every(self.nodes, DEADLINE_STRIDE) {
+            self.wall_expired = true;
+        }
+        self.wall_expired
+    }
+
     fn branch(&mut self) {
-        if self.budget == 0 {
+        if self.budget == 0 || self.out_of_time() {
             self.optimal = false;
             return;
         }
         self.budget -= 1;
+        self.nodes += 1;
 
         // Upper bound: everything not Out could be In.
         let potential: f64 = (0..self.h.len() as u32)
@@ -485,5 +517,19 @@ mod tests {
         assert!(!res.optimal);
         assert!(verify_hypergraph_solution(&h, &res.solution).is_some());
         assert!(res.weight >= 4.0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_greedy_seeded_best() {
+        let h = Hypergraph::new(vec![1.0, 2.0, 3.0, 4.0], vec![vec![0, 1], vec![1, 2, 3]]);
+        let res = solve_with(&h, u64::MAX, &Budget::expired_now());
+        assert!(!res.optimal);
+        assert!(res.deadline_expired);
+        assert!(verify_hypergraph_solution(&h, &res.solution).is_some());
+        assert!(res.weight >= 4.0, "the greedy seed still carries quality");
+
+        let relaxed = solve_with(&h, u64::MAX, &Budget::with_deadline_ms(60_000));
+        assert!(relaxed.optimal);
+        assert!(!relaxed.deadline_expired);
     }
 }

@@ -1,11 +1,12 @@
 //! Budgeted solver facade used by CTCR.
 
 use oct_obs::Metrics;
+use oct_resilience::Budget;
 
 use crate::{exact, graph::Graph, hypergraph, local, Hypergraph};
 
 /// Search-effort budget for a MWIS solve.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveBudget {
     /// Maximum branch-and-bound nodes before falling back to local search.
     pub nodes: u64,
@@ -13,6 +14,9 @@ pub struct SolveBudget {
     pub local_search_rounds: usize,
     /// Seed for randomized components (deterministic per seed).
     pub seed: u64,
+    /// Wall-clock budget; on expiry the exact search returns its
+    /// best-so-far and the remainder falls back to greedy + local search.
+    pub wall: Budget,
 }
 
 impl Default for SolveBudget {
@@ -21,6 +25,7 @@ impl Default for SolveBudget {
             nodes: 2_000_000,
             local_search_rounds: 50,
             seed: 0xC7C12,
+            wall: Budget::unlimited(),
         }
     }
 }
@@ -31,6 +36,14 @@ impl SolveBudget {
     pub fn heuristic_only() -> Self {
         Self {
             nodes: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The default node budget under a wall-clock [`Budget`].
+    pub fn with_wall(wall: Budget) -> Self {
+        Self {
+            wall,
             ..Self::default()
         }
     }
@@ -45,10 +58,13 @@ pub struct MisSolution {
     pub weight: f64,
     /// Whether the solver proved optimality.
     pub optimal: bool,
+    /// Whether the wall-clock budget expired during the solve (the
+    /// solution then comes from the anytime best-so-far / fallback path).
+    pub deadline_expired: bool,
 }
 
 /// Facade selecting between the exact solvers and heuristics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Solver {
     budget: SolveBudget,
 }
@@ -69,7 +85,11 @@ impl Solver {
     /// `mis/heuristic_fallback` / `mis/local_search_improved` as those
     /// paths engage.
     pub fn solve_graph_with_metrics(&self, g: &Graph, metrics: &Metrics) -> MisSolution {
-        if self.budget.nodes == 0 {
+        if self.budget.nodes == 0 || self.budget.wall.expired() {
+            let deadline_expired = self.budget.wall.expired();
+            if deadline_expired {
+                metrics.incr("budget/expired");
+            }
             metrics.incr("mis/heuristic_fallback");
             let init = local::greedy(g);
             let sol =
@@ -79,15 +99,20 @@ impl Solver {
                 vertices: sol,
                 weight,
                 optimal: false,
+                deadline_expired,
             };
         }
-        let res = exact::solve(g, self.budget.nodes);
+        let res = exact::solve_with(g, self.budget.nodes, &self.budget.wall);
         metrics.add("mis/nodes_explored", res.nodes_used);
+        if res.deadline_expired {
+            metrics.incr("budget/expired");
+        }
         if res.optimal {
             MisSolution {
                 vertices: res.solution,
                 weight: res.weight,
                 optimal: true,
+                deadline_expired: false,
             }
         } else {
             metrics.incr("mis/budget_exhausted");
@@ -106,12 +131,14 @@ impl Solver {
                     vertices: polished,
                     weight: polished_weight,
                     optimal: false,
+                    deadline_expired: res.deadline_expired,
                 }
             } else {
                 MisSolution {
                     vertices: res.solution,
                     weight: res.weight,
                     optimal: false,
+                    deadline_expired: res.deadline_expired,
                 }
             }
         }
@@ -136,8 +163,11 @@ impl Solver {
         let per_node = h.edges().len() as u64 + 1;
         let effective = self.budget.nodes.min((WORK_CAP / per_node).max(1_000));
         metrics.gauge("mis/effective_node_budget", effective as f64);
-        let res = hypergraph::solve(h, effective);
+        let res = hypergraph::solve_with(h, effective, &self.budget.wall);
         metrics.add("mis/nodes_explored", res.nodes_used);
+        if res.deadline_expired {
+            metrics.incr("budget/expired");
+        }
         if !res.optimal {
             metrics.incr("mis/budget_exhausted");
         }
@@ -145,6 +175,7 @@ impl Solver {
             vertices: res.solution,
             weight: res.weight,
             optimal: res.optimal,
+            deadline_expired: res.deadline_expired,
         }
     }
 }
@@ -195,6 +226,28 @@ mod tests {
         let report = m.report();
         assert!(report.counter("mis/nodes_explored").unwrap_or(0) > 0);
         assert!(report.gauge("mis/effective_node_budget").unwrap_or(0.0) >= 1_000.0);
+    }
+
+    #[test]
+    fn expired_wall_budget_degrades_both_facades() {
+        use oct_resilience::Budget;
+        let g = Graph::new(vec![1.0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let m = Metrics::enabled();
+        let sol = Solver::new(SolveBudget::with_wall(Budget::expired_now()))
+            .solve_graph_with_metrics(&g, &m);
+        assert!(!sol.optimal);
+        assert!(sol.deadline_expired);
+        assert!(crate::verify_graph_solution(&g, &sol.vertices).is_some());
+        assert_eq!(m.report().counter("budget/expired"), Some(1));
+
+        let h = Hypergraph::new(vec![1.0, 1.0, 1.0], vec![vec![0, 1, 2]]);
+        let m = Metrics::enabled();
+        let sol = Solver::new(SolveBudget::with_wall(Budget::expired_now()))
+            .solve_hypergraph_with_metrics(&h, &m);
+        assert!(!sol.optimal);
+        assert!(sol.deadline_expired);
+        assert!(crate::verify_hypergraph_solution(&h, &sol.vertices).is_some());
+        assert_eq!(m.report().counter("budget/expired"), Some(1));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use report::{json, PipelineReport, SpanStat};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,9 @@ struct Inner {
     counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<HashMap<String, f64>>,
     spans: Mutex<HashMap<String, SpanStat>>,
+    /// Latched when any pipeline stage fell back to a degraded mode
+    /// (deadline expiry, truncated enumeration, heuristic-only solves).
+    degraded: AtomicBool,
 }
 
 /// Handle to a metrics sink; clones share the same underlying state.
@@ -127,6 +130,23 @@ impl Metrics {
         }
     }
 
+    /// Latches the degraded flag: some stage fell back to a degraded mode
+    /// (deadline expiry, truncated enumeration, heuristic-only solve). The
+    /// flag is sticky — once set it stays set for the handle's lifetime.
+    pub fn mark_degraded(&self) {
+        if let Some(inner) = &self.inner {
+            inner.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` when [`Self::mark_degraded`] was called on any clone of this
+    /// handle (always `false` on a disabled handle).
+    pub fn is_degraded(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.degraded.load(Ordering::Relaxed))
+    }
+
     /// Records an externally-measured duration under a span path, as if a
     /// span guard had run for `elapsed`.
     pub fn record_duration(&self, path: &str, elapsed: Duration) {
@@ -162,6 +182,7 @@ impl Metrics {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+            degraded: inner.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -308,6 +329,20 @@ mod tests {
         let m2 = m.clone();
         m2.add("shared", 2);
         assert_eq!(m.report().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn degraded_flag_is_sticky_and_shared() {
+        let m = Metrics::enabled();
+        assert!(!m.is_degraded());
+        m.clone().mark_degraded();
+        assert!(m.is_degraded());
+        assert!(m.report().degraded);
+        // Disabled handles never report degraded.
+        let off = Metrics::disabled();
+        off.mark_degraded();
+        assert!(!off.is_degraded());
+        assert!(!off.report().degraded);
     }
 
     #[test]

@@ -31,9 +31,12 @@ impl SpanStat {
 /// {
 ///   "spans":    { "<path>": { "total_ns": 1234, "count": 2 } },
 ///   "counters": { "<name>": 42 },
-///   "gauges":   { "<name>": 0.5 }
+///   "gauges":   { "<name>": 0.5 },
+///   "degraded": false
 /// }
 /// ```
+///
+/// `degraded` is omitted by older writers; absence reads as `false`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineReport {
     /// Monotonic counters by name.
@@ -42,12 +45,18 @@ pub struct PipelineReport {
     pub gauges: BTreeMap<String, f64>,
     /// Timed spans by `/`-separated path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// `true` when any pipeline stage fell back to a degraded mode
+    /// (deadline expiry, truncated enumeration, heuristic-only solve).
+    pub degraded: bool,
 }
 
 impl PipelineReport {
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && !self.degraded
     }
 
     /// Value of a counter, if recorded.
@@ -118,7 +127,7 @@ impl PipelineReport {
         if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str(&format!("}},\n  \"degraded\": {}\n}}\n", self.degraded));
         out
     }
 
@@ -157,6 +166,15 @@ impl PipelineReport {
                 report.gauges.insert(name.clone(), value.as_f64(name)?);
             }
         }
+        match root.get("degraded") {
+            Some(json::Value::Bool(b)) => report.degraded = *b,
+            Some(other) => {
+                return Err(json::JsonError::type_mismatch_pub(
+                    "degraded", "bool", other,
+                ))
+            }
+            None => {} // pre-`degraded` writers: absence reads as false
+        }
         Ok(report)
     }
 }
@@ -191,6 +209,12 @@ impl fmt::Display for PipelineReport {
             for (name, value) in &self.gauges {
                 writeln!(f, "  {name:<width$}  {value}")?;
             }
+        }
+        if self.degraded {
+            writeln!(
+                f,
+                "degraded: true (some stage fell back to a degraded mode)"
+            )?;
         }
         Ok(())
     }
@@ -257,6 +281,10 @@ pub mod json {
 
         pub(crate) fn missing(field: &str) -> Self {
             Self::new(format!("missing field `{field}`"))
+        }
+
+        pub(crate) fn type_mismatch_pub(what: &str, expected: &str, got: &Value) -> Self {
+            Self::type_mismatch(what, expected, got)
         }
 
         fn type_mismatch(what: &str, expected: &str, got: &Value) -> Self {
@@ -581,6 +609,19 @@ mod tests {
             "negative counter must be rejected"
         );
         assert!(PipelineReport::from_json(r#"{"counters": {"x": 1.5}}"#).is_err());
+    }
+
+    #[test]
+    fn degraded_flag_roundtrips_and_defaults_to_false() {
+        let mut report = sample();
+        report.degraded = true;
+        let back = PipelineReport::from_json(&report.to_json()).expect("parse");
+        assert!(back.degraded);
+        // Pre-`degraded` JSON (field absent) reads as false.
+        let legacy = PipelineReport::from_json(r#"{"counters": {"x": 1}}"#).expect("parse");
+        assert!(!legacy.degraded);
+        // A non-bool value is a type error, not a silent false.
+        assert!(PipelineReport::from_json(r#"{"degraded": 1}"#).is_err());
     }
 
     #[test]

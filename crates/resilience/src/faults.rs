@@ -1,0 +1,114 @@
+//! Deterministic fail-point registry for fault-injection tests.
+//!
+//! Call sites sprinkle `if faults::fire("name") { ... }` at the exact spot
+//! a real-world fault would strike (a NaN distance, a truncated checkpoint,
+//! a panicking worker, a deadline landing mid-round). Without the
+//! `fault-injection` feature, `fire` is a `const false` stub the optimizer
+//! deletes; with it (enabled by downstream dev-dependencies, so only under
+//! `cargo test`), tests arm a named point to trigger on its *n*-th hit:
+//!
+//! ```ignore
+//! faults::arm("cluster/nan-distance", 1); // first hit fires
+//! let err = build_matrix(...).unwrap_err();
+//! faults::reset();
+//! ```
+//!
+//! Injection is deterministic — no randomness, no clocks — so every
+//! degradation path test is reproducible. Tests that arm fail points must
+//! hold [`serial_guard`] to avoid cross-test interference, and `reset`
+//! afterwards.
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fast path: skip the registry lock entirely while nothing is armed.
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn registry() -> &'static Mutex<HashMap<&'static str, u64>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<&'static str, u64>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Serializes tests that arm fail points (the registry is global).
+    pub fn serial_guard() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms fail point `name` to fire on its `nth` hit (1 = next hit).
+    pub fn arm(name: &'static str, nth: u64) {
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(name, nth.max(1));
+        ANY_ARMED.store(true, Ordering::Release);
+    }
+
+    /// Disarms every fail point.
+    pub fn reset() {
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        map.clear();
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+
+    /// Should the fault at `name` strike now? Counts down the armed hit
+    /// counter; returns `true` exactly once, on the hit it was armed for.
+    pub fn fire(name: &str) -> bool {
+        if !ANY_ARMED.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        match map.get_mut(name) {
+            Some(countdown) => {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    map.remove(name);
+                    if map.is_empty() {
+                        ANY_ARMED.store(false, Ordering::Release);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{arm, fire, reset, serial_guard};
+
+/// Stub when fault injection is compiled out: never fires.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_name: &str) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_nth_hit_exactly_once() {
+        let _guard = serial_guard();
+        arm("test/point", 3);
+        assert!(!fire("test/point"));
+        assert!(!fire("test/point"));
+        assert!(fire("test/point"), "third hit fires");
+        assert!(!fire("test/point"), "then disarms");
+        reset();
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let _guard = serial_guard();
+        reset();
+        assert!(!fire("test/other"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Execution-layer fault tolerance for the OCT pipeline.
+//!
+//! Production tree construction runs under compute budgets: a request that
+//! would take minutes must instead return the best tree computable within
+//! its deadline, flagged as degraded rather than failed. This crate is the
+//! shared vocabulary for that contract:
+//!
+//! - [`Budget`] — a wall-clock deadline plus a cooperative [`CancelToken`],
+//!   checked (cheaply, via striding where needed) inside every long-running
+//!   loop: exact MIS branching, conflict enumeration, NN-chain clustering,
+//!   and parallel scoring. Expiry never aborts; each stage falls back to a
+//!   cheaper path (greedy + local search, partial dendrogram, best-so-far).
+//! - [`ExecutionError`] — typed failures for isolated workers, so a panic
+//!   inside a scoped thread becomes a value instead of a process abort.
+//! - [`run_isolated`] — the `catch_unwind` wrapper every scoped worker
+//!   closure runs under.
+//! - [`faults`] — a deterministic fail-point registry (behind the
+//!   `fault-injection` feature, on only under `cargo test`) so every
+//!   degradation path has a test that actually exercises it.
+
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub mod faults;
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning is cheap (one `Arc`); every clone observes the same flag. A
+/// cancelled token can never be un-cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; all clones observe it on their next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A compute budget: optional wall-clock deadline + cancellation token.
+///
+/// `Budget` is `Clone` (not `Copy`): clones share the cancellation flag, so
+/// cancelling one clone stops every stage holding another. The deadline is
+/// an absolute [`Instant`], so clones handed to different pipeline stages
+/// expire together regardless of when each stage starts.
+///
+/// Checking [`expired`](Self::expired) costs one atomic load plus (when a
+/// deadline is set) one `Instant::now()` call; hot loops amortize it with
+/// [`check_every`](Self::check_every).
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    token: CancelToken,
+}
+
+impl Budget {
+    /// A budget that never expires (cancellation still works).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget expiring `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + timeout),
+            token: CancelToken::new(),
+        }
+    }
+
+    /// A budget expiring `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        Self::with_deadline(Duration::from_millis(ms))
+    }
+
+    /// A budget already expired at construction — every check fails
+    /// immediately. Useful for tests and for forcing heuristic-only paths.
+    pub fn expired_now() -> Self {
+        let b = Self::unlimited();
+        b.token.cancel();
+        b
+    }
+
+    /// The cancellation token shared by all clones of this budget.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Does this budget carry a deadline or a (possibly triggered)
+    /// cancellation? `false` for a pristine [`unlimited`](Self::unlimited)
+    /// budget, letting callers skip clock reads entirely.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.token.is_cancelled()
+    }
+
+    /// `true` once the deadline has passed or cancellation was requested.
+    pub fn expired(&self) -> bool {
+        if self.token.is_cancelled() {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Strided check for hot loops: reads the clock only once every
+    /// `stride` calls (as counted by the caller's running `counter`).
+    /// Returns `true` when the budget is expired.
+    #[inline]
+    pub fn check_every(&self, counter: u64, stride: u64) -> bool {
+        if !counter.is_multiple_of(stride.max(1)) {
+            return false;
+        }
+        self.expired()
+    }
+
+    /// Time remaining until the deadline (`None` when unlimited; zero once
+    /// expired or cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.token.is_cancelled() {
+            return Some(Duration::ZERO);
+        }
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Typed failures from the resilient execution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// A scoped worker thread panicked; the panic was contained by
+    /// [`run_isolated`] instead of aborting the process.
+    WorkerPanicked {
+        /// Which parallel stage the worker belonged to.
+        context: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanicked { context, message } => {
+                write!(f, "worker panicked in {context}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ExecutionError {}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f` under `catch_unwind`, converting a panic into
+/// [`ExecutionError::WorkerPanicked`] tagged with `context`.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: workers in this codebase
+/// write only to thread-private state that is discarded on `Err`, so no
+/// broken invariant escapes.
+pub fn run_isolated<T>(context: &'static str, f: impl FnOnce() -> T) -> Result<T, ExecutionError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| ExecutionError::WorkerPanicked {
+        context,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.expired());
+        assert_eq!(b.remaining(), None);
+        assert!(!b.check_every(0, 256));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(b.is_limited());
+        assert!(b.expired());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        let later = Budget::with_deadline_ms(60_000);
+        assert!(!later.expired());
+        assert!(later.remaining().expect("has deadline") > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cancellation_propagates_to_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        assert!(!clone.expired());
+        b.token().cancel();
+        assert!(clone.expired());
+        assert!(clone.is_limited());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn expired_now_is_expired() {
+        assert!(Budget::expired_now().expired());
+    }
+
+    #[test]
+    fn check_every_strides() {
+        let b = Budget::expired_now();
+        assert!(!b.check_every(1, 256), "off-stride counters skip the check");
+        assert!(b.check_every(256, 256));
+        assert!(b.check_every(0, 0), "zero stride is clamped to 1");
+    }
+
+    #[test]
+    fn run_isolated_passes_through_success() {
+        assert_eq!(run_isolated("test", || 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn run_isolated_contains_panics() {
+        let err = run_isolated("score workers", || -> u32 { panic!("boom {}", 7) })
+            .expect_err("panic must surface as Err");
+        match &err {
+            ExecutionError::WorkerPanicked { context, message } => {
+                assert_eq!(*context, "score workers");
+                assert_eq!(message, "boom 7");
+            }
+        }
+        assert_eq!(err.to_string(), "worker panicked in score workers: boom 7");
+    }
+
+    #[test]
+    fn panic_message_handles_str_and_string() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(boxed.as_ref()), "static");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(boxed.as_ref()), "owned");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(17u8);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
+    }
+}

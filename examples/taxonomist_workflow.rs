@@ -59,7 +59,8 @@ fn main() {
     }
 
     // 3. Reemployment with relaxed thresholds for uncovered queries.
-    let outcome = workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85);
+    let outcome =
+        workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85).expect("valid relief");
     let (reemployed, trace) = (&outcome.result, &outcome.trace);
     println!("\nreemployment rounds:");
     for (round, t) in trace.iter().enumerate() {

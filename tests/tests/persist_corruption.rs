@@ -1,0 +1,111 @@
+//! Property: no corrupted byte stream — bit flips, truncation, garbage —
+//! ever makes the persistence decoders panic. Corruption either cancels out
+//! exactly (the same bit flipped twice) or surfaces as a typed
+//! [`DecodeError`].
+
+use bytes::Bytes;
+use oct_core::persist::{self, Checkpoint, TraceEntry};
+use oct_core::prelude::*;
+use proptest::prelude::*;
+
+fn sample_instance() -> Instance {
+    Instance::new(
+        8,
+        vec![
+            InputSet::new(ItemSet::new(vec![0, 1, 2]), 3.0).with_label("shoes".to_owned()),
+            InputSet::new(ItemSet::new(vec![2, 3, 4]), 1.5),
+            InputSet::new(ItemSet::new(vec![5, 6, 7]), 2.0).with_threshold(0.75),
+        ],
+        Similarity::jaccard_threshold(0.8),
+    )
+}
+
+fn sample_encodings() -> Vec<(&'static str, Vec<u8>)> {
+    let instance = sample_instance();
+    let result = ctcr::run(&instance, &CtcrConfig::default());
+    let checkpoint = Checkpoint {
+        rounds_done: 2,
+        finished: false,
+        best_round: 1,
+        best_instance: instance.clone(),
+        current_instance: instance.clone(),
+        trace: vec![
+            TraceEntry {
+                covered: 1,
+                score: 0.5,
+                relaxed: 2,
+            },
+            TraceEntry {
+                covered: 2,
+                score: 0.75,
+                relaxed: 1,
+            },
+        ],
+    };
+    vec![
+        ("tree", persist::encode_tree(&result.tree).to_vec()),
+        ("instance", persist::encode_instance(&instance).to_vec()),
+        (
+            "checkpoint",
+            persist::encode_checkpoint(&checkpoint).to_vec(),
+        ),
+    ]
+}
+
+/// Decodes `raw` with the decoder matching `kind`; only the panic/no-panic
+/// and `Ok`/`Err` outcome matters here.
+fn decode_any(kind: &str, raw: Vec<u8>) -> bool {
+    let buf = Bytes::from(raw);
+    match kind {
+        "tree" => persist::decode_tree(buf).is_ok(),
+        "instance" => persist::decode_instance(buf).is_ok(),
+        "checkpoint" => persist::decode_checkpoint(buf).is_ok(),
+        other => panic!("unknown encoding kind {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bit_flipped_encodings_error_instead_of_panicking(
+        flips in prop::collection::vec((0usize..4096, 0u32..8), 1..6)
+    ) {
+        for (kind, original) in sample_encodings() {
+            let mut corrupted = original.clone();
+            for &(pos, bit) in &flips {
+                let pos = pos % corrupted.len();
+                corrupted[pos] ^= 1u8 << bit;
+            }
+            let intact = corrupted == original; // flips may cancel pairwise
+            let ok = decode_any(kind, corrupted);
+            prop_assert_eq!(
+                ok, intact,
+                "{} decode must fail iff the bytes actually changed", kind
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_error_instead_of_panicking(cut in 0usize..4096) {
+        for (kind, original) in sample_encodings() {
+            let cut = cut % original.len(); // strictly shorter than original
+            let truncated = original[..cut].to_vec();
+            prop_assert!(
+                !decode_any(kind, truncated),
+                "{} decode accepted a {}-byte prefix", kind, cut
+            );
+        }
+    }
+
+    #[test]
+    fn random_garbage_errors_instead_of_panicking(
+        raw in prop::collection::vec(0u32..256, 0..256)
+    ) {
+        let raw: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        for kind in ["tree", "instance", "checkpoint"] {
+            // Random bytes essentially never carry a valid magic + checksum.
+            prop_assert!(!decode_any(kind, raw.clone()), "{} accepted garbage", kind);
+        }
+    }
+}

@@ -16,7 +16,8 @@ fn full_lifecycle_roundtrip() {
 
     // Build + reemploy. Scores are relative to the outcome's (relaxed)
     // instance, which iterate() returns alongside the tree.
-    let outcome = workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85);
+    let outcome =
+        workflow::iterate(&ds.instance, &CtcrConfig::default(), 3, 0.85).expect("valid relief");
     assert!(!outcome.trace.is_empty());
     assert!(outcome.result.tree.validate(&outcome.instance).is_ok());
     let covered_before = outcome.result.score.covered_count();

@@ -209,6 +209,19 @@ impl BytesMut {
     }
 }
 
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
 impl BufMut for BytesMut {
     #[inline]
     fn put_slice(&mut self, src: &[u8]) {
