@@ -15,13 +15,20 @@ usage:
   octree export  --dataset A|B|C|D|E [--scale S] [--out FILE]
   octree dot     --tree FILE [--depth K] [--out FILE]
   octree diff    --tree FILE --against FILE --items N
+  octree serve   --tree FILE [--addr HOST:PORT] [--workers W] [--queue Q]
+                 [--variant V] [--delta D] [--deadline-ms MS] [--metrics FILE]
+  octree query   --send LINE [--addr HOST:PORT]
 
 variants: threshold-jaccard (default) | cutoff-jaccard | threshold-f1 |
           cutoff-f1 | perfect-recall | exact
 threads:  0 = auto (all cores, default), 1 = serial, N = N workers
-deadline: wall-clock budget in ms; on expiry the build degrades gracefully
-          (greedy fallbacks) instead of running over
-resume:   continue an interrupted build from --checkpoint-dir's checkpoint";
+deadline: wall-clock budget in ms; on expiry the work degrades gracefully
+          (greedy fallbacks / pessimistic partial covers) instead of
+          running over; 0 = already expired (everything fully degraded)
+resume:   continue an interrupted build from --checkpoint-dir's checkpoint
+serve:    runs until SIGTERM/SIGINT or a SHUTDOWN request, then drains
+query:    sends one protocol line (e.g. 'CATEGORIZE 1,2,3') and prints the
+          response";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +111,31 @@ pub enum Command {
         /// Universe size.
         items: u32,
     },
+    /// Run the query-serving daemon on a persisted tree.
+    Serve {
+        /// Tree path.
+        tree: String,
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker threads (in-flight concurrency limit).
+        workers: usize,
+        /// Admission-queue capacity; connections beyond it are shed.
+        queue: usize,
+        /// Similarity variant + δ queries are scored under.
+        similarity: Similarity,
+        /// Per-request deadline in ms (`None`: unlimited; 0: fully
+        /// degraded immediately).
+        deadline_ms: Option<u64>,
+        /// Write the final metrics report (JSON) here on drain.
+        metrics: Option<String>,
+    },
+    /// Send one protocol line to a running daemon.
+    Query {
+        /// Daemon address.
+        addr: String,
+        /// The raw request line, e.g. `CATEGORIZE 1,2,3`.
+        send: String,
+    },
 }
 
 /// Parses `argv` into a [`Command`].
@@ -172,15 +204,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             flags
                 .get("deadline-ms")
                 .map(|d| {
+                    // 0 is legal and means "already expired": every stage
+                    // runs its degraded path — the cheapest valid output.
                     d.parse::<u64>()
                         .map_err(|_| format!("bad --deadline-ms value {d:?}"))
-                        .and_then(|ms| {
-                            if ms == 0 {
-                                Err("--deadline-ms must be positive".to_owned())
-                            } else {
-                                Ok(ms)
-                            }
-                        })
                 })
                 .transpose()
         };
@@ -252,6 +279,43 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             tree: required(&flags, "tree")?,
             against: required(&flags, "against")?,
             items: items(&flags)?,
+        }),
+        "serve" => Ok(Command::Serve {
+            tree: required(&flags, "tree")?,
+            addr: flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
+            workers: flags
+                .get("workers")
+                .map(|w| {
+                    w.parse::<usize>()
+                        .ok()
+                        .filter(|&w| w >= 1)
+                        .ok_or_else(|| format!("bad --workers value {w:?} (need >= 1)"))
+                })
+                .transpose()?
+                .unwrap_or(4),
+            queue: flags
+                .get("queue")
+                .map(|q| {
+                    q.parse::<usize>()
+                        .ok()
+                        .filter(|&q| q >= 1)
+                        .ok_or_else(|| format!("bad --queue value {q:?} (need >= 1)"))
+                })
+                .transpose()?
+                .unwrap_or(64),
+            similarity: similarity(&flags)?,
+            deadline_ms: deadline_ms(&flags)?,
+            metrics: flags.get("metrics").cloned(),
+        }),
+        "query" => Ok(Command::Query {
+            addr: flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
+            send: required(&flags, "send")?,
         }),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -345,7 +409,15 @@ mod tests {
         } else {
             panic!();
         }
-        assert!(parse(&argv("build --log q --items 5 --deadline-ms 0")).is_err());
+        // 0 is the "already expired" deadline — legal everywhere, meaning
+        // every stage takes its degraded path (see Budget::with_deadline_ms).
+        if let Command::Build { deadline_ms, .. } =
+            parse(&argv("build --log q --items 5 --deadline-ms 0")).expect("0 is legal")
+        {
+            assert_eq!(deadline_ms, Some(0));
+        } else {
+            panic!();
+        }
         assert!(parse(&argv("build --log q --items 5 --deadline-ms x")).is_err());
         assert!(parse(&argv("build --log q --items 5 --rounds 0")).is_err());
         assert!(parse(&argv("score --tree t --log q --items 5 --deadline-ms 100")).is_ok());
@@ -415,6 +487,63 @@ mod tests {
             }
         );
         assert!(parse(&argv("diff --tree a.oct --items 10")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_query() {
+        let cmd = parse(&argv(
+            "serve --tree t.oct --addr 0.0.0.0:9000 --workers 8 --queue 128 \
+             --variant cutoff-jaccard --delta 0.5 --deadline-ms 50 --metrics m.json",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Serve {
+                tree,
+                addr,
+                workers,
+                queue,
+                similarity,
+                deadline_ms,
+                metrics,
+            } => {
+                assert_eq!(tree, "t.oct");
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(workers, 8);
+                assert_eq!(queue, 128);
+                assert_eq!(similarity.kind, SimilarityKind::JaccardCutoff);
+                assert_eq!(deadline_ms, Some(50));
+                assert_eq!(metrics.as_deref(), Some("m.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults.
+        match parse(&argv("serve --tree t.oct")).expect("valid") {
+            Command::Serve {
+                addr,
+                workers,
+                queue,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7171");
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 64);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("serve")).is_err(), "missing --tree");
+        assert!(parse(&argv("serve --tree t --workers 0")).is_err());
+        assert!(parse(&argv("serve --tree t --queue 0")).is_err());
+
+        assert_eq!(
+            parse(&argv("query --send PING")).expect("valid"),
+            Command::Query {
+                addr: "127.0.0.1:7171".into(),
+                send: "PING".into()
+            }
+        );
+        assert!(parse(&argv("query")).is_err(), "missing --send");
     }
 
     #[test]

@@ -85,7 +85,84 @@ pub fn run(command: Command) -> Result<(), String> {
             against,
             items,
         } => diff(&tree, &against, items),
+        Command::Serve {
+            tree,
+            addr,
+            workers,
+            queue,
+            similarity,
+            deadline_ms,
+            metrics,
+        } => serve(ServeArgs {
+            tree_path: &tree,
+            addr,
+            workers,
+            queue,
+            similarity,
+            deadline_ms,
+            metrics_out: metrics.as_deref(),
+        }),
+        Command::Query { addr, send } => query(&addr, &send),
     }
+}
+
+/// Everything `serve` needs, bundled like [`BuildArgs`].
+struct ServeArgs<'a> {
+    tree_path: &'a str,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    similarity: Similarity,
+    deadline_ms: Option<u64>,
+    metrics_out: Option<&'a str>,
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    let tree = read_tree(args.tree_path)?;
+    // SIGTERM/SIGINT begin the graceful drain the run loop finishes.
+    oct_serve::signal::install_handlers();
+    let metrics = Metrics::new(true);
+    let config = oct_serve::ServeConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_capacity: args.queue,
+        deadline_ms: args.deadline_ms,
+        similarity: args.similarity,
+        metrics: metrics.clone(),
+        metrics_out: args.metrics_out.map(std::path::PathBuf::from),
+        ..oct_serve::ServeConfig::default()
+    };
+    let snapshot = oct_serve::ServingTree::build(tree, 0, 0, args.tree_path);
+    out!(
+        "serving {} ({} categories, depth {}) under {} {:.2}",
+        args.tree_path,
+        snapshot.stats.categories,
+        snapshot.stats.max_depth,
+        config.similarity.kind.name(),
+        config.similarity.delta,
+    );
+    let server = oct_serve::Server::bind(config, snapshot)
+        .map_err(|e| format!("cannot bind server: {e}"))?;
+    out!(
+        "listening on {} ({} workers, queue {}); SIGTERM or SHUTDOWN drains",
+        server.local_addr().map_err(|e| e.to_string())?,
+        args.workers,
+        args.queue,
+    );
+    let report = server.run().map_err(|e| format!("server failed: {e}"))?;
+    out!("drained cleanly");
+    out!("{report}");
+    Ok(())
+}
+
+fn query(addr: &str, send: &str) -> Result<(), String> {
+    let request = oct_serve::Request::parse(send).map_err(|e| format!("bad request line: {e}"))?;
+    // Typed protocol outcomes (OVERLOADED, ERR) are printed, not treated as
+    // transport failures — the caller reads the line to branch on them.
+    let response =
+        oct_serve::client::one_shot(addr, &request).map_err(|e| format!("{addr}: {e}"))?;
+    out!("{}", response.encode());
+    Ok(())
 }
 
 fn dot(tree_path: &str, depth: usize, out_path: Option<&str>) -> Result<(), String> {

@@ -9,6 +9,8 @@
 //! octree export  --dataset A --scale 0.05 --out queries.tsv
 //! octree dot     --tree tree.oct --out tree.dot
 //! octree diff    --tree new.oct --against old.oct --items 50000
+//! octree serve   --tree tree.oct --addr 127.0.0.1:7171
+//! octree query   --send 'CATEGORIZE 1,2,3' --addr 127.0.0.1:7171
 //! ```
 //!
 //! The log format is the TSV of `oct_datagen::loader`:

@@ -56,6 +56,7 @@ pub mod itemset;
 pub mod labeling;
 pub mod navigation;
 pub mod persist;
+pub mod point;
 pub mod repair;
 pub mod score;
 pub mod similarity;
@@ -68,6 +69,7 @@ pub use cct::CctConfig;
 pub use ctcr::CtcrConfig;
 pub use input::{InputSet, Instance};
 pub use itemset::{ItemId, ItemSet};
+pub use point::{PointCover, PointIndex};
 pub use score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
 pub use similarity::{Similarity, SimilarityKind};
 pub use tree::{CatId, CategoryTree, ROOT};
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use crate::labeling;
     pub use crate::navigation;
     pub use crate::persist;
+    pub use crate::point::{PointCover, PointIndex};
     pub use crate::repair;
     pub use crate::score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
     pub use crate::similarity::{Similarity, SimilarityKind};

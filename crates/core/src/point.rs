@@ -1,0 +1,295 @@
+//! Point queries: score a *single* item set against a prebuilt tree.
+//!
+//! Batch scoring ([`crate::score`]) aggregates a whole tree against a whole
+//! instance — the right shape for evaluation runs, and entirely the wrong
+//! shape for a serving daemon that answers one query at a time against a
+//! long-lived tree. This module splits that work: a [`PointIndex`] is built
+//! once per tree (materialized category sizes plus an `item → categories`
+//! inverted index) and then answers each query in
+//! `O(Σ_{i∈q} #categories(i))` — proportional to the query, not the tree.
+//!
+//! The best-cover tie-break is byte-for-byte the one batch scoring uses
+//! (`(similarity, precision, depth, lowest CatId)` via the shared
+//! [`better`](crate::score) predicate), so a point query over a set returns
+//! exactly the cover [`crate::score::score_tree`] would report for it; a
+//! test pins that equivalence.
+//!
+//! Point lookups are [`Budget`]-aware for serving: on expiry the candidate
+//! scan stops early and the partial best is returned flagged
+//! [`degraded`](PointCover::degraded) — pessimistic, never wrong, matching
+//! the batch path's degraded-scoring contract.
+
+use oct_resilience::Budget;
+
+use crate::score::{better, category_depths};
+use crate::similarity::Similarity;
+use crate::tree::{CatId, CategoryTree};
+use crate::util::FxHashMap;
+
+/// How often (in candidate categories) a point lookup reads the clock.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// Immutable per-tree index answering single-set cover queries.
+///
+/// Build once per tree snapshot ([`PointIndex::build`]), then share freely:
+/// lookups take `&self`, so a serving daemon can hand one `Arc`'d index to
+/// every worker and swap in a fresh one atomically when the tree rebuilds.
+#[derive(Debug, Clone)]
+pub struct PointIndex {
+    /// `item → categories whose materialized subtree contains it`,
+    /// ascending by category id.
+    item_cats: Vec<Vec<CatId>>,
+    /// Materialized (deduplicated-subtree) size per category slot.
+    cat_sizes: Vec<u32>,
+    /// Depth per category slot (root = 0).
+    depths: Vec<u32>,
+    /// Number of live categories indexed.
+    live_categories: usize,
+}
+
+/// Best cover of one queried item set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointCover {
+    /// The winning category (`None` when nothing scores above zero).
+    pub best_category: Option<CatId>,
+    /// Its similarity under the queried variant.
+    pub similarity: f64,
+    /// Its precision (`|C ∩ q| / |C|`; 1 when undefined).
+    pub precision: f64,
+    /// `true` when the best similarity passes the variant's threshold
+    /// (same predicate as batch scoring's per-set `covered`).
+    pub covered: bool,
+    /// Candidate categories actually evaluated.
+    pub evaluated: usize,
+    /// `true` when the budget expired mid-scan and candidates were skipped
+    /// — the reported cover is then a valid pessimistic lower bound.
+    pub degraded: bool,
+}
+
+impl PointIndex {
+    /// Indexes `tree` for point lookups. `num_items` sizes the inverted
+    /// index; items assigned in the tree beyond it extend it automatically.
+    pub fn build(tree: &CategoryTree, num_items: u32) -> Self {
+        let full = tree.materialize();
+        let live = tree.live_categories();
+        let max_assigned = full
+            .iter()
+            .flat_map(|set| set.as_slice().last().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut item_cats = vec![Vec::new(); num_items.max(max_assigned) as usize];
+        let mut cat_sizes = vec![0u32; tree.len()];
+        for &cat in &live {
+            let set = &full[cat as usize];
+            cat_sizes[cat as usize] = set.len() as u32;
+            for item in set.iter() {
+                item_cats[item as usize].push(cat);
+            }
+        }
+        // `live` ascends, so each item's category list is already sorted —
+        // the deterministic evaluation order lookups rely on.
+        Self {
+            item_cats,
+            cat_sizes,
+            depths: category_depths(tree),
+            live_categories: live.len(),
+        }
+    }
+
+    /// Number of live categories indexed.
+    pub fn len(&self) -> usize {
+        self.live_categories
+    }
+
+    /// `true` when the indexed tree has no live categories.
+    pub fn is_empty(&self) -> bool {
+        self.live_categories == 0
+    }
+
+    /// Number of item slots in the inverted index.
+    pub fn num_items(&self) -> u32 {
+        self.item_cats.len() as u32
+    }
+
+    /// Best cover of `items` (treated as a set; duplicates and items
+    /// outside the index are ignored) under `similarity`, stopping early —
+    /// pessimistically — once `budget` expires.
+    pub fn best_cover(
+        &self,
+        items: &[u32],
+        similarity: &Similarity,
+        budget: &Budget,
+    ) -> PointCover {
+        let mut query: Vec<u32> = items
+            .iter()
+            .copied()
+            .filter(|&i| (i as usize) < self.item_cats.len())
+            .collect();
+        query.sort_unstable();
+        query.dedup();
+        let q_len = query.len();
+
+        // Intersection counts over exactly the categories the query touches.
+        let mut counts: FxHashMap<CatId, u32> = FxHashMap::default();
+        for &item in &query {
+            for &cat in &self.item_cats[item as usize] {
+                *counts.entry(cat).or_insert(0) += 1;
+            }
+        }
+        // Deterministic evaluation order (and a deterministic degraded
+        // prefix): ascending category id.
+        let mut candidates: Vec<(CatId, u32)> = counts.into_iter().collect();
+        candidates.sort_unstable_by_key(|&(cat, _)| cat);
+
+        let limited = budget.is_limited();
+        let mut best_sim = 0.0f64;
+        let mut best_precision = 1.0f64;
+        let mut best_depth = 0u32;
+        let mut best_cat: Option<CatId> = None;
+        let mut evaluated = 0usize;
+        let mut degraded = false;
+        for (seen, &(cat, inter)) in candidates.iter().enumerate() {
+            if limited && budget.check_every(seen as u64, DEADLINE_STRIDE) {
+                degraded = true;
+                break;
+            }
+            let c_len = self.cat_sizes[cat as usize] as usize;
+            let sim = similarity.score(q_len, c_len, inter as usize);
+            let precision = if c_len == 0 {
+                1.0
+            } else {
+                f64::from(inter) / c_len as f64
+            };
+            let depth = self.depths[cat as usize];
+            if better(
+                sim,
+                precision,
+                depth,
+                cat,
+                best_sim,
+                best_precision,
+                best_depth,
+                best_cat,
+            ) {
+                best_sim = sim;
+                best_precision = precision;
+                best_depth = depth;
+                best_cat = Some(cat);
+            }
+            evaluated += 1;
+        }
+        PointCover {
+            best_category: best_cat,
+            similarity: best_sim,
+            precision: best_precision,
+            covered: best_sim > 0.0,
+            evaluated,
+            degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::figure2_instance;
+    use crate::score::score_tree;
+    use crate::tree::ROOT;
+
+    /// The paper's Figure 2 tree `T1`.
+    fn figure2_t1() -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let c1 = t.add_category(ROOT);
+        let c2 = t.add_category(ROOT);
+        let c3 = t.add_category(c1);
+        let c4 = t.add_category(c1);
+        t.assign_items(c3, [0, 1]);
+        t.assign_items(c4, [2, 3, 4, 5]);
+        t.assign_items(c2, [6, 7, 8]);
+        t
+    }
+
+    #[test]
+    fn point_cover_matches_batch_scoring() {
+        for similarity in [
+            Similarity::perfect_recall(0.8),
+            Similarity::jaccard_cutoff(0.6),
+            Similarity::jaccard_threshold(0.6),
+            Similarity::f1_cutoff(0.5),
+        ] {
+            let inst = figure2_instance(similarity);
+            let tree = figure2_t1();
+            let batch = score_tree(&inst, &tree);
+            let index = PointIndex::build(&tree, inst.num_items);
+            for (s, set) in inst.sets.iter().enumerate() {
+                let point =
+                    index.best_cover(set.items.as_slice(), &similarity, &Budget::unlimited());
+                let expect = &batch.per_set[s];
+                assert_eq!(
+                    point.best_category, expect.best_category,
+                    "{similarity:?} set {s}"
+                );
+                assert!((point.similarity - expect.similarity).abs() < 1e-12);
+                assert!((point.precision - expect.precision).abs() < 1e-12);
+                assert_eq!(point.covered, expect.covered);
+                assert!(!point.degraded);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_out_of_universe_items_are_ignored() {
+        let tree = figure2_t1();
+        let index = PointIndex::build(&tree, 9);
+        let similarity = Similarity::perfect_recall(0.8);
+        let clean = index.best_cover(&[0, 1], &similarity, &Budget::unlimited());
+        let noisy = index.best_cover(&[1, 0, 0, 1, 999_999], &similarity, &Budget::unlimited());
+        assert_eq!(clean, noisy);
+        assert!(clean.covered);
+    }
+
+    #[test]
+    fn empty_query_and_empty_tree_cover_nothing() {
+        let similarity = Similarity::jaccard_cutoff(0.5);
+        let index = PointIndex::build(&figure2_t1(), 9);
+        let cover = index.best_cover(&[], &similarity, &Budget::unlimited());
+        assert_eq!(cover.best_category, None);
+        assert!(!cover.covered);
+        let empty = PointIndex::build(&CategoryTree::new(), 9);
+        // The bare root still materializes (empty), so only a zero-score
+        // cover is possible.
+        let cover = empty.best_cover(&[0, 1], &similarity, &Budget::unlimited());
+        assert_eq!(cover.best_category, None);
+        assert!(!empty.is_empty(), "root is live");
+    }
+
+    #[test]
+    fn expired_budget_degrades_pessimistically() {
+        let index = PointIndex::build(&figure2_t1(), 9);
+        let similarity = Similarity::jaccard_cutoff(0.6);
+        let cover = index.best_cover(&[0, 1, 2], &similarity, &Budget::expired_now());
+        assert!(cover.degraded);
+        assert_eq!(cover.evaluated, 0, "first strided check already expired");
+        assert_eq!(cover.best_category, None);
+        let full = index.best_cover(&[0, 1, 2], &similarity, &Budget::unlimited());
+        assert!(
+            full.similarity >= cover.similarity,
+            "degraded is a lower bound"
+        );
+    }
+
+    #[test]
+    fn removed_categories_never_win() {
+        let mut tree = figure2_t1();
+        let batch_winner = 3; // c3 = {0, 1}
+        tree.remove_category(batch_winner);
+        let index = PointIndex::build(&tree, 9);
+        let cover = index.best_cover(
+            &[0, 1],
+            &Similarity::jaccard_cutoff(0.1),
+            &Budget::unlimited(),
+        );
+        assert_ne!(cover.best_category, Some(batch_winner));
+        assert!(cover.best_category.is_some(), "an ancestor still covers");
+    }
+}

@@ -205,7 +205,7 @@ struct Best {
 /// `sim > 0` requirement out of the EPS comparison fixes the old bug where
 /// a best similarity in `(0, EPS]` left `best_category: None`.)
 #[allow(clippy::too_many_arguments)]
-fn better(
+pub(crate) fn better(
     sim: f64,
     precision: f64,
     depth: u32,
@@ -304,7 +304,7 @@ fn evaluate_category(
 }
 
 /// Depth of every live category (root = 0), computed in one top-down pass.
-fn category_depths(tree: &CategoryTree) -> Vec<u32> {
+pub(crate) fn category_depths(tree: &CategoryTree) -> Vec<u32> {
     let mut depth = vec![0u32; tree.len()];
     let order = tree.post_order();
     // Reverse post-order visits parents before children.

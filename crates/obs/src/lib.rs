@@ -31,7 +31,7 @@
 
 mod report;
 
-pub use report::{json, PipelineReport, SpanStat};
+pub use report::{json, HistogramStat, PipelineReport, SpanStat};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -39,11 +39,62 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Histogram bucket upper bounds in microseconds: powers of two from 1 µs
+/// to ~1 s, plus an unbounded overflow bucket. Coarse but fixed, so
+/// concurrent recording is a single atomic add with no rebucketing.
+pub const HISTOGRAM_BOUNDS_US: [u64; 21] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536,
+    131_072, 262_144, 524_288, 1_048_576,
+];
+
+/// Cells backing one histogram: per-bucket counts plus count/total/max.
+#[derive(Default)]
+struct HistoCells {
+    /// One count per bound in [`HISTOGRAM_BOUNDS_US`], then overflow.
+    buckets: [AtomicU64; HISTOGRAM_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl HistoCells {
+    fn observe(&self, value: Duration) {
+        let us = value.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = HISTOGRAM_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let ns = value.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramStat {
+        let mut buckets = std::collections::BTreeMap::new();
+        for (i, cell) in self.buckets.iter().enumerate() {
+            let count = cell.load(Ordering::Relaxed);
+            if count > 0 {
+                let bound = HISTOGRAM_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+                buckets.insert(bound, count);
+            }
+        }
+        HistogramStat {
+            count: self.count.load(Ordering::Relaxed),
+            total: Duration::from_nanos(self.total_ns.load(Ordering::Relaxed)),
+            max: Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<HashMap<String, f64>>,
     spans: Mutex<HashMap<String, SpanStat>>,
+    histograms: Mutex<HashMap<String, Arc<HistoCells>>>,
     /// Latched when any pipeline stage fell back to a degraded mode
     /// (deadline expiry, truncated enumeration, heuristic-only solves).
     degraded: AtomicBool,
@@ -130,6 +181,24 @@ impl Metrics {
         }
     }
 
+    /// A reusable handle to one latency histogram, for hot paths: after
+    /// this single lookup, each observation is a handful of lock-free
+    /// atomic adds into fixed power-of-two buckets (1 µs – ~1 s plus
+    /// overflow). The handle of a disabled `Metrics` discards observations.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram {
+            cells: self.inner.as_ref().map(|inner| {
+                Arc::clone(inner.histograms.lock().entry(name.to_string()).or_default())
+            }),
+        }
+    }
+
+    /// Records one observation into the named histogram (convenience for
+    /// cold paths; hot paths should hold a [`Histogram`] handle).
+    pub fn observe(&self, name: &str, value: Duration) {
+        self.histogram(name).observe(value);
+    }
+
     /// Latches the degraded flag: some stage fell back to a degraded mode
     /// (deadline expiry, truncated enumeration, heuristic-only solve). The
     /// flag is sticky — once set it stays set for the handle's lifetime.
@@ -182,6 +251,12 @@ impl Metrics {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+            histograms: inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
             degraded: inner.degraded.load(Ordering::Relaxed),
         }
     }
@@ -221,6 +296,31 @@ impl Counter {
         self.cell
             .as_ref()
             .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free handle to a single latency histogram (see
+/// [`Metrics::histogram`]).
+#[derive(Clone, Default)]
+pub struct Histogram {
+    cells: Option<Arc<HistoCells>>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: Duration) {
+        if let Some(cells) = &self.cells {
+            cells.observe(value);
+        }
+    }
+
+    /// Snapshot of this histogram (empty on a disabled handle).
+    pub fn stat(&self) -> HistogramStat {
+        self.cells
+            .as_ref()
+            .map(|cells| cells.snapshot())
+            .unwrap_or_default()
     }
 }
 
@@ -321,6 +421,51 @@ mod tests {
         // The parent span is open for at least as long as its child.
         assert!(run.total >= phase.total);
         assert!(phase.total >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn histograms_record_and_snapshot() {
+        let m = Metrics::enabled();
+        let h = m.histogram("serve/latency");
+        h.observe(Duration::from_micros(3)); // → bucket ≤ 4 µs
+        h.observe(Duration::from_micros(100)); // → bucket ≤ 128 µs
+        m.observe("serve/latency", Duration::from_secs(10)); // → overflow
+        let stat = m
+            .report()
+            .histogram("serve/latency")
+            .cloned()
+            .expect("recorded");
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.max, Duration::from_secs(10));
+        assert_eq!(stat.buckets.get(&4), Some(&1));
+        assert_eq!(stat.buckets.get(&128), Some(&1));
+        assert_eq!(stat.buckets.get(&u64::MAX), Some(&1));
+        assert_eq!(stat.buckets.values().sum::<u64>(), stat.count);
+        // Handles on a disabled sink record nothing.
+        let off = Metrics::disabled();
+        off.histogram("x").observe(Duration::from_micros(5));
+        off.observe("x", Duration::from_micros(5));
+        assert!(off.report().histograms.is_empty());
+        assert_eq!(off.histogram("x").stat().count, 0);
+    }
+
+    #[test]
+    fn histograms_are_race_free_across_threads() {
+        let m = Metrics::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    let h = m.histogram("hot");
+                    for i in 0..1000u64 {
+                        h.observe(Duration::from_micros(i % 300));
+                    }
+                });
+            }
+        });
+        let stat = m.report().histogram("hot").cloned().expect("recorded");
+        assert_eq!(stat.count, 4000);
+        assert_eq!(stat.buckets.values().sum::<u64>(), 4000);
     }
 
     #[test]

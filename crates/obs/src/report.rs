@@ -22,6 +22,55 @@ impl SpanStat {
     }
 }
 
+/// Aggregated latency distribution of one histogram.
+///
+/// Buckets are cumulative-style upper bounds in microseconds (the fixed
+/// power-of-two ladder of [`crate::HISTOGRAM_BOUNDS_US`]); `u64::MAX` keys
+/// the overflow bucket. Only non-empty buckets are stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub total: Duration,
+    /// Largest single observation.
+    pub max: Duration,
+    /// `upper bound in µs → observations ≤ bound` (non-empty buckets only).
+    pub buckets: BTreeMap<u64, u64>,
+}
+
+impl HistogramStat {
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count.min(u64::from(u32::MAX)) as u32
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th observation, capped at
+    /// [`max`](Self::max). Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&bound_us, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                if bound_us == u64::MAX {
+                    return self.max;
+                }
+                return Duration::from_micros(bound_us).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// Everything a [`crate::Metrics`] handle recorded, in deterministic
 /// (sorted) order.
 ///
@@ -29,14 +78,18 @@ impl SpanStat {
 ///
 /// ```json
 /// {
-///   "spans":    { "<path>": { "total_ns": 1234, "count": 2 } },
-///   "counters": { "<name>": 42 },
-///   "gauges":   { "<name>": 0.5 },
+///   "spans":      { "<path>": { "total_ns": 1234, "count": 2 } },
+///   "counters":   { "<name>": 42 },
+///   "gauges":     { "<name>": 0.5 },
+///   "histograms": { "<name>": { "count": 2, "total_ns": 99, "max_ns": 64,
+///                               "buckets": { "128": 2 } } },
 ///   "degraded": false
 /// }
 /// ```
 ///
-/// `degraded` is omitted by older writers; absence reads as `false`.
+/// Histogram bucket keys are upper bounds in µs (`"inf"` = overflow).
+/// `degraded` and `histograms` are omitted by older writers; absence reads
+/// as `false` / empty.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineReport {
     /// Monotonic counters by name.
@@ -45,6 +98,8 @@ pub struct PipelineReport {
     pub gauges: BTreeMap<String, f64>,
     /// Timed spans by `/`-separated path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Latency histograms by name.
+    pub histograms: BTreeMap<String, HistogramStat>,
     /// `true` when any pipeline stage fell back to a degraded mode
     /// (deadline expiry, truncated enumeration, heuristic-only solve).
     pub degraded: bool,
@@ -56,6 +111,7 @@ impl PipelineReport {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.spans.is_empty()
+            && self.histograms.is_empty()
             && !self.degraded
     }
 
@@ -72,6 +128,11 @@ impl PipelineReport {
     /// Timing of a span path, if recorded.
     pub fn span(&self, path: &str) -> Option<&SpanStat> {
         self.spans.get(path)
+    }
+
+    /// Distribution of a histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.get(name)
     }
 
     /// Total seconds recorded under a span path (0 when absent).
@@ -127,6 +188,34 @@ impl PipelineReport {
         if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, stat)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json::write_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}, \"buckets\": {{",
+                stat.count,
+                stat.total.as_nanos(),
+                stat.max.as_nanos()
+            ));
+            for (j, (&bound_us, &count)) in stat.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                if bound_us == u64::MAX {
+                    out.push_str(&format!("\"inf\": {count}"));
+                } else {
+                    out.push_str(&format!("\"{bound_us}\": {count}"));
+                }
+            }
+            out.push_str("}}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str(&format!("}},\n  \"degraded\": {}\n}}\n", self.degraded));
         out
     }
@@ -164,6 +253,45 @@ impl PipelineReport {
         if let Some(gauges) = root.get("gauges") {
             for (name, value) in gauges.as_object("gauges")? {
                 report.gauges.insert(name.clone(), value.as_f64(name)?);
+            }
+        }
+        if let Some(histograms) = root.get("histograms") {
+            for (name, stat) in histograms.as_object("histograms")? {
+                let stat_obj = stat.as_object("histogram stat")?;
+                let mut parsed = HistogramStat {
+                    count: stat_obj
+                        .get("count")
+                        .ok_or_else(|| json::JsonError::missing("count"))?
+                        .as_u64("count")?,
+                    total: Duration::from_nanos(
+                        stat_obj
+                            .get("total_ns")
+                            .ok_or_else(|| json::JsonError::missing("total_ns"))?
+                            .as_u64("total_ns")?,
+                    ),
+                    max: Duration::from_nanos(
+                        stat_obj
+                            .get("max_ns")
+                            .ok_or_else(|| json::JsonError::missing("max_ns"))?
+                            .as_u64("max_ns")?,
+                    ),
+                    buckets: BTreeMap::new(),
+                };
+                if let Some(buckets) = stat_obj.get("buckets") {
+                    for (bound, count) in buckets.as_object("buckets")? {
+                        let bound_us = if bound == "inf" {
+                            u64::MAX
+                        } else {
+                            bound.parse::<u64>().map_err(|_| {
+                                json::JsonError::invalid(format!(
+                                    "bad histogram bucket bound `{bound}`"
+                                ))
+                            })?
+                        };
+                        parsed.buckets.insert(bound_us, count.as_u64(bound)?);
+                    }
+                }
+                report.histograms.insert(name.clone(), parsed);
             }
         }
         match root.get("degraded") {
@@ -208,6 +336,21 @@ impl fmt::Display for PipelineReport {
             let width = self.gauges.keys().map(String::len).max().unwrap_or(0);
             for (name, value) in &self.gauges {
                 writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            let width = self.histograms.keys().map(String::len).max().unwrap_or(0);
+            for (name, stat) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name:<width$}  count={} mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms",
+                    stat.count,
+                    stat.mean().as_secs_f64() * 1e3,
+                    stat.quantile(0.5).as_secs_f64() * 1e3,
+                    stat.quantile(0.99).as_secs_f64() * 1e3,
+                    stat.max.as_secs_f64() * 1e3,
+                )?;
             }
         }
         if self.degraded {
@@ -281,6 +424,10 @@ pub mod json {
 
         pub(crate) fn missing(field: &str) -> Self {
             Self::new(format!("missing field `{field}`"))
+        }
+
+        pub(crate) fn invalid(what: impl Into<String>) -> Self {
+            Self::new(what)
         }
 
         pub(crate) fn type_mismatch_pub(what: &str, expected: &str, got: &Value) -> Self {
@@ -559,6 +706,15 @@ mod tests {
                 count: 17,
             },
         );
+        report.histograms.insert(
+            "serve/latency".into(),
+            HistogramStat {
+                count: 7,
+                total: Duration::from_micros(900),
+                max: Duration::from_micros(400),
+                buckets: [(64, 2), (128, 4), (512, 1)].into_iter().collect(),
+            },
+        );
         report
     }
 
@@ -609,6 +765,59 @@ mod tests {
             "negative counter must be rejected"
         );
         assert!(PipelineReport::from_json(r#"{"counters": {"x": 1.5}}"#).is_err());
+    }
+
+    #[test]
+    fn histogram_quantiles_estimate_from_buckets() {
+        let stat = HistogramStat {
+            count: 10,
+            total: Duration::from_micros(1000),
+            max: Duration::from_micros(700),
+            buckets: [(64, 5), (256, 4), (u64::MAX, 1)].into_iter().collect(),
+        };
+        assert_eq!(stat.quantile(0.5), Duration::from_micros(64));
+        assert_eq!(stat.quantile(0.9), Duration::from_micros(256));
+        // The overflow bucket reports the observed max, not infinity.
+        assert_eq!(stat.quantile(1.0), Duration::from_micros(700));
+        assert_eq!(stat.mean(), Duration::from_micros(100));
+        let empty = HistogramStat::default();
+        assert_eq!(empty.quantile(0.5), Duration::ZERO);
+        assert_eq!(empty.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn histograms_roundtrip_and_default_to_empty() {
+        let report = sample();
+        let back = PipelineReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back.histograms, report.histograms);
+        assert_eq!(
+            back.histogram("serve/latency").map(|h| h.count),
+            Some(7),
+            "accessor reads the parsed histogram"
+        );
+        // Overflow bucket key serializes as "inf" and parses back.
+        let mut with_inf = PipelineReport::default();
+        with_inf.histograms.insert(
+            "h".into(),
+            HistogramStat {
+                count: 1,
+                total: Duration::from_secs(2),
+                max: Duration::from_secs(2),
+                buckets: [(u64::MAX, 1)].into_iter().collect(),
+            },
+        );
+        let text = with_inf.to_json();
+        assert!(text.contains("\"inf\": 1"), "{text}");
+        assert_eq!(PipelineReport::from_json(&text).expect("parse"), with_inf);
+        // Pre-histogram JSON (field absent) reads as empty.
+        let legacy = PipelineReport::from_json(r#"{"counters": {"x": 1}}"#).expect("parse");
+        assert!(legacy.histograms.is_empty());
+        // Garbage bucket bounds are rejected.
+        assert!(PipelineReport::from_json(
+            r#"{"histograms": {"h": {"count": 1, "total_ns": 1, "max_ns": 1,
+                "buckets": {"nope": 1}}}}"#
+        )
+        .is_err());
     }
 
     #[test]

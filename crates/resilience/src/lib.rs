@@ -17,6 +17,12 @@
 //! - [`faults`] — a deterministic fail-point registry (behind the
 //!   `fault-injection` feature, on only under `cargo test`) so every
 //!   degradation path has a test that actually exercises it.
+//! - [`retry`] — a jittered-exponential-backoff [`RetryPolicy`] for
+//!   transient failures (worker panics, checkpoint reload races), budget-
+//!   and cancellation-aware so retries never outlive their deadline.
+//! - [`breaker`] — a [`CircuitBreaker`] that trips after consecutive
+//!   failures and half-opens on a timer, shared by the serving daemon and
+//!   reusable by batch paths.
 
 use std::error::Error;
 use std::fmt;
@@ -25,7 +31,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod breaker;
 pub mod faults;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use retry::{RetryOutcome, RetryPolicy};
 
 /// A shared cooperative-cancellation flag.
 ///
@@ -75,17 +86,38 @@ impl Budget {
         Self::default()
     }
 
-    /// A budget expiring `timeout` from now.
+    /// A budget expiring `timeout` from now. A zero `timeout` is the
+    /// explicit "no time at all" budget and behaves exactly like
+    /// [`expired_now`](Self::expired_now): every check fails immediately
+    /// and `remaining()` is zero, rather than racing `Instant::now()`.
     pub fn with_deadline(timeout: Duration) -> Self {
+        if timeout.is_zero() {
+            return Self::expired_now();
+        }
         Self {
             deadline: Some(Instant::now() + timeout),
             token: CancelToken::new(),
         }
     }
 
-    /// A budget expiring `ms` milliseconds from now.
+    /// A budget expiring `ms` milliseconds from now; `0` is equivalent to
+    /// [`expired_now`](Self::expired_now) (see [`with_deadline`](Self::with_deadline)).
     pub fn with_deadline_ms(ms: u64) -> Self {
         Self::with_deadline(Duration::from_millis(ms))
+    }
+
+    /// A budget with an optional deadline sharing an existing cancellation
+    /// token, so one token can cancel many budgets at once (e.g. a server
+    /// cancelling every in-flight request's budget on hard drain). A zero
+    /// deadline expires immediately, like [`with_deadline`](Self::with_deadline).
+    pub fn with_deadline_and_token(timeout: Option<Duration>, token: CancelToken) -> Self {
+        // `Instant::now() + ZERO` is already `<=` every later clock read, so
+        // a zero timeout is expired from the first check on — without
+        // cancelling the *shared* token (which would sink sibling budgets).
+        Self {
+            deadline: timeout.map(|t| Instant::now() + t),
+            token,
+        }
     }
 
     /// A budget already expired at construction — every check fails
@@ -231,11 +263,99 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_is_expired_now() {
+        // `with_deadline_ms(0)` must behave exactly like `expired_now()`:
+        // the CLI and the library agree that "0 ms" means "no time at all".
+        for b in [
+            Budget::with_deadline_ms(0),
+            Budget::with_deadline(Duration::ZERO),
+        ] {
+            assert!(b.expired(), "zero budget expires immediately");
+            assert!(b.is_limited());
+            assert_eq!(b.remaining(), Some(Duration::ZERO));
+            assert!(b.check_every(0, 1), "first strided check already fails");
+        }
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones_made_before_and_after() {
+        // Cancel-before-clone: a clone taken *after* cancellation must
+        // observe it just like one taken before.
+        let original = Budget::unlimited();
+        let early_clone = original.clone();
+        original.token().cancel();
+        let late_clone = original.clone();
+        for b in [&original, &early_clone, &late_clone] {
+            assert!(b.expired());
+            assert!(b.token().is_cancelled());
+            assert_eq!(b.remaining(), Some(Duration::ZERO));
+        }
+        // Same for a bare CancelToken cloned after cancel.
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.clone().is_cancelled());
+    }
+
+    #[test]
     fn check_every_strides() {
         let b = Budget::expired_now();
         assert!(!b.check_every(1, 256), "off-stride counters skip the check");
         assert!(b.check_every(256, 256));
         assert!(b.check_every(0, 0), "zero stride is clamped to 1");
+    }
+
+    #[test]
+    fn check_every_stride_boundaries() {
+        let b = Budget::expired_now();
+        // Counter 0 is a multiple of every stride: always a real check.
+        assert!(b.check_every(0, 1));
+        assert!(b.check_every(0, u64::MAX));
+        // Stride 1 checks on every counter value.
+        for counter in [1, 2, 3, u64::MAX] {
+            assert!(b.check_every(counter, 1));
+        }
+        // Exact multiples check; off-by-one neighbors don't.
+        assert!(b.check_every(512, 256));
+        assert!(!b.check_every(511, 256));
+        assert!(!b.check_every(513, 256));
+        // Wraparound-adjacent counters: u64::MAX is not a multiple of 256,
+        // and the check never panics at the extremes.
+        assert!(!b.check_every(u64::MAX, 256));
+        assert!(b.check_every(u64::MAX, u64::MAX));
+        // An unlimited budget reports not-expired even on a real check.
+        assert!(!Budget::unlimited().check_every(0, 1));
+    }
+
+    #[test]
+    fn remaining_at_and_after_expiry_is_zero() {
+        // At/after the deadline `remaining()` saturates to zero, never
+        // underflows, and stays zero on later reads.
+        let b = Budget::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.expired());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        assert_eq!(b.remaining(), Some(Duration::ZERO), "stays zero");
+        // Cancellation forces zero remaining even with a far deadline.
+        let far = Budget::with_deadline_ms(3_600_000);
+        assert!(far.remaining().expect("deadline set") > Duration::from_secs(1));
+        far.token().cancel();
+        assert_eq!(far.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn shared_token_budgets_expire_together() {
+        let token = CancelToken::new();
+        let a = Budget::with_deadline_and_token(None, token.clone());
+        let b = Budget::with_deadline_and_token(Some(Duration::from_secs(3600)), token.clone());
+        assert!(!a.expired() && !b.expired());
+        token.cancel();
+        assert!(a.expired() && b.expired());
+        // A zero timeout expires immediately without sinking siblings.
+        let token = CancelToken::new();
+        let zero = Budget::with_deadline_and_token(Some(Duration::ZERO), token.clone());
+        let sibling = Budget::with_deadline_and_token(None, token);
+        assert!(zero.expired());
+        assert!(!sibling.expired(), "shared token must not be cancelled");
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! The `oct-serve` wire protocol: one request line in, one response line
+//! out, UTF-8, newline-terminated.
+//!
+//! The protocol is deliberately primitive — the robustness machinery around
+//! it (admission control, shedding, breakers, hot swap) is the point of the
+//! daemon, and a line protocol keeps clients trivial (`nc` works). Shapes:
+//!
+//! ```text
+//! →  PING
+//! ←  OK PONG epoch=3
+//! →  CATEGORIZE 17,42,108
+//! ←  OK COVER epoch=3 cat=12 sim=0.8333 precision=0.7143 covered=1 degraded=0 label=running shoes
+//! →  NAVIGATE 12
+//! ←  OK NAV cat=12 children=13,14,19
+//! →  STATS
+//! ←  OK STATS epoch=3 categories=412 max_depth=6 items=50000
+//! →  SWAP /path/to/new.oct
+//! ←  OK SWAPPED epoch=4 categories=433
+//! ←  OVERLOADED queue=64            (typed shed — request was never admitted)
+//! ←  ERR unavailable: circuit open  (breaker rejecting while a dependency heals)
+//! ```
+//!
+//! `SCORE` is `CATEGORIZE` minus the label lookup — same cover computation,
+//! for clients that only want the number. Unknown or malformed lines get
+//! `ERR bad-request: ...`; the connection stays open (one bad line must not
+//! kill a pipelined client).
+
+use oct_core::CatId;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; returns the current tree epoch.
+    Ping,
+    /// Best cover of the item set, with the winning category's label.
+    Categorize {
+        /// The queried item ids.
+        items: Vec<u32>,
+    },
+    /// Best cover of the item set, label-free.
+    Score {
+        /// The queried item ids.
+        items: Vec<u32>,
+    },
+    /// Children of one category (tree browsing).
+    Navigate {
+        /// The category to expand.
+        cat: CatId,
+    },
+    /// Tree + server statistics.
+    Stats,
+    /// Load a new tree from a path and atomically publish it.
+    Swap {
+        /// Path to a persisted `.oct` tree.
+        path: String,
+    },
+    /// Begin graceful drain: stop accepting, finish in-flight, exit.
+    Shutdown,
+}
+
+/// Machine-readable error class on `ERR` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line could not be parsed or referenced a bad id/path.
+    BadRequest,
+    /// The server is refusing work: circuit open or draining.
+    Unavailable,
+    /// The handler failed after retries.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad-request",
+            Self::Unavailable => "unavailable",
+            Self::Internal => "internal",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Self> {
+        match name {
+            "bad-request" => Some(Self::BadRequest),
+            "unavailable" => Some(Self::Unavailable),
+            "internal" => Some(Self::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness ack with the serving tree's epoch.
+    Pong {
+        /// Current tree epoch.
+        epoch: u64,
+    },
+    /// Best cover of a queried item set.
+    Cover {
+        /// Epoch of the tree that answered (pins swap consistency).
+        epoch: u64,
+        /// Winning category, if any scored above zero.
+        cat: Option<CatId>,
+        /// Its similarity.
+        similarity: f64,
+        /// Its precision.
+        precision: f64,
+        /// Whether the cover passes the variant's threshold.
+        covered: bool,
+        /// Whether the budget expired mid-scan (pessimistic partial answer).
+        degraded: bool,
+        /// The winning category's label (CATEGORIZE only; last field, may
+        /// contain spaces).
+        label: Option<String>,
+    },
+    /// A category's children.
+    Nav {
+        /// The expanded category.
+        cat: CatId,
+        /// Its live children, ascending.
+        children: Vec<CatId>,
+    },
+    /// Tree-level statistics.
+    Stats {
+        /// Current tree epoch.
+        epoch: u64,
+        /// Live category count.
+        categories: usize,
+        /// Maximum depth.
+        max_depth: usize,
+        /// Item slots in the point index.
+        items: u32,
+    },
+    /// A hot swap was published.
+    Swapped {
+        /// The new epoch.
+        epoch: u64,
+        /// Live categories in the new tree.
+        categories: usize,
+    },
+    /// Drain acknowledged; the server stops accepting and exits when
+    /// in-flight work completes.
+    Draining,
+    /// Typed load-shed: the request was rejected *before* admission
+    /// because the queue or concurrency limit was hit. Clients should back
+    /// off and retry; nothing was partially executed.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+    },
+    /// Typed failure.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Parses one request line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "PING" => Ok(Self::Ping),
+            "CATEGORIZE" => Ok(Self::Categorize {
+                items: parse_items(rest)?,
+            }),
+            "SCORE" => Ok(Self::Score {
+                items: parse_items(rest)?,
+            }),
+            "NAVIGATE" => rest
+                .parse::<CatId>()
+                .map(|cat| Self::Navigate { cat })
+                .map_err(|_| format!("bad category id {rest:?}")),
+            "STATS" => Ok(Self::Stats),
+            "SWAP" => {
+                if rest.is_empty() {
+                    Err("SWAP needs a tree path".to_owned())
+                } else {
+                    Ok(Self::Swap {
+                        path: rest.to_owned(),
+                    })
+                }
+            }
+            "SHUTDOWN" => Ok(Self::Shutdown),
+            "" => Err("empty request".to_owned()),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+
+    /// Encodes the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Ping => "PING".to_owned(),
+            Self::Categorize { items } => format!("CATEGORIZE {}", join_items(items)),
+            Self::Score { items } => format!("SCORE {}", join_items(items)),
+            Self::Navigate { cat } => format!("NAVIGATE {cat}"),
+            Self::Stats => "STATS".to_owned(),
+            Self::Swap { path } => format!("SWAP {path}"),
+            Self::Shutdown => "SHUTDOWN".to_owned(),
+        }
+    }
+}
+
+fn parse_items(text: &str) -> Result<Vec<u32>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad item id {part:?}"))
+        })
+        .collect()
+}
+
+fn join_items(items: &[u32]) -> String {
+    items
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Response {
+    /// Encodes the response as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Pong { epoch } => format!("OK PONG epoch={epoch}"),
+            Self::Cover {
+                epoch,
+                cat,
+                similarity,
+                precision,
+                covered,
+                degraded,
+                label,
+            } => {
+                let mut line = format!(
+                    "OK COVER epoch={epoch} cat={} sim={similarity:.6} precision={precision:.6} \
+                     covered={} degraded={}",
+                    cat.map_or_else(|| "none".to_owned(), |c| c.to_string()),
+                    u8::from(*covered),
+                    u8::from(*degraded),
+                );
+                if let Some(label) = label {
+                    line.push_str(" label=");
+                    line.push_str(label);
+                }
+                line
+            }
+            Self::Nav { cat, children } => {
+                format!("OK NAV cat={cat} children={}", join_items(children))
+            }
+            Self::Stats {
+                epoch,
+                categories,
+                max_depth,
+                items,
+            } => format!(
+                "OK STATS epoch={epoch} categories={categories} max_depth={max_depth} \
+                 items={items}"
+            ),
+            Self::Swapped { epoch, categories } => {
+                format!("OK SWAPPED epoch={epoch} categories={categories}")
+            }
+            Self::Draining => "OK DRAINING".to_owned(),
+            Self::Overloaded { queue_depth } => format!("OVERLOADED queue={queue_depth}"),
+            Self::Error { code, message } => {
+                format!("ERR {}: {}", code.name(), message.replace('\n', " "))
+            }
+        }
+    }
+
+    /// Parses one response line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if let Some(rest) = line.strip_prefix("OVERLOADED") {
+            let fields = Fields::parse(rest);
+            return Ok(Self::Overloaded {
+                queue_depth: fields.u64("queue")? as usize,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, message) = rest
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed ERR line {line:?}"))?;
+            return Ok(Self::Error {
+                code: ErrorCode::parse(code).ok_or_else(|| format!("unknown code {code:?}"))?,
+                message: message.to_owned(),
+            });
+        }
+        let rest = line
+            .strip_prefix("OK ")
+            .ok_or_else(|| format!("malformed response {line:?}"))?;
+        let (kind, rest) = match rest.split_once(' ') {
+            Some((k, r)) => (k, r),
+            None => (rest, ""),
+        };
+        let fields = Fields::parse(rest);
+        match kind {
+            "PONG" => Ok(Self::Pong {
+                epoch: fields.u64("epoch")?,
+            }),
+            "COVER" => Ok(Self::Cover {
+                epoch: fields.u64("epoch")?,
+                cat: match fields.str("cat")? {
+                    "none" => None,
+                    id => Some(
+                        id.parse::<CatId>()
+                            .map_err(|_| format!("bad cat id {id:?}"))?,
+                    ),
+                },
+                similarity: fields.f64("sim")?,
+                precision: fields.f64("precision")?,
+                covered: fields.u64("covered")? != 0,
+                degraded: fields.u64("degraded")? != 0,
+                label: fields.trailing("label="),
+            }),
+            "NAV" => Ok(Self::Nav {
+                cat: fields.u64("cat")? as CatId,
+                children: parse_items(fields.str("children").unwrap_or(""))?,
+            }),
+            "STATS" => Ok(Self::Stats {
+                epoch: fields.u64("epoch")?,
+                categories: fields.u64("categories")? as usize,
+                max_depth: fields.u64("max_depth")? as usize,
+                items: fields.u64("items")? as u32,
+            }),
+            "SWAPPED" => Ok(Self::Swapped {
+                epoch: fields.u64("epoch")?,
+                categories: fields.u64("categories")? as usize,
+            }),
+            "DRAINING" => Ok(Self::Draining),
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+
+    /// `true` for the typed shed response.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Self::Overloaded { .. })
+    }
+}
+
+/// `key=value` field access over a response tail. The raw tail is kept so
+/// a trailing free-form field (`label=...`, which may contain spaces) can
+/// be extracted verbatim.
+struct Fields<'a> {
+    raw: &'a str,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(raw: &'a str) -> Self {
+        Self { raw: raw.trim() }
+    }
+
+    /// The value of `key` (first match, space-delimited).
+    fn str(&self, key: &str) -> Result<&'a str, String> {
+        for part in self.raw.split_whitespace() {
+            if let Some(value) = part.strip_prefix(key) {
+                if let Some(value) = value.strip_prefix('=') {
+                    return Ok(value);
+                }
+            }
+        }
+        Err(format!("missing field {key:?}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("bad integer field {key:?}"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("bad float field {key:?}"))
+    }
+
+    /// Everything after `marker` to end of line (for free-form trailers).
+    fn trailing(&self, marker: &str) -> Option<String> {
+        self.raw
+            .find(marker)
+            .map(|at| self.raw[at + marker.len()..].to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Ping,
+            Request::Categorize {
+                items: vec![17, 42, 108],
+            },
+            Request::Score { items: vec![5] },
+            Request::Navigate { cat: 12 },
+            Request::Stats,
+            Request::Swap {
+                path: "/tmp/new tree.oct".to_owned(),
+            },
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let line = req.encode();
+            assert_eq!(Request::parse(&line).expect("roundtrip"), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn request_parse_is_lenient_about_case_and_spacing() {
+        assert_eq!(Request::parse("ping").expect("ok"), Request::Ping);
+        assert_eq!(
+            Request::parse("  categorize 1, 2 ,3  ").expect("ok"),
+            Request::Categorize {
+                items: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(
+            Request::parse("CATEGORIZE").expect("empty set allowed"),
+            Request::Categorize { items: Vec::new() }
+        );
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("FROBNICATE 1").is_err());
+        assert!(Request::parse("CATEGORIZE 1,x").is_err());
+        assert!(Request::parse("NAVIGATE banana").is_err());
+        assert!(Request::parse("SWAP").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Pong { epoch: 3 },
+            Response::Cover {
+                epoch: 7,
+                cat: Some(12),
+                similarity: 0.833333,
+                precision: 0.714286,
+                covered: true,
+                degraded: false,
+                label: Some("running shoes".to_owned()),
+            },
+            Response::Cover {
+                epoch: 7,
+                cat: None,
+                similarity: 0.0,
+                precision: 1.0,
+                covered: false,
+                degraded: true,
+                label: None,
+            },
+            Response::Nav {
+                cat: 12,
+                children: vec![13, 14, 19],
+            },
+            Response::Nav {
+                cat: 9,
+                children: Vec::new(),
+            },
+            Response::Stats {
+                epoch: 3,
+                categories: 412,
+                max_depth: 6,
+                items: 50_000,
+            },
+            Response::Swapped {
+                epoch: 4,
+                categories: 433,
+            },
+            Response::Draining,
+            Response::Overloaded { queue_depth: 64 },
+            Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "circuit open".to_owned(),
+            },
+        ];
+        for resp in cases {
+            let line = resp.encode();
+            assert_eq!(Response::parse(&line).expect("roundtrip"), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_detectable() {
+        let resp = Response::parse("OVERLOADED queue=17").expect("parses");
+        assert!(resp.is_overloaded());
+        assert_eq!(resp, Response::Overloaded { queue_depth: 17 });
+        assert!(!Response::Pong { epoch: 0 }.is_overloaded());
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let resp = Response::Cover {
+            epoch: 1,
+            cat: Some(2),
+            similarity: 1.0,
+            precision: 1.0,
+            covered: true,
+            degraded: false,
+            label: Some("black running shoes size=44".to_owned()),
+        };
+        match Response::parse(&resp.encode()).expect("parses") {
+            Response::Cover { label, .. } => {
+                assert_eq!(label.as_deref(), Some("black running shoes size=44"));
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_newlines_cannot_forge_extra_lines() {
+        let resp = Response::Error {
+            code: ErrorCode::Internal,
+            message: "line1\nOK PONG epoch=9".to_owned(),
+        };
+        assert!(!resp.encode().contains('\n'), "newline must be stripped");
+    }
+
+    #[test]
+    fn response_parse_rejects_garbage() {
+        assert!(Response::parse("").is_err());
+        assert!(Response::parse("YO").is_err());
+        assert!(Response::parse("OK NOPE x=1").is_err());
+        assert!(Response::parse("ERR what").is_err());
+        assert!(Response::parse("ERR martian: oh no").is_err());
+        assert!(Response::parse("OK PONG").is_err(), "missing epoch");
+    }
+}

@@ -1,0 +1,241 @@
+//! Bounded admission queue with explicit rejection.
+//!
+//! The serving daemon's first line of defense: every connection that wants
+//! work done must win a slot here *before* any work happens. When the queue
+//! is full the caller gets [`Push::Full`] back immediately — the daemon then
+//! sends a typed `OVERLOADED` response and moves on. Nothing ever blocks on
+//! admission and nothing buffers unboundedly; memory use is capped by
+//! construction, and under overload clients get a fast, honest signal
+//! instead of a growing latency cliff.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot` shim
+//! intentionally omits `Condvar`, and the pop side needs to sleep.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of a non-blocking push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Push<T> {
+    /// The item was admitted.
+    Ok,
+    /// The queue is at capacity; the item comes back to the caller along
+    /// with the depth observed at rejection (for the typed shed response).
+    Full(T, usize),
+    /// The queue is closed (drain in progress); the item comes back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue that rejects instead of blocking on push.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for metrics and shed responses).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to admit `item` without blocking.
+    pub fn try_push(&self, item: T) -> Push<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Push::Closed(item);
+        }
+        if state.items.len() >= self.capacity {
+            let depth = state.items.len();
+            return Push::Full(item, depth);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Push::Ok
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; returns `None` only in the latter case, so workers exit
+    /// exactly when no admitted work remains.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Like [`pop`](Self::pop) but gives up after `timeout`, returning
+    /// `None` without closing. Lets workers interleave waiting with
+    /// shutdown-flag checks.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, waited) = self
+                .ready
+                .wait_timeout(state, timeout)
+                .expect("queue poisoned");
+            state = next;
+            if waited.timed_out() {
+                return state.items.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes are rejected, waiting poppers drain
+    /// the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// `true` once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn rejects_at_capacity_with_observed_depth() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Push::Ok);
+        assert_eq!(q.try_push(2), Push::Ok);
+        assert_eq!(q.try_push(3), Push::Full(3, 2), "item returns to caller");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Push::Ok, "slot freed by pop");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Push::Ok);
+        assert_eq!(q.try_push(2), Push::Full(2, 1));
+    }
+
+    #[test]
+    fn close_drains_then_stops_poppers() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.try_push(1), Push::Ok);
+        assert_eq!(q.try_push(2), Push::Ok);
+        q.close();
+        assert_eq!(q.try_push(3), Push::Closed(3), "no admission after close");
+        assert_eq!(q.pop(), Some(1), "admitted work still drains");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then poppers release");
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the poppers a moment to block, then close.
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), None);
+        }
+    }
+
+    #[test]
+    fn pop_timeout_returns_without_closing() {
+        let q = BoundedQueue::<u32>::new(4);
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert!(!q.is_closed());
+        assert_eq!(q.try_push(7), Push::Ok, "queue still live");
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(7));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_every_admitted_item() {
+        let q = Arc::new(BoundedQueue::<u32>::new(16));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut admitted = 0u32;
+        for i in 0..10_000u32 {
+            loop {
+                match q.try_push(i) {
+                    Push::Ok => {
+                        admitted += 1;
+                        break;
+                    }
+                    Push::Full(_, _) => thread::yield_now(),
+                    Push::Closed(_) => unreachable!("queue not closed"),
+                }
+            }
+        }
+        q.close();
+        let total: usize = consumers
+            .into_iter()
+            .map(|h| h.join().expect("no panic").len())
+            .sum();
+        assert_eq!(
+            total as u32, admitted,
+            "no admitted item lost or duplicated"
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! The serving daemon: accept loop, worker pool, and the robustness
+//! machinery wrapped around every request.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept ─▶ admission (BoundedQueue.try_push)
+//!              │ Full ─▶ OVERLOADED queue=N, close   (typed shed, no work done)
+//!              ▼
+//!           worker pops connection
+//!              │ per request line:
+//!              │   snapshot = TreeHandle::load()     (hot-swap safe)
+//!              │   budget   = deadline ∧ drain token (slow ⇒ degraded cover)
+//!              │   breaker.try_acquire()? ── no ─▶ ERR unavailable
+//!              │   retry { run_isolated { execute } }  (panic ⇒ backoff ⇒ retry)
+//!              ▼
+//!           response line; latency histogram; breaker bookkeeping
+//! ```
+//!
+//! # Drain
+//!
+//! SIGTERM / SIGINT / the `SHUTDOWN` verb raise a flag the accept loop and
+//! workers poll. Drain then proceeds: stop accepting → close the admission
+//! queue (future pushes rejected, queued connections still served) →
+//! workers finish the request in hand and close their connections → after
+//! a grace period any stragglers are cancelled through the shared drain
+//! [`CancelToken`] (their budgets expire, so they complete degraded rather
+//! than hang) → metrics are flushed as a [`PipelineReport`]. Exit is clean:
+//! every admitted request gets *some* response.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use oct_core::{persist, Similarity};
+use oct_obs::{Metrics, PipelineReport};
+use oct_resilience::{faults, run_isolated, Budget, CancelToken};
+use oct_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
+
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::queue::{BoundedQueue, Push};
+use crate::signal;
+use crate::swap::{ServingTree, TreeHandle};
+
+/// How long a worker blocks on the queue before re-checking shutdown.
+const POP_INTERVAL: Duration = Duration::from_millis(25);
+/// Socket read timeout — the cadence at which idle connections notice drain.
+const READ_INTERVAL: Duration = Duration::from_millis(50);
+/// Accept-loop poll interval when no connection is pending.
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(5);
+/// Hard cap on one request line (DoS guard).
+const MAX_LINE: usize = 1 << 20;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads — the in-flight concurrency limit.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond `workers + capacity`
+    /// are shed with a typed `OVERLOADED` response.
+    pub queue_capacity: usize,
+    /// Per-request deadline; `Some(0)` serves everything fully degraded,
+    /// `None` means unlimited (the drain token still bounds requests).
+    pub deadline_ms: Option<u64>,
+    /// Similarity variant queries are scored under.
+    pub similarity: Similarity,
+    /// Retry policy for transient request failures (contained panics).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// How long drain waits for in-flight work before cancelling it.
+    pub drain_grace: Duration,
+    /// Metrics sink (pass [`Metrics::disabled`] to opt out).
+    pub metrics: Metrics,
+    /// Where to write the final [`PipelineReport`] JSON on exit.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            deadline_ms: Some(250),
+            similarity: Similarity::jaccard_cutoff(0.5),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            drain_grace: Duration::from_secs(5),
+            metrics: Metrics::disabled(),
+            metrics_out: None,
+        }
+    }
+}
+
+/// Everything workers and the accept loop share.
+struct Shared {
+    config: ServeConfig,
+    trees: TreeHandle,
+    queue: BoundedQueue<TcpStream>,
+    breaker: CircuitBreaker,
+    metrics: Metrics,
+    /// Per-server drain flag (the process-global signal flag is OR'd in so
+    /// several test servers in one process don't drain each other).
+    shutdown: AtomicBool,
+    /// Cancelled at the end of the drain grace period; every request
+    /// budget carries it.
+    drain_token: CancelToken,
+    /// Connections currently being served by workers.
+    in_flight: AtomicUsize,
+    /// Seed source for deterministic-but-decorrelated retry jitter.
+    next_seed: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::shutdown_requested()
+    }
+
+    fn request_drain(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until drain.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Lets tests (and the CLI's signal wiring) trigger drain without a socket.
+#[derive(Clone)]
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Begins graceful drain, as if SIGTERM had arrived.
+    pub fn drain(&self) {
+        self.shared.request_drain();
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state. The initial tree
+    /// snapshot must already be built (epoch 0 by convention).
+    pub fn bind(config: ServeConfig, initial: ServingTree) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let similarity = config.similarity;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            breaker: CircuitBreaker::new(config.breaker.clone()),
+            metrics: config.metrics.clone(),
+            trees: TreeHandle::new(initial, similarity),
+            shutdown: AtomicBool::new(false),
+            drain_token: CancelToken::new(),
+            in_flight: AtomicUsize::new(0),
+            next_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            config,
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can trigger graceful drain from another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs accept → serve → drain to completion and returns the final
+    /// metrics report (already written to `metrics_out` if configured).
+    pub fn run(self) -> io::Result<PipelineReport> {
+        let Self { listener, shared } = self;
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("oct-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        // Accept until drain is requested. Shedding happens here, before
+        // any work: a connection that cannot be queued gets the typed
+        // OVERLOADED response and is closed immediately.
+        while !shared.draining() {
+            match listener.accept() {
+                Ok((conn, _peer)) => {
+                    shared.metrics.incr("serve/accepted");
+                    admit(&shared, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            shared
+                .metrics
+                .gauge("serve/queue_depth", shared.queue.len() as f64);
+        }
+
+        // Drain: no new admissions; queued connections still get served.
+        shared.queue.close();
+        let grace_end = Instant::now() + shared.config.drain_grace;
+        while (shared.in_flight.load(Ordering::Relaxed) > 0 || !shared.queue.is_empty())
+            && Instant::now() < grace_end
+        {
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Stragglers: expire every outstanding budget so requests finish
+        // degraded instead of hanging past the grace period.
+        shared.drain_token.cancel();
+        for w in workers {
+            let _ = w.join();
+        }
+
+        shared
+            .metrics
+            .gauge("serve/queue_depth", shared.queue.len() as f64);
+        let report = shared.metrics.report();
+        if let Some(path) = &shared.config.metrics_out {
+            std::fs::write(path, report.to_json())?;
+        }
+        Ok(report)
+    }
+}
+
+/// Admission control: queue the connection or shed it with a typed reply.
+fn admit(shared: &Shared, conn: TcpStream) {
+    match shared.queue.try_push(conn) {
+        Push::Ok => {}
+        Push::Full(mut conn, depth) => {
+            shared.metrics.incr("serve/shed");
+            let line = Response::Overloaded { queue_depth: depth }.encode();
+            let _ = conn.set_nonblocking(false);
+            let _ = writeln!(conn, "{line}");
+        }
+        Push::Closed(mut conn) => {
+            let line = Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "draining".to_owned(),
+            }
+            .encode();
+            let _ = conn.set_nonblocking(false);
+            let _ = writeln!(conn, "{line}");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(POP_INTERVAL) {
+            Some(conn) => {
+                shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                let _ = serve_connection(shared, conn);
+                shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            }
+            None if shared.queue.is_closed() => return,
+            None => {}
+        }
+    }
+}
+
+/// Serves request lines on one connection until EOF, a `SHUTDOWN`, drain,
+/// or an I/O error. One malformed line yields `ERR bad-request`, not a
+/// dropped connection.
+fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(READ_INTERVAL))?;
+    let mut reader = LineReader::new();
+    loop {
+        let line = match reader.next_line(&mut conn, || shared.draining()) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()), // EOF or drain while idle
+            Err(e) => return Err(e),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Ok(request) => {
+                let started = Instant::now();
+                shared.metrics.incr("serve/requests");
+                let resp = handle_request(shared, request);
+                shared.metrics.observe("serve/latency", started.elapsed());
+                resp
+            }
+            Err(message) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            },
+        };
+        let done = matches!(response, Response::Draining);
+        writeln!(conn, "{}", response.encode())?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one parsed request against the *current* tree snapshot.
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    // Load once per request: a swap published mid-request never tears this
+    // snapshot, and the next request on the same connection sees the new
+    // epoch.
+    let snapshot = shared.trees.load();
+    match request {
+        Request::Ping => Response::Pong {
+            epoch: snapshot.epoch,
+        },
+        Request::Categorize { items } => cover(shared, &snapshot, &items, true),
+        Request::Score { items } => cover(shared, &snapshot, &items, false),
+        Request::Navigate { cat } => match snapshot.live_children(cat) {
+            Some(children) => Response::Nav { cat, children },
+            None => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown or removed category {cat}"),
+            },
+        },
+        Request::Stats => Response::Stats {
+            epoch: snapshot.epoch,
+            categories: snapshot.stats.categories,
+            max_depth: snapshot.stats.max_depth,
+            items: snapshot.index.num_items(),
+        },
+        Request::Swap { path } => swap_tree(shared, &path),
+        Request::Shutdown => {
+            shared.request_drain();
+            Response::Draining
+        }
+    }
+}
+
+/// The guarded compute path: breaker → retry → isolated cover scan.
+fn cover(shared: &Shared, snapshot: &ServingTree, items: &[u32], with_label: bool) -> Response {
+    if !shared.breaker.try_acquire() {
+        shared.metrics.incr("serve/breaker_rejected");
+        return Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!("circuit {}", shared.breaker.state().name()),
+        };
+    }
+    let budget = request_budget(shared);
+    let seed = shared.next_seed.fetch_add(1, Ordering::Relaxed);
+    let result = shared.config.retry.run(seed, &budget, |attempt| {
+        if attempt > 1 {
+            // Counted per attempt so *recovered* requests show up too.
+            shared.metrics.incr("serve/retries");
+        }
+        run_isolated("serve request", || {
+            if faults::fire("serve/request-panic") {
+                panic!("injected serve fault (attempt {attempt})");
+            }
+            snapshot
+                .index
+                .best_cover(items, &shared.trees.similarity, &budget)
+        })
+    });
+    match result {
+        Ok(point) => {
+            shared.breaker.record_success();
+            if point.degraded {
+                shared.metrics.incr("serve/degraded");
+            }
+            let label = if with_label {
+                point
+                    .best_category
+                    .and_then(|cat| snapshot.tree.label(cat))
+                    .map(str::to_owned)
+            } else {
+                None
+            };
+            Response::Cover {
+                epoch: snapshot.epoch,
+                cat: point.best_category,
+                similarity: point.similarity,
+                precision: point.precision,
+                covered: point.covered,
+                degraded: point.degraded,
+                label,
+            }
+        }
+        Err(outcome) => {
+            shared.breaker.record_failure();
+            shared.metrics.incr("serve/failures");
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: format!(
+                    "request failed after {} attempt(s): {}",
+                    outcome.attempts(),
+                    outcome.into_error()
+                ),
+            }
+        }
+    }
+}
+
+fn request_budget(shared: &Shared) -> Budget {
+    let deadline = shared.config.deadline_ms.map(Duration::from_millis);
+    Budget::with_deadline_and_token(deadline, shared.drain_token.clone())
+}
+
+/// Hot swap: load + decode + index a tree file off the request path, then
+/// publish it atomically.
+fn swap_tree(shared: &Shared, path: &str) -> Response {
+    let raw = match std::fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("cannot read {path}: {e}"),
+            }
+        }
+    };
+    let tree = match persist::decode_tree(bytes::Bytes::from(raw)) {
+        Ok(tree) => tree,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("cannot decode {path}: {e}"),
+            }
+        }
+    };
+    let num_items = shared.trees.load().index.num_items();
+    let next = ServingTree::build(tree, num_items, 0, path);
+    let published = shared.trees.swap(next);
+    shared.metrics.incr("serve/swaps");
+    Response::Swapped {
+        epoch: published.epoch,
+        categories: published.stats.categories,
+    }
+}
+
+/// Incremental line reader tolerant of read timeouts.
+///
+/// `BufReader::read_line` cannot be used across a timeout error — it may
+/// have consumed a partial line into its private buffer. This reader owns
+/// the buffer, so timeouts are a clean "no progress yet" and the partial
+/// line survives for the next poll.
+struct LineReader {
+    buf: Vec<u8>,
+    chunk: [u8; 4096],
+}
+
+impl LineReader {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            chunk: [0; 4096],
+        }
+    }
+
+    /// Reads until a full line, EOF (`None`), or `should_stop()` turning
+    /// true while idle between timeouts.
+    fn next_line(
+        &mut self,
+        conn: &mut TcpStream,
+        should_stop: impl Fn() -> bool,
+    ) -> io::Result<Option<String>> {
+        loop {
+            if let Some(at) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=at).collect();
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request line too long",
+                ));
+            }
+            match conn.read(&mut self.chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if should_stop() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

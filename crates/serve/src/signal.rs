@@ -1,0 +1,102 @@
+//! Minimal SIGTERM/SIGINT → shutdown-flag plumbing.
+//!
+//! `std` exposes no signal API and this workspace vendors no `libc`, so the
+//! two calls we need (`signal(2)` registration) go through a direct FFI
+//! declaration. The handler does the only thing that is async-signal-safe
+//! here: a relaxed store to a static `AtomicBool` the accept loop polls.
+//! On non-Unix targets signal registration is a no-op and shutdown comes
+//! from the `SHUTDOWN` protocol verb (or process kill) instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a termination signal (or [`request_shutdown`]) has fired.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Raises the shutdown flag from ordinary code (the `SHUTDOWN` verb, tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag — for tests that start multiple servers in one process.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`. Registering via the C runtime keeps this
+        // dependency-free; `sigaction` ergonomics are not needed for a
+        // single boolean flag.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    /// Routes SIGTERM and SIGINT to the shutdown flag.
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Installs the termination handlers (no-op off Unix).
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the flag is a process-global static and
+    // `cargo test` runs tests concurrently in one process.
+    #[test]
+    fn flag_round_trips_and_signals_set_it() {
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn kill(pid: i32, sig: i32) -> i32;
+                fn getpid() -> i32;
+            }
+            install_handlers();
+            unsafe {
+                kill(getpid(), 15);
+            }
+            // Delivery is synchronous for a self-signal on the calling
+            // thread, but allow a beat for scheduler variance.
+            for _ in 0..100 {
+                if shutdown_requested() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert!(shutdown_requested());
+            reset_for_tests();
+        }
+    }
+}

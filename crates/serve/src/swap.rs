@@ -1,0 +1,152 @@
+//! Hot tree swap: an atomically replaceable handle to the serving tree.
+//!
+//! A rebuild (or an operator `SWAP` request) produces a complete new
+//! [`ServingTree`] — tree, point index, and navigation stats built *off* the
+//! request path — and publishes it in one pointer store. In-flight requests
+//! keep the `Arc` snapshot they loaded at admission, so they finish against
+//! a coherent tree; only requests admitted after the swap see the new epoch.
+//! No request ever observes half of each.
+//!
+//! This is the classic `ArcSwap` pattern; with no such crate vendored, a
+//! `parking_lot::RwLock<Arc<_>>` provides the same publish/load semantics
+//! (loads take a short read lock to clone the `Arc`, swaps take the write
+//! lock for one pointer store — never held across request work).
+
+use std::sync::Arc;
+
+use oct_core::navigation::{self, NavigationStats};
+use oct_core::{CategoryTree, PointIndex, Similarity};
+use parking_lot::RwLock;
+
+/// One immutable snapshot of everything a request needs from the tree.
+#[derive(Debug)]
+pub struct ServingTree {
+    /// The category tree.
+    pub tree: CategoryTree,
+    /// The point-query index built for it.
+    pub index: PointIndex,
+    /// Navigation statistics (computed once at publish).
+    pub stats: NavigationStats,
+    /// Monotonic publish counter; responses carry it so clients (and the
+    /// torn-tree test) can pin which snapshot answered.
+    pub epoch: u64,
+    /// Where the tree came from (path or "inline"), for logs.
+    pub source: String,
+}
+
+impl ServingTree {
+    /// Builds a snapshot from a decoded tree. `num_items` sizes the point
+    /// index (items assigned beyond it extend it automatically).
+    pub fn build(
+        tree: CategoryTree,
+        num_items: u32,
+        epoch: u64,
+        source: impl Into<String>,
+    ) -> Self {
+        let index = PointIndex::build(&tree, num_items);
+        let stats = navigation::stats(&tree);
+        Self {
+            tree,
+            index,
+            stats,
+            epoch,
+            source: source.into(),
+        }
+    }
+
+    /// Live (non-removed) children of `cat`, or `None` for an unknown or
+    /// removed category.
+    pub fn live_children(&self, cat: oct_core::CatId) -> Option<Vec<oct_core::CatId>> {
+        if (cat as usize) >= self.tree.len() || self.tree.is_removed(cat) {
+            return None;
+        }
+        Some(
+            self.tree
+                .children(cat)
+                .iter()
+                .copied()
+                .filter(|&c| !self.tree.is_removed(c))
+                .collect(),
+        )
+    }
+}
+
+/// Shared, atomically swappable handle to the current [`ServingTree`].
+pub struct TreeHandle {
+    current: RwLock<Arc<ServingTree>>,
+    /// Similarity variant requests are scored under (fixed at startup so
+    /// every epoch answers under the same objective).
+    pub similarity: Similarity,
+}
+
+impl TreeHandle {
+    /// Wraps the initial snapshot.
+    pub fn new(initial: ServingTree, similarity: Similarity) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+            similarity,
+        }
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone under a read lock);
+    /// call once per request and use the returned snapshot throughout.
+    pub fn load(&self) -> Arc<ServingTree> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically publishes `next` (its epoch is forced to `current + 1`)
+    /// and returns the new snapshot.
+    pub fn swap(&self, mut next: ServingTree) -> Arc<ServingTree> {
+        let mut slot = self.current.write();
+        next.epoch = slot.epoch + 1;
+        let next = Arc::new(next);
+        *slot = Arc::clone(&next);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oct_core::ROOT;
+
+    fn small_tree() -> CategoryTree {
+        let mut t = CategoryTree::new();
+        let a = t.add_category(ROOT);
+        let b = t.add_category(ROOT);
+        t.assign_items(a, [0, 1, 2]);
+        t.assign_items(b, [3, 4]);
+        t
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_old_snapshots_survive() {
+        let handle = TreeHandle::new(
+            ServingTree::build(small_tree(), 8, 0, "seed"),
+            Similarity::jaccard_cutoff(0.5),
+        );
+        let before = handle.load();
+        assert_eq!(before.epoch, 0);
+
+        let published = handle.swap(ServingTree::build(CategoryTree::new(), 8, 999, "new"));
+        assert_eq!(published.epoch, 1, "epoch is forced monotonic");
+        assert_eq!(handle.load().epoch, 1);
+
+        // The pre-swap snapshot is still fully usable — in-flight requests
+        // holding it never see the new tree.
+        assert_eq!(before.epoch, 0);
+        assert!(before.index.len() > handle.load().index.len());
+    }
+
+    #[test]
+    fn live_children_filters_removed_and_unknown() {
+        let mut tree = small_tree();
+        let removed = tree.children(ROOT)[1];
+        tree.remove_category(removed);
+        let snap = ServingTree::build(tree, 8, 0, "t");
+        let kids = snap.live_children(ROOT).expect("root is live");
+        assert!(!kids.contains(&removed));
+        assert_eq!(snap.live_children(removed), None, "removed cat is a miss");
+        assert_eq!(snap.live_children(10_000), None, "unknown cat is a miss");
+    }
+}

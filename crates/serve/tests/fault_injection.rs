@@ -1,0 +1,145 @@
+//! Deterministic failure-path tests: every new failure mode in the serving
+//! stack is driven through `oct_resilience::faults` fail points, not by
+//! hoping a race shows up. The dev-dependency enables the
+//! `fault-injection` feature, so `faults::fire("serve/request-panic")`
+//! inside the server's compute path is live here.
+//!
+//! All tests hold `faults::serial_guard()` — the registry is process-global
+//! and the server workers run in this process.
+
+use std::thread;
+use std::time::Duration;
+
+use oct_core::{CategoryTree, ROOT};
+use oct_obs::{Metrics, PipelineReport};
+use oct_resilience::{faults, BreakerConfig, RetryPolicy};
+use oct_serve::prelude::*;
+
+fn tree() -> CategoryTree {
+    let mut t = CategoryTree::new();
+    let a = t.add_category(ROOT);
+    t.assign_items(a, [0, 1, 2]);
+    t
+}
+
+fn start(
+    config: ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    DrainHandle,
+    thread::JoinHandle<PipelineReport>,
+) {
+    let server = Server::bind(config, ServingTree::build(tree(), 8, 0, "test")).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let drain = server.drain_handle();
+    let join = thread::spawn(move || server.run().expect("clean run"));
+    (addr, drain, join)
+}
+
+#[test]
+fn worker_panic_is_retried_and_the_request_still_succeeds() {
+    let _guard = faults::serial_guard();
+    faults::reset();
+    let config = ServeConfig {
+        metrics: Metrics::new(true),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+        drain_grace: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let (addr, drain, join) = start(config);
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    // First attempt panics inside the worker; the contained panic becomes
+    // a transient failure, the retry succeeds, the client never notices.
+    faults::arm("serve/request-panic", 1);
+    match c
+        .request(&Request::Categorize { items: vec![0, 1] })
+        .expect("request survives an injected panic")
+    {
+        Response::Cover { cat, covered, .. } => {
+            assert_eq!(cat, Some(1));
+            assert!(covered);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    drain.drain();
+    let report = join.join().expect("server thread");
+    assert!(
+        report.counter("serve/retries").unwrap_or(0) >= 1,
+        "the recovery retry is visible in metrics"
+    );
+    assert_eq!(
+        report.counter("serve/failures"),
+        None,
+        "the request did NOT fail"
+    );
+    faults::reset();
+}
+
+#[test]
+fn retry_exhaustion_trips_the_breaker_and_a_probe_closes_it() {
+    let _guard = faults::serial_guard();
+    faults::reset();
+    let cooldown = Duration::from_millis(100);
+    let config = ServeConfig {
+        metrics: Metrics::new(true),
+        // No retries: each armed fail point fails one whole request, so
+        // the breaker sees exactly the failures we inject.
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown,
+        },
+        drain_grace: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let (addr, drain, join) = start(config);
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    let query = Request::Score { items: vec![0, 1] };
+
+    // Two injected failures reach the threshold…
+    for round in 0..2 {
+        faults::arm("serve/request-panic", 1);
+        match c.request(&query).expect("io ok") {
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Internal, "round {round}")
+            }
+            other => panic!("round {round}: unexpected {other:?}"),
+        }
+    }
+
+    // …so the circuit is open: requests are rejected without computing.
+    match c.request(&query).expect("io ok") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Unavailable);
+            assert!(message.contains("circuit"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // After the cooldown the breaker half-opens; the probe request runs
+    // for real (nothing armed now), succeeds, and closes the circuit.
+    thread::sleep(cooldown + Duration::from_millis(50));
+    match c.request(&query).expect("io ok") {
+        Response::Cover { covered, .. } => assert!(covered, "probe is served"),
+        other => panic!("probe rejected: {other:?}"),
+    }
+    match c.request(&query).expect("io ok") {
+        Response::Cover { .. } => {}
+        other => panic!("circuit should be closed again: {other:?}"),
+    }
+
+    drain.drain();
+    let report = join.join().expect("server thread");
+    assert!(report.counter("serve/failures").unwrap_or(0) >= 2);
+    assert!(
+        report.counter("serve/breaker_rejected").unwrap_or(0) >= 1,
+        "open-circuit rejection is visible in metrics"
+    );
+    faults::reset();
+}

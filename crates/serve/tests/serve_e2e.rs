@@ -1,0 +1,295 @@
+//! End-to-end tests: a real server on a real socket, driven by the real
+//! client. Each test binds port 0 and drains via its own [`DrainHandle`] or
+//! the `SHUTDOWN` verb — never the process-global signal flag, because the
+//! test binary runs tests concurrently in one process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use oct_core::{persist, CategoryTree, Similarity, ROOT};
+use oct_obs::{Metrics, PipelineReport};
+use oct_serve::client;
+use oct_serve::prelude::*;
+
+/// Two root categories: `shoes` = {0, 1}, `tents` = {2, 3, 4, 5}.
+fn test_tree() -> CategoryTree {
+    let mut t = CategoryTree::new();
+    let shoes = t.add_category(ROOT);
+    let tents = t.add_category(ROOT);
+    t.assign_items(shoes, [0, 1]);
+    t.assign_items(tents, [2, 3, 4, 5]);
+    t.set_label(shoes, "running shoes");
+    t.set_label(tents, "dome tents");
+    t
+}
+
+fn start(
+    config: ServeConfig,
+    tree: CategoryTree,
+) -> (
+    SocketAddr,
+    DrainHandle,
+    JoinHandle<std::io::Result<PipelineReport>>,
+) {
+    let server = Server::bind(config, ServingTree::build(tree, 16, 0, "test")).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let drain = server.drain_handle();
+    let join = thread::spawn(move || server.run());
+    (addr, drain, join)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        metrics: Metrics::new(true),
+        drain_grace: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn serves_the_full_protocol_and_drains_on_shutdown_verb() {
+    let (addr, _drain, join) = start(quick_config(), test_tree());
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    match c.request(&Request::Ping).expect("ping") {
+        Response::Pong { epoch } => assert_eq!(epoch, 0),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    match c
+        .request(&Request::Categorize { items: vec![0, 1] })
+        .expect("categorize")
+    {
+        Response::Cover {
+            cat,
+            similarity,
+            covered,
+            degraded,
+            label,
+            ..
+        } => {
+            assert_eq!(cat, Some(1), "shoes is the exact cover");
+            assert!((similarity - 1.0).abs() < 1e-9);
+            assert!(covered);
+            assert!(!degraded);
+            assert_eq!(label.as_deref(), Some("running shoes"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    match c
+        .request(&Request::Score { items: vec![2, 3] })
+        .expect("score")
+    {
+        Response::Cover { cat, label, .. } => {
+            assert_eq!(cat, Some(2), "tents covers 2,3 best");
+            assert_eq!(label, None, "SCORE is label-free");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    match c.request(&Request::Navigate { cat: ROOT }).expect("nav") {
+        Response::Nav { children, .. } => assert_eq!(children, vec![1, 2]),
+        other => panic!("unexpected {other:?}"),
+    }
+    match c.request(&Request::Navigate { cat: 999 }).expect("nav bad") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    match c.request(&Request::Stats).expect("stats") {
+        Response::Stats {
+            categories, items, ..
+        } => {
+            assert_eq!(categories, 3, "root + 2");
+            assert_eq!(items, 16);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A malformed line must not kill the connection.
+    assert!(matches!(
+        c.request(&Request::Swap {
+            path: "/definitely/not/a/file".into()
+        }),
+        Ok(Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        })
+    ));
+    assert!(matches!(
+        c.request(&Request::Ping),
+        Ok(Response::Pong { .. })
+    ));
+
+    assert!(matches!(
+        c.request(&Request::Shutdown),
+        Ok(Response::Draining)
+    ));
+    let report = join.join().expect("no panic").expect("clean run");
+    assert!(report.counter("serve/requests").unwrap_or(0) >= 8);
+    assert!(
+        report.histogram("serve/latency").is_some(),
+        "latency histogram flushed"
+    );
+}
+
+#[test]
+fn sheds_excess_connections_with_typed_overloaded() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..quick_config()
+    };
+    let (addr, drain, join) = start(config, test_tree());
+
+    // Fill the single worker and the single queue slot with held-open
+    // connections, then watch the next ones bounce.
+    let held1 = Client::connect(addr, Duration::from_secs(5)).expect("held1");
+    thread::sleep(Duration::from_millis(150)); // let the worker pop held1
+    let held2 = Client::connect(addr, Duration::from_secs(5)).expect("held2");
+    thread::sleep(Duration::from_millis(150)); // let held2 take the queue slot
+
+    let mut sheds = 0;
+    for _ in 0..3 {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("read");
+        let resp = Response::parse(&line).expect("typed response");
+        assert!(resp.is_overloaded(), "expected OVERLOADED, got {resp:?}");
+        sheds += 1;
+    }
+    assert_eq!(sheds, 3);
+
+    drop(held1);
+    drop(held2);
+    drain.drain();
+    let report = join.join().expect("no panic").expect("clean run");
+    assert!(report.counter("serve/shed").unwrap_or(0) >= 3);
+    assert!(report.counter("serve/accepted").unwrap_or(0) >= 5);
+}
+
+#[test]
+fn zero_deadline_serves_fully_degraded_answers() {
+    let config = ServeConfig {
+        deadline_ms: Some(0),
+        ..quick_config()
+    };
+    let (addr, drain, join) = start(config, test_tree());
+    match client::one_shot(addr, &Request::Categorize { items: vec![0, 1] }).expect("query") {
+        Response::Cover { degraded, cat, .. } => {
+            assert!(degraded, "zero deadline must degrade immediately");
+            assert_eq!(cat, None, "no candidate evaluated");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    drain.drain();
+    let report = join.join().expect("no panic").expect("clean run");
+    assert!(report.counter("serve/degraded").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn hot_swap_publishes_atomically_under_concurrent_load() {
+    // Epoch parity encodes which tree must be answering: even = A (shoes
+    // {0,1} → sim 1.0 for query {0,1}), odd = B ({0,1,2,3} → sim 0.5).
+    // Any response mixing an epoch with the other tree's score is a torn
+    // read — exactly what the atomic swap must prevent.
+    let tree_a = test_tree();
+    let mut tree_b = CategoryTree::new();
+    let wide = tree_b.add_category(ROOT);
+    tree_b.assign_items(wide, [0, 1, 2, 3]);
+
+    let dir = std::env::temp_dir().join(format!("oct-serve-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path_a = dir.join("a.oct");
+    let path_b = dir.join("b.oct");
+    std::fs::write(&path_a, persist::encode_tree(&tree_a)).expect("write a");
+    std::fs::write(&path_b, persist::encode_tree(&tree_b)).expect("write b");
+
+    let config = ServeConfig {
+        workers: 4,
+        similarity: Similarity::jaccard_cutoff(0.4),
+        ..quick_config()
+    };
+    let (addr, drain, join) = start(config, tree_a);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = std::sync::Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+                let mut checked = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match c
+                        .request(&Request::Score { items: vec![0, 1] })
+                        .expect("score during swap")
+                    {
+                        Response::Cover {
+                            epoch, similarity, ..
+                        } => {
+                            let expect = if epoch % 2 == 0 { 1.0 } else { 0.5 };
+                            assert!(
+                                (similarity - expect).abs() < 1e-9,
+                                "torn read: epoch {epoch} answered sim {similarity}"
+                            );
+                            checked += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let mut swapper = Client::connect(addr, Duration::from_secs(5)).expect("swapper");
+    for round in 0..10 {
+        let path = if round % 2 == 0 { &path_b } else { &path_a };
+        match swapper
+            .request(&Request::Swap {
+                path: path.display().to_string(),
+            })
+            .expect("swap")
+        {
+            Response::Swapped { epoch, .. } => assert_eq!(epoch, round + 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u32 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+    assert!(total > 0, "readers actually overlapped the swaps");
+
+    drain.drain();
+    let report = join.join().expect("no panic").expect("clean run");
+    assert_eq!(report.counter("serve/swaps"), Some(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_answers_queued_work_then_exits_cleanly() {
+    let config = ServeConfig {
+        workers: 2,
+        ..quick_config()
+    };
+    let (addr, drain, join) = start(config, test_tree());
+
+    // A raw connection with a request already in the server's hands…
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    thread::sleep(Duration::from_millis(100)); // admitted + popped
+    writeln!(conn, "PING").expect("send");
+    let mut line = String::new();
+    BufReader::new(conn.try_clone().expect("clone"))
+        .read_line(&mut line)
+        .expect("read");
+    assert!(line.starts_with("OK PONG"), "pre-drain request answered");
+
+    drain.drain();
+    let report = join.join().expect("no panic").expect("clean run");
+    assert!(!report.is_empty(), "metrics flushed on drain");
+}
