@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Benchmark-harness smoke test:
+#   * `octree bench` at tiny scale produces a schema-valid BENCH_*.json
+#     covering every suite (conflict, MIS, matrix, clustering, scoring,
+#     persistence, serving) with an embedded pipeline span report;
+#   * `--baseline` in report-only mode renders the delta table and exits 0;
+#   * two runs of the same binary never trip the regression gate (the
+#     MAD-derived noise margin absorbs run-to-run jitter).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OCTREE=${OCTREE:-target/release/octree}
+SCALE=${SCALE:-0.02}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$OCTREE" ]]; then
+    cargo build --release -p oct-cli --bin octree
+fi
+
+# Baseline run.
+"$OCTREE" bench --scale "$SCALE" --threads 1,2 --reps 2 --warmup 1 \
+    --out "$WORK/base.json" > "$WORK/base.txt"
+[[ -s "$WORK/base.json" ]] || { echo "bench smoke: no BENCH file written"; exit 1; }
+
+# Schema sanity: version stamp, every suite's record, the pipeline block.
+grep -q '"bench_schema_version"' "$WORK/base.json" \
+    || { echo "bench smoke: schema version missing"; exit 1; }
+for record in 'conflict/analyze/t1' 'mis/solve' 'matrix/fill/t1' \
+    'cluster/nn_chain' 'score/tree/t1' 'persist/roundtrip' \
+    'serve/latency_p50' 'serve/throughput'; do
+    grep -q "\"$record\"" "$WORK/base.json" \
+        || { echo "bench smoke: record $record missing"; exit 1; }
+done
+grep -q '"pipeline"' "$WORK/base.json" \
+    || { echo "bench smoke: embedded pipeline report missing"; exit 1; }
+
+# Report-only comparison: renders the table, exits 0 regardless of deltas.
+"$OCTREE" bench --scale "$SCALE" --threads 1,2 --reps 2 --warmup 1 \
+    --out "$WORK/head.json" --baseline "$WORK/base.json" > "$WORK/head.txt"
+grep -q 'report-only mode' "$WORK/head.txt" \
+    || { echo "bench smoke: report-only marker missing"; cat "$WORK/head.txt"; exit 1; }
+grep -q 'verdict' "$WORK/head.txt" \
+    || { echo "bench smoke: delta table missing"; cat "$WORK/head.txt"; exit 1; }
+
+# Gated comparison: same binary, same config — must not regress.
+"$OCTREE" bench --scale "$SCALE" --threads 1,2 --reps 2 --warmup 1 \
+    --out "$WORK/gated.json" --baseline "$WORK/base.json" --gate 25 \
+    > "$WORK/gated.txt" \
+    || { echo "bench smoke: same-binary run tripped the gate"; cat "$WORK/gated.txt"; exit 1; }
+grep -q 'no regressions beyond the 25% gate' "$WORK/gated.txt" \
+    || { echo "bench smoke: gate confirmation missing"; cat "$WORK/gated.txt"; exit 1; }
+
+echo "bench smoke: schema-valid BENCH json, report-only + gated comparison verified"

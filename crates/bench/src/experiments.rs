@@ -6,8 +6,6 @@
 //! hardware); the *shapes* — algorithm ranking, threshold monotonicity,
 //! ratio tracking, runtime growth — are the reproduction targets.
 
-use std::time::Instant;
-
 use oct_cluster::CondensedMatrix;
 use oct_core::ctcr::{self, CtcrConfig};
 use oct_core::score::{score_tree, score_tree_with, ScoreOptions};
@@ -19,6 +17,7 @@ use oct_datagen::{generate, DatasetName, GeneratedDataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::measure::{measure, MeasureSpec};
 use crate::runner::{run_all_algorithms, with_delta, AlgoScores, RunnerConfig};
 use crate::table::{fmt3, pct, Table};
 
@@ -215,9 +214,10 @@ pub fn fig8f(scale: f64) -> (Vec<ScalePoint>, Table) {
         DatasetName::D,
     ] {
         let ds = generate(name, scale, Similarity::jaccard_threshold(0.8));
-        let start = Instant::now();
-        let result = ctcr::run(&ds.instance, &CtcrConfig::default());
-        let seconds = start.elapsed().as_secs_f64();
+        let (sample, result) = measure(MeasureSpec { warmup: 1, reps: 3 }, || {
+            ctcr::run(&ds.instance, &CtcrConfig::default())
+        });
+        let seconds = sample.median_s();
         let point = ScalePoint {
             dataset: name.as_str(),
             queries: ds.instance.num_sets(),
@@ -338,7 +338,7 @@ pub struct ScalingPoint {
     pub operation: &'static str,
     /// Worker threads used.
     pub threads: usize,
-    /// Best-of-three wall time in seconds.
+    /// Median wall time across repetitions (after warmup), in seconds.
     pub seconds: f64,
     /// Serial time / this time.
     pub speedup: f64,
@@ -377,26 +377,32 @@ pub fn scaling(scale: f64) -> (Vec<ScalingPoint>, Table) {
         });
     };
 
+    let spec = MeasureSpec {
+        warmup: 1,
+        reps: REPS,
+    };
+
     // Kernel 1: scoring the IC-Q tree (one category per item-cluster merge —
-    // the largest tree shape the pipelines produce).
+    // the largest tree shape the pipelines produce). Every repetition is
+    // asserted bit-equal to the serial reference inside the timed closure,
+    // so the experiment stays an end-to-end determinism check.
     let reference = score_tree_with(&ds.instance, &trees.ic_q, &ScoreOptions::serial());
     let mut serial_secs = 0.0;
     for threads in THREADS {
         let options = ScoreOptions::with_threads(threads);
-        let mut best = f64::INFINITY;
-        for _ in 0..REPS {
-            let start = Instant::now();
+        let (sample, _) = measure(spec, || {
             let score = score_tree_with(&ds.instance, &trees.ic_q, &options);
-            best = best.min(start.elapsed().as_secs_f64());
             assert_eq!(
                 score, reference,
                 "parallel scoring diverged at {threads} threads"
             );
-        }
+            score
+        });
+        let seconds = sample.median_s();
         if threads == 1 {
-            serial_secs = best;
+            serial_secs = seconds;
         }
-        record("score_tree", threads, best, serial_secs);
+        record("score_tree", threads, seconds, serial_secs);
     }
 
     // Kernel 2: dense distance-matrix build over the item embeddings.
@@ -405,20 +411,19 @@ pub fn scaling(scale: f64) -> (Vec<ScalingPoint>, Table) {
         .expect("catalog embeddings share one dimension");
     let mut serial_secs = 0.0;
     for threads in THREADS {
-        let mut best = f64::INFINITY;
-        for _ in 0..REPS {
-            let start = Instant::now();
+        let (sample, _) = measure(spec, || {
             let matrix = CondensedMatrix::euclidean_dense_with(&embeddings, threads, &disabled)
                 .expect("catalog embeddings share one dimension");
-            best = best.min(start.elapsed().as_secs_f64());
             let identical =
                 (0..matrix.len()).all(|i| (0..i).all(|j| matrix.get(i, j) == reference.get(i, j)));
             assert!(identical, "parallel matrix diverged at {threads} threads");
-        }
+            matrix
+        });
+        let seconds = sample.median_s();
         if threads == 1 {
-            serial_secs = best;
+            serial_secs = seconds;
         }
-        record("matrix_build", threads, best, serial_secs);
+        record("matrix_build", threads, seconds, serial_secs);
     }
     (points, table)
 }
@@ -577,10 +582,10 @@ pub struct AblationResult {
 /// (Perfect-Recall), CCT global vs raw embeddings.
 pub fn ablations(scale: f64) -> (AblationResult, Table) {
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let spec = MeasureSpec { warmup: 1, reps: 3 };
     let timed_ctcr = |instance: &oct_core::Instance, config: &CtcrConfig| -> (f64, f64) {
-        let start = Instant::now();
-        let result = ctcr::run(instance, config);
-        (result.score.normalized, start.elapsed().as_secs_f64())
+        let (sample, result) = measure(spec, || ctcr::run(instance, config));
+        (result.score.normalized, sample.median_s())
     };
 
     let ds = generate(DatasetName::C, scale, Similarity::jaccard_threshold(0.9));
@@ -628,25 +633,27 @@ pub fn ablations(scale: f64) -> (AblationResult, Table) {
     let (s, t) = timed_ctcr(&pr.instance, &no3);
     rows.push(("CTCR PR (no 3-conflicts)".into(), s, t));
 
-    let start = Instant::now();
-    let global = oct_core::cct::run(&ds.instance, &oct_core::CctConfig::default());
+    let (sample, global) = measure(spec, || {
+        oct_core::cct::run(&ds.instance, &oct_core::CctConfig::default())
+    });
     rows.push((
         "CCT (global-context embeddings)".into(),
         global.score.normalized,
-        start.elapsed().as_secs_f64(),
+        sample.median_s(),
     ));
-    let start = Instant::now();
-    let raw = oct_core::cct::run(
-        &ds.instance,
-        &oct_core::CctConfig {
-            global_embeddings: false,
-            ..oct_core::CctConfig::default()
-        },
-    );
+    let (sample, raw) = measure(spec, || {
+        oct_core::cct::run(
+            &ds.instance,
+            &oct_core::CctConfig {
+                global_embeddings: false,
+                ..oct_core::CctConfig::default()
+            },
+        )
+    });
     rows.push((
         "CCT (raw pairwise distances)".into(),
         raw.score.normalized,
-        start.elapsed().as_secs_f64(),
+        sample.median_s(),
     ));
 
     let mut table = Table::new(vec!["configuration", "score", "time (s)"]);

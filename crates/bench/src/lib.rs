@@ -18,7 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod measure;
+pub mod perf;
 pub mod runner;
 pub mod table;
 
+pub use measure::{measure, MeasureSpec, Sample};
+pub use perf::{run_perf, BenchReport, PerfConfig};
 pub use runner::{run_all_algorithms, AlgoScores, RunnerConfig};

@@ -11,6 +11,7 @@
 //! octree diff    --tree new.oct --against old.oct --items 50000
 //! octree serve   --tree tree.oct --addr 127.0.0.1:7171
 //! octree query   --send 'CATEGORIZE 1,2,3' --addr 127.0.0.1:7171
+//! octree bench   --scale 0.05 --reps 5 [--baseline BENCH_prev.json --gate 20]
 //! ```
 //!
 //! The log format is the TSV of `oct_datagen::loader`:

@@ -49,9 +49,16 @@ impl HistogramStat {
         }
     }
 
-    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the bucket
-    /// holding the `⌈q·count⌉`-th observation, capped at
-    /// [`max`](Self::max). Zero when empty.
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), capped at [`max`](Self::max).
+    /// Zero when empty.
+    ///
+    /// The bucket ladder is powers of two, so a bucket with upper bound `b`
+    /// covers `(b/2, b]`. Returning `b` itself (the old behaviour) overstates
+    /// the quantile by up to 2×; instead the `⌈q·count⌉`-th observation is
+    /// interpolated *log-linearly* within its bucket: consuming a fraction
+    /// `f` of the bucket's observations yields `(b/2)·2^f`, i.e. the
+    /// log-midpoint at `f = ½` and the exact upper bound only at `f = 1`.
+    /// The overflow bucket has no upper bound and reports `max`.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
@@ -59,12 +66,17 @@ impl HistogramStat {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (&bound_us, &count) in &self.buckets {
+            let below = seen;
             seen += count;
             if seen >= rank {
                 if bound_us == u64::MAX {
                     return self.max;
                 }
-                return Duration::from_micros(bound_us).min(self.max);
+                let hi = bound_us as f64;
+                let lo = hi / 2.0;
+                let frac = (rank - below) as f64 / count as f64;
+                let us = lo * 2f64.powf(frac);
+                return Duration::from_nanos((us * 1e3).round() as u64).min(self.max);
             }
         }
         self.max
@@ -222,7 +234,13 @@ impl PipelineReport {
 
     /// Parses a report from the JSON produced by [`Self::to_json`].
     pub fn from_json(text: &str) -> Result<Self, json::JsonError> {
-        let value = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Builds a report from an already-parsed [`json::Value`] — the hook
+    /// other schemas (e.g. `BENCH_*.json`) use to embed a pipeline report
+    /// as a sub-object of their own document.
+    pub fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
         let root = value.as_object("report root")?;
         let mut report = PipelineReport::default();
         if let Some(spans) = root.get("spans") {
@@ -406,6 +424,35 @@ pub mod json {
                 Value::Number(n) => Ok(*n),
                 other => Err(JsonError::type_mismatch(what, "number", other)),
             }
+        }
+
+        /// The value as a string, or a type error.
+        pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+            match self {
+                Value::String(s) => Ok(s),
+                other => Err(JsonError::type_mismatch(what, "string", other)),
+            }
+        }
+
+        /// The value as a boolean, or a type error.
+        pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                other => Err(JsonError::type_mismatch(what, "bool", other)),
+            }
+        }
+    }
+
+    impl JsonError {
+        /// A typed "missing field" error, for schemas layered on this
+        /// parser (e.g. `BENCH_*.json`).
+        pub fn missing_field(field: &str) -> Self {
+            Self::missing(field)
+        }
+
+        /// A typed free-form schema violation, for layered schemas.
+        pub fn invalid_value(what: impl Into<String>) -> Self {
+            Self::invalid(what)
         }
     }
 
@@ -775,6 +822,8 @@ mod tests {
             max: Duration::from_micros(700),
             buckets: [(64, 5), (256, 4), (u64::MAX, 1)].into_iter().collect(),
         };
+        // Rank 5 consumes the whole first bucket (frac = 1) → its exact
+        // upper bound; likewise rank 9 exhausts the 256 µs bucket.
         assert_eq!(stat.quantile(0.5), Duration::from_micros(64));
         assert_eq!(stat.quantile(0.9), Duration::from_micros(256));
         // The overflow bucket reports the observed max, not infinity.
@@ -783,6 +832,68 @@ mod tests {
         let empty = HistogramStat::default();
         assert_eq!(empty.quantile(0.5), Duration::ZERO);
         assert_eq!(empty.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket_instead_of_upper_bound() {
+        // Ten observations, all in the (64, 128] µs bucket. The old
+        // implementation returned the bucket's upper bound — 128 µs — for
+        // *every* quantile, overstating p50 by ~41%. Log-interpolation
+        // puts the median at 64·2^(5/10) = 64·√2 ≈ 90.51 µs.
+        let stat = HistogramStat {
+            count: 10,
+            total: Duration::from_micros(1000),
+            max: Duration::from_micros(128),
+            buckets: [(128, 10)].into_iter().collect(),
+        };
+        let p50 = stat.quantile(0.5);
+        assert!(
+            p50 < Duration::from_micros(128),
+            "p50 {p50:?} must not report the bucket upper bound"
+        );
+        assert!(
+            p50 > Duration::from_micros(64),
+            "p50 stays inside the bucket"
+        );
+        // 64 · 2^(5/10) µs = 90.50966799… µs → 90 510 ns after rounding.
+        assert_eq!(p50, Duration::from_nanos(90_510));
+        // Hand-computed: rank ⌈0.2·10⌉ = 2 → frac 0.2 → 64·2^0.2 ≈ 73.52 µs.
+        assert_eq!(stat.quantile(0.2), Duration::from_nanos(73_517));
+        // Exhausting the bucket still lands exactly on its upper bound.
+        assert_eq!(stat.quantile(1.0), Duration::from_micros(128));
+    }
+
+    #[test]
+    fn quantile_keeps_max_clamp_and_overflow_path() {
+        // The observed max (70 µs) sits below the 128 µs bucket bound, so
+        // interpolated values above it clamp to max.
+        let stat = HistogramStat {
+            count: 4,
+            total: Duration::from_micros(260),
+            max: Duration::from_micros(70),
+            buckets: [(128, 4)].into_iter().collect(),
+        };
+        assert_eq!(stat.quantile(1.0), Duration::from_micros(70));
+        // frac = 1/4 → 64·2^0.25 ≈ 76.1 µs > max → clamped.
+        assert_eq!(stat.quantile(0.25), Duration::from_micros(70));
+        // Overflow-only histograms report max for every quantile.
+        let overflow = HistogramStat {
+            count: 2,
+            total: Duration::from_secs(5),
+            max: Duration::from_secs(3),
+            buckets: [(u64::MAX, 2)].into_iter().collect(),
+        };
+        assert_eq!(overflow.quantile(0.5), Duration::from_secs(3));
+        assert_eq!(overflow.quantile(1.0), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn from_value_matches_from_json() {
+        let report = sample();
+        let value = json::parse(&report.to_json()).expect("parse");
+        let back = PipelineReport::from_value(&value).expect("from_value");
+        assert_eq!(back, report);
+        assert!(PipelineReport::from_value(&json::Value::Null).is_err());
     }
 
     #[test]

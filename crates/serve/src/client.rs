@@ -26,6 +26,10 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
+        // One request is several small writes (line, newline); without
+        // TCP_NODELAY, Nagle holds the tail until the delayed ACK of the
+        // head — tens of milliseconds of artificial latency per request.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             writer: stream,

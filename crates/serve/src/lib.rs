@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;

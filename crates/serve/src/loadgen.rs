@@ -1,0 +1,238 @@
+//! Deterministic loopback load generator for benchmarking `oct-serve`.
+//!
+//! Drives a running daemon over real TCP connections — the same path a
+//! production client takes, including protocol encode/decode, kernel
+//! loopback, and the admission queue — so benchmark latencies include
+//! everything a client would actually observe.
+//!
+//! Determinism contract: the *workload* (which items each request queries,
+//! in what order, over how many connections) is a pure function of
+//! [`LoadGenConfig`], derived from a splitmix64 stream seeded per
+//! connection. Only the measured timings vary between runs.
+
+use std::io;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+
+/// Workload shape for one load-generation burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadGenConfig {
+    /// Concurrent persistent connections (one thread each).
+    pub connections: usize,
+    /// Requests issued sequentially on each connection.
+    pub requests_per_connection: usize,
+    /// Item-id universe: requests draw ids from `0..num_items`.
+    pub num_items: u32,
+    /// Item ids per `SCORE` request (at least 1).
+    pub items_per_request: usize,
+    /// Base seed; connection `c` uses stream `seed + c`.
+    pub seed: u64,
+    /// Connect/read timeout per request.
+    pub timeout: Duration,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            connections: 4,
+            requests_per_connection: 50,
+            num_items: 1000,
+            items_per_request: 5,
+            seed: 0x0c77_bea6,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one burst observed, client-side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadGenOutcome {
+    /// Per-request wall-clock latencies in seconds, grouped by connection
+    /// in connection order (stable layout; values are the only
+    /// non-deterministic part).
+    pub latencies_s: Vec<f64>,
+    /// Requests that got a successful `COVER` answer.
+    pub ok: usize,
+    /// Requests shed with a typed `OVERLOADED` response.
+    pub shed: usize,
+    /// Requests answered with a protocol `ERR`.
+    pub errors: usize,
+    /// Requests that failed at the transport level (reset, timeout).
+    pub transport_errors: usize,
+    /// Wall-clock seconds for the whole burst (all connections).
+    pub elapsed_s: f64,
+}
+
+impl LoadGenOutcome {
+    /// Total requests that received *any* answer.
+    pub fn answered(&self) -> usize {
+        self.ok + self.shed + self.errors
+    }
+
+    /// Completed requests per second over the whole burst.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.answered() as f64 / self.elapsed_s
+    }
+
+    /// Client-observed latency quantile in seconds (`0.0` when empty).
+    pub fn latency_quantile_s(&self, q: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank.min(sorted.len()) - 1]
+    }
+}
+
+/// splitmix64 — tiny, seedable, dependency-free PRNG. Good enough to spread
+/// request item-sets over the id universe deterministically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic item set for request `r` on connection `c`.
+///
+/// Public so tests (and the bench harness) can assert the workload is a
+/// pure function of the config.
+pub fn request_items(config: &LoadGenConfig, connection: usize, request: usize) -> Vec<u32> {
+    let mut state = config
+        .seed
+        .wrapping_add(connection as u64)
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(request as u64);
+    let universe = config.num_items.max(1);
+    (0..config.items_per_request.max(1))
+        .map(|_| (splitmix64(&mut state) % u64::from(universe)) as u32)
+        .collect()
+}
+
+/// Runs one burst against `addr` and reports client-side observations.
+///
+/// Each connection runs on its own thread with a persistent [`Client`],
+/// issuing its requests back-to-back. Transport-level failures are counted,
+/// not fatal — a shed or reset mid-burst is data, not an error. `Err` is
+/// returned only when a connection cannot be established at all.
+pub fn run(addr: SocketAddr, config: &LoadGenConfig) -> io::Result<LoadGenOutcome> {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.connections.max(1));
+    for connection in 0..config.connections.max(1) {
+        let config = *config;
+        handles.push(thread::spawn(move || {
+            run_connection(addr, &config, connection)
+        }));
+    }
+    let mut outcome = LoadGenOutcome::default();
+    let mut connect_err = None;
+    for handle in handles {
+        match handle.join().expect("loadgen connection thread panicked") {
+            Ok(conn) => {
+                outcome.latencies_s.extend(conn.latencies_s);
+                outcome.ok += conn.ok;
+                outcome.shed += conn.shed;
+                outcome.errors += conn.errors;
+                outcome.transport_errors += conn.transport_errors;
+            }
+            Err(e) => connect_err = Some(e),
+        }
+    }
+    if let Some(e) = connect_err {
+        if outcome.answered() == 0 {
+            return Err(e);
+        }
+    }
+    outcome.elapsed_s = started.elapsed().as_secs_f64();
+    Ok(outcome)
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    config: &LoadGenConfig,
+    connection: usize,
+) -> io::Result<LoadGenOutcome> {
+    let mut client = Client::connect(addr, config.timeout)?;
+    let mut outcome = LoadGenOutcome::default();
+    for request in 0..config.requests_per_connection {
+        let items = request_items(config, connection, request);
+        let started = Instant::now();
+        match client.request(&Request::Score { items }) {
+            Ok(resp) => {
+                outcome.latencies_s.push(started.elapsed().as_secs_f64());
+                match resp {
+                    Response::Overloaded { .. } => outcome.shed += 1,
+                    Response::Error { .. } => outcome.errors += 1,
+                    _ => outcome.ok += 1,
+                }
+            }
+            Err(_) => {
+                outcome.transport_errors += 1;
+                // The connection may be dead; try to re-establish so the
+                // rest of the burst still runs. Give up on repeat failure.
+                match Client::connect(addr, config.timeout) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_in_config() {
+        let config = LoadGenConfig::default();
+        let a = request_items(&config, 2, 7);
+        let b = request_items(&config, 2, 7);
+        assert_eq!(a, b, "same (config, connection, request) → same items");
+        assert_eq!(a.len(), config.items_per_request);
+        assert!(a.iter().all(|&id| id < config.num_items));
+        // Different coordinates give different sets (statistically certain
+        // for this seed — pinned here so a regression is loud).
+        assert_ne!(request_items(&config, 3, 7), a);
+        assert_ne!(request_items(&config, 2, 8), a);
+    }
+
+    #[test]
+    fn workload_handles_degenerate_universe() {
+        let config = LoadGenConfig {
+            num_items: 0,
+            items_per_request: 0,
+            ..LoadGenConfig::default()
+        };
+        let items = request_items(&config, 0, 0);
+        assert_eq!(items, vec![0], "clamped to 1 item from a 1-id universe");
+    }
+
+    #[test]
+    fn outcome_quantiles_and_throughput() {
+        let outcome = LoadGenOutcome {
+            latencies_s: vec![0.004, 0.001, 0.002, 0.003],
+            ok: 4,
+            elapsed_s: 2.0,
+            ..LoadGenOutcome::default()
+        };
+        assert_eq!(outcome.answered(), 4);
+        assert_eq!(outcome.throughput_rps(), 2.0);
+        assert_eq!(outcome.latency_quantile_s(0.5), 0.002);
+        assert_eq!(outcome.latency_quantile_s(1.0), 0.004);
+        let empty = LoadGenOutcome::default();
+        assert_eq!(empty.latency_quantile_s(0.5), 0.0);
+        assert_eq!(empty.throughput_rps(), 0.0);
+    }
+}

@@ -201,6 +201,10 @@ impl Server {
             match listener.accept() {
                 Ok((conn, _peer)) => {
                     shared.metrics.incr("serve/accepted");
+                    // Responses are small multi-part writes; leaving Nagle
+                    // on stacks its delay onto the client's delayed ACK and
+                    // inflates per-request latency by tens of milliseconds.
+                    let _ = conn.set_nodelay(true);
                     admit(&shared, conn);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

@@ -1,0 +1,251 @@
+//! BENCH_*.json schema contract: full-suite runs produce schema-valid,
+//! suite-complete documents whose non-timing fields are deterministic;
+//! round-trips are lossless; and no corrupted document — bit flips,
+//! truncation, garbage — ever panics the parser (mirroring the persist-v2
+//! corruption style in `persist_corruption.rs`).
+
+use std::collections::BTreeMap;
+
+use oct_bench::perf::{compare, run_perf, BenchReport, PerfConfig, BENCH_SCHEMA_VERSION, SUITES};
+use proptest::prelude::*;
+
+/// The cheapest config that still runs every suite.
+fn tiny_config() -> PerfConfig {
+    PerfConfig {
+        scale: 0.005,
+        threads: vec![1, 2],
+        reps: 2,
+        warmup: 0,
+        serve_connections: 2,
+        serve_requests: 8,
+    }
+}
+
+/// One record's non-timing fields: name, reps, threads, unit, detail bits.
+type RecordProjection = (String, usize, usize, String, BTreeMap<String, u64>);
+/// A report's non-timing fields: version, rev, scale, env, records.
+type Projection = (
+    u64,
+    String,
+    f64,
+    BTreeMap<String, String>,
+    Vec<RecordProjection>,
+);
+
+/// Everything in a report that must NOT vary between two runs of the same
+/// binary: record names and their non-timing fields, plus document
+/// metadata. Timing medians/MADs and throughput are excluded.
+fn deterministic_projection(report: &BenchReport) -> Projection {
+    let records = report
+        .benchmarks
+        .iter()
+        .map(|(name, r)| {
+            let detail: BTreeMap<String, u64> = r
+                .detail
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.to_bits()))
+                .collect();
+            (name.clone(), r.reps, r.threads, r.unit.clone(), detail)
+        })
+        .collect();
+    (
+        report.schema_version,
+        report.git_rev.clone(),
+        report.scale,
+        report.env.clone(),
+        records,
+    )
+}
+
+#[test]
+fn run_perf_covers_every_suite_and_roundtrips() {
+    let report = run_perf(&tiny_config());
+    assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+    assert!(
+        report.covers_all_suites(),
+        "suites present: {:?}, required: {SUITES:?}",
+        report.suites()
+    );
+    // The thread sweep produced per-thread records.
+    for name in [
+        "conflict/analyze/t1",
+        "conflict/analyze/t2",
+        "matrix/fill/t1",
+        "matrix/fill/t2",
+        "score/tree/t1",
+        "score/tree/t2",
+        "mis/solve",
+        "cluster/nn_chain",
+        "persist/roundtrip",
+        "serve/latency_p50",
+        "serve/throughput",
+    ] {
+        assert!(report.benchmarks.contains_key(name), "missing {name}");
+    }
+    // Spans from the embedded instrumented pipeline run.
+    let pipeline = report.pipeline.as_ref().expect("pipeline embedded");
+    assert!(pipeline.span("ctcr").is_some());
+    assert!(pipeline.span("cct").is_some());
+    // Timings are sane: non-negative medians, requested rep counts.
+    for (name, record) in &report.benchmarks {
+        assert!(record.median >= 0.0, "{name} median {}", record.median);
+        assert!(record.mad >= 0.0, "{name} mad {}", record.mad);
+        assert_eq!(record.reps, 2, "{name}");
+    }
+    // Lossless JSON round-trip.
+    let text = report.to_json();
+    let back = BenchReport::from_json(&text).expect("schema-valid document");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn non_timing_fields_are_deterministic_across_runs() {
+    let config = tiny_config();
+    let a = run_perf(&config);
+    let b = run_perf(&config);
+    assert_eq!(
+        deterministic_projection(&a),
+        deterministic_projection(&b),
+        "non-timing fields must be a pure function of the config"
+    );
+    // A report never gates against itself: every delta is exactly zero.
+    // (The cross-run no-gate contract is exercised sequentially by
+    // ci/bench_smoke.sh; under the parallel test harness cross-run wall
+    // times are too contended to assert on.)
+    let comparison = compare(&a, &a, Some(20.0));
+    assert_eq!(comparison.gated, 0, "{}", comparison.render());
+    assert!(comparison.rows.iter().all(|r| !r.regressed));
+}
+
+#[test]
+fn forward_compat_unknown_keys_and_missing_optionals() {
+    // A future writer adds keys everywhere; this reader must ignore them.
+    let text = r#"{
+        "bench_schema_version": 1,
+        "git_rev": "cafe",
+        "flux_capacitor": {"charged": true},
+        "benchmarks": {
+            "conflict/analyze/t1": {
+                "median": 0.25,
+                "p75": 0.3,
+                "detail": {"conflicts2": 12.0}
+            }
+        },
+        "pipeline": {"counters": {"x": 1}, "not_yet_invented": 9}
+    }"#;
+    let report = BenchReport::from_json(text).expect("unknown keys ignored");
+    assert_eq!(report.git_rev, "cafe");
+    assert_eq!(report.scale, 0.0, "missing scale defaults");
+    assert!(report.env.is_empty(), "missing env defaults");
+    let record = &report.benchmarks["conflict/analyze/t1"];
+    assert_eq!(record.median, 0.25);
+    assert_eq!(record.mad, 0.0);
+    assert_eq!(record.reps, 1);
+    assert_eq!(record.threads, 1);
+    assert_eq!(record.unit, "s");
+    assert_eq!(record.detail["conflicts2"], 12.0);
+    let pipeline = report.pipeline.expect("pipeline parsed");
+    assert_eq!(pipeline.counter("x"), Some(1));
+
+    // Minimal document: version only.
+    let minimal = BenchReport::from_json("{\"bench_schema_version\": 3}").expect("minimal");
+    assert_eq!(minimal.schema_version, 3);
+    assert!(minimal.benchmarks.is_empty());
+    assert!(minimal.pipeline.is_none());
+}
+
+#[test]
+fn malformed_documents_yield_typed_errors() {
+    for bad in [
+        "",
+        "not json at all",
+        "{\"bench_schema_version\": }",
+        "{}",                              // missing version
+        "{\"bench_schema_version\": -1}",  // negative version
+        "{\"bench_schema_version\": 1.5}", // fractional version
+        "{\"bench_schema_version\": 1, \"git_rev\": 7}",
+        "{\"bench_schema_version\": 1, \"scale\": \"big\"}",
+        "{\"bench_schema_version\": 1, \"env\": {\"os\": 1}}",
+        "{\"bench_schema_version\": 1, \"benchmarks\": {\"a\": {\"median\": \"x\"}}}",
+        "{\"bench_schema_version\": 1, \"pipeline\": {\"spans\": {\"s\": {}}}}",
+    ] {
+        let err = BenchReport::from_json(bad).expect_err(&format!("accepted {bad:?}"));
+        // The error is a typed value with a human-readable rendering — the
+        // contract callers (CLI, CI) rely on.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+fn valid_document() -> String {
+    let mut report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        git_rev: "0123abcd4567".to_owned(),
+        scale: 0.05,
+        ..BenchReport::default()
+    };
+    report.env.insert("os".to_owned(), "linux".to_owned());
+    report.benchmarks.insert(
+        "mis/solve".to_owned(),
+        oct_bench::perf::BenchRecord {
+            median: 0.0025,
+            mad: 0.0001,
+            reps: 5,
+            threads: 1,
+            unit: "s".to_owned(),
+            detail: [("selected".to_owned(), 17.0)].into_iter().collect(),
+        },
+    );
+    report.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(196))]
+
+    #[test]
+    fn corrupted_bench_json_never_panics(
+        flips in prop::collection::vec((0usize..4096, 0u32..8), 1..6)
+    ) {
+        let original = valid_document().into_bytes();
+        let mut corrupted = original.clone();
+        for &(pos, bit) in &flips {
+            let pos = pos % corrupted.len();
+            corrupted[pos] ^= 1u8 << bit;
+        }
+        let intact = corrupted == original; // flips may cancel pairwise
+        // Corrupt bytes may no longer be UTF-8; both layers must degrade
+        // to a typed error, never a panic.
+        match String::from_utf8(corrupted) {
+            Ok(text) => {
+                let outcome = BenchReport::from_json(&text);
+                if intact {
+                    prop_assert!(outcome.is_ok(), "pristine document rejected");
+                }
+            }
+            Err(_) => prop_assert!(!intact),
+        }
+    }
+
+    #[test]
+    fn truncated_bench_json_never_panics(cut in 0usize..2048) {
+        let original = valid_document();
+        let cut = cut % original.len();
+        // Truncate on a char boundary to stay a &str.
+        let mut end = cut;
+        while !original.is_char_boundary(end) {
+            end -= 1;
+        }
+        let truncated = &original[..end];
+        // Any cut that removes more than trailing whitespace must surface
+        // as a typed error (cutting only the final newline is still a
+        // complete document).
+        if truncated.trim_end() != original.trim_end() {
+            prop_assert!(BenchReport::from_json(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let garbage = String::from_utf8_lossy(&bytes);
+        let _ = BenchReport::from_json(&garbage);
+    }
+}

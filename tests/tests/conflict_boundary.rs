@@ -1,0 +1,337 @@
+//! Boundary regression tests for `classify_pair` (paper §3.3).
+//!
+//! The closed-form together/separately predicates use `ceil_tolerant` /
+//! `floor_tolerant` so that floating-point drift in `δ·|q|` cannot flip a
+//! classification exactly at the threshold (e.g. `10·(1−0.9)` evaluating to
+//! `0.9999999999999998`). These tests pin that behavior two ways:
+//!
+//! 1. against a brute-force enumerator over all candidate category pairs on
+//!    small instances, using exact rational arithmetic for coverage (δ is a
+//!    fraction `num/den`, so `sim(q, C) ≥ δ` is an integer comparison); the
+//!    δ grid deliberately includes values where `δ·|q|` is integral — the
+//!    cases where naive `floor`/`ceil` and the tolerant versions diverge;
+//! 2. with hand-computed classifications at exact rational boundaries on
+//!    instances too large to enumerate, including the canonical
+//!    `δ = 9/10, |q| = 10` case where naive flooring loses a whole item of
+//!    slack.
+
+use oct_core::conflict::{classify_pair, PairClass};
+use oct_core::input::{InputSet, Instance};
+use oct_core::itemset::ItemSet;
+use oct_core::similarity::{Similarity, SimilarityKind};
+
+/// `δ` as an exact fraction, alongside the `f64` handed to the instance.
+#[derive(Clone, Copy)]
+struct Delta {
+    num: u64,
+    den: u64,
+}
+
+impl Delta {
+    fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+/// Exact-rational coverage test: does category `c` cover query `q` at `δ`?
+/// Sets are bitmasks over a ≤16-item universe.
+fn covers(kind: SimilarityKind, q: u32, c: u32, delta: Delta) -> bool {
+    let qn = u64::from(q.count_ones());
+    let cn = u64::from(c.count_ones());
+    let inter = u64::from((q & c).count_ones());
+    match kind {
+        SimilarityKind::JaccardCutoff | SimilarityKind::JaccardThreshold => {
+            // |q∩C| / |q∪C| ≥ num/den
+            inter * delta.den >= delta.num * (qn + cn - inter)
+        }
+        SimilarityKind::F1Cutoff | SimilarityKind::F1Threshold => {
+            // 2|q∩C| / (|q| + |C|) ≥ num/den
+            2 * inter * delta.den >= delta.num * (qn + cn)
+        }
+        SimilarityKind::PerfectRecall => {
+            // q ⊆ C with precision |q|/|C| ≥ num/den.
+            (q & !c) == 0 && qn * delta.den >= delta.num * cn
+        }
+        SimilarityKind::Exact => q == c,
+    }
+}
+
+/// Can the pair sit on one branch — some `C_lo ⊆ C_hi` (within the union;
+/// foreign items never help any measure) covering `q_lo` and `q_hi`?
+fn brute_together(kind: SimilarityKind, q_hi: u32, q_lo: u32, delta: Delta, universe: u32) -> bool {
+    let mut c_hi = universe;
+    loop {
+        if covers(kind, q_hi, c_hi, delta) {
+            // Enumerate the subsets of c_hi (including c_hi itself — one
+            // category may serve both queries).
+            let mut c_lo = c_hi;
+            loop {
+                if covers(kind, q_lo, c_lo, delta) {
+                    return true;
+                }
+                if c_lo == 0 {
+                    break;
+                }
+                c_lo = (c_lo - 1) & c_hi;
+            }
+        }
+        if c_hi == 0 {
+            return false;
+        }
+        c_hi -= 1;
+    }
+}
+
+/// Can the pair sit on different branches — disjoint `C_1, C_2` (all branch
+/// bounds are 1, so no item may appear on both) covering `q_hi` and `q_lo`?
+fn brute_separately(
+    kind: SimilarityKind,
+    q_hi: u32,
+    q_lo: u32,
+    delta: Delta,
+    universe: u32,
+) -> bool {
+    let mut c1 = universe;
+    loop {
+        if covers(kind, q_hi, c1, delta) {
+            let rest = universe & !c1;
+            let mut c2 = rest;
+            loop {
+                if covers(kind, q_lo, c2, delta) {
+                    return true;
+                }
+                if c2 == 0 {
+                    break;
+                }
+                c2 = (c2 - 1) & rest;
+            }
+        }
+        if c1 == 0 {
+            return false;
+        }
+        c1 -= 1;
+    }
+}
+
+/// Builds a two-set instance: `q1` is items `0..q1_size`, `q2` overlaps it
+/// in exactly `inter` items. Returns the instance plus both bitmasks.
+fn two_set_instance(
+    q1_size: usize,
+    q2_size: usize,
+    inter: usize,
+    similarity: Similarity,
+) -> (Instance, u32, u32) {
+    assert!(inter >= 1 && inter <= q2_size && q2_size <= q1_size);
+    let union = q1_size + q2_size - inter;
+    let q1: Vec<u32> = (0..q1_size as u32).collect();
+    let q2: Vec<u32> = ((q1_size - inter) as u32..(q1_size - inter + q2_size) as u32).collect();
+    let q1_mask = (1u32 << q1_size) - 1;
+    let q2_mask = ((1u32 << q2_size) - 1) << (q1_size - inter);
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(union as u32, sets, similarity);
+    (instance, q1_mask, q2_mask)
+}
+
+/// Classifies the pair the way `analyze` would: hi = lower rank.
+fn classify(instance: &Instance) -> PairClass {
+    let ranks = instance.ranks();
+    let (hi, lo) = if ranks[0] <= ranks[1] { (0, 1) } else { (1, 0) };
+    let inter = instance.sets[0]
+        .items
+        .intersection_size(&instance.sets[1].items);
+    classify_pair(instance, hi, lo, inter, inter)
+}
+
+#[test]
+fn classify_pair_matches_brute_force_on_small_instances() {
+    // Grid of deltas that includes exact boundaries: δ·|q| integral for
+    // |q| ≤ 5 (1/2·2, 1/2·4, 2/3·3, 3/4·4, 4/5·5, 3/5·5, 1·q).
+    let deltas = [
+        Delta { num: 1, den: 2 },
+        Delta { num: 3, den: 5 },
+        Delta { num: 2, den: 3 },
+        Delta { num: 3, den: 4 },
+        Delta { num: 4, den: 5 },
+        Delta { num: 1, den: 1 },
+    ];
+    let kinds = [
+        SimilarityKind::JaccardThreshold,
+        SimilarityKind::F1Threshold,
+        SimilarityKind::PerfectRecall,
+    ];
+    let mut cases = 0usize;
+    for q1_size in 2..=5usize {
+        for q2_size in 1..=q1_size {
+            for inter in 1..=q2_size {
+                if q2_size == q1_size && inter == q1_size {
+                    continue; // identical sets
+                }
+                for kind in kinds {
+                    for delta in deltas {
+                        let similarity = Similarity::new(kind, delta.as_f64());
+                        let (instance, q1_mask, q2_mask) =
+                            two_set_instance(q1_size, q2_size, inter, similarity);
+                        let universe = q1_mask | q2_mask;
+                        // Ranks put the larger set higher; the brute force
+                        // must use the same orientation.
+                        let got = classify(&instance);
+                        let expected = PairClass {
+                            can_together: brute_together(kind, q1_mask, q2_mask, delta, universe),
+                            can_separately: brute_separately(
+                                kind, q1_mask, q2_mask, delta, universe,
+                            ),
+                        };
+                        assert_eq!(
+                            got, expected,
+                            "kind={kind:?} δ={}/{} |q1|={q1_size} |q2|={q2_size} I={inter}",
+                            delta.num, delta.den
+                        );
+                        cases += 1;
+                    }
+                }
+                // Exact has no δ; check it once per shape.
+                let (instance, q1_mask, q2_mask) =
+                    two_set_instance(q1_size, q2_size, inter, Similarity::exact());
+                let universe = q1_mask | q2_mask;
+                let delta = Delta { num: 1, den: 1 };
+                let got = classify(&instance);
+                let expected = PairClass {
+                    can_together: brute_together(
+                        SimilarityKind::Exact,
+                        q1_mask,
+                        q2_mask,
+                        delta,
+                        universe,
+                    ),
+                    can_separately: brute_separately(
+                        SimilarityKind::Exact,
+                        q1_mask,
+                        q2_mask,
+                        delta,
+                        universe,
+                    ),
+                };
+                assert_eq!(
+                    got, expected,
+                    "Exact |q1|={q1_size} |q2|={q2_size} I={inter}"
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases > 500, "grid unexpectedly small: {cases}");
+}
+
+/// δ = 9/10, |q1| = |q2| = 10, I = 2. In floating point
+/// `10·(1−0.9) = 0.9999999999999998`, so a naive floor computes a recall
+/// slack of 0 on each side and declares the pair inseparable; the true
+/// rational slack is ⌊10·1/10⌋ = 1 per side, and 1 + 1 ≥ I = 2, so the pair
+/// CAN be covered separately. Together needs y2 = ⌈9⌉ − 2 = 7 foreign items
+/// absorbed, far over the 10·(1/10)/(9/10) = 10/9 allowance.
+#[test]
+fn jaccard_floor_tolerance_at_delta_nine_tenths() {
+    let q1: Vec<u32> = (0..10).collect();
+    let q2: Vec<u32> = (8..18).collect();
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(18, sets, Similarity::jaccard_threshold(0.9));
+    let got = classify(&instance);
+    assert_eq!(
+        got,
+        PairClass {
+            can_together: false,
+            can_separately: true,
+        }
+    );
+}
+
+/// Same shape at the exact together-boundary: δ = 4/5, |q1| = |q2| = 5,
+/// I = 4. `⌈δ·5⌉ = 4` exactly (naive fp may see `4.000000000000001` and round
+/// up to 5), so y2 = 0 and the pair fits on one branch; the separate slack is
+/// ⌊5/5⌋ = 1 per side, 2 < I = 4, so separately is impossible.
+#[test]
+fn jaccard_ceil_tolerance_at_delta_four_fifths() {
+    let q1: Vec<u32> = (0..5).collect();
+    let q2: Vec<u32> = (1..6).collect();
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(6, sets, Similarity::jaccard_threshold(0.8));
+    let got = classify(&instance);
+    assert_eq!(
+        got,
+        PairClass {
+            can_together: true,
+            can_separately: false,
+        }
+    );
+}
+
+/// F1 at an integral minimal-cover boundary: δ = 9/10, |q| = 11 gives
+/// s = ⌈δ|q|/(2−δ)⌉ = ⌈99/11⌉ = 9 exactly, so each side may shed
+/// 11 − 9 = 2 items; with I = 4 = 2 + 2 the pair is exactly separable.
+/// Together would need y2 = 9 − 4 = 5 ≤ 2·11·(1/9)/(10/9)… = 22/9 ≈ 2.44 —
+/// impossible.
+#[test]
+fn f1_ceil_tolerance_at_integral_minimal_cover() {
+    let q1: Vec<u32> = (0..11).collect();
+    let q2: Vec<u32> = (7..18).collect();
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(18, sets, Similarity::f1_threshold(0.9));
+    let got = classify(&instance);
+    assert_eq!(
+        got,
+        PairClass {
+            can_together: false,
+            can_separately: true,
+        }
+    );
+}
+
+/// Perfect recall exactly at the precision boundary: |q1| = 9, union = 10,
+/// δ = 9/10 — the umbrella category q1 ∪ q2 has precision 9/10 = δ exactly,
+/// so together must hold (EPS guards the equality); recall 1 forbids
+/// splitting shared items, so separately is impossible.
+#[test]
+fn perfect_recall_at_exact_precision_boundary() {
+    let q1: Vec<u32> = (0..9).collect();
+    let q2: Vec<u32> = (7..10).collect();
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(10, sets, Similarity::perfect_recall(0.9));
+    let got = classify(&instance);
+    assert_eq!(
+        got,
+        PairClass {
+            can_together: true,
+            can_separately: false,
+        }
+    );
+    // One item fewer in q1 (precision 8/9.11… < 9/10 for union 10) flips it.
+    let q1: Vec<u32> = (0..8).collect();
+    let q2: Vec<u32> = (6..10).collect();
+    let sets = vec![
+        InputSet::new(ItemSet::new(q1), 1.0),
+        InputSet::new(ItemSet::new(q2), 1.0),
+    ];
+    let instance = Instance::new(10, sets, Similarity::perfect_recall(0.9));
+    let got = classify(&instance);
+    assert_eq!(
+        got,
+        PairClass {
+            can_together: false,
+            can_separately: false,
+        }
+    );
+}
