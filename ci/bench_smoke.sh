@@ -6,6 +6,10 @@
 #   * `--baseline` in report-only mode renders the delta table and exits 0;
 #   * two runs of the same binary never trip the regression gate (the
 #     MAD-derived noise margin absorbs run-to-run jitter).
+#
+# Every bench invocation's output file is validated by check_bench_file —
+# an absent/empty file or a missing suite fails the script loudly, so an
+# empty BENCH trajectory can never slip through CI silently again.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +18,25 @@ SCALE=${SCALE:-0.02}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
+# Must mirror SUITES in crates/bench/src/perf.rs.
+SUITES=(conflict mis cluster matrix score persist serve)
+
+# check_bench_file <path>: the file must exist, be non-empty, carry the
+# schema stamp, cover every suite, and embed the pipeline report.
+check_bench_file() {
+    local file=$1
+    [[ -e "$file" ]] || { echo "bench smoke: BENCH file $file was not written"; exit 1; }
+    [[ -s "$file" ]] || { echo "bench smoke: BENCH file $file is empty"; exit 1; }
+    grep -q '"bench_schema_version"' "$file" \
+        || { echo "bench smoke: schema version missing in $file"; exit 1; }
+    for suite in "${SUITES[@]}"; do
+        grep -q "\"$suite/" "$file" \
+            || { echo "bench smoke: suite $suite missing in $file"; exit 1; }
+    done
+    grep -q '"pipeline"' "$file" \
+        || { echo "bench smoke: embedded pipeline report missing in $file"; exit 1; }
+}
+
 if [[ ! -x "$OCTREE" ]]; then
     cargo build --release -p oct-cli --bin octree
 fi
@@ -21,23 +44,22 @@ fi
 # Baseline run.
 "$OCTREE" bench --scale "$SCALE" --threads 1,2 --reps 2 --warmup 1 \
     --out "$WORK/base.json" > "$WORK/base.txt"
-[[ -s "$WORK/base.json" ]] || { echo "bench smoke: no BENCH file written"; exit 1; }
+check_bench_file "$WORK/base.json"
 
-# Schema sanity: version stamp, every suite's record, the pipeline block.
-grep -q '"bench_schema_version"' "$WORK/base.json" \
-    || { echo "bench smoke: schema version missing"; exit 1; }
+# Record-level sanity beyond suite prefixes: the exact hot-path records,
+# including both substrates of the set-similarity kernel.
 for record in 'conflict/analyze/t1' 'mis/solve' 'matrix/fill/t1' \
+    'matrix/setsim_scalar' 'matrix/setsim_packed' \
     'cluster/nn_chain' 'score/tree/t1' 'persist/roundtrip' \
     'serve/latency_p50' 'serve/throughput'; do
     grep -q "\"$record\"" "$WORK/base.json" \
         || { echo "bench smoke: record $record missing"; exit 1; }
 done
-grep -q '"pipeline"' "$WORK/base.json" \
-    || { echo "bench smoke: embedded pipeline report missing"; exit 1; }
 
 # Report-only comparison: renders the table, exits 0 regardless of deltas.
 "$OCTREE" bench --scale "$SCALE" --threads 1,2 --reps 2 --warmup 1 \
     --out "$WORK/head.json" --baseline "$WORK/base.json" > "$WORK/head.txt"
+check_bench_file "$WORK/head.json"
 grep -q 'report-only mode' "$WORK/head.txt" \
     || { echo "bench smoke: report-only marker missing"; cat "$WORK/head.txt"; exit 1; }
 grep -q 'verdict' "$WORK/head.txt" \
@@ -48,6 +70,7 @@ grep -q 'verdict' "$WORK/head.txt" \
     --out "$WORK/gated.json" --baseline "$WORK/base.json" --gate 25 \
     > "$WORK/gated.txt" \
     || { echo "bench smoke: same-binary run tripped the gate"; cat "$WORK/gated.txt"; exit 1; }
+check_bench_file "$WORK/gated.json"
 grep -q 'no regressions beyond the 25% gate' "$WORK/gated.txt" \
     || { echo "bench smoke: gate confirmation missing"; cat "$WORK/gated.txt"; exit 1; }
 

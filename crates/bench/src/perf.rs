@@ -466,6 +466,54 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
     }
     let matrix = matrix.expect("at least one thread count");
 
+    // matrix/setsim: the all-pairs set-similarity kernel (CCT's raw
+    // pairwise ablation) on both substrates — sorted-`u32` merges vs packed
+    // bitmaps (word AND + popcount). The detail checksum is asserted equal
+    // across substrates, so the pair of records is a recorded speedup proof.
+    let n_sets = instance.num_sets();
+    let (sample, scalar_sum) = measure(spec, || {
+        let mut total: u64 = 0;
+        for i in 0..n_sets {
+            for j in (i + 1)..n_sets {
+                total += instance.sets[i]
+                    .items
+                    .intersection_size(&instance.sets[j].items) as u64;
+            }
+        }
+        total
+    });
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record.detail.insert("sets".to_owned(), n_sets as f64);
+    record
+        .detail
+        .insert("inter_sum".to_owned(), scalar_sum as f64);
+    report
+        .benchmarks
+        .insert("matrix/setsim_scalar".to_owned(), record);
+
+    let packed = instance.packed_sets();
+    let (sample, packed_sum) = measure(spec, || {
+        let mut total: u64 = 0;
+        for i in 0..n_sets {
+            for j in (i + 1)..n_sets {
+                total += packed[i].intersection_size(&packed[j]) as u64;
+            }
+        }
+        total
+    });
+    assert_eq!(
+        packed_sum, scalar_sum,
+        "packed all-pairs intersection sizes must match the scalar merge"
+    );
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record.detail.insert("sets".to_owned(), n_sets as f64);
+    record
+        .detail
+        .insert("inter_sum".to_owned(), packed_sum as f64);
+    report
+        .benchmarks
+        .insert("matrix/setsim_packed".to_owned(), record);
+
     // cluster: NN-chain agglomerative clustering over the item embeddings.
     let (sample, dendrogram) = measure(spec, || {
         agglomerative::cluster(matrix.clone(), Linkage::Average).expect("benchmark matrix is valid")

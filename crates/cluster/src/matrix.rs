@@ -66,21 +66,26 @@ impl CondensedMatrix {
         }
         let _span = metrics.span("matrix/build");
         let n = rows.len();
-        let mut m = Self::zeros(n);
+        // Flatten the row vectors into one contiguous buffer: the per-pair
+        // inner loop then streams two dense slices instead of chasing
+        // per-row heap pointers. Same element order, same `f32` additions —
+        // the distances are bit-identical to the nested layout.
+        let flat: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
         let fill = |out: &mut [f32], lo: usize, hi: usize| {
             let mut k = 0;
             for i in lo..hi {
                 if faults::fire("matrix/worker-panic") {
                     panic!("injected fault: matrix/worker-panic");
                 }
+                let a = &flat[i * d..(i + 1) * d];
                 for j in (i + 1)..n {
                     out[k] = if faults::fire("cluster/nan-distance") {
                         f32::NAN
                     } else {
-                        rows[i]
-                            .iter()
-                            .zip(&rows[j])
-                            .map(|(a, b)| (a - b) * (a - b))
+                        let b = &flat[j * d..(j + 1) * d];
+                        a.iter()
+                            .zip(b)
+                            .map(|(x, y)| (x - y) * (x - y))
                             .sum::<f32>()
                             .sqrt()
                     };
@@ -88,6 +93,7 @@ impl CondensedMatrix {
                 }
             }
         };
+        let mut m = Self::zeros(n);
         fill_row_chunks(n, &mut m.data, threads, &fill)?;
         metrics.add("matrix/entries", m.data.len() as u64);
         Ok(m)

@@ -85,8 +85,8 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
     let tree = if n <= config.agglomerative_limit {
         // Exact path on sparse membership vectors.
         let rows: Vec<Vec<(u32, f32)>> = index
-            .iter()
-            .map(|sets| sets.iter().map(|&s| (s, 1.0)).collect())
+            .entries()
+            .map(|(_, sets)| sets.iter().map(|&s| (s, 1.0)).collect())
             .collect();
         let matrix = CondensedMatrix::euclidean_sparse(&rows)
             .expect("matrix fill workers do not panic on valid membership rows");
@@ -95,8 +95,8 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
         // Large path: hash memberships into a fixed-width dense vector.
         const DIM: usize = 64;
         let rows: Vec<Vec<f32>> = index
-            .iter()
-            .map(|sets| {
+            .entries()
+            .map(|(_, sets)| {
                 let mut v = vec![0.0f32; DIM];
                 for &s in sets {
                     let h = (s as u64).wrapping_mul(0x9E3779B97F4A7C15);

@@ -120,12 +120,16 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
         // pairwise distance is finite.
         cluster_with_metrics(matrix, config.linkage, metrics).expect("finite distances")
     } else {
-        // Ablation: dissimilarity = 1 − base similarity, directly.
+        // Ablation: dissimilarity = 1 − base similarity, directly. The
+        // all-pairs intersection sizes run on packed bitmaps (word-level
+        // AND + popcount); `base.eval` sees the same integers an `ItemSet`
+        // merge would produce, so the matrix is unchanged bit-for-bit.
         let base = instance.similarity.kind.base();
+        let packed = instance.packed_sets();
         let mut m = CondensedMatrix::zeros(n);
         for i in 0..n {
             for j in (i + 1)..n {
-                let (qi, qj) = (&instance.sets[i].items, &instance.sets[j].items);
+                let (qi, qj) = (&packed[i], &packed[j]);
                 let sim = base.eval(qi.len(), qj.len(), qi.intersection_size(qj));
                 m.set(i, j, 1.0 - sim as f32);
             }

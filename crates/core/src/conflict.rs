@@ -18,6 +18,7 @@
 use oct_resilience::Budget;
 
 use crate::input::Instance;
+use crate::packed::{CsrIndex, PackedSet};
 use crate::similarity::{SimilarityKind, EPS};
 use crate::util::{ceil_tolerant, floor_tolerant, FxHashMap, FxHashSet};
 
@@ -61,6 +62,47 @@ pub fn classify_pair(
     inter: usize,
     eff_inter: usize,
 ) -> PairClass {
+    classify_with(instance, hi, lo, inter, eff_inter, || {
+        instance.sets[lo]
+            .items
+            .is_subset_of(&instance.sets[hi].items)
+            || instance.sets[hi]
+                .items
+                .is_subset_of(&instance.sets[lo].items)
+    })
+}
+
+/// [`classify_pair`] with the Exact-variant nesting test run on
+/// [`PackedSet`]s (word-level subset checks) instead of the scalar
+/// `ItemSet`s. `packed` must be `instance.packed_sets()` (or an equal
+/// repacking); every arithmetic branch is shared with [`classify_pair`]
+/// through one core, so the two functions agree bit-for-bit by
+/// construction — pinned by the scalar-vs-packed differential suite.
+pub fn classify_pair_packed(
+    instance: &Instance,
+    hi: usize,
+    lo: usize,
+    inter: usize,
+    eff_inter: usize,
+    packed: &[PackedSet],
+) -> PairClass {
+    classify_with(instance, hi, lo, inter, eff_inter, || {
+        packed[lo].is_subset_of(&packed[hi]) || packed[hi].is_subset_of(&packed[lo])
+    })
+}
+
+/// The shared classification core. Only the Exact variant inspects set
+/// *structure* (mutual nesting) — every other variant is pure arithmetic
+/// over `(|q_hi|, |q_lo|, inter, eff_inter, δ)` — so the substrate enters
+/// solely through the lazily-evaluated `nested` test.
+fn classify_with(
+    instance: &Instance,
+    hi: usize,
+    lo: usize,
+    inter: usize,
+    eff_inter: usize,
+    nested: impl FnOnce() -> bool,
+) -> PairClass {
     debug_assert!(inter > 0, "only intersecting pairs are classified");
     let q1 = instance.sets[hi].items.len();
     let q2 = instance.sets[lo].items.len();
@@ -68,12 +110,7 @@ pub fn classify_pair(
     let d2 = instance.threshold_of(lo);
     match instance.similarity.kind {
         SimilarityKind::Exact => PairClass {
-            can_together: instance.sets[lo]
-                .items
-                .is_subset_of(&instance.sets[hi].items)
-                || instance.sets[hi]
-                    .items
-                    .is_subset_of(&instance.sets[lo].items),
+            can_together: nested(),
             can_separately: eff_inter == 0,
         },
         SimilarityKind::PerfectRecall => {
@@ -229,7 +266,7 @@ pub fn intersecting_pairs_budgeted(
 fn count_chunk(
     instance: &Instance,
     ranks: &[u32],
-    index: &[Vec<u32>],
+    index: &CsrIndex,
     lo: usize,
     hi: usize,
     has_bounds: bool,
@@ -238,11 +275,12 @@ fn count_chunk(
     let limited = budget.is_limited();
     let mut map: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
     let mut truncated = false;
-    for (scanned, (item, sets)) in index.iter().enumerate().take(hi).skip(lo).enumerate() {
+    for (scanned, item) in (lo..hi).enumerate() {
         if limited && budget.check_every(scanned as u64, DEADLINE_STRIDE as u64) {
             truncated = true;
             break;
         }
+        let sets = index.sets_of(item as u32);
         let relaxed = has_bounds && instance.bound_of(item as u32) > 1;
         for (i, &a) in sets.iter().enumerate() {
             for &b in &sets[i + 1..] {
@@ -356,17 +394,31 @@ pub fn analyze_budgeted(
     }
     let ranks = instance.ranks();
 
+    // Only the Exact variant's nesting test touches set structure; pack the
+    // sets once so its subset checks run word-parallel.
+    let packed =
+        (instance.similarity.kind == SimilarityKind::Exact).then(|| instance.packed_sets());
     let mut conflicts2 = Vec::new();
     let mut must_together = Vec::new();
     let mut nestable = Vec::new();
     for p in &pairs {
-        let class = classify_pair(
-            instance,
-            p.hi as usize,
-            p.lo as usize,
-            p.inter as usize,
-            p.eff_inter as usize,
-        );
+        let class = match &packed {
+            Some(packed) => classify_pair_packed(
+                instance,
+                p.hi as usize,
+                p.lo as usize,
+                p.inter as usize,
+                p.eff_inter as usize,
+                packed,
+            ),
+            None => classify_pair(
+                instance,
+                p.hi as usize,
+                p.lo as usize,
+                p.inter as usize,
+                p.eff_inter as usize,
+            ),
+        };
         if class.is_conflict() {
             conflicts2.push((p.hi, p.lo));
         } else if class.must_together() {

@@ -2,6 +2,7 @@
 //! universe.
 
 use crate::itemset::{ItemId, ItemSet};
+use crate::packed::{CsrIndex, PackedSet};
 use crate::similarity::{Similarity, EPS};
 
 /// One candidate category: an item set the solution should contain a
@@ -138,15 +139,20 @@ impl Instance {
     }
 
     /// Inverted index: for each item, the ascending list of input-set
-    /// indices containing it.
-    pub fn inverted_index(&self) -> Vec<Vec<u32>> {
-        let mut index = vec![Vec::new(); self.num_items as usize];
-        for (s, set) in self.sets.iter().enumerate() {
-            for item in set.items.iter() {
-                index[item as usize].push(s as u32);
-            }
-        }
-        index
+    /// indices containing it, in CSR form (one flat posting buffer instead
+    /// of a `Vec` per item — see [`CsrIndex`]).
+    pub fn inverted_index(&self) -> CsrIndex {
+        CsrIndex::build(self.num_items, self.sets.iter().map(|s| &s.items))
+    }
+
+    /// The input sets repacked as chunked bitmaps, indexed like `sets`.
+    /// Used by the popcount-based hot paths (conflict subset tests, the
+    /// ablation similarity matrix); `ItemSet` stays the reference.
+    pub fn packed_sets(&self) -> Vec<PackedSet> {
+        self.sets
+            .iter()
+            .map(|s| PackedSet::from_itemset(&s.items))
+            .collect()
     }
 
     /// The paper's ranking (§3.2): sets sorted by size descending, then by
@@ -239,9 +245,21 @@ mod tests {
     fn inverted_index_lists_sets_per_item() {
         let inst = figure2_instance(Similarity::new(SimilarityKind::Exact, 1.0));
         let idx = inst.inverted_index();
-        assert_eq!(idx[0], vec![0, 1, 3]); // item a in q1, q2, q4
-        assert_eq!(idx[5], vec![2, 3]); // item f in q3, q4
-        assert_eq!(idx[8], vec![3]); // item i only in q4
+        assert_eq!(&idx[0], &[0, 1, 3][..]); // item a in q1, q2, q4
+        assert_eq!(&idx[5], &[2, 3][..]); // item f in q3, q4
+        assert_eq!(&idx[8], &[3][..]); // item i only in q4
+        assert_eq!(idx.num_items(), 9);
+        assert_eq!(idx.num_postings(), 5 + 2 + 4 + 6);
+    }
+
+    #[test]
+    fn packed_sets_mirror_input_sets() {
+        let inst = figure2_instance(Similarity::new(SimilarityKind::Exact, 1.0));
+        let packed = inst.packed_sets();
+        assert_eq!(packed.len(), inst.num_sets());
+        for (p, s) in packed.iter().zip(&inst.sets) {
+            assert_eq!(p.to_vec(), s.items.as_slice());
+        }
     }
 
     #[test]

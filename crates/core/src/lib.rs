@@ -29,6 +29,7 @@
 //! ## Modules
 //!
 //! * [`input`] / [`itemset`] / [`similarity`] — the problem model (§2);
+//! * [`packed`] — bit-parallel packed item sets and the CSR inverted index;
 //! * [`tree`] / [`score`] — the solution space and objective;
 //! * [`conflict`] — 2-/3-conflict analysis (§3.1–3.3);
 //! * [`ctcr`] — the MIS-based Category Tree Conflict Resolver (§3);
@@ -55,6 +56,7 @@ pub mod input;
 pub mod itemset;
 pub mod labeling;
 pub mod navigation;
+pub mod packed;
 pub mod persist;
 pub mod point;
 pub mod repair;
@@ -69,6 +71,7 @@ pub use cct::CctConfig;
 pub use ctcr::CtcrConfig;
 pub use input::{InputSet, Instance};
 pub use itemset::{ItemId, ItemSet};
+pub use packed::{CsrIndex, PackedSet};
 pub use point::{PointCover, PointIndex};
 pub use score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
 pub use similarity::{Similarity, SimilarityKind};
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::itemset::{ItemId, ItemSet};
     pub use crate::labeling;
     pub use crate::navigation;
+    pub use crate::packed::{CsrIndex, PackedSet};
     pub use crate::persist;
     pub use crate::point::{PointCover, PointIndex};
     pub use crate::repair;

@@ -1,0 +1,634 @@
+//! Bit-parallel packed item sets and the CSR inverted index.
+//!
+//! [`PackedSet`] is the chunked-bitmap counterpart of
+//! [`ItemSet`](crate::itemset::ItemSet): the `u32` id space is split into
+//! 1024-bit *chunks* (16 × 64-bit words), and each populated chunk stores its
+//! members either as a sorted array of in-chunk offsets (low density) or as a
+//! dense bitmap (high density) — the roaring-bitmap idea scaled down to this
+//! workload's universes. Set algebra then runs word-at-a-time: an
+//! intersection size is a handful of `AND` + `count_ones` per shared chunk
+//! instead of a per-element merge, which is what makes the conflict, matrix,
+//! and scoring suites cheap (see *Efficient tree-structured categorical
+//! retrieval*, PAPERS.md).
+//!
+//! [`CsrIndex`] is the companion inverted index: the per-item posting lists
+//! formerly returned as `Vec<Vec<u32>>` by `Instance::inverted_index` live in
+//! one flat `ids` buffer addressed by an `offsets` array, so building it is
+//! two passes over the input (no per-item allocations) and scanning it walks
+//! contiguous memory.
+//!
+//! `ItemSet` remains the reference implementation; differential proptests
+//! (`tests/proptest_packed.rs`) pin every operation of both types against a
+//! `BTreeSet` oracle.
+
+use crate::itemset::{ItemId, ItemSet};
+
+/// Bits per chunk: 16 words of 64 bits.
+pub const CHUNK_BITS: u32 = 1024;
+
+/// 64-bit words per dense container.
+pub const CHUNK_WORDS: usize = 16;
+
+/// Containers holding more than this many members are stored dense. At 32
+/// two-byte offsets a sparse container spends 64 bytes against the dense
+/// container's fixed 128, and a sparse-sparse merge of two near-threshold
+/// containers starts losing to 16 unconditional `AND`+`popcount` words.
+pub const SPARSE_MAX: usize = 32;
+
+/// One populated 1024-bit chunk: sorted in-chunk offsets below
+/// [`SPARSE_MAX`] members, a dense bitmap above.
+///
+/// The representation is canonical — a container is `Dense` if and only if
+/// it holds more than [`SPARSE_MAX`] members — so derived equality on
+/// [`PackedSet`] is set equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Container {
+    /// Sorted, deduplicated offsets into the chunk (`< CHUNK_BITS`).
+    Sparse(Box<[u16]>),
+    /// Bitmap over the chunk plus its cached popcount.
+    Dense {
+        words: Box<[u64; CHUNK_WORDS]>,
+        count: u16,
+    },
+}
+
+impl Container {
+    fn from_lows(lows: &[u16]) -> Self {
+        debug_assert!(lows.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        if lows.len() <= SPARSE_MAX {
+            return Container::Sparse(lows.into());
+        }
+        let mut words = Box::new([0u64; CHUNK_WORDS]);
+        for &low in lows {
+            words[(low >> 6) as usize] |= 1u64 << (low & 63);
+        }
+        Container::Dense {
+            words,
+            count: lows.len() as u16,
+        }
+    }
+
+    /// Rebuilds the canonical container from a bitmap with a known count.
+    fn from_words(words: Box<[u64; CHUNK_WORDS]>, count: u32) -> Self {
+        if count as usize > SPARSE_MAX {
+            return Container::Dense {
+                words,
+                count: count as u16,
+            };
+        }
+        let mut lows = Vec::with_capacity(count as usize);
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                lows.push((w as u16) << 6 | bits.trailing_zeros() as u16);
+                bits &= bits - 1;
+            }
+        }
+        Container::Sparse(lows.into_boxed_slice())
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        match self {
+            Container::Sparse(lows) => lows.len(),
+            Container::Dense { count, .. } => *count as usize,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Sparse(lows) => lows.binary_search(&low).is_ok(),
+            Container::Dense { words, .. } => {
+                words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0
+            }
+        }
+    }
+
+    /// `|self ∩ other|` via popcount / merge, whichever the layouts allow.
+    fn intersection_count(&self, other: &Container) -> usize {
+        match (self, other) {
+            (Container::Dense { words: a, .. }, Container::Dense { words: b, .. }) => a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum(),
+            (Container::Sparse(lows), dense @ Container::Dense { .. })
+            | (dense @ Container::Dense { .. }, Container::Sparse(lows)) => {
+                lows.iter().filter(|&&low| dense.contains(low)).count()
+            }
+            (Container::Sparse(a), Container::Sparse(b)) => {
+                let (mut i, mut j, mut count) = (0, 0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            count += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                count
+            }
+        }
+    }
+
+    /// `true` when every member of `self` is in `other`.
+    fn is_subset_of(&self, other: &Container) -> bool {
+        if self.count() > other.count() {
+            // Covers Dense ⊆ Sparse: a canonical dense container always
+            // outnumbers a sparse one.
+            return false;
+        }
+        match (self, other) {
+            (Container::Dense { words: a, .. }, Container::Dense { words: b, .. }) => {
+                a.iter().zip(b.iter()).all(|(&x, &y)| x & !y == 0)
+            }
+            (Container::Sparse(lows), other) => lows.iter().all(|&low| other.contains(low)),
+            (Container::Dense { .. }, Container::Sparse(_)) => unreachable!("count check above"),
+        }
+    }
+
+    /// The canonical container for `self ∖ other`, `None` when empty.
+    fn difference(&self, other: &Container) -> Option<Container> {
+        match (self, other) {
+            (Container::Dense { words: a, .. }, Container::Dense { words: b, .. }) => {
+                let mut words = Box::new([0u64; CHUNK_WORDS]);
+                let mut count = 0u32;
+                for (w, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+                    words[w] = x & !y;
+                    count += words[w].count_ones();
+                }
+                (count > 0).then(|| Container::from_words(words, count))
+            }
+            (Container::Dense { words, .. }, Container::Sparse(lows)) => {
+                let mut words = words.clone();
+                for &low in lows.iter() {
+                    words[(low >> 6) as usize] &= !(1u64 << (low & 63));
+                }
+                let count = words.iter().map(|w| w.count_ones()).sum::<u32>();
+                (count > 0).then(|| Container::from_words(words, count))
+            }
+            (Container::Sparse(lows), other) => {
+                let kept: Vec<u16> = lows
+                    .iter()
+                    .copied()
+                    .filter(|&low| !other.contains(low))
+                    .collect();
+                (!kept.is_empty()).then(|| Container::Sparse(kept.into_boxed_slice()))
+            }
+        }
+    }
+
+    /// Pushes the chunk's members (offset by `base`) onto `out`, ascending.
+    fn extend_items(&self, base: u32, out: &mut Vec<ItemId>) {
+        match self {
+            Container::Sparse(lows) => out.extend(lows.iter().map(|&low| base + low as u32)),
+            Container::Dense { words, .. } => {
+                for (w, &word) in words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        out.push(base + ((w as u32) << 6) + bits.trailing_zeros());
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An immutable item set packed into chunked bitmaps.
+///
+/// Semantically identical to [`ItemSet`] — same members, same operations —
+/// but sized and laid out for word-parallel set algebra. Equality and
+/// hashing are set equality (the container representation is canonical).
+///
+/// ```
+/// use oct_core::itemset::ItemSet;
+/// use oct_core::packed::PackedSet;
+/// let a = PackedSet::from_sorted(&[1, 2, 3]);
+/// let b = PackedSet::from_itemset(&ItemSet::new(vec![2, 3, 4]));
+/// assert_eq!(a.intersection_size(&b), 2);
+/// assert_eq!(a.union_size(&b), 4);
+/// assert_eq!(a.difference(&b).to_vec(), vec![1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedSet {
+    /// Chunk base ids (`item & !(CHUNK_BITS - 1)`), strictly ascending.
+    bases: Box<[u32]>,
+    /// The populated chunks, parallel to `bases`.
+    containers: Box<[Container]>,
+    /// Total member count.
+    len: usize,
+}
+
+impl PackedSet {
+    /// Packs ids that are already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the precondition is violated.
+    pub fn from_sorted(items: &[ItemId]) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        let mut bases = Vec::new();
+        let mut containers = Vec::new();
+        let mut lows: Vec<u16> = Vec::new();
+        let mut chunk = 0usize;
+        let mut base = 0u32;
+        for &item in items {
+            let item_base = item & !(CHUNK_BITS - 1);
+            if item_base != base || lows.is_empty() {
+                if !lows.is_empty() {
+                    bases.push(base);
+                    containers.push(Container::from_lows(&lows));
+                    lows.clear();
+                }
+                base = item_base;
+                chunk += 1;
+                let _ = chunk;
+            }
+            lows.push((item & (CHUNK_BITS - 1)) as u16);
+        }
+        if !lows.is_empty() {
+            bases.push(base);
+            containers.push(Container::from_lows(&lows));
+        }
+        Self {
+            bases: bases.into_boxed_slice(),
+            containers: containers.into_boxed_slice(),
+            len: items.len(),
+        }
+    }
+
+    /// Packs the members of an [`ItemSet`].
+    pub fn from_itemset(set: &ItemSet) -> Self {
+        Self::from_sorted(set.as_slice())
+    }
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test: binary search for the chunk, then an `O(1)` bit test
+    /// (dense) or a tiny binary search (sparse).
+    pub fn contains(&self, item: ItemId) -> bool {
+        let base = item & !(CHUNK_BITS - 1);
+        match self.bases.binary_search(&base) {
+            Ok(c) => self.containers[c].contains((item & (CHUNK_BITS - 1)) as u16),
+            Err(_) => false,
+        }
+    }
+
+    /// `|self ∩ other|` via word-level `AND` + `count_ones` on shared
+    /// chunks; chunks present on one side only contribute nothing.
+    pub fn intersection_size(&self, other: &PackedSet) -> usize {
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < self.bases.len() && j < other.bases.len() {
+            match self.bases[i].cmp(&other.bases[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += self.containers[i].intersection_count(&other.containers[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// `|self ∪ other|`.
+    #[inline]
+    pub fn union_size(&self, other: &PackedSet) -> usize {
+        self.len + other.len - self.intersection_size(other)
+    }
+
+    /// `true` when the sets share no members.
+    pub fn is_disjoint(&self, other: &PackedSet) -> bool {
+        self.intersection_size(other) == 0
+    }
+
+    /// `true` when every member of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &PackedSet) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        let mut j = 0;
+        for (i, &base) in self.bases.iter().enumerate() {
+            while j < other.bases.len() && other.bases[j] < base {
+                j += 1;
+            }
+            if j == other.bases.len() || other.bases[j] != base {
+                return false;
+            }
+            if !self.containers[i].is_subset_of(&other.containers[j]) {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// `self ∖ other` as a new packed set.
+    pub fn difference(&self, other: &PackedSet) -> PackedSet {
+        let mut bases = Vec::with_capacity(self.bases.len());
+        let mut containers = Vec::with_capacity(self.containers.len());
+        let mut len = 0usize;
+        let mut j = 0;
+        for (i, &base) in self.bases.iter().enumerate() {
+            while j < other.bases.len() && other.bases[j] < base {
+                j += 1;
+            }
+            let kept = if j < other.bases.len() && other.bases[j] == base {
+                self.containers[i].difference(&other.containers[j])
+            } else {
+                Some(self.containers[i].clone())
+            };
+            if let Some(container) = kept {
+                len += container.count();
+                bases.push(base);
+                containers.push(container);
+            }
+        }
+        PackedSet {
+            bases: bases.into_boxed_slice(),
+            containers: containers.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Iterates members ascending.
+    pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        // Chunks are small; materializing per chunk keeps the iterator
+        // simple without changing the asymptotics.
+        self.bases
+            .iter()
+            .zip(self.containers.iter())
+            .flat_map(|(&base, container)| {
+                let mut items = Vec::with_capacity(container.count());
+                container.extend_items(base, &mut items);
+                items
+            })
+    }
+
+    /// The members as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<ItemId> {
+        let mut out = Vec::with_capacity(self.len);
+        for (&base, container) in self.bases.iter().zip(self.containers.iter()) {
+            container.extend_items(base, &mut out);
+        }
+        out
+    }
+
+    /// Converts back to the reference representation.
+    pub fn to_itemset(&self) -> ItemSet {
+        ItemSet::from_sorted(self.to_vec())
+    }
+}
+
+impl std::fmt::Debug for PackedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl From<&ItemSet> for PackedSet {
+    fn from(set: &ItemSet) -> Self {
+        PackedSet::from_itemset(set)
+    }
+}
+
+/// A compressed-sparse-row inverted index: for each item, the ascending list
+/// of input-set indices containing it, stored as one flat `ids` buffer
+/// addressed through `offsets` (length `num_items + 1`).
+///
+/// Replaces the `Vec<Vec<u32>>` shape: construction is two passes with two
+/// allocations total, and iteration walks contiguous memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrIndex {
+    offsets: Box<[u32]>,
+    ids: Box<[u32]>,
+}
+
+impl CsrIndex {
+    /// Builds the index from `(set index, member items)` rows over a universe
+    /// of `num_items`. Rows must be supplied in ascending set order (the
+    /// natural iteration order of `Instance::sets`), which makes every
+    /// posting list ascending.
+    pub fn build<'a>(num_items: u32, rows: impl Iterator<Item = &'a ItemSet> + Clone) -> Self {
+        let n = num_items as usize;
+        // Pass 1: posting-list lengths.
+        let mut offsets = vec![0u32; n + 1];
+        for set in rows.clone() {
+            for item in set.iter() {
+                offsets[item as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Pass 2: fill. `cursor` tracks the next free slot per item.
+        let mut ids = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for (s, set) in rows.enumerate() {
+            for item in set.iter() {
+                let slot = &mut cursor[item as usize];
+                ids[*slot as usize] = s as u32;
+                *slot += 1;
+            }
+        }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            ids: ids.into_boxed_slice(),
+        }
+    }
+
+    /// Universe size (number of items indexed).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Synonym for [`CsrIndex::num_items`], mirroring the old
+    /// `Vec<Vec<u32>>` call sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_items()
+    }
+
+    /// `true` when the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_items() == 0
+    }
+
+    /// Total posting entries (`Σ_item |sets_of(item)|`).
+    #[inline]
+    pub fn num_postings(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The ascending set indices containing `item`.
+    #[inline]
+    pub fn sets_of(&self, item: ItemId) -> &[u32] {
+        let lo = self.offsets[item as usize] as usize;
+        let hi = self.offsets[item as usize + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// Iterates `(item, posting list)` over the whole universe.
+    pub fn entries(&self) -> impl Iterator<Item = (ItemId, &[u32])> + '_ {
+        (0..self.num_items() as u32).map(move |item| (item, self.sets_of(item)))
+    }
+}
+
+impl std::ops::Index<usize> for CsrIndex {
+    type Output = [u32];
+
+    #[inline]
+    fn index(&self, item: usize) -> &[u32] {
+        self.sets_of(item as ItemId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packed(items: &[u32]) -> PackedSet {
+        PackedSet::from_itemset(&ItemSet::new(items.to_vec()))
+    }
+
+    #[test]
+    fn roundtrips_members() {
+        let ids = vec![0, 1, 63, 64, 1023, 1024, 5000, u32::MAX - 1, u32::MAX];
+        let set = packed(&ids);
+        assert_eq!(set.to_vec(), ids);
+        assert_eq!(set.len(), ids.len());
+        assert_eq!(set.iter().collect::<Vec<_>>(), ids);
+        for &id in &ids {
+            assert!(set.contains(id));
+        }
+        assert!(!set.contains(2));
+        assert!(!set.contains(4999));
+    }
+
+    #[test]
+    fn dense_container_kicks_in_past_threshold() {
+        // One chunk with SPARSE_MAX + 1 members must go dense and still
+        // behave identically.
+        let ids: Vec<u32> = (0..SPARSE_MAX as u32 + 1).map(|i| i * 2).collect();
+        let set = packed(&ids);
+        assert_eq!(set.to_vec(), ids);
+        assert!(set.contains(0) && set.contains(64));
+        assert!(!set.contains(1));
+        let sparse = packed(&[0, 2, 64]);
+        assert_eq!(sparse.intersection_size(&set), 3);
+        assert!(sparse.is_subset_of(&set));
+        assert!(!set.is_subset_of(&sparse));
+    }
+
+    #[test]
+    fn set_algebra_matches_itemset() {
+        let a_ids: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        let b_ids: Vec<u32> = (0..200).map(|i| i * 5 + 1000).collect();
+        let (ia, ib) = (ItemSet::new(a_ids.clone()), ItemSet::new(b_ids.clone()));
+        let (pa, pb) = (packed(&a_ids), packed(&b_ids));
+        assert_eq!(pa.intersection_size(&pb), ia.intersection_size(&ib));
+        assert_eq!(pa.union_size(&pb), ia.union_size(&ib));
+        assert_eq!(pa.is_disjoint(&pb), ia.is_disjoint(&ib));
+        assert_eq!(pa.difference(&pb).to_vec(), ia.difference(&ib).as_slice());
+        assert_eq!(pb.difference(&pa).to_vec(), ib.difference(&ia).as_slice());
+    }
+
+    #[test]
+    fn subset_across_representations() {
+        let big = packed(&(0..100).collect::<Vec<u32>>());
+        let small = packed(&[5, 50, 99]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(PackedSet::empty().is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+        // Missing chunk on the right side.
+        let far = packed(&[5, 50, 99, 100_000]);
+        assert!(!far.is_subset_of(&big));
+    }
+
+    #[test]
+    fn difference_renormalizes_density() {
+        // Dense minus dense leaving few members must come back sparse (and
+        // equal to a freshly packed set, i.e. canonical).
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (3..100).collect();
+        let d = packed(&a).difference(&packed(&b));
+        assert_eq!(d.to_vec(), vec![0, 1, 2]);
+        assert_eq!(d, packed(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = PackedSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.intersection_size(&e), 0);
+        let a = packed(&[1, 2]);
+        assert_eq!(e.union_size(&a), 2);
+        assert!(e.is_disjoint(&a));
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        seen.insert(packed(&[1, 2, 2000]));
+        assert!(seen.contains(&packed(&[2000, 1, 2])));
+        assert!(!seen.contains(&packed(&[1, 2])));
+    }
+
+    #[test]
+    fn csr_matches_nested_shape() {
+        let sets = [
+            ItemSet::new(vec![0, 1, 2]),
+            ItemSet::new(vec![1, 3]),
+            ItemSet::new(vec![0, 3, 4]),
+        ];
+        let index = CsrIndex::build(6, sets.iter());
+        assert_eq!(index.num_items(), 6);
+        assert_eq!(index.num_postings(), 8);
+        assert_eq!(index.sets_of(0), &[0, 2]);
+        assert_eq!(index.sets_of(1), &[0, 1]);
+        assert_eq!(index.sets_of(3), &[1, 2]);
+        assert_eq!(index.sets_of(5), &[] as &[u32]);
+        assert_eq!(&index[4], &[2][..]);
+        let collected: Vec<(u32, Vec<u32>)> = index
+            .entries()
+            .map(|(item, sets)| (item, sets.to_vec()))
+            .collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[2], (2, vec![0]));
+    }
+
+    #[test]
+    fn csr_empty_universe() {
+        let index = CsrIndex::build(0, std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.num_postings(), 0);
+        assert_eq!(index.entries().count(), 0);
+    }
+}

@@ -32,6 +32,7 @@ use oct_obs::{Counter, Metrics};
 use oct_resilience::{faults, run_isolated, Budget, ExecutionError};
 
 use crate::input::Instance;
+use crate::packed::CsrIndex;
 use crate::similarity::EPS;
 use crate::tree::{CatId, CategoryTree, ROOT};
 use crate::util::{FxHashMap, FxHashSet};
@@ -148,7 +149,7 @@ impl Agg {
         }
     }
 
-    fn insert_item(&mut self, item: u32, index: &[Vec<u32>]) {
+    fn insert_item(&mut self, item: u32, index: &CsrIndex) {
         if self.items.insert(item) {
             for &set in &index[item as usize] {
                 *self.inter.entry(set).or_insert(0) += 1;
@@ -163,7 +164,7 @@ fn aggregate_node(
     tree: &CategoryTree,
     cat: CatId,
     pending: &mut FxHashMap<CatId, Agg>,
-    index: &[Vec<u32>],
+    index: &CsrIndex,
 ) -> Agg {
     let mut agg = Agg::new();
     for &child in tree.children(cat) {
@@ -534,7 +535,7 @@ fn score_parallel(
     instance: &Instance,
     tree: &CategoryTree,
     threads: usize,
-    index: &[Vec<u32>],
+    index: &CsrIndex,
     depths: &[u32],
     metrics: &Metrics,
     categories: &Counter,
@@ -644,6 +645,71 @@ fn score_parallel(
         metrics.incr("budget/expired");
     }
     Ok(best)
+}
+
+/// A deliberately naive reference scorer over plain [`ItemSet`]s: per
+/// category it materializes the full subtree item set with scalar unions
+/// and computes every `|C ∩ q|` with [`ItemSet::intersection_size`] — no
+/// inverted index, no hash-map aggregation, no threads.
+///
+/// Similarities come from the same `score_with` call on the same integers
+/// and winners from the same [`better`] fold, so the result is bit-identical
+/// to [`score_tree`]; the scalar-vs-packed differential suite pins the
+/// production path (CSR index + hashed aggregation) against this. Quadratic
+/// in practice — test-sized inputs only.
+pub fn score_tree_reference(instance: &Instance, tree: &CategoryTree) -> TreeScore {
+    use crate::itemset::ItemSet;
+    let n = instance.num_sets();
+    let depths = category_depths(tree);
+    let mut best = Best::new(n);
+    let mut pending: FxHashMap<CatId, ItemSet> = FxHashMap::default();
+    for cat in tree.post_order() {
+        let mut items = ItemSet::new(tree.direct_items(cat).to_vec());
+        for &child in tree.children(cat) {
+            let child_items = pending.remove(&child).expect("child processed first");
+            items = items.union(&child_items);
+        }
+        let c_len = items.len();
+        for (s, set) in instance.sets.iter().enumerate() {
+            let inter = items.intersection_size(&set.items);
+            if inter == 0 {
+                // The aggregating path only ever evaluates (category, set)
+                // pairs that intersect; skip likewise so empty categories
+                // and disjoint sets cannot diverge.
+                continue;
+            }
+            let q_len = set.items.len();
+            let delta = instance.threshold_of(s);
+            let sim = instance.similarity.score_with(delta, q_len, c_len, inter);
+            let precision = if c_len == 0 {
+                1.0
+            } else {
+                inter as f64 / c_len as f64
+            };
+            best.consider(s, sim, precision, depths[cat as usize], cat);
+        }
+        pending.insert(cat, items);
+        if cat == ROOT {
+            break;
+        }
+    }
+    let mut total = 0.0;
+    let mut per_set = Vec::with_capacity(n);
+    for s in 0..n {
+        total += instance.sets[s].weight * best.sim[s];
+        per_set.push(SetCover {
+            best_category: best.cat[s],
+            similarity: best.sim[s],
+            covered: best.sim[s] > 0.0,
+            precision: best.precision[s],
+        });
+    }
+    let denom = instance.total_weight();
+    TreeScore {
+        total,
+        normalized: if denom > 0.0 { total / denom } else { 0.0 },
+        per_set,
+    }
 }
 
 /// Computes, per live category, which input sets it covers (similarity
@@ -884,6 +950,22 @@ mod tests {
         // Deeper beats the id on full ties; zero similarity never wins.
         assert!(better(eps_sim, 1.0, 2, 5, eps_sim, 1.0, 1, Some(3)));
         assert!(!better(0.0, 1.0, 1, 1, 0.0, 1.0, 0, None));
+    }
+
+    #[test]
+    fn reference_scorer_matches_production_bitwise() {
+        for similarity in [
+            Similarity::perfect_recall(0.8),
+            Similarity::jaccard_cutoff(0.6),
+            Similarity::jaccard_threshold(0.6),
+        ] {
+            let inst = figure2_instance(similarity);
+            for t in [figure2_t1(), figure2_t2(), CategoryTree::new()] {
+                let production = score_tree(&inst, &t);
+                let reference = score_tree_reference(&inst, &t);
+                assert_eq!(production, reference, "{:?}", similarity.kind);
+            }
+        }
     }
 
     #[test]

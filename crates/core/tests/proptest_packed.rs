@@ -1,0 +1,178 @@
+//! Differential property tests for the packed bitmap substrate: every
+//! [`PackedSet`] operation must agree with the scalar [`ItemSet`] reference
+//! *and* with a `BTreeSet` oracle on adversarial shapes (empty sets,
+//! singletons, dense contiguous runs, sparse power-law ids, ids at the top
+//! of the `u32` range), and [`classify_pair_packed`] must equal
+//! [`classify_pair`] across all six similarity variants and a δ grid.
+
+use std::collections::BTreeSet;
+
+use oct_core::conflict::{classify_pair, classify_pair_packed, intersecting_pairs};
+use oct_core::input::{InputSet, Instance};
+use oct_core::itemset::ItemSet;
+use oct_core::packed::PackedSet;
+use oct_core::similarity::Similarity;
+use proptest::prelude::*;
+
+/// Adversarial item-id vectors: the shapes that stress every container
+/// representation and the sparse↔dense transitions between them. The
+/// vendored proptest has no `prop_oneof`, so one tagged strategy derives
+/// each shape from shared raw draws.
+fn arb_items() -> impl Strategy<Value = Vec<u32>> {
+    (
+        0u32..7,
+        prop::collection::vec(0u32..4096, 0..60),
+        0u32..100_000,
+        1usize..400,
+    )
+        .prop_map(|(tag, raw, base, len)| match tag {
+            // Empty and singleton sets.
+            0 => Vec::new(),
+            1 => vec![base],
+            // Dense contiguous run: forces Dense containers, full words.
+            2 => (base..base + len as u32).collect(),
+            // Sparse spread-out ids: at most a couple per chunk.
+            3 => raw.iter().map(|&r| r * 83_003 + base).collect(),
+            // Clustered at chunk boundaries (multiples of 1024): ids land
+            // on the first/last slots of many containers.
+            4 => raw
+                .iter()
+                .map(|&r| (r % 64) * 1024 + if r % 2 == 0 { 0 } else { 1023 })
+                .collect(),
+            // Density straddling the sparse↔dense threshold of one chunk.
+            5 => (0..20 + raw.len() as u32)
+                .map(|i| (base % 1000) * 1024 + (i * 21) % 1024)
+                .collect(),
+            // Ids at the very top of the u32 range.
+            _ => raw.iter().map(|&r| u32::MAX - r).collect(),
+        })
+}
+
+fn oracle(items: &[u32]) -> BTreeSet<u32> {
+    items.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Three-way agreement on every set operation: PackedSet vs ItemSet vs
+    /// the BTreeSet oracle.
+    #[test]
+    fn packed_matches_scalar_and_oracle(a in arb_items(), b in arb_items()) {
+        let (sa, sb) = (oracle(&a), oracle(&b));
+        let (ia, ib) = (ItemSet::new(a.clone()), ItemSet::new(b.clone()));
+        let (pa, pb) = (PackedSet::from(&ia), PackedSet::from(&ib));
+
+        // Cardinality and membership.
+        prop_assert_eq!(pa.len(), sa.len());
+        prop_assert_eq!(pa.len(), ia.len());
+        prop_assert_eq!(pa.is_empty(), sa.is_empty());
+        for &x in sa.iter().take(50) {
+            prop_assert!(pa.contains(x));
+        }
+        for &x in sb.iter().take(50) {
+            prop_assert_eq!(pa.contains(x), sa.contains(&x));
+        }
+
+        // Binary operations against both references.
+        let inter_oracle = sa.intersection(&sb).count();
+        prop_assert_eq!(pa.intersection_size(&pb), inter_oracle);
+        prop_assert_eq!(ia.intersection_size(&ib), inter_oracle);
+        let union_oracle = sa.union(&sb).count();
+        prop_assert_eq!(pa.union_size(&pb), union_oracle);
+        prop_assert_eq!(ia.union_size(&ib), union_oracle);
+        prop_assert_eq!(pa.is_disjoint(&pb), inter_oracle == 0);
+        prop_assert_eq!(pa.is_subset_of(&pb), sa.is_subset(&sb));
+        prop_assert_eq!(pb.is_subset_of(&pa), sb.is_subset(&sa));
+        prop_assert_eq!(ia.is_subset_of(&ib), sa.is_subset(&sb));
+
+        let diff_oracle: Vec<u32> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(pa.difference(&pb).to_vec(), diff_oracle.clone());
+        let diff_scalar = ia.difference(&ib);
+        prop_assert_eq!(diff_scalar.as_slice(), &diff_oracle[..]);
+
+        // Iteration order and round-trips.
+        let sorted: Vec<u32> = sa.iter().copied().collect();
+        prop_assert_eq!(pa.to_vec(), sorted.clone());
+        prop_assert_eq!(pa.iter().collect::<Vec<u32>>(), sorted);
+        prop_assert_eq!(pa.to_itemset(), ia.clone());
+        prop_assert_eq!(PackedSet::from(&pa.to_itemset()), pa.clone());
+
+        // Canonical form: equal contents → equal values, both directions.
+        let rebuilt = PackedSet::from_sorted(ia.as_slice());
+        prop_assert_eq!(rebuilt, pa);
+    }
+
+    /// Difference results stay canonical: re-packing the materialized
+    /// difference yields the same `PackedSet` the direct call produced.
+    #[test]
+    fn difference_stays_canonical(a in arb_items(), b in arb_items()) {
+        let pa = PackedSet::from(&ItemSet::new(a));
+        let pb = PackedSet::from(&ItemSet::new(b));
+        let diff = pa.difference(&pb);
+        prop_assert_eq!(PackedSet::from_sorted(&diff.to_vec()), diff);
+    }
+}
+
+/// Instances with overlapping sets over a modest universe, so intersecting
+/// pairs (the classifier's domain) occur often.
+fn arb_instance(similarity: Similarity) -> impl Strategy<Value = Instance> {
+    let set = (0u32..12, 2usize..20).prop_flat_map(|(cluster, len)| {
+        let base = cluster * 24;
+        prop::collection::vec(base..base + 48, len)
+    });
+    prop::collection::vec((set, 1u32..6), 2..24).prop_map(move |raw| {
+        let sets: Vec<InputSet> = raw
+            .into_iter()
+            .map(|(items, w)| InputSet::new(ItemSet::new(items), w as f64))
+            .filter(|s| !s.items.is_empty())
+            .collect();
+        Instance::new(12 * 24 + 48, sets, similarity)
+    })
+}
+
+/// The six similarity variants at threshold `delta`.
+fn variants(delta: f64) -> [Similarity; 6] {
+    [
+        Similarity::jaccard_cutoff(delta),
+        Similarity::jaccard_threshold(delta),
+        Similarity::f1_cutoff(delta),
+        Similarity::f1_threshold(delta),
+        Similarity::perfect_recall(delta),
+        Similarity::exact(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `classify_pair_packed` ≡ `classify_pair` on every intersecting pair,
+    /// for all six variants and a δ grid covering loose to strict.
+    #[test]
+    fn classify_packed_equals_scalar_on_all_variants(
+        seed_instance in arb_instance(Similarity::exact()),
+        delta_idx in 0usize..7,
+    ) {
+        const DELTA_GRID: [f64; 7] = [0.05, 0.25, 0.50, 0.60, 0.75, 0.90, 0.99];
+        let delta = DELTA_GRID[delta_idx];
+        for similarity in variants(delta) {
+            let instance = Instance::new(
+                seed_instance.num_items,
+                seed_instance.sets.clone(),
+                similarity,
+            );
+            let packed = instance.packed_sets();
+            for pair in intersecting_pairs(&instance, 1) {
+                let (hi, lo) = (pair.hi as usize, pair.lo as usize);
+                let (inter, eff) = (pair.inter as usize, pair.eff_inter as usize);
+                let scalar = classify_pair(&instance, hi, lo, inter, eff);
+                let bitset = classify_pair_packed(&instance, hi, lo, inter, eff, &packed);
+                prop_assert_eq!(
+                    scalar, bitset,
+                    "variant {:?} δ={} pair ({hi},{lo})",
+                    similarity.kind, delta
+                );
+            }
+        }
+    }
+}

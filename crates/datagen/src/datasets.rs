@@ -305,7 +305,7 @@ mod tests {
         let ds = generate(DatasetName::A, 0.1, Similarity::jaccard_threshold(0.8));
         let index = ds.instance.inverted_index();
         let (mut once, mut multi) = (0usize, 0usize);
-        for sets in &index {
+        for (_, sets) in index.entries() {
             match sets.len() {
                 0 => {}
                 1 => once += 1,

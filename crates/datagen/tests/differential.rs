@@ -1,0 +1,118 @@
+//! Scalar-vs-packed differential suite on the generated datasets: the
+//! packed-bitmap substrate must be an invisible substitution. On small
+//! renditions of the paper's datasets A and B this proves
+//!
+//! * production tree scoring (CSR index + parallel aggregation) is
+//!   bit-identical to the naive scalar `ItemSet`-union reference scorer,
+//! * `intersecting_pairs` (CSR inverted-index co-occurrence counting)
+//!   matches brute-force scalar pair enumeration exactly, and
+//! * `classify_pair` and `classify_pair_packed` agree on every
+//!   intersecting pair for every similarity variant.
+
+use oct_core::baselines::{ic_q, BaselineConfig};
+use oct_core::conflict::{classify_pair, classify_pair_packed, intersecting_pairs};
+use oct_core::input::Instance;
+use oct_core::score::{score_tree, score_tree_reference};
+use oct_core::similarity::Similarity;
+use oct_datagen::{generate, DatasetName};
+
+/// The dataset grid: paper datasets A (Fashion, weighted) and B at small
+/// scale, under different variants so both arithmetic families are hit.
+fn grid() -> Vec<(DatasetName, f64, Similarity)> {
+    vec![
+        (DatasetName::A, 0.05, Similarity::jaccard_threshold(0.8)),
+        (DatasetName::A, 0.05, Similarity::exact()),
+        (DatasetName::B, 0.03, Similarity::f1_threshold(0.6)),
+        (DatasetName::B, 0.03, Similarity::perfect_recall(0.7)),
+    ]
+}
+
+#[test]
+fn production_scoring_is_bit_identical_to_reference() {
+    for (name, scale, similarity) in grid() {
+        let ds = generate(name, scale, similarity);
+        let result = ic_q(&ds.instance, &BaselineConfig::default());
+        let reference = score_tree_reference(&ds.instance, &result.tree);
+        let production = score_tree(&ds.instance, &result.tree);
+        assert_eq!(
+            production.total.to_bits(),
+            reference.total.to_bits(),
+            "{name:?}: total diverges: {} vs {}",
+            production.total,
+            reference.total
+        );
+        assert_eq!(
+            production.normalized.to_bits(),
+            reference.normalized.to_bits(),
+            "{name:?}: normalized diverges"
+        );
+        assert_eq!(production, reference, "{name:?}: full TreeScore diverges");
+    }
+}
+
+/// Brute-force scalar pair enumeration: every `i < j` with a non-empty
+/// intersection, ordered by rank, with bound-1 effective intersections.
+fn brute_force_pairs(instance: &Instance) -> Vec<(u32, u32, u32, u32)> {
+    let ranks = instance.ranks();
+    let n = instance.num_sets();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let qa = &instance.sets[i].items;
+            let qb = &instance.sets[j].items;
+            let shared = qa.intersection(qb);
+            if shared.is_empty() {
+                continue;
+            }
+            let eff = shared
+                .iter()
+                .filter(|&item| instance.bound_of(item) == 1)
+                .count() as u32;
+            let (hi, lo) = if ranks[i] < ranks[j] {
+                (i as u32, j as u32)
+            } else {
+                (j as u32, i as u32)
+            };
+            pairs.push((hi, lo, shared.len() as u32, eff));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn intersecting_pairs_match_brute_force_enumeration() {
+    for (name, scale, similarity) in grid() {
+        let ds = generate(name, scale, similarity);
+        let expected = brute_force_pairs(&ds.instance);
+        let actual: Vec<(u32, u32, u32, u32)> = intersecting_pairs(&ds.instance, 2)
+            .iter()
+            .map(|p| (p.hi, p.lo, p.inter, p.eff_inter))
+            .collect();
+        assert_eq!(
+            actual.len(),
+            expected.len(),
+            "{name:?}: pair count diverges"
+        );
+        assert_eq!(actual, expected, "{name:?}: pair list diverges");
+    }
+}
+
+#[test]
+fn pair_classification_agrees_across_substrates() {
+    for (name, scale, similarity) in grid() {
+        let ds = generate(name, scale, similarity);
+        let packed = ds.instance.packed_sets();
+        for pair in intersecting_pairs(&ds.instance, 1) {
+            let (hi, lo) = (pair.hi as usize, pair.lo as usize);
+            let (inter, eff) = (pair.inter as usize, pair.eff_inter as usize);
+            let scalar = classify_pair(&ds.instance, hi, lo, inter, eff);
+            let bitset = classify_pair_packed(&ds.instance, hi, lo, inter, eff, &packed);
+            assert_eq!(
+                scalar, bitset,
+                "{name:?} {:?}: pair ({hi},{lo}) classified differently",
+                similarity.kind
+            );
+        }
+    }
+}
