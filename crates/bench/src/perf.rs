@@ -1,9 +1,10 @@
 //! The `BENCH_*.json` perf suites: deterministic benchmarks over every hot
 //! path, schema-versioned trajectory files, and regression gating.
 //!
-//! One [`run_perf`] call times seven suites — conflict enumeration, MIS,
+//! One [`run_perf`] call times eight suites — conflict enumeration, MIS,
 //! NN-chain clustering, distance-matrix fill, tree scoring (serial vs
-//! parallel), persist round-trip, and `oct-serve` request serving through a
+//! parallel), persist round-trip, streaming incremental maintenance, and
+//! `oct-serve` request serving through a
 //! loopback load generator — each through the [`crate::measure`] primitives
 //! (warmup + repetitions, median + MAD). The result is a [`BenchReport`]
 //! that serializes to `BENCH_<git-rev>.json` at the repo root: one file per
@@ -49,8 +50,8 @@ use crate::runner::{self, RunnerConfig};
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// The suite prefixes every complete BENCH file must cover.
-pub const SUITES: [&str; 7] = [
-    "conflict", "mis", "cluster", "matrix", "score", "persist", "serve",
+pub const SUITES: [&str; 8] = [
+    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve",
 ];
 
 /// Knobs for one perf run.
@@ -385,7 +386,7 @@ pub fn env_fingerprint() -> BTreeMap<String, String> {
     .collect()
 }
 
-/// Runs all seven suites and assembles the report.
+/// Runs all eight suites and assembles the report.
 pub fn run_perf(config: &PerfConfig) -> BenchReport {
     let mut report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -571,6 +572,9 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
         .benchmarks
         .insert("persist/roundtrip".to_owned(), record);
 
+    // incr: streaming maintenance — warm delta apply vs from-scratch rerun.
+    incr_suite(config, &dataset, &mut report);
+
     // serve: loopback load generation against a real daemon.
     serve_suite(config, instance, &tree, &mut report);
 
@@ -579,6 +583,96 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
     report.pipeline = Some(pipeline);
 
     report
+}
+
+/// Runs the incr suite: replays the dataset's query log as a windowed
+/// delta stream, warms a [`StreamEngine`](oct_core::incremental::StreamEngine)
+/// on every batch but the last, then times applying the final batch against
+/// the warm caches vs rebuilding the same final state from scratch. The two
+/// trees are asserted bit-identical, so the record pair is both the
+/// incremental-speedup measurement and a standing differential check.
+///
+/// The stream runs the Exact variant (the `δ = 1` convergence point,
+/// paper §2.2) with the slack-aware cover-repair post-pass off: Exact is
+/// the conflict-dense regime where per-batch cost is dominated by pair
+/// enumeration plus packed nested-subset classification and the conflict
+/// MIS — the work the engine localizes — while the repair pass is a
+/// full-tree post-pass that costs the same on both sides (it has its own
+/// `ctcr/repair` span) and would only blur the maintenance delta this
+/// record exists to track.
+fn incr_suite(
+    config: &PerfConfig,
+    dataset: &oct_datagen::datasets::GeneratedDataset,
+    report: &mut BenchReport,
+) {
+    use oct_core::incremental::{StreamConfig, StreamEngine};
+    use oct_datagen::trends::{delta_batches, windowed, DeltaFeedConfig, RecencyScheme};
+
+    let window = windowed(&dataset.log, 30, 0.2, 7);
+    let feed = DeltaFeedConfig {
+        batches: 8,
+        scheme: RecencyScheme::RecentWindow { days: 14 },
+        ..DeltaFeedConfig::default()
+    };
+    let stream = delta_batches(&window, &feed).expect("the feed config is valid");
+    let stream_config = StreamConfig {
+        threads: 1,
+        repair: false,
+        ..StreamConfig::new(dataset.catalog.len() as u32, Similarity::exact())
+    };
+    let mut warm = StreamEngine::new(stream_config);
+    let (last, prefix) = stream.split_last().expect("batches >= 1");
+    for batch in prefix {
+        warm.apply_batch(batch).expect("generated batches are valid");
+    }
+
+    let spec = config.spec();
+    let (sample, outcome) = measure(spec, || {
+        let mut engine = warm.clone();
+        engine
+            .apply_batch(last)
+            .expect("generated batches are valid")
+    });
+    let s = outcome.stats;
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record.detail.insert("live_sets".to_owned(), s.live_sets as f64);
+    record
+        .detail
+        .insert("deltas".to_owned(), (s.upserts + s.retires) as f64);
+    record.detail.insert(
+        "reclassified_pairs".to_owned(),
+        s.reclassified_pairs as f64,
+    );
+    record
+        .detail
+        .insert("cached_pairs".to_owned(), s.cached_pairs as f64);
+    record.detail.insert(
+        "reused_components".to_owned(),
+        s.reused_components as f64,
+    );
+    report.benchmarks.insert("incr/apply_batch".to_owned(), record);
+
+    let mut full = warm.clone();
+    full.apply_batch(last).expect("generated batches are valid");
+    let (sample, rerun) = measure(spec, || full.batch_rerun());
+    assert_eq!(
+        persist::encode_tree(&outcome.tree).as_ref(),
+        persist::encode_tree(&rerun.tree).as_ref(),
+        "incremental apply must be bit-identical to a from-scratch rerun"
+    );
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record
+        .detail
+        .insert("live_sets".to_owned(), rerun.stats.live_sets as f64);
+    record.detail.insert(
+        "reclassified_pairs".to_owned(),
+        rerun.stats.reclassified_pairs as f64,
+    );
+    record.detail.insert(
+        "solved_components".to_owned(),
+        rerun.stats.solved_components as f64,
+    );
+    report.benchmarks.insert("incr/batch_rerun".to_owned(), record);
 }
 
 /// Runs the serve suite: boots an in-process daemon on a loopback port,

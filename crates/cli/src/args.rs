@@ -18,6 +18,11 @@ usage:
   octree serve   --tree FILE [--addr HOST:PORT] [--workers W] [--queue Q]
                  [--variant V] [--delta D] [--deadline-ms MS] [--metrics FILE]
   octree query   --send LINE [--addr HOST:PORT]
+  octree watch   --log FILE --items N [--variant V] [--delta D] [--days D]
+                 [--batches B] [--spike-fraction F] [--seed S]
+                 [--recent-days R] [--min-weight W] [--out FILE]
+                 [--addr HOST:PORT] [--checkpoint FILE] [--resume]
+                 [--metrics FILE] [--threads T]
   octree bench   [--scale S] [--threads T1,T2,...] [--reps R] [--warmup W]
                  [--out FILE] [--baseline FILE] [--gate PCT]
 
@@ -31,6 +36,11 @@ resume:   continue an interrupted build from --checkpoint-dir's checkpoint
 serve:    runs until SIGTERM/SIGINT or a SHUTDOWN request, then drains
 query:    sends one protocol line (e.g. 'CATEGORIZE 1,2,3') and prints the
           response
+watch:    replays the log as a windowed delta stream through the incremental
+          engine; every applied batch rewrites --out and, with --addr, SWAPs
+          it into a running daemon; with --checkpoint, kill -9 mid-stream
+          resumes bit-identically via --resume (same flags regenerate the
+          same feed)
 bench:    runs the deterministic perf suites (warmup + reps, median + MAD)
           and writes BENCH_<git-rev>.json (override with --out); with
           --baseline it prints a delta table against a previous BENCH file
@@ -142,6 +152,40 @@ pub enum Command {
         addr: String,
         /// The raw request line, e.g. `CATEGORIZE 1,2,3`.
         send: String,
+    },
+    /// Stream windowed query-log deltas through the incremental engine.
+    Watch {
+        /// Log path.
+        log: String,
+        /// Universe size.
+        items: u32,
+        /// Similarity variant + δ.
+        similarity: Similarity,
+        /// Trend-window length in days.
+        days: usize,
+        /// Number of delta batches the window is replayed as.
+        batches: usize,
+        /// Fraction of queries given spike/fade trends.
+        spike_fraction: f64,
+        /// Trend-simulation seed.
+        seed: u64,
+        /// Recency window (days) weights are computed over.
+        recent_days: usize,
+        /// Weight floor below which a set retires.
+        min_weight: f64,
+        /// Tree path rewritten after every batch (`None`: no tree output).
+        out: Option<String>,
+        /// Running daemon to SWAP each rebuilt tree into (`None`: no
+        /// publishing; requires `--out`).
+        addr: Option<String>,
+        /// Stream-checkpoint path (`None`: no crash recovery).
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint instead of starting fresh.
+        resume: bool,
+        /// Write the final telemetry report (JSON) to this path.
+        metrics: Option<String>,
+        /// Worker threads (0 = auto).
+        threads: usize,
     },
     /// Run the deterministic perf suites and write a BENCH file.
     Bench {
@@ -341,6 +385,72 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
             send: required(&flags, "send")?,
         }),
+        "watch" => {
+            let positive_usize = |name: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --{name} value {v:?} (need >= 1)"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let addr = flags.get("addr").cloned();
+            let out = flags.get("out").cloned();
+            if addr.is_some() && out.is_none() {
+                return Err("--addr needs --out (the daemon SWAPs the written tree)".to_owned());
+            }
+            if switches.contains("resume") && !flags.contains_key("checkpoint") {
+                return Err("--resume needs --checkpoint".to_owned());
+            }
+            Ok(Command::Watch {
+                log: required(&flags, "log")?,
+                items: items(&flags)?,
+                similarity: similarity(&flags)?,
+                days: positive_usize("days", 30)?,
+                batches: positive_usize("batches", 10)?,
+                spike_fraction: flags
+                    .get("spike-fraction")
+                    .map(|f| {
+                        f.parse::<f64>()
+                            .ok()
+                            .filter(|&f| (0.0..=1.0).contains(&f))
+                            .ok_or_else(|| {
+                                format!("bad --spike-fraction value {f:?} (need [0, 1])")
+                            })
+                    })
+                    .transpose()?
+                    .unwrap_or(0.2),
+                seed: flags
+                    .get("seed")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad --seed value {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(42),
+                recent_days: positive_usize("recent-days", 14)?,
+                min_weight: flags
+                    .get("min-weight")
+                    .map(|w| {
+                        w.parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w >= 0.0)
+                            .ok_or_else(|| format!("bad --min-weight value {w:?} (need >= 0)"))
+                    })
+                    .transpose()?
+                    .unwrap_or(1.0),
+                out,
+                addr,
+                checkpoint: flags.get("checkpoint").cloned(),
+                resume: switches.contains("resume"),
+                metrics: flags.get("metrics").cloned(),
+                threads: threads(&flags)?,
+            })
+        }
         "bench" => Ok(Command::Bench {
             scale: flags
                 .get("scale")
@@ -680,6 +790,90 @@ mod tests {
         assert!(parse(&argv("bench --threads 1,0")).is_err());
         assert!(parse(&argv("bench --reps 0")).is_err());
         assert!(parse(&argv("bench --gate -5")).is_err());
+    }
+
+    #[test]
+    fn parses_watch() {
+        let cmd = parse(&argv(
+            "watch --log q.tsv --items 200 --days 60 --batches 12 --spike-fraction 0.3 \
+             --seed 7 --recent-days 10 --min-weight 2.5 --out t.oct --addr 127.0.0.1:7171 \
+             --checkpoint s.ckpt --resume --metrics m.json --threads 2",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Watch {
+                log,
+                items,
+                days,
+                batches,
+                spike_fraction,
+                seed,
+                recent_days,
+                min_weight,
+                out,
+                addr,
+                checkpoint,
+                resume,
+                metrics,
+                threads,
+                ..
+            } => {
+                assert_eq!(log, "q.tsv");
+                assert_eq!(items, 200);
+                assert_eq!(days, 60);
+                assert_eq!(batches, 12);
+                assert_eq!(spike_fraction, 0.3);
+                assert_eq!(seed, 7);
+                assert_eq!(recent_days, 10);
+                assert_eq!(min_weight, 2.5);
+                assert_eq!(out.as_deref(), Some("t.oct"));
+                assert_eq!(addr.as_deref(), Some("127.0.0.1:7171"));
+                assert_eq!(checkpoint.as_deref(), Some("s.ckpt"));
+                assert!(resume);
+                assert_eq!(metrics.as_deref(), Some("m.json"));
+                assert_eq!(threads, 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults.
+        match parse(&argv("watch --log q.tsv --items 5")).expect("valid") {
+            Command::Watch {
+                days,
+                batches,
+                spike_fraction,
+                seed,
+                recent_days,
+                min_weight,
+                out,
+                addr,
+                checkpoint,
+                resume,
+                ..
+            } => {
+                assert_eq!(days, 30);
+                assert_eq!(batches, 10);
+                assert_eq!(spike_fraction, 0.2);
+                assert_eq!(seed, 42);
+                assert_eq!(recent_days, 14);
+                assert_eq!(min_weight, 1.0);
+                assert_eq!(out, None);
+                assert_eq!(addr, None);
+                assert_eq!(checkpoint, None);
+                assert!(!resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("watch --items 5")).is_err(), "missing --log");
+        assert!(parse(&argv("watch --log q --items 5 --batches 0")).is_err());
+        assert!(parse(&argv("watch --log q --items 5 --spike-fraction 2")).is_err());
+        assert!(
+            parse(&argv("watch --log q --items 5 --addr 127.0.0.1:1")).is_err(),
+            "--addr without --out"
+        );
+        assert!(
+            parse(&argv("watch --log q --items 5 --resume")).is_err(),
+            "--resume without --checkpoint"
+        );
     }
 
     #[test]

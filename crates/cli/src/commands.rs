@@ -103,6 +103,39 @@ pub fn run(command: Command) -> Result<(), String> {
             metrics_out: metrics.as_deref(),
         }),
         Command::Query { addr, send } => query(&addr, &send),
+        Command::Watch {
+            log,
+            items,
+            similarity,
+            days,
+            batches,
+            spike_fraction,
+            seed,
+            recent_days,
+            min_weight,
+            out,
+            addr,
+            checkpoint,
+            resume,
+            metrics,
+            threads,
+        } => watch(WatchArgs {
+            log_path: &log,
+            items,
+            similarity,
+            days,
+            batches,
+            spike_fraction,
+            seed,
+            recent_days,
+            min_weight,
+            out: out.as_deref(),
+            addr: addr.as_deref(),
+            checkpoint: checkpoint.as_deref(),
+            resume,
+            metrics_out: metrics.as_deref(),
+            threads,
+        }),
         Command::Bench {
             scale,
             threads,
@@ -210,6 +243,132 @@ fn fmt_bench(v: f64, unit: &str) -> String {
     } else {
         format!("{v:.1} {unit}")
     }
+}
+
+/// Everything `watch` needs, bundled like [`BuildArgs`].
+struct WatchArgs<'a> {
+    log_path: &'a str,
+    items: u32,
+    similarity: Similarity,
+    days: usize,
+    batches: usize,
+    spike_fraction: f64,
+    seed: u64,
+    recent_days: usize,
+    min_weight: f64,
+    out: Option<&'a str>,
+    addr: Option<&'a str>,
+    checkpoint: Option<&'a str>,
+    resume: bool,
+    metrics_out: Option<&'a str>,
+    threads: usize,
+}
+
+fn watch(args: WatchArgs) -> Result<(), String> {
+    use oct_core::incremental::{StreamConfig, StreamEngine};
+    use oct_datagen::trends::{delta_batches, windowed, DeltaFeedConfig, RecencyScheme};
+
+    let log = read_log(args.log_path)?;
+    // The feed is a pure function of (log, flags): a resumed process with
+    // the same flags regenerates the identical batches and replays from
+    // where the checkpoint left off.
+    let window = windowed(&log, args.days, args.spike_fraction, args.seed);
+    let feed = DeltaFeedConfig {
+        batches: args.batches,
+        scheme: RecencyScheme::RecentWindow {
+            days: args.recent_days,
+        },
+        min_weight: args.min_weight,
+        relevance: relevance_threshold(args.similarity.kind),
+        ..DeltaFeedConfig::default()
+    };
+    let stream = delta_batches(&window, &feed).map_err(|e| format!("delta feed: {e}"))?;
+    let metrics = Metrics::new(args.metrics_out.is_some());
+    let mut config = StreamConfig {
+        checkpoint: args.checkpoint.map(std::path::PathBuf::from),
+        metrics: metrics.clone(),
+        ..StreamConfig::new(args.items, args.similarity)
+    };
+    if args.threads >= 1 {
+        config.threads = args.threads;
+    }
+    let mut engine = if args.resume {
+        let (engine, restored) =
+            StreamEngine::resume(config).map_err(|e| format!("cannot resume: {e}"))?;
+        match restored {
+            Some(outcome) => out!(
+                "resumed at batch {} ({} live sets, score {:.3})",
+                outcome.applied_batches,
+                outcome.stats.live_sets,
+                outcome.score.normalized,
+            ),
+            None => out!("no checkpoint found — starting fresh"),
+        }
+        engine
+    } else {
+        StreamEngine::new(config)
+    };
+    let skip = engine.applied_batches() as usize;
+    if skip >= stream.len() {
+        out!("all {} batches already applied; nothing to do", stream.len());
+        if let Some(path) = args.metrics_out {
+            let report = metrics.report();
+            fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        return Ok(());
+    }
+    out!(
+        "streaming {} queries over {} days as {} delta batches ({} {:.2})",
+        log.queries.len(),
+        args.days,
+        stream.len(),
+        args.similarity.kind.name(),
+        args.similarity.delta,
+    );
+    for (i, batch) in stream.iter().enumerate().skip(skip) {
+        let outcome = engine
+            .apply_batch(batch)
+            .map_err(|e| format!("batch {}: {e}", i + 1))?;
+        let s = outcome.stats;
+        out!(
+            "batch {:>3}/{}: +{} -{} | {} live, {} selected | pairs {} fresh / {} cached | \
+             components {} ({} reused) | score {:.3}",
+            i + 1,
+            stream.len(),
+            s.upserts,
+            s.retires,
+            s.live_sets,
+            s.selected,
+            s.reclassified_pairs,
+            s.cached_pairs,
+            s.components,
+            s.reused_components,
+            outcome.score.normalized,
+        );
+        if let Some(path) = args.out {
+            let encoded = persist::encode_tree(&outcome.tree);
+            fs::write(path, &encoded).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if let Some(addr) = args.addr {
+                let request = oct_serve::Request::Swap {
+                    path: path.to_owned(),
+                };
+                let response = oct_serve::client::one_shot(addr, &request)
+                    .map_err(|e| format!("{addr}: {e}"))?;
+                match response {
+                    oct_serve::Response::Swapped { epoch, categories } => {
+                        out!("  published epoch {epoch} ({categories} categories)");
+                    }
+                    other => return Err(format!("{addr}: SWAP refused: {}", other.encode())),
+                }
+            }
+        }
+    }
+    if let Some(path) = args.metrics_out {
+        let report = metrics.report();
+        fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out!("wrote stream metrics to {path}");
+    }
+    Ok(())
 }
 
 /// Everything `serve` needs, bundled like [`BuildArgs`].
@@ -769,6 +928,54 @@ mod tests {
         build(args(log_str, dir_str, items, &degraded_str, Some(1), false))
             .expect("degraded build still completes");
         assert!(degraded_path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_streams_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("octree-watch-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir");
+        let log_path = dir.join("q.tsv");
+        let tree_path = dir.join("t.oct");
+        let ckpt_path = dir.join("s.ckpt");
+        let ds = generate(DatasetName::A, 0.01, Similarity::jaccard_threshold(0.8));
+        fs::write(&log_path, loader::write_query_log(&ds.log)).expect("write log");
+        fn args<'a>(
+            log_path: &'a str,
+            items: u32,
+            out: &'a str,
+            checkpoint: &'a str,
+            resume: bool,
+        ) -> WatchArgs<'a> {
+            WatchArgs {
+                log_path,
+                items,
+                similarity: Similarity::jaccard_threshold(0.8),
+                days: 20,
+                batches: 4,
+                spike_fraction: 0.3,
+                seed: 11,
+                recent_days: 7,
+                min_weight: 0.5,
+                out: Some(out),
+                addr: None,
+                checkpoint: Some(checkpoint),
+                resume,
+                metrics_out: None,
+                threads: 1,
+            }
+        }
+        let log_str = log_path.to_str().expect("utf8");
+        let tree_str = tree_path.to_str().expect("utf8");
+        let ckpt_str = ckpt_path.to_str().expect("utf8");
+        let items = ds.catalog.len() as u32;
+        watch(args(log_str, items, tree_str, ckpt_str, false)).expect("watch succeeds");
+        assert!(tree_path.exists(), "tree written after the last batch");
+        assert!(ckpt_path.exists(), "stream checkpoint persisted");
+        let first = fs::read(&tree_path).expect("tree bytes");
+        // Resuming a finished stream is a no-op that leaves the tree alone.
+        watch(args(log_str, items, tree_str, ckpt_str, true)).expect("resume succeeds");
+        assert_eq!(fs::read(&tree_path).expect("tree bytes"), first);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -296,22 +296,113 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     let mis_time = stage.elapsed();
     drop(stage);
 
-    // Stage 4: skeleton (lines 11-15).
-    let stage = run_span.child("skeleton");
-    let mut selected: Vec<u32> = mis
+    // Stages 4-8: shared with the incremental engine.
+    let selection: Vec<u32> = mis
         .vertices
         .iter()
         .copied()
         .filter(|s| !banned.contains(s))
         .collect();
-    selected.sort_by_key(|&s| analysis.ranks[s as usize]);
-    let mut tree = CategoryTree::new();
     let must = analysis.must_together_set();
-    let nestable = if config.nest_contained && !kind.requires_perfect_recall() {
-        analysis.nestable_set()
-    } else {
-        FxHashSet::default()
+    let nestable = analysis.nestable_set();
+    let ctx = SelectionContext {
+        ranks: &analysis.ranks,
+        must: &must,
+        nestable: &nestable,
     };
+    let stages = build_from_selection(instance, &ctx, &selection, config, &run_span);
+
+    let degraded = analysis.truncated
+        || mis.deadline_expired
+        || (config.budget.is_limited() && config.budget.expired());
+    if degraded {
+        metrics.mark_degraded();
+    }
+    let stats = CtcrStats {
+        conflicts2: analysis.conflicts2.len(),
+        conflicts3: analysis.conflicts3.len(),
+        mis_optimal: mis.optimal,
+        mis_weight: mis.weight,
+        selected: stages.selection.len(),
+        assign: stages.assign,
+        conflict_time,
+        mis_time,
+        assign_time: stages.assign_time,
+        intermediate_time: stages.intermediate_time,
+        condense_time: stages.condense_time,
+        score_time: stages.score_time,
+        total_time: run_span.elapsed(),
+        degraded,
+    };
+    CtcrResult {
+        tree: stages.tree,
+        targets: stages.targets,
+        selection: stages.selection,
+        set_parent: stages.set_parent,
+        stats,
+        score: stages.score,
+    }
+}
+
+/// The conflict structure stage 4 consults when parenting the skeleton:
+/// the instance ranking plus the must-together and nestable pair sets
+/// (pairs are `(hi, lo)` with `rank[hi] < rank[lo]`).
+pub(crate) struct SelectionContext<'a> {
+    /// `ranks[set] ∈ 0..n`, rank 0 = largest set.
+    pub ranks: &'a [u32],
+    /// Must-together pairs.
+    pub must: &'a FxHashSet<(u32, u32)>,
+    /// Nestable pairs; the `nest_contained` switch and the perfect-recall
+    /// exclusion are applied inside [`build_from_selection`], so callers
+    /// pass the raw analysis output.
+    pub nestable: &'a FxHashSet<(u32, u32)>,
+}
+
+/// Everything stages 4–8 produced for one selection.
+pub(crate) struct StagesOutput {
+    /// The finished tree (condensed, with `C_misc`).
+    pub tree: CategoryTree,
+    /// `(set, category)` pairs surviving condensing.
+    pub targets: Vec<(u32, CatId)>,
+    /// The selection sorted by rank — the category-creation order.
+    pub selection: Vec<u32>,
+    /// Branch parent among selected sets.
+    pub set_parent: FxHashMap<u32, u32>,
+    /// Item-assignment statistics.
+    pub assign: AssignStats,
+    /// Final score over the instance.
+    pub score: TreeScore,
+    /// Stage wall-clocks (sourced from children of `parent_span`).
+    pub assign_time: Duration,
+    /// See `assign_time`.
+    pub intermediate_time: Duration,
+    /// See `assign_time`.
+    pub condense_time: Duration,
+    /// See `assign_time`.
+    pub score_time: Duration,
+}
+
+/// Stages 4–8 of Algorithm 1 for an already-chosen conflict-free selection:
+/// skeleton, item assignment, intermediates, repair, condensing, `C_misc`,
+/// scoring. Deterministic in its inputs — both the batch pipeline and the
+/// incremental engine build trees through this one function, which is what
+/// makes their outputs bit-comparable.
+pub(crate) fn build_from_selection(
+    instance: &Instance,
+    ctx: &SelectionContext<'_>,
+    selection: &[u32],
+    config: &CtcrConfig,
+    parent_span: &oct_obs::Span<'_>,
+) -> StagesOutput {
+    let metrics = &config.metrics;
+    let kind = instance.similarity.kind;
+
+    // Stage 4: skeleton (lines 11-15).
+    let stage = parent_span.child("skeleton");
+    let mut selected: Vec<u32> = selection.to_vec();
+    selected.sort_by_key(|&s| ctx.ranks[s as usize]);
+    let mut tree = CategoryTree::new();
+    let nest = config.nest_contained && !kind.requires_perfect_recall();
     let mut cat_of: FxHashMap<u32, CatId> = FxHashMap::default();
     let mut set_parent: FxHashMap<u32, u32> = FxHashMap::default();
     for (pos, &q) in selected.iter().enumerate() {
@@ -320,7 +411,9 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
         let parent_set = selected[..pos]
             .iter()
             .rev()
-            .find(|&&p| must.contains(&(p, q)) || nestable.contains(&(p, q)))
+            .find(|&&p| {
+                ctx.must.contains(&(p, q)) || (nest && ctx.nestable.contains(&(p, q)))
+            })
             .copied();
         let parent = parent_set.map(|p| cat_of[&p]).unwrap_or(ROOT);
         if let Some(p) = parent_set {
@@ -337,14 +430,14 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     drop(stage);
 
     // Stage 5: item assignment (lines 16-20).
-    let stage = run_span.child("assign");
+    let stage = parent_span.child("assign");
     let greedy_duplicates = !kind.requires_perfect_recall();
     let assign_stats = assign_items(instance, &mut tree, &targets, greedy_duplicates);
     let assign_time = stage.elapsed();
     drop(stage);
 
     // Stage 6: intermediate categories (lines 21-23).
-    let stage = run_span.child("intermediate");
+    let stage = parent_span.child("intermediate");
     if greedy_duplicates && config.add_intermediates {
         add_intermediates_counted(
             instance,
@@ -358,12 +451,12 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
 
     // Extension: slack-aware cover repair (see `crate::repair`).
     if config.repair {
-        let _stage = run_span.child("repair");
+        let _stage = parent_span.child("repair");
         crate::repair::repair(instance, &mut tree);
     }
 
     // Stage 7: condensing (lines 24-25).
-    let stage = run_span.child("condense");
+    let stage = parent_span.child("condense");
     if kind != SimilarityKind::Exact {
         condense(instance, &mut tree);
     }
@@ -373,7 +466,7 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     // Stage 8: C_misc (line 26).
     tree.add_misc_category(instance.num_items);
 
-    let stage = run_span.child("score");
+    let stage = parent_span.child("score");
     let score_options = ScoreOptions {
         threads: config.threads,
         metrics: metrics.clone(),
@@ -382,40 +475,23 @@ fn run_attempt(instance: &Instance, config: &CtcrConfig, banned: &FxHashSet<u32>
     let score = score_tree_with(instance, &tree, &score_options);
     let score_time = stage.elapsed();
     drop(stage);
-    let degraded = analysis.truncated
-        || mis.deadline_expired
-        || (config.budget.is_limited() && config.budget.expired());
-    if degraded {
-        metrics.mark_degraded();
-    }
+
     let surviving_targets: Vec<(u32, CatId)> = targets
         .iter()
         .copied()
         .filter(|&(_, c)| !tree.is_removed(c))
         .collect();
-    let stats = CtcrStats {
-        conflicts2: analysis.conflicts2.len(),
-        conflicts3: analysis.conflicts3.len(),
-        mis_optimal: mis.optimal,
-        mis_weight: mis.weight,
-        selected: selected.len(),
-        assign: assign_stats,
-        conflict_time,
-        mis_time,
-        assign_time,
-        intermediate_time,
-        condense_time,
-        score_time,
-        total_time: run_span.elapsed(),
-        degraded,
-    };
-    CtcrResult {
+    StagesOutput {
         tree,
         targets: surviving_targets,
         selection: selected,
         set_parent,
-        stats,
+        assign: assign_stats,
         score,
+        assign_time,
+        intermediate_time,
+        condense_time,
+        score_time,
     }
 }
 

@@ -1,0 +1,963 @@
+//! Streaming incremental maintenance of a category tree (extension; see
+//! DESIGN.md §16).
+//!
+//! The batch pipeline ([`crate::ctcr`]) rebuilds everything from scratch on
+//! every run. Real query logs drift continuously: new queries appear, demand
+//! shifts, old queries die. This module maintains a tree under a stream of
+//! [`DeltaBatch`]es — upserts and retirements of input sets identified by a
+//! stable [`SetId`] — re-doing only the work a batch actually touches:
+//!
+//! 1. **Pair cache** — pair classifications ([`PairClass`]) are cached keyed
+//!    by `SetId` pair. A batch evicts entries touching changed sets and
+//!    re-classifies only pairs between a changed set and its partners
+//!    (discovered through the CSR inverted index); everything else is reused.
+//!    The `(hi, lo)` orientation is pairwise-stable — it depends only on the
+//!    two sets' sizes, weights, and ids — so cached entries stay valid while
+//!    both endpoints are unchanged, whatever else the batch did.
+//! 2. **Component solution cache** — the conflict graph is split into
+//!    connected components; each component's MWIS solution is cached under a
+//!    canonical signature (member ids, weights, edges). Components untouched
+//!    by the batch hit the cache and keep their previous selection verbatim;
+//!    touched components are re-solved by a *pure* per-component solver
+//!    (exact branch-and-reduce for small components, seeded
+//!    [`oct_mis::local::repair`] for large ones).
+//! 3. **Shared tree build** — stages 4–8 of Algorithm 1 run through the very
+//!    function the batch pipeline uses.
+//!
+//! Because every cache is a pure function of the accumulated set state, the
+//! incremental result is **bit-identical** to rebuilding from scratch over
+//! the same state (asserted by the differential suite) — the caches only
+//! save time, never change the answer. The engine's semantics match
+//! [`crate::ctcr::run`] with `use_three_conflicts = false` and no
+//! reemployment loop: conflicts are resolved on the pairwise conflict
+//! *graph*, which is what makes localized repair sound.
+//!
+//! Every applied batch atomically checkpoints the state (and nothing but the
+//! state — caches are re-derived on resume), so a `kill -9` mid-stream
+//! resumes bit-identically.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use oct_mis::{local, Graph, SolveBudget, Solver};
+use oct_obs::Metrics;
+
+use crate::conflict::{classify_pair, PairClass};
+use crate::ctcr::{build_from_selection, CtcrConfig, SelectionContext};
+use crate::input::{InputSet, Instance};
+use crate::persist::{self, StreamCheckpoint};
+use crate::score::TreeScore;
+use crate::similarity::{Similarity, EPS};
+use crate::tree::CategoryTree;
+use crate::util::{FxHashMap, FxHashSet};
+use crate::workflow::{atomic_write, clean_stray_temps};
+
+/// Stable identity of an input set across the stream. Instance indices
+/// shift as sets come and go; ids never do.
+pub type SetId = u64;
+
+/// One change to the accumulated input-set state.
+#[derive(Debug, Clone)]
+pub enum SetDelta {
+    /// Adds a new set or replaces the existing set with this id.
+    Upsert {
+        /// Stable identity of the set.
+        id: SetId,
+        /// The new content (items, weight, threshold, label).
+        set: InputSet,
+    },
+    /// Removes the set with this id from the instance.
+    Retire {
+        /// Stable identity of the set.
+        id: SetId,
+    },
+}
+
+impl SetDelta {
+    /// Shorthand for an upsert delta.
+    pub fn upsert(id: SetId, set: InputSet) -> Self {
+        SetDelta::Upsert { id, set }
+    }
+
+    /// Shorthand for a retire delta.
+    pub fn retire(id: SetId) -> Self {
+        SetDelta::Retire { id }
+    }
+
+    /// The id this delta touches.
+    pub fn id(&self) -> SetId {
+        match self {
+            SetDelta::Upsert { id, .. } | SetDelta::Retire { id } => *id,
+        }
+    }
+}
+
+/// A group of deltas applied (and checkpointed, and published) atomically.
+/// Deltas apply in order; a later delta for the same id wins.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    /// The changes of this batch.
+    pub deltas: Vec<SetDelta>,
+}
+
+impl DeltaBatch {
+    /// A batch over the given deltas.
+    pub fn new(deltas: Vec<SetDelta>) -> Self {
+        Self { deltas }
+    }
+
+    /// `true` when the batch contains no deltas.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+/// Failures of the streaming engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A delta carries data the instance cannot hold (bad weight, bad
+    /// threshold, out-of-universe item).
+    InvalidDelta(String),
+    /// A retire delta names an id that is not live.
+    UnknownSet(SetId),
+    /// Checkpoint I/O failed.
+    Io(String),
+    /// A checkpoint decoded but does not match this engine's configuration,
+    /// or failed to decode at all.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidDelta(msg) => write!(f, "invalid delta: {msg}"),
+            StreamError::UnknownSet(id) => write!(f, "retire of unknown set id {id}"),
+            StreamError::Io(msg) => write!(f, "checkpoint I/O: {msg}"),
+            StreamError::Corrupt(msg) => write!(f, "checkpoint unusable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Configuration of a [`StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Universe size; delta items must be `< num_items`.
+    pub num_items: u32,
+    /// Similarity variant and default threshold.
+    pub similarity: Similarity,
+    /// Worker threads for scoring.
+    pub threads: usize,
+    /// Stage 6 on/off (see [`CtcrConfig::add_intermediates`]).
+    pub add_intermediates: bool,
+    /// Slack-aware cover repair on/off (see [`CtcrConfig::repair`]).
+    pub repair: bool,
+    /// Nesting extension on/off (see [`CtcrConfig::nest_contained`]).
+    pub nest_contained: bool,
+    /// Components up to this many vertices are solved exactly (deterministic
+    /// node-budgeted branch-and-reduce); larger ones fall back to the
+    /// seeded local search of [`oct_mis::local::repair`].
+    pub exact_component_limit: usize,
+    /// Perturbation rounds for the local-search fallback.
+    pub local_search_rounds: usize,
+    /// When set, every applied batch writes an atomic checkpoint here and
+    /// [`StreamEngine::resume`] restores from it.
+    pub checkpoint: Option<PathBuf>,
+    /// Telemetry sink; records `incr/*` spans and counters.
+    pub metrics: Metrics,
+}
+
+impl StreamConfig {
+    /// A default configuration over the given universe and variant.
+    pub fn new(num_items: u32, similarity: Similarity) -> Self {
+        Self {
+            num_items,
+            similarity,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            add_intermediates: true,
+            repair: true,
+            nest_contained: true,
+            exact_component_limit: 24,
+            local_search_rounds: 50,
+            checkpoint: None,
+            metrics: Metrics::disabled(),
+        }
+    }
+}
+
+/// A cached pair classification. `hi`/`lo` record the rank orientation,
+/// which depends only on the two endpoint sets (size desc, weight asc,
+/// id asc) — never on third parties — so the entry is valid exactly while
+/// both endpoints are unchanged.
+#[derive(Debug, Clone, Copy)]
+struct CachedPair {
+    hi: SetId,
+    lo: SetId,
+    inter: u32,
+    class: PairClass,
+}
+
+/// Counters describing how much work one batch actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Upsert deltas applied.
+    pub upserts: usize,
+    /// Retire deltas applied.
+    pub retires: usize,
+    /// Live sets after the batch.
+    pub live_sets: usize,
+    /// Pairs (re-)classified this batch.
+    pub reclassified_pairs: usize,
+    /// Pairs whose cached classification was reused.
+    pub cached_pairs: usize,
+    /// 2-conflicts in the current conflict graph.
+    pub conflicts2: usize,
+    /// Connected components of the conflict graph.
+    pub components: usize,
+    /// Components whose previous solution was reused verbatim.
+    pub reused_components: usize,
+    /// Components re-solved this batch.
+    pub solved_components: usize,
+    /// Sets selected into the tree.
+    pub selected: usize,
+}
+
+/// The rebuilt tree after one batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Number of batches applied so far (the stream epoch).
+    pub applied_batches: u64,
+    /// The rebuilt category tree.
+    pub tree: CategoryTree,
+    /// Score of `tree` over the accumulated instance.
+    pub score: TreeScore,
+    /// Work counters for this batch.
+    pub stats: BatchStats,
+}
+
+/// The streaming engine: accumulated set state plus the two caches.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    config: StreamConfig,
+    sets: BTreeMap<SetId, InputSet>,
+    applied_batches: u64,
+    /// Pair classifications keyed by `(min_id, max_id)`.
+    pairs: FxHashMap<(SetId, SetId), CachedPair>,
+    /// Component signature → selected set ids.
+    components: FxHashMap<u64, Vec<SetId>>,
+}
+
+impl StreamEngine {
+    /// A fresh engine with no sets. Sweeps stray checkpoint temp files left
+    /// by crashed predecessors.
+    pub fn new(config: StreamConfig) -> Self {
+        if let Some(path) = &config.checkpoint {
+            clean_stray_temps(path);
+        }
+        Self {
+            config,
+            sets: BTreeMap::new(),
+            applied_batches: 0,
+            pairs: FxHashMap::default(),
+            components: FxHashMap::default(),
+        }
+    }
+
+    /// Restores an engine from `config.checkpoint`. Returns the engine and,
+    /// when a checkpoint existed, the rebuilt [`BatchOutcome`] for its state
+    /// (caches are re-derived — they are pure functions of the state, so
+    /// the rebuilt tree is bit-identical to the pre-crash one). With no
+    /// checkpoint file the engine starts fresh and the outcome is `None`.
+    ///
+    /// # Errors
+    /// [`StreamError::Corrupt`] when the file exists but cannot be decoded
+    /// or disagrees with `config` on universe or similarity;
+    /// [`StreamError::Io`] on read failure.
+    pub fn resume(config: StreamConfig) -> Result<(Self, Option<BatchOutcome>), StreamError> {
+        let Some(path) = config.checkpoint.clone() else {
+            return Ok((Self::new(config), None));
+        };
+        if !path.exists() {
+            return Ok((Self::new(config), None));
+        }
+        let raw = std::fs::read(&path)
+            .map_err(|e| StreamError::Io(format!("{}: {e}", path.display())))?;
+        let cp = persist::decode_stream_checkpoint(bytes::Bytes::from(raw))
+            .map_err(|e| StreamError::Corrupt(format!("{}: {e}", path.display())))?;
+        if cp.instance.num_items != config.num_items {
+            return Err(StreamError::Corrupt(format!(
+                "checkpoint universe {} != configured {}",
+                cp.instance.num_items, config.num_items
+            )));
+        }
+        if cp.instance.similarity.kind != config.similarity.kind
+            || cp.instance.similarity.delta != config.similarity.delta
+        {
+            return Err(StreamError::Corrupt(
+                "checkpoint similarity differs from configuration".into(),
+            ));
+        }
+        let mut engine = Self::new(config);
+        engine.applied_batches = cp.applied_batches;
+        engine.sets = cp
+            .ids
+            .iter()
+            .copied()
+            .zip(cp.instance.sets.iter().cloned())
+            .collect();
+        let outcome = engine.rebuild();
+        Ok((engine, Some(outcome)))
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Number of batches applied so far.
+    pub fn applied_batches(&self) -> u64 {
+        self.applied_batches
+    }
+
+    /// Number of live sets.
+    pub fn live_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when a set with this id is live.
+    pub fn contains(&self, id: SetId) -> bool {
+        self.sets.contains_key(&id)
+    }
+
+    /// The live ids, ascending.
+    pub fn ids(&self) -> Vec<SetId> {
+        self.sets.keys().copied().collect()
+    }
+
+    /// The accumulated state as a batch [`Instance`] (sets in ascending-id
+    /// order — the engine's canonical index order).
+    pub fn instance(&self) -> Instance {
+        Instance::new(
+            self.config.num_items,
+            self.sets.values().cloned().collect(),
+            self.config.similarity,
+        )
+    }
+
+    /// Applies one batch: updates the state, repairs the caches, rebuilds
+    /// the tree, and (when configured) writes an atomic checkpoint.
+    ///
+    /// Validation is all-or-nothing: on error the engine state is unchanged.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidDelta`] / [`StreamError::UnknownSet`] on bad
+    /// deltas; [`StreamError::Io`] when the checkpoint write fails (the
+    /// in-memory state *has* advanced in that case — retry or abort).
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<BatchOutcome, StreamError> {
+        // Validate the whole batch against (current ∪ in-batch) state before
+        // touching anything.
+        let mut present: FxHashSet<SetId> = self.sets.keys().copied().collect();
+        for delta in &batch.deltas {
+            match delta {
+                SetDelta::Upsert { id, set } => {
+                    validate_set(self.config.num_items, *id, set)?;
+                    present.insert(*id);
+                }
+                SetDelta::Retire { id } => {
+                    if !present.remove(id) {
+                        return Err(StreamError::UnknownSet(*id));
+                    }
+                }
+            }
+        }
+
+        let mut changed: FxHashSet<SetId> = FxHashSet::default();
+        let (mut upserts, mut retires) = (0usize, 0usize);
+        for delta in &batch.deltas {
+            match delta {
+                SetDelta::Upsert { id, set } => {
+                    self.sets.insert(*id, set.clone());
+                    upserts += 1;
+                }
+                SetDelta::Retire { id } => {
+                    self.sets.remove(id);
+                    retires += 1;
+                }
+            }
+            changed.insert(delta.id());
+        }
+        self.applied_batches += 1;
+        let outcome = self.rebuild_with(&changed, upserts, retires);
+        self.write_checkpoint()?;
+        Ok(outcome)
+    }
+
+    /// Rebuilds from the current state treating *every* pair as dirty —
+    /// used after [`StreamEngine::resume`] and by [`StreamEngine::batch_rerun`].
+    pub fn rebuild(&mut self) -> BatchOutcome {
+        self.pairs.clear();
+        self.components.clear();
+        let all: FxHashSet<SetId> = self.sets.keys().copied().collect();
+        self.rebuild_with(&all, 0, 0)
+    }
+
+    /// The from-scratch reference: clones the accumulated state into a fresh
+    /// engine (no caches, no checkpoint) and rebuilds. The differential
+    /// suite asserts this tree is byte-identical to the incremental one.
+    pub fn batch_rerun(&self) -> BatchOutcome {
+        let mut fresh = StreamEngine::new(StreamConfig {
+            checkpoint: None,
+            metrics: Metrics::disabled(),
+            ..self.config.clone()
+        });
+        fresh.sets = self.sets.clone();
+        fresh.applied_batches = self.applied_batches;
+        fresh.rebuild()
+    }
+
+    /// The shared rebuild: repair the pair cache around `changed`, re-derive
+    /// aggregates, solve the conflict graph component-wise with solution
+    /// reuse, and run stages 4–8.
+    fn rebuild_with(
+        &mut self,
+        changed: &FxHashSet<SetId>,
+        upserts: usize,
+        retires: usize,
+    ) -> BatchOutcome {
+        let metrics = self.config.metrics.clone();
+        let span = metrics.span("incr");
+        metrics.add("incr/upserts", upserts as u64);
+        metrics.add("incr/retires", retires as u64);
+
+        // Evict classifications touching changed sets; the rest stay valid
+        // (pairwise-stable orientation, unchanged endpoints).
+        self.pairs
+            .retain(|&(a, b), _| !changed.contains(&a) && !changed.contains(&b));
+
+        let ids: Vec<SetId> = self.sets.keys().copied().collect();
+        let instance = self.instance();
+        let idx_of: FxHashMap<SetId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+
+        // Re-classify pairs between changed sets and their partners. The
+        // inverted index makes this local: cost is proportional to the
+        // posting lists of the changed sets' items, not to |Q|².
+        let stage = span.child("classify");
+        let index = instance.inverted_index();
+        let mut dirty: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for (&id, _) in self.sets.iter().filter(|(id, _)| changed.contains(id)) {
+            let ci = idx_of[&id];
+            for item in instance.sets[ci as usize].items.iter() {
+                for &other in index.sets_of(item) {
+                    if other == ci {
+                        continue;
+                    }
+                    // A changed-changed pair is counted from its lower id
+                    // only.
+                    let other_id = ids[other as usize];
+                    if changed.contains(&other_id) && other_id < id {
+                        continue;
+                    }
+                    let key = (ci.min(other), ci.max(other));
+                    *dirty.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        let reclassified = dirty.len();
+        let cached = self.pairs.len();
+        for (&(a, b), &inter) in dirty.iter() {
+            let (hi, lo) = pair_orientation(&instance, a, b);
+            // The engine never raises item bounds, so eff_inter == inter.
+            let class =
+                classify_pair(&instance, hi as usize, lo as usize, inter as usize, inter as usize);
+            let (ida, idb) = (ids[a as usize], ids[b as usize]);
+            self.pairs.insert(
+                (ida.min(idb), ida.max(idb)),
+                CachedPair {
+                    hi: ids[hi as usize],
+                    lo: ids[lo as usize],
+                    inter,
+                    class,
+                },
+            );
+        }
+        metrics.add("incr/reclassified_pairs", reclassified as u64);
+        metrics.add("incr/cached_pairs", cached as u64);
+        drop(stage);
+
+        // Re-derive this batch's aggregates from the cache, in deterministic
+        // (hi, lo) index order — the same order the batch analyzer emits.
+        let mut entries: Vec<(u32, u32, u32, PairClass)> = self
+            .pairs
+            .values()
+            .map(|p| (idx_of[&p.hi], idx_of[&p.lo], p.inter, p.class))
+            .collect();
+        entries.sort_unstable_by_key(|&(hi, lo, _, _)| (hi, lo));
+        let mut conflicts2: Vec<(u32, u32)> = Vec::new();
+        let mut must: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut nestable: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for (hi, lo, inter, class) in entries {
+            if class.is_conflict() {
+                conflicts2.push((hi, lo));
+            } else if class.must_together() {
+                must.insert((hi, lo));
+            } else if class.can_together {
+                let lo_len = instance.sets[lo as usize].items.len();
+                if (inter as f64) + EPS >= 0.5 * lo_len as f64 {
+                    nestable.insert((hi, lo));
+                }
+            }
+        }
+
+        // Component-wise MWIS with solution reuse: untouched components keep
+        // their previous selection verbatim; the rest are re-solved by a
+        // pure function of the component, so reuse never changes the result.
+        let stage = span.child("mis");
+        let weights: Vec<f64> = instance.sets.iter().map(|s| s.weight).collect();
+        let graph = Graph::new(weights, &conflicts2);
+        let comps = graph.connected_components();
+        let num_components = comps.len();
+        let mut next_components: FxHashMap<u64, Vec<SetId>> = FxHashMap::default();
+        let mut selection_ids: Vec<SetId> = Vec::new();
+        let (mut reused, mut solved) = (0usize, 0usize);
+        for (members, sub) in comps {
+            let sig = component_signature(&ids, &members, &sub);
+            let selected: Vec<SetId> = match self.components.get(&sig) {
+                Some(prev) => {
+                    reused += 1;
+                    prev.clone()
+                }
+                None => {
+                    solved += 1;
+                    solve_component(
+                        &sub,
+                        self.config.exact_component_limit,
+                        self.config.local_search_rounds,
+                        sig,
+                    )
+                    .iter()
+                    .map(|&v| ids[members[v as usize] as usize])
+                    .collect()
+                }
+            };
+            selection_ids.extend(selected.iter().copied());
+            next_components.insert(sig, selected);
+        }
+        self.components = next_components;
+        metrics.add("incr/components_reused", reused as u64);
+        metrics.add("incr/components_solved", solved as u64);
+        drop(stage);
+
+        // Stages 4–8, shared with the batch pipeline.
+        let mut selection: Vec<u32> = selection_ids.iter().map(|id| idx_of[id]).collect();
+        selection.sort_unstable();
+        let ranks = instance.ranks();
+        let ctx = SelectionContext {
+            ranks: &ranks,
+            must: &must,
+            nestable: &nestable,
+        };
+        let ctcr_config = CtcrConfig {
+            threads: self.config.threads,
+            add_intermediates: self.config.add_intermediates,
+            repair: self.config.repair,
+            nest_contained: self.config.nest_contained,
+            metrics: metrics.clone(),
+            ..CtcrConfig::default()
+        };
+        let stages = build_from_selection(&instance, &ctx, &selection, &ctcr_config, &span);
+        metrics.gauge("incr/live_sets", ids.len() as f64);
+
+        let stats = BatchStats {
+            upserts,
+            retires,
+            live_sets: ids.len(),
+            reclassified_pairs: reclassified,
+            cached_pairs: cached,
+            conflicts2: conflicts2.len(),
+            components: num_components,
+            reused_components: reused,
+            solved_components: solved,
+            selected: stages.selection.len(),
+        };
+        BatchOutcome {
+            applied_batches: self.applied_batches,
+            tree: stages.tree,
+            score: stages.score,
+            stats,
+        }
+    }
+
+    /// Writes the state checkpoint (no-op without a configured path). Only
+    /// the state is persisted — the caches are re-derived on resume.
+    fn write_checkpoint(&self) -> Result<(), StreamError> {
+        let Some(path) = &self.config.checkpoint else {
+            return Ok(());
+        };
+        let cp = StreamCheckpoint {
+            applied_batches: self.applied_batches,
+            ids: self.ids(),
+            instance: self.instance(),
+        };
+        let encoded = persist::encode_stream_checkpoint(&cp);
+        atomic_write(path, &encoded)
+            .map_err(|e| StreamError::Io(format!("{}: {e}", path.display())))
+    }
+}
+
+/// Rejects set data the [`Instance`] constructor would panic on.
+fn validate_set(num_items: u32, id: SetId, set: &InputSet) -> Result<(), StreamError> {
+    if !(set.weight.is_finite() && set.weight >= 0.0) {
+        return Err(StreamError::InvalidDelta(format!(
+            "set {id}: invalid weight {}",
+            set.weight
+        )));
+    }
+    if let Some(t) = set.threshold {
+        if !(t > 0.0 && t <= 1.0 + EPS) {
+            return Err(StreamError::InvalidDelta(format!(
+                "set {id}: invalid threshold {t}"
+            )));
+        }
+    }
+    if let Some(&max) = set.items.as_slice().last() {
+        if max >= num_items {
+            return Err(StreamError::InvalidDelta(format!(
+                "set {id}: item {max} ≥ num_items {num_items}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Orients an intersecting index pair as `(hi, lo)` exactly like the global
+/// ranking ([`Instance::ranks`]): size descending, weight ascending, index
+/// ascending. Restricted to two sets the global comparator *is* this
+/// pairwise comparison, which is what makes cached orientations stable.
+fn pair_orientation(instance: &Instance, a: u32, b: u32) -> (u32, u32) {
+    let (sa, sb) = (&instance.sets[a as usize], &instance.sets[b as usize]);
+    let ord = sb
+        .items
+        .len()
+        .cmp(&sa.items.len())
+        .then(sa.weight.total_cmp(&sb.weight))
+        .then(a.cmp(&b));
+    if ord == std::cmp::Ordering::Less {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(h: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Canonical FNV-1a signature of one conflict-graph component: member ids,
+/// member weights (bit patterns), and local edges. Two equal signatures mean
+/// the component is untouched, so its previous solution — produced by a pure
+/// function of exactly this data — can be reused verbatim.
+fn component_signature(ids: &[SetId], members: &[u32], sub: &Graph) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_u64(&mut h, members.len() as u64);
+    for (local, &member) in members.iter().enumerate() {
+        fnv_u64(&mut h, ids[member as usize]);
+        fnv_u64(&mut h, sub.weight(local as u32).to_bits());
+    }
+    for v in 0..sub.len() as u32 {
+        for &u in sub.neighbors(v) {
+            if v < u {
+                fnv_u64(&mut h, ((v as u64) << 32) | u as u64);
+            }
+        }
+    }
+    h
+}
+
+/// The pure per-component MWIS solver: a deterministic function of the
+/// component alone (the signature seeds the local search), never of history.
+fn solve_component(sub: &Graph, exact_limit: usize, rounds: usize, sig: u64) -> Vec<u32> {
+    if sub.num_edges() == 0 {
+        // Conflict-free singleton: always selected.
+        return (0..sub.len() as u32).collect();
+    }
+    if sub.len() <= exact_limit {
+        // Default budget, unlimited wall: the node cutoff is deterministic.
+        Solver::new(SolveBudget::default()).solve_graph(sub).vertices
+    } else {
+        local::repair(sub, &[], rounds, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::ItemSet;
+    use crate::persist::encode_tree;
+
+    fn set(items: Vec<u32>, weight: f64) -> InputSet {
+        InputSet::new(ItemSet::new(items), weight)
+    }
+
+    fn scratch_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oct-incr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir.join(name)
+    }
+
+    fn config(num_items: u32) -> StreamConfig {
+        StreamConfig {
+            threads: 1,
+            ..StreamConfig::new(num_items, Similarity::jaccard_threshold(0.6))
+        }
+    }
+
+    /// Tree bytes — the equality notion of the differential suite.
+    fn tree_bytes(outcome: &BatchOutcome) -> Vec<u8> {
+        encode_tree(&outcome.tree).to_vec()
+    }
+
+    #[test]
+    fn incremental_matches_batch_rerun_over_a_delta_sequence() {
+        let mut engine = StreamEngine::new(config(30));
+        let batches = vec![
+            DeltaBatch::new(vec![
+                SetDelta::upsert(10, set((0..8).collect(), 3.0)),
+                SetDelta::upsert(11, set((5..12).collect(), 2.0)),
+                SetDelta::upsert(12, set((20..26).collect(), 1.0)),
+            ]),
+            // Update one set, add another in the same neighborhood.
+            DeltaBatch::new(vec![
+                SetDelta::upsert(11, set((6..14).collect(), 2.5)),
+                SetDelta::upsert(13, set(vec![0, 1, 2], 1.0)),
+            ]),
+            // Retire and re-add elsewhere.
+            DeltaBatch::new(vec![
+                SetDelta::retire(10),
+                SetDelta::upsert(14, set((24..30).collect(), 4.0)),
+            ]),
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            let incremental = engine.apply_batch(batch).expect("valid batch");
+            let rerun = engine.batch_rerun();
+            assert_eq!(
+                tree_bytes(&incremental),
+                tree_bytes(&rerun),
+                "batch {i}: incremental tree must be bit-identical to a from-scratch rebuild"
+            );
+            assert_eq!(incremental.score.total, rerun.score.total);
+            assert_eq!(incremental.applied_batches, i as u64 + 1);
+            assert!(incremental
+                .tree
+                .validate(&engine.instance())
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn untouched_components_and_pairs_are_reused() {
+        let mut engine = StreamEngine::new(config(40));
+        // Two independent clusters: items 0..10 and 20..30.
+        engine
+            .apply_batch(&DeltaBatch::new(vec![
+                SetDelta::upsert(1, set((0..6).collect(), 2.0)),
+                SetDelta::upsert(2, set((4..10).collect(), 1.0)),
+                SetDelta::upsert(3, set((20..26).collect(), 2.0)),
+                SetDelta::upsert(4, set((24..30).collect(), 1.0)),
+            ]))
+            .expect("seed batch");
+        // Touch only the second cluster.
+        let outcome = engine
+            .apply_batch(&DeltaBatch::new(vec![SetDelta::upsert(
+                4,
+                set((23..30).collect(), 1.5),
+            )]))
+            .expect("update batch");
+        assert!(
+            outcome.stats.reused_components >= 1,
+            "the untouched cluster's component must be reused: {:?}",
+            outcome.stats
+        );
+        assert!(
+            outcome.stats.cached_pairs >= 1,
+            "the untouched cluster's pair must stay cached: {:?}",
+            outcome.stats
+        );
+        // Only pairs touching set 4 were reclassified.
+        assert!(outcome.stats.reclassified_pairs <= 2);
+        assert_eq!(tree_bytes(&outcome), tree_bytes(&engine.batch_rerun()));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let path = scratch_path("resume.stream");
+        let _ = std::fs::remove_file(&path);
+        let cfg = StreamConfig {
+            checkpoint: Some(path.clone()),
+            ..config(20)
+        };
+        let mut engine = StreamEngine::new(cfg.clone());
+        engine
+            .apply_batch(&DeltaBatch::new(vec![
+                SetDelta::upsert(1, set((0..5).collect(), 1.0)),
+                SetDelta::upsert(2, set((3..9).collect(), 2.0)),
+            ]))
+            .expect("batch 1");
+        let before = engine
+            .apply_batch(&DeltaBatch::new(vec![SetDelta::upsert(
+                3,
+                set((10..15).collect(), 1.0),
+            )]))
+            .expect("batch 2");
+
+        // "kill -9": drop the engine; resume from the checkpoint file alone.
+        let (mut resumed, outcome) = StreamEngine::resume(cfg).expect("resume");
+        let outcome = outcome.expect("checkpoint existed");
+        assert_eq!(resumed.applied_batches(), 2);
+        assert_eq!(tree_bytes(&outcome), tree_bytes(&before));
+
+        // The stream continues identically on both engines.
+        let next = DeltaBatch::new(vec![SetDelta::retire(1)]);
+        let a = engine.apply_batch(&next).expect("original continues");
+        let b = resumed.apply_batch(&next).expect("resumed continues");
+        assert_eq!(tree_bytes(&a), tree_bytes(&b));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_starts_fresh() {
+        let path = scratch_path("absent.stream");
+        let _ = std::fs::remove_file(&path);
+        let cfg = StreamConfig {
+            checkpoint: Some(path),
+            ..config(10)
+        };
+        let (engine, outcome) = StreamEngine::resume(cfg).expect("fresh start");
+        assert!(outcome.is_none());
+        assert_eq!(engine.live_sets(), 0);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported() {
+        let path = scratch_path("corrupt.stream");
+        std::fs::write(&path, b"not a checkpoint").expect("write garbage");
+        let cfg = StreamConfig {
+            checkpoint: Some(path.clone()),
+            ..config(10)
+        };
+        let err = StreamEngine::resume(cfg).expect_err("garbage must not resume");
+        assert!(matches!(err, StreamError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_deltas_leave_state_untouched() {
+        let mut engine = StreamEngine::new(config(10));
+        engine
+            .apply_batch(&DeltaBatch::new(vec![SetDelta::upsert(
+                1,
+                set(vec![0, 1], 1.0),
+            )]))
+            .expect("seed");
+
+        let bad_weight = DeltaBatch::new(vec![SetDelta::upsert(2, set(vec![2], f64::NAN))]);
+        assert!(matches!(
+            engine.apply_batch(&bad_weight),
+            Err(StreamError::InvalidDelta(_))
+        ));
+        let out_of_universe = DeltaBatch::new(vec![SetDelta::upsert(2, set(vec![99], 1.0))]);
+        assert!(matches!(
+            engine.apply_batch(&out_of_universe),
+            Err(StreamError::InvalidDelta(_))
+        ));
+        let unknown_retire = DeltaBatch::new(vec![SetDelta::retire(42)]);
+        assert!(matches!(
+            engine.apply_batch(&unknown_retire),
+            Err(StreamError::UnknownSet(42))
+        ));
+        // A bad delta later in a batch rejects the whole batch.
+        let mixed = DeltaBatch::new(vec![
+            SetDelta::upsert(5, set(vec![3], 1.0)),
+            SetDelta::retire(42),
+        ]);
+        assert!(engine.apply_batch(&mixed).is_err());
+        assert!(!engine.contains(5), "rejected batch must not half-apply");
+        assert_eq!(engine.live_sets(), 1);
+        assert_eq!(engine.applied_batches(), 1);
+    }
+
+    #[test]
+    fn retire_of_same_batch_upsert_is_legal() {
+        let mut engine = StreamEngine::new(config(10));
+        let outcome = engine
+            .apply_batch(&DeltaBatch::new(vec![
+                SetDelta::upsert(7, set(vec![0, 1], 1.0)),
+                SetDelta::retire(7),
+            ]))
+            .expect("upsert-then-retire in one batch");
+        assert_eq!(outcome.stats.live_sets, 0);
+        assert_eq!(tree_bytes(&outcome), tree_bytes(&engine.batch_rerun()));
+    }
+
+    #[test]
+    fn empty_engine_builds_the_trivial_tree() {
+        let mut engine = StreamEngine::new(config(5));
+        let outcome = engine.rebuild();
+        assert_eq!(outcome.score.total, 0.0);
+        assert!(outcome.tree.validate(&engine.instance()).is_ok());
+    }
+
+    #[test]
+    fn metrics_record_incremental_spans_and_counters() {
+        let metrics = Metrics::enabled();
+        let mut engine = StreamEngine::new(StreamConfig {
+            metrics: metrics.clone(),
+            ..config(20)
+        });
+        engine
+            .apply_batch(&DeltaBatch::new(vec![
+                SetDelta::upsert(1, set((0..5).collect(), 1.0)),
+                SetDelta::upsert(2, set((3..9).collect(), 2.0)),
+            ]))
+            .expect("batch");
+        let report = metrics.report();
+        for span in ["incr", "incr/classify", "incr/mis", "incr/skeleton", "incr/score"] {
+            assert!(report.span(span).is_some(), "missing span {span}");
+        }
+        assert_eq!(report.counter("incr/upserts"), Some(2));
+        assert!(report.counter("incr/reclassified_pairs").is_some());
+        assert!(report.counter("incr/components_solved").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn exact_variant_stream_matches_rerun() {
+        let mut engine = StreamEngine::new(StreamConfig {
+            threads: 1,
+            ..StreamConfig::new(12, Similarity::exact())
+        });
+        engine
+            .apply_batch(&DeltaBatch::new(vec![
+                SetDelta::upsert(1, set(vec![0, 1, 2, 3], 2.0)),
+                SetDelta::upsert(2, set(vec![0, 1], 1.0)),
+                SetDelta::upsert(3, set(vec![2, 3, 4], 1.5)),
+            ]))
+            .expect("seed");
+        let outcome = engine
+            .apply_batch(&DeltaBatch::new(vec![SetDelta::upsert(
+                2,
+                set(vec![0, 1, 4], 1.2),
+            )]))
+            .expect("update");
+        assert_eq!(tree_bytes(&outcome), tree_bytes(&engine.batch_rerun()));
+    }
+}

@@ -37,6 +37,8 @@
 //! * [`cct`] — the clustering-based algorithm (§4);
 //! * [`baselines`] — the IC-S / IC-Q comparison algorithms (§5.2);
 //! * [`update`] — continual conservative updates (§2.3);
+//! * [`incremental`] — streaming maintenance under query-log deltas with
+//!   localized conflict/MIS repair (extension, see DESIGN.md §16);
 //! * [`labeling`] / [`navigation`] — the taxonomist aids of §2.3;
 //! * [`workflow`] — the human-in-the-loop reemployment loop of §5.4;
 //! * [`repair`] — a slack-aware cover-repair stage (extension, see DESIGN.md);
@@ -52,6 +54,7 @@ pub mod conflict;
 pub mod ctcr;
 pub mod dot;
 pub mod facets;
+pub mod incremental;
 pub mod input;
 pub mod itemset;
 pub mod labeling;
@@ -84,6 +87,9 @@ pub mod prelude {
     pub use crate::ctcr::{self, CtcrConfig};
     pub use crate::dot;
     pub use crate::facets;
+    pub use crate::incremental::{
+        self, BatchOutcome, DeltaBatch, SetDelta, SetId, StreamConfig, StreamEngine,
+    };
     pub use crate::input::{InputSet, Instance};
     pub use crate::itemset::{ItemId, ItemSet};
     pub use crate::labeling;

@@ -30,6 +30,7 @@ const FORMAT_VERSION: u8 = 2;
 const TAG_TREE: u8 = 1;
 const TAG_INSTANCE: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
+const TAG_STREAM: u8 = 4;
 
 /// Bytes of fixed framing around every record: magic + version + tag up
 /// front, checksum footer at the end.
@@ -479,6 +480,65 @@ pub fn decode_checkpoint(buf: Bytes) -> Result<Checkpoint, DecodeError> {
     })
 }
 
+/// A resumable snapshot of the streaming engine
+/// (`incremental::StreamEngine`), taken after every applied delta batch.
+///
+/// Only the *accumulated state* is stored — the applied-batch count, the
+/// stable set ids, and the materialized instance in id order. The engine's
+/// pair-classification and component-solution caches are deliberately not
+/// persisted: they are pure functions of the state and are re-derived
+/// bit-identically on resume, exactly like [`Checkpoint`] re-derives its
+/// best tree.
+#[derive(Debug, Clone)]
+pub struct StreamCheckpoint {
+    /// Delta batches fully applied so far.
+    pub applied_batches: u64,
+    /// The stable id of every live set, strictly ascending; `ids[i]` labels
+    /// `instance.sets[i]`.
+    pub ids: Vec<u64>,
+    /// The accumulated input sets in id order.
+    pub instance: Instance,
+}
+
+/// Encodes a streaming-engine checkpoint.
+pub fn encode_stream_checkpoint(cp: &StreamCheckpoint) -> Bytes {
+    let mut buf = header(TAG_STREAM);
+    buf.put_u64_le(cp.applied_batches);
+    buf.put_u32_le(cp.ids.len() as u32);
+    for &id in &cp.ids {
+        buf.put_u64_le(id);
+    }
+    encode_instance_payload(&cp.instance, &mut buf);
+    seal(buf)
+}
+
+/// Decodes a streaming-engine checkpoint produced by
+/// [`encode_stream_checkpoint`].
+pub fn decode_stream_checkpoint(buf: Bytes) -> Result<StreamCheckpoint, DecodeError> {
+    let mut buf = open(&buf, TAG_STREAM)?;
+    need(&buf, 8 + 4)?;
+    let applied_batches = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    plausible(&buf, count, 8)?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 8)?;
+        ids.push(buf.get_u64_le());
+    }
+    if !ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(DecodeError::Inconsistent("set ids not strictly ascending"));
+    }
+    let instance = decode_instance_payload(&mut buf)?;
+    if ids.len() != instance.sets.len() {
+        return Err(DecodeError::Inconsistent("id count != set count"));
+    }
+    Ok(StreamCheckpoint {
+        applied_batches,
+        ids,
+        instance,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +635,62 @@ mod tests {
             decoded.current_instance.threshold_of(1),
             cp.current_instance.threshold_of(1)
         );
+    }
+
+    fn sample_stream_checkpoint() -> StreamCheckpoint {
+        StreamCheckpoint {
+            applied_batches: 7,
+            ids: vec![3, 9, 40, 41],
+            instance: figure2_instance(Similarity::jaccard_threshold(0.6)),
+        }
+    }
+
+    #[test]
+    fn stream_checkpoint_roundtrip_preserves_everything() {
+        let cp = sample_stream_checkpoint();
+        let decoded =
+            decode_stream_checkpoint(encode_stream_checkpoint(&cp)).expect("roundtrip");
+        assert_eq!(decoded.applied_batches, 7);
+        assert_eq!(decoded.ids, cp.ids);
+        assert_eq!(decoded.instance.num_sets(), cp.instance.num_sets());
+        for (a, b) in decoded.instance.sets.iter().zip(&cp.instance.sets) {
+            assert_eq!(a.items, b.items);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn stream_checkpoint_rejects_inconsistencies() {
+        // Unsorted / duplicate ids.
+        let mut cp = sample_stream_checkpoint();
+        cp.ids = vec![3, 3, 40, 41];
+        assert!(matches!(
+            decode_stream_checkpoint(encode_stream_checkpoint(&cp)),
+            Err(DecodeError::Inconsistent(_))
+        ));
+        // Id count disagreeing with the set count.
+        let mut cp = sample_stream_checkpoint();
+        cp.ids.pop();
+        assert!(matches!(
+            decode_stream_checkpoint(encode_stream_checkpoint(&cp)),
+            Err(DecodeError::Inconsistent(_))
+        ));
+        // Wrong tag.
+        assert!(matches!(
+            decode_stream_checkpoint(encode_checkpoint(&sample_checkpoint())),
+            Err(DecodeError::WrongTag {
+                expected: 4,
+                found: 3
+            })
+        ));
+        // Truncation at every cut never panics.
+        let encoded = encode_stream_checkpoint(&sample_stream_checkpoint());
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_stream_checkpoint(encoded.slice(0..cut)).is_err(),
+                "cut at {cut} should fail cleanly"
+            );
+        }
     }
 
     #[test]

@@ -205,20 +205,67 @@ fn read_checkpoint(path: &Path) -> Result<Option<Checkpoint>, WorkflowError> {
     Ok(Some(persist::decode_checkpoint(bytes::Bytes::from(raw))?))
 }
 
-/// Writes a checkpoint atomically: temp file in the same directory, then
-/// rename — a crash mid-write leaves the previous checkpoint intact.
+/// Monotonic discriminator for temp-file names within one process; paired
+/// with the pid it makes concurrent writers (threads *and* processes
+/// sharing a checkpoint dir) use distinct temp files.
+static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: a uniquely-named temp file in the
+/// same directory, then rename — a crash mid-write leaves the previous file
+/// intact, and concurrent writers never stomp each other's temp file (the
+/// name carries pid + a process-wide sequence number). On any failure the
+/// temp file is removed so crashes cannot strand it.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.{seq}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+}
+
+/// Removes stale `<file>.*.tmp` leftovers next to `path` — a writer killed
+/// between `write` and `rename` strands its uniquely-named temp file, and
+/// nothing else will ever reference it. Call on startup, before writing.
+/// Best-effort: I/O errors (unreadable dir, races with other cleaners) are
+/// ignored.
+pub(crate) fn clean_stray_temps(path: &Path) {
+    let (Some(dir), Some(file_name)) = (path.parent(), path.file_name()) else {
+        return;
+    };
+    let prefix = {
+        let mut p = file_name.to_os_string();
+        p.push(".");
+        p
+    };
+    let Ok(entries) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    }) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(prefix) = prefix.to_str() else { return };
+        if name.starts_with(prefix) && name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Writes a checkpoint atomically via [`atomic_write`].
 fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), WorkflowError> {
     let mut encoded = persist::encode_checkpoint(cp).to_vec();
     // Fail point: a torn write that persists only half the checkpoint.
     if faults::fire("checkpoint/truncate") {
         encoded.truncate(encoded.len() / 2);
     }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &encoded)
-        .and_then(|()| std::fs::rename(&tmp, path))
-        .map_err(|e| WorkflowError::Io(format!("{}: {e}", path.display())))
+    atomic_write(path, &encoded).map_err(|e| WorkflowError::Io(format!("{}: {e}", path.display())))
 }
 
 /// [`iterate`] with durable progress: after every completed CTCR round the
@@ -253,6 +300,12 @@ pub fn iterate_with_checkpoints(
     let mut trace: Vec<IterationTrace> = Vec::new();
     let mut start_round = 0usize;
     let mut finished = false;
+
+    if let Some(path) = checkpoint_path {
+        // A previous writer killed mid-write strands its temp file forever
+        // (unique names mean nobody will rename over it) — sweep them now.
+        clean_stray_temps(path);
+    }
 
     if resume {
         if let Some(path) = checkpoint_path {
@@ -711,6 +764,87 @@ mod tests {
             Some(1)
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_checkpoint_writers_use_distinct_temp_names() {
+        // Regression: the old fixed `<path>.tmp` name let two runs sharing
+        // a checkpoint dir write/rename over each other's temp file,
+        // leaving a torn checkpoint behind. With unique names every
+        // concurrent writer lands a complete, decodable checkpoint.
+        let _guard = faults::serial_guard();
+        let dir = std::env::temp_dir().join(format!("oct-ckpt-conc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let instance = crossing_instance();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let path = dir.join(format!("run{worker}.ckpt"));
+                let instance = &instance;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        iterate_with_checkpoints(
+                            instance,
+                            &CtcrConfig::default(),
+                            2,
+                            0.5,
+                            Some(&path),
+                            false,
+                        )
+                        .expect("checkpointed run succeeds");
+                    }
+                });
+            }
+        });
+        for worker in 0..4 {
+            let path = dir.join(format!("run{worker}.ckpt"));
+            let raw = std::fs::read(&path).expect("checkpoint exists");
+            persist::decode_checkpoint(bytes::Bytes::from(raw)).expect("checkpoint decodes");
+        }
+        // No writer leaked a temp file.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "leaked temp files: {strays:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_temp_files_are_swept_on_startup() {
+        // Regression: a crash between write and rename used to strand
+        // `<path>.tmp` forever. Startup now sweeps anything matching
+        // `<file>.*.tmp` — both the legacy fixed name and unique names
+        // from dead pids — while leaving unrelated files alone.
+        let _guard = faults::serial_guard();
+        let dir = std::env::temp_dir().join(format!("oct-ckpt-stray-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("build.ckpt");
+        let legacy = dir.join("build.ckpt.tmp");
+        let unique = dir.join("build.ckpt.99999.3.tmp");
+        let unrelated = dir.join("other.ckpt.tmp");
+        std::fs::write(&legacy, b"torn").unwrap();
+        std::fs::write(&unique, b"torn").unwrap();
+        std::fs::write(&unrelated, b"torn").unwrap();
+
+        let instance = crossing_instance();
+        iterate_with_checkpoints(
+            &instance,
+            &CtcrConfig::default(),
+            1,
+            0.5,
+            Some(&path),
+            false,
+        )
+        .unwrap();
+        assert!(!legacy.exists(), "legacy fixed-name stray must be swept");
+        assert!(!unique.exists(), "dead-pid unique stray must be swept");
+        assert!(
+            unrelated.exists(),
+            "strays of other checkpoint files are not ours to sweep"
+        );
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

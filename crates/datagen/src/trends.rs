@@ -7,6 +7,8 @@
 //! memorabilia example. This module models a per-day submission series per
 //! query and derives weights under pluggable recency schemes.
 
+use oct_core::incremental::{DeltaBatch, SetDelta, SetId};
+use oct_core::{InputSet, ItemSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,14 +33,64 @@ pub enum RecencyScheme {
     /// weight `half_life`-halving toward the past.
     ExponentialDecay {
         /// Days after which a count's influence halves (looking backwards
-        /// from the most recent day).
+        /// from the most recent day). Must be positive and finite.
         half_life: f64,
     },
     /// Only the most recent `days` count (hard window).
     RecentWindow {
-        /// Number of trailing days.
+        /// Number of trailing days; must be ≥ 1.
         days: usize,
     },
+}
+
+/// A recency scheme whose parameters make it meaningless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrendError {
+    /// `ExponentialDecay` with a zero, negative, or non-finite half-life.
+    InvalidHalfLife(f64),
+    /// `RecentWindow { days: 0 }` — an empty window has no mean.
+    EmptyRecentWindow,
+    /// A delta feed with zero batches.
+    NoBatches,
+}
+
+impl std::fmt::Display for TrendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrendError::InvalidHalfLife(v) => {
+                write!(f, "half_life must be positive and finite, got {v}")
+            }
+            TrendError::EmptyRecentWindow => {
+                write!(f, "RecentWindow needs at least one trailing day")
+            }
+            TrendError::NoBatches => write!(f, "delta feed needs at least one batch"),
+        }
+    }
+}
+
+impl std::error::Error for TrendError {}
+
+impl RecencyScheme {
+    /// Rejects parameterizations with no sensible weighting: a zero,
+    /// negative, or non-finite half-life (which the weighting would
+    /// otherwise silently clamp) and an empty recent window.
+    ///
+    /// # Errors
+    /// [`TrendError::InvalidHalfLife`] / [`TrendError::EmptyRecentWindow`].
+    pub fn validate(self) -> Result<(), TrendError> {
+        match self {
+            RecencyScheme::Uniform => Ok(()),
+            RecencyScheme::ExponentialDecay { half_life } => {
+                if half_life.is_finite() && half_life > 0.0 {
+                    Ok(())
+                } else {
+                    Err(TrendError::InvalidHalfLife(half_life))
+                }
+            }
+            RecencyScheme::RecentWindow { days: 0 } => Err(TrendError::EmptyRecentWindow),
+            RecencyScheme::RecentWindow { .. } => Ok(()),
+        }
+    }
 }
 
 /// Temporal shapes a query's demand can follow.
@@ -116,60 +168,200 @@ impl WindowedLog {
     }
 
     /// Derives per-query weights under `scheme`.
-    pub fn weights(&self, scheme: RecencyScheme) -> Vec<f64> {
-        let days = self.days().max(1);
-        self.counts
+    ///
+    /// # Errors
+    /// Rejects invalid scheme parameters (see [`RecencyScheme::validate`])
+    /// instead of silently clamping them.
+    pub fn weights(&self, scheme: RecencyScheme) -> Result<Vec<f64>, TrendError> {
+        scheme.validate()?;
+        Ok(self
+            .counts
             .iter()
-            .map(|series| match scheme {
-                RecencyScheme::Uniform => series.iter().sum::<f64>() / days as f64,
-                RecencyScheme::ExponentialDecay { half_life } => {
-                    let mut num = 0.0;
-                    let mut den = 0.0;
-                    for (d, &v) in series.iter().enumerate() {
-                        let age = (days - 1 - d) as f64;
-                        let w = 0.5f64.powf(age / half_life.max(1e-9));
-                        num += w * v;
-                        den += w;
-                    }
-                    if den > 0.0 {
-                        num / den
-                    } else {
-                        0.0
-                    }
-                }
-                RecencyScheme::RecentWindow { days: recent } => {
-                    let take = recent.clamp(1, days);
-                    let tail = &series[days - take..];
-                    tail.iter().sum::<f64>() / take as f64
-                }
-            })
-            .collect()
+            .map(|series| series_weight(series, scheme))
+            .collect())
     }
 
     /// Re-weights the log in place under `scheme` and returns it.
-    pub fn reweighted(&self, scheme: RecencyScheme) -> QueryLog {
-        let weights = self.weights(scheme);
+    ///
+    /// # Errors
+    /// Propagates [`TrendError`] for invalid scheme parameters.
+    pub fn reweighted(&self, scheme: RecencyScheme) -> Result<QueryLog, TrendError> {
+        let weights = self.weights(scheme)?;
         let mut log = self.log.clone();
         for (q, w) in log.queries.iter_mut().zip(weights) {
             q.daily_frequency = w;
         }
-        log
+        Ok(log)
     }
 
     /// Indices of queries whose recency-weighted demand exceeds their
     /// uniform demand by `factor` — breaking-trend candidates the
     /// taxonomists should look at (§5.4's Kobe detection).
-    pub fn breaking_trends(&self, scheme: RecencyScheme, factor: f64) -> Vec<usize> {
-        let uniform = self.weights(RecencyScheme::Uniform);
-        let recent = self.weights(scheme);
-        uniform
+    ///
+    /// # Errors
+    /// Propagates [`TrendError`] for invalid scheme parameters.
+    pub fn breaking_trends(
+        &self,
+        scheme: RecencyScheme,
+        factor: f64,
+    ) -> Result<Vec<usize>, TrendError> {
+        let uniform = self.weights(RecencyScheme::Uniform)?;
+        let recent = self.weights(scheme)?;
+        Ok(uniform
             .iter()
             .zip(&recent)
             .enumerate()
             .filter(|(_, (&u, &r))| u > 0.0 && r / u >= factor)
             .map(|(i, _)| i)
-            .collect()
+            .collect())
     }
+}
+
+/// Weight of one (possibly prefix-truncated) daily series under `scheme`
+/// (pre-validated). The last element plays "today": decay ages backwards
+/// from it and the recent window is its trailing slice — which is what lets
+/// [`delta_batches`] reuse this on revealed prefixes.
+fn series_weight(series: &[f64], scheme: RecencyScheme) -> f64 {
+    let days = series.len();
+    if days == 0 {
+        return 0.0;
+    }
+    match scheme {
+        RecencyScheme::Uniform => series.iter().sum::<f64>() / days as f64,
+        RecencyScheme::ExponentialDecay { half_life } => {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (d, &v) in series.iter().enumerate() {
+                let age = (days - 1 - d) as f64;
+                let w = 0.5f64.powf(age / half_life);
+                num += w * v;
+                den += w;
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        }
+        RecencyScheme::RecentWindow { days: recent } => {
+            // A window longer than the data saturates to the whole series;
+            // recent ≥ 1 is guaranteed by validate().
+            let take = recent.min(days);
+            let tail = &series[days - take..];
+            tail.iter().sum::<f64>() / take as f64
+        }
+    }
+}
+
+/// Knobs of [`delta_batches`] — how a windowed log becomes a delta stream.
+#[derive(Debug, Clone)]
+pub struct DeltaFeedConfig {
+    /// Number of batches to cut the window into; batch `b` (1-based)
+    /// reveals the first `⌈days·b/batches⌉` days. Must be ≥ 1.
+    pub batches: usize,
+    /// Recency weighting applied to each revealed prefix.
+    pub scheme: RecencyScheme,
+    /// A query is *live* while its recency weight stays at or above this
+    /// floor (the paper's "submitted at least X times a day" rule applied
+    /// continuously): crossing upward emits an upsert, crossing downward a
+    /// retire.
+    pub min_weight: f64,
+    /// Drop items scored below this relevance (see
+    /// [`crate::preprocess::relevance_threshold`]).
+    pub relevance: f32,
+    /// Queries with fewer surviving items never become sets.
+    pub min_items: usize,
+    /// Suppress upserts whose weight moved by less than this relative
+    /// fraction — the engine's view then lags reality by at most this much,
+    /// and batches stay sparse.
+    pub weight_tolerance: f64,
+}
+
+impl Default for DeltaFeedConfig {
+    fn default() -> Self {
+        Self {
+            batches: 10,
+            scheme: RecencyScheme::RecentWindow { days: 14 },
+            min_weight: 1.0,
+            relevance: 0.8,
+            min_items: 2,
+            weight_tolerance: 0.05,
+        }
+    }
+}
+
+/// Cuts a windowed log into a stream of [`DeltaBatch`]es for the
+/// incremental engine: batch `b` reveals a growing prefix of the window,
+/// re-weights every query over the prefix under the recency scheme, and
+/// emits upserts for queries whose live-status or weight materially changed
+/// plus retires for queries that faded below the floor. The stable
+/// [`SetId`] of a query is its index in the log.
+///
+/// Pure in its inputs: the same log and config always produce the same
+/// stream (this is what makes `--resume` after a crash sound).
+///
+/// # Errors
+/// [`TrendError::NoBatches`] on `batches == 0`; scheme validation errors as
+/// in [`WindowedLog::weights`].
+pub fn delta_batches(
+    w: &WindowedLog,
+    config: &DeltaFeedConfig,
+) -> Result<Vec<DeltaBatch>, TrendError> {
+    if config.batches == 0 {
+        return Err(TrendError::NoBatches);
+    }
+    config.scheme.validate()?;
+    let days = w.days();
+    // Result items are fixed per query; only demand varies over the window.
+    let items: Vec<Vec<u32>> = w
+        .log
+        .queries
+        .iter()
+        .map(|q| {
+            q.results
+                .iter()
+                .filter(|&&(_, rel)| rel >= config.relevance)
+                .map(|&(item, _)| item)
+                .collect()
+        })
+        .collect();
+
+    let mut emitted: Vec<Option<f64>> = vec![None; w.counts.len()];
+    let mut stream = Vec::with_capacity(config.batches);
+    for b in 1..=config.batches {
+        let revealed = (days * b).div_ceil(config.batches).max(1);
+        let mut deltas = Vec::new();
+        for (q, series) in w.counts.iter().enumerate() {
+            let prefix = &series[..revealed.min(series.len())];
+            let weight = series_weight(prefix, config.scheme);
+            let live = weight >= config.min_weight && items[q].len() >= config.min_items;
+            let id = q as SetId;
+            match (emitted[q], live) {
+                (None, true) => {
+                    deltas.push(SetDelta::upsert(id, query_set(w, q, &items[q], weight)));
+                    emitted[q] = Some(weight);
+                }
+                (Some(prev), true) => {
+                    if (weight - prev).abs() > config.weight_tolerance * prev {
+                        deltas.push(SetDelta::upsert(id, query_set(w, q, &items[q], weight)));
+                        emitted[q] = Some(weight);
+                    }
+                }
+                (Some(_), false) => {
+                    deltas.push(SetDelta::retire(id));
+                    emitted[q] = None;
+                }
+                (None, false) => {}
+            }
+        }
+        stream.push(DeltaBatch::new(deltas));
+    }
+    Ok(stream)
+}
+
+fn query_set(w: &WindowedLog, q: usize, items: &[u32], weight: f64) -> InputSet {
+    InputSet::new(ItemSet::new(items.to_vec()), weight)
+        .with_label(w.log.queries[q].text.clone())
 }
 
 #[cfg(test)]
@@ -193,7 +385,7 @@ mod tests {
     #[test]
     fn uniform_weights_match_original_frequencies() {
         let w = sample();
-        let uniform = w.weights(RecencyScheme::Uniform);
+        let uniform = w.weights(RecencyScheme::Uniform).expect("valid scheme");
         for (q, &u) in w.log.queries.iter().zip(&uniform) {
             assert!(
                 (u - q.daily_frequency).abs() < 1e-6 * (1.0 + q.daily_frequency),
@@ -206,11 +398,15 @@ mod tests {
     #[test]
     fn decay_boosts_spikes_over_uniform() {
         let w = sample();
-        let trends = w.breaking_trends(RecencyScheme::ExponentialDecay { half_life: 10.0 }, 1.5);
+        let trends = w
+            .breaking_trends(RecencyScheme::ExponentialDecay { half_life: 10.0 }, 1.5)
+            .expect("valid scheme");
         assert!(!trends.is_empty(), "some spikes must be detected");
         // Every flagged query's recent demand genuinely dominates.
-        let uniform = w.weights(RecencyScheme::Uniform);
-        let recent = w.weights(RecencyScheme::ExponentialDecay { half_life: 10.0 });
+        let uniform = w.weights(RecencyScheme::Uniform).expect("valid scheme");
+        let recent = w
+            .weights(RecencyScheme::ExponentialDecay { half_life: 10.0 })
+            .expect("valid scheme");
         for &t in &trends {
             assert!(recent[t] > uniform[t]);
         }
@@ -219,7 +415,9 @@ mod tests {
     #[test]
     fn recent_window_is_a_tail_mean() {
         let w = sample();
-        let tail = w.weights(RecencyScheme::RecentWindow { days: 7 });
+        let tail = w
+            .weights(RecencyScheme::RecentWindow { days: 7 })
+            .expect("valid scheme");
         for (series, &t) in w.counts.iter().zip(&tail) {
             let manual: f64 = series[series.len() - 7..].iter().sum::<f64>() / 7.0;
             assert!((manual - t).abs() < 1e-9);
@@ -229,12 +427,234 @@ mod tests {
     #[test]
     fn reweighted_log_preserves_everything_but_weights() {
         let w = sample();
-        let re = w.reweighted(RecencyScheme::RecentWindow { days: 14 });
+        let re = w
+            .reweighted(RecencyScheme::RecentWindow { days: 14 })
+            .expect("valid scheme");
         assert_eq!(re.queries.len(), w.log.queries.len());
         for (a, b) in re.queries.iter().zip(&w.log.queries) {
             assert_eq!(a.text, b.text);
             assert_eq!(a.results, b.results);
         }
+    }
+
+    #[test]
+    fn rejects_degenerate_half_lives() {
+        // Regression: these used to be silently clamped to 1e-9 (zero and
+        // negatives) or propagate NaN weights — now a typed error.
+        let w = sample();
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let scheme = RecencyScheme::ExponentialDecay { half_life: bad };
+            // NaN != NaN, so match on the variant rather than assert_eq.
+            assert!(
+                matches!(w.weights(scheme), Err(TrendError::InvalidHalfLife(_))),
+                "half_life {bad} must be rejected"
+            );
+            assert!(matches!(
+                w.reweighted(scheme),
+                Err(TrendError::InvalidHalfLife(_))
+            ));
+            assert!(matches!(
+                w.breaking_trends(scheme, 1.5),
+                Err(TrendError::InvalidHalfLife(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_recent_window() {
+        // Regression: `RecentWindow { days: 0 }` was silently bumped to 1.
+        let w = sample();
+        let scheme = RecencyScheme::RecentWindow { days: 0 };
+        assert_eq!(w.weights(scheme), Err(TrendError::EmptyRecentWindow));
+        assert!(matches!(
+            w.reweighted(scheme),
+            Err(TrendError::EmptyRecentWindow)
+        ));
+        assert!(matches!(
+            w.breaking_trends(scheme, 2.0),
+            Err(TrendError::EmptyRecentWindow)
+        ));
+        // A window longer than the data is a documented saturation, not an
+        // error.
+        let whole = w
+            .weights(RecencyScheme::RecentWindow { days: 10_000 })
+            .expect("saturating window is valid");
+        let uniform = w.weights(RecencyScheme::Uniform).expect("valid");
+        for (a, b) in whole.iter().zip(&uniform) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    use crate::queries::RawQuery;
+
+    fn raw(text: &str, items: &[u32]) -> RawQuery {
+        RawQuery {
+            predicates: vec![],
+            text: text.into(),
+            daily_frequency: 0.0, // unused: counts drive the feed
+            results: items.iter().map(|&i| (i, 1.0)).collect(),
+        }
+    }
+
+    /// A hand-built 10-day window: a stable query, a spike that only starts
+    /// on day 7, and a fade that dies after day 2.
+    fn shaped() -> WindowedLog {
+        let log = QueryLog {
+            queries: vec![
+                raw("stable", &[0, 1, 2]),
+                raw("spike", &[3, 4, 5]),
+                raw("fade", &[6, 7, 8]),
+            ],
+        };
+        let mut counts = vec![vec![10.0; 10], vec![0.0; 10], vec![0.0; 10]];
+        for d in 7..10 {
+            counts[1][d] = 60.0;
+        }
+        for d in 0..3 {
+            counts[2][d] = 60.0;
+        }
+        WindowedLog { log, counts }
+    }
+
+    #[test]
+    fn delta_feed_tracks_births_and_deaths() {
+        let stream = delta_batches(
+            &shaped(),
+            &DeltaFeedConfig {
+                batches: 5,
+                scheme: RecencyScheme::RecentWindow { days: 2 },
+                min_weight: 1.0,
+                relevance: 0.0,
+                min_items: 2,
+                weight_tolerance: 0.1,
+            },
+        )
+        .expect("valid feed");
+        assert_eq!(stream.len(), 5);
+
+        // Batch 1 (days 0-1): stable and fade are live, the spike is not.
+        let first: Vec<SetId> = stream[0].deltas.iter().map(SetDelta::id).collect();
+        assert_eq!(first, vec![0, 2]);
+        assert!(stream[0]
+            .deltas
+            .iter()
+            .all(|d| matches!(d, SetDelta::Upsert { .. })));
+
+        // The fade retires once its tail window empties (days 0-5 revealed).
+        assert!(
+            stream[2]
+                .deltas
+                .iter()
+                .any(|d| matches!(d, SetDelta::Retire { id: 2 })),
+            "fade must retire in batch 3: {:?}",
+            stream[2].deltas
+        );
+        // The spike is born when day 7 enters the window (days 0-7 revealed).
+        assert!(
+            stream[3]
+                .deltas
+                .iter()
+                .any(|d| matches!(d, SetDelta::Upsert { id: 1, .. })),
+            "spike must appear in batch 4: {:?}",
+            stream[3].deltas
+        );
+        // The stable query is upserted exactly once over the whole stream.
+        let stable_deltas = stream
+            .iter()
+            .flat_map(|b| &b.deltas)
+            .filter(|d| d.id() == 0)
+            .count();
+        assert_eq!(stable_deltas, 1, "constant demand must not re-emit");
+    }
+
+    #[test]
+    fn delta_feed_converges_to_full_window_weights() {
+        let w = sample();
+        let config = DeltaFeedConfig {
+            batches: 6,
+            scheme: RecencyScheme::Uniform,
+            weight_tolerance: 0.0, // emit every change: exact convergence
+            ..DeltaFeedConfig::default()
+        };
+        let stream = delta_batches(&w, &config).expect("valid feed");
+        let mut live: std::collections::HashMap<SetId, f64> = std::collections::HashMap::new();
+        for batch in &stream {
+            for delta in &batch.deltas {
+                match delta {
+                    SetDelta::Upsert { id, set } => {
+                        live.insert(*id, set.weight);
+                    }
+                    SetDelta::Retire { id } => {
+                        live.remove(id);
+                    }
+                }
+            }
+        }
+        // After the last batch the revealed prefix is the whole window, so
+        // live weights must equal the plain full-window weights.
+        let uniform = w.weights(RecencyScheme::Uniform).expect("valid");
+        for (q, query) in w.log.queries.iter().enumerate() {
+            let items = query
+                .results
+                .iter()
+                .filter(|&&(_, rel)| rel >= config.relevance)
+                .count();
+            let expect_live = uniform[q] >= config.min_weight && items >= config.min_items;
+            assert_eq!(
+                live.contains_key(&(q as SetId)),
+                expect_live,
+                "query {q} live-status"
+            );
+            if expect_live {
+                assert_eq!(live[&(q as SetId)], uniform[q], "query {q} weight");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_feed_drives_the_incremental_engine() {
+        use oct_core::incremental::{StreamConfig, StreamEngine};
+        use oct_core::Similarity;
+        let catalog = Catalog::generate(Domain::Electronics, 800, 9);
+        let log = generate_queries(
+            &catalog,
+            &QueryConfig {
+                num_queries: 25,
+                ..QueryConfig::default()
+            },
+        );
+        let w = windowed(&log, 30, 0.3, 21);
+        let stream = delta_batches(
+            &w,
+            &DeltaFeedConfig {
+                batches: 4,
+                scheme: RecencyScheme::RecentWindow { days: 10 },
+                ..DeltaFeedConfig::default()
+            },
+        )
+        .expect("valid feed");
+        let mut engine = StreamEngine::new(StreamConfig {
+            threads: 1,
+            ..StreamConfig::new(catalog.products.len() as u32, Similarity::jaccard_threshold(0.6))
+        });
+        for batch in &stream {
+            let outcome = engine.apply_batch(batch).expect("feed batches are valid");
+            assert!(outcome.tree.validate(&engine.instance()).is_ok());
+        }
+        assert!(engine.live_sets() > 0, "some queries must survive the floor");
+    }
+
+    #[test]
+    fn delta_feed_rejects_zero_batches() {
+        let w = shaped();
+        let config = DeltaFeedConfig {
+            batches: 0,
+            ..DeltaFeedConfig::default()
+        };
+        assert!(matches!(
+            delta_batches(&w, &config),
+            Err(TrendError::NoBatches)
+        ));
     }
 
     #[test]

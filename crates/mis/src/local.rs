@@ -111,6 +111,39 @@ pub fn local_search(g: &Graph, init: &[u32], max_rounds: usize, seed: u64) -> Ve
     best
 }
 
+/// Repairs a possibly-stale solution `hint` against the *current* graph and
+/// improves it with [`local_search`]: hint vertices that fell out of range,
+/// lost their weight, or now conflict are dropped (heaviest-first retention,
+/// ties by id), the surviving independent subset seeds the search, and an
+/// empty surviving hint falls back to a fresh [`greedy`] construction.
+///
+/// This is the entry point for incremental callers re-solving a locally
+/// changed conflict graph: pass the previous solution (restricted to the
+/// region being re-solved) as the hint. Deterministic for a fixed `seed`,
+/// and a pure function of `(g, hint, max_rounds, seed)`.
+pub fn repair(g: &Graph, hint: &[u32], max_rounds: usize, seed: u64) -> Vec<u32> {
+    let n = g.len() as u32;
+    let mut order: Vec<u32> = hint
+        .iter()
+        .copied()
+        .filter(|&v| v < n && g.weight(v) > 0.0)
+        .collect();
+    order.sort_unstable();
+    order.dedup();
+    order.sort_by(|&a, &b| g.weight(b).total_cmp(&g.weight(a)).then(a.cmp(&b)));
+    let mut kept: Vec<u32> = Vec::with_capacity(order.len());
+    for v in order {
+        if kept.iter().all(|&u| !g.has_edge(u, v)) {
+            kept.push(v);
+        }
+    }
+    if kept.is_empty() {
+        kept = greedy(g);
+    }
+    kept.sort_unstable();
+    local_search(g, &kept, max_rounds, seed)
+}
+
 struct Search<'g> {
     g: &'g Graph,
     in_sol: Vec<bool>,
@@ -317,6 +350,38 @@ mod tests {
         let g = Graph::new(vec![2.0, 2.0, 5.0], &[(0, 2), (1, 2)]);
         let sol = local_search(&g, &[0, 1], 0, 7);
         assert_eq!(verify_graph_solution(&g, &sol), Some(5.0));
+    }
+
+    #[test]
+    fn repair_filters_conflicting_hint_vertices() {
+        // Hint vertices 0 and 1 conflict; ties break by id so 0 survives and
+        // free insertion completes the optimal {0, 2, 4}.
+        let g = path5();
+        let sol = repair(&g, &[0, 1, 4], 0, 7);
+        assert!(verify_graph_solution(&g, &sol).is_some());
+        assert_eq!(sol, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn repair_drops_out_of_range_and_zero_weight_hints() {
+        let g = Graph::new(vec![0.0, 1.0], &[(0, 1)]);
+        let sol = repair(&g, &[0, 99], 0, 7);
+        assert_eq!(sol, vec![1]);
+    }
+
+    #[test]
+    fn repair_with_empty_hint_matches_greedy_seeded_search() {
+        let g = Graph::new(vec![3.0, 2.0, 2.0], &[(0, 1), (0, 2)]);
+        assert_eq!(repair(&g, &[], 5, 7), local_search(&g, &greedy(&g), 5, 7));
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_independent() {
+        let g = path5();
+        let a = repair(&g, &[1, 3], 20, 42);
+        let b = repair(&g, &[1, 3], 20, 42);
+        assert_eq!(a, b);
+        assert!(verify_graph_solution(&g, &a).is_some());
     }
 
     #[test]

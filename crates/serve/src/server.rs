@@ -421,27 +421,38 @@ fn request_budget(shared: &Shared) -> Budget {
 
 /// Hot swap: load + decode + index a tree file off the request path, then
 /// publish it atomically.
+///
+/// Every failure path — unreadable file, undecodable bytes, a panic while
+/// indexing the decoded tree — leaves the serving state untouched: the
+/// epoch does not advance, `serve/swaps` counts only *published* swaps
+/// (failures land under `serve/swap_failed`), and the old tree keeps
+/// serving.
 fn swap_tree(shared: &Shared, path: &str) -> Response {
+    let fail = |message: String| {
+        shared.metrics.incr("serve/swap_failed");
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }
+    };
     let raw = match std::fs::read(path) {
         Ok(raw) => raw,
-        Err(e) => {
-            return Response::Error {
-                code: ErrorCode::BadRequest,
-                message: format!("cannot read {path}: {e}"),
-            }
-        }
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
     };
     let tree = match persist::decode_tree(bytes::Bytes::from(raw)) {
         Ok(tree) => tree,
-        Err(e) => {
-            return Response::Error {
-                code: ErrorCode::BadRequest,
-                message: format!("cannot decode {path}: {e}"),
-            }
-        }
+        Err(e) => return fail(format!("cannot decode {path}: {e}")),
     };
     let num_items = shared.trees.load().index.num_items();
-    let next = ServingTree::build(tree, num_items, 0, path);
+    // Building the point index walks the decoded tree; isolate it so a
+    // pathological-but-decodable file cannot kill the worker or publish a
+    // half-built snapshot.
+    let next = match run_isolated("swap build", || {
+        ServingTree::build(tree, num_items, 0, path)
+    }) {
+        Ok(next) => next,
+        Err(e) => return fail(format!("cannot index {path}: {e}")),
+    };
     let published = shared.trees.swap(next);
     shared.metrics.incr("serve/swaps");
     Response::Swapped {

@@ -271,6 +271,71 @@ fn hot_swap_publishes_atomically_under_concurrent_load() {
 }
 
 #[test]
+fn corrupt_swap_keeps_the_old_epoch_serving() {
+    // Regression: a failed SWAP must not bump the epoch or count under
+    // serve/swaps — the old tree keeps answering, and the *next* good
+    // SWAP's epoch proves the failures left no gap.
+    let dir = std::env::temp_dir().join(format!("oct-serve-badswap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let garbage = dir.join("garbage.oct");
+    std::fs::write(&garbage, b"definitely not a tree").expect("write garbage");
+    let truncated = dir.join("truncated.oct");
+    let good_bytes = persist::encode_tree(&test_tree());
+    std::fs::write(&truncated, &good_bytes[..good_bytes.len() / 2]).expect("write truncated");
+    let good = dir.join("good.oct");
+    std::fs::write(&good, &good_bytes).expect("write good");
+
+    let (addr, drain, join) = start(quick_config(), test_tree());
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    for bad in [
+        "/definitely/not/a/file".to_owned(),
+        garbage.display().to_string(),
+        truncated.display().to_string(),
+    ] {
+        match c.request(&Request::Swap { path: bad }).expect("swap") {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The old tree is still serving at the old epoch.
+        match c
+            .request(&Request::Categorize { items: vec![0, 1] })
+            .expect("categorize after failed swap")
+        {
+            Response::Cover {
+                epoch,
+                cat,
+                similarity,
+                ..
+            } => {
+                assert_eq!(epoch, 0, "failed swap must not bump the epoch");
+                assert_eq!(cat, Some(1));
+                assert!((similarity - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The first successful swap lands at epoch 1: the failures consumed
+    // no epochs.
+    match c
+        .request(&Request::Swap {
+            path: good.display().to_string(),
+        })
+        .expect("good swap")
+    {
+        Response::Swapped { epoch, .. } => assert_eq!(epoch, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    drain.drain();
+    let report = join.join().expect("no panic").expect("clean run");
+    assert_eq!(report.counter("serve/swaps"), Some(1), "published swaps only");
+    assert_eq!(report.counter("serve/swap_failed"), Some(3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn drain_answers_queued_work_then_exits_cleanly() {
     let config = ServeConfig {
         workers: 2,

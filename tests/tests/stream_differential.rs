@@ -1,0 +1,151 @@
+//! Differential properties for the streaming engine: applying any valid
+//! delta sequence incrementally must produce bit-identical trees to a
+//! from-scratch batch rerun, and a checkpoint/resume split anywhere in the
+//! stream must not change the outcome.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oct_core::incremental::{DeltaBatch, SetDelta, StreamConfig, StreamEngine};
+use oct_core::input::InputSet;
+use oct_core::itemset::ItemSet;
+use oct_core::persist;
+use oct_core::similarity::Similarity;
+use proptest::prelude::*;
+
+const ITEMS: u32 = 24;
+const IDS: u64 = 12;
+
+/// Raw op: (set id, items, weight, kind). `kind == 2` asks for a retire;
+/// anything else is an upsert. Retires of absent sets are rewritten into
+/// upserts below so every generated batch is valid by construction.
+type RawOp = (u64, Vec<u32>, u32, u8);
+
+fn arb_ops() -> impl Strategy<Value = Vec<Vec<RawOp>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (
+                0u64..IDS,
+                prop::collection::vec(0u32..ITEMS, 2..8),
+                1u32..50,
+                0u8..3,
+            ),
+            1..6,
+        ),
+        1..6,
+    )
+}
+
+/// Rewrites the raw ops into valid delta batches, tracking liveness the
+/// same way the engine's own all-or-nothing validation does (sequentially
+/// within a batch).
+fn build_batches(ops: &[Vec<RawOp>]) -> Vec<DeltaBatch> {
+    let mut live: HashSet<u64> = HashSet::new();
+    ops.iter()
+        .map(|batch| {
+            let deltas = batch
+                .iter()
+                .map(|(id, items, weight, kind)| {
+                    if *kind == 2 && live.contains(id) {
+                        live.remove(id);
+                        SetDelta::retire(*id)
+                    } else {
+                        live.insert(*id);
+                        SetDelta::upsert(
+                            *id,
+                            InputSet::new(ItemSet::new(items.clone()), f64::from(*weight)),
+                        )
+                    }
+                })
+                .collect();
+            DeltaBatch::new(deltas)
+        })
+        .collect()
+}
+
+fn config(checkpoint: Option<std::path::PathBuf>) -> StreamConfig {
+    StreamConfig {
+        threads: 1,
+        checkpoint,
+        ..StreamConfig::new(ITEMS, Similarity::jaccard_threshold(0.6))
+    }
+}
+
+/// A unique scratch path per proptest case (cases run in one process).
+fn scratch() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("oct-stream-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{}.ckpt", NEXT.fetch_add(1, Ordering::Relaxed)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every batch the incremental tree equals a from-scratch rerun
+    /// over the accumulated state, byte for byte.
+    #[test]
+    fn incremental_equals_batch_rerun(ops in arb_ops()) {
+        let mut engine = StreamEngine::new(config(None));
+        for (i, batch) in build_batches(&ops).iter().enumerate() {
+            let incremental = engine.apply_batch(batch).expect("valid by construction");
+            let rerun = engine.batch_rerun();
+            let (a, b) = (
+                persist::encode_tree(&incremental.tree),
+                persist::encode_tree(&rerun.tree),
+            );
+            prop_assert_eq!(
+                a.as_ref(),
+                b.as_ref(),
+                "divergence after batch {} ({} live sets)",
+                i + 1,
+                incremental.stats.live_sets
+            );
+            prop_assert_eq!(incremental.score.normalized, rerun.score.normalized);
+        }
+    }
+
+    /// Killing the process after any prefix of the stream and resuming from
+    /// the checkpoint yields the same final tree as an uninterrupted run.
+    #[test]
+    fn resume_after_any_prefix_is_bit_identical(
+        ops in arb_ops(),
+        split_seed in 0usize..100,
+    ) {
+        let batches = build_batches(&ops);
+        let split = split_seed % batches.len();
+
+        let mut uninterrupted = StreamEngine::new(config(None));
+        let mut expect = None;
+        for batch in &batches {
+            expect = Some(uninterrupted.apply_batch(batch).expect("valid"));
+        }
+
+        let ckpt = scratch();
+        let mut first = StreamEngine::new(config(Some(ckpt.clone())));
+        for batch in &batches[..split] {
+            first.apply_batch(batch).expect("valid");
+        }
+        // Simulated kill -9: the engine is dropped with no finalization;
+        // only the per-batch checkpoint survives.
+        drop(first);
+        let (mut second, restored) =
+            StreamEngine::resume(config(Some(ckpt.clone()))).expect("resume");
+        prop_assert_eq!(second.applied_batches() as usize, split);
+        prop_assert_eq!(restored.is_some(), split > 0);
+        let mut resumed = restored;
+        for batch in &batches[split..] {
+            resumed = Some(second.apply_batch(batch).expect("valid"));
+        }
+
+        let expect = expect.expect("at least one batch");
+        let resumed = resumed.expect("at least one batch");
+        let (a, b) = (
+            persist::encode_tree(&expect.tree),
+            persist::encode_tree(&resumed.tree),
+        );
+        prop_assert_eq!(a.as_ref(), b.as_ref(), "resume at {} diverged", split);
+        prop_assert_eq!(expect.stats, resumed.stats);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}

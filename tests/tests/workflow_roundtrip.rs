@@ -62,10 +62,14 @@ fn tsv_export_import_preserves_scores() {
 fn recency_weighting_feeds_the_builder() {
     let ds = generate(DatasetName::A, 0.02, Similarity::jaccard_threshold(0.8));
     let window = windowed(&ds.log, 90, 0.25, 11);
-    let spiky = window.reweighted(RecencyScheme::ExponentialDecay { half_life: 7.0 });
+    let spiky = window
+        .reweighted(RecencyScheme::ExponentialDecay { half_life: 7.0 })
+        .expect("valid scheme");
 
     // Trend detection finds something, and the reweighted log still builds.
-    let trends = window.breaking_trends(RecencyScheme::ExponentialDecay { half_life: 7.0 }, 1.5);
+    let trends = window
+        .breaking_trends(RecencyScheme::ExponentialDecay { half_life: 7.0 }, 1.5)
+        .expect("valid scheme");
     assert!(!trends.is_empty(), "a quarter of queries spike late");
 
     let (instance, _) = oct_datagen::preprocess::build_instance(
