@@ -1,10 +1,11 @@
 //! The `BENCH_*.json` perf suites: deterministic benchmarks over every hot
 //! path, schema-versioned trajectory files, and regression gating.
 //!
-//! One [`run_perf`] call times eight suites — conflict enumeration, MIS,
+//! One [`run_perf`] call times nine suites — conflict enumeration, MIS,
 //! NN-chain clustering, distance-matrix fill, tree scoring (serial vs
-//! parallel), persist round-trip, streaming incremental maintenance, and
-//! `oct-serve` request serving through a
+//! parallel), persist round-trip, streaming incremental maintenance,
+//! `oct-serve` request serving, and `oct-router` scatter-gather fan-out
+//! over a sharded replicated fleet, the last two through a
 //! loopback load generator — each through the [`crate::measure`] primitives
 //! (warmup + repetitions, median + MAD). The result is a [`BenchReport`]
 //! that serializes to `BENCH_<git-rev>.json` at the repo root: one file per
@@ -40,6 +41,7 @@ use oct_datagen::{generate, DatasetName};
 use oct_mis::{Graph, Hypergraph, SolveBudget, Solver};
 use oct_obs::json;
 use oct_obs::{Metrics, PipelineReport};
+use oct_router::{Router, RouterConfig};
 use oct_serve::loadgen::{self, LoadGenConfig};
 use oct_serve::{ServeConfig, Server, ServingTree};
 
@@ -50,8 +52,8 @@ use crate::runner::{self, RunnerConfig};
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// The suite prefixes every complete BENCH file must cover.
-pub const SUITES: [&str; 8] = [
-    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve",
+pub const SUITES: [&str; 9] = [
+    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve", "router",
 ];
 
 /// Knobs for one perf run.
@@ -386,7 +388,7 @@ pub fn env_fingerprint() -> BTreeMap<String, String> {
     .collect()
 }
 
-/// Runs all eight suites and assembles the report.
+/// Runs all nine suites and assembles the report.
 pub fn run_perf(config: &PerfConfig) -> BenchReport {
     let mut report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -578,6 +580,10 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
     // serve: loopback load generation against a real daemon.
     serve_suite(config, instance, &tree, &mut report);
 
+    // router: the same bursts scatter-gathered through the shard router
+    // over a replicated in-process fleet.
+    router_suite(config, instance, &tree, &mut report);
+
     // Embedded span breakdown from one instrumented end-to-end run.
     let (_, _, pipeline) = runner::instrumented_run(instance, &RunnerConfig::default());
     report.pipeline = Some(pipeline);
@@ -623,7 +629,8 @@ fn incr_suite(
     let mut warm = StreamEngine::new(stream_config);
     let (last, prefix) = stream.split_last().expect("batches >= 1");
     for batch in prefix {
-        warm.apply_batch(batch).expect("generated batches are valid");
+        warm.apply_batch(batch)
+            .expect("generated batches are valid");
     }
 
     let spec = config.spec();
@@ -635,22 +642,24 @@ fn incr_suite(
     });
     let s = outcome.stats;
     let mut record = BenchRecord::from_sample(&sample, 1);
-    record.detail.insert("live_sets".to_owned(), s.live_sets as f64);
+    record
+        .detail
+        .insert("live_sets".to_owned(), s.live_sets as f64);
     record
         .detail
         .insert("deltas".to_owned(), (s.upserts + s.retires) as f64);
-    record.detail.insert(
-        "reclassified_pairs".to_owned(),
-        s.reclassified_pairs as f64,
-    );
+    record
+        .detail
+        .insert("reclassified_pairs".to_owned(), s.reclassified_pairs as f64);
     record
         .detail
         .insert("cached_pairs".to_owned(), s.cached_pairs as f64);
-    record.detail.insert(
-        "reused_components".to_owned(),
-        s.reused_components as f64,
-    );
-    report.benchmarks.insert("incr/apply_batch".to_owned(), record);
+    record
+        .detail
+        .insert("reused_components".to_owned(), s.reused_components as f64);
+    report
+        .benchmarks
+        .insert("incr/apply_batch".to_owned(), record);
 
     let mut full = warm.clone();
     full.apply_batch(last).expect("generated batches are valid");
@@ -672,7 +681,9 @@ fn incr_suite(
         "solved_components".to_owned(),
         rerun.stats.solved_components as f64,
     );
-    report.benchmarks.insert("incr/batch_rerun".to_owned(), record);
+    report
+        .benchmarks
+        .insert("incr/batch_rerun".to_owned(), record);
 }
 
 /// Runs the serve suite: boots an in-process daemon on a loopback port,
@@ -741,6 +752,151 @@ fn serve_suite(
     report
         .benchmarks
         .insert("serve/throughput".to_owned(), record);
+}
+
+/// Runs the router suite: boots a 2-shard × 2-replica in-process fleet and
+/// the scatter-gather router over it, fires the serve-suite bursts through
+/// the router, and records client-observed fan-out latency (p50 *and* p99
+/// — the tail is what hedging exists to cut), throughput, and the hedge
+/// rate (latency-triggered hedges per routed request). A healthy loopback
+/// fleet must not fail a single request, so the suite doubles as a cheap
+/// routing-correctness check on every perf run.
+fn router_suite(
+    config: &PerfConfig,
+    instance: &Instance,
+    tree: &oct_core::tree::CategoryTree,
+    report: &mut BenchReport,
+) {
+    const SHARDS: usize = 2;
+    const REPLICAS: usize = 2;
+    let mut backends = Vec::new();
+    let mut shards = Vec::new();
+    for _ in 0..SHARDS {
+        let mut replicas = Vec::new();
+        for _ in 0..REPLICAS {
+            let serving = ServingTree::build(tree.clone(), instance.num_items, 0, "bench");
+            let server_config = ServeConfig {
+                similarity: instance.similarity,
+                drain_grace: Duration::from_secs(1),
+                ..ServeConfig::default()
+            };
+            let server = match Server::bind(server_config, serving) {
+                Ok(server) => server,
+                Err(e) => panic!("router suite could not bind a backend port: {e}"),
+            };
+            replicas.push(
+                server
+                    .local_addr()
+                    .expect("bound server has an address")
+                    .to_string(),
+            );
+            let drain = server.drain_handle();
+            backends.push((drain, thread::spawn(move || server.run())));
+        }
+        shards.push(replicas);
+    }
+
+    let metrics = Metrics::new(true);
+    let router = match Router::bind(RouterConfig {
+        metrics: metrics.clone(),
+        drain_grace: Duration::from_secs(1),
+        shards,
+        ..RouterConfig::default()
+    }) {
+        Ok(router) => router,
+        Err(e) => panic!("router suite could not bind a loopback port: {e}"),
+    };
+    let addr = router.local_addr().expect("bound router has an address");
+    let drain = router.drain_handle();
+    let join = thread::spawn(move || router.run());
+
+    let load = LoadGenConfig {
+        connections: config.serve_connections.max(1),
+        requests_per_connection: config.serve_requests.max(1),
+        num_items: instance.num_items,
+        ..LoadGenConfig::default()
+    };
+    let hedges = metrics.counter("router/hedges");
+    let routed = metrics.counter("router/requests");
+    let mut p50s = Vec::new();
+    let mut p99s = Vec::new();
+    let mut rps = Vec::new();
+    let mut hedge_rates = Vec::new();
+    let mut seen = (0u64, 0u64);
+    for i in 0..config.warmup + config.reps.max(1) {
+        let outcome = loadgen::run(addr, &load).expect("loopback burst connects");
+        let now = (hedges.get(), routed.get());
+        let (burst_hedges, burst_requests) = (now.0 - seen.0, now.1 - seen.1);
+        seen = now;
+        if i < config.warmup {
+            continue;
+        }
+        assert_eq!(
+            outcome.errors + outcome.transport_errors,
+            0,
+            "a healthy loopback fleet must not fail routed requests"
+        );
+        p50s.push(outcome.latency_quantile_s(0.5));
+        p99s.push(outcome.latency_quantile_s(0.99));
+        rps.push(outcome.throughput_rps());
+        hedge_rates.push(if burst_requests > 0 {
+            burst_hedges as f64 / burst_requests as f64
+        } else {
+            0.0
+        });
+    }
+    // Router first, then the backends: the probe loop dies with the router,
+    // so the backends drain without a client pinning their workers.
+    drain.drain();
+    let _ = join.join().expect("router thread exits cleanly");
+    for (drain, join) in backends {
+        drain.drain();
+        let _ = join.join().expect("backend thread exits cleanly");
+    }
+
+    let requests = (load.connections * load.requests_per_connection) as f64;
+    let fleet_detail = [
+        ("requests_per_burst".to_owned(), requests),
+        ("shards".to_owned(), SHARDS as f64),
+        ("replicas_per_shard".to_owned(), REPLICAS as f64),
+    ];
+    for (name, sample) in [
+        ("router/latency_p50", Sample::from_secs(p50s)),
+        ("router/latency_p99", Sample::from_secs(p99s)),
+    ] {
+        let mut record = BenchRecord::from_sample(&sample, load.connections);
+        record.detail.extend(fleet_detail.iter().cloned());
+        report.benchmarks.insert(name.to_owned(), record);
+    }
+
+    let throughput = Sample::from_secs(rps);
+    let record = BenchRecord {
+        median: throughput.median_s(),
+        mad: throughput.mad_s(),
+        reps: throughput.reps(),
+        threads: load.connections,
+        unit: "req/s".to_owned(),
+        detail: fleet_detail.iter().cloned().collect(),
+    };
+    report
+        .benchmarks
+        .insert("router/throughput".to_owned(), record);
+
+    // Hedge rate in [0, 1]: lower is better (a rising rate means the p90
+    // trigger keeps firing, i.e. the primary's tail got slower), which is
+    // exactly the "unknown unit ⇒ lower is better" gating default.
+    let rate = Sample::from_secs(hedge_rates);
+    let record = BenchRecord {
+        median: rate.median_s(),
+        mad: rate.mad_s(),
+        reps: rate.reps(),
+        threads: load.connections,
+        unit: "ratio".to_owned(),
+        detail: fleet_detail.iter().cloned().collect(),
+    };
+    report
+        .benchmarks
+        .insert("router/hedge_rate".to_owned(), record);
 }
 
 /// One row of a baseline-vs-current diff.

@@ -18,6 +18,11 @@ usage:
   octree serve   --tree FILE [--addr HOST:PORT] [--workers W] [--queue Q]
                  [--variant V] [--delta D] [--deadline-ms MS] [--metrics FILE]
   octree query   --send LINE [--addr HOST:PORT]
+  octree router  --shards 'H:P,H:P;H:P,...' [--addr HOST:PORT] [--workers W]
+                 [--queue Q] [--attempt-ms MS] [--deadline-ms MS]
+                 [--metrics FILE]
+  octree loadgen --items N [--addr HOST:PORT] [--connections C]
+                 [--requests R] [--rps N] [--zipf S] [--seed S]
   octree watch   --log FILE --items N [--variant V] [--delta D] [--days D]
                  [--batches B] [--spike-fraction F] [--seed S]
                  [--recent-days R] [--min-weight W] [--out FILE]
@@ -36,6 +41,13 @@ resume:   continue an interrupted build from --checkpoint-dir's checkpoint
 serve:    runs until SIGTERM/SIGINT or a SHUTDOWN request, then drains
 query:    sends one protocol line (e.g. 'CATEGORIZE 1,2,3') and prints the
           response
+router:   fault-tolerant scatter-gather front-end over a sharded fleet of
+          serve daemons; --shards lists replica addresses per shard,
+          ';'-separated shards of ','-separated replicas; drains like serve
+loadgen:  fires a deterministic seeded burst at a daemon or router and
+          prints latency quantiles + typed-outcome counts; --rps switches
+          to open-loop Poisson arrivals, --zipf S skews keys (weight
+          1/(k+1)^S); both default off (closed loop, uniform keys)
 watch:    replays the log as a windowed delta stream through the incremental
           engine; every applied batch rewrites --out and, with --addr, SWAPs
           it into a running daemon; with --checkpoint, kill -9 mid-stream
@@ -152,6 +164,42 @@ pub enum Command {
         addr: String,
         /// The raw request line, e.g. `CATEGORIZE 1,2,3`.
         send: String,
+    },
+    /// Run the fault-tolerant shard router over a replicated fleet.
+    Router {
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Replica addresses per shard: shards separated by `;`, replicas
+        /// within a shard by `,`.
+        shards: Vec<Vec<String>>,
+        /// Worker threads (in-flight concurrency limit).
+        workers: usize,
+        /// Admission-queue capacity; connections beyond it are shed.
+        queue: usize,
+        /// Per-attempt timeout in ms (one replica call).
+        attempt_ms: u64,
+        /// Overall per-request deadline in ms (`None`: the router default).
+        deadline_ms: Option<u64>,
+        /// Write the final metrics report (JSON) here on drain.
+        metrics: Option<String>,
+    },
+    /// Fire a deterministic load burst at a daemon or router.
+    Loadgen {
+        /// Target address.
+        addr: String,
+        /// Universe size request items are drawn from.
+        items: u32,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Requests per connection.
+        requests: usize,
+        /// Open-loop Poisson arrival rate in requests/s (`None`: closed
+        /// loop — next request fires when the previous answer lands).
+        rps: Option<u32>,
+        /// Zipf key-skew exponent (`None`: uniform keys).
+        zipf: Option<f64>,
+        /// Burst seed (same seed + config ⇒ same request stream).
+        seed: u64,
     },
     /// Stream windowed query-log deltas through the incremental engine.
     Watch {
@@ -385,6 +433,107 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
             send: required(&flags, "send")?,
         }),
+        "router" => {
+            let spec = required(&flags, "shards")?;
+            let mut shards: Vec<Vec<String>> = Vec::new();
+            for shard in spec.split(';') {
+                let replicas: Vec<String> = shard
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|r| !r.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if replicas.is_empty() {
+                    return Err(format!("--shards has an empty shard in {spec:?}"));
+                }
+                shards.push(replicas);
+            }
+            if shards.is_empty() {
+                return Err("--shards needs at least one shard".to_owned());
+            }
+            let positive = |name: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --{name} value {v:?} (need >= 1)"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Router {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7272".to_owned()),
+                shards,
+                workers: positive("workers", 4)?,
+                queue: positive("queue", 64)?,
+                attempt_ms: flags
+                    .get("attempt-ms")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --attempt-ms value {v:?} (need >= 1)"))
+                    })
+                    .transpose()?
+                    .unwrap_or(250),
+                deadline_ms: deadline_ms(&flags)?,
+                metrics: flags.get("metrics").cloned(),
+            })
+        }
+        "loadgen" => {
+            let positive = |name: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --{name} value {v:?} (need >= 1)"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Loadgen {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
+                items: items(&flags)?,
+                connections: positive("connections", 4)?,
+                requests: positive("requests", 200)?,
+                rps: flags
+                    .get("rps")
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --rps value {v:?} (need >= 1)"))
+                    })
+                    .transpose()?,
+                zipf: flags
+                    .get("zipf")
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|&s| s.is_finite() && s > 0.0)
+                            .ok_or_else(|| format!("bad --zipf value {v:?} (need > 0)"))
+                    })
+                    .transpose()?,
+                seed: flags
+                    .get("seed")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad --seed value {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(42),
+            })
+        }
         "watch" => {
             let positive_usize = |name: &str, default: usize| -> Result<usize, String> {
                 flags
@@ -734,6 +883,115 @@ mod tests {
             }
         );
         assert!(parse(&argv("query")).is_err(), "missing --send");
+    }
+
+    #[test]
+    fn parses_router() {
+        let cmd = parse(&argv(
+            "router --shards 127.0.0.1:1,127.0.0.1:2;127.0.0.1:3 --addr 0.0.0.0:9100 \
+             --workers 8 --queue 32 --attempt-ms 100 --deadline-ms 800 --metrics r.json",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Router {
+                addr,
+                shards,
+                workers,
+                queue,
+                attempt_ms,
+                deadline_ms,
+                metrics,
+            } => {
+                assert_eq!(addr, "0.0.0.0:9100");
+                assert_eq!(
+                    shards,
+                    vec![
+                        vec!["127.0.0.1:1".to_owned(), "127.0.0.1:2".to_owned()],
+                        vec!["127.0.0.1:3".to_owned()],
+                    ]
+                );
+                assert_eq!(workers, 8);
+                assert_eq!(queue, 32);
+                assert_eq!(attempt_ms, 100);
+                assert_eq!(deadline_ms, Some(800));
+                assert_eq!(metrics.as_deref(), Some("r.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: router port, 4 workers, queue 64, 250ms attempts, the
+        // router's own overall deadline (None here = keep the default).
+        match parse(&argv("router --shards 127.0.0.1:1")).expect("valid") {
+            Command::Router {
+                addr,
+                workers,
+                queue,
+                attempt_ms,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7272");
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 64);
+                assert_eq!(attempt_ms, 250);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("router")).is_err(), "missing --shards");
+        assert!(parse(&argv("router --shards ;")).is_err(), "empty shard");
+        assert!(parse(&argv("router --shards a --attempt-ms 0")).is_err());
+        assert!(parse(&argv("router --shards a --workers 0")).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen() {
+        let cmd = parse(&argv(
+            "loadgen --addr 127.0.0.1:9100 --items 500 --connections 8 --requests 50 \
+             --rps 400 --zipf 1.1 --seed 7",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Loadgen {
+                addr,
+                items,
+                connections,
+                requests,
+                rps,
+                zipf,
+                seed,
+            } => {
+                assert_eq!(addr, "127.0.0.1:9100");
+                assert_eq!(items, 500);
+                assert_eq!(connections, 8);
+                assert_eq!(requests, 50);
+                assert_eq!(rps, Some(400));
+                assert_eq!(zipf, Some(1.1));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: closed loop, uniform keys.
+        match parse(&argv("loadgen --items 10")).expect("valid") {
+            Command::Loadgen {
+                connections,
+                requests,
+                rps,
+                zipf,
+                seed,
+                ..
+            } => {
+                assert_eq!(connections, 4);
+                assert_eq!(requests, 200);
+                assert_eq!(rps, None);
+                assert_eq!(zipf, None);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("loadgen")).is_err(), "missing --items");
+        assert!(parse(&argv("loadgen --items 10 --rps 0")).is_err());
+        assert!(parse(&argv("loadgen --items 10 --zipf -1")).is_err());
+        assert!(parse(&argv("loadgen --items 10 --zipf x")).is_err());
     }
 
     #[test]

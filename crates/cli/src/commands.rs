@@ -103,6 +103,40 @@ pub fn run(command: Command) -> Result<(), String> {
             metrics_out: metrics.as_deref(),
         }),
         Command::Query { addr, send } => query(&addr, &send),
+        Command::Router {
+            addr,
+            shards,
+            workers,
+            queue,
+            attempt_ms,
+            deadline_ms,
+            metrics,
+        } => router(RouterArgs {
+            addr,
+            shards,
+            workers,
+            queue,
+            attempt_ms,
+            deadline_ms,
+            metrics_out: metrics.as_deref(),
+        }),
+        Command::Loadgen {
+            addr,
+            items,
+            connections,
+            requests,
+            rps,
+            zipf,
+            seed,
+        } => loadgen(LoadgenArgs {
+            addr: &addr,
+            items,
+            connections,
+            requests,
+            rps,
+            zipf,
+            seed,
+        }),
         Command::Watch {
             log,
             items,
@@ -310,7 +344,10 @@ fn watch(args: WatchArgs) -> Result<(), String> {
     };
     let skip = engine.applied_batches() as usize;
     if skip >= stream.len() {
-        out!("all {} batches already applied; nothing to do", stream.len());
+        out!(
+            "all {} batches already applied; nothing to do",
+            stream.len()
+        );
         if let Some(path) = args.metrics_out {
             let report = metrics.report();
             fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -417,6 +454,135 @@ fn serve(args: ServeArgs) -> Result<(), String> {
     let report = server.run().map_err(|e| format!("server failed: {e}"))?;
     out!("drained cleanly");
     out!("{report}");
+    Ok(())
+}
+
+/// Everything `router` needs, bundled like [`ServeArgs`].
+struct RouterArgs<'a> {
+    addr: String,
+    shards: Vec<Vec<String>>,
+    workers: usize,
+    queue: usize,
+    attempt_ms: u64,
+    deadline_ms: Option<u64>,
+    metrics_out: Option<&'a str>,
+}
+
+fn router(args: RouterArgs) -> Result<(), String> {
+    // SIGTERM/SIGINT begin the graceful drain the run loop finishes — the
+    // router polls the same process-global flag as the serve daemon.
+    oct_serve::signal::install_handlers();
+    let metrics = Metrics::new(true);
+    let replicas: usize = args.shards.iter().map(Vec::len).sum();
+    let config = oct_router::RouterConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_capacity: args.queue,
+        attempt_timeout: std::time::Duration::from_millis(args.attempt_ms),
+        metrics: metrics.clone(),
+        metrics_out: args.metrics_out.map(std::path::PathBuf::from),
+        shards: args.shards,
+        ..oct_router::RouterConfig::default()
+    };
+    let config = match args.deadline_ms {
+        // Absent keeps the router's own default; 0 is "already expired".
+        Some(ms) => oct_router::RouterConfig {
+            deadline_ms: Some(ms),
+            ..config
+        },
+        None => config,
+    };
+    out!(
+        "routing {} shard(s) over {} replica(s); attempts {}ms, deadline {}",
+        config.shards.len(),
+        replicas,
+        args.attempt_ms,
+        config
+            .deadline_ms
+            .map_or("unlimited".to_owned(), |ms| format!("{ms}ms")),
+    );
+    let router =
+        oct_router::Router::bind(config).map_err(|e| format!("cannot bind router: {e}"))?;
+    out!(
+        "listening on {} ({} workers, queue {}); SIGTERM or SHUTDOWN drains",
+        router.local_addr().map_err(|e| e.to_string())?,
+        args.workers,
+        args.queue,
+    );
+    let report = router.run().map_err(|e| format!("router failed: {e}"))?;
+    out!("drained cleanly");
+    out!("{report}");
+    Ok(())
+}
+
+/// Everything `loadgen` needs, bundled like [`ServeArgs`].
+struct LoadgenArgs<'a> {
+    addr: &'a str,
+    items: u32,
+    connections: usize,
+    requests: usize,
+    rps: Option<u32>,
+    zipf: Option<f64>,
+    seed: u64,
+}
+
+fn loadgen(args: LoadgenArgs) -> Result<(), String> {
+    use oct_serve::loadgen::{Arrival, KeyDist, LoadGenConfig};
+    use std::net::ToSocketAddrs;
+
+    let addr = args
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{}: {e}", args.addr))?
+        .next()
+        .ok_or_else(|| format!("{}: no address", args.addr))?;
+    let config = LoadGenConfig {
+        connections: args.connections,
+        requests_per_connection: args.requests,
+        num_items: args.items,
+        seed: args.seed,
+        arrival: args
+            .rps
+            .map_or(Arrival::Closed, |rps| Arrival::Open { rps }),
+        key_dist: args.zipf.map_or(KeyDist::Uniform, |s| KeyDist::Zipf {
+            // The config stores the exponent ×1000 so the burst stays a
+            // pure function of integer knobs.
+            exponent_milli: (s * 1000.0).round() as u32,
+        }),
+        ..LoadGenConfig::default()
+    };
+    let total = args.connections * args.requests;
+    out!(
+        "loadgen: {} request(s) over {} connection(s) at {} ({} arrivals, {} keys, seed {})",
+        total,
+        args.connections,
+        addr,
+        args.rps
+            .map_or("closed-loop".to_owned(), |rps| format!("open-loop {rps}/s")),
+        args.zipf
+            .map_or("uniform".to_owned(), |s| format!("zipf s={s}")),
+        args.seed,
+    );
+    let outcome = oct_serve::loadgen::run(addr, &config)
+        .map_err(|e| format!("loadgen against {addr}: {e}"))?;
+    out!(
+        "throughput {:.1} req/s over {:.2}s",
+        outcome.throughput_rps(),
+        outcome.elapsed_s,
+    );
+    out!(
+        "latency p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms",
+        outcome.latency_quantile_s(0.50) * 1e3,
+        outcome.latency_quantile_s(0.90) * 1e3,
+        outcome.latency_quantile_s(0.99) * 1e3,
+    );
+    out!(
+        "outcomes: ok={} shed={} errors={} transport={}",
+        outcome.ok,
+        outcome.shed,
+        outcome.errors,
+        outcome.transport_errors,
+    );
     Ok(())
 }
 

@@ -411,9 +411,7 @@ pub(crate) fn build_from_selection(
         let parent_set = selected[..pos]
             .iter()
             .rev()
-            .find(|&&p| {
-                ctx.must.contains(&(p, q)) || (nest && ctx.nestable.contains(&(p, q)))
-            })
+            .find(|&&p| ctx.must.contains(&(p, q)) || (nest && ctx.nestable.contains(&(p, q))))
             .copied();
         let parent = parent_set.map(|p| cat_of[&p]).unwrap_or(ROOT);
         if let Some(p) = parent_set {

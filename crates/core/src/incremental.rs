@@ -472,8 +472,13 @@ impl StreamEngine {
         for (&(a, b), &inter) in dirty.iter() {
             let (hi, lo) = pair_orientation(&instance, a, b);
             // The engine never raises item bounds, so eff_inter == inter.
-            let class =
-                classify_pair(&instance, hi as usize, lo as usize, inter as usize, inter as usize);
+            let class = classify_pair(
+                &instance,
+                hi as usize,
+                lo as usize,
+                inter as usize,
+                inter as usize,
+            );
             let (ida, idb) = (ids[a as usize], ids[b as usize]);
             self.pairs.insert(
                 (ida.min(idb), ida.max(idb)),
@@ -693,7 +698,9 @@ fn solve_component(sub: &Graph, exact_limit: usize, rounds: usize, sig: u64) -> 
     }
     if sub.len() <= exact_limit {
         // Default budget, unlimited wall: the node cutoff is deterministic.
-        Solver::new(SolveBudget::default()).solve_graph(sub).vertices
+        Solver::new(SolveBudget::default())
+            .solve_graph(sub)
+            .vertices
     } else {
         local::repair(sub, &[], rounds, sig)
     }
@@ -730,7 +737,7 @@ mod tests {
     #[test]
     fn incremental_matches_batch_rerun_over_a_delta_sequence() {
         let mut engine = StreamEngine::new(config(30));
-        let batches = vec![
+        let batches = [
             DeltaBatch::new(vec![
                 SetDelta::upsert(10, set((0..8).collect(), 3.0)),
                 SetDelta::upsert(11, set((5..12).collect(), 2.0)),
@@ -757,10 +764,7 @@ mod tests {
             );
             assert_eq!(incremental.score.total, rerun.score.total);
             assert_eq!(incremental.applied_batches, i as u64 + 1);
-            assert!(incremental
-                .tree
-                .validate(&engine.instance())
-                .is_ok());
+            assert!(incremental.tree.validate(&engine.instance()).is_ok());
         }
     }
 
@@ -931,7 +935,13 @@ mod tests {
             ]))
             .expect("batch");
         let report = metrics.report();
-        for span in ["incr", "incr/classify", "incr/mis", "incr/skeleton", "incr/score"] {
+        for span in [
+            "incr",
+            "incr/classify",
+            "incr/mis",
+            "incr/skeleton",
+            "incr/score",
+        ] {
             assert!(report.span(span).is_some(), "missing span {span}");
         }
         assert_eq!(report.counter("incr/upserts"), Some(2));

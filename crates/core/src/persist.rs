@@ -648,8 +648,7 @@ mod tests {
     #[test]
     fn stream_checkpoint_roundtrip_preserves_everything() {
         let cp = sample_stream_checkpoint();
-        let decoded =
-            decode_stream_checkpoint(encode_stream_checkpoint(&cp)).expect("roundtrip");
+        let decoded = decode_stream_checkpoint(encode_stream_checkpoint(&cp)).expect("roundtrip");
         assert_eq!(decoded.applied_batches, 7);
         assert_eq!(decoded.ids, cp.ids);
         assert_eq!(decoded.instance.num_sets(), cp.instance.num_sets());

@@ -251,7 +251,9 @@ pub(crate) fn clean_stray_temps(path: &Path) {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let Some(prefix) = prefix.to_str() else { return };
+        let Some(prefix) = prefix.to_str() else {
+            return;
+        };
         if name.starts_with(prefix) && name.ends_with(".tmp") {
             let _ = std::fs::remove_file(entry.path());
         }

@@ -360,8 +360,7 @@ pub fn delta_batches(
 }
 
 fn query_set(w: &WindowedLog, q: usize, items: &[u32], weight: f64) -> InputSet {
-    InputSet::new(ItemSet::new(items.to_vec()), weight)
-        .with_label(w.log.queries[q].text.clone())
+    InputSet::new(ItemSet::new(items.to_vec()), weight).with_label(w.log.queries[q].text.clone())
 }
 
 #[cfg(test)]
@@ -507,12 +506,8 @@ mod tests {
             ],
         };
         let mut counts = vec![vec![10.0; 10], vec![0.0; 10], vec![0.0; 10]];
-        for d in 7..10 {
-            counts[1][d] = 60.0;
-        }
-        for d in 0..3 {
-            counts[2][d] = 60.0;
-        }
+        counts[1][7..10].fill(60.0);
+        counts[2][..3].fill(60.0);
         WindowedLog { log, counts }
     }
 
@@ -635,13 +630,19 @@ mod tests {
         .expect("valid feed");
         let mut engine = StreamEngine::new(StreamConfig {
             threads: 1,
-            ..StreamConfig::new(catalog.products.len() as u32, Similarity::jaccard_threshold(0.6))
+            ..StreamConfig::new(
+                catalog.products.len() as u32,
+                Similarity::jaccard_threshold(0.6),
+            )
         });
         for batch in &stream {
             let outcome = engine.apply_batch(batch).expect("feed batches are valid");
             assert!(outcome.tree.validate(&engine.instance()).is_ok());
         }
-        assert!(engine.live_sets() > 0, "some queries must survive the floor");
+        assert!(
+            engine.live_sets() > 0,
+            "some queries must survive the floor"
+        );
     }
 
     #[test]

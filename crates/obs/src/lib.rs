@@ -216,6 +216,19 @@ impl Metrics {
             .is_some_and(|inner| inner.degraded.load(Ordering::Relaxed))
     }
 
+    /// A view of this sink that prefixes every metric name with
+    /// `prefix + "/"`. Made for per-entity families — a router tracking
+    /// `router/replica/<addr>/{ok,fail,hedge_wins}` builds one scope per
+    /// replica instead of formatting names on every update. Scopes share
+    /// the underlying sink (and its degraded flag); a scope of a disabled
+    /// handle is a no-op like its parent.
+    pub fn scoped(&self, prefix: &str) -> ScopedMetrics {
+        ScopedMetrics {
+            metrics: self.clone(),
+            prefix: format!("{prefix}/"),
+        }
+    }
+
     /// Records an externally-measured duration under a span path, as if a
     /// span guard had run for `elapsed`.
     pub fn record_duration(&self, path: &str, elapsed: Duration) {
@@ -267,6 +280,42 @@ impl std::fmt::Debug for Metrics {
         f.debug_struct("Metrics")
             .field("enabled", &self.is_enabled())
             .finish()
+    }
+}
+
+/// A name-prefixing view of a [`Metrics`] sink (see [`Metrics::scoped`]).
+#[derive(Clone)]
+pub struct ScopedMetrics {
+    metrics: Metrics,
+    /// Includes the trailing `/`.
+    prefix: String,
+}
+
+impl ScopedMetrics {
+    /// Adds `delta` to `<prefix>/<name>`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.metrics.add(&format!("{}{name}", self.prefix), delta);
+    }
+
+    /// Increments `<prefix>/<name>` by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// A lock-free [`Counter`] handle for `<prefix>/<name>`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.metrics.counter(&format!("{}{name}", self.prefix))
+    }
+
+    /// Sets the gauge `<prefix>/<name>`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.metrics.gauge(&format!("{}{name}", self.prefix), value);
+    }
+
+    /// Records one observation into the histogram `<prefix>/<name>`.
+    pub fn observe(&self, name: &str, value: Duration) {
+        self.metrics
+            .observe(&format!("{}{name}", self.prefix), value);
     }
 }
 
@@ -367,6 +416,34 @@ impl Drop for Span<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scoped_metrics_prefix_every_name() {
+        let m = Metrics::enabled();
+        let scope = m.scoped("router/replica/127.0.0.1:7171");
+        scope.incr("ok");
+        scope.add("ok", 2);
+        scope.counter("fail").incr();
+        scope.gauge("depth", 3.0);
+        scope.observe("latency", Duration::from_micros(10));
+        let report = m.report();
+        assert_eq!(report.counter("router/replica/127.0.0.1:7171/ok"), Some(3));
+        assert_eq!(
+            report.counter("router/replica/127.0.0.1:7171/fail"),
+            Some(1)
+        );
+        assert_eq!(
+            report.gauge("router/replica/127.0.0.1:7171/depth"),
+            Some(3.0)
+        );
+        assert!(report
+            .histogram("router/replica/127.0.0.1:7171/latency")
+            .is_some());
+        // A scope over a disabled sink is a no-op, like its parent.
+        let off = Metrics::disabled().scoped("x");
+        off.incr("ok");
+        assert!(Metrics::disabled().report().is_empty());
+    }
 
     #[test]
     fn disabled_handle_records_nothing() {

@@ -262,6 +262,41 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open, "threshold clamped to 1");
     }
 
+    #[test]
+    fn concurrent_half_open_probes_admit_exactly_one() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::{Arc, Barrier};
+        // A tripped breaker with an elapsed (zero) cooldown: many threads
+        // race try_acquire simultaneously; exactly one wins the half-open
+        // probe slot and every loser fails fast without blocking.
+        for _round in 0..8 {
+            let b = Arc::new(instant_cooldown(1));
+            b.record_failure();
+            assert_eq!(b.state(), BreakerState::Open);
+            let threads = 8;
+            let barrier = Arc::new(Barrier::new(threads));
+            let admitted = Arc::new(AtomicU32::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let b = Arc::clone(&b);
+                    let barrier = Arc::clone(&barrier);
+                    let admitted = Arc::clone(&admitted);
+                    s.spawn(move || {
+                        barrier.wait();
+                        if b.try_acquire() {
+                            admitted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(admitted.load(Ordering::SeqCst), 1, "one probe only");
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+            // The probe's verdict still works after the race.
+            b.record_success();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+    }
+
     #[cfg(feature = "fault-injection")]
     #[test]
     fn hold_open_fault_pins_the_breaker_shut() {

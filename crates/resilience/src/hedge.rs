@@ -1,0 +1,470 @@
+//! Hedged execution: a second, redundant attempt fired when the first one
+//! is slower than recent history says it should be.
+//!
+//! The classic tail-latency trick (Dean & Barroso, "The Tail at Scale"):
+//! rather than waiting out a straggler, launch the same request against a
+//! second replica once the first has been in flight longer than a tracked
+//! latency quantile, and take whichever answer lands first. The loser is
+//! cancelled through its [`CancelToken`] and abandoned — blocking I/O that
+//! ignores the token simply finishes on its own detached thread and its
+//! result is discarded.
+//!
+//! Two pieces live here:
+//!
+//! - [`HedgeTrigger`] — a lock-free power-of-two-bucket latency histogram
+//!   tracking a configurable quantile of completed attempts. Until it has
+//!   seen [`HedgeConfig::min_samples`] completions it answers with the
+//!   conservative [`HedgeConfig::max_delay`], so cold starts never hedge
+//!   aggressively on noise.
+//! - [`run_hedged`] — first-success-wins execution of a primary attempt and
+//!   an optional hedge attempt. The hedge also fires *immediately* when the
+//!   primary fails before the delay elapses, which folds fast failover into
+//!   the same primitive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::CancelToken;
+
+/// Histogram bucket upper bounds in microseconds: powers of two from 1µs to
+/// ~1s, plus an overflow bucket. Mirrors the bounds used by `oct-obs` so
+/// hedge-delay estimates and reported latency histograms line up.
+const BOUNDS_US: [u64; 21] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072,
+    262_144, 524_288, 1_048_576,
+];
+
+/// Tuning knobs for a [`HedgeTrigger`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency quantile of completed attempts at which the hedge fires
+    /// (e.g. `0.9` hedges the slowest ~10% of requests). Clamped to
+    /// `[0, 1]` at evaluation time.
+    pub quantile: f64,
+    /// Lower clamp on the hedge delay, so a very fast backend does not
+    /// cause every request to hedge within measurement noise.
+    pub min_delay: Duration,
+    /// Upper clamp on the hedge delay, and the delay used before
+    /// `min_samples` completions have been observed.
+    pub max_delay: Duration,
+    /// Completed attempts required before the tracked quantile is trusted.
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            quantile: 0.9,
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            min_samples: 32,
+        }
+    }
+}
+
+/// Lock-free latency-quantile tracker that turns completed-attempt
+/// latencies into a hedge delay.
+///
+/// Observations land in power-of-two microsecond buckets with relaxed
+/// atomics; [`delay`](Self::delay) walks the buckets to the configured
+/// quantile and clamps the bucket's upper bound into
+/// `[min_delay, max_delay]`. Concurrent observers may race a reader by a
+/// few counts — fine for a trigger heuristic, and the determinism story of
+/// the router never depends on *when* a hedge fires (only result selection
+/// is deterministic).
+#[derive(Debug)]
+pub struct HedgeTrigger {
+    config: HedgeConfig,
+    buckets: [AtomicU64; BOUNDS_US.len() + 1],
+    count: AtomicU64,
+}
+
+impl HedgeTrigger {
+    /// A tracker with no observations yet.
+    pub fn new(config: HedgeConfig) -> Self {
+        Self {
+            config,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed attempt's latency.
+    pub fn observe(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed attempts observed so far.
+    pub fn samples(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The tracked quantile as a duration, or `None` until
+    /// [`HedgeConfig::min_samples`] observations have been recorded.
+    pub fn quantile_estimate(&self) -> Option<Duration> {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total < self.config.min_samples.max(1) {
+            return None;
+        }
+        let q = self.config.quantile.clamp(0.0, 1.0);
+        // Ceil-rank: the smallest bucket whose cumulative count reaches
+        // ceil(q * total), matching the loadgen's quantile convention.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let us = BOUNDS_US.get(idx).copied().unwrap_or(u64::MAX / 2);
+                return Some(Duration::from_micros(us));
+            }
+        }
+        None // unreachable: seen == total >= rank by the end
+    }
+
+    /// The delay after which a hedge attempt should fire: the tracked
+    /// quantile clamped into `[min_delay, max_delay]`, or `max_delay`
+    /// while the tracker is still warming up.
+    pub fn delay(&self) -> Duration {
+        match self.quantile_estimate() {
+            Some(d) => d.clamp(self.config.min_delay, self.config.max_delay),
+            None => self.config.max_delay,
+        }
+    }
+}
+
+/// Which attempt produced the winning result of [`run_hedged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgeWinner {
+    /// The original attempt answered first.
+    Primary,
+    /// The hedge attempt answered first.
+    Hedge,
+}
+
+/// Why the hedge attempt was launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgeReason {
+    /// The primary was still in flight when the hedge delay elapsed.
+    LatencyTrigger,
+    /// The primary failed outright, so the hedge fired immediately as a
+    /// failover.
+    PrimaryFailure,
+}
+
+/// The result of a [`run_hedged`] call.
+#[derive(Debug)]
+pub struct HedgeOutcome<T, E> {
+    /// The winning value, or `Err(Some(e))` when every launched attempt
+    /// failed (the last error received), or `Err(None)` when no attempt
+    /// reported back within the wait bound.
+    pub result: Result<T, Option<E>>,
+    /// Which attempt won; `None` unless `result` is `Ok`.
+    pub winner: Option<HedgeWinner>,
+    /// Whether the hedge attempt was launched at all, and why.
+    pub fired: Option<HedgeReason>,
+}
+
+/// Runs `primary` immediately and, when the primary neither succeeds nor
+/// fails within `delay`, launches `hedge` as a redundant second attempt;
+/// the first `Ok` wins and the loser's [`CancelToken`] is cancelled. A
+/// primary *failure* before the delay fires the hedge immediately
+/// (failover). `wait` bounds the total time spent waiting for answers —
+/// attempts still in flight at the bound are cancelled and abandoned.
+///
+/// Attempts run on detached threads so a straggler blocked in I/O never
+/// delays the winner; closures must therefore be `'static` (capture `Arc`s,
+/// not references). Each closure receives its own token and should check it
+/// at natural yield points.
+pub fn run_hedged<T, E, F1, F2>(
+    delay: Duration,
+    wait: Duration,
+    primary: F1,
+    hedge: Option<F2>,
+) -> HedgeOutcome<T, E>
+where
+    T: Send + 'static,
+    E: Send + 'static,
+    F1: FnOnce(&CancelToken) -> Result<T, E> + Send + 'static,
+    F2: FnOnce(&CancelToken) -> Result<T, E> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<(HedgeWinner, Result<T, E>)>();
+    let primary_token = CancelToken::new();
+    let hedge_token = CancelToken::new();
+    spawn_attempt(HedgeWinner::Primary, primary, primary_token.clone(), &tx);
+
+    let started = Instant::now();
+    let mut hedge = hedge;
+    let mut fired = None;
+    let mut last_error = None;
+    let mut launched = 1u32;
+    let mut finished = 0u32;
+
+    while finished < launched {
+        let elapsed = started.elapsed();
+        if elapsed >= wait {
+            break;
+        }
+        // Until the hedge fires, wake up at the hedge delay; afterwards
+        // only the overall wait bound matters.
+        let timeout = if hedge.is_some() && fired.is_none() {
+            delay.saturating_sub(elapsed).min(wait - elapsed)
+        } else {
+            wait - elapsed
+        };
+        match rx.recv_timeout(timeout) {
+            Ok((winner, Ok(value))) => {
+                primary_token.cancel();
+                hedge_token.cancel();
+                return HedgeOutcome {
+                    result: Ok(value),
+                    winner: Some(winner),
+                    fired,
+                };
+            }
+            Ok((winner, Err(e))) => {
+                finished += 1;
+                last_error = Some(e);
+                if winner == HedgeWinner::Primary {
+                    if let Some(h) = hedge.take() {
+                        fired = Some(HedgeReason::PrimaryFailure);
+                        spawn_attempt(HedgeWinner::Hedge, h, hedge_token.clone(), &tx);
+                        launched += 1;
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if started.elapsed() >= wait {
+                    break;
+                }
+                if let Some(h) = hedge.take() {
+                    fired = Some(HedgeReason::LatencyTrigger);
+                    spawn_attempt(HedgeWinner::Hedge, h, hedge_token.clone(), &tx);
+                    launched += 1;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    primary_token.cancel();
+    hedge_token.cancel();
+    HedgeOutcome {
+        result: Err(last_error),
+        winner: None,
+        fired,
+    }
+}
+
+fn spawn_attempt<T, E, F>(
+    tag: HedgeWinner,
+    op: F,
+    token: CancelToken,
+    tx: &mpsc::Sender<(HedgeWinner, Result<T, E>)>,
+) where
+    T: Send + 'static,
+    E: Send + 'static,
+    F: FnOnce(&CancelToken) -> Result<T, E> + Send + 'static,
+{
+    let tx = tx.clone();
+    thread::spawn(move || {
+        let result = op(&token);
+        // The receiver may be gone (winner already chosen); that is fine.
+        let _ = tx.send((tag, result));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn trigger(min_samples: u64) -> HedgeTrigger {
+        HedgeTrigger::new(HedgeConfig {
+            quantile: 0.9,
+            min_delay: Duration::from_micros(1),
+            max_delay: Duration::from_secs(1),
+            min_samples,
+        })
+    }
+
+    #[test]
+    fn cold_tracker_answers_max_delay() {
+        let t = trigger(4);
+        assert_eq!(t.quantile_estimate(), None);
+        assert_eq!(t.delay(), Duration::from_secs(1));
+        t.observe(Duration::from_micros(10));
+        assert_eq!(t.delay(), Duration::from_secs(1), "below min_samples");
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let t = trigger(1);
+        // Nine fast observations, one slow: p90 lands on the fast bucket.
+        for _ in 0..9 {
+            t.observe(Duration::from_micros(100));
+        }
+        t.observe(Duration::from_millis(50));
+        assert_eq!(t.samples(), 10);
+        // 100µs rounds up to the 128µs bucket bound.
+        assert_eq!(t.quantile_estimate(), Some(Duration::from_micros(128)));
+        // p100-ish view: all-slow observations move the estimate.
+        let slow = trigger(1);
+        for _ in 0..10 {
+            slow.observe(Duration::from_millis(50));
+        }
+        assert_eq!(slow.quantile_estimate(), Some(Duration::from_micros(65536)));
+    }
+
+    #[test]
+    fn delay_clamps_to_bounds() {
+        let t = HedgeTrigger::new(HedgeConfig {
+            quantile: 0.5,
+            min_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(8),
+            min_samples: 1,
+        });
+        t.observe(Duration::from_micros(1)); // ~1µs estimate, below floor
+        assert_eq!(t.delay(), Duration::from_millis(2));
+        for _ in 0..100 {
+            t.observe(Duration::from_secs(2)); // overflow bucket, above cap
+        }
+        assert_eq!(t.delay(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn overflow_bucket_is_counted() {
+        let t = trigger(1);
+        t.observe(Duration::from_secs(10));
+        assert!(t.quantile_estimate().expect("has estimate") > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn primary_success_wins_without_hedging() {
+        let out: HedgeOutcome<u32, ()> = run_hedged(
+            Duration::from_secs(1),
+            Duration::from_secs(5),
+            |_t| Ok(7),
+            Some(|_t: &CancelToken| Ok(99)),
+        );
+        assert_eq!(out.result, Ok(7));
+        assert_eq!(out.winner, Some(HedgeWinner::Primary));
+        assert_eq!(out.fired, None, "hedge never launched");
+    }
+
+    #[test]
+    fn slow_primary_loses_to_hedge() {
+        let primary_token = Arc::new(std::sync::Mutex::new(None::<CancelToken>));
+        let stash = Arc::clone(&primary_token);
+        let out: HedgeOutcome<&'static str, ()> = run_hedged(
+            Duration::from_millis(5),
+            Duration::from_secs(5),
+            move |t: &CancelToken| {
+                *stash.lock().unwrap() = Some(t.clone());
+                // Straggler: sleep well past the hedge delay, checking the
+                // token like a cooperative worker would.
+                for _ in 0..200 {
+                    if t.is_cancelled() {
+                        return Err(());
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Ok("primary")
+            },
+            Some(|_t: &CancelToken| Ok("hedge")),
+        );
+        assert_eq!(out.result, Ok("hedge"));
+        assert_eq!(out.winner, Some(HedgeWinner::Hedge));
+        assert_eq!(out.fired, Some(HedgeReason::LatencyTrigger));
+        // The loser was cancelled, not abandoned mid-flight forever.
+        let token = primary_token.lock().unwrap().clone().expect("stashed");
+        assert!(token.is_cancelled(), "loser token cancelled");
+    }
+
+    #[test]
+    fn primary_failure_fires_hedge_immediately() {
+        let started = Instant::now();
+        let out: HedgeOutcome<u32, &'static str> = run_hedged(
+            Duration::from_secs(30), // latency trigger would never fire
+            Duration::from_secs(5),
+            |_t| Err("primary down"),
+            Some(|_t: &CancelToken| Ok(42)),
+        );
+        assert_eq!(out.result, Ok(42));
+        assert_eq!(out.winner, Some(HedgeWinner::Hedge));
+        assert_eq!(out.fired, Some(HedgeReason::PrimaryFailure));
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "failover did not wait out the latency trigger"
+        );
+    }
+
+    #[test]
+    fn both_failing_reports_the_error() {
+        let out: HedgeOutcome<u32, &'static str> = run_hedged(
+            Duration::from_millis(1),
+            Duration::from_secs(5),
+            |_t| Err("a"),
+            Some(|_t: &CancelToken| Err("b")),
+        );
+        assert_eq!(out.winner, None);
+        match out.result {
+            Err(Some(e)) => assert!(e == "a" || e == "b"),
+            other => panic!("expected an error, got {other:?}"),
+        }
+        assert!(out.fired.is_some());
+    }
+
+    #[test]
+    fn no_hedge_is_plain_execution() {
+        type NoHedge = Option<fn(&CancelToken) -> Result<u32, &'static str>>;
+        let out: HedgeOutcome<u32, &'static str> = run_hedged(
+            Duration::from_millis(1),
+            Duration::from_secs(5),
+            |_t| Ok(1),
+            NoHedge::None,
+        );
+        assert_eq!(out.result, Ok(1));
+        assert_eq!(out.winner, Some(HedgeWinner::Primary));
+        let out: HedgeOutcome<u32, &'static str> = run_hedged(
+            Duration::from_millis(1),
+            Duration::from_secs(5),
+            |_t| Err("x"),
+            NoHedge::None,
+        );
+        assert_eq!(out.result, Err(Some("x")));
+    }
+
+    #[test]
+    fn wait_bound_abandons_stragglers() {
+        let started = Instant::now();
+        let out: HedgeOutcome<u32, ()> = run_hedged(
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            |t: &CancelToken| {
+                while !t.is_cancelled() {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(())
+            },
+            Some(|t: &CancelToken| {
+                while !t.is_cancelled() {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(())
+            }),
+        );
+        assert!(out.result.is_err());
+        assert_eq!(out.winner, None);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "wait bound enforced"
+        );
+    }
+}

@@ -23,6 +23,11 @@
 //! - [`breaker`] — a [`CircuitBreaker`] that trips after consecutive
 //!   failures and half-opens on a timer, shared by the serving daemon and
 //!   reusable by batch paths.
+//! - [`hedge`] — a quantile-tracked [`HedgeTrigger`] plus [`run_hedged`]
+//!   first-success-wins execution for tail-latency hedging and failover.
+//! - [`health`] — a per-replica [`HealthMachine`]
+//!   (Up→Suspect→Down→Probing) driven by active probes, with last-observed
+//!   serving-epoch tracking for stale-replica detection.
 
 use std::error::Error;
 use std::fmt;
@@ -33,9 +38,13 @@ use std::time::{Duration, Instant};
 
 pub mod breaker;
 pub mod faults;
+pub mod health;
+pub mod hedge;
 pub mod retry;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use health::{HealthConfig, HealthMachine, HealthState};
+pub use hedge::{run_hedged, HedgeConfig, HedgeOutcome, HedgeReason, HedgeTrigger, HedgeWinner};
 pub use retry::{RetryOutcome, RetryPolicy};
 
 /// A shared cooperative-cancellation flag.

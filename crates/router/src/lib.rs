@@ -1,0 +1,36 @@
+//! `oct-router` — fault-tolerant sharded serving for category-tree
+//! queries.
+//!
+//! A std-only TCP front-end that speaks the same line protocol as
+//! `oct-serve` and scatter-gathers queries across a sharded, replicated
+//! backend fleet:
+//!
+//! - **Placement** ([`shard`]): a consistent-hash ring maps item ids to
+//!   shards; rendezvous hashing picks each request's replica (and its
+//!   deterministic failover order).
+//! - **Robustness** ([`replica`], [`router`]): per-replica circuit
+//!   breakers and Up→Suspect→Down→Probing health machines, hedged second
+//!   requests after a latency-quantile-tracked delay, sequential
+//!   failover, and jittered retry sweeps — all bounded by one per-request
+//!   [`oct_resilience::Budget`].
+//! - **Degradation** ([`merge`]): when a whole shard is unreachable, the
+//!   surviving shards' answers merge deterministically into a cover
+//!   carrying the typed `partial=1 missing=<ids>` marker instead of an
+//!   error; for a fixed set of live shards the merged line is
+//!   byte-identical across runs.
+//!
+//! The router is itself an `oct-serve`-shaped citizen: bounded admission
+//! queue with typed `OVERLOADED` shedding, graceful drain, metrics
+//! report on exit. See DESIGN.md §17 for the architecture discussion.
+
+#![warn(missing_docs)]
+
+pub mod merge;
+pub mod replica;
+pub mod router;
+pub mod shard;
+
+pub use merge::{merge_covers, SubCover};
+pub use replica::Replica;
+pub use router::{DrainHandle, Router, RouterConfig};
+pub use shard::{rendezvous_order, request_key, ShardMap};

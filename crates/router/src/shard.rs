@@ -1,0 +1,219 @@
+//! Shard topology: consistent hashing over the item universe, rendezvous
+//! hashing over replicas.
+//!
+//! Two placement questions, two classic answers:
+//!
+//! - *Which shard owns item `i`?* — a consistent-hash ring with
+//!   [`VNODES`] virtual points per shard. Item ids hash onto the ring and
+//!   walk clockwise to the first point; adding or removing a shard moves
+//!   only `~1/shards` of the universe, and the mapping is a pure function
+//!   of `(shard_count, item)` — every router instance agrees without
+//!   coordination.
+//! - *Which replica of a shard should answer this request?* — rendezvous
+//!   (highest-random-weight) hashing of `(replica, request_key)`. Every
+//!   router derives the same total order per key without shared state, the
+//!   load spreads across replicas key-by-key, and when the preferred
+//!   replica is down the next one in the order takes over — the failover
+//!   order is equally deterministic.
+
+/// Virtual ring points per shard. 64 keeps the ring small while bounding
+/// imbalance to a few percent at the shard counts a router fronts.
+const VNODES: u64 = 64;
+
+/// Mixes a 64-bit value (splitmix64 finalizer) — the shared hash for ring
+/// points, item placement, and rendezvous weights.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The consistent-hash ring mapping item ids to shards.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: u32,
+    /// `(ring_position, shard)` sorted by position.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// A ring over `shards` shards (clamped ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1) as u32;
+        let mut ring: Vec<(u64, u32)> = (0..shards)
+            .flat_map(|s| (0..VNODES).map(move |v| (mix((u64::from(s) << 32) | (v + 1)), s)))
+            .collect();
+        ring.sort_unstable();
+        ring.dedup_by_key(|&mut (pos, _)| pos);
+        Self { shards, ring }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning item `item` (first ring point clockwise).
+    pub fn shard_of(&self, item: u32) -> u32 {
+        let h = mix(u64::from(item) ^ 0xD6E8_FEB8_6659_FD93);
+        let idx = self.ring.partition_point(|&(pos, _)| pos < h);
+        self.ring[idx % self.ring.len()].1
+    }
+
+    /// Partitions `items` by owning shard, preserving each item's relative
+    /// order. Returns `(shard, items)` pairs in ascending shard order,
+    /// empty shards omitted — the deterministic fan-out plan.
+    pub fn partition(&self, items: &[u32]) -> Vec<(u32, Vec<u32>)> {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.shards as usize];
+        for &item in items {
+            buckets[self.shard_of(item) as usize].push(item);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, items)| !items.is_empty())
+            .map(|(shard, items)| (shard as u32, items))
+            .collect()
+    }
+}
+
+/// The rendezvous order of `replicas` replica slots for `key`: indices
+/// sorted by descending hash weight (ties by index, which cannot collide).
+/// Index 0 of the result is the key's preferred replica; the rest is the
+/// deterministic failover order.
+pub fn rendezvous_order(replicas: usize, key: u64) -> Vec<usize> {
+    let mut weighted: Vec<(u64, usize)> = (0..replicas)
+        .map(|r| (mix(key ^ mix(r as u64 ^ 0xA24B_AED4_963E_E407)), r))
+        .collect();
+    weighted.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    weighted.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A stable request key for rendezvous choice: order-sensitive FNV-1a over
+/// the queried item ids (so identical requests pick identical replicas,
+/// and distinct requests spread).
+pub fn request_key(items: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &item in items {
+        h ^= u64::from(item);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let map = ShardMap::new(3);
+        assert_eq!(map.shards(), 3);
+        for item in 0..1000u32 {
+            let s = map.shard_of(item);
+            assert!(s < 3);
+            assert_eq!(s, ShardMap::new(3).shard_of(item), "pure function");
+        }
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let map = ShardMap::new(4);
+        let mut counts = [0u32; 4];
+        for item in 0..40_000u32 {
+            counts[map.shard_of(item) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (4_000..16_000).contains(&c),
+                "shard grossly imbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_hashing_moves_few_items_on_resize() {
+        let before = ShardMap::new(4);
+        let after = ShardMap::new(5);
+        let total = 20_000u32;
+        let moved = (0..total)
+            .filter(|&i| before.shard_of(i) != after.shard_of(i))
+            .count();
+        // Ideal is 1/5 = 20%; allow generous slack for vnode variance, but
+        // far below the ~80% a modulo mapping would reshuffle.
+        assert!(
+            moved < (total as usize) * 2 / 5,
+            "resize moved {moved}/{total} items"
+        );
+    }
+
+    #[test]
+    fn partition_preserves_order_and_covers_all_items() {
+        let map = ShardMap::new(3);
+        let items = [9u32, 1, 500, 7, 1, 320];
+        let parts = map.partition(&items);
+        let mut seen: Vec<u32> = Vec::new();
+        let mut last_shard = None;
+        for (shard, sub) in &parts {
+            assert!(!sub.is_empty());
+            assert!(last_shard < Some(*shard), "ascending shard order");
+            last_shard = Some(*shard);
+            for &item in sub {
+                assert_eq!(map.shard_of(item), *shard);
+            }
+            seen.extend(sub);
+        }
+        let mut expected = items.to_vec();
+        let mut seen_sorted = seen.clone();
+        expected.sort_unstable();
+        seen_sorted.sort_unstable();
+        assert_eq!(seen_sorted, expected, "every item lands exactly once");
+        assert!(map.partition(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        assert!((0..500).all(|i| map.shard_of(i) == 0));
+        let map0 = ShardMap::new(0);
+        assert_eq!(map0.shards(), 1, "clamped");
+    }
+
+    #[test]
+    fn rendezvous_is_a_permutation_and_spreads_keys() {
+        let order = rendezvous_order(4, 42);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(order, rendezvous_order(4, 42), "pure function");
+        // Different keys prefer different replicas (statistically certain).
+        let firsts: std::collections::BTreeSet<usize> =
+            (0..64u64).map(|k| rendezvous_order(4, k)[0]).collect();
+        assert!(firsts.len() > 1, "keys spread over replicas");
+        assert!(rendezvous_order(0, 7).is_empty());
+    }
+
+    #[test]
+    fn rendezvous_failover_order_is_stable_under_removal() {
+        // Removing the preferred replica must not reshuffle the rest: the
+        // order with replica r removed is the original minus r.
+        for key in 0..32u64 {
+            let full = rendezvous_order(3, key);
+            let reduced: Vec<usize> = full.iter().copied().filter(|&r| r != full[0]).collect();
+            assert_eq!(reduced.len(), 2);
+            // The relative order of survivors in `full` IS the failover
+            // order — this is what makes degraded routing deterministic.
+            let mut walk = full.iter().filter(|&&r| r != full[0]);
+            assert_eq!(*walk.next().unwrap(), reduced[0]);
+            assert_eq!(*walk.next().unwrap(), reduced[1]);
+        }
+    }
+
+    #[test]
+    fn request_key_is_order_sensitive() {
+        assert_eq!(request_key(&[1, 2, 3]), request_key(&[1, 2, 3]));
+        assert_ne!(request_key(&[1, 2, 3]), request_key(&[3, 2, 1]));
+        assert_ne!(request_key(&[]), request_key(&[0]));
+    }
+}

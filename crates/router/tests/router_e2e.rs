@@ -1,0 +1,379 @@
+//! End-to-end router tests: real backends on real sockets behind a real
+//! router, driven over TCP. Each component binds port 0 and drains via
+//! its own handle so concurrent tests never interfere.
+//!
+//! The heart of the suite is the differential determinism contract: for
+//! any *fixed* set of live shards, identical queries through the router
+//! produce byte-identical response lines — full fleet, degraded fleet,
+//! and recovered fleet each being such a fixed set.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use oct_core::{CategoryTree, ROOT};
+use oct_obs::{Metrics, PipelineReport};
+use oct_resilience::{HealthConfig, RetryPolicy};
+use oct_router::{Router, RouterConfig, ShardMap};
+use oct_serve::prelude::*;
+
+/// Items 0..16: `left` = {0..8}, `right` = {8..16}.
+fn test_tree() -> CategoryTree {
+    let mut t = CategoryTree::new();
+    let left = t.add_category(ROOT);
+    let right = t.add_category(ROOT);
+    t.assign_items(left, 0..8);
+    t.assign_items(right, 8..16);
+    t.set_label(left, "left half");
+    t.set_label(right, "right half");
+    t
+}
+
+struct Backend {
+    addr: SocketAddr,
+    drain: DrainHandle,
+    join: JoinHandle<std::io::Result<PipelineReport>>,
+}
+
+/// Boots one backend replica serving [`test_tree`] on `addr` (use
+/// `"127.0.0.1:0"` for a fresh port, or a concrete address to restart a
+/// killed replica on its old port).
+fn start_backend(addr: &str) -> Backend {
+    let config = ServeConfig {
+        addr: addr.to_owned(),
+        workers: 2,
+        drain_grace: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind(config, ServingTree::build(test_tree(), 16, 0, "test")).expect("bind backend");
+    let addr = server.local_addr().expect("addr");
+    let drain = server.drain_handle();
+    let join = thread::spawn(move || server.run());
+    Backend { addr, drain, join }
+}
+
+fn kill(backend: Backend) {
+    backend.drain.drain();
+    let _ = backend.join.join();
+}
+
+/// Boots a fleet of `shards.len()` shards with `shards[s]` replicas each,
+/// plus a router fronting them. Health/probe knobs are tightened so
+/// failure detection and recovery land within test timescales.
+fn start_fleet(per_shard: &[usize]) -> (Vec<Vec<Backend>>, Router) {
+    let fleet: Vec<Vec<Backend>> = per_shard
+        .iter()
+        .map(|&n| (0..n).map(|_| start_backend("127.0.0.1:0")).collect())
+        .collect();
+    let shards: Vec<Vec<String>> = fleet
+        .iter()
+        .map(|replicas| replicas.iter().map(|b| b.addr.to_string()).collect())
+        .collect();
+    let config = RouterConfig {
+        workers: 2,
+        attempt_timeout: Duration::from_millis(500),
+        deadline_ms: Some(3000),
+        retry: RetryPolicy::none(),
+        health: HealthConfig {
+            suspect_after: 1,
+            down_after: 2,
+            probe_cooldown: Duration::from_millis(100),
+        },
+        probe_interval: Duration::from_millis(25),
+        probe_timeout: Duration::from_millis(250),
+        drain_grace: Duration::from_millis(500),
+        metrics: Metrics::new(true),
+        shards,
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(config).expect("bind router");
+    (fleet, router)
+}
+
+fn spawn_router(router: Router) -> (SocketAddr, oct_router::DrainHandle, JoinHandle<()>) {
+    let addr = router.local_addr().expect("router addr");
+    let drain = router.drain_handle();
+    let join = thread::spawn(move || {
+        let _ = router.run();
+    });
+    (addr, drain, join)
+}
+
+/// A raw line-level client, for byte-identical comparisons.
+struct RawClient {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let reader = BufReader::new(conn.try_clone().expect("clone"));
+        Self { conn, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.conn, "{line}").expect("write");
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("read");
+        assert!(out.ends_with('\n'), "truncated response: {out:?}");
+        out.trim_end().to_owned()
+    }
+}
+
+/// Items guaranteed to span every shard of an `n`-shard map.
+fn spanning_items(n: usize) -> Vec<u32> {
+    let map = ShardMap::new(n);
+    let mut items: Vec<u32> = (0..16).collect();
+    let covered: std::collections::BTreeSet<u32> = items.iter().map(|&i| map.shard_of(i)).collect();
+    assert_eq!(covered.len(), n, "0..16 must span all {n} shards");
+    items.sort_unstable();
+    items
+}
+
+/// Items owned by exactly one shard of an `n`-shard map.
+fn items_on_shard(n: usize, shard: u32) -> Vec<u32> {
+    let map = ShardMap::new(n);
+    (0..16).filter(|&i| map.shard_of(i) == shard).collect()
+}
+
+#[test]
+fn routes_the_full_protocol() {
+    let (fleet, router) = start_fleet(&[1, 1]);
+    let (addr, drain, join) = spawn_router(router);
+    let mut c = RawClient::connect(addr);
+
+    let pong = c.roundtrip("PING");
+    assert!(pong.starts_with("OK PONG"), "{pong}");
+
+    // A query landing entirely in one category matches the single-server
+    // answer: every replica serves the full tree, so the merge of shard
+    // slices reproduces the cover.
+    let cover = c.roundtrip("CATEGORIZE 0,1,2,3,4,5,6,7");
+    assert!(cover.contains("cat=1"), "{cover}");
+    assert!(cover.contains("covered=1"), "{cover}");
+    assert!(cover.contains("label=left half"), "{cover}");
+    assert!(!cover.contains("partial="), "full fleet is never partial");
+
+    let score = c.roundtrip("SCORE 8,9,10,11");
+    assert!(score.starts_with("OK COVER"), "{score}");
+    assert!(!score.contains("label="), "SCORE is label-free: {score}");
+
+    let nav = c.roundtrip("NAVIGATE 0");
+    assert_eq!(nav, "OK NAV cat=0 children=1,2");
+
+    let nav_bad = c.roundtrip("NAVIGATE 999");
+    assert!(nav_bad.starts_with("ERR bad-request"), "{nav_bad}");
+
+    let stats = c.roundtrip("STATS");
+    assert!(stats.contains("categories=3"), "{stats}");
+    assert!(stats.contains("degraded=0"), "healthy fleet: {stats}");
+
+    let empty = c.roundtrip("SCORE");
+    assert!(empty.contains("cat=none"), "canonical empty cover: {empty}");
+
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK DRAINING");
+    join.join().expect("router exits");
+    drop(drain);
+    for replicas in fleet {
+        for b in replicas {
+            kill(b);
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let (fleet, router) = start_fleet(&[1]);
+    let (addr, drain, join) = spawn_router(router);
+    let mut c = RawClient::connect(addr);
+
+    assert!(c.roundtrip("FROBNICATE 1,2").starts_with("ERR bad-request"));
+    assert!(c
+        .roundtrip("CATEGORIZE 1,x,3")
+        .starts_with("ERR bad-request"));
+    assert!(c
+        .roundtrip("NAVIGATE banana")
+        .starts_with("ERR bad-request"));
+    // The connection is still serviceable after every rejection.
+    assert!(c.roundtrip("PING").starts_with("OK PONG"));
+
+    drain.drain();
+    join.join().expect("router exits");
+    for replicas in fleet {
+        for b in replicas {
+            kill(b);
+        }
+    }
+}
+
+#[test]
+fn replica_loss_fails_over_with_zero_client_visible_failures() {
+    // Two replicas per shard: killing one replica of each shard must be
+    // invisible — no errors, no PARTIAL markers.
+    let (mut fleet, router) = start_fleet(&[2, 2]);
+    let (addr, drain, join) = spawn_router(router);
+    let mut c = RawClient::connect(addr);
+    let items = spanning_items(2);
+    let query = format!(
+        "SCORE {}",
+        items
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let baseline = c.roundtrip(&query);
+    assert!(baseline.starts_with("OK COVER"), "{baseline}");
+
+    // Kill the first replica of every shard mid-stream.
+    for replicas in &mut fleet {
+        kill(replicas.remove(0));
+    }
+
+    for i in 0..30 {
+        let line = c.roundtrip(&query);
+        assert_eq!(
+            line, baseline,
+            "query {i} after replica loss must be byte-identical"
+        );
+    }
+
+    drain.drain();
+    join.join().expect("router exits");
+    for replicas in fleet {
+        for b in replicas {
+            kill(b);
+        }
+    }
+}
+
+#[test]
+fn whole_shard_loss_degrades_to_typed_partial_and_recovers_byte_identical() {
+    // One replica per shard: killing shard 1's only replica makes shard 1
+    // unreachable. Covers spanning it must degrade to the typed PARTIAL
+    // marker (never an error), deterministically; after the replica comes
+    // back the answers must return to the pre-kill bytes.
+    let (mut fleet, router) = start_fleet(&[1, 1, 1]);
+    let (addr, drain, join) = spawn_router(router);
+    let mut c = RawClient::connect(addr);
+    let items = spanning_items(3);
+    let query = format!(
+        "SCORE {}",
+        items
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let healthy = c.roundtrip(&query);
+    assert!(healthy.starts_with("OK COVER"), "{healthy}");
+    assert!(!healthy.contains("partial="), "{healthy}");
+
+    let dead_shard = 1u32;
+    let dead_addr = fleet[dead_shard as usize][0].addr;
+    kill(fleet[dead_shard as usize].remove(0));
+
+    // Degraded: every answer is a typed PARTIAL naming the dead shard,
+    // and the degraded answers are byte-identical to each other.
+    let degraded = c.roundtrip(&query);
+    assert!(
+        degraded.starts_with("OK COVER"),
+        "never an error: {degraded}"
+    );
+    assert!(
+        degraded.contains(&format!("partial=1 missing={dead_shard}")),
+        "typed marker names the dead shard: {degraded}"
+    );
+    assert!(degraded.contains("degraded=1"), "{degraded}");
+    for i in 0..10 {
+        assert_eq!(
+            c.roundtrip(&query),
+            degraded,
+            "degraded answer {i} must be deterministic"
+        );
+    }
+
+    // Queries that never touch the dead shard stay full-fidelity.
+    let live_only = items_on_shard(3, 0);
+    assert!(!live_only.is_empty(), "shard 0 owns some of 0..16");
+    let live_query = format!(
+        "SCORE {}",
+        live_only
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let live_line = c.roundtrip(&live_query);
+    assert!(live_line.starts_with("OK COVER"), "{live_line}");
+    assert!(
+        !live_line.contains("partial="),
+        "untouched shards are not partial: {live_line}"
+    );
+
+    // STATS latches the sticky degraded flag while the shard is down.
+    assert!(c.roundtrip("STATS").contains("degraded=1"));
+
+    // Recovery: restart the replica on its old port and wait for the
+    // probe loop to re-admit it.
+    fleet[dead_shard as usize].push(restart_backend(dead_addr));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recovered = loop {
+        let line = c.roundtrip(&query);
+        if !line.contains("partial=") {
+            break line;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard never recovered; last: {line}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(
+        recovered, healthy,
+        "post-recovery answers return to the pre-kill bytes"
+    );
+    // Sticky: the router remembers it served degraded answers.
+    assert!(c.roundtrip("STATS").contains("degraded=1"));
+
+    drain.drain();
+    join.join().expect("router exits");
+    for replicas in fleet {
+        for b in replicas {
+            kill(b);
+        }
+    }
+}
+
+/// Rebinds a backend on a just-freed concrete port (retrying briefly —
+/// the old listener's close may still be settling).
+fn restart_backend(addr: SocketAddr) -> Backend {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let config = ServeConfig {
+            addr: addr.to_string(),
+            workers: 2,
+            drain_grace: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        match Server::bind(config, ServingTree::build(test_tree(), 16, 0, "test")) {
+            Ok(server) => {
+                let addr = server.local_addr().expect("addr");
+                let drain = server.drain_handle();
+                let join = thread::spawn(move || server.run());
+                return Backend { addr, drain, join };
+            }
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot rebind {addr}: {e}");
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}

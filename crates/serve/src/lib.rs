@@ -41,6 +41,7 @@
 //!
 //! let resp = oct_serve::client::one_shot(addr, &Request::Categorize {
 //!     items: vec![1, 2, 3],
+//!     shard: None,
 //! })?;
 //! # Ok::<(), std::io::Error>(())
 //! ```
@@ -56,9 +57,10 @@ pub mod signal;
 pub mod swap;
 
 pub use client::Client;
+pub use loadgen::{Arrival, KeyDist, LoadGenConfig, LoadGenOutcome};
 pub use protocol::{ErrorCode, Request, Response};
 pub use queue::{BoundedQueue, Push};
-pub use server::{DrainHandle, ServeConfig, Server};
+pub use server::{DrainHandle, LineReader, ServeConfig, Server};
 pub use swap::{ServingTree, TreeHandle};
 
 /// Convenient glob-import surface.

@@ -13,12 +13,18 @@
 //! →  NAVIGATE 12
 //! ←  OK NAV cat=12 children=13,14,19
 //! →  STATS
-//! ←  OK STATS epoch=3 categories=412 max_depth=6 items=50000
+//! ←  OK STATS epoch=3 categories=412 max_depth=6 items=50000 degraded=0
 //! →  SWAP /path/to/new.oct
 //! ←  OK SWAPPED epoch=4 categories=433
 //! ←  OVERLOADED queue=64            (typed shed — request was never admitted)
 //! ←  ERR unavailable: circuit open  (breaker rejecting while a dependency heals)
 //! ```
+//!
+//! Router fan-out adds two optional markers. Sub-queries carry a shard
+//! scope tag (`SCORE 17,42 shard=1`) so backends can attribute per-shard
+//! load; and a cover merged from a fleet with dead shards carries
+//! `partial=1 missing=<shard-ids>` (before the label trailer), the typed
+//! PARTIAL degradation instead of an error.
 //!
 //! `SCORE` is `CATEGORIZE` minus the label lookup — same cover computation,
 //! for clients that only want the number. Unknown or malformed lines get
@@ -36,11 +42,19 @@ pub enum Request {
     Categorize {
         /// The queried item ids.
         items: Vec<u32>,
+        /// Shard scope tag (router fan-out): marks this request as the
+        /// sub-query for one shard's slice of a larger item set. Backends
+        /// treat it as routing metadata — the cover computation is
+        /// unchanged — but count scoped traffic separately so per-shard
+        /// load is attributable.
+        shard: Option<u32>,
     },
     /// Best cover of the item set, label-free.
     Score {
         /// The queried item ids.
         items: Vec<u32>,
+        /// Shard scope tag (see [`Request::Categorize::shard`]).
+        shard: Option<u32>,
     },
     /// Children of one category (tree browsing).
     Navigate {
@@ -111,6 +125,11 @@ pub enum Response {
         covered: bool,
         /// Whether the budget expired mid-scan (pessimistic partial answer).
         degraded: bool,
+        /// Shards that contributed no answer (router fan-out only; empty
+        /// for single-server responses and full-fleet merges). A non-empty
+        /// list is the typed `PARTIAL` marker: the cover is a
+        /// deterministic merge of the surviving shards.
+        missing: Vec<u32>,
         /// The winning category's label (CATEGORIZE only; last field, may
         /// contain spaces).
         label: Option<String>,
@@ -132,6 +151,11 @@ pub enum Response {
         max_depth: usize,
         /// Item slots in the point index.
         items: u32,
+        /// Sticky degraded flag: has any answer since startup been
+        /// degraded (budget expiry, partial fan-out, shed replica)?
+        /// Health probes use this plus `epoch` to spot limping or
+        /// stale-epoch replicas after a SWAP.
+        degraded: bool,
     },
     /// A hot swap was published.
     Swapped {
@@ -169,12 +193,14 @@ impl Request {
         };
         match verb.to_ascii_uppercase().as_str() {
             "PING" => Ok(Self::Ping),
-            "CATEGORIZE" => Ok(Self::Categorize {
-                items: parse_items(rest)?,
-            }),
-            "SCORE" => Ok(Self::Score {
-                items: parse_items(rest)?,
-            }),
+            "CATEGORIZE" => {
+                let (items, shard) = parse_scoped_items(rest)?;
+                Ok(Self::Categorize { items, shard })
+            }
+            "SCORE" => {
+                let (items, shard) = parse_scoped_items(rest)?;
+                Ok(Self::Score { items, shard })
+            }
             "NAVIGATE" => rest
                 .parse::<CatId>()
                 .map(|cat| Self::Navigate { cat })
@@ -199,13 +225,42 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Self::Ping => "PING".to_owned(),
-            Self::Categorize { items } => format!("CATEGORIZE {}", join_items(items)),
-            Self::Score { items } => format!("SCORE {}", join_items(items)),
+            Self::Categorize { items, shard } => {
+                format!("CATEGORIZE {}{}", join_items(items), shard_suffix(*shard))
+            }
+            Self::Score { items, shard } => {
+                format!("SCORE {}{}", join_items(items), shard_suffix(*shard))
+            }
             Self::Navigate { cat } => format!("NAVIGATE {cat}"),
             Self::Stats => "STATS".to_owned(),
             Self::Swap { path } => format!("SWAP {path}"),
             Self::Shutdown => "SHUTDOWN".to_owned(),
         }
+    }
+}
+
+/// Parses an item list with an optional trailing `shard=N` scope tag
+/// (`CATEGORIZE 1,2,3 shard=2`, or `SCORE shard=2` for an empty slice).
+fn parse_scoped_items(text: &str) -> Result<(Vec<u32>, Option<u32>), String> {
+    let parse_shard = |value: &str| {
+        value
+            .parse::<u32>()
+            .map_err(|_| format!("bad shard id {value:?}"))
+    };
+    if let Some((head, tail)) = text.rsplit_once(char::is_whitespace) {
+        if let Some(value) = tail.strip_prefix("shard=") {
+            return Ok((parse_items(head.trim())?, Some(parse_shard(value)?)));
+        }
+    } else if let Some(value) = text.strip_prefix("shard=") {
+        return Ok((Vec::new(), Some(parse_shard(value)?)));
+    }
+    Ok((parse_items(text)?, None))
+}
+
+fn shard_suffix(shard: Option<u32>) -> String {
+    match shard {
+        Some(s) => format!(" shard={s}"),
+        None => String::new(),
     }
 }
 
@@ -242,6 +297,7 @@ impl Response {
                 precision,
                 covered,
                 degraded,
+                missing,
                 label,
             } => {
                 let mut line = format!(
@@ -251,6 +307,12 @@ impl Response {
                     u8::from(*covered),
                     u8::from(*degraded),
                 );
+                // The PARTIAL marker precedes the free-form label trailer so
+                // it always parses as a real field (first match wins) and is
+                // never forged by label text.
+                if !missing.is_empty() {
+                    line.push_str(&format!(" partial=1 missing={}", join_items(missing)));
+                }
                 if let Some(label) = label {
                     line.push_str(" label=");
                     line.push_str(label);
@@ -265,9 +327,11 @@ impl Response {
                 categories,
                 max_depth,
                 items,
+                degraded,
             } => format!(
                 "OK STATS epoch={epoch} categories={categories} max_depth={max_depth} \
-                 items={items}"
+                 items={items} degraded={}",
+                u8::from(*degraded)
             ),
             Self::Swapped { epoch, categories } => {
                 format!("OK SWAPPED epoch={epoch} categories={categories}")
@@ -310,21 +374,35 @@ impl Response {
             "PONG" => Ok(Self::Pong {
                 epoch: fields.u64("epoch")?,
             }),
-            "COVER" => Ok(Self::Cover {
-                epoch: fields.u64("epoch")?,
-                cat: match fields.str("cat")? {
-                    "none" => None,
-                    id => Some(
-                        id.parse::<CatId>()
-                            .map_err(|_| format!("bad cat id {id:?}"))?,
-                    ),
-                },
-                similarity: fields.f64("sim")?,
-                precision: fields.f64("precision")?,
-                covered: fields.u64("covered")? != 0,
-                degraded: fields.u64("degraded")? != 0,
-                label: fields.trailing("label="),
-            }),
+            "COVER" => {
+                // Optional fields (partial/missing) are resolved against
+                // the head of the line — everything before the free-form
+                // label trailer — so label text can never forge them.
+                let head = Fields::parse(match rest.find("label=") {
+                    Some(at) => &rest[..at],
+                    None => rest,
+                });
+                Ok(Self::Cover {
+                    epoch: fields.u64("epoch")?,
+                    cat: match fields.str("cat")? {
+                        "none" => None,
+                        id => Some(
+                            id.parse::<CatId>()
+                                .map_err(|_| format!("bad cat id {id:?}"))?,
+                        ),
+                    },
+                    similarity: fields.f64("sim")?,
+                    precision: fields.f64("precision")?,
+                    covered: fields.u64("covered")? != 0,
+                    degraded: fields.u64("degraded")? != 0,
+                    missing: if head.u64("partial").unwrap_or(0) != 0 {
+                        parse_items(head.str("missing").unwrap_or(""))?
+                    } else {
+                        Vec::new()
+                    },
+                    label: fields.trailing("label="),
+                })
+            }
             "NAV" => Ok(Self::Nav {
                 cat: fields.u64("cat")? as CatId,
                 children: parse_items(fields.str("children").unwrap_or(""))?,
@@ -334,6 +412,8 @@ impl Response {
                 categories: fields.u64("categories")? as usize,
                 max_depth: fields.u64("max_depth")? as usize,
                 items: fields.u64("items")? as u32,
+                // Lenient default keeps old single-server responses valid.
+                degraded: fields.u64("degraded").unwrap_or(0) != 0,
             }),
             "SWAPPED" => Ok(Self::Swapped {
                 epoch: fields.u64("epoch")?,
@@ -347,6 +427,12 @@ impl Response {
     /// `true` for the typed shed response.
     pub fn is_overloaded(&self) -> bool {
         matches!(self, Self::Overloaded { .. })
+    }
+
+    /// `true` for a cover carrying the `PARTIAL` marker (some shards
+    /// contributed no answer).
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Self::Cover { missing, .. } if !missing.is_empty())
     }
 }
 
@@ -404,8 +490,20 @@ mod tests {
             Request::Ping,
             Request::Categorize {
                 items: vec![17, 42, 108],
+                shard: None,
             },
-            Request::Score { items: vec![5] },
+            Request::Categorize {
+                items: vec![17, 42],
+                shard: Some(2),
+            },
+            Request::Score {
+                items: vec![5],
+                shard: None,
+            },
+            Request::Score {
+                items: Vec::new(),
+                shard: Some(0),
+            },
             Request::Navigate { cat: 12 },
             Request::Stats,
             Request::Swap {
@@ -425,13 +523,36 @@ mod tests {
         assert_eq!(
             Request::parse("  categorize 1, 2 ,3  ").expect("ok"),
             Request::Categorize {
-                items: vec![1, 2, 3]
+                items: vec![1, 2, 3],
+                shard: None,
             }
         );
         assert_eq!(
             Request::parse("CATEGORIZE").expect("empty set allowed"),
-            Request::Categorize { items: Vec::new() }
+            Request::Categorize {
+                items: Vec::new(),
+                shard: None,
+            }
         );
+    }
+
+    #[test]
+    fn shard_scope_tag_roundtrips() {
+        assert_eq!(
+            Request::parse("SCORE 4,9 shard=1").expect("ok"),
+            Request::Score {
+                items: vec![4, 9],
+                shard: Some(1),
+            }
+        );
+        assert_eq!(
+            Request::parse("CATEGORIZE shard=3").expect("scoped empty slice"),
+            Request::Categorize {
+                items: Vec::new(),
+                shard: Some(3),
+            }
+        );
+        assert!(Request::parse("SCORE 1 shard=banana").is_err());
     }
 
     #[test]
@@ -454,6 +575,7 @@ mod tests {
                 precision: 0.714286,
                 covered: true,
                 degraded: false,
+                missing: Vec::new(),
                 label: Some("running shoes".to_owned()),
             },
             Response::Cover {
@@ -463,7 +585,18 @@ mod tests {
                 precision: 1.0,
                 covered: false,
                 degraded: true,
+                missing: Vec::new(),
                 label: None,
+            },
+            Response::Cover {
+                epoch: 9,
+                cat: Some(4),
+                similarity: 0.5,
+                precision: 0.25,
+                covered: false,
+                degraded: true,
+                missing: vec![0, 2],
+                label: Some("partial merge".to_owned()),
             },
             Response::Nav {
                 cat: 12,
@@ -478,6 +611,14 @@ mod tests {
                 categories: 412,
                 max_depth: 6,
                 items: 50_000,
+                degraded: false,
+            },
+            Response::Stats {
+                epoch: 5,
+                categories: 1,
+                max_depth: 1,
+                items: 10,
+                degraded: true,
             },
             Response::Swapped {
                 epoch: 4,
@@ -505,6 +646,69 @@ mod tests {
     }
 
     #[test]
+    fn partial_marker_roundtrips_and_is_detectable() {
+        let resp = Response::Cover {
+            epoch: 2,
+            cat: Some(7),
+            similarity: 0.5,
+            precision: 0.5,
+            covered: true,
+            degraded: true,
+            missing: vec![1, 3],
+            label: None,
+        };
+        assert!(resp.is_partial());
+        let line = resp.encode();
+        assert!(line.contains("partial=1 missing=1,3"), "{line}");
+        assert_eq!(Response::parse(&line).expect("roundtrip"), resp);
+        // A full answer carries no marker at all.
+        let full = Response::Cover {
+            epoch: 2,
+            cat: Some(7),
+            similarity: 0.5,
+            precision: 0.5,
+            covered: true,
+            degraded: false,
+            missing: Vec::new(),
+            label: None,
+        };
+        assert!(!full.is_partial());
+        assert!(!full.encode().contains("partial"), "no marker when full");
+    }
+
+    #[test]
+    fn label_text_cannot_forge_a_partial_marker() {
+        let resp = Response::Cover {
+            epoch: 1,
+            cat: Some(2),
+            similarity: 1.0,
+            precision: 1.0,
+            covered: true,
+            degraded: false,
+            missing: Vec::new(),
+            label: Some("weird partial=1 missing=9 label".to_owned()),
+        };
+        match Response::parse(&resp.encode()).expect("parses") {
+            Response::Cover { missing, label, .. } => {
+                assert!(missing.is_empty(), "forged marker ignored");
+                assert_eq!(label.as_deref(), Some("weird partial=1 missing=9 label"));
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_without_degraded_field_defaults_to_false() {
+        // Old single-server STATS lines (pre-health-fields) stay parseable.
+        match Response::parse("OK STATS epoch=3 categories=4 max_depth=2 items=100")
+            .expect("lenient parse")
+        {
+            Response::Stats { degraded, .. } => assert!(!degraded),
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
     fn labels_with_spaces_survive() {
         let resp = Response::Cover {
             epoch: 1,
@@ -513,6 +717,7 @@ mod tests {
             precision: 1.0,
             covered: true,
             degraded: false,
+            missing: Vec::new(),
             label: Some("black running shoes size=44".to_owned()),
         };
         match Response::parse(&resp.encode()).expect("parses") {

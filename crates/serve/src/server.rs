@@ -116,6 +116,9 @@ struct Shared {
     in_flight: AtomicUsize,
     /// Seed source for deterministic-but-decorrelated retry jitter.
     next_seed: AtomicU64,
+    /// Sticky: latched the first time any answer is served degraded, and
+    /// reported in `STATS` so health probes can spot a limping replica.
+    served_degraded: AtomicBool,
 }
 
 impl Shared {
@@ -163,6 +166,7 @@ impl Server {
             drain_token: CancelToken::new(),
             in_flight: AtomicUsize::new(0),
             next_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            served_degraded: AtomicBool::new(false),
             config,
         });
         Ok(Self { listener, shared })
@@ -311,7 +315,10 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
         };
         let done = matches!(response, Response::Draining);
         writeln!(conn, "{}", response.encode())?;
-        if done {
+        // Drain closes busy connections too: the request in hand got its
+        // response, but a client pipelining fast enough to never leave a
+        // read-timeout gap must not pin this worker past drain.
+        if done || shared.draining() {
             return Ok(());
         }
     }
@@ -327,8 +334,14 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
         Request::Ping => Response::Pong {
             epoch: snapshot.epoch,
         },
-        Request::Categorize { items } => cover(shared, &snapshot, &items, true),
-        Request::Score { items } => cover(shared, &snapshot, &items, false),
+        Request::Categorize { items, shard } => {
+            count_scoped(shared, shard);
+            cover(shared, &snapshot, &items, true)
+        }
+        Request::Score { items, shard } => {
+            count_scoped(shared, shard);
+            cover(shared, &snapshot, &items, false)
+        }
         Request::Navigate { cat } => match snapshot.live_children(cat) {
             Some(children) => Response::Nav { cat, children },
             None => Response::Error {
@@ -341,12 +354,21 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             categories: snapshot.stats.categories,
             max_depth: snapshot.stats.max_depth,
             items: snapshot.index.num_items(),
+            degraded: shared.served_degraded.load(Ordering::Relaxed),
         },
         Request::Swap { path } => swap_tree(shared, &path),
         Request::Shutdown => {
             shared.request_drain();
             Response::Draining
         }
+    }
+}
+
+/// Attributes shard-scoped sub-queries (router fan-out) so per-shard load
+/// shows up in the report; the scope tag does not change the computation.
+fn count_scoped(shared: &Shared, shard: Option<u32>) {
+    if let Some(shard) = shard {
+        shared.metrics.incr(&format!("serve/shard/{shard}"));
     }
 }
 
@@ -380,6 +402,7 @@ fn cover(shared: &Shared, snapshot: &ServingTree, items: &[u32], with_label: boo
             shared.breaker.record_success();
             if point.degraded {
                 shared.metrics.incr("serve/degraded");
+                shared.served_degraded.store(true, Ordering::Relaxed);
             }
             let label = if with_label {
                 point
@@ -396,6 +419,7 @@ fn cover(shared: &Shared, snapshot: &ServingTree, items: &[u32], with_label: boo
                 precision: point.precision,
                 covered: point.covered,
                 degraded: point.degraded,
+                missing: Vec::new(),
                 label,
             }
         }
@@ -466,14 +490,22 @@ fn swap_tree(shared: &Shared, path: &str) -> Response {
 /// `BufReader::read_line` cannot be used across a timeout error — it may
 /// have consumed a partial line into its private buffer. This reader owns
 /// the buffer, so timeouts are a clean "no progress yet" and the partial
-/// line survives for the next poll.
-struct LineReader {
+/// line survives for the next poll. Public so the shard router's front-end
+/// shares the exact same framing (including the 1 MiB DoS cap).
+pub struct LineReader {
     buf: Vec<u8>,
     chunk: [u8; 4096],
 }
 
+impl Default for LineReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl LineReader {
-    fn new() -> Self {
+    /// An empty reader.
+    pub fn new() -> Self {
         Self {
             buf: Vec::new(),
             chunk: [0; 4096],
@@ -482,7 +514,7 @@ impl LineReader {
 
     /// Reads until a full line, EOF (`None`), or `should_stop()` turning
     /// true while idle between timeouts.
-    fn next_line(
+    pub fn next_line(
         &mut self,
         conn: &mut TcpStream,
         should_stop: impl Fn() -> bool,

@@ -57,7 +57,10 @@ fn worker_panic_is_retried_and_the_request_still_succeeds() {
     // a transient failure, the retry succeeds, the client never notices.
     faults::arm("serve/request-panic", 1);
     match c
-        .request(&Request::Categorize { items: vec![0, 1] })
+        .request(&Request::Categorize {
+            items: vec![0, 1],
+            shard: None,
+        })
         .expect("request survives an injected panic")
     {
         Response::Cover { cat, covered, .. } => {
@@ -100,7 +103,10 @@ fn retry_exhaustion_trips_the_breaker_and_a_probe_closes_it() {
     };
     let (addr, drain, join) = start(config);
     let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
-    let query = Request::Score { items: vec![0, 1] };
+    let query = Request::Score {
+        items: vec![0, 1],
+        shard: None,
+    };
 
     // Two injected failures reach the threshold…
     for round in 0..2 {

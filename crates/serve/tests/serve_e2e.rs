@@ -59,7 +59,10 @@ fn serves_the_full_protocol_and_drains_on_shutdown_verb() {
     }
 
     match c
-        .request(&Request::Categorize { items: vec![0, 1] })
+        .request(&Request::Categorize {
+            items: vec![0, 1],
+            shard: None,
+        })
         .expect("categorize")
     {
         Response::Cover {
@@ -80,7 +83,10 @@ fn serves_the_full_protocol_and_drains_on_shutdown_verb() {
     }
 
     match c
-        .request(&Request::Score { items: vec![2, 3] })
+        .request(&Request::Score {
+            items: vec![2, 3],
+            shard: None,
+        })
         .expect("score")
     {
         Response::Cover { cat, label, .. } => {
@@ -179,7 +185,15 @@ fn zero_deadline_serves_fully_degraded_answers() {
         ..quick_config()
     };
     let (addr, drain, join) = start(config, test_tree());
-    match client::one_shot(addr, &Request::Categorize { items: vec![0, 1] }).expect("query") {
+    match client::one_shot(
+        addr,
+        &Request::Categorize {
+            items: vec![0, 1],
+            shard: None,
+        },
+    )
+    .expect("query")
+    {
         Response::Cover { degraded, cat, .. } => {
             assert!(degraded, "zero deadline must degrade immediately");
             assert_eq!(cat, None, "no candidate evaluated");
@@ -225,7 +239,10 @@ fn hot_swap_publishes_atomically_under_concurrent_load() {
                 let mut checked = 0u32;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     match c
-                        .request(&Request::Score { items: vec![0, 1] })
+                        .request(&Request::Score {
+                            items: vec![0, 1],
+                            shard: None,
+                        })
                         .expect("score during swap")
                     {
                         Response::Cover {
@@ -299,7 +316,10 @@ fn corrupt_swap_keeps_the_old_epoch_serving() {
         }
         // The old tree is still serving at the old epoch.
         match c
-            .request(&Request::Categorize { items: vec![0, 1] })
+            .request(&Request::Categorize {
+                items: vec![0, 1],
+                shard: None,
+            })
             .expect("categorize after failed swap")
         {
             Response::Cover {
@@ -330,7 +350,11 @@ fn corrupt_swap_keeps_the_old_epoch_serving() {
 
     drain.drain();
     let report = join.join().expect("no panic").expect("clean run");
-    assert_eq!(report.counter("serve/swaps"), Some(1), "published swaps only");
+    assert_eq!(
+        report.counter("serve/swaps"),
+        Some(1),
+        "published swaps only"
+    );
     assert_eq!(report.counter("serve/swap_failed"), Some(3));
     std::fs::remove_dir_all(&dir).ok();
 }
