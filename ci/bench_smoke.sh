@@ -19,7 +19,7 @@ WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
 # Must mirror SUITES in crates/bench/src/perf.rs.
-SUITES=(conflict mis cluster matrix score persist incr serve)
+SUITES=(conflict mis cluster matrix score persist incr serve router chaos)
 
 # check_bench_file <path>: the file must exist, be non-empty, carry the
 # schema stamp, cover every suite, and embed the pipeline report.

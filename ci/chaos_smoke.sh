@@ -1,0 +1,242 @@
+#!/usr/bin/env bash
+# Chaos smoke: 3 shards × 2 replicas, every replica behind a seeded
+# `octree chaos` fault proxy, the scatter-gather router on top. The fault
+# choreography and the four router invariants it asserts:
+#   * shards 1–2 run behind *mixed* fault proxies (delays, resets at byte
+#     offsets, trickle writes) for the whole run → zero client-visible
+#     request failures while every shard keeps a reachable replica;
+#   * shard 0's proxies restart as *black holes* (accept, never respond)
+#     → responses settle to the typed `partial=1 missing=0` marker (never
+#     ERR, never garbage), byte-identical while degraded, and STATS
+#     latches degraded=1;
+#   * the black holes restart as passthrough on the same ports → answers
+#     recover byte-identical to the pre-fault capture, and the router's
+#     fd count returns to its pre-fault baseline (no connection leak);
+#   * the fault schedule is a pure function of the seed → printing the
+#     same plan twice is cmp-identical, and re-running the capture with
+#     the chaos tier restarted on the same seed replays the same bytes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OCTREE=${OCTREE:-target/release/octree}
+SCALE=${SCALE:-0.01}
+SEED=${SEED:-7}
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in ${PIDS+"${PIDS[@]}"}; do kill -9 "$pid" 2> /dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+fail() { echo "chaos smoke: $*"; exit 1; }
+
+if [[ ! -x "$OCTREE" ]]; then
+    cargo build --release -p oct-cli --bin octree
+fi
+
+"$OCTREE" export --dataset A --scale "$SCALE" --out "$WORK/q.tsv" > "$WORK/export.txt"
+ITEMS=$(grep -o 'use --items [0-9]*' "$WORK/export.txt" | grep -o '[0-9]*$')
+"$OCTREE" build --log "$WORK/q.tsv" --items "$ITEMS" --labels --out "$WORK/a.oct" > /dev/null
+
+# Starts a backend replica; $1 names its log. Sets ADDR_<name>, PID_<name>.
+start_backend() {
+    local name=$1 addr="" pid="" attempt
+    for attempt in $(seq 1 20); do
+        "$OCTREE" serve --tree "$WORK/a.oct" --addr 127.0.0.1:0 --workers 2 --queue 16 \
+            > "$WORK/$name.log" 2>&1 &
+        pid=$!
+        PIDS+=("$pid")
+        for _ in $(seq 1 50); do
+            addr=$(grep -o 'listening on [0-9.:]*' "$WORK/$name.log" 2> /dev/null \
+                | head -n1 | awk '{print $3}') || true
+            [[ -n "$addr" ]] && break
+            kill -0 "$pid" 2> /dev/null || break
+            sleep 0.1
+        done
+        [[ -n "$addr" ]] && break
+        sleep 0.2
+    done
+    [[ -n "$addr" ]] || { cat "$WORK/$name.log"; fail "replica $name never came up"; }
+    eval "ADDR_$name=\$addr"
+    eval "PID_$name=\$pid"
+}
+
+start_backend s0r0; start_backend s0r1
+start_backend s1r0; start_backend s1r1
+start_backend s2r0; start_backend s2r1
+
+# Reads "proxy <idx> listening on <addr> -> <upstream>" from a chaos log.
+proxy_addr() {
+    grep -o "proxy $2 listening on [0-9.:]*" "$WORK/$1.log" 2> /dev/null \
+        | head -n1 | awk '{print $5}' || true
+}
+
+# Starts a chaos-proxy tier; $1 names its log, $2 the profile, $3 the
+# ';'-separated LISTEN=UPSTREAM routes, $4 how many proxies to wait for.
+# Sets PID_<name>.
+start_chaos() {
+    local name=$1 profile=$2 routes=$3 count=$4 pid="" up attempt i
+    for attempt in $(seq 1 20); do
+        "$OCTREE" chaos --routes "$routes" --seed "$SEED" --profile "$profile" \
+            > "$WORK/$name.log" 2>&1 &
+        pid=$!
+        PIDS+=("$pid")
+        for _ in $(seq 1 50); do
+            up=1
+            for i in $(seq 0 $((count - 1))); do
+                [[ -n "$(proxy_addr "$name" "$i")" ]] || { up=""; break; }
+            done
+            [[ -n "$up" ]] && break
+            kill -0 "$pid" 2> /dev/null || break # bind failed; retry
+            sleep 0.1
+        done
+        [[ -n "$up" ]] && break
+        sleep 0.2
+    done
+    [[ -n "${up:-}" ]] || { cat "$WORK/$name.log"; fail "chaos tier $name never came up"; }
+    eval "PID_$name=\$pid"
+}
+
+# The long-lived mixed-fault tier over shards 1 and 2 (proxies 0..3), and
+# the restartable shard-0 tier (proxies 0..1), passthrough for now.
+start_chaos chaos12 mixed \
+    "127.0.0.1:0=$ADDR_s1r0;127.0.0.1:0=$ADDR_s1r1;127.0.0.1:0=$ADDR_s2r0;127.0.0.1:0=$ADDR_s2r1" 4
+P10=$(proxy_addr chaos12 0); P11=$(proxy_addr chaos12 1)
+P20=$(proxy_addr chaos12 2); P21=$(proxy_addr chaos12 3)
+start_chaos chaos0 passthrough "127.0.0.1:0=$ADDR_s0r0;127.0.0.1:0=$ADDR_s0r1" 2
+P00=$(proxy_addr chaos0 0); P01=$(proxy_addr chaos0 1)
+
+grep -q "plan chaos-v1 seed=$SEED" "$WORK/chaos12.log" \
+    || fail "chaos tier did not print its plan fingerprint"
+
+# The router talks only to proxies — every byte to shards 1–2 crosses the
+# mixed-fault schedule.
+"$OCTREE" router --shards "$P00,$P01;$P10,$P11;$P20,$P21" --addr 127.0.0.1:0 \
+    --metrics "$WORK/router_metrics.json" > "$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(grep -o 'listening on [0-9.:]*' "$WORK/router.log" 2> /dev/null \
+        | head -n1 | awk '{print $3}') || true
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { cat "$WORK/router.log"; fail "router never came up"; }
+
+query() { "$OCTREE" query --addr "$ADDR" --send "$1"; }
+
+query "PING" | grep -q '^OK PONG' || fail "PING through the chaos tier failed"
+query "STATS" | grep -q 'degraded=0' || fail "healthy chaos fleet reported degraded"
+
+SPAN=$(seq -s, 0 39)
+QUERY_LIST=("CATEGORIZE $SPAN" "SCORE $SPAN")
+for i in 0 1 2 3 4 5 6 7 8 9; do
+    QUERY_LIST+=("CATEGORIZE $i,$(((i * 13 + 7) % ITEMS)),$(((i * 29 + 3) % ITEMS))")
+done
+capture() {
+    : > "$1"
+    local q
+    for q in "${QUERY_LIST[@]}"; do query "$q" >> "$1"; done
+}
+
+# Invariant 1: zero client-visible failures under the mixed fault mix.
+capture "$WORK/before.txt"
+grep -q 'partial=1' "$WORK/before.txt" && fail "covered fleet answered partial under mixed faults"
+grep -q '^ERR' "$WORK/before.txt" && fail "mixed faults leaked an ERR to the client"
+grep -cq '^OK' "$WORK/before.txt" || fail "capture produced no OK lines"
+"$OCTREE" loadgen --addr "$ADDR" --items "$ITEMS" --connections 4 --requests 50 \
+    --rps 300 --zipf 1.1 > "$WORK/loadgen.txt"
+grep -q 'errors=0 transport=0' "$WORK/loadgen.txt" \
+    || { cat "$WORK/loadgen.txt"; fail "loadgen saw failed requests under mixed faults"; }
+echo "chaos smoke: mixed faults on shards 1-2 were client-invisible"
+
+FD_BASELINE=$(ls /proc/"$ROUTER_PID"/fd | wc -l)
+
+# Invariant 2: whole-shard black-hole degrades to deterministic typed
+# PARTIAL. Restart shard 0's proxies on their old ports as black holes.
+kill -TERM "$PID_chaos0"
+wait "$PID_chaos0" || true
+start_chaos chaos0bh blackhole "$P00=$ADDR_s0r0;$P01=$ADDR_s0r1" 2
+PARTIAL=""
+for _ in $(seq 1 200); do
+    query "CATEGORIZE $SPAN" > "$WORK/partial.txt" 2>&1 || true
+    if grep -qE 'partial=1 missing=0([^,0-9]|$)' "$WORK/partial.txt"; then
+        query "CATEGORIZE $SPAN" > "$WORK/partial2.txt" 2>&1 || true
+        if cmp -s "$WORK/partial.txt" "$WORK/partial2.txt"; then
+            PARTIAL=yes
+            break
+        fi
+    fi
+    sleep 0.1
+done
+[[ -n "$PARTIAL" ]] || { cat "$WORK/partial.txt"; fail "black-holed shard never settled into PARTIAL"; }
+grep -q '^OK COVER' "$WORK/partial.txt" || fail "PARTIAL response is not a typed OK"
+grep -q '^ERR' "$WORK/partial.txt" && fail "black hole leaked an ERR"
+query "STATS" | grep -q 'degraded=1' || fail "black-holed shard must report degraded=1"
+query "CATEGORIZE $SPAN" > "$WORK/partial3.txt"
+cmp -s "$WORK/partial2.txt" "$WORK/partial3.txt" \
+    || { diff "$WORK/partial2.txt" "$WORK/partial3.txt" | head; fail "degraded answers are not deterministic"; }
+echo "chaos smoke: whole-shard black hole degraded to deterministic typed PARTIAL"
+
+# Invariant 3: recovery. Passthrough again on the same ports — answers
+# must return byte-identical to the pre-fault capture, and the router's
+# fd count must return to its baseline (no leaked connections from the
+# black-hole phase).
+kill -TERM "$PID_chaos0bh"
+wait "$PID_chaos0bh" || true
+start_chaos chaos0pt passthrough "$P00=$ADDR_s0r0;$P01=$ADDR_s0r1" 2
+RECOVERED=""
+for _ in $(seq 1 200); do
+    query "CATEGORIZE $SPAN" > "$WORK/recover.txt" 2>&1 || true
+    if grep -q '^OK COVER' "$WORK/recover.txt" \
+        && ! grep -q 'partial=1' "$WORK/recover.txt"; then
+        RECOVERED=yes
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$RECOVERED" ]] || { cat "$WORK/recover.txt"; fail "fleet never recovered after faults cleared"; }
+capture "$WORK/after.txt"
+cmp -s "$WORK/before.txt" "$WORK/after.txt" \
+    || { diff "$WORK/before.txt" "$WORK/after.txt" | head; fail "recovered answers differ from the pre-fault capture"; }
+query "STATS" | grep -q 'degraded=1' || fail "sticky degraded flag was lost on recovery"
+FD_AFTER=$(ls /proc/"$ROUTER_PID"/fd | wc -l)
+[[ "$FD_AFTER" -le $((FD_BASELINE + 16)) ]] \
+    || fail "router leaked fds across the fault cycle ($FD_BASELINE -> $FD_AFTER)"
+echo "chaos smoke: recovered byte-identical to the pre-fault capture (fds $FD_BASELINE -> $FD_AFTER)"
+
+# Invariant 4: seeded determinism. The printed schedule is a pure function
+# of the seed, and replaying the capture with the chaos tier restarted on
+# the same seed reproduces the same client-visible bytes.
+"$OCTREE" chaos --routes "127.0.0.1:0=$ADDR_s1r0;127.0.0.1:0=$ADDR_s1r1" \
+    --seed "$SEED" --profile mixed --plan-only --print-plan 32 > "$WORK/plan1.txt"
+"$OCTREE" chaos --routes "127.0.0.1:0=$ADDR_s1r0;127.0.0.1:0=$ADDR_s1r1" \
+    --seed "$SEED" --profile mixed --plan-only --print-plan 32 > "$WORK/plan2.txt"
+cmp -s "$WORK/plan1.txt" "$WORK/plan2.txt" \
+    || { diff "$WORK/plan1.txt" "$WORK/plan2.txt" | head; fail "same seed printed two different plans"; }
+grep -q 'reset offset=' "$WORK/plan1.txt" || fail "mixed plan never schedules a reset"
+kill -TERM "$PID_chaos12"
+wait "$PID_chaos12" || true
+start_chaos chaos12b mixed "$P10=$ADDR_s1r0;$P11=$ADDR_s1r1;$P20=$ADDR_s2r0;$P21=$ADDR_s2r1" 4
+capture "$WORK/replay.txt"
+cmp -s "$WORK/before.txt" "$WORK/replay.txt" \
+    || { diff "$WORK/before.txt" "$WORK/replay.txt" | head; fail "same-seed replay produced different bytes"; }
+echo "chaos smoke: same-seed schedule and replay are byte-identical"
+
+# Graceful drain: router first, then the chaos tiers.
+kill -TERM "$ROUTER_PID"
+EXIT=0
+wait "$ROUTER_PID" || EXIT=$?
+[[ "$EXIT" -eq 0 ]] || { cat "$WORK/router.log"; fail "router drain exited $EXIT"; }
+grep -q 'drained cleanly' "$WORK/router.log" || fail "no drain marker in the router log"
+for name in chaos12b chaos0pt; do
+    pid_var="PID_$name"
+    kill -TERM "${!pid_var}"
+    EXIT=0
+    wait "${!pid_var}" || EXIT=$?
+    [[ "$EXIT" -eq 0 ]] || { cat "$WORK/$name.log"; fail "chaos tier $name drain exited $EXIT"; }
+    grep -q 'chaos proxies drained cleanly' "$WORK/$name.log" \
+        || fail "no drain marker in the $name log"
+done
+echo "chaos smoke: seeded faults, typed degradation, byte-identical recovery, and drain all verified"

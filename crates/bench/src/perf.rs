@@ -1,11 +1,12 @@
 //! The `BENCH_*.json` perf suites: deterministic benchmarks over every hot
 //! path, schema-versioned trajectory files, and regression gating.
 //!
-//! One [`run_perf`] call times nine suites — conflict enumeration, MIS,
+//! One [`run_perf`] call times ten suites — conflict enumeration, MIS,
 //! NN-chain clustering, distance-matrix fill, tree scoring (serial vs
 //! parallel), persist round-trip, streaming incremental maintenance,
-//! `oct-serve` request serving, and `oct-router` scatter-gather fan-out
-//! over a sharded replicated fleet, the last two through a
+//! `oct-serve` request serving, `oct-router` scatter-gather fan-out
+//! over a sharded replicated fleet, and the same fleet again behind
+//! seeded `oct-chaos` fault proxies, the last three through a
 //! loopback load generator — each through the [`crate::measure`] primitives
 //! (warmup + repetitions, median + MAD). The result is a [`BenchReport`]
 //! that serializes to `BENCH_<git-rev>.json` at the repo root: one file per
@@ -29,6 +30,7 @@ use std::path::Path;
 use std::thread;
 use std::time::Duration;
 
+use oct_chaos::{ChaosConfig, ChaosProxy, FaultPlan};
 use oct_cluster::agglomerative::{self, Linkage};
 use oct_cluster::matrix::CondensedMatrix;
 use oct_core::conflict;
@@ -52,8 +54,8 @@ use crate::runner::{self, RunnerConfig};
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// The suite prefixes every complete BENCH file must cover.
-pub const SUITES: [&str; 9] = [
-    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve", "router",
+pub const SUITES: [&str; 10] = [
+    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve", "router", "chaos",
 ];
 
 /// Knobs for one perf run.
@@ -388,7 +390,7 @@ pub fn env_fingerprint() -> BTreeMap<String, String> {
     .collect()
 }
 
-/// Runs all nine suites and assembles the report.
+/// Runs all ten suites and assembles the report.
 pub fn run_perf(config: &PerfConfig) -> BenchReport {
     let mut report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -583,6 +585,10 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
     // router: the same bursts scatter-gathered through the shard router
     // over a replicated in-process fleet.
     router_suite(config, instance, &tree, &mut report);
+
+    // chaos: the router fleet again, but every replica sits behind a
+    // seeded fault proxy injecting delays, resets, and flush stalls.
+    chaos_suite(config, instance, &tree, &mut report);
 
     // Embedded span breakdown from one instrumented end-to-end run.
     let (_, _, pipeline) = runner::instrumented_run(instance, &RunnerConfig::default());
@@ -897,6 +903,195 @@ fn router_suite(
     report
         .benchmarks
         .insert("router/hedge_rate".to_owned(), record);
+}
+
+/// Runs the chaos suite: the router-suite fleet again, but every replica
+/// sits behind an [`oct_chaos`] proxy driven by a fixed-seed mixed
+/// [`FaultPlan`] (delays, resets at byte offsets, flush-stalled trickle
+/// writes). The router's hedging, failover, and stale-pool redial must
+/// absorb every injected fault — the zero-client-visible-failure invariant
+/// from DESIGN.md §18 is asserted on each burst — and the suite records
+/// what that absorption *costs*: p50/p99 latency and throughput under
+/// fault injection plus the hedge and breaker-reject rates the fault mix
+/// provokes. The plan fingerprint lands in the report's env block so two
+/// trajectory points are only comparable when they ran the same schedule.
+fn chaos_suite(
+    config: &PerfConfig,
+    instance: &Instance,
+    tree: &oct_core::tree::CategoryTree,
+    report: &mut BenchReport,
+) {
+    const SHARDS: usize = 2;
+    const REPLICAS: usize = 2;
+    /// Fixed seed: the chaos trajectory only means something if every
+    /// revision replays the identical fault schedule.
+    const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+    let plan = FaultPlan::new(ChaosConfig::mixed(CHAOS_SEED));
+    report
+        .env
+        .insert("chaos_plan".to_owned(), plan.fingerprint());
+
+    let mut backends = Vec::new();
+    let mut proxies = Vec::new();
+    let mut shards = Vec::new();
+    for _ in 0..SHARDS {
+        let mut replicas = Vec::new();
+        for _ in 0..REPLICAS {
+            let serving = ServingTree::build(tree.clone(), instance.num_items, 0, "bench");
+            let server_config = ServeConfig {
+                similarity: instance.similarity,
+                drain_grace: Duration::from_secs(1),
+                ..ServeConfig::default()
+            };
+            let server = match Server::bind(server_config, serving) {
+                Ok(server) => server,
+                Err(e) => panic!("chaos suite could not bind a backend port: {e}"),
+            };
+            let upstream = server
+                .local_addr()
+                .expect("bound server has an address")
+                .to_string();
+            let drain = server.drain_handle();
+            backends.push((drain, thread::spawn(move || server.run())));
+
+            let proxy_id = proxies.len() as u32;
+            let proxy = match ChaosProxy::bind("127.0.0.1:0", upstream, plan.clone(), proxy_id) {
+                Ok(proxy) => proxy,
+                Err(e) => panic!("chaos suite could not bind a proxy port: {e}"),
+            };
+            replicas.push(
+                proxy
+                    .local_addr()
+                    .expect("bound proxy has an address")
+                    .to_string(),
+            );
+            let stop = proxy.stop_handle();
+            proxies.push((stop, thread::spawn(move || proxy.run())));
+        }
+        shards.push(replicas);
+    }
+
+    let metrics = Metrics::new(true);
+    let router = match Router::bind(RouterConfig {
+        metrics: metrics.clone(),
+        drain_grace: Duration::from_secs(1),
+        shards,
+        ..RouterConfig::default()
+    }) {
+        Ok(router) => router,
+        Err(e) => panic!("chaos suite could not bind a loopback port: {e}"),
+    };
+    let addr = router.local_addr().expect("bound router has an address");
+    let drain = router.drain_handle();
+    let join = thread::spawn(move || router.run());
+
+    let load = LoadGenConfig {
+        connections: config.serve_connections.max(1),
+        requests_per_connection: config.serve_requests.max(1),
+        num_items: instance.num_items,
+        ..LoadGenConfig::default()
+    };
+    let hedges = metrics.counter("router/hedges");
+    let rejected = metrics.counter("router/breaker_rejected");
+    let routed = metrics.counter("router/requests");
+    let mut p50s = Vec::new();
+    let mut p99s = Vec::new();
+    let mut rps = Vec::new();
+    let mut hedge_rates = Vec::new();
+    let mut reject_rates = Vec::new();
+    let mut seen = (0u64, 0u64, 0u64);
+    for i in 0..config.warmup + config.reps.max(1) {
+        let outcome = loadgen::run(addr, &load).expect("loopback burst connects");
+        let now = (hedges.get(), rejected.get(), routed.get());
+        let (burst_hedges, burst_rejects, burst_requests) =
+            (now.0 - seen.0, now.1 - seen.1, now.2 - seen.2);
+        seen = now;
+        if i < config.warmup {
+            continue;
+        }
+        assert_eq!(
+            outcome.errors + outcome.transport_errors,
+            0,
+            "the router must absorb every injected fault while a replica \
+             per shard stays reachable (DESIGN.md §18)"
+        );
+        p50s.push(outcome.latency_quantile_s(0.5));
+        p99s.push(outcome.latency_quantile_s(0.99));
+        rps.push(outcome.throughput_rps());
+        let per_request = |n: u64| {
+            if burst_requests > 0 {
+                n as f64 / burst_requests as f64
+            } else {
+                0.0
+            }
+        };
+        hedge_rates.push(per_request(burst_hedges));
+        reject_rates.push(per_request(burst_rejects));
+    }
+    // Router, then proxies, then backends: with the router (and its probe
+    // loop) gone the proxies sever their pumps on stop, and the backends
+    // drain with no client left to pin their workers.
+    drain.drain();
+    let _ = join.join().expect("router thread exits cleanly");
+    for (stop, join) in proxies {
+        stop.stop();
+        join.join()
+            .expect("proxy thread exits cleanly")
+            .expect("proxy accept loop exits cleanly");
+    }
+    for (drain, join) in backends {
+        drain.drain();
+        let _ = join.join().expect("backend thread exits cleanly");
+    }
+
+    let requests = (load.connections * load.requests_per_connection) as f64;
+    let fleet_detail = [
+        ("requests_per_burst".to_owned(), requests),
+        ("shards".to_owned(), SHARDS as f64),
+        ("replicas_per_shard".to_owned(), REPLICAS as f64),
+    ];
+    for (name, sample) in [
+        ("chaos/latency_p50", Sample::from_secs(p50s)),
+        ("chaos/latency_p99", Sample::from_secs(p99s)),
+    ] {
+        let mut record = BenchRecord::from_sample(&sample, load.connections);
+        record.detail.extend(fleet_detail.iter().cloned());
+        report.benchmarks.insert(name.to_owned(), record);
+    }
+
+    let throughput = Sample::from_secs(rps);
+    let record = BenchRecord {
+        median: throughput.median_s(),
+        mad: throughput.mad_s(),
+        reps: throughput.reps(),
+        threads: load.connections,
+        unit: "req/s".to_owned(),
+        detail: fleet_detail.iter().cloned().collect(),
+    };
+    report
+        .benchmarks
+        .insert("chaos/throughput".to_owned(), record);
+
+    // Both rates sit in [0, 1] and lower is better: a rising hedge rate
+    // means the fault mix is pushing more primaries past the p90 trigger,
+    // and a rising reject rate means breakers are tripping on the injected
+    // resets — either way the fleet is paying more to stay correct.
+    for (name, values) in [
+        ("chaos/hedge_rate", hedge_rates),
+        ("chaos/breaker_reject_rate", reject_rates),
+    ] {
+        let rate = Sample::from_secs(values);
+        let record = BenchRecord {
+            median: rate.median_s(),
+            mad: rate.mad_s(),
+            reps: rate.reps(),
+            threads: load.connections,
+            unit: "ratio".to_owned(),
+            detail: fleet_detail.iter().cloned().collect(),
+        };
+        report.benchmarks.insert(name.to_owned(), record);
+    }
 }
 
 /// One row of a baseline-vs-current diff.

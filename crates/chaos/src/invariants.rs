@@ -1,0 +1,163 @@
+//! Vocabulary for asserting router contracts under chaos.
+//!
+//! The chaos suites promise the client a *typed* experience no matter
+//! what the network does: every response line is well-formed protocol
+//! (`OK …`, `OVERLOADED …`, or `ERR …`), degradation is expressed as
+//! `partial=1`, and nothing leaks. This module provides the shared
+//! classifier and tallies those suites assert with, plus the fd-count
+//! probe behind the no-connection-leak invariant.
+
+/// Classification of one client-visible response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    /// A well-formed success line (`OK …`) with no partial marker.
+    Ok,
+    /// A well-formed success line carrying `partial=1` — typed
+    /// degradation, the only acceptable face of whole-shard loss.
+    OkPartial,
+    /// A typed load-shed line (`OVERLOADED queue=N`).
+    Overloaded,
+    /// A typed error line (`ERR code: message`).
+    Err,
+    /// Anything else — corrupted, truncated, or non-protocol bytes. A
+    /// single garbage line is an invariant violation.
+    Garbage,
+}
+
+impl LineKind {
+    /// `true` for every well-formed protocol line (everything but
+    /// [`LineKind::Garbage`]).
+    pub fn is_typed(self) -> bool {
+        !matches!(self, LineKind::Garbage)
+    }
+}
+
+/// Classifies one response line against the serving protocol's framing.
+pub fn classify_line(line: &str) -> LineKind {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line == "OK" || line.starts_with("OK ") {
+        if line.contains("partial=1") {
+            LineKind::OkPartial
+        } else {
+            LineKind::Ok
+        }
+    } else if line == "OVERLOADED" || line.starts_with("OVERLOADED ") {
+        LineKind::Overloaded
+    } else if line.starts_with("ERR ") {
+        LineKind::Err
+    } else {
+        LineKind::Garbage
+    }
+}
+
+/// Running tallies of client-visible line kinds over a chaos scenario.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct InvariantTally {
+    /// Clean `OK` lines.
+    pub ok: u64,
+    /// `OK … partial=1` lines.
+    pub partial: u64,
+    /// `OVERLOADED` sheds.
+    pub overloaded: u64,
+    /// Typed `ERR` lines.
+    pub err: u64,
+    /// Non-protocol lines — must stay zero under every fault mix.
+    pub garbage: u64,
+}
+
+impl InvariantTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies `line`, folds it into the tally, and returns its kind.
+    pub fn observe(&mut self, line: &str) -> LineKind {
+        let kind = classify_line(line);
+        match kind {
+            LineKind::Ok => self.ok += 1,
+            LineKind::OkPartial => self.partial += 1,
+            LineKind::Overloaded => self.overloaded += 1,
+            LineKind::Err => self.err += 1,
+            LineKind::Garbage => self.garbage += 1,
+        }
+        kind
+    }
+
+    /// Total lines observed.
+    pub fn total(&self) -> u64 {
+        self.ok + self.partial + self.overloaded + self.err + self.garbage
+    }
+
+    /// Lines that were well-formed protocol, whatever their verdict.
+    pub fn typed(&self) -> u64 {
+        self.total() - self.garbage
+    }
+
+    /// The "zero client-visible failures" invariant: while every shard
+    /// keeps ≥ 1 reachable replica, nothing the client sees may be an
+    /// error, a shed, a partial, or garbage.
+    pub fn clean(&self) -> bool {
+        self.err == 0 && self.garbage == 0 && self.overloaded == 0 && self.partial == 0
+    }
+}
+
+/// Open file descriptors of this process, read from `/proc/self/fd`.
+/// Returns `None` where procfs is unavailable (non-Linux), in which case
+/// the leak invariant is skipped rather than guessed at.
+pub fn fd_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/fd")
+        .ok()
+        .map(|entries| entries.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_the_protocol_surface() {
+        assert_eq!(
+            classify_line("OK COVER epoch=3 cat=7 sim=1.0\n"),
+            LineKind::Ok
+        );
+        assert_eq!(
+            classify_line("OK COVER epoch=3 cat=- partial=1 missing=0"),
+            LineKind::OkPartial
+        );
+        assert_eq!(classify_line("OVERLOADED queue=64"), LineKind::Overloaded);
+        assert_eq!(
+            classify_line("ERR bad-request: unknown verb"),
+            LineKind::Err
+        );
+        assert_eq!(classify_line("OKAY not a protocol line"), LineKind::Garbage);
+        assert_eq!(classify_line("OK\u{fffd}garbled"), LineKind::Garbage);
+        assert_eq!(classify_line(""), LineKind::Garbage);
+        assert!(LineKind::Err.is_typed());
+        assert!(!LineKind::Garbage.is_typed());
+    }
+
+    #[test]
+    fn tally_folds_and_judges() {
+        let mut tally = InvariantTally::new();
+        tally.observe("OK PONG epoch=0");
+        tally.observe("OK COVER partial=1 missing=2");
+        tally.observe("ERR internal: boom");
+        tally.observe("\u{1}\u{2}\u{3}");
+        assert_eq!(tally.total(), 4);
+        assert_eq!(tally.typed(), 3);
+        assert_eq!(tally.garbage, 1);
+        assert!(!tally.clean());
+
+        let mut clean = InvariantTally::new();
+        clean.observe("OK PONG epoch=0");
+        assert!(clean.clean());
+    }
+
+    #[test]
+    fn fd_count_is_positive_on_linux() {
+        if let Some(count) = fd_count() {
+            assert!(count > 0, "a running process holds at least stdio");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic network-chaos harness for the serving stack.
+//!
+//! The serving tiers (`oct-serve`, `oct-router`) are proven against
+//! process death and malformed lines; this crate supplies the missing
+//! adversary — the *network*. A [`ChaosProxy`] interposes on any TCP hop
+//! (router ↔ replica, loadgen ↔ router) and injects faults drawn from a
+//! [`FaultPlan`]: a pure function of `(seed, config)`, so any failing run
+//! replays byte-identically from its seed.
+//!
+//! ```text
+//! client ──▶ ChaosProxy(plan.action(proxy, conn)) ──▶ upstream
+//!               │ Pass / Delay / ResetAfter / BlackHole
+//!               │ Corrupt / Trickle / Duplicate / Reorder
+//!               ▼
+//!            per-connection, per-direction fault shaping
+//! ```
+//!
+//! Three layers, no dependencies beyond `std`:
+//!
+//! - [`plan`] — the seeded schedule: [`ChaosConfig`] weights,
+//!   [`FaultAction`] primitives, and the [`FaultPlan`] that maps
+//!   `(proxy id, connection index)` to an action deterministically.
+//! - [`proxy`] — the TCP interposer that applies one action to one
+//!   proxied connection, with a [`StopHandle`] for clearing faults (stop,
+//!   then rebind the same address with a new plan).
+//! - [`invariants`] — the checker vocabulary: classify client-visible
+//!   lines as typed protocol or garbage ([`classify_line`]), tally them
+//!   ([`InvariantTally`]), and watch process fd counts ([`fd_count`]) for
+//!   connection leaks.
+//!
+//! The router contracts this harness asserts (see DESIGN.md §18): zero
+//! client-visible failures while ≥ 1 replica per shard is reachable;
+//! typed `partial=1` — never `ERR`, never garbage — under whole-shard
+//! black-hole; sticky degraded `STATS`; byte-identical recovery once
+//! faults clear; and no worker or connection leak across a fault cycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+pub mod plan;
+pub mod proxy;
+
+pub use invariants::{classify_line, fd_count, InvariantTally, LineKind};
+pub use plan::{ChaosConfig, FaultAction, FaultPlan};
+pub use proxy::{ChaosProxy, StopHandle};

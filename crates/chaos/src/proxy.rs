@@ -1,0 +1,639 @@
+//! The TCP interposer that applies one [`FaultAction`] per connection.
+//!
+//! A [`ChaosProxy`] binds a listen address, dials one upstream, and pumps
+//! bytes both ways through a fault [`Shaper`]. Which fault a connection
+//! gets is decided *only* by `plan.action(proxy_id, accept_index)` — the
+//! proxy itself holds no randomness, so a fleet of proxies replays a run
+//! exactly from the plan's seed.
+//!
+//! Clearing faults mid-scenario is modelled the way operators do it:
+//! [`StopHandle::stop`] the proxy (its listener closes, every pump shuts
+//! both sockets), then bind a fresh proxy on the *same* address with a
+//! new plan. The std listener sets `SO_REUSEADDR` on Unix, so the rebind
+//! is immediate.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::plan::{FaultAction, FaultPlan};
+
+/// Accept-loop poll interval when no connection is pending.
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(5);
+/// Socket read timeout — the cadence at which pumps notice a stop.
+const READ_INTERVAL: Duration = Duration::from_millis(50);
+/// Dial timeout for the upstream side of a proxied connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Cap on buffered line-reassembly state for duplicate/reorder shaping.
+const MAX_HELD: usize = 1 << 20;
+
+/// State shared between the accept loop, the pumps, and stop handles.
+struct Shared {
+    upstream: String,
+    plan: FaultPlan,
+    proxy_id: u32,
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// A bound, not-yet-running fault proxy. [`ChaosProxy::run`] blocks until
+/// stopped.
+pub struct ChaosProxy {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Stops a running [`ChaosProxy`] from another thread; cloneable.
+#[derive(Clone)]
+pub struct StopHandle {
+    shared: Arc<Shared>,
+}
+
+impl StopHandle {
+    /// Requests shutdown: the accept loop exits, every active pump closes
+    /// both of its sockets, and [`ChaosProxy::run`] returns after joining
+    /// the connection threads (so the listen address is free to rebind).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Connections currently being pumped — drops back to zero once
+    /// clients disconnect, which is the proxy-side leak check.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Total connections accepted so far (the next accept gets this as
+    /// its plan index).
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (port 0 picks a free port) fronting `upstream`.
+    /// `proxy_id` keys this proxy's column of the plan.
+    pub fn bind(
+        listen: &str,
+        upstream: String,
+        plan: FaultPlan,
+        proxy_id: u32,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                upstream,
+                plan,
+                proxy_id,
+                stop: AtomicBool::new(false),
+                accepted: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this proxy from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts and pumps connections until [`StopHandle::stop`]. Joins
+    /// every connection thread before returning, so a caller that wants
+    /// to clear faults can rebind the same address immediately after.
+    pub fn run(self) -> io::Result<()> {
+        let Self { listener, shared } = self;
+        let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((conn, _peer)) => {
+                    let index = shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    let action = shared.plan.action(shared.proxy_id, index);
+                    let shared = Arc::clone(&shared);
+                    pumps.push(thread::spawn(move || {
+                        handle_connection(shared, conn, action)
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            pumps.retain(|p| !p.is_finished());
+        }
+        for p in pumps {
+            let _ = p.join();
+        }
+        Ok(())
+    }
+}
+
+/// Severs both directions of both sockets, best-effort; wakes the peer
+/// pump out of its blocking read.
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn handle_connection(shared: Arc<Shared>, client: TcpStream, action: FaultAction) {
+    shared.active.fetch_add(1, Ordering::Relaxed);
+    let _ = client.set_nodelay(true);
+    if action == FaultAction::BlackHole {
+        black_hole(&shared, client);
+    } else {
+        run_pumps(&shared, client, action);
+    }
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn run_pumps(shared: &Arc<Shared>, client: TcpStream, action: FaultAction) {
+    let upstream = match resolve(&shared.upstream)
+        .and_then(|addr| TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT))
+    {
+        Ok(upstream) => upstream,
+        // Upstream unreachable: dropping the client here is itself a
+        // faithful fault (connection accepted, then immediately closed).
+        Err(_) => return,
+    };
+    let _ = upstream.set_nodelay(true);
+
+    let (request_shaper, response_shaper) = Shaper::pair(&action);
+    let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+        sever(&client, &upstream);
+        return;
+    };
+
+    // Request pump in a helper thread, response pump inline. Each pump
+    // severs both sockets on exit, so whichever direction ends first
+    // (EOF, error, fired reset, proxy stop) wakes the other out of its
+    // blocking read and the whole connection tears down together.
+    let request_pump = {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || pump(client_r, upstream_r, request_shaper, &shared))
+    };
+    pump(upstream, client, response_shaper, shared);
+    let _ = request_pump.join();
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "upstream resolved to nothing"))
+}
+
+/// Reads and discards client bytes forever; exits on EOF, error, or stop.
+fn black_hole(shared: &Shared, client: TcpStream) {
+    let mut client = client;
+    let _ = client.set_read_timeout(Some(READ_INTERVAL));
+    let mut sink = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+        match client.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Copies `src` → `dst` through `shaper` until EOF, error, a fired reset,
+/// the proxy-wide stop flag, or the peer pump severing the sockets. Both
+/// sockets are severed on every exit path; the line-protocol clients this
+/// harness fronts only ever close a connection whole, so half-close
+/// fidelity is not worth the extra state.
+fn pump(mut src: TcpStream, mut dst: TcpStream, mut shaper: Shaper, shared: &Shared) {
+    let _ = src.set_read_timeout(Some(READ_INTERVAL));
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match src.read(&mut chunk) {
+            Ok(0) => {
+                let _ = shaper.finish(&mut dst);
+                break;
+            }
+            Ok(n) => match shaper.forward(&mut dst, &chunk[..n]) {
+                Ok(true) => {}
+                // A reset fired (or the write side died): sever now so
+                // the client observes a mid-response close.
+                Ok(false) | Err(_) => break,
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    sever(&src, &dst);
+}
+
+/// Streaming fault state for one direction of one connection.
+struct Shaper {
+    mode: ShaperMode,
+    /// Bytes already forwarded in this direction.
+    forwarded: u64,
+    /// Line-reassembly buffer for duplicate/reorder shaping.
+    held: Vec<u8>,
+    /// A complete line waiting for its reorder partner.
+    pending: Option<Vec<u8>>,
+}
+
+enum ShaperMode {
+    Pass,
+    Delay(Duration),
+    ResetAfter(u64),
+    Corrupt { offset: u64, mask: u8 },
+    Trickle { chunk: usize, stall: Duration },
+    Duplicate,
+    Reorder,
+}
+
+impl Shaper {
+    /// Splits one connection action into (request-direction,
+    /// response-direction) shapers.
+    fn pair(action: &FaultAction) -> (Shaper, Shaper) {
+        let request = match action {
+            FaultAction::Delay { request, .. } => ShaperMode::Delay(*request),
+            _ => ShaperMode::Pass,
+        };
+        let response = match action {
+            FaultAction::Pass | FaultAction::BlackHole => ShaperMode::Pass,
+            FaultAction::Delay { response, .. } => ShaperMode::Delay(*response),
+            FaultAction::ResetAfter { offset } => ShaperMode::ResetAfter(*offset),
+            FaultAction::Corrupt { offset, mask } => ShaperMode::Corrupt {
+                offset: *offset,
+                mask: *mask,
+            },
+            FaultAction::Trickle { chunk, stall } => ShaperMode::Trickle {
+                chunk: *chunk,
+                stall: *stall,
+            },
+            FaultAction::Duplicate => ShaperMode::Duplicate,
+            FaultAction::Reorder => ShaperMode::Reorder,
+        };
+        (Self::new(request), Self::new(response))
+    }
+
+    fn new(mode: ShaperMode) -> Self {
+        Self {
+            mode,
+            forwarded: 0,
+            held: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// Forwards one chunk. `Ok(false)` means a reset fired and the
+    /// connection must be severed now.
+    fn forward(&mut self, dst: &mut TcpStream, data: &[u8]) -> io::Result<bool> {
+        match &self.mode {
+            ShaperMode::Pass => {
+                dst.write_all(data)?;
+            }
+            ShaperMode::Delay(lag) => {
+                thread::sleep(*lag);
+                dst.write_all(data)?;
+            }
+            ShaperMode::ResetAfter(offset) => {
+                let remaining = offset.saturating_sub(self.forwarded);
+                if (data.len() as u64) <= remaining {
+                    dst.write_all(data)?;
+                } else {
+                    dst.write_all(&data[..remaining as usize])?;
+                    dst.flush()?;
+                    self.forwarded += remaining;
+                    return Ok(false);
+                }
+            }
+            ShaperMode::Corrupt { offset, mask } => {
+                let start = self.forwarded;
+                let end = start + data.len() as u64;
+                if (start..end).contains(offset) {
+                    let mut damaged = data.to_vec();
+                    damaged[(offset - start) as usize] ^= mask;
+                    dst.write_all(&damaged)?;
+                } else {
+                    dst.write_all(data)?;
+                }
+            }
+            ShaperMode::Trickle { chunk, stall } => {
+                let (chunk, stall) = (*chunk, *stall);
+                for slice in data.chunks(chunk.max(1)) {
+                    dst.write_all(slice)?;
+                    dst.flush()?;
+                    thread::sleep(stall);
+                }
+            }
+            ShaperMode::Duplicate | ShaperMode::Reorder => {
+                self.held.extend_from_slice(data);
+                self.drain_lines(dst)?;
+            }
+        }
+        self.forwarded += data.len() as u64;
+        Ok(true)
+    }
+
+    /// Emits every complete line buffered so far under the line-granular
+    /// modes (duplicate / reorder).
+    fn drain_lines(&mut self, dst: &mut TcpStream) -> io::Result<()> {
+        while let Some(at) = self.held.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.held.drain(..=at).collect();
+            match self.mode {
+                ShaperMode::Duplicate => {
+                    dst.write_all(&line)?;
+                    dst.write_all(&line)?;
+                }
+                ShaperMode::Reorder => match self.pending.take() {
+                    // Second of a pair: send it first, then the held one
+                    // — adjacent lines swapped.
+                    Some(first) => {
+                        dst.write_all(&line)?;
+                        dst.write_all(&first)?;
+                    }
+                    None => self.pending = Some(line),
+                },
+                _ => dst.write_all(&line)?,
+            }
+        }
+        // A peer that never sends a newline must not buffer unboundedly.
+        if self.held.len() > MAX_HELD {
+            dst.write_all(&self.held)?;
+            self.held.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes anything still held when the source reaches EOF (an odd
+    /// trailing reorder line, a partial line with no newline).
+    fn finish(&mut self, dst: &mut TcpStream) -> io::Result<()> {
+        if let Some(pending) = self.pending.take() {
+            dst.write_all(&pending)?;
+        }
+        if !self.held.is_empty() {
+            let held = std::mem::take(&mut self.held);
+            dst.write_all(&held)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosConfig;
+    use std::io::{BufRead, BufReader};
+    use std::time::Instant;
+
+    /// A line-echo upstream: reads lines, writes them back, one
+    /// connection at a time, until the listener is dropped.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("addr");
+        let join = thread::spawn(move || {
+            while let Ok((conn, _)) = listener.accept() {
+                let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                let mut conn = conn;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {
+                            if conn.write_all(line.as_bytes()).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, join)
+    }
+
+    fn start_proxy(upstream: SocketAddr, config: ChaosConfig) -> (SocketAddr, StopHandle) {
+        let proxy = ChaosProxy::bind(
+            "127.0.0.1:0",
+            upstream.to_string(),
+            FaultPlan::new(config),
+            0,
+        )
+        .expect("bind proxy");
+        let addr = proxy.local_addr().expect("proxy addr");
+        let stop = proxy.stop_handle();
+        thread::spawn(move || {
+            let _ = proxy.run();
+        });
+        (addr, stop)
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> io::Result<String> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut writer = conn.try_clone()?;
+        writeln!(writer, "{line}")?;
+        let mut reader = BufReader::new(conn);
+        let mut out = String::new();
+        reader.read_line(&mut out)?;
+        if out.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        Ok(out.trim_end().to_owned())
+    }
+
+    #[test]
+    fn passthrough_roundtrips() {
+        let (upstream, _join) = echo_server();
+        let (addr, stop) = start_proxy(upstream, ChaosConfig::passthrough(1));
+        for i in 0..3 {
+            let msg = format!("hello {i}");
+            assert_eq!(roundtrip(addr, &msg).expect("echo"), msg);
+        }
+        stop.stop();
+    }
+
+    #[test]
+    fn blackhole_never_answers() {
+        let (upstream, _join) = echo_server();
+        let (addr, stop) = start_proxy(upstream, ChaosConfig::blackhole(1));
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_millis(300)))
+            .expect("timeout");
+        let mut writer = conn.try_clone().expect("clone");
+        writeln!(writer, "anyone there").expect("write");
+        let mut reader = BufReader::new(conn);
+        let mut out = String::new();
+        let err = reader.read_line(&mut out).expect_err("must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected {err:?}"
+        );
+        assert!(out.is_empty());
+        stop.stop();
+    }
+
+    #[test]
+    fn reset_truncates_the_stream() {
+        let (upstream, _join) = echo_server();
+        let (addr, stop) = start_proxy(upstream, ChaosConfig::resets(1));
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut writer = conn.try_clone().expect("clone");
+        let long = "x".repeat(8192);
+        // Keep pipelining until the seeded offset (< 16 + 2048 bytes of
+        // response) fires and the connection dies mid-stream.
+        let mut total = 0usize;
+        let mut reader = BufReader::new(conn);
+        let mut saw_eof = false;
+        for _ in 0..8 {
+            if writeln!(writer, "{long}").is_err() {
+                saw_eof = true;
+                break;
+            }
+            let _ = writer.flush();
+            let mut out = String::new();
+            match reader.read_line(&mut out) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) if n < long.len() + 1 => {
+                    saw_eof = true; // truncated line: reset mid-response
+                    break;
+                }
+                Ok(n) => total += n,
+                Err(_) => {
+                    saw_eof = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_eof, "reset never fired after {total} clean bytes");
+        assert!(total < 16 + 2048 + 8192, "reset fired far past its offset");
+        stop.stop();
+    }
+
+    #[test]
+    fn duplicate_doubles_every_line() {
+        let (upstream, _join) = echo_server();
+        let config = ChaosConfig {
+            pass_weight: 0,
+            duplicate_weight: 1,
+            ..ChaosConfig::passthrough(1)
+        };
+        let (addr, stop) = start_proxy(upstream, config);
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut writer = conn.try_clone().expect("clone");
+        writeln!(writer, "once").expect("write");
+        let mut reader = BufReader::new(conn);
+        for _ in 0..2 {
+            let mut out = String::new();
+            reader.read_line(&mut out).expect("read");
+            assert_eq!(out.trim_end(), "once");
+        }
+        stop.stop();
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_lines() {
+        let (upstream, _join) = echo_server();
+        let config = ChaosConfig {
+            pass_weight: 0,
+            reorder_weight: 1,
+            ..ChaosConfig::passthrough(1)
+        };
+        let (addr, stop) = start_proxy(upstream, config);
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut writer = conn.try_clone().expect("clone");
+        writeln!(writer, "first").expect("write");
+        writeln!(writer, "second").expect("write");
+        let mut reader = BufReader::new(conn);
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let mut out = String::new();
+            reader.read_line(&mut out).expect("read");
+            got.push(out.trim_end().to_owned());
+        }
+        assert_eq!(got, vec!["second".to_owned(), "first".to_owned()]);
+        stop.stop();
+    }
+
+    #[test]
+    fn delay_profile_adds_latency() {
+        let (upstream, _join) = echo_server();
+        let (addr, stop) = start_proxy(upstream, ChaosConfig::delays(1));
+        let started = Instant::now();
+        assert_eq!(roundtrip(addr, "slow").expect("echo"), "slow");
+        assert!(
+            started.elapsed() >= Duration::from_millis(2),
+            "delays profile added no measurable latency"
+        );
+        stop.stop();
+    }
+
+    #[test]
+    fn stop_frees_the_address_for_rebind() {
+        let (upstream, _join) = echo_server();
+        let proxy = ChaosProxy::bind(
+            "127.0.0.1:0",
+            upstream.to_string(),
+            FaultPlan::new(ChaosConfig::blackhole(1)),
+            0,
+        )
+        .expect("bind");
+        let addr = proxy.local_addr().expect("addr");
+        let stop = proxy.stop_handle();
+        let join = thread::spawn(move || proxy.run());
+        stop.stop();
+        join.join().expect("join").expect("run");
+        // Faults cleared: same address, passthrough plan.
+        let relisten = ChaosProxy::bind(
+            &addr.to_string(),
+            upstream.to_string(),
+            FaultPlan::new(ChaosConfig::passthrough(1)),
+            0,
+        )
+        .expect("rebind on the old address");
+        let stop = relisten.stop_handle();
+        thread::spawn(move || {
+            let _ = relisten.run();
+        });
+        assert_eq!(roundtrip(addr, "back").expect("echo"), "back");
+        // Leak check: once the client disconnects, active returns to 0.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stop.active_connections() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(stop.active_connections(), 0, "pump leaked a connection");
+        stop.stop();
+    }
+}

@@ -23,6 +23,9 @@ usage:
                  [--metrics FILE]
   octree loadgen --items N [--addr HOST:PORT] [--connections C]
                  [--requests R] [--rps N] [--zipf S] [--seed S]
+  octree chaos   --routes 'LISTEN=UPSTREAM;LISTEN=UPSTREAM,...' [--seed S]
+                 [--profile P] [--blackhole I,J,...] [--print-plan N]
+                 [--plan-only]
   octree watch   --log FILE --items N [--variant V] [--delta D] [--days D]
                  [--batches B] [--spike-fraction F] [--seed S]
                  [--recent-days R] [--min-weight W] [--out FILE]
@@ -48,6 +51,13 @@ loadgen:  fires a deterministic seeded burst at a daemon or router and
           prints latency quantiles + typed-outcome counts; --rps switches
           to open-loop Poisson arrivals, --zipf S skews keys (weight
           1/(k+1)^S); both default off (closed loop, uniform keys)
+chaos:    deterministic TCP fault-injection proxies; each ';'-separated
+          LISTEN=UPSTREAM route forwards with faults drawn from the
+          seeded plan (profiles: passthrough | delays | resets | mixed
+          (default) | byzantine | blackhole); --blackhole overrides the
+          listed route indexes to swallow every connection; --print-plan
+          N prints the first N per-connection actions per route,
+          --plan-only exits right after printing; drains like serve
 watch:    replays the log as a windowed delta stream through the incremental
           engine; every applied batch rewrites --out and, with --addr, SWAPs
           it into a running daemon; with --checkpoint, kill -9 mid-stream
@@ -183,6 +193,22 @@ pub enum Command {
         /// Write the final metrics report (JSON) here on drain.
         metrics: Option<String>,
     },
+    /// Run a fleet of deterministic fault-injection proxies.
+    Chaos {
+        /// `(listen, upstream)` address pairs; the route's index is its
+        /// proxy id in the plan.
+        routes: Vec<(String, String)>,
+        /// Plan seed (same seed + profile ⇒ same fault schedule).
+        seed: u64,
+        /// Named fault profile applied to every route not black-holed.
+        profile: String,
+        /// Route indexes forced to the all-blackhole plan.
+        blackhole: Vec<usize>,
+        /// Print this many per-connection plan rows per route.
+        print_plan: usize,
+        /// Exit after printing plans instead of proxying.
+        plan_only: bool,
+    },
     /// Fire a deterministic load burst at a daemon or router.
     Loadgen {
         /// Target address.
@@ -264,7 +290,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
-        if matches!(name, "no-merge" | "labels" | "resume") {
+        if matches!(name, "no-merge" | "labels" | "resume" | "plan-only") {
             switches.insert(name.to_owned());
         } else {
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -483,6 +509,79 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .unwrap_or(250),
                 deadline_ms: deadline_ms(&flags)?,
                 metrics: flags.get("metrics").cloned(),
+            })
+        }
+        "chaos" => {
+            let spec = required(&flags, "routes")?;
+            let mut routes: Vec<(String, String)> = Vec::new();
+            for route in spec.split(';') {
+                let route = route.trim();
+                if route.is_empty() {
+                    continue;
+                }
+                let (listen, upstream) = route
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad route {route:?} (expected LISTEN=UPSTREAM)"))?;
+                let (listen, upstream) = (listen.trim(), upstream.trim());
+                if listen.is_empty() || upstream.is_empty() {
+                    return Err(format!("bad route {route:?} (expected LISTEN=UPSTREAM)"));
+                }
+                routes.push((listen.to_owned(), upstream.to_owned()));
+            }
+            if routes.is_empty() {
+                return Err("--routes needs at least one LISTEN=UPSTREAM route".to_owned());
+            }
+            let profile = flags
+                .get("profile")
+                .cloned()
+                .unwrap_or_else(|| "mixed".to_owned());
+            if !matches!(
+                profile.as_str(),
+                "passthrough" | "delays" | "resets" | "mixed" | "byzantine" | "blackhole"
+            ) {
+                return Err(format!("unknown chaos profile {profile:?}"));
+            }
+            let blackhole: Vec<usize> = flags
+                .get("blackhole")
+                .map(|v| {
+                    v.split(',')
+                        .map(|i| {
+                            i.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&i| i < routes.len())
+                                .ok_or_else(|| {
+                                    format!(
+                                        "bad --blackhole index {i:?} (need a route index < {})",
+                                        routes.len()
+                                    )
+                                })
+                        })
+                        .collect::<Result<Vec<usize>, String>>()
+                })
+                .transpose()?
+                .unwrap_or_default();
+            Ok(Command::Chaos {
+                routes,
+                seed: flags
+                    .get("seed")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad --seed value {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(42),
+                profile,
+                blackhole,
+                print_plan: flags
+                    .get("print-plan")
+                    .map(|n| {
+                        n.parse::<usize>()
+                            .map_err(|_| format!("bad --print-plan value {n:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(0),
+                plan_only: switches.contains("plan-only"),
             })
         }
         "loadgen" => {
@@ -992,6 +1091,71 @@ mod tests {
         assert!(parse(&argv("loadgen --items 10 --rps 0")).is_err());
         assert!(parse(&argv("loadgen --items 10 --zipf -1")).is_err());
         assert!(parse(&argv("loadgen --items 10 --zipf x")).is_err());
+    }
+
+    #[test]
+    fn parses_chaos() {
+        let cmd = parse(&argv(
+            "chaos --routes 127.0.0.1:0=127.0.0.1:7171;127.0.0.1:0=127.0.0.1:7172 \
+             --seed 7 --profile mixed --blackhole 1 --print-plan 16 --plan-only",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Chaos {
+                routes,
+                seed,
+                profile,
+                blackhole,
+                print_plan,
+                plan_only,
+            } => {
+                assert_eq!(
+                    routes,
+                    vec![
+                        ("127.0.0.1:0".to_owned(), "127.0.0.1:7171".to_owned()),
+                        ("127.0.0.1:0".to_owned(), "127.0.0.1:7172".to_owned()),
+                    ]
+                );
+                assert_eq!(seed, 7);
+                assert_eq!(profile, "mixed");
+                assert_eq!(blackhole, vec![1]);
+                assert_eq!(print_plan, 16);
+                assert!(plan_only);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: seed 42, mixed profile, no black-holes, no printing.
+        match parse(&argv("chaos --routes 127.0.0.1:0=127.0.0.1:7171")).expect("valid") {
+            Command::Chaos {
+                seed,
+                profile,
+                blackhole,
+                print_plan,
+                plan_only,
+                ..
+            } => {
+                assert_eq!(seed, 42);
+                assert_eq!(profile, "mixed");
+                assert!(blackhole.is_empty());
+                assert_eq!(print_plan, 0);
+                assert!(!plan_only);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("chaos")).is_err(), "missing --routes");
+        assert!(parse(&argv("chaos --routes ;")).is_err(), "no routes");
+        assert!(
+            parse(&argv("chaos --routes 127.0.0.1:0")).is_err(),
+            "missing '='"
+        );
+        assert!(
+            parse(&argv("chaos --routes a=b --profile nope")).is_err(),
+            "unknown profile"
+        );
+        assert!(
+            parse(&argv("chaos --routes a=b --blackhole 1")).is_err(),
+            "blackhole index out of range"
+        );
     }
 
     #[test]

@@ -120,6 +120,21 @@ pub fn run(command: Command) -> Result<(), String> {
             deadline_ms,
             metrics_out: metrics.as_deref(),
         }),
+        Command::Chaos {
+            routes,
+            seed,
+            profile,
+            blackhole,
+            print_plan,
+            plan_only,
+        } => chaos(ChaosArgs {
+            routes,
+            seed,
+            profile,
+            blackhole,
+            print_plan,
+            plan_only,
+        }),
         Command::Loadgen {
             addr,
             items,
@@ -512,6 +527,70 @@ fn router(args: RouterArgs) -> Result<(), String> {
     let report = router.run().map_err(|e| format!("router failed: {e}"))?;
     out!("drained cleanly");
     out!("{report}");
+    Ok(())
+}
+
+/// Everything `chaos` needs, bundled like [`ServeArgs`].
+struct ChaosArgs {
+    routes: Vec<(String, String)>,
+    seed: u64,
+    profile: String,
+    blackhole: Vec<usize>,
+    print_plan: usize,
+    plan_only: bool,
+}
+
+fn chaos(args: ChaosArgs) -> Result<(), String> {
+    use oct_chaos::{ChaosConfig, ChaosProxy, FaultPlan};
+
+    // Profile names were validated at parse time; a miss here is a bug.
+    let base = ChaosConfig::profile(&args.profile, args.seed)
+        .ok_or_else(|| format!("unknown chaos profile {:?}", args.profile))?;
+    let plans: Vec<FaultPlan> = (0..args.routes.len())
+        .map(|i| {
+            if args.blackhole.contains(&i) {
+                FaultPlan::new(ChaosConfig::blackhole(args.seed))
+            } else {
+                FaultPlan::new(base.clone())
+            }
+        })
+        .collect();
+    for (i, plan) in plans.iter().enumerate() {
+        out!("route {i}: plan {}", plan.fingerprint());
+        for conn in 0..args.print_plan {
+            out!("  {}", plan.describe(i as u32, conn as u64));
+        }
+    }
+    if args.plan_only {
+        return Ok(());
+    }
+
+    // SIGTERM/SIGINT stop the whole proxy fleet, same flag as serve.
+    oct_serve::signal::install_handlers();
+    let mut stops = Vec::new();
+    let mut joins = Vec::new();
+    for (i, ((listen, upstream), plan)) in args.routes.iter().zip(plans).enumerate() {
+        let proxy = ChaosProxy::bind(listen, upstream.clone(), plan, i as u32)
+            .map_err(|e| format!("cannot bind chaos proxy on {listen}: {e}"))?;
+        out!(
+            "proxy {i} listening on {} -> {upstream}",
+            proxy.local_addr().map_err(|e| e.to_string())?,
+        );
+        stops.push(proxy.stop_handle());
+        joins.push(std::thread::spawn(move || proxy.run()));
+    }
+    while !oct_serve::signal::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    for stop in &stops {
+        stop.stop();
+    }
+    for join in joins {
+        join.join()
+            .map_err(|_| "chaos proxy thread panicked".to_owned())?
+            .map_err(|e| format!("chaos proxy failed: {e}"))?;
+    }
+    out!("chaos proxies drained cleanly");
     Ok(())
 }
 

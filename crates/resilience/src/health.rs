@@ -19,7 +19,10 @@
 //! - **Down** — failures reached [`HealthConfig::down_after`]; no request
 //!   traffic. After [`HealthConfig::probe_cooldown`] a single probe is
 //!   admitted (lazily, inside [`HealthMachine::try_probe`], mirroring the
-//!   circuit breaker's half-open discipline).
+//!   circuit breaker's half-open discipline). Down is sticky against
+//!   stray successes: the *only* exit is through Probing, so one late
+//!   answer from an isolated replica cannot flip it straight back into
+//!   the rotation.
 //! - **Probing** — one probe in flight; success returns the replica to Up,
 //!   failure sends it back to Down for another cooldown.
 //!
@@ -144,13 +147,24 @@ impl HealthMachine {
     }
 
     /// Reports a successful probe or request observed at serving-tree
-    /// `epoch`: any state returns to Up and the failure count resets.
+    /// `epoch`: Up stays Up, Suspect and Probing recover to Up, and the
+    /// failure count resets.
+    ///
+    /// Down only records the epoch and stays Down: a last-resort request
+    /// that happens to get through (or a reordered late answer) must not
+    /// bypass the probe path. Recovery from Down always flows
+    /// Down → Probing → Up, mirroring the circuit breaker's half-open
+    /// discipline — under probe flapping this is what keeps the machine
+    /// from oscillating Up↔Down without ever passing Suspect or Probing.
     pub fn on_success(&self, epoch: u64) {
         let mut inner = self.lock();
+        inner.epoch = epoch.max(inner.epoch);
+        if inner.state == HealthState::Down {
+            return;
+        }
         inner.consecutive_failures = 0;
         inner.state = HealthState::Up;
         inner.down_since = None;
-        inner.epoch = epoch.max(inner.epoch);
     }
 
     /// Reports a failed probe or request, advancing Up → Suspect → Down
@@ -243,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    fn success_recovers_from_any_state() {
+    fn success_recovers_suspect_but_not_down() {
         let h = instant_probe(1, 2);
         h.on_failure();
         assert_eq!(h.state(), HealthState::Suspect);
@@ -253,9 +267,51 @@ mod tests {
         h.on_failure();
         h.on_failure();
         assert_eq!(h.state(), HealthState::Down);
+        // A stray success while Down (late answer, lucky last-resort
+        // call) records the epoch but does NOT jump the replica to Up.
         h.on_success(4);
-        assert_eq!(h.state(), HealthState::Up);
+        assert_eq!(h.state(), HealthState::Down);
         assert_eq!(h.epoch(), 4);
+        // The only way back is through Probing.
+        assert!(h.try_probe());
+        assert_eq!(h.state(), HealthState::Probing);
+        h.on_success(5);
+        assert_eq!(h.state(), HealthState::Up);
+        assert_eq!(h.epoch(), 5);
+    }
+
+    #[test]
+    fn alternating_outcomes_oscillate_through_suspect_only() {
+        // Request flapping (fail, succeed, fail, …) must bounce between
+        // Up and Suspect — it can never reach Down (down_after > 1) and
+        // therefore never skips states in either direction.
+        let h = instant_probe(1, 3);
+        for _ in 0..16 {
+            h.on_failure();
+            assert_eq!(h.state(), HealthState::Suspect);
+            h.on_success(1);
+            assert_eq!(h.state(), HealthState::Up);
+        }
+        assert_eq!(h.downs(), 0, "flapping alone must not isolate");
+    }
+
+    #[test]
+    fn probe_flapping_cycles_down_probing_without_touching_up() {
+        let h = instant_probe(1, 1);
+        h.on_failure();
+        assert_eq!(h.state(), HealthState::Down);
+        for round in 1..=5u64 {
+            assert!(h.try_probe(), "cooldown (zero) elapsed");
+            assert_eq!(h.state(), HealthState::Probing);
+            h.on_failure();
+            assert_eq!(h.state(), HealthState::Down);
+            assert_eq!(h.downs(), 1 + round);
+        }
+        // One probe finally lands: recovery passes through Probing.
+        assert!(h.try_probe());
+        assert_eq!(h.state(), HealthState::Probing);
+        h.on_success(2);
+        assert_eq!(h.state(), HealthState::Up);
     }
 
     #[test]

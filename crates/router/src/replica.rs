@@ -71,17 +71,30 @@ impl Replica {
     /// available, dials otherwise; the connection returns to the pool only
     /// on success (a failed connection's state is unknowable — drop it).
     fn exchange(&self, request: &Request, timeout: Duration) -> io::Result<Response> {
-        let mut client = match self.pooled() {
-            Some(client) => client,
-            None => Client::connect(self.addr.as_str(), timeout)?,
-        };
-        match client.request(request) {
-            Ok(resp) => {
-                self.park(client);
-                Ok(resp)
+        // A parked connection can be long dead by the time it is reused:
+        // the replica restarted, or courteously retired the connection
+        // after its per-connection request cap. That staleness surfaces
+        // as an immediate EOF/reset on first use — a property of the
+        // *pool*, not of the replica — so it gets one silent redial on a
+        // fresh connection instead of burning a health/breaker failure.
+        // Safe to retry blindly: every routed verb is idempotent (reads,
+        // or SWAP which publishes the same file either way).
+        if let Some(mut client) = self.pooled() {
+            match client.request(request) {
+                Ok(resp) => {
+                    self.park(client);
+                    return Ok(resp);
+                }
+                Err(e) if stale_pool_error(&e) => {
+                    self.scope.incr("pool_stale");
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => Err(e),
         }
+        let mut client = Client::connect(self.addr.as_str(), timeout)?;
+        let resp = client.request(request)?;
+        self.park(client);
+        Ok(resp)
     }
 
     /// One fully-bookkept sub-request attempt.
@@ -165,6 +178,19 @@ impl std::fmt::Debug for Replica {
             .field("breaker", &self.breaker.state())
             .finish()
     }
+}
+
+/// `true` for the error shapes a dead parked connection produces on
+/// first reuse — the peer closed it while it sat in the pool, which says
+/// nothing about the replica's current health.
+fn stale_pool_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
 }
 
 enum Verdict {

@@ -47,7 +47,7 @@ use oct_obs::{Metrics, PipelineReport};
 use oct_resilience::{run_hedged, Budget, CancelToken, HedgeReason, HedgeWinner, RetryPolicy};
 use oct_resilience::{BreakerConfig, HealthConfig, HedgeConfig};
 use oct_serve::queue::{BoundedQueue, Push};
-use oct_serve::server::LineReader;
+use oct_serve::server::{LineReader, NextLine};
 use oct_serve::{ErrorCode, Request, Response};
 
 use crate::merge::{merge_covers, SubCover};
@@ -92,6 +92,13 @@ pub struct RouterConfig {
     pub probe_timeout: Duration,
     /// How long drain waits for in-flight work before cancelling it.
     pub drain_grace: Duration,
+    /// Slowloris guard: cap on the cumulative time a client connection
+    /// may take to deliver its next complete request line (the socket
+    /// read timeout resets per dribbled byte; this deadline does not).
+    pub idle_timeout: Duration,
+    /// Requests served per client connection before a courteous close
+    /// (`0` = unlimited).
+    pub max_requests: usize,
     /// Metrics sink (pass [`Metrics::disabled`] to opt out).
     pub metrics: Metrics,
     /// Where to write the final [`PipelineReport`] JSON on exit.
@@ -115,6 +122,8 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_millis(100),
             probe_timeout: Duration::from_millis(100),
             drain_grace: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            max_requests: 10_000,
             metrics: Metrics::disabled(),
             metrics_out: None,
             shards: Vec::new(),
@@ -387,10 +396,19 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(READ_INTERVAL))?;
     let mut reader = LineReader::new();
+    let mut served = 0usize;
     loop {
-        let line = match reader.next_line(&mut conn, || shared.draining()) {
-            Ok(Some(line)) => line,
-            Ok(None) => return Ok(()),
+        // Slowloris guard, same shape as the backend: the deadline caps
+        // the cumulative wait for a complete line, which dribbled bytes
+        // reset the socket timeout against but not this.
+        let deadline = Instant::now() + shared.config.idle_timeout;
+        let line = match reader.next_line_within(&mut conn, || shared.draining(), Some(deadline)) {
+            Ok(NextLine::Line(line)) => line,
+            Ok(NextLine::Closed) => return Ok(()),
+            Ok(NextLine::TimedOut) => {
+                shared.metrics.incr("router/idle_closed");
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         if line.trim().is_empty() {
@@ -415,6 +433,12 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
         // after the response in hand, so pipelining clients cannot pin a
         // worker past drain.
         if done || shared.draining() {
+            return Ok(());
+        }
+        served += 1;
+        let cap = shared.config.max_requests;
+        if cap > 0 && served >= cap {
+            shared.metrics.incr("router/conn_retired");
             return Ok(());
         }
     }

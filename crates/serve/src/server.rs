@@ -76,6 +76,17 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// How long drain waits for in-flight work before cancelling it.
     pub drain_grace: Duration,
+    /// Slowloris guard: cap on the *cumulative* time a connection may
+    /// take to deliver its next complete request line. The per-read
+    /// timeout resets on every dribbled byte; this deadline does not, so
+    /// a client feeding one byte per poll is disconnected (silently — an
+    /// unsolicited error line would desync pipelined peers) once the cap
+    /// elapses.
+    pub idle_timeout: Duration,
+    /// Byzantine-client guard: requests served per connection before a
+    /// courteous close (the response in hand is always written first).
+    /// `0` means unlimited.
+    pub max_requests: usize,
     /// Metrics sink (pass [`Metrics::disabled`] to opt out).
     pub metrics: Metrics,
     /// Where to write the final [`PipelineReport`] JSON on exit.
@@ -93,6 +104,8 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             drain_grace: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            max_requests: 10_000,
             metrics: Metrics::disabled(),
             metrics_out: None,
         }
@@ -291,10 +304,19 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(READ_INTERVAL))?;
     let mut reader = LineReader::new();
+    let mut served = 0usize;
     loop {
-        let line = match reader.next_line(&mut conn, || shared.draining()) {
-            Ok(Some(line)) => line,
-            Ok(None) => return Ok(()), // EOF or drain while idle
+        // The deadline is per *complete line*, so a slowloris dribbling
+        // bytes (which resets the socket read timeout every poll) still
+        // runs out of road.
+        let deadline = Instant::now() + shared.config.idle_timeout;
+        let line = match reader.next_line_within(&mut conn, || shared.draining(), Some(deadline)) {
+            Ok(NextLine::Line(line)) => line,
+            Ok(NextLine::Closed) => return Ok(()), // EOF or drain while idle
+            Ok(NextLine::TimedOut) => {
+                shared.metrics.incr("serve/idle_closed");
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         if line.trim().is_empty() {
@@ -319,6 +341,15 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) -> io::Result<()> {
         // response, but a client pipelining fast enough to never leave a
         // read-timeout gap must not pin this worker past drain.
         if done || shared.draining() {
+            return Ok(());
+        }
+        served += 1;
+        let cap = shared.config.max_requests;
+        if cap > 0 && served >= cap {
+            // Courteous close: the Nth response is already on the wire,
+            // and a well-behaved client (the router's pool included)
+            // treats the EOF as "reconnect", not as a failure.
+            shared.metrics.incr("serve/conn_retired");
             return Ok(());
         }
     }
@@ -519,10 +550,28 @@ impl LineReader {
         conn: &mut TcpStream,
         should_stop: impl Fn() -> bool,
     ) -> io::Result<Option<String>> {
+        match self.next_line_within(conn, should_stop, None)? {
+            NextLine::Line(line) => Ok(Some(line)),
+            NextLine::Closed | NextLine::TimedOut => Ok(None),
+        }
+    }
+
+    /// Like [`next_line`](Self::next_line), but with a hard deadline on
+    /// producing the next complete line. The deadline is checked between
+    /// reads, so it caps *cumulative* wait — a slowloris dribbling one
+    /// byte per socket-timeout window makes progress against the socket
+    /// timeout but not against this deadline. A line already buffered is
+    /// always returned, deadline or not.
+    pub fn next_line_within(
+        &mut self,
+        conn: &mut TcpStream,
+        should_stop: impl Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> io::Result<NextLine> {
         loop {
             if let Some(at) = self.buf.iter().position(|&b| b == b'\n') {
                 let line: Vec<u8> = self.buf.drain(..=at).collect();
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                return Ok(NextLine::Line(String::from_utf8_lossy(&line).into_owned()));
             }
             if self.buf.len() > MAX_LINE {
                 return Err(io::Error::new(
@@ -530,15 +579,20 @@ impl LineReader {
                     "request line too long",
                 ));
             }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Ok(NextLine::TimedOut);
+                }
+            }
             match conn.read(&mut self.chunk) {
-                Ok(0) => return Ok(None),
+                Ok(0) => return Ok(NextLine::Closed),
                 Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
                     if should_stop() {
-                        return Ok(None);
+                        return Ok(NextLine::Closed);
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -546,4 +600,15 @@ impl LineReader {
             }
         }
     }
+}
+
+/// Outcome of one [`LineReader::next_line_within`] wait.
+#[derive(Debug)]
+pub enum NextLine {
+    /// A complete request line (newline included, like `next_line`).
+    Line(String),
+    /// Clean EOF, or `should_stop` turned true while idle.
+    Closed,
+    /// The deadline elapsed before a complete line arrived.
+    TimedOut,
 }

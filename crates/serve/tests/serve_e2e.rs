@@ -382,3 +382,79 @@ fn drain_answers_queued_work_then_exits_cleanly() {
     let report = join.join().expect("no panic").expect("clean run");
     assert!(!report.is_empty(), "metrics flushed on drain");
 }
+
+#[test]
+fn slowloris_connections_are_cut_off_silently_after_the_idle_budget() {
+    // A client that sends half a line and then stalls must be closed once
+    // the cumulative idle budget is spent — with no ERR line (an error
+    // would desync any pipelined bytes the client had buffered) — and the
+    // close must be invisible to well-behaved connections.
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..quick_config()
+    };
+    let metrics = config.metrics.clone();
+    let (addr, drain, join) = start(config, test_tree());
+
+    let slow = TcpStream::connect(addr).expect("connect");
+    slow.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    (&slow).write_all(b"PI").expect("partial write");
+    let mut reader = BufReader::new(slow);
+    let mut out = String::new();
+    let n = reader.read_line(&mut out).expect("read to EOF");
+    assert_eq!(n, 0, "idle close is silent, not a response line: {out:?}");
+    assert_eq!(
+        metrics.report().counter("serve/idle_closed"),
+        Some(1),
+        "the cut-off is accounted"
+    );
+
+    // The polite neighbour is unaffected.
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    assert!(matches!(
+        c.request(&Request::Ping).expect("ping"),
+        Response::Pong { .. }
+    ));
+
+    drain.drain();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn connections_are_courteously_retired_after_the_request_cap() {
+    // With `max_requests = 2`, a connection pipelining three requests gets
+    // exactly two answers — the Nth response is written *before* the close,
+    // so no answered request is ever lost — then EOF.
+    let config = ServeConfig {
+        max_requests: 2,
+        ..quick_config()
+    };
+    let metrics = config.metrics.clone();
+    let (addr, drain, join) = start(config, test_tree());
+
+    let conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    (&conn).write_all(b"PING\nPING\nPING\n").expect("pipeline");
+    let mut reader = BufReader::new(conn);
+    for i in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert!(line.starts_with("OK PONG"), "response {i}: {line:?}");
+    }
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read to EOF");
+    assert_eq!(n, 0, "third request rides a retired connection: {line:?}");
+    assert_eq!(metrics.report().counter("serve/conn_retired"), Some(1));
+
+    // A fresh connection starts a fresh budget.
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    assert!(matches!(
+        c.request(&Request::Ping).expect("ping"),
+        Response::Pong { .. }
+    ));
+
+    drain.drain();
+    join.join().expect("no panic").expect("clean run");
+}
