@@ -19,7 +19,7 @@ WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
 # Must mirror SUITES in crates/bench/src/perf.rs.
-SUITES=(conflict mis cluster matrix score persist incr serve router chaos)
+SUITES=(conflict mis cluster matrix score persist incr ann serve router chaos)
 
 # check_bench_file <path>: the file must exist, be non-empty, carry the
 # schema stamp, cover every suite, and embed the pipeline report.
@@ -51,6 +51,7 @@ check_bench_file "$WORK/base.json"
 for record in 'conflict/analyze/t1' 'mis/solve' 'matrix/fill/t1' \
     'matrix/setsim_scalar' 'matrix/setsim_packed' \
     'cluster/nn_chain' 'score/tree/t1' 'persist/roundtrip' \
+    'ann/build' 'ann/search/ef64' 'ann/cover_exhaustive' 'ann/cover_narrowed' \
     'serve/latency_p50' 'serve/throughput'; do
     grep -q "\"$record\"" "$WORK/base.json" \
         || { echo "bench smoke: record $record missing"; exit 1; }

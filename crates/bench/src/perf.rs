@@ -1,9 +1,11 @@
 //! The `BENCH_*.json` perf suites: deterministic benchmarks over every hot
 //! path, schema-versioned trajectory files, and regression gating.
 //!
-//! One [`run_perf`] call times ten suites — conflict enumeration, MIS,
+//! One [`run_perf`] call times eleven suites — conflict enumeration, MIS,
 //! NN-chain clustering, distance-matrix fill, tree scoring (serial vs
 //! parallel), persist round-trip, streaming incremental maintenance,
+//! ANN candidate generation (recall/latency across the `ef` beam sweep
+//! plus narrow-then-rerank vs the exhaustive point scan),
 //! `oct-serve` request serving, `oct-router` scatter-gather fan-out
 //! over a sharded replicated fleet, and the same fleet again behind
 //! seeded `oct-chaos` fault proxies, the last three through a
@@ -54,8 +56,9 @@ use crate::runner::{self, RunnerConfig};
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// The suite prefixes every complete BENCH file must cover.
-pub const SUITES: [&str; 10] = [
-    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "serve", "router", "chaos",
+pub const SUITES: [&str; 11] = [
+    "conflict", "mis", "cluster", "matrix", "score", "persist", "incr", "ann", "serve", "router",
+    "chaos",
 ];
 
 /// Knobs for one perf run.
@@ -579,6 +582,10 @@ pub fn run_perf(config: &PerfConfig) -> BenchReport {
     // incr: streaming maintenance — warm delta apply vs from-scratch rerun.
     incr_suite(config, &dataset, &mut report);
 
+    // ann: HNSW build + recall/latency beam sweep, and the narrow-then-
+    // rerank candidate-generation path against the exhaustive point scan.
+    ann_suite(spec, instance, &tree, &mut report);
+
     // serve: loopback load generation against a real daemon.
     serve_suite(config, instance, &tree, &mut report);
 
@@ -1092,6 +1099,177 @@ fn chaos_suite(
         };
         report.benchmarks.insert(name.to_owned(), record);
     }
+}
+
+/// Runs the ann suite: builds the deterministic HNSW index over the tree's
+/// category centroid embeddings, sweeps the `ef` search beam against a
+/// once-computed exhaustive reference to record the recall-vs-latency
+/// trade-off, then times exhaustive [`PointIndex::best_cover`] against the
+/// narrow-then-rerank path ([`VectorIndex::candidates_for`] +
+/// [`PointIndex::best_cover_among`]) over large multi-set queries. Whenever
+/// the exhaustive winner lands in the candidate pool the two covers are
+/// asserted identical, so the record pair is both the candidate-generation
+/// speedup measurement and a standing differential check.
+fn ann_suite(
+    spec: MeasureSpec,
+    instance: &Instance,
+    tree: &oct_core::tree::CategoryTree,
+    report: &mut BenchReport,
+) {
+    use oct_core::vector::{self, VectorConfig, VectorIndex};
+    use oct_core::PointIndex;
+    use oct_resilience::Budget;
+
+    let vector_config = VectorConfig::default();
+    let (sample, ann) = measure(spec, || VectorIndex::for_tree(tree, &vector_config));
+    let n = ann.len();
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record.detail.insert("categories".to_owned(), n as f64);
+    report.benchmarks.insert("ann/build".to_owned(), record);
+
+    // One query per input set — the serving NAVIGATE shape. The exhaustive
+    // reference is computed once outside the timed region (`ef >= n` takes
+    // the exact-scan fallback), so each sweep point times only the
+    // approximate searches.
+    const K: usize = 10;
+    let queries: Vec<Vec<f32>> = instance
+        .sets
+        .iter()
+        .map(|s| vector::embed_items(s.items.as_slice(), vector_config.dim))
+        .collect();
+    let exact: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            ann.search(q, K, n.max(1))
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+    for ef in [8usize, 64, 256] {
+        let (sample, results) = measure(spec, || {
+            queries
+                .iter()
+                .map(|q| ann.search(q, K, ef))
+                .collect::<Vec<Vec<(u32, f32)>>>()
+        });
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (approx, reference) in results.iter().zip(&exact) {
+            total += reference.len();
+            hits += approx
+                .iter()
+                .filter(|(id, _)| reference.contains(id))
+                .count();
+        }
+        let recall = if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        };
+        if ef >= n {
+            assert!(
+                (recall - 1.0).abs() < f64::EPSILON,
+                "a beam covering the whole index must have recall 1, got {recall}"
+            );
+        }
+        let mut record = BenchRecord::from_sample(&sample, 1);
+        record.detail.insert("recall".to_owned(), recall);
+        record.detail.insert("k".to_owned(), K as f64);
+        record
+            .detail
+            .insert("queries".to_owned(), queries.len() as f64);
+        report.benchmarks.insert(format!("ann/search/ef{ef}"), record);
+    }
+
+    // Candidate generation: large queries (the union of WINDOW consecutive
+    // input sets) through the exhaustive scan vs narrow-then-rerank with
+    // the serving pool floor. Scored under a permissive cutoff variant —
+    // the serving shape — so the queries actually cover and the equality
+    // assertion below exercises real winners (under the instance's own 0.8
+    // threshold a multi-set union never clears δ and every cover is None).
+    const WINDOW: usize = 8;
+    const POOL: usize = 32;
+    let point = PointIndex::build(tree, instance.num_items);
+    let budget = Budget::unlimited();
+    let similarity = Similarity::jaccard_cutoff(0.1);
+    let big_queries: Vec<Vec<u32>> = instance
+        .sets
+        .chunks(WINDOW)
+        .map(|chunk| {
+            let mut q: Vec<u32> = chunk
+                .iter()
+                .flat_map(|s| s.items.as_slice().iter().copied())
+                .collect();
+            q.sort_unstable();
+            q.dedup();
+            q
+        })
+        .collect();
+    let ef = POOL.max(vector::DEFAULT_EF_SEARCH);
+
+    let (sample, exhaustive) = measure(spec, || {
+        big_queries
+            .iter()
+            .map(|q| point.best_cover(q, &similarity, &budget))
+            .collect::<Vec<oct_core::PointCover>>()
+    });
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record
+        .detail
+        .insert("queries".to_owned(), big_queries.len() as f64);
+    record.detail.insert(
+        "covered".to_owned(),
+        exhaustive.iter().filter(|c| c.covered).count() as f64,
+    );
+    report
+        .benchmarks
+        .insert("ann/cover_exhaustive".to_owned(), record);
+
+    let (sample, narrowed) = measure(spec, || {
+        big_queries
+            .iter()
+            .map(|q| {
+                let candidates = ann.candidates_for(q, POOL, ef);
+                point.best_cover_among(q, &candidates, &similarity, &budget)
+            })
+            .collect::<Vec<oct_core::PointCover>>()
+    });
+    let mut pool_hits = 0usize;
+    let mut pool_total = 0usize;
+    for ((q, ex), nr) in big_queries.iter().zip(&exhaustive).zip(&narrowed) {
+        let Some(winner) = ex.best_category else {
+            continue;
+        };
+        pool_total += 1;
+        if ann.candidates_for(q, POOL, ef).contains(&winner) {
+            pool_hits += 1;
+            assert_eq!(
+                nr.best_category,
+                ex.best_category,
+                "narrow-then-rerank must agree with the exhaustive scan \
+                 whenever the winner makes the candidate pool"
+            );
+            assert_eq!(nr.similarity.to_bits(), ex.similarity.to_bits());
+            assert_eq!(nr.precision.to_bits(), ex.precision.to_bits());
+        }
+    }
+    let mut record = BenchRecord::from_sample(&sample, 1);
+    record
+        .detail
+        .insert("queries".to_owned(), big_queries.len() as f64);
+    record.detail.insert("pool".to_owned(), POOL as f64);
+    record.detail.insert(
+        "winner_recall".to_owned(),
+        if pool_total == 0 {
+            1.0
+        } else {
+            pool_hits as f64 / pool_total as f64
+        },
+    );
+    report
+        .benchmarks
+        .insert("ann/cover_narrowed".to_owned(), record);
 }
 
 /// One row of a baseline-vs-current diff.

@@ -63,8 +63,10 @@ pub struct BaselineTrees {
 /// Builds the IC-S and IC-Q trees for a dataset.
 pub fn build_baseline_trees(dataset: &GeneratedDataset, config: &RunnerConfig) -> BaselineTrees {
     let embeddings = item_embeddings(&dataset.catalog);
-    let ic_s = baselines::ic_s(&dataset.instance, &embeddings, &config.baseline);
-    let ic_q = baselines::ic_q(&dataset.instance, &config.baseline);
+    let ic_s = baselines::ic_s(&dataset.instance, &embeddings, &config.baseline)
+        .expect("datagen embeddings are dense, uniform, and finite");
+    let ic_q = baselines::ic_q(&dataset.instance, &config.baseline)
+        .expect("membership rows are self-generated and well-formed");
     BaselineTrees {
         ic_s: ic_s.tree,
         ic_q: ic_q.tree,

@@ -18,6 +18,10 @@ usage:
   octree serve   --tree FILE [--addr HOST:PORT] [--workers W] [--queue Q]
                  [--variant V] [--delta D] [--deadline-ms MS] [--metrics FILE]
   octree query   --send LINE [--addr HOST:PORT]
+  octree index   --tree FILE [--out FILE] [--dim D] [--m M]
+                 [--ef-construction EF] [--seed S]
+  octree navigate --items I,J,... [--k K] [--ef EF]
+                 (--addr HOST:PORT | --tree FILE) [--variant V] [--delta D]
   octree router  --shards 'H:P,H:P;H:P,...' [--addr HOST:PORT] [--workers W]
                  [--queue Q] [--attempt-ms MS] [--deadline-ms MS]
                  [--metrics FILE]
@@ -44,6 +48,13 @@ resume:   continue an interrupted build from --checkpoint-dir's checkpoint
 serve:    runs until SIGTERM/SIGINT or a SHUTDOWN request, then drains
 query:    sends one protocol line (e.g. 'CATEGORIZE 1,2,3') and prints the
           response
+index:    builds the deterministic ANN index over a persisted tree's
+          category centroid embeddings and writes it (default <tree>.ann)
+          so the NAVIGATE top-k candidate path can be inspected offline
+navigate: top-k category retrieval for an item set; --addr sends one
+          'NAVIGATE K items=...' line to a daemon or router, --tree
+          computes the same narrow-then-rerank answer locally and prints
+          'cat<TAB>similarity<TAB>precision[<TAB>label]' lines
 router:   fault-tolerant scatter-gather front-end over a sharded fleet of
           serve daemons; --shards lists replica addresses per shard,
           ';'-separated shards of ','-separated replicas; drains like serve
@@ -174,6 +185,36 @@ pub enum Command {
         addr: String,
         /// The raw request line, e.g. `CATEGORIZE 1,2,3`.
         send: String,
+    },
+    /// Build and persist the ANN index for a persisted tree.
+    Index {
+        /// Tree path.
+        tree: String,
+        /// Output path (`None`: `<tree>.ann`).
+        out: Option<String>,
+        /// Embedding dimension.
+        dim: usize,
+        /// Max neighbors per node per layer (layer 0 keeps `2 * m`).
+        m: usize,
+        /// Construction-time beam width.
+        ef_construction: usize,
+        /// Level-assignment seed.
+        seed: u64,
+    },
+    /// Top-k category retrieval for an item set (remote or offline).
+    Navigate {
+        /// Queried item ids.
+        items: Vec<u32>,
+        /// How many categories to return.
+        k: usize,
+        /// Search beam width (`None`: the serving default).
+        ef: Option<usize>,
+        /// Daemon or router to ask (`None`: offline via `tree`).
+        addr: Option<String>,
+        /// Tree to answer from locally (`None`: remote via `addr`).
+        tree: Option<String>,
+        /// Similarity variant + δ the offline rerank scores under.
+        similarity: Similarity,
     },
     /// Run the fault-tolerant shard router over a replicated fleet.
     Router {
@@ -459,6 +500,90 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
             send: required(&flags, "send")?,
         }),
+        "index" => {
+            let positive = |name: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --{name} value {v:?} (need >= 1)"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Index {
+                tree: required(&flags, "tree")?,
+                out: flags.get("out").cloned(),
+                dim: positive("dim", oct_core::vector::DEFAULT_DIM)?,
+                m: positive("m", oct_core::vector::DEFAULT_M)?,
+                ef_construction: positive(
+                    "ef-construction",
+                    oct_core::vector::DEFAULT_EF_CONSTRUCTION,
+                )?,
+                seed: flags
+                    .get("seed")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad --seed value {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(oct_core::vector::DEFAULT_SEED),
+            })
+        }
+        "navigate" => {
+            let spec = required(&flags, "items")?;
+            let mut item_ids: Vec<u32> = Vec::new();
+            for part in spec.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                item_ids.push(
+                    part.parse()
+                        .map_err(|_| format!("bad --items entry {part:?}"))?,
+                );
+            }
+            if item_ids.is_empty() {
+                return Err("--items needs at least one item id".to_owned());
+            }
+            let addr = flags.get("addr").cloned();
+            let tree = flags.get("tree").cloned();
+            if addr.is_some() == tree.is_some() {
+                return Err(
+                    "navigate needs exactly one of --addr (remote) or --tree (offline)".to_owned(),
+                );
+            }
+            let positive = |name: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --{name} value {v:?} (need >= 1)"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Navigate {
+                items: item_ids,
+                k: positive("k", 5)?,
+                ef: flags
+                    .get("ef")
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| format!("bad --ef value {v:?} (need >= 1)"))
+                    })
+                    .transpose()?,
+                addr,
+                tree,
+                similarity: similarity(&flags)?,
+            })
+        }
         "router" => {
             let spec = required(&flags, "shards")?;
             let mut shards: Vec<Vec<String>> = Vec::new();
@@ -1314,6 +1439,84 @@ mod tests {
                 scale: 0.1,
                 out: None
             }
+        );
+    }
+
+    #[test]
+    fn parses_index() {
+        let cmd = parse(&argv("index --tree t.oct --dim 32 --seed 7")).expect("valid");
+        match cmd {
+            Command::Index {
+                tree,
+                out,
+                dim,
+                m,
+                ef_construction,
+                seed,
+            } => {
+                assert_eq!(tree, "t.oct");
+                assert_eq!(out, None, "default output is derived from the tree path");
+                assert_eq!(dim, 32);
+                assert_eq!(m, oct_core::vector::DEFAULT_M);
+                assert_eq!(ef_construction, oct_core::vector::DEFAULT_EF_CONSTRUCTION);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("index --dim 64")).is_err(), "missing --tree");
+        assert!(parse(&argv("index --tree t --dim 0")).is_err(), "dim >= 1");
+    }
+
+    #[test]
+    fn parses_navigate() {
+        let cmd = parse(&argv("navigate --items 3,1,2 --k 4 --ef 16 --tree t.oct")).expect("valid");
+        match cmd {
+            Command::Navigate {
+                items,
+                k,
+                ef,
+                addr,
+                tree,
+                ..
+            } => {
+                assert_eq!(items, vec![3, 1, 2], "order is preserved verbatim");
+                assert_eq!(k, 4);
+                assert_eq!(ef, Some(16));
+                assert_eq!(addr, None);
+                assert_eq!(tree.as_deref(), Some("t.oct"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("navigate --items 9 --addr 127.0.0.1:7171")).expect("valid");
+        match cmd {
+            Command::Navigate { k, ef, addr, .. } => {
+                assert_eq!(k, 5, "default top-k");
+                assert_eq!(ef, None, "server picks its own default beam");
+                assert_eq!(addr.as_deref(), Some("127.0.0.1:7171"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn navigate_requires_exactly_one_target() {
+        assert!(parse(&argv("navigate --items 1,2")).is_err(), "no target");
+        assert!(
+            parse(&argv("navigate --items 1,2 --addr a:1 --tree t")).is_err(),
+            "both targets"
+        );
+        assert!(parse(&argv("navigate --addr a:1")).is_err(), "missing --items");
+        assert!(
+            parse(&argv("navigate --items 1,x --addr a:1")).is_err(),
+            "bad item id"
+        );
+        assert!(
+            parse(&argv("navigate --items 1 --k 0 --addr a:1")).is_err(),
+            "k must be positive"
+        );
+        assert!(
+            parse(&argv("navigate --items 1 --ef 0 --addr a:1")).is_err(),
+            "ef must be positive"
         );
     }
 }

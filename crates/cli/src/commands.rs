@@ -103,6 +103,22 @@ pub fn run(command: Command) -> Result<(), String> {
             metrics_out: metrics.as_deref(),
         }),
         Command::Query { addr, send } => query(&addr, &send),
+        Command::Index {
+            tree,
+            out,
+            dim,
+            m,
+            ef_construction,
+            seed,
+        } => index(&tree, out.as_deref(), dim, m, ef_construction, seed),
+        Command::Navigate {
+            items,
+            k,
+            ef,
+            addr,
+            tree,
+            similarity,
+        } => navigate(&items, k, ef, addr.as_deref(), tree.as_deref(), similarity),
         Command::Router {
             addr,
             shards,
@@ -672,6 +688,85 @@ fn query(addr: &str, send: &str) -> Result<(), String> {
     let response =
         oct_serve::client::one_shot(addr, &request).map_err(|e| format!("{addr}: {e}"))?;
     out!("{}", response.encode());
+    Ok(())
+}
+
+fn index(
+    tree_path: &str,
+    out_path: Option<&str>,
+    dim: usize,
+    m: usize,
+    ef_construction: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let tree = read_tree(tree_path)?;
+    let config = oct_core::VectorConfig {
+        dim,
+        m,
+        ef_construction,
+        seed,
+    };
+    let ann = oct_core::VectorIndex::for_tree(&tree, &config);
+    let encoded = persist::encode_vector_index(&ann);
+    let out_path = out_path
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{tree_path}.ann"));
+    fs::write(&out_path, encoded.as_ref()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    out!(
+        "indexed {} categories (dim {dim}, m {m}, ef-construction {ef_construction}, \
+         seed {seed:#x}) -> {out_path} ({} bytes)",
+        ann.len(),
+        encoded.as_ref().len(),
+    );
+    Ok(())
+}
+
+/// Offline candidate-pool floor; mirrors the serving daemon's so the local
+/// answer matches what a `NAVIGATE` line against the same tree returns.
+const NAVIGATE_POOL_FLOOR: usize = 32;
+
+fn navigate(
+    items: &[u32],
+    k: usize,
+    ef: Option<usize>,
+    addr: Option<&str>,
+    tree_path: Option<&str>,
+    similarity: Similarity,
+) -> Result<(), String> {
+    if let Some(addr) = addr {
+        let request = oct_serve::Request::NavigateTopK {
+            k,
+            items: items.to_vec(),
+            ef,
+        };
+        let response =
+            oct_serve::client::one_shot(addr, &request).map_err(|e| format!("{addr}: {e}"))?;
+        out!("{}", response.encode());
+        return Ok(());
+    }
+    let tree_path = tree_path.expect("the parser requires --tree when --addr is absent");
+    let tree = read_tree(tree_path)?;
+    let point = oct_core::PointIndex::build(&tree, 0);
+    let ann = oct_core::VectorIndex::for_tree(&tree, &oct_core::VectorConfig::default());
+    let pool = k.max(NAVIGATE_POOL_FLOOR);
+    let ef = ef.unwrap_or(oct_core::vector::DEFAULT_EF_SEARCH).max(pool);
+    let candidates = ann.candidates_for(items, pool, ef);
+    let (ranked, _) = point.top_covers_among(items, &candidates, k, &similarity, &Budget::unlimited());
+    if ranked.is_empty() {
+        out!("no category scores above zero for these items");
+        return Ok(());
+    }
+    for cover in &ranked {
+        match tree.label(cover.cat) {
+            Some(label) => out!(
+                "{}\t{:.6}\t{:.4}\t{label}",
+                cover.cat,
+                cover.similarity,
+                cover.precision
+            ),
+            None => out!("{}\t{:.6}\t{:.4}", cover.cat, cover.similarity, cover.precision),
+        }
+    }
     Ok(())
 }
 

@@ -17,12 +17,73 @@
 //! produced by the data generator.
 
 use oct_cluster::bisecting::{bisect, BisectConfig, BisectNode};
-use oct_cluster::{cluster, CondensedMatrix, Linkage};
+use oct_cluster::{cluster, ClusterError, CondensedMatrix, Linkage};
 
 use crate::input::Instance;
 use crate::itemset::ItemId;
 use crate::score::{score_tree, TreeScore};
 use crate::tree::{CategoryTree, ROOT};
+
+/// Typed failures of the item-clustering baselines.
+///
+/// These entry points take caller-supplied embeddings (CLI paths, serving
+/// pipelines), so malformed input must surface as a value, not a panic —
+/// `run_isolated` containment stays the last resort for genuine bugs, not
+/// the API for predictable bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// `item_embeddings.len() != instance.num_items`.
+    EmbeddingCount {
+        /// Required row count (`instance.num_items`).
+        expected: usize,
+        /// Supplied row count.
+        found: usize,
+    },
+    /// An embedding row disagrees with row 0 on dimension.
+    RaggedEmbedding {
+        /// First offending row.
+        row: usize,
+        /// Dimension of row 0.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// An embedding coordinate is NaN or infinite.
+    NonFiniteEmbedding {
+        /// First offending row.
+        row: usize,
+    },
+    /// The clustering layer rejected the derived distances (or a contained
+    /// worker panic).
+    Cluster(ClusterError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmbeddingCount { expected, found } => {
+                write!(f, "{found} embeddings for {expected} universe items")
+            }
+            BaselineError::RaggedEmbedding {
+                row,
+                expected,
+                found,
+            } => write!(f, "embedding row {row} has dimension {found}, expected {expected}"),
+            BaselineError::NonFiniteEmbedding { row } => {
+                write!(f, "embedding row {row} has a non-finite coordinate")
+            }
+            BaselineError::Cluster(inner) => inner.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<ClusterError> for BaselineError {
+    fn from(inner: ClusterError) -> Self {
+        BaselineError::Cluster(inner)
+    }
+}
 
 /// Above this item count the baselines switch from exact agglomerative
 /// clustering to bisecting 2-means.
@@ -60,26 +121,53 @@ pub struct BaselineResult {
 /// `item_embeddings[i]` must be the dense vector of item `i`
 /// (`len == instance.num_items`).
 ///
-/// # Panics
-/// Panics on an embedding-count mismatch, on rows of unequal dimension, and
-/// on non-finite embedding coordinates.
+/// # Errors
+/// Returns [`BaselineError`] on an embedding-count mismatch, rows of unequal
+/// dimension, or non-finite embedding coordinates.
 pub fn ic_s(
     instance: &Instance,
     item_embeddings: &[Vec<f32>],
     config: &BaselineConfig,
-) -> BaselineResult {
-    assert_eq!(
-        item_embeddings.len(),
-        instance.num_items as usize,
-        "one embedding per universe item required"
-    );
-    let tree = tree_from_vectors(item_embeddings, config);
+) -> Result<BaselineResult, BaselineError> {
+    if item_embeddings.len() != instance.num_items as usize {
+        return Err(BaselineError::EmbeddingCount {
+            expected: instance.num_items as usize,
+            found: item_embeddings.len(),
+        });
+    }
+    validate_rows(item_embeddings)?;
+    let tree = tree_from_vectors(item_embeddings, config)?;
     let score = score_tree(instance, &tree);
-    BaselineResult { tree, score }
+    Ok(BaselineResult { tree, score })
+}
+
+/// Rejects ragged and non-finite embedding rows before they reach the
+/// clustering layer, so both the exact and the bisecting path see only
+/// well-formed input.
+fn validate_rows(rows: &[Vec<f32>]) -> Result<(), BaselineError> {
+    let expected = rows.first().map_or(0, Vec::len);
+    for (row, r) in rows.iter().enumerate() {
+        if r.len() != expected {
+            return Err(BaselineError::RaggedEmbedding {
+                row,
+                expected,
+                found: r.len(),
+            });
+        }
+        if r.iter().any(|x| !x.is_finite()) {
+            return Err(BaselineError::NonFiniteEmbedding { row });
+        }
+    }
+    Ok(())
 }
 
 /// IC-Q: cluster items by input-set membership vectors.
-pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
+///
+/// # Errors
+/// The membership rows are self-generated and always well-formed, so errors
+/// can only come from the clustering layer's `run_isolated` containment
+/// (a contained worker panic) — the last-resort path.
+pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> Result<BaselineResult, BaselineError> {
     let index = instance.inverted_index();
     let n = instance.num_items as usize;
     let tree = if n <= config.agglomerative_limit {
@@ -88,9 +176,8 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
             .entries()
             .map(|(_, sets)| sets.iter().map(|&s| (s, 1.0)).collect())
             .collect();
-        let matrix = CondensedMatrix::euclidean_sparse(&rows)
-            .expect("matrix fill workers do not panic on valid membership rows");
-        tree_from_dendrogram(n, matrix)
+        let matrix = CondensedMatrix::euclidean_sparse(&rows)?;
+        tree_from_dendrogram(n, matrix)?
     } else {
         // Large path: hash memberships into a fixed-width dense vector.
         const DIM: usize = 64;
@@ -108,27 +195,28 @@ pub fn ic_q(instance: &Instance, config: &BaselineConfig) -> BaselineResult {
         tree_from_bisect(&rows, &config.bisect)
     };
     let score = score_tree(instance, &tree);
-    BaselineResult { tree, score }
+    Ok(BaselineResult { tree, score })
 }
 
-/// # Panics
-/// Panics when caller-supplied embedding rows disagree on dimension or
-/// contain non-finite coordinates (both surface as [`oct_cluster`] errors).
-fn tree_from_vectors(rows: &[Vec<f32>], config: &BaselineConfig) -> CategoryTree {
+/// Rows must already be validated (`validate_rows`); the clustering layer
+/// still double-checks and its errors propagate as [`BaselineError::Cluster`].
+fn tree_from_vectors(
+    rows: &[Vec<f32>],
+    config: &BaselineConfig,
+) -> Result<CategoryTree, BaselineError> {
     if rows.len() <= config.agglomerative_limit {
-        let matrix =
-            CondensedMatrix::euclidean_dense(rows).expect("embedding rows share one dimension");
+        let matrix = CondensedMatrix::euclidean_dense(rows)?;
         tree_from_dendrogram(rows.len(), matrix)
     } else {
-        tree_from_bisect(rows, &config.bisect)
+        Ok(tree_from_bisect(rows, &config.bisect))
     }
 }
 
-/// # Panics
-/// Panics when the matrix holds non-finite distances (possible only with
-/// caller-supplied NaN/∞ embedding coordinates).
-fn tree_from_dendrogram(num_items: usize, matrix: CondensedMatrix) -> CategoryTree {
-    let dendrogram = cluster(matrix, Linkage::Average).expect("finite embedding distances");
+fn tree_from_dendrogram(
+    num_items: usize,
+    matrix: CondensedMatrix,
+) -> Result<CategoryTree, BaselineError> {
+    let dendrogram = cluster(matrix, Linkage::Average)?;
     let mut tree = CategoryTree::new();
     let mut stack: Vec<(u32, u32)> = dendrogram.roots().into_iter().map(|r| (r, ROOT)).collect();
     while let Some((node, parent)) = stack.pop() {
@@ -146,7 +234,7 @@ fn tree_from_dendrogram(num_items: usize, matrix: CondensedMatrix) -> CategoryTr
             }
         }
     }
-    tree
+    Ok(tree)
 }
 
 fn tree_from_bisect(rows: &[Vec<f32>], config: &BisectConfig) -> CategoryTree {
@@ -200,7 +288,8 @@ mod tests {
     #[test]
     fn ic_s_recovers_semantic_groups() {
         let (instance, embeddings) = grouped_instance();
-        let result = ic_s(&instance, &embeddings, &BaselineConfig::default());
+        let result =
+            ic_s(&instance, &embeddings, &BaselineConfig::default()).expect("valid embeddings");
         assert!(result.tree.validate(&instance).is_ok());
         assert_eq!(
             result.score.covered_count(),
@@ -213,7 +302,7 @@ mod tests {
     #[test]
     fn ic_q_recovers_membership_groups() {
         let (instance, _) = grouped_instance();
-        let result = ic_q(&instance, &BaselineConfig::default());
+        let result = ic_q(&instance, &BaselineConfig::default()).expect("valid instance");
         assert!(result.tree.validate(&instance).is_ok());
         assert_eq!(
             result.score.covered_count(),
@@ -233,7 +322,7 @@ mod tests {
                 ..Default::default()
             },
         };
-        let result = ic_s(&instance, &embeddings, &config);
+        let result = ic_s(&instance, &embeddings, &config).expect("valid embeddings");
         assert!(result.tree.validate(&instance).is_ok());
         assert!(result.score.covered_count() >= 1);
     }
@@ -245,22 +334,73 @@ mod tests {
             agglomerative_limit: 2,
             ..BaselineConfig::default()
         };
-        let result = ic_q(&instance, &config);
+        let result = ic_q(&instance, &config).expect("valid instance");
         assert!(result.tree.validate(&instance).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "one embedding per universe item")]
     fn ic_s_rejects_wrong_embedding_count() {
         let (instance, _) = grouped_instance();
-        let _ = ic_s(&instance, &[vec![0.0]], &BaselineConfig::default());
+        let err = ic_s(&instance, &[vec![0.0]], &BaselineConfig::default())
+            .expect_err("count mismatch must be rejected");
+        assert_eq!(
+            err,
+            BaselineError::EmbeddingCount {
+                expected: 6,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ic_s_rejects_ragged_embeddings() {
+        let (instance, mut embeddings) = grouped_instance();
+        embeddings[3] = vec![1.0, 2.0, 3.0];
+        let err = ic_s(&instance, &embeddings, &BaselineConfig::default())
+            .expect_err("ragged rows must be rejected");
+        assert_eq!(
+            err,
+            BaselineError::RaggedEmbedding {
+                row: 3,
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn ic_s_rejects_non_finite_embeddings() {
+        let (instance, mut embeddings) = grouped_instance();
+        embeddings[2][1] = f32::NAN;
+        for config in [
+            BaselineConfig::default(),
+            BaselineConfig {
+                agglomerative_limit: 2, // bisecting path must reject too
+                ..BaselineConfig::default()
+            },
+        ] {
+            let err = ic_s(&instance, &embeddings, &config)
+                .expect_err("non-finite coordinates must be rejected");
+            assert_eq!(err, BaselineError::NonFiniteEmbedding { row: 2 });
+        }
+    }
+
+    #[test]
+    fn baseline_errors_display_their_shape() {
+        let err = BaselineError::EmbeddingCount {
+            expected: 6,
+            found: 1,
+        };
+        assert_eq!(err.to_string(), "1 embeddings for 6 universe items");
+        let err = BaselineError::NonFiniteEmbedding { row: 2 };
+        assert!(err.to_string().contains("row 2"));
     }
 
     #[test]
     fn handles_items_in_no_set() {
         let sets = vec![InputSet::new(ItemSet::new(vec![0, 1]), 1.0)];
         let instance = Instance::new(4, sets, Similarity::jaccard_threshold(0.5));
-        let result = ic_q(&instance, &BaselineConfig::default());
+        let result = ic_q(&instance, &BaselineConfig::default()).expect("valid instance");
         assert!(result.tree.validate(&instance).is_ok());
         // Items 2 and 3 have zero membership vectors and cluster together
         // away from {0,1}, so the set is still coverable.

@@ -36,6 +36,14 @@ pub struct CctConfig {
     /// Use the paper's global-context embeddings; when false, cluster on
     /// raw pairwise dissimilarity directly (ablation).
     pub global_embeddings: bool,
+    /// Narrow-then-rerank candidate generation for the raw-pairwise
+    /// ablation: with `Some(k)`, exact dissimilarity is computed only for
+    /// each set's `k` approximate nearest neighbours (by item-membership
+    /// embedding, symmetrized); every other pair is pinned to the maximal
+    /// dissimilarity `1.0`. `k ≥ n` degenerates to the exhaustive scan and
+    /// reproduces the full matrix bit-for-bit. Ignored when
+    /// `global_embeddings` is true.
+    pub ann_candidates: Option<usize>,
     /// Telemetry sink (see [`crate::ctcr::CtcrConfig::metrics`]); disabled
     /// by default.
     pub metrics: Metrics,
@@ -47,6 +55,7 @@ impl Default for CctConfig {
             linkage: Linkage::Average,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             global_embeddings: true,
+            ann_candidates: None,
             metrics: Metrics::disabled(),
         }
     }
@@ -127,11 +136,53 @@ pub fn run(instance: &Instance, config: &CctConfig) -> CctResult {
         let base = instance.similarity.kind.base();
         let packed = instance.packed_sets();
         let mut m = CondensedMatrix::zeros(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (qi, qj) = (&packed[i], &packed[j]);
-                let sim = base.eval(qi.len(), qj.len(), qi.intersection_size(qj));
-                m.set(i, j, 1.0 - sim as f32);
+        if let Some(k) = config.ann_candidates {
+            // Narrow-then-rerank (DESIGN.md §19): approximate neighbours by
+            // item-membership embedding pick the pairs worth exact scoring;
+            // everything else is pinned to the maximal dissimilarity.
+            let _narrow = stage.child("narrow");
+            let dim = crate::vector::DEFAULT_DIM;
+            let embeds: Vec<Vec<f32>> = instance
+                .sets
+                .iter()
+                .map(|s| crate::vector::embed_items(s.items.as_slice(), dim))
+                .collect();
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let index = crate::vector::VectorIndex::build(
+                ids,
+                embeds.clone(),
+                &crate::vector::VectorConfig::default(),
+            )
+            .expect("membership embeddings are dense, uniform, and finite");
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    m.set(i, j, 1.0);
+                }
+            }
+            // k + 1 because each set is its own nearest neighbour; an ef of
+            // at least n turns the search into the exhaustive scan, making
+            // `k ≥ n` exactly equal to the full pairwise matrix.
+            let want = (k + 1).min(n);
+            let ef = (k + 1).max(crate::vector::DEFAULT_EF_SEARCH);
+            for i in 0..n {
+                for (id, _) in index.search(&embeds[i], want, ef) {
+                    let j = id as usize;
+                    if j == i {
+                        continue;
+                    }
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    let (qa, qb) = (&packed[a], &packed[b]);
+                    let sim = base.eval(qa.len(), qb.len(), qa.intersection_size(qb));
+                    m.set(a, b, 1.0 - sim as f32);
+                }
+            }
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (qi, qj) = (&packed[i], &packed[j]);
+                    let sim = base.eval(qi.len(), qj.len(), qi.intersection_size(qj));
+                    m.set(i, j, 1.0 - sim as f32);
+                }
             }
         }
         // Dissimilarities are 1 − sim with sim ∈ [0, 1]: always finite.
@@ -312,6 +363,58 @@ mod tests {
         let result = run(&instance, &config);
         assert!(result.tree.validate(&instance).is_ok());
         assert!(result.score.covered_count() >= 3);
+    }
+
+    #[test]
+    fn ann_narrow_mode_with_full_k_equals_exhaustive_ablation() {
+        for similarity in [
+            Similarity::jaccard_threshold(0.6),
+            Similarity::f1_threshold(0.6),
+            Similarity::perfect_recall(0.7),
+        ] {
+            let instance = figure2_instance(similarity);
+            let exhaustive = run(
+                &instance,
+                &CctConfig {
+                    global_embeddings: false,
+                    ..CctConfig::default()
+                },
+            );
+            let narrowed = run(
+                &instance,
+                &CctConfig {
+                    global_embeddings: false,
+                    ann_candidates: Some(instance.num_sets()),
+                    ..CctConfig::default()
+                },
+            );
+            assert_eq!(
+                crate::persist::encode_tree(&narrowed.tree).as_ref(),
+                crate::persist::encode_tree(&exhaustive.tree).as_ref()
+            );
+            assert_eq!(
+                narrowed.score.total.to_bits(),
+                exhaustive.score.total.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ann_narrow_mode_with_small_k_stays_valid_and_deterministic() {
+        let instance = figure2_instance(Similarity::jaccard_threshold(0.6));
+        let config = CctConfig {
+            global_embeddings: false,
+            ann_candidates: Some(2),
+            ..CctConfig::default()
+        };
+        let a = run(&instance, &config);
+        let b = run(&instance, &config);
+        assert!(a.tree.validate(&instance).is_ok());
+        assert_eq!(
+            crate::persist::encode_tree(&a.tree).as_ref(),
+            crate::persist::encode_tree(&b.tree).as_ref(),
+            "narrow mode must be run-to-run stable"
+        );
     }
 
     #[test]

@@ -43,6 +43,8 @@
 //! * [`workflow`] — the human-in-the-loop reemployment loop of §5.4;
 //! * [`repair`] — a slack-aware cover-repair stage (extension, see DESIGN.md);
 //! * [`facets`] / [`dot`] — faceted-search analysis and Graphviz export;
+//! * [`vector`] — a deterministic ANN index over category centroid
+//!   embeddings for narrow-then-rerank candidate generation (DESIGN.md §19);
 //! * [`persist`] — compact binary persistence of instances and trees.
 
 #![warn(missing_docs)]
@@ -68,6 +70,7 @@ pub mod similarity;
 pub mod tree;
 pub mod update;
 pub mod util;
+pub mod vector;
 pub mod workflow;
 
 pub use cct::CctConfig;
@@ -79,10 +82,11 @@ pub use point::{PointCover, PointIndex};
 pub use score::{score_tree, score_tree_with, ScoreOptions, TreeScore};
 pub use similarity::{Similarity, SimilarityKind};
 pub use tree::{CatId, CategoryTree, ROOT};
+pub use vector::{VectorConfig, VectorError, VectorIndex};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::baselines::{self, BaselineConfig};
+    pub use crate::baselines::{self, BaselineConfig, BaselineError};
     pub use crate::cct::{self, CctConfig};
     pub use crate::ctcr::{self, CtcrConfig};
     pub use crate::dot;
@@ -102,5 +106,6 @@ pub mod prelude {
     pub use crate::similarity::{Similarity, SimilarityKind};
     pub use crate::tree::{CatId, CategoryTree, ROOT};
     pub use crate::update;
+    pub use crate::vector::{self, VectorConfig, VectorError, VectorIndex};
     pub use crate::workflow;
 }

@@ -21,6 +21,7 @@ use crate::input::{InputSet, Instance};
 use crate::itemset::ItemSet;
 use crate::similarity::{Similarity, SimilarityKind};
 use crate::tree::{CatId, CategoryTree, ROOT};
+use crate::vector::{VectorConfig, VectorIndex};
 
 const MAGIC: &[u8; 4] = b"OCT1";
 /// Current format version. Version 1 (no version byte, no checksum) is no
@@ -31,6 +32,7 @@ const TAG_TREE: u8 = 1;
 const TAG_INSTANCE: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
 const TAG_STREAM: u8 = 4;
+const TAG_VECTOR: u8 = 5;
 
 /// Bytes of fixed framing around every record: magic + version + tag up
 /// front, checksum footer at the end.
@@ -539,6 +541,135 @@ pub fn decode_stream_checkpoint(buf: Bytes) -> Result<StreamCheckpoint, DecodeEr
     })
 }
 
+/// Encodes a [`VectorIndex`] (the ANN graph of [`crate::vector`]) as a v2
+/// record. The encoding is canonical — a pure function of the index fields
+/// in slot order — so decode ∘ encode is the identity on bytes, which is
+/// what lets replicas `cmp` their index files to prove convergence.
+pub fn encode_vector_index(index: &VectorIndex) -> Bytes {
+    let mut buf = header(TAG_VECTOR);
+    let config = index.config();
+    buf.put_u32_le(config.dim as u32);
+    buf.put_u32_le(config.m as u32);
+    buf.put_u32_le(config.ef_construction as u32);
+    buf.put_u64_le(config.seed);
+    let n = index.ids.len();
+    buf.put_u32_le(n as u32);
+    for &id in &index.ids {
+        buf.put_u32_le(id);
+    }
+    for &x in &index.vectors {
+        // f32 via raw bits: exactly bit-preserving across the roundtrip.
+        buf.put_u32_le(x.to_bits());
+    }
+    for &level in &index.levels {
+        buf.put_u8(level);
+    }
+    buf.put_u32_le(index.entry);
+    buf.put_u8(index.neighbors.len() as u8);
+    for layer in &index.neighbors {
+        for list in layer {
+            buf.put_u32_le(list.len() as u32);
+            for &slot in list {
+                buf.put_u32_le(slot);
+            }
+        }
+    }
+    seal(buf)
+}
+
+/// Decodes a vector index produced by [`encode_vector_index`]. Total:
+/// corrupt, truncated, or structurally inconsistent input yields a
+/// [`DecodeError`], never a panic — the serving daemon loads these from
+/// operator-supplied paths.
+pub fn decode_vector_index(buf: Bytes) -> Result<VectorIndex, DecodeError> {
+    let mut buf = open(&buf, TAG_VECTOR)?;
+    need(&buf, 4 + 4 + 4 + 8 + 4)?;
+    let dim = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    let ef_construction = buf.get_u32_le() as usize;
+    let seed = buf.get_u64_le();
+    if dim == 0 {
+        return Err(DecodeError::Inconsistent("zero embedding dimension"));
+    }
+    if m < 2 {
+        return Err(DecodeError::Inconsistent("neighbor cap below 2"));
+    }
+    let n = buf.get_u32_le() as usize;
+    plausible(&buf, n, 4 + 4 * dim.min(u32::MAX as usize) + 1)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(&buf, 4)?;
+        ids.push(buf.get_u32_le());
+    }
+    plausible(&buf, n.saturating_mul(dim), 4)?;
+    let mut vectors = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        need(&buf, 4)?;
+        let x = f32::from_bits(buf.get_u32_le());
+        if !x.is_finite() {
+            return Err(DecodeError::NonFinite("vector coordinate"));
+        }
+        vectors.push(x);
+    }
+    let mut levels = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(&buf, 1)?;
+        levels.push(buf.get_u8());
+    }
+    need(&buf, 4 + 1)?;
+    let entry = buf.get_u32_le();
+    if n > 0 && entry as usize >= n {
+        return Err(DecodeError::Inconsistent("entry slot out of range"));
+    }
+    if n == 0 && entry != 0 {
+        return Err(DecodeError::Inconsistent("entry slot in empty index"));
+    }
+    let layer_count = buf.get_u8() as usize;
+    if layer_count == 0 {
+        return Err(DecodeError::Inconsistent("an index has at least one layer"));
+    }
+    if let Some(&top) = levels.iter().max() {
+        if top as usize + 1 != layer_count {
+            return Err(DecodeError::Inconsistent("layer count != max level + 1"));
+        }
+    }
+    let mut neighbors = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let mut layer = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(&buf, 4)?;
+            let count = buf.get_u32_le() as usize;
+            plausible(&buf, count, 4)?;
+            let mut list = Vec::with_capacity(count);
+            for _ in 0..count {
+                let slot = buf.get_u32_le();
+                if slot as usize >= n {
+                    return Err(DecodeError::Inconsistent("neighbor slot out of range"));
+                }
+                list.push(slot);
+            }
+            layer.push(list);
+        }
+        neighbors.push(layer);
+    }
+    if buf.remaining() > 0 {
+        return Err(DecodeError::Inconsistent("trailing bytes after index"));
+    }
+    Ok(VectorIndex {
+        config: VectorConfig {
+            dim,
+            m,
+            ef_construction,
+            seed,
+        },
+        ids,
+        vectors,
+        levels,
+        neighbors,
+        entry,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +932,64 @@ mod tests {
             decode_instance(Bytes::from(raw)).err(),
             Some(DecodeError::Truncated)
         );
+    }
+
+    fn sample_vector_index() -> VectorIndex {
+        let mut tree = sample_tree();
+        let extra = tree.add_category(ROOT);
+        tree.assign_items(extra, [6, 7, 8]);
+        VectorIndex::for_tree(&tree, &VectorConfig::default())
+    }
+
+    #[test]
+    fn vector_index_roundtrips_bit_identically() {
+        let index = sample_vector_index();
+        let encoded = encode_vector_index(&index);
+        let decoded = decode_vector_index(encoded.clone()).expect("roundtrip");
+        assert_eq!(decoded, index);
+        // Canonical encoding: re-encoding the decoded index reproduces the
+        // exact bytes (what lets replicas `cmp` index files).
+        assert_eq!(encode_vector_index(&decoded).as_ref(), encoded.as_ref());
+    }
+
+    #[test]
+    fn empty_vector_index_roundtrips() {
+        let index = VectorIndex::build(Vec::new(), Vec::new(), &VectorConfig::default())
+            .expect("empty build");
+        let decoded =
+            decode_vector_index(encode_vector_index(&index)).expect("empty roundtrip");
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn vector_index_corruption_and_truncation_never_panic() {
+        let encoded = encode_vector_index(&sample_vector_index());
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_vector_index(encoded.slice(0..cut)).is_err(),
+                "cut at {cut} should fail cleanly"
+            );
+        }
+        for pos in 4..encoded.len() {
+            let mut corrupt = encoded.to_vec();
+            corrupt[pos] ^= 0x04;
+            let err = decode_vector_index(Bytes::from(corrupt))
+                .expect_err("corruption must be caught");
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::ChecksumMismatch | DecodeError::UnsupportedVersion(_)
+                ),
+                "byte {pos}: unexpected error {err:?}"
+            );
+        }
+        assert!(matches!(
+            decode_vector_index(encode_tree(&sample_tree())),
+            Err(DecodeError::WrongTag {
+                expected: 5,
+                found: 1
+            })
+        ));
     }
 
     #[test]

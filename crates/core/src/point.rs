@@ -41,10 +41,26 @@ pub struct PointIndex {
     item_cats: Vec<Vec<CatId>>,
     /// Materialized (deduplicated-subtree) size per category slot.
     cat_sizes: Vec<u32>,
+    /// Materialized item set per category slot, ascending (empty for
+    /// removed slots) — the candidate reranker intersects against these
+    /// directly instead of walking every posting list.
+    cat_items: Vec<Vec<u32>>,
     /// Depth per category slot (root = 0).
     depths: Vec<u32>,
     /// Number of live categories indexed.
     live_categories: usize,
+}
+
+/// One ranked cover from a top-k query: a category with its exact
+/// (reranked) scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCover {
+    /// The category.
+    pub cat: CatId,
+    /// Its exact similarity under the queried variant.
+    pub similarity: f64,
+    /// Its precision (`|C ∩ q| / |C|`).
+    pub precision: f64,
 }
 
 /// Best cover of one queried item set.
@@ -79,18 +95,21 @@ impl PointIndex {
             .map_or(0, |m| m + 1);
         let mut item_cats = vec![Vec::new(); num_items.max(max_assigned) as usize];
         let mut cat_sizes = vec![0u32; tree.len()];
+        let mut cat_items = vec![Vec::new(); tree.len()];
         for &cat in &live {
             let set = &full[cat as usize];
             cat_sizes[cat as usize] = set.len() as u32;
             for item in set.iter() {
                 item_cats[item as usize].push(cat);
             }
+            cat_items[cat as usize] = set.as_slice().to_vec();
         }
         // `live` ascends, so each item's category list is already sorted —
         // the deterministic evaluation order lookups rely on.
         Self {
             item_cats,
             cat_sizes,
+            cat_items,
             depths: category_depths(tree),
             live_categories: live.len(),
         }
@@ -111,28 +130,35 @@ impl PointIndex {
         self.item_cats.len() as u32
     }
 
-    /// Best cover of `items` (treated as a set; duplicates and items
-    /// outside the index are ignored) under `similarity`, stopping early —
-    /// pessimistically — once `budget` expires.
+    /// Best cover of `items` (treated as a set; duplicates are ignored)
+    /// under `similarity`, stopping early — pessimistically — once
+    /// `budget` expires.
+    ///
+    /// Items outside the indexed universe stay in the query *size*: they
+    /// can never intersect any category, so — exactly as batch
+    /// [`score_tree`](crate::score::score_tree) semantics over a set
+    /// containing them — they penalize the similarity denominator rather
+    /// than silently inflating the reported cover.
     pub fn best_cover(
         &self,
         items: &[u32],
         similarity: &Similarity,
         budget: &Budget,
     ) -> PointCover {
-        let mut query: Vec<u32> = items
-            .iter()
-            .copied()
-            .filter(|&i| (i as usize) < self.item_cats.len())
-            .collect();
+        let mut query: Vec<u32> = items.to_vec();
         query.sort_unstable();
         query.dedup();
         let q_len = query.len();
 
-        // Intersection counts over exactly the categories the query touches.
+        // Intersection counts over exactly the categories the query
+        // touches. Unknown items (beyond the inverted index) contribute to
+        // `q_len` above but cannot touch any posting list.
         let mut counts: FxHashMap<CatId, u32> = FxHashMap::default();
         for &item in &query {
-            for &cat in &self.item_cats[item as usize] {
+            let Some(cats) = self.item_cats.get(item as usize) else {
+                continue;
+            };
+            for &cat in cats {
                 *counts.entry(cat).or_insert(0) += 1;
             }
         }
@@ -187,12 +213,178 @@ impl PointIndex {
             degraded,
         }
     }
+
+    /// Best cover of `items` evaluated over `candidates` only — the exact
+    /// rerank half of narrow-then-rerank candidate generation (candidates
+    /// typically come from [`crate::vector::VectorIndex::candidates_for`]).
+    ///
+    /// Query-size semantics, tie-break, and the budget contract are
+    /// byte-identical to [`best_cover`](Self::best_cover); the only
+    /// difference is the candidate universe. Whenever `candidates` contains
+    /// every category intersecting the query (ANN recall 1 — guaranteed
+    /// with a beam covering the whole index), the result equals the
+    /// exhaustive scan's. Unknown, removed, or duplicate candidate ids are
+    /// skipped; evaluation order is ascending category id regardless of
+    /// input order.
+    pub fn best_cover_among(
+        &self,
+        items: &[u32],
+        candidates: &[CatId],
+        similarity: &Similarity,
+        budget: &Budget,
+    ) -> PointCover {
+        let (q_len, in_query) = self.query_mask(items);
+        let ordered = self.ordered_candidates(candidates);
+        let limited = budget.is_limited();
+        let mut best_sim = 0.0f64;
+        let mut best_precision = 1.0f64;
+        let mut best_depth = 0u32;
+        let mut best_cat: Option<CatId> = None;
+        let mut evaluated = 0usize;
+        let mut degraded = false;
+        for (seen, &cat) in ordered.iter().enumerate() {
+            if limited && budget.check_every(seen as u64, DEADLINE_STRIDE) {
+                degraded = true;
+                break;
+            }
+            let inter = self.intersection_size(cat, &in_query);
+            let c_len = self.cat_sizes[cat as usize] as usize;
+            let sim = similarity.score(q_len, c_len, inter);
+            let precision = if c_len == 0 {
+                1.0
+            } else {
+                inter as f64 / c_len as f64
+            };
+            let depth = self.depths[cat as usize];
+            if better(
+                sim,
+                precision,
+                depth,
+                cat,
+                best_sim,
+                best_precision,
+                best_depth,
+                best_cat,
+            ) {
+                best_sim = sim;
+                best_precision = precision;
+                best_depth = depth;
+                best_cat = Some(cat);
+            }
+            evaluated += 1;
+        }
+        PointCover {
+            best_category: best_cat,
+            similarity: best_sim,
+            precision: best_precision,
+            covered: best_sim > 0.0,
+            evaluated,
+            degraded,
+        }
+    }
+
+    /// The top `k` covers of `items` among `candidates`, best first, with
+    /// exact (reranked) scores — the serving half of `NAVIGATE <k>`.
+    ///
+    /// Ranking is the exact total order `(similarity, precision, depth,
+    /// lowest id)` descending — no epsilon banding, so the order is a pure
+    /// function of the inputs and byte-identical across runs and replicas.
+    /// Only positive-similarity categories are returned, so fewer than `k`
+    /// entries means nothing else intersected. On budget expiry the scan
+    /// stops and the partial ranking over the evaluated prefix is returned
+    /// with `degraded = true` — pessimistic, never wrong.
+    pub fn top_covers_among(
+        &self,
+        items: &[u32],
+        candidates: &[CatId],
+        k: usize,
+        similarity: &Similarity,
+        budget: &Budget,
+    ) -> (Vec<RankedCover>, bool) {
+        let (q_len, in_query) = self.query_mask(items);
+        let ordered = self.ordered_candidates(candidates);
+        let limited = budget.is_limited();
+        let mut scored: Vec<(RankedCover, u32)> = Vec::new();
+        let mut degraded = false;
+        for (seen, &cat) in ordered.iter().enumerate() {
+            if limited && budget.check_every(seen as u64, DEADLINE_STRIDE) {
+                degraded = true;
+                break;
+            }
+            let inter = self.intersection_size(cat, &in_query);
+            let c_len = self.cat_sizes[cat as usize] as usize;
+            let sim = similarity.score(q_len, c_len, inter);
+            if sim <= 0.0 {
+                continue;
+            }
+            let precision = if c_len == 0 {
+                1.0
+            } else {
+                inter as f64 / c_len as f64
+            };
+            scored.push((
+                RankedCover {
+                    cat,
+                    similarity: sim,
+                    precision,
+                },
+                self.depths[cat as usize],
+            ));
+        }
+        scored.sort_unstable_by(|(a, da), (b, db)| {
+            b.similarity
+                .total_cmp(&a.similarity)
+                .then(b.precision.total_cmp(&a.precision))
+                .then(db.cmp(da))
+                .then(a.cat.cmp(&b.cat))
+        });
+        scored.truncate(k);
+        (scored.into_iter().map(|(c, _)| c).collect(), degraded)
+    }
+
+    /// Deduplicated query size (unknown items included — see
+    /// [`best_cover`](Self::best_cover)) plus a membership bitmap over the
+    /// indexed item universe.
+    fn query_mask(&self, items: &[u32]) -> (usize, Vec<u64>) {
+        let mut query: Vec<u32> = items.to_vec();
+        query.sort_unstable();
+        query.dedup();
+        let mut mask = vec![0u64; self.item_cats.len().div_ceil(64)];
+        for &item in &query {
+            if (item as usize) < self.item_cats.len() {
+                mask[item as usize / 64] |= 1u64 << (item % 64);
+            }
+        }
+        (query.len(), mask)
+    }
+
+    /// Valid candidate slots, ascending and deduplicated.
+    fn ordered_candidates(&self, candidates: &[CatId]) -> Vec<CatId> {
+        let mut ordered: Vec<CatId> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| (c as usize) < self.cat_sizes.len())
+            .collect();
+        ordered.sort_unstable();
+        ordered.dedup();
+        ordered
+    }
+
+    /// `|query ∩ C|` via the materialized category set and a query bitmap:
+    /// `O(|C|)` with no hashing, independent of posting-list lengths.
+    fn intersection_size(&self, cat: CatId, in_query: &[u64]) -> usize {
+        self.cat_items[cat as usize]
+            .iter()
+            .filter(|&&item| in_query[item as usize / 64] & (1u64 << (item % 64)) != 0)
+            .count()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::input::figure2_instance;
+    use crate::input::{figure2_instance, InputSet, Instance};
+    use crate::itemset::ItemSet;
     use crate::score::score_tree;
     use crate::tree::ROOT;
 
@@ -238,14 +430,131 @@ mod tests {
     }
 
     #[test]
-    fn duplicates_and_out_of_universe_items_are_ignored() {
+    fn duplicates_are_ignored_but_unknown_items_count() {
         let tree = figure2_t1();
         let index = PointIndex::build(&tree, 9);
-        let similarity = Similarity::perfect_recall(0.8);
+        let similarity = Similarity::jaccard_cutoff(0.1);
         let clean = index.best_cover(&[0, 1], &similarity, &Budget::unlimited());
-        let noisy = index.best_cover(&[1, 0, 0, 1, 999_999], &similarity, &Budget::unlimited());
-        assert_eq!(clean, noisy);
+        let duplicated = index.best_cover(&[1, 0, 0, 1], &similarity, &Budget::unlimited());
+        assert_eq!(clean, duplicated, "duplicates are set-collapsed");
         assert!(clean.covered);
+        // An out-of-universe id enlarges the query set: it can never
+        // intersect, so the Jaccard denominator grows and similarity drops
+        // — exactly what batch scoring reports for such a set.
+        let noisy = index.best_cover(&[1, 0, 999_999], &similarity, &Budget::unlimited());
+        assert_eq!(noisy.best_category, clean.best_category);
+        assert!(
+            noisy.similarity < clean.similarity,
+            "unknown item must penalize: {noisy:?} vs {clean:?}"
+        );
+        assert!((noisy.similarity - 2.0 / 3.0).abs() < 1e-12, "J = 2/3");
+    }
+
+    #[test]
+    fn unknown_items_match_batch_scorer_semantics() {
+        // The same sets scored by the batch path, where "unknown" ids are
+        // ordinary universe items that simply belong to no category.
+        let tree = figure2_t1();
+        let index = PointIndex::build(&tree, 9);
+        for similarity in [
+            Similarity::jaccard_cutoff(0.3),
+            Similarity::jaccard_threshold(0.5),
+            Similarity::f1_cutoff(0.3),
+            Similarity::perfect_recall(0.5),
+        ] {
+            let sets = vec![
+                InputSet::new(ItemSet::new(vec![0, 1, 999]), 1.0),
+                InputSet::new(ItemSet::new(vec![2, 3, 4, 5, 77, 78]), 1.0),
+                InputSet::new(ItemSet::new(vec![6, 7, 8]), 1.0),
+                InputSet::new(ItemSet::new(vec![900, 901]), 1.0),
+            ];
+            let instance = Instance::new(1000, sets, similarity);
+            let batch = score_tree(&instance, &tree);
+            for (s, set) in instance.sets.iter().enumerate() {
+                let point =
+                    index.best_cover(set.items.as_slice(), &similarity, &Budget::unlimited());
+                let expect = &batch.per_set[s];
+                assert_eq!(
+                    point.best_category, expect.best_category,
+                    "{similarity:?} set {s}"
+                );
+                assert!(
+                    (point.similarity - expect.similarity).abs() < 1e-12,
+                    "{similarity:?} set {s}: {point:?} vs {expect:?}"
+                );
+                assert!((point.precision - expect.precision).abs() < 1e-12);
+                assert_eq!(point.covered, expect.covered);
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_over_all_live_categories_equals_exhaustive_scan() {
+        let tree = figure2_t1();
+        let index = PointIndex::build(&tree, 9);
+        let all = tree.live_categories();
+        for similarity in [
+            Similarity::jaccard_cutoff(0.3),
+            Similarity::jaccard_threshold(0.6),
+            Similarity::f1_cutoff(0.5),
+            Similarity::perfect_recall(0.8),
+        ] {
+            for query in [
+                vec![0, 1],
+                vec![2, 3, 4],
+                vec![0, 1, 2, 3, 4, 5, 6, 7, 8],
+                vec![5, 6, 700],
+                vec![],
+            ] {
+                let exhaustive = index.best_cover(&query, &similarity, &Budget::unlimited());
+                let reranked =
+                    index.best_cover_among(&query, &all, &similarity, &Budget::unlimited());
+                assert_eq!(exhaustive.best_category, reranked.best_category);
+                assert!((exhaustive.similarity - reranked.similarity).abs() < 1e-12);
+                assert!((exhaustive.precision - reranked.precision).abs() < 1e-12);
+                assert_eq!(exhaustive.covered, reranked.covered);
+            }
+        }
+    }
+
+    #[test]
+    fn top_covers_rank_deterministically_and_lead_with_the_best() {
+        let tree = figure2_t1();
+        let index = PointIndex::build(&tree, 9);
+        let all = tree.live_categories();
+        let similarity = Similarity::jaccard_cutoff(0.1);
+        let (top, degraded) =
+            index.top_covers_among(&[0, 1, 2], &all, 3, &similarity, &Budget::unlimited());
+        assert!(!degraded);
+        assert!(!top.is_empty() && top.len() <= 3);
+        // Best-first: monotone similarity, and duplicates of the ranking
+        // are impossible (categories are unique).
+        for pair in top.windows(2) {
+            assert!(pair[0].similarity >= pair[1].similarity);
+            assert_ne!(pair[0].cat, pair[1].cat);
+        }
+        // Candidate order must not matter.
+        let mut shuffled = all.clone();
+        shuffled.reverse();
+        let (again, _) =
+            index.top_covers_among(&[0, 1, 2], &shuffled, 3, &similarity, &Budget::unlimited());
+        assert_eq!(top, again);
+    }
+
+    #[test]
+    fn top_covers_respect_expired_budget() {
+        let tree = figure2_t1();
+        let index = PointIndex::build(&tree, 9);
+        let all = tree.live_categories();
+        let (top, degraded) = index.top_covers_among(
+            &[0, 1, 2],
+            &all,
+            3,
+            &Similarity::jaccard_cutoff(0.1),
+            &Budget::expired_now(),
+        );
+        assert!(degraded);
+        assert!(top.is_empty(), "first strided check already expired");
     }
 
     #[test]

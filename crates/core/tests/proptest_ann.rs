@@ -1,0 +1,162 @@
+//! Property tests for the ANN candidate-generation path: with a beam wide
+//! enough for recall 1, narrow-then-rerank must be indistinguishable from
+//! the exhaustive point scan; the persisted index must round-trip
+//! bit-identically through the v2 framing; and corrupting or truncating
+//! the encoding must yield a typed error, never a panic.
+
+use oct_core::persist::{decode_vector_index, encode_vector_index};
+use oct_core::similarity::Similarity;
+use oct_core::tree::{CategoryTree, ROOT};
+use oct_core::vector::{VectorConfig, VectorIndex};
+use oct_core::PointIndex;
+use oct_resilience::Budget;
+use proptest::prelude::*;
+
+const UNIVERSE: u32 = 160;
+
+/// A random two-level tree: `k` categories under the root over random item
+/// slices (overlaps allowed — categories need not partition the universe),
+/// with a fraction of leaves pushed a level deeper so depth tie-breaks are
+/// exercised too.
+fn arb_tree() -> impl Strategy<Value = CategoryTree> {
+    let cat = (prop::collection::vec(0..UNIVERSE, 1..24), any::<bool>());
+    prop::collection::vec(cat, 2..16).prop_map(|cats| {
+        let mut tree = CategoryTree::new();
+        let mut last = ROOT;
+        for (items, deeper) in cats {
+            let parent = if deeper && last != ROOT { last } else { ROOT };
+            let cat = tree.add_category(parent);
+            tree.assign_items(cat, items);
+            last = cat;
+        }
+        tree
+    })
+}
+
+fn arb_similarity() -> impl Strategy<Value = Similarity> {
+    (0u8..4, 1u32..=9).prop_map(|(kind, d10)| {
+        let delta = d10 as f64 / 10.0;
+        match kind {
+            0 => Similarity::jaccard_threshold(delta),
+            1 => Similarity::jaccard_cutoff(delta),
+            2 => Similarity::f1_cutoff(delta),
+            _ => Similarity::perfect_recall(delta),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With the pool and beam covering the whole index (recall 1 by the
+    /// exact-scan fallback), the narrow-then-rerank cover is semantically
+    /// identical to the exhaustive scan: same winner, same similarity and
+    /// precision bits, same covered flag.
+    #[test]
+    fn full_beam_narrow_equals_exhaustive(
+        tree in arb_tree(),
+        query in prop::collection::vec(0..UNIVERSE + 40, 1..24),
+        similarity in arb_similarity(),
+    ) {
+        let point = PointIndex::build(&tree, UNIVERSE);
+        let ann = VectorIndex::for_tree(&tree, &VectorConfig::default());
+        let n = ann.len();
+        let budget = Budget::unlimited();
+
+        let exhaustive = point.best_cover(&query, &similarity, &budget);
+        let candidates = ann.candidates_for(&query, n.max(1), n.max(1));
+        prop_assert_eq!(candidates.len(), n, "a full pool returns every category");
+        let narrowed = point.best_cover_among(&query, &candidates, &similarity, &budget);
+
+        prop_assert_eq!(narrowed.best_category, exhaustive.best_category);
+        prop_assert_eq!(narrowed.similarity.to_bits(), exhaustive.similarity.to_bits());
+        prop_assert_eq!(narrowed.precision.to_bits(), exhaustive.precision.to_bits());
+        prop_assert_eq!(narrowed.covered, exhaustive.covered);
+    }
+
+    /// The ranked top-k over the full candidate set agrees with the
+    /// exhaustive best cover at rank 1, and its ordering is the documented
+    /// total order (similarity desc, precision desc, depth desc, cat asc
+    /// — checked on the similarity key, the only one visible without
+    /// re-deriving depths).
+    #[test]
+    fn top_covers_lead_with_the_best_cover(
+        tree in arb_tree(),
+        query in prop::collection::vec(0..UNIVERSE, 1..24),
+        similarity in arb_similarity(),
+        k in 1usize..8,
+    ) {
+        let point = PointIndex::build(&tree, UNIVERSE);
+        let ann = VectorIndex::for_tree(&tree, &VectorConfig::default());
+        let n = ann.len();
+        let budget = Budget::unlimited();
+
+        let candidates = ann.candidates_for(&query, n.max(1), n.max(1));
+        let (ranked, degraded) =
+            point.top_covers_among(&query, &candidates, k, &similarity, &budget);
+        prop_assert!(!degraded, "an unlimited budget never degrades");
+        prop_assert!(ranked.len() <= k);
+        for pair in ranked.windows(2) {
+            prop_assert!(
+                pair[0].similarity >= pair[1].similarity,
+                "ranking must be non-increasing in similarity"
+            );
+        }
+        let best = point.best_cover(&query, &similarity, &budget);
+        match best.best_category {
+            Some(cat) => {
+                prop_assert!(!ranked.is_empty());
+                prop_assert_eq!(ranked[0].cat, cat, "rank 1 must be the best cover");
+                prop_assert_eq!(ranked[0].similarity.to_bits(), best.similarity.to_bits());
+            }
+            None => prop_assert!(ranked.is_empty(), "nothing covers ⇒ empty top-k"),
+        }
+    }
+
+    /// Encode → decode → encode is bit-identical, and the decoded index
+    /// answers every search exactly like the original.
+    #[test]
+    fn persisted_index_roundtrips_bit_identically(
+        tree in arb_tree(),
+        query in prop::collection::vec(0..UNIVERSE, 1..16),
+    ) {
+        let ann = VectorIndex::for_tree(&tree, &VectorConfig::default());
+        let encoded = encode_vector_index(&ann);
+        let decoded = decode_vector_index(encoded.clone()).expect("fresh encoding decodes");
+        let re_encoded = encode_vector_index(&decoded);
+        prop_assert_eq!(encoded.as_ref(), re_encoded.as_ref(), "round-trip is bit-identical");
+
+        let ef = ann.len().max(1);
+        let before = ann.candidates_for(&query, 8, ef);
+        let after = decoded.candidates_for(&query, 8, ef);
+        prop_assert_eq!(before, after, "the decoded index answers identically");
+    }
+
+    /// Any single-byte corruption and any truncation of a valid encoding
+    /// decode to a typed error or (for a byte flip that keeps the checksum
+    /// consistent — impossible for FNV over the payload, but the property
+    /// does not rely on it) a valid index; they never panic.
+    #[test]
+    fn corrupt_and_truncated_encodings_are_typed_errors(
+        tree in arb_tree(),
+        flip_pos in 0usize..1 << 20,
+        cut in 0usize..1 << 20,
+    ) {
+        let ann = VectorIndex::for_tree(&tree, &VectorConfig::default());
+        let encoded = encode_vector_index(&ann);
+        let bytes = encoded.as_ref().to_vec();
+
+        let pos = flip_pos % bytes.len();
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x40;
+        // Totality is the property: decode returns, Ok or Err, no panic.
+        let _ = decode_vector_index(bytes::Bytes::from(flipped));
+
+        let len = cut % bytes.len();
+        let truncated = bytes[..len].to_vec();
+        prop_assert!(
+            decode_vector_index(bytes::Bytes::from(truncated)).is_err(),
+            "a strict prefix can never checksum"
+        );
+    }
+}

@@ -31,7 +31,7 @@ fn grid() -> Vec<(DatasetName, f64, Similarity)> {
 fn production_scoring_is_bit_identical_to_reference() {
     for (name, scale, similarity) in grid() {
         let ds = generate(name, scale, similarity);
-        let result = ic_q(&ds.instance, &BaselineConfig::default());
+        let result = ic_q(&ds.instance, &BaselineConfig::default()).expect("valid instance");
         let reference = score_tree_reference(&ds.instance, &result.tree);
         let production = score_tree(&ds.instance, &result.tree);
         assert_eq!(

@@ -204,7 +204,8 @@ fn classify(resp: &Response) -> Verdict {
         Response::Pong { epoch }
         | Response::Cover { epoch, .. }
         | Response::Stats { epoch, .. }
-        | Response::Swapped { epoch, .. } => Verdict::Answer(Some(*epoch)),
+        | Response::Swapped { epoch, .. }
+        | Response::TopK { epoch, .. } => Verdict::Answer(Some(*epoch)),
         Response::Nav { .. } | Response::Draining => Verdict::Answer(None),
         // A bad-request answer is deterministic: every replica would say
         // the same, so failing over (or punishing the breaker) is wrong —

@@ -454,6 +454,7 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
         Request::Categorize { items, .. } => fanout_cover(shared, &items, true),
         Request::Score { items, .. } => fanout_cover(shared, &items, false),
         Request::Navigate { cat } => navigate(shared, cat),
+        Request::NavigateTopK { k, items, ef } => navigate_topk(shared, k, items, ef),
         Request::Stats => fanout_stats(shared),
         Request::Swap { path } => broadcast_swap(shared, &path),
         Request::Shutdown => {
@@ -540,6 +541,26 @@ fn navigate(shared: &Shared, cat: u32) -> Response {
     let ordered: Vec<Arc<Replica>> = order.into_iter().map(|i| candidates[i].clone()).collect();
     let budget = shared.request_budget();
     match call_with_failover(shared, &ordered, &Request::Navigate { cat }, &budget) {
+        Ok(resp) => resp,
+        Err(message) => Response::Error {
+            code: ErrorCode::Unavailable,
+            message,
+        },
+    }
+}
+
+/// Top-k `NAVIGATE` is whole-tree like the browse form: any replica can
+/// answer for the full fleet (the ANN index is seed-deterministic, so all
+/// replicas rank identically). Rendezvous on the query key spreads distinct
+/// queries across the fleet while keeping each query's home stable.
+fn navigate_topk(shared: &Shared, k: usize, items: Vec<u32>, ef: Option<usize>) -> Response {
+    let candidates: Vec<Arc<Replica>> = shared.topology.all().cloned().collect();
+    let key = request_key(&items) ^ (k as u64).wrapping_mul(0x5851_F42D_4C95_7F2D);
+    let order = rendezvous_order(candidates.len(), key);
+    let ordered: Vec<Arc<Replica>> = order.into_iter().map(|i| candidates[i].clone()).collect();
+    let budget = shared.request_budget();
+    let request = Request::NavigateTopK { k, items, ef };
+    match call_with_failover(shared, &ordered, &request, &budget) {
         Ok(resp) => resp,
         Err(message) => Response::Error {
             code: ErrorCode::Unavailable,

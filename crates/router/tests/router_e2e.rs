@@ -377,3 +377,51 @@ fn restart_backend(addr: SocketAddr) -> Backend {
         }
     }
 }
+
+#[test]
+fn navigate_topk_is_byte_identical_across_runs_and_replicas() {
+    let (fleet, router) = start_fleet(&[2, 2]);
+    let (addr, drain, join) = spawn_router(router);
+    let mut c = RawClient::connect(addr);
+
+    // Left half exactly: left J = 1.0, root J = 8/16 = 0.5, right drops
+    // below the cutoff.
+    let line = "NAVIGATE 3 items=0,1,2,3,4,5,6,7";
+    let first = c.roundtrip(line);
+    assert!(first.starts_with("OK TOPK "), "{first}");
+    assert!(
+        first.contains("results=1:1.000000,0:0.500000"),
+        "exact calibrated ranking: {first}"
+    );
+    assert_eq!(c.roundtrip(line), first, "same replica, same bytes");
+
+    // Kill three of the four replicas: whoever answers now, the ranking
+    // must be bit-for-bit the same — the ANN index is seed-deterministic,
+    // so every replica ranks identically.
+    let mut fleet = fleet;
+    let survivors = vec![fleet[1].pop().expect("replica")];
+    for replicas in fleet {
+        for b in replicas {
+            kill(b);
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let failed_over = c.roundtrip(line);
+        if failed_over == first {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "failover answer diverged: {failed_over} != {first}"
+        );
+        thread::sleep(Duration::from_millis(100));
+    }
+
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK DRAINING");
+    join.join().expect("router exits");
+    drop(drain);
+    for b in survivors {
+        kill(b);
+    }
+}

@@ -61,6 +61,17 @@ pub enum Request {
         /// The category to expand.
         cat: CatId,
     },
+    /// Calibrated top-k categories for an item set (`NAVIGATE <k>
+    /// items=1,2,3 [ef=N]`): ANN candidate generation over centroid
+    /// embeddings, exact-reranked, under the usual budget contract.
+    NavigateTopK {
+        /// How many categories to return (strictly positive).
+        k: usize,
+        /// The queried item ids.
+        items: Vec<u32>,
+        /// ANN beam width override; `None` uses the server default.
+        ef: Option<usize>,
+    },
     /// Tree + server statistics.
     Stats,
     /// Load a new tree from a path and atomically publish it.
@@ -141,6 +152,20 @@ pub enum Response {
         /// Its live children, ascending.
         children: Vec<CatId>,
     },
+    /// Calibrated top-k categories for an item set, best first.
+    TopK {
+        /// Epoch of the tree that answered.
+        epoch: u64,
+        /// The requested k.
+        k: usize,
+        /// The effective ANN beam width used.
+        ef: usize,
+        /// Whether the budget expired mid-rerank (pessimistic partial
+        /// ranking).
+        degraded: bool,
+        /// Ranked `(category, similarity)` pairs, at most `k`.
+        results: Vec<(CatId, f64)>,
+    },
     /// Tree-level statistics.
     Stats {
         /// Current tree epoch.
@@ -201,10 +226,15 @@ impl Request {
                 let (items, shard) = parse_scoped_items(rest)?;
                 Ok(Self::Score { items, shard })
             }
-            "NAVIGATE" => rest
-                .parse::<CatId>()
-                .map(|cat| Self::Navigate { cat })
-                .map_err(|_| format!("bad category id {rest:?}")),
+            "NAVIGATE" => {
+                if rest.contains("items=") {
+                    parse_navigate_topk(rest)
+                } else {
+                    rest.parse::<CatId>()
+                        .map(|cat| Self::Navigate { cat })
+                        .map_err(|_| format!("bad category id {rest:?}"))
+                }
+            }
             "STATS" => Ok(Self::Stats),
             "SWAP" => {
                 if rest.is_empty() {
@@ -232,11 +262,50 @@ impl Request {
                 format!("SCORE {}{}", join_items(items), shard_suffix(*shard))
             }
             Self::Navigate { cat } => format!("NAVIGATE {cat}"),
+            Self::NavigateTopK { k, items, ef } => {
+                let ef = ef.map_or_else(String::new, |ef| format!(" ef={ef}"));
+                format!("NAVIGATE {k} items={}{ef}", join_items(items))
+            }
             Self::Stats => "STATS".to_owned(),
             Self::Swap { path } => format!("SWAP {path}"),
             Self::Shutdown => "SHUTDOWN".to_owned(),
         }
     }
+}
+
+/// Parses the top-k form of NAVIGATE: `<k> items=1,2,3 [ef=N]`. Item lists
+/// here are compact (no spaces) so tokens split on whitespace.
+fn parse_navigate_topk(text: &str) -> Result<Request, String> {
+    let mut k: Option<usize> = None;
+    let mut items: Option<Vec<u32>> = None;
+    let mut ef: Option<usize> = None;
+    for (i, token) in text.split_whitespace().enumerate() {
+        if let Some(value) = token.strip_prefix("items=") {
+            items = Some(parse_items(value)?);
+        } else if let Some(value) = token.strip_prefix("ef=") {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| format!("bad ef {value:?}"))?;
+            if parsed == 0 {
+                return Err("ef must be positive".to_owned());
+            }
+            ef = Some(parsed);
+        } else if i == 0 {
+            k = Some(
+                token
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad top-k count {token:?}"))?,
+            );
+        } else {
+            return Err(format!("unexpected token {token:?}"));
+        }
+    }
+    let k = k.ok_or("NAVIGATE top-k needs a leading count")?;
+    if k == 0 {
+        return Err("top-k count must be positive".to_owned());
+    }
+    let items = items.ok_or("NAVIGATE top-k needs items=")?;
+    Ok(Request::NavigateTopK { k, items, ef })
 }
 
 /// Parses an item list with an optional trailing `shard=N` scope tag
@@ -321,6 +390,23 @@ impl Response {
             }
             Self::Nav { cat, children } => {
                 format!("OK NAV cat={cat} children={}", join_items(children))
+            }
+            Self::TopK {
+                epoch,
+                k,
+                ef,
+                degraded,
+                results,
+            } => {
+                let ranked = results
+                    .iter()
+                    .map(|(cat, score)| format!("{cat}:{score:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "OK TOPK epoch={epoch} k={k} ef={ef} degraded={} results={ranked}",
+                    u8::from(*degraded)
+                )
             }
             Self::Stats {
                 epoch,
@@ -407,6 +493,31 @@ impl Response {
                 cat: fields.u64("cat")? as CatId,
                 children: parse_items(fields.str("children").unwrap_or(""))?,
             }),
+            "TOPK" => {
+                let raw = fields.str("results").unwrap_or("");
+                let mut results = Vec::new();
+                if !raw.is_empty() {
+                    for part in raw.split(',') {
+                        let (cat, score) = part
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad ranked entry {part:?}"))?;
+                        results.push((
+                            cat.parse::<CatId>()
+                                .map_err(|_| format!("bad cat id {cat:?}"))?,
+                            score
+                                .parse::<f64>()
+                                .map_err(|_| format!("bad score {score:?}"))?,
+                        ));
+                    }
+                }
+                Ok(Self::TopK {
+                    epoch: fields.u64("epoch")?,
+                    k: fields.u64("k")? as usize,
+                    ef: fields.u64("ef")? as usize,
+                    degraded: fields.u64("degraded")? != 0,
+                    results,
+                })
+            }
             "STATS" => Ok(Self::Stats {
                 epoch: fields.u64("epoch")?,
                 categories: fields.u64("categories")? as usize,
@@ -505,6 +616,16 @@ mod tests {
                 shard: Some(0),
             },
             Request::Navigate { cat: 12 },
+            Request::NavigateTopK {
+                k: 5,
+                items: vec![1, 2, 3],
+                ef: None,
+            },
+            Request::NavigateTopK {
+                k: 3,
+                items: Vec::new(),
+                ef: Some(128),
+            },
             Request::Stats,
             Request::Swap {
                 path: "/tmp/new tree.oct".to_owned(),
@@ -565,6 +686,37 @@ mod tests {
     }
 
     #[test]
+    fn navigate_topk_parses_and_rejects_degenerate_forms() {
+        assert_eq!(
+            Request::parse("NAVIGATE 5 items=1,2,3").expect("ok"),
+            Request::NavigateTopK {
+                k: 5,
+                items: vec![1, 2, 3],
+                ef: None
+            }
+        );
+        assert_eq!(
+            Request::parse("NAVIGATE 2 items=9 ef=64").expect("ok"),
+            Request::NavigateTopK {
+                k: 2,
+                items: vec![9],
+                ef: Some(64)
+            }
+        );
+        // The single-category browse form is untouched.
+        assert_eq!(
+            Request::parse("NAVIGATE 12").expect("ok"),
+            Request::Navigate { cat: 12 }
+        );
+        assert!(Request::parse("NAVIGATE 0 items=1").is_err(), "k = 0");
+        assert!(Request::parse("NAVIGATE items=1").is_err(), "missing k");
+        assert!(Request::parse("NAVIGATE x items=1").is_err());
+        assert!(Request::parse("NAVIGATE 3 items=1,y").is_err());
+        assert!(Request::parse("NAVIGATE 3 items=1 ef=0").is_err());
+        assert!(Request::parse("NAVIGATE 3 items=1 bogus").is_err());
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let cases = [
             Response::Pong { epoch: 3 },
@@ -605,6 +757,20 @@ mod tests {
             Response::Nav {
                 cat: 9,
                 children: Vec::new(),
+            },
+            Response::TopK {
+                epoch: 4,
+                k: 3,
+                ef: 64,
+                degraded: false,
+                results: vec![(12, 0.833333), (7, 0.5), (2, 0.25)],
+            },
+            Response::TopK {
+                epoch: 4,
+                k: 5,
+                ef: 128,
+                degraded: true,
+                results: Vec::new(),
             },
             Response::Stats {
                 epoch: 3,

@@ -373,6 +373,15 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             count_scoped(shared, shard);
             cover(shared, &snapshot, &items, false)
         }
+        Request::NavigateTopK { k, items, ef } => {
+            if k == 0 {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "top-k count must be positive".to_owned(),
+                };
+            }
+            navigate_topk(shared, &snapshot, k, &items, ef)
+        }
         Request::Navigate { cat } => match snapshot.live_children(cat) {
             Some(children) => Response::Nav { cat, children },
             None => Response::Error {
@@ -452,6 +461,74 @@ fn cover(shared: &Shared, snapshot: &ServingTree, items: &[u32], with_label: boo
                 degraded: point.degraded,
                 missing: Vec::new(),
                 label,
+            }
+        }
+        Err(outcome) => {
+            shared.breaker.record_failure();
+            shared.metrics.incr("serve/failures");
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: format!(
+                    "request failed after {} attempt(s): {}",
+                    outcome.attempts(),
+                    outcome.into_error()
+                ),
+            }
+        }
+    }
+}
+
+/// Candidate pool floor for top-k NAVIGATE: reranking a few extra
+/// candidates is cheap and buys recall headroom when k is small.
+const TOPK_POOL_FLOOR: usize = 32;
+
+/// The top-k NAVIGATE path: same breaker → retry → isolation contract as
+/// [`cover`], but narrowing with the ANN index before the exact rerank.
+fn navigate_topk(
+    shared: &Shared,
+    snapshot: &ServingTree,
+    k: usize,
+    items: &[u32],
+    ef: Option<usize>,
+) -> Response {
+    if !shared.breaker.try_acquire() {
+        shared.metrics.incr("serve/breaker_rejected");
+        return Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!("circuit {}", shared.breaker.state().name()),
+        };
+    }
+    let pool = k.max(TOPK_POOL_FLOOR);
+    let ef = ef.unwrap_or(oct_core::vector::DEFAULT_EF_SEARCH).max(pool);
+    let budget = request_budget(shared);
+    let seed = shared.next_seed.fetch_add(1, Ordering::Relaxed);
+    let result = shared.config.retry.run(seed, &budget, |attempt| {
+        if attempt > 1 {
+            shared.metrics.incr("serve/retries");
+        }
+        run_isolated("serve topk", || {
+            if faults::fire("serve/request-panic") {
+                panic!("injected serve fault (attempt {attempt})");
+            }
+            let candidates = snapshot.ann.candidates_for(items, pool, ef);
+            snapshot
+                .index
+                .top_covers_among(items, &candidates, k, &shared.trees.similarity, &budget)
+        })
+    });
+    match result {
+        Ok((ranked, degraded)) => {
+            shared.breaker.record_success();
+            if degraded {
+                shared.metrics.incr("serve/degraded");
+                shared.served_degraded.store(true, Ordering::Relaxed);
+            }
+            Response::TopK {
+                epoch: snapshot.epoch,
+                k,
+                ef,
+                degraded,
+                results: ranked.iter().map(|r| (r.cat, r.similarity)).collect(),
             }
         }
         Err(outcome) => {

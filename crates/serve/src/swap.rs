@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use oct_core::navigation::{self, NavigationStats};
-use oct_core::{CategoryTree, PointIndex, Similarity};
+use oct_core::{CategoryTree, PointIndex, Similarity, VectorConfig, VectorIndex};
 use parking_lot::RwLock;
 
 /// One immutable snapshot of everything a request needs from the tree.
@@ -25,6 +25,10 @@ pub struct ServingTree {
     pub tree: CategoryTree,
     /// The point-query index built for it.
     pub index: PointIndex,
+    /// The ANN index over category centroid embeddings (top-k NAVIGATE
+    /// candidate generation). Built with the default deterministic seed, so
+    /// every replica serving the same tree holds a bit-identical index.
+    pub ann: VectorIndex,
     /// Navigation statistics (computed once at publish).
     pub stats: NavigationStats,
     /// Monotonic publish counter; responses carry it so clients (and the
@@ -44,10 +48,12 @@ impl ServingTree {
         source: impl Into<String>,
     ) -> Self {
         let index = PointIndex::build(&tree, num_items);
+        let ann = VectorIndex::for_tree(&tree, &VectorConfig::default());
         let stats = navigation::stats(&tree);
         Self {
             tree,
             index,
+            ann,
             stats,
             epoch,
             source: source.into(),

@@ -458,3 +458,85 @@ fn connections_are_courteously_retired_after_the_request_cap() {
     drain.drain();
     join.join().expect("no panic").expect("clean run");
 }
+
+#[test]
+fn navigate_topk_ranks_exactly_and_unknown_items_pin_the_cover() {
+    let (addr, drain, join) = start(quick_config(), test_tree());
+    let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    // Unknown ids count toward |q| (batch-scorer semantics): {2,3,4,999999}
+    // against tents {2,3,4,5} is J = 3 / (4 + 4 − 3) = 0.6, not the 0.75 a
+    // silently-shrunk query would give.
+    match c
+        .request(&Request::Categorize {
+            items: vec![2, 3, 4, 999_999],
+            shard: None,
+        })
+        .expect("categorize")
+    {
+        Response::Cover {
+            cat,
+            similarity,
+            precision,
+            ..
+        } => {
+            assert_eq!(cat, Some(2));
+            assert!(
+                (similarity - 0.6).abs() < 1e-9,
+                "unknown item must dilute the query: {similarity}"
+            );
+            assert!((precision - 0.75).abs() < 1e-9);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Top-k over {0,1,2}: shoes J = 2/3 leads; the root (J = 3/6 = 0.5)
+    // still clears the cutoff; tents (J = 1/6) falls below it and is
+    // dropped. Scores travel with 6 decimals on the wire.
+    match c
+        .request(&Request::NavigateTopK {
+            k: 5,
+            items: vec![0, 1, 2],
+            ef: None,
+        })
+        .expect("topk")
+    {
+        Response::TopK {
+            k,
+            degraded,
+            results,
+            ..
+        } => {
+            assert_eq!(k, 5);
+            assert!(!degraded);
+            assert_eq!(results.len(), 2, "{results:?}");
+            assert_eq!(results[0].0, 1, "shoes first");
+            assert!((results[0].1 - 2.0 / 3.0).abs() < 1e-6, "{results:?}");
+            assert_eq!(results[1].0, ROOT);
+            assert!((results[1].1 - 0.5).abs() < 1e-6);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Byte-identical across repeated runs on the wire (fixed seed, fixed
+    // tree ⇒ same line, down to the formatting).
+    let raw_line = |line: &str| {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        writeln!(conn, "{line}").expect("write");
+        let mut out = String::new();
+        BufReader::new(conn).read_line(&mut out).expect("read");
+        out
+    };
+    let first = raw_line("NAVIGATE 2 items=0,1,2");
+    let second = raw_line("NAVIGATE 2 items=0,1,2");
+    assert_eq!(first, second, "top-k must be byte-identical across runs");
+    assert!(first.starts_with("OK TOPK "), "{first}");
+
+    // k = 0 is a bad request, not a crash or an empty OK.
+    let bad = raw_line("NAVIGATE 0 items=1");
+    assert!(bad.starts_with("ERR bad-request"), "{bad}");
+
+    drain.drain();
+    let _ = join.join().expect("no panic").expect("clean run");
+}

@@ -141,9 +141,11 @@ fn ctcr_beats_all_baselines_on_all_datasets() {
             .normalized;
         let embeddings = item_embeddings(&ds.catalog);
         let ic_s = baselines::ic_s(&ds.instance, &embeddings, &BaselineConfig::default())
+            .expect("datagen embeddings are dense, uniform, and finite")
             .score
             .normalized;
         let ic_q = baselines::ic_q(&ds.instance, &BaselineConfig::default())
+            .expect("membership rows are self-generated and well-formed")
             .score
             .normalized;
         let et = score_tree(&ds.instance, &ds.existing).normalized;
